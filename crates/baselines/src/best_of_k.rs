@@ -1,0 +1,209 @@
+//! Best-of-k (plurality-of-sample) voting.
+
+use std::collections::HashMap;
+
+use div_core::{DivError, OpinionState, RunStatus};
+use div_graph::Graph;
+use rand::{Rng, RngCore};
+
+use crate::Dynamics;
+
+/// Best-of-`k` voting: a uniform vertex samples `k` uniform neighbours
+/// (with replacement) and adopts the plurality opinion of the sample; ties
+/// including its own opinion keep the own opinion, other ties are broken
+/// uniformly at random.
+///
+/// This is the "sample several neighbours" family the paper cites as the
+/// standard way to make pull voting faster and majority-seeking
+/// (best-of-two/best-of-three dynamics).  `k = 1` degenerates to classic
+/// pull voting under the vertex process.
+///
+/// # Examples
+///
+/// ```
+/// use div_baselines::{run_to_consensus, BestOfK};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(30)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let opinions = div_core::init::blocks(&[(1, 20), (2, 10)])?;
+/// let mut p = BestOfK::new(&g, opinions, 3)?;
+/// let w = run_to_consensus(&mut p, 5_000_000, &mut rng)
+///     .consensus_opinion()
+///     .unwrap();
+/// assert!(w == 1 || w == 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BestOfK<'g> {
+    graph: &'g Graph,
+    state: OpinionState,
+    k: usize,
+    steps: u64,
+}
+
+impl<'g> BestOfK<'g> {
+    /// Creates the process sampling `k >= 1` neighbours per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivError::InvalidInit`] if `k == 0`, plus the validation
+    /// errors of [`OpinionState::new`].
+    pub fn new(graph: &'g Graph, opinions: Vec<i64>, k: usize) -> Result<Self, DivError> {
+        if k == 0 {
+            return Err(DivError::invalid_init("best-of-k requires k >= 1"));
+        }
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(BestOfK {
+            graph,
+            state,
+            k,
+            steps: 0,
+        })
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The sample size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// One best-of-k step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let v = rng.gen_range(0..self.graph.num_vertices());
+        self.steps += 1;
+        let d = self.graph.degree(v);
+        let mut tally: HashMap<i64, usize> = HashMap::with_capacity(self.k);
+        for _ in 0..self.k {
+            let w = self.graph.neighbor(v, rng.gen_range(0..d));
+            *tally.entry(self.state.opinion(w)).or_insert(0) += 1;
+        }
+        let best = tally.values().copied().max().expect("k >= 1 samples");
+        let own = self.state.opinion(v);
+        if tally.get(&own) == Some(&best) {
+            return v; // own opinion ties the plurality: keep it
+        }
+        let mut winners: Vec<i64> = tally
+            .iter()
+            .filter(|&(_, &c)| c == best)
+            .map(|(&op, _)| op)
+            .collect();
+        winners.sort_unstable(); // determinism of the candidate order
+        let choice = winners[rng.gen_range(0..winners.len())];
+        if choice != own {
+            self.state.set_opinion(v, choice);
+        }
+        v
+    }
+
+    /// Runs until consensus or until the budget is spent.
+    pub fn run_to_consensus<R: Rng>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        crate::run_to_consensus(self, max_steps, rng)
+    }
+}
+
+impl Dynamics for BestOfK<'_> {
+    fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn step_once(&mut self, rng: &mut dyn RngCore) {
+        self.step(rng);
+    }
+
+    fn label(&self) -> &'static str {
+        "best-of-k"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::init;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_zero_rejected() {
+        let g = generators::complete(4).unwrap();
+        assert!(BestOfK::new(&g, vec![1; 4], 0).is_err());
+        assert!(BestOfK::new(&g, vec![1; 4], 2).is_ok());
+    }
+
+    #[test]
+    fn clear_majority_wins_almost_always() {
+        // 2/3 majority with best-of-3 on K_n: the majority should win in
+        // essentially every run (that is the point of the dynamic).
+        let g = generators::complete(60).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let trials = 40;
+        let mut majority_wins = 0;
+        for _ in 0..trials {
+            let opinions = init::shuffled_blocks(&[(1, 40), (2, 20)], &mut rng).unwrap();
+            let mut p = BestOfK::new(&g, opinions, 3).unwrap();
+            if p.run_to_consensus(5_000_000, &mut rng).consensus_opinion() == Some(1) {
+                majority_wins += 1;
+            }
+        }
+        assert!(
+            majority_wins >= trials - 2,
+            "majority won only {majority_wins}/{trials}"
+        );
+    }
+
+    #[test]
+    fn best_of_k_is_faster_than_pull_on_balanced_two_opinions() {
+        // Compare mean consensus steps; best-of-3 amplifies majorities and
+        // should finish much sooner than plain pull voting.
+        use crate::PullVoting;
+        use div_core::VertexScheduler;
+        let g = generators::complete(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut pull_total = 0u64;
+        let mut bok_total = 0u64;
+        let trials = 20;
+        for _ in 0..trials {
+            let opinions = init::shuffled_blocks(&[(1, 25), (2, 25)], &mut rng).unwrap();
+            let mut p = PullVoting::new(&g, opinions.clone(), VertexScheduler::new()).unwrap();
+            pull_total += p.run_to_consensus(50_000_000, &mut rng).steps();
+            let mut b = BestOfK::new(&g, opinions, 3).unwrap();
+            bok_total += b.run_to_consensus(50_000_000, &mut rng).steps();
+        }
+        assert!(
+            bok_total * 2 < pull_total,
+            "best-of-3 {bok_total} vs pull {pull_total}"
+        );
+    }
+
+    #[test]
+    fn never_invents_opinions_and_bookkeeping_exact() {
+        let g = generators::torus2d(5, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let opinions = init::blocks(&[(2, 10), (4, 10), (8, 5)]).unwrap();
+        let mut p = BestOfK::new(&g, opinions, 4).unwrap();
+        for _ in 0..5000 {
+            p.step(&mut rng);
+            for &(op, _) in &p.state().support() {
+                assert!([2, 4, 8].contains(&op));
+            }
+        }
+        p.state().check_invariants();
+        assert_eq!(p.k(), 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! A common driving interface for all baseline processes.
+
+use div_core::{OpinionState, RunStatus};
+use rand::RngCore;
+
+/// An asynchronous opinion dynamic over an [`OpinionState`].
+///
+/// Object-safe so the experiment harness can hold heterogeneous processes;
+/// the RNG is therefore taken as `&mut dyn RngCore` (every concrete `Rng`
+/// coerces to it).
+pub trait Dynamics {
+    /// The live opinion state.
+    fn state(&self) -> &OpinionState;
+
+    /// Steps taken so far.
+    fn steps(&self) -> u64;
+
+    /// Performs one asynchronous step.
+    fn step_once(&mut self, rng: &mut dyn RngCore);
+
+    /// Short label for experiment tables.
+    fn label(&self) -> &'static str;
+}
+
+/// Runs `p` until `stop(state)` holds or `max_steps` further steps pass.
+pub fn run_until<P, F>(p: &mut P, max_steps: u64, rng: &mut dyn RngCore, stop: F) -> RunStatus
+where
+    P: Dynamics + ?Sized,
+    F: Fn(&OpinionState) -> bool,
+{
+    let mut remaining = max_steps;
+    while !stop(p.state()) {
+        if remaining == 0 {
+            return RunStatus::StepLimit { steps: p.steps() };
+        }
+        remaining -= 1;
+        p.step_once(rng);
+    }
+    let s = p.state();
+    if s.is_consensus() {
+        RunStatus::Consensus {
+            opinion: s.min_opinion(),
+            steps: p.steps(),
+        }
+    } else if s.is_two_adjacent() {
+        RunStatus::TwoAdjacent {
+            low: s.min_opinion(),
+            high: s.max_opinion(),
+            steps: p.steps(),
+        }
+    } else {
+        RunStatus::StepLimit { steps: p.steps() }
+    }
+}
+
+/// Runs `p` to consensus within a step budget.
+pub fn run_to_consensus<P: Dynamics + ?Sized>(
+    p: &mut P,
+    max_steps: u64,
+    rng: &mut dyn RngCore,
+) -> RunStatus {
+    run_until(p, max_steps, rng, |s| s.is_consensus())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PullVoting;
+    use div_core::{init, VertexScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn run_until_respects_budget_and_stop() {
+        let g = generators::complete(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let opinions = init::blocks(&[(0, 10), (1, 10)]).unwrap();
+        let mut p = PullVoting::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let status = run_until(&mut p, 0, &mut rng, |s| s.is_consensus());
+        assert_eq!(status, RunStatus::StepLimit { steps: 0 });
+        let status = run_to_consensus(&mut p, 10_000_000, &mut rng);
+        assert!(status.consensus_opinion().is_some());
+    }
+
+    #[test]
+    fn dynamics_is_object_safe() {
+        let g = generators::complete(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let opinions = init::blocks(&[(0, 4), (1, 4)]).unwrap();
+        let mut p = PullVoting::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let dynp: &mut dyn Dynamics = &mut p;
+        let status = run_to_consensus(dynp, 1_000_000, &mut rng);
+        assert!(status.consensus_opinion().is_some());
+    }
+}

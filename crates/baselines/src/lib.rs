@@ -1,0 +1,43 @@
+//! Baseline opinion dynamics that the DIV paper compares against.
+//!
+//! DIV converges to the (rounded) **mean** of the initial opinions; the
+//! paper positions this against the two other classic one-number summaries
+//! and against conservative averaging:
+//!
+//! | process | converges to | implemented by |
+//! |---|---|---|
+//! | pull voting | the **mode** (in expectation: degree-weighted) | [`PullVoting`] |
+//! | median voting (Doerr et al.) | the **median** (± `O(√(n log n))` ranks) | [`MedianVoting`] |
+//! | discrete incremental voting | the **mean**, rounded | [`div_core::DivProcess`] |
+//! | load balancing (Berenbrink et al.) | mean-preserving mixture of `⌊c⌋,⌈c⌉` | [`LoadBalancing`] |
+//! | best-of-k sampling | plurality, fast | [`BestOfK`] |
+//!
+//! [`TwoOpinionVoting`] is the `{0,1}` special case of pull voting with the
+//! exact win probabilities of eq. (3) — the final stage every DIV run
+//! reduces to.
+//!
+//! All processes share [`div_core::OpinionState`] for their bookkeeping, so
+//! every observable (counts, degree masses, totals, live range) is
+//! available uniformly, and all implement [`Dynamics`] so the experiment
+//! harness can drive them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod best_of_k;
+mod dynamics;
+mod load_balancing;
+mod median;
+mod pull;
+mod push;
+mod push_sum;
+mod two_opinion;
+
+pub use best_of_k::BestOfK;
+pub use dynamics::{run_to_consensus, run_until, Dynamics};
+pub use load_balancing::LoadBalancing;
+pub use median::MedianVoting;
+pub use pull::PullVoting;
+pub use push::PushVoting;
+pub use push_sum::PushSum;
+pub use two_opinion::TwoOpinionVoting;

@@ -1,0 +1,184 @@
+//! Median voting (Doerr, Goldberg, Minder, Sauerwald, Scheideler 2011).
+
+use div_core::{DivError, OpinionState, RunStatus};
+use div_graph::Graph;
+use rand::{Rng, RngCore};
+
+use crate::Dynamics;
+
+/// Median voting: a uniform vertex samples **two** uniform neighbours and
+/// replaces its opinion by the median of the three values (its own
+/// included).
+///
+/// On the complete graph the consensus value is the median of the initial
+/// opinions up to `O(√(n log n))` ranks (Doerr et al.); the paper cites
+/// this as the "median" member of the mode/median/mean trichotomy that DIV
+/// completes.
+///
+/// # Examples
+///
+/// ```
+/// use div_baselines::{run_to_consensus, MedianVoting};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(30)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+/// // 10 × 1, 11 × 5, 9 × 9: the median is 5.
+/// let opinions = div_core::init::blocks(&[(1, 10), (5, 11), (9, 9)])?;
+/// let mut p = MedianVoting::new(&g, opinions)?;
+/// let w = run_to_consensus(&mut p, 10_000_000, &mut rng)
+///     .consensus_opinion()
+///     .unwrap();
+/// assert!((1..=9).contains(&w));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MedianVoting<'g> {
+    graph: &'g Graph,
+    state: OpinionState,
+    steps: u64,
+}
+
+impl<'g> MedianVoting<'g> {
+    /// Creates the process with the given initial opinions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`OpinionState::new`].
+    pub fn new(graph: &'g Graph, opinions: Vec<i64>) -> Result<Self, DivError> {
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(MedianVoting {
+            graph,
+            state,
+            steps: 0,
+        })
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// One median step: `v` takes `median(X_v, X_w1, X_w2)` for two
+    /// independent uniform neighbours `w1`, `w2` (sampled with
+    /// replacement).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let v = rng.gen_range(0..self.graph.num_vertices());
+        self.steps += 1;
+        let d = self.graph.degree(v);
+        let w1 = self.graph.neighbor(v, rng.gen_range(0..d));
+        let w2 = self.graph.neighbor(v, rng.gen_range(0..d));
+        let m = median3(
+            self.state.opinion(v),
+            self.state.opinion(w1),
+            self.state.opinion(w2),
+        );
+        if m != self.state.opinion(v) {
+            self.state.set_opinion(v, m);
+        }
+        v
+    }
+
+    /// Runs until consensus or until the budget is spent.
+    pub fn run_to_consensus<R: Rng>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        crate::run_to_consensus(self, max_steps, rng)
+    }
+}
+
+/// The median of three values.
+fn median3(a: i64, b: i64, c: i64) -> i64 {
+    a.max(b).min(a.max(c)).min(b.max(c))
+}
+
+impl Dynamics for MedianVoting<'_> {
+    fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn step_once(&mut self, rng: &mut dyn RngCore) {
+        self.step(rng);
+    }
+
+    fn label(&self) -> &'static str {
+        "median"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::init;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn median3_cases() {
+        assert_eq!(median3(1, 2, 3), 2);
+        assert_eq!(median3(3, 1, 2), 2);
+        assert_eq!(median3(2, 3, 1), 2);
+        assert_eq!(median3(5, 5, 1), 5);
+        assert_eq!(median3(1, 5, 5), 5);
+        assert_eq!(median3(7, 7, 7), 7);
+        assert_eq!(median3(-3, 0, 3), 0);
+    }
+
+    #[test]
+    fn median_voting_tracks_the_median_not_the_mean() {
+        // 60% at 1, 40% at 10: median 1, mean 4.6. Median voting should
+        // overwhelmingly pick 1.
+        let g = generators::complete(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut wins_low = 0;
+        let trials = 60;
+        for _ in 0..trials {
+            let opinions = init::shuffled_blocks(&[(1, 30), (10, 20)], &mut rng).unwrap();
+            let mut p = MedianVoting::new(&g, opinions).unwrap();
+            if p.run_to_consensus(10_000_000, &mut rng).consensus_opinion() == Some(1) {
+                wins_low += 1;
+            }
+        }
+        assert!(
+            wins_low as f64 / trials as f64 > 0.8,
+            "low won only {wins_low}/{trials}"
+        );
+    }
+
+    #[test]
+    fn median_never_leaves_initial_value_set_range() {
+        let g = generators::wheel(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let opinions = init::uniform_random(20, 9, &mut rng).unwrap();
+        let mut p = MedianVoting::new(&g, opinions).unwrap();
+        for _ in 0..5000 {
+            p.step(&mut rng);
+        }
+        p.state().check_invariants();
+        assert!(p.state().min_opinion() >= 1);
+        assert!(p.state().max_opinion() <= 9);
+    }
+
+    #[test]
+    fn unanimous_state_is_absorbing() {
+        let g = generators::complete(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = MedianVoting::new(&g, vec![4; 6]).unwrap();
+        for _ in 0..200 {
+            p.step(&mut rng);
+        }
+        assert!(p.state().is_consensus());
+        assert_eq!(p.state().min_opinion(), 4);
+        assert_eq!(Dynamics::label(&p), "median");
+    }
+}

@@ -1,0 +1,181 @@
+//! Classic randomized pull voting.
+
+use div_core::{DivError, OpinionState, RunStatus, Scheduler};
+use div_graph::Graph;
+use rand::{Rng, RngCore};
+
+use crate::Dynamics;
+
+/// Randomized pull voting: the chosen vertex **replaces** its opinion with
+/// the observed neighbour's opinion.
+///
+/// With `k` incommensurate opinions, the probability that opinion `A` wins
+/// is `d(A)/2m` under the vertex process (Hassin–Peleg) — the process
+/// favours the (degree-weighted) **mode**, in contrast to DIV's mean.
+///
+/// # Examples
+///
+/// ```
+/// use div_baselines::{run_to_consensus, PullVoting};
+/// use div_core::{init, VertexScheduler};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(20)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let opinions = init::blocks(&[(1, 10), (9, 10)])?;
+/// let mut p = PullVoting::new(&g, opinions, VertexScheduler::new())?;
+/// let status = run_to_consensus(&mut p, 10_000_000, &mut rng);
+/// let w = status.consensus_opinion().unwrap();
+/// // Pull voting never invents intermediate values: 1 or 9 wins.
+/// assert!(w == 1 || w == 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PullVoting<'g, S> {
+    graph: &'g Graph,
+    scheduler: S,
+    state: OpinionState,
+    steps: u64,
+}
+
+impl<'g, S: Scheduler> PullVoting<'g, S> {
+    /// Creates the process with the given initial opinions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`OpinionState::new`].
+    pub fn new(graph: &'g Graph, opinions: Vec<i64>, scheduler: S) -> Result<Self, DivError> {
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(PullVoting {
+            graph,
+            scheduler,
+            state,
+            steps: 0,
+        })
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// One pull step: `v` copies `X_w`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        let (v, w) = self.scheduler.pick(self.graph, rng);
+        self.steps += 1;
+        let xw = self.state.opinion(w);
+        if self.state.opinion(v) != xw {
+            self.state.set_opinion(v, xw);
+        }
+        (v, w)
+    }
+
+    /// Runs until consensus or until the budget is spent.
+    pub fn run_to_consensus<R: Rng>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        crate::run_to_consensus(self, max_steps, rng)
+    }
+
+    /// Consumes the process and returns the final state.
+    pub fn into_state(self) -> OpinionState {
+        self.state
+    }
+}
+
+impl<S: Scheduler> Dynamics for PullVoting<'_, S> {
+    fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn step_once(&mut self, rng: &mut dyn RngCore) {
+        self.step(rng);
+    }
+
+    fn label(&self) -> &'static str {
+        "pull"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::{init, EdgeScheduler, VertexScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn consensus_is_one_of_the_initial_opinions() {
+        let g = generators::complete(15).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let opinions = init::uniform_random(15, 4, &mut rng).unwrap();
+            let had: std::collections::HashSet<i64> = opinions.iter().copied().collect();
+            let mut p = PullVoting::new(&g, opinions, VertexScheduler::new()).unwrap();
+            let w = p
+                .run_to_consensus(5_000_000, &mut rng)
+                .consensus_opinion()
+                .expect("complete graph converges");
+            assert!(had.contains(&w), "winner {w} was never held");
+        }
+    }
+
+    #[test]
+    fn pull_never_creates_new_opinions() {
+        let g = generators::cycle(12).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let opinions = init::blocks(&[(1, 4), (5, 4), (9, 4)]).unwrap();
+        let mut p = PullVoting::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        for _ in 0..5000 {
+            p.step(&mut rng);
+            for &(op, _) in &p.state().support() {
+                assert!(op == 1 || op == 5 || op == 9, "invented opinion {op}");
+            }
+            if p.state().is_consensus() {
+                break;
+            }
+        }
+        p.state().check_invariants();
+    }
+
+    #[test]
+    fn edge_process_win_rate_matches_eq3() {
+        // Two-block {0,1} with N_1 = 30 of n = 100 on a regular graph:
+        // opinion 1 should win ≈ 30% of runs (eq. (3), edge process).
+        let g = generators::complete(100).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 400;
+        let mut wins = 0;
+        for _ in 0..trials {
+            let opinions = init::shuffled_blocks(&[(0, 70), (1, 30)], &mut rng).unwrap();
+            let mut p = PullVoting::new(&g, opinions, EdgeScheduler::new()).unwrap();
+            let w = p
+                .run_to_consensus(10_000_000, &mut rng)
+                .consensus_opinion()
+                .unwrap();
+            if w == 1 {
+                wins += 1;
+            }
+        }
+        let rate = wins as f64 / trials as f64;
+        // 6σ band: σ = sqrt(0.3·0.7/400) ≈ 0.023.
+        assert!((rate - 0.3).abs() < 0.14, "win rate {rate}");
+    }
+
+    #[test]
+    fn dynamics_label() {
+        let g = generators::complete(4).unwrap();
+        let p = PullVoting::new(&g, vec![1, 1, 2, 2], VertexScheduler::new()).unwrap();
+        assert_eq!(Dynamics::label(&p), "pull");
+    }
+}

@@ -1,0 +1,173 @@
+//! Asynchronous push voting.
+
+use div_core::{DivError, OpinionState, RunStatus};
+use div_graph::Graph;
+use rand::{Rng, RngCore};
+
+use crate::Dynamics;
+
+/// Push voting: a uniform vertex `v` **pushes** its opinion onto a
+/// uniform neighbour `w` (so `w` adopts `X_v`) — pull voting with the
+/// information flow reversed.
+///
+/// On regular graphs push and pull voting induce the same process up to
+/// relabelling, so eq. (3)'s `N_i/n` win probability applies; on
+/// irregular graphs the absorbing measure differs (a vertex is
+/// *overwritten* with probability proportional to `Σ_{v~w} 1/d(v)`),
+/// which the tests exhibit on the star.  Included as an additional
+/// baseline for the experiment harness.
+///
+/// # Examples
+///
+/// ```
+/// use div_baselines::{run_to_consensus, PushVoting};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(20)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+/// let mut p = PushVoting::new(&g, div_core::init::blocks(&[(1, 10), (2, 10)])?)?;
+/// let w = run_to_consensus(&mut p, 5_000_000, &mut rng).consensus_opinion().unwrap();
+/// assert!(w == 1 || w == 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushVoting<'g> {
+    graph: &'g Graph,
+    state: OpinionState,
+    steps: u64,
+}
+
+impl<'g> PushVoting<'g> {
+    /// Creates the process with the given initial opinions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`OpinionState::new`].
+    pub fn new(graph: &'g Graph, opinions: Vec<i64>) -> Result<Self, DivError> {
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(PushVoting {
+            graph,
+            state,
+            steps: 0,
+        })
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// One push step: uniform `v` overwrites a uniform neighbour.
+    /// Returns `(pusher, overwritten)`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        let v = rng.gen_range(0..self.graph.num_vertices());
+        self.steps += 1;
+        let d = self.graph.degree(v);
+        let w = self.graph.neighbor(v, rng.gen_range(0..d));
+        let xv = self.state.opinion(v);
+        if self.state.opinion(w) != xv {
+            self.state.set_opinion(w, xv);
+        }
+        (v, w)
+    }
+
+    /// Runs until consensus or until the budget is spent.
+    pub fn run_to_consensus<R: Rng>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        crate::run_to_consensus(self, max_steps, rng)
+    }
+}
+
+impl Dynamics for PushVoting<'_> {
+    fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn step_once(&mut self, rng: &mut dyn RngCore) {
+        self.step(rng);
+    }
+
+    fn label(&self) -> &'static str {
+        "push"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::init;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn winner_comes_from_initial_support() {
+        let g = generators::cycle(14).unwrap();
+        let mut rng = StdRng::seed_from_u64(20);
+        let opinions = init::shuffled_blocks(&[(3, 7), (9, 7)], &mut rng).unwrap();
+        let mut p = PushVoting::new(&g, opinions).unwrap();
+        let w = p
+            .run_to_consensus(10_000_000, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        assert!(w == 3 || w == 9);
+        p.state().check_invariants();
+    }
+
+    #[test]
+    fn regular_graph_win_rate_matches_share() {
+        // On K_n, push and pull are symmetric: 30% holders win ≈ 30%.
+        let g = generators::complete(60).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 300;
+        let mut wins = 0;
+        for _ in 0..trials {
+            let opinions = init::shuffled_blocks(&[(0, 42), (1, 18)], &mut rng).unwrap();
+            let mut p = PushVoting::new(&g, opinions).unwrap();
+            if p.run_to_consensus(10_000_000, &mut rng).consensus_opinion() == Some(1) {
+                wins += 1;
+            }
+        }
+        let rate = wins as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.12, "win rate {rate}");
+    }
+
+    #[test]
+    fn star_hub_is_overwritten_fast_under_push() {
+        // Every leaf pushes only at the hub, so a lone hub opinion
+        // survives far *less* often under push than pull's vertex-process
+        // d(A)/2m = 1/2.
+        let n = 17;
+        let g = generators::star(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let trials = 400;
+        let mut hub_wins = 0;
+        for _ in 0..trials {
+            let mut opinions = vec![0i64; n];
+            opinions[0] = 1;
+            let mut p = PushVoting::new(&g, opinions).unwrap();
+            if p.run_to_consensus(10_000_000, &mut rng).consensus_opinion() == Some(1) {
+                hub_wins += 1;
+            }
+        }
+        let rate = hub_wins as f64 / trials as f64;
+        assert!(rate < 0.25, "hub won {rate} of push runs; pull gives 0.5");
+    }
+
+    #[test]
+    fn label() {
+        let g = generators::complete(3).unwrap();
+        let p = PushVoting::new(&g, vec![1, 1, 2]).unwrap();
+        assert_eq!(Dynamics::label(&p), "push");
+    }
+}

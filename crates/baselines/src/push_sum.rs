@@ -1,0 +1,234 @@
+//! Push-sum gossip averaging (Kempe, Dobra, Gehrke 2003).
+
+use div_core::DivError;
+use div_graph::Graph;
+use rand::Rng;
+
+/// Push-sum: every vertex keeps a pair `(s_v, w_v)` initialised to
+/// `(x_v, 1)`; at each asynchronous step a uniform vertex halves its pair
+/// and pushes one half to a uniform neighbour, which adds it.  The local
+/// estimate `s_v/w_v` converges to the exact average `c = Σx_v/n`, and
+/// both totals `Σs` and `Σw` are conserved.
+///
+/// Included as the classical *exact* averaging comparator: unlike DIV it
+/// produces the real-valued average (no rounding), but it needs
+/// real-valued state, coordinated two-vertex writes, and never reaches a
+/// literal consensus state — only estimates within a tolerance.  DIV
+/// trades exactness for one-sided integer nudges and true absorption.
+///
+/// # Examples
+///
+/// ```
+/// use div_baselines::PushSum;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(30)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let loads = div_core::init::blocks(&[(0, 15), (7, 15)])?; // c = 3.5
+/// let mut p = PushSum::new(&g, &loads)?;
+/// let steps = p.run_until_converged(1e-6, 1_000_000, &mut rng).unwrap();
+/// assert!(steps > 0);
+/// assert!((p.estimate(0) - 3.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushSum<'g> {
+    graph: &'g Graph,
+    sums: Vec<f64>,
+    weights: Vec<f64>,
+    target: f64,
+    steps: u64,
+}
+
+impl<'g> PushSum<'g> {
+    /// Creates the protocol from integer initial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivError::LengthMismatch`] / [`DivError::EmptyOpinions`]
+    /// for malformed inputs and [`DivError::IsolatedVertex`] if some
+    /// vertex has no neighbour to push to.
+    pub fn new(graph: &'g Graph, values: &[i64]) -> Result<Self, DivError> {
+        if values.is_empty() {
+            return Err(DivError::EmptyOpinions);
+        }
+        if values.len() != graph.num_vertices() {
+            return Err(DivError::LengthMismatch {
+                expected: graph.num_vertices(),
+                got: values.len(),
+            });
+        }
+        if let Some(v) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+            return Err(DivError::IsolatedVertex { vertex: v });
+        }
+        let sums: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        let target = sums.iter().sum::<f64>() / sums.len() as f64;
+        Ok(PushSum {
+            graph,
+            weights: vec![1.0; sums.len()],
+            sums,
+            target,
+            steps: 0,
+        })
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The exact average the protocol converges to.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Vertex `v`'s current estimate `s_v/w_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn estimate(&self, v: usize) -> f64 {
+        self.sums[v] / self.weights[v]
+    }
+
+    /// The largest estimate error over all vertices.
+    pub fn max_error(&self) -> f64 {
+        self.graph
+            .vertices()
+            .map(|v| (self.estimate(v) - self.target).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Conservation check: `(Σs − Σx, Σw − n)`, both ≈ 0 up to float
+    /// round-off.
+    pub fn conservation_error(&self) -> (f64, f64) {
+        let s: f64 = self.sums.iter().sum();
+        let w: f64 = self.weights.iter().sum();
+        (
+            s - self.target * self.sums.len() as f64,
+            w - self.sums.len() as f64,
+        )
+    }
+
+    /// One asynchronous push-sum step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        let v = rng.gen_range(0..self.graph.num_vertices());
+        self.steps += 1;
+        let d = self.graph.degree(v);
+        let w = self.graph.neighbor(v, rng.gen_range(0..d));
+        self.sums[v] *= 0.5;
+        self.weights[v] *= 0.5;
+        self.sums[w] += self.sums[v];
+        self.weights[w] += self.weights[v];
+        (v, w)
+    }
+
+    /// Runs until every estimate is within `tolerance` of the average;
+    /// returns the steps taken, or `None` if the budget ran out first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive.
+    pub fn run_until_converged<R: Rng + ?Sized>(
+        &mut self,
+        tolerance: f64,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        let mut remaining = max_steps;
+        // `max_error` is O(n); amortise by checking every ~n steps.
+        let check_every = self.graph.num_vertices() as u64;
+        loop {
+            if self.max_error() <= tolerance {
+                return Some(self.steps);
+            }
+            for _ in 0..check_every {
+                if remaining == 0 {
+                    return None;
+                }
+                remaining -= 1;
+                self.step(rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::init;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conserves_mass_exactly_enough() {
+        let g = generators::wheel(25).unwrap();
+        let mut rng = StdRng::seed_from_u64(30);
+        let values = init::uniform_random(25, 50, &mut rng).unwrap();
+        let mut p = PushSum::new(&g, &values).unwrap();
+        for _ in 0..50_000 {
+            p.step(&mut rng);
+        }
+        let (ds, dw) = p.conservation_error();
+        assert!(ds.abs() < 1e-6, "sum drift {ds}");
+        assert!(dw.abs() < 1e-9, "weight drift {dw}");
+    }
+
+    #[test]
+    fn converges_to_the_exact_average() {
+        let g = generators::complete(40).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let values = init::blocks(&[(1, 13), (5, 13), (12, 14)]).unwrap();
+        let target = init::average(&values);
+        let mut p = PushSum::new(&g, &values).unwrap();
+        let steps = p
+            .run_until_converged(1e-9, 10_000_000, &mut rng)
+            .expect("push-sum converges on K_n");
+        assert!(steps > 0);
+        assert!((p.target() - target).abs() < 1e-12);
+        for v in 0..40 {
+            assert!((p.estimate(v) - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convergence_is_geometric_mid_run() {
+        // Error after 2T steps should be far below error after T steps.
+        let g = generators::complete(60).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let values = init::blocks(&[(0, 30), (10, 30)]).unwrap();
+        let mut p = PushSum::new(&g, &values).unwrap();
+        let t = 3000u64;
+        for _ in 0..t {
+            p.step(&mut rng);
+        }
+        let e1 = p.max_error();
+        for _ in 0..t {
+            p.step(&mut rng);
+        }
+        let e2 = p.max_error();
+        assert!(e2 < e1 / 4.0, "errors {e1} → {e2} not geometric");
+    }
+
+    #[test]
+    fn validation() {
+        let g = generators::complete(3).unwrap();
+        assert!(PushSum::new(&g, &[]).is_err());
+        assert!(PushSum::new(&g, &[1, 2]).is_err());
+        let lonely = div_graph::Graph::from_edges(2, std::iter::empty()).unwrap();
+        assert!(PushSum::new(&lonely, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let g = generators::path(30).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let values = init::blocks(&[(0, 15), (100, 15)]).unwrap();
+        let mut p = PushSum::new(&g, &values).unwrap();
+        assert_eq!(p.run_until_converged(1e-12, 50, &mut rng), None);
+    }
+}

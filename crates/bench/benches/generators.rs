@@ -1,0 +1,38 @@
+//! Cost of building the workload graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+
+    for n in [1000usize, 4000] {
+        group.bench_with_input(BenchmarkId::new("complete", n), &n, |b, &n| {
+            b.iter(|| generators::complete(n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("random_regular_8", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| generators::random_regular(n, 8, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gnp_3logn", n), &n, |b, &n| {
+            let p = 3.0 * (n as f64).ln() / n as f64;
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| generators::gnp(n, p, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert_3", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| generators::barabasi_albert(n, 3, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("watts_strogatz", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| generators::watts_strogatz(n, 8, 0.1, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Cost of the spectral toolbox: power iteration vs the dense oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_graph::generators;
+use div_spectral::{lambda, lambda_two, spectrum, StationaryDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10);
+
+    for n in [200usize, 500, 1000] {
+        let g = generators::complete(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("lambda/complete", n), &g, |b, g| {
+            b.iter(|| lambda(g).unwrap())
+        });
+    }
+    for n in [500usize, 2000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::random_regular(n, 8, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("lambda/regular8", n), &g, |b, g| {
+            b.iter(|| lambda(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lambda_two/regular8", n), &g, |b, g| {
+            b.iter(|| lambda_two(g).unwrap())
+        });
+    }
+    // Dense Jacobi oracle: cubic, so keep it small.
+    for n in [64usize, 128] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::gnp(n, 0.2, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("dense_spectrum/gnp", n), &g, |b, g| {
+            b.iter(|| spectrum(g).unwrap())
+        });
+    }
+    let g = generators::barabasi_albert(2000, 3, &mut StdRng::seed_from_u64(7)).unwrap();
+    group.bench_function("stationary/ba_2000", |b| {
+        b.iter(|| StationaryDistribution::new(&g).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Step throughput (ns/step) of every process on representative graphs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use div_baselines::{BestOfK, LoadBalancing, MedianVoting, PullVoting};
+use div_core::{init, DivProcess, EdgeScheduler, VertexScheduler};
+use div_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: u64 = 10_000;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    vec![
+        ("complete_1k", generators::complete(1000).unwrap()),
+        (
+            "regular8_1k",
+            generators::random_regular(1000, 8, &mut rng).unwrap(),
+        ),
+        ("cycle_1k", generators::cycle(1000).unwrap()),
+    ]
+}
+
+/// Benches one process family; `make` builds a fresh process, `run` steps
+/// it `STEPS` times.
+macro_rules! bench_process {
+    ($group:expr, $name:expr, $make:expr) => {
+        $group.bench_function($name, |b| {
+            b.iter_batched(
+                || ($make, StdRng::seed_from_u64(3)),
+                |(mut p, mut rng)| {
+                    for _ in 0..STEPS {
+                        p.step(&mut rng);
+                    }
+                    p.state().sum()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    };
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_throughput");
+    group.throughput(Throughput::Elements(STEPS));
+    group.sample_size(20);
+
+    for (gname, g) in graphs() {
+        let n = g.num_vertices();
+        let mk_opinions = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            init::uniform_random(n, 9, &mut rng).unwrap()
+        };
+
+        bench_process!(
+            group,
+            format!("div_vertex/{gname}"),
+            DivProcess::new(&g, mk_opinions(), VertexScheduler::new()).unwrap()
+        );
+        bench_process!(
+            group,
+            format!("div_edge/{gname}"),
+            DivProcess::new(&g, mk_opinions(), EdgeScheduler::new()).unwrap()
+        );
+        bench_process!(
+            group,
+            format!("pull/{gname}"),
+            PullVoting::new(&g, mk_opinions(), VertexScheduler::new()).unwrap()
+        );
+        bench_process!(
+            group,
+            format!("median/{gname}"),
+            MedianVoting::new(&g, mk_opinions()).unwrap()
+        );
+        bench_process!(
+            group,
+            format!("best_of_3/{gname}"),
+            BestOfK::new(&g, mk_opinions(), 3).unwrap()
+        );
+        bench_process!(
+            group,
+            format!("load_balancing/{gname}"),
+            LoadBalancing::new(&g, mk_opinions()).unwrap()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! `divlab` — a command-line laboratory for discrete incremental voting.
+//!
+//! ```text
+//! divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--seed N] [--trace]
+//! divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]
+//! divlab spectral --graph SPEC [--seed N]
+//! divlab graph6   --graph SPEC [--seed N]
+//! ```
+//!
+//! Graph and opinion spec grammars are documented in
+//! [`div_bench::spec`]; e.g. `--graph regular:200:8 --init uniform:5`.
+
+use div_baselines::{
+    run_to_consensus, BestOfK, LoadBalancing, MedianVoting, PullVoting, PushVoting,
+};
+use div_bench::spec;
+use div_core::{init, theory, DivProcess, EdgeScheduler, StageLog, VertexScheduler};
+use div_sim::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage_and_exit();
+    };
+    let opts = parse_flags(rest);
+    let result = match command.as_str() {
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        "spectral" => cmd_spectral(&opts),
+        "graph6" => cmd_graph6(&opts),
+        "--help" | "-h" | "help" => usage_and_exit(),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(msg) = result {
+        eprintln!("divlab: {msg}");
+        exit(2);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--seed N] [--trace]\n  divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,..."
+    );
+    exit(0);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            out.insert("trace".to_string(), "1".to_string());
+        } else if let Some(key) = arg.strip_prefix("--") {
+            if let Some(value) = it.next() {
+                out.insert(key.to_string(), value.clone());
+            } else {
+                eprintln!("divlab: flag --{key} needs a value");
+                exit(2);
+            }
+        } else {
+            eprintln!("divlab: unexpected argument {arg:?}");
+            exit(2);
+        }
+    }
+    out
+}
+
+fn setup(opts: &HashMap<String, String>) -> Result<(div_graph::Graph, Vec<i64>, StdRng), String> {
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gspec = opts.get("graph").ok_or("missing --graph SPEC")?;
+    let graph = spec::parse_graph(gspec, &mut rng)?;
+    if !div_graph::algo::is_connected(&graph) {
+        return Err(format!(
+            "graph {gspec:?} is not connected; voting cannot reach consensus"
+        ));
+    }
+    let ispec = opts.get("init").cloned().unwrap_or("uniform:5".to_string());
+    let opinions = spec::parse_opinions(&ispec, graph.num_vertices(), &mut rng)?;
+    Ok((graph, opinions, rng))
+}
+
+fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (graph, opinions, mut rng) = setup(opts)?;
+    let scheduler = opts.map_or_default("scheduler", "edge");
+    let c = match scheduler.as_str() {
+        "edge" => init::average(&opinions),
+        "vertex" => init::degree_weighted_average(&graph, &opinions),
+        other => return Err(format!("unknown scheduler {other:?} (use edge or vertex)")),
+    };
+    let pred = theory::win_prediction(c);
+    println!("{graph}; initial average c = {c:.4}");
+    println!(
+        "Theorem 2 prediction: {} w.p. {:.3}, {} w.p. {:.3}",
+        pred.lower, pred.p_lower, pred.upper, pred.p_upper
+    );
+
+    let (status, log) = if scheduler == "edge" {
+        let mut p =
+            DivProcess::new(&graph, opinions, EdgeScheduler::new()).map_err(|e| e.to_string())?;
+        let mut log = StageLog::new(p.state());
+        let status = p.run_until(
+            u64::MAX,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| log.observe(ev, st),
+        );
+        (status, log)
+    } else {
+        let mut p =
+            DivProcess::new(&graph, opinions, VertexScheduler::new()).map_err(|e| e.to_string())?;
+        let mut log = StageLog::new(p.state());
+        let status = p.run_until(
+            u64::MAX,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| log.observe(ev, st),
+        );
+        (status, log)
+    };
+    let winner = status.consensus_opinion().expect("ran to consensus");
+    println!(
+        "consensus on {winner} after {} steps ({} scheduler)",
+        status.steps(),
+        scheduler
+    );
+    println!("elimination order: {:?}", log.elimination_order());
+    if opts.contains_key("trace") {
+        println!("trace: {}", log.arrow_notation());
+    }
+    Ok(())
+}
+
+fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (graph, opinions, _) = setup(opts)?;
+    let trials: usize = opts
+        .get("trials")
+        .map(|s| s.parse().map_err(|_| "bad --trials".to_string()))
+        .transpose()?
+        .unwrap_or(50);
+    let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let c = init::average(&opinions);
+    println!(
+        "{graph}; c = {c:.3}; mode/median of the initial opinions vs each process, {trials} trials"
+    );
+
+    let mut table = Table::new(&["process", "winner histogram (opinion: runs)"]);
+    // Load balancing usually ends in a {c⌊⌋, c⌈⌉} mixture, not consensus;
+    // its row reports the low value of that near-balanced state.
+    let processes: Vec<&str> = vec![
+        "div",
+        "pull",
+        "push",
+        "median",
+        "best-of-3",
+        "load-balancing (near-balance low)",
+    ];
+    for name in processes {
+        let winners = div_sim::run_trials(trials, seed ^ name.len() as u64, |_, s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let ops = opinions.clone();
+            match name {
+                "div" => {
+                    let mut p = DivProcess::new(&graph, ops, EdgeScheduler::new()).unwrap();
+                    p.run_to_consensus(u64::MAX, &mut rng).consensus_opinion()
+                }
+                "pull" => {
+                    let mut p = PullVoting::new(&graph, ops, EdgeScheduler::new()).unwrap();
+                    run_to_consensus(&mut p, u64::MAX, &mut rng).consensus_opinion()
+                }
+                "push" => {
+                    let mut p = PushVoting::new(&graph, ops).unwrap();
+                    run_to_consensus(&mut p, u64::MAX, &mut rng).consensus_opinion()
+                }
+                "median" => {
+                    let mut p = MedianVoting::new(&graph, ops).unwrap();
+                    run_to_consensus(&mut p, u64::MAX, &mut rng).consensus_opinion()
+                }
+                "best-of-3" => {
+                    let mut p = BestOfK::new(&graph, ops, 3).unwrap();
+                    run_to_consensus(&mut p, u64::MAX, &mut rng).consensus_opinion()
+                }
+                "load-balancing (near-balance low)" => {
+                    let mut p = LoadBalancing::new(&graph, ops).unwrap();
+                    // LB may never reach consensus; near-balance midpoint.
+                    p.run_to_near_balance(u64::MAX, &mut rng);
+                    Some(p.state().min_opinion())
+                }
+                _ => unreachable!(),
+            }
+        });
+        let mut hist: std::collections::BTreeMap<i64, usize> = Default::default();
+        for w in winners.into_iter().flatten() {
+            *hist.entry(w).or_insert(0) += 1;
+        }
+        let rendered: Vec<String> = hist.iter().map(|(op, c)| format!("{op}: {c}")).collect();
+        table.row(&[name.to_string(), rendered.join(", ")]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_spectral(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (graph, _, _) = setup(opts)?;
+    let stats = div_graph::algo::degree_stats(&graph);
+    let pi = div_spectral::StationaryDistribution::new(&graph).map_err(|e| e.to_string())?;
+    let lambda = div_spectral::lambda(&graph).map_err(|e| e.to_string())?;
+    let lambda2 = div_spectral::lambda_two(&graph).map_err(|e| e.to_string())?;
+    println!("{graph}");
+    println!(
+        "degrees: min {} max {} mean {:.2} (variance {:.2})",
+        stats.min, stats.max, stats.mean, stats.variance
+    );
+    println!("pi_min = {:.6}, ||pi||_inf = {:.6}", pi.min(), pi.max());
+    println!("lambda = {lambda:.6}   lambda_2 = {lambda2:.6}");
+    // Numerically λ ≈ 1 (bipartite or disconnected-ish structure) makes
+    // the spectral bound meaningless; say so instead of printing 10¹¹.
+    if lambda < 1.0 - 1e-6 {
+        println!(
+            "lazy-walk mixing bound t_mix(1/4) <= {:.0}",
+            div_spectral::mixing_time_bound(0.5 * (1.0 + lambda), pi.min(), 0.25)
+        );
+    } else {
+        println!("lazy-walk mixing bound: n/a (λ ≈ 1: periodic or near-disconnected walk)");
+    }
+    let budget = 0.5 / lambda;
+    println!(
+        "Theorem 2 budget: k up to ~{budget:.1} satisfies the finite-size gate λk ≤ 0.5{}",
+        if budget < 2.0 {
+            "  (NOT an expander workload)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn cmd_graph6(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (graph, _, _) = setup(opts)?;
+    println!("{}", div_graph::graph6::encode(&graph));
+    Ok(())
+}
+
+/// Small ergonomic helper for flag maps.
+trait MapExt {
+    fn map_or_default(&self, key: &str, default: &str) -> String;
+}
+
+impl MapExt for HashMap<String, String> {
+    fn map_or_default(&self, key: &str, default: &str) -> String {
+        self.get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}

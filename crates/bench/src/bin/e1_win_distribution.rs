@@ -1,0 +1,134 @@
+//! E1 — Theorem 2: on expanders the DIV winner is `⌊c⌋` or `⌈c⌉`, with
+//! probabilities `⌈c⌉ − c` and `c − ⌊c⌋`.
+//!
+//! Workloads: `K_n`, random `d`-regular, connected `G(n,p)`; uniform and
+//! skewed initial opinions; both schedulers.  Each row reports the
+//! fraction of trials won by `⌊c⌋`/`⌈c⌉`/anything else against the
+//! prediction, plus the mean winner vs `c`.
+
+use div_bench::{banner, emit, ExpConfig};
+use div_core::{init, theory, DivProcess, EdgeScheduler, VertexScheduler};
+use div_graph::{algo, generators, Graph};
+use div_sim::stats::{wilson_interval, Z95};
+use div_sim::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Workload {
+    label: String,
+    graph: Graph,
+    weights: Vec<f64>, // categorical opinion weights over 1..=k
+}
+
+fn workloads(cfg: &ExpConfig) -> Vec<Workload> {
+    let n = cfg.size(400, 80);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A9A);
+    let mut out = Vec::new();
+    out.push(Workload {
+        label: format!("K_{n} uniform k=5"),
+        graph: generators::complete(n).unwrap(),
+        weights: vec![1.0; 5],
+    });
+    out.push(Workload {
+        label: format!("K_{n} skewed k=7"),
+        graph: generators::complete(n).unwrap(),
+        weights: vec![4.0, 1.0, 1.0, 0.5, 0.5, 0.5, 4.0],
+    });
+    let rr = generators::random_regular(n, 8, &mut rng).unwrap();
+    assert!(algo::is_connected(&rr));
+    out.push(Workload {
+        label: format!("rand 8-regular n={n} uniform k=5"),
+        graph: rr,
+        weights: vec![1.0; 5],
+    });
+    let p = 3.0 * (n as f64).ln() / n as f64;
+    let gnp = loop {
+        let g = generators::gnp(n, p, &mut rng).unwrap();
+        if algo::is_connected(&g) {
+            break g;
+        }
+    };
+    out.push(Workload {
+        label: format!("G(n,3ln n/n) n={n} skewed k=5"),
+        graph: gnp,
+        weights: vec![2.0, 1.0, 0.2, 1.0, 3.0],
+    });
+    out
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args(300);
+    banner(
+        "E1",
+        "winner distribution on expanders",
+        "Theorem 2: winner = ⌊c⌋ w.p. ≈ ⌈c⌉−c, ⌈c⌉ w.p. ≈ c−⌊c⌋; mean winner ≈ c",
+        &cfg,
+    );
+
+    let mut table = Table::new(&[
+        "workload",
+        "sched",
+        "E[c]",
+        "pred P[⌊c⌋]",
+        "meas P[⌊c⌋] [95% CI]",
+        "P[other]",
+        "mean winner − mean c",
+    ]);
+
+    for w in workloads(&cfg) {
+        for edge_process in [false, true] {
+            let outcomes = div_sim::run_trials(cfg.trials, cfg.seed, |_, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let opinions =
+                    init::categorical(w.graph.num_vertices(), &w.weights, &mut rng).unwrap();
+                let c = if edge_process {
+                    init::average(&opinions)
+                } else {
+                    init::degree_weighted_average(&w.graph, &opinions)
+                };
+                let winner = if edge_process {
+                    let mut p = DivProcess::new(&w.graph, opinions, EdgeScheduler::new()).unwrap();
+                    p.run_to_consensus(u64::MAX, &mut rng).consensus_opinion()
+                } else {
+                    let mut p =
+                        DivProcess::new(&w.graph, opinions, VertexScheduler::new()).unwrap();
+                    p.run_to_consensus(u64::MAX, &mut rng).consensus_opinion()
+                };
+                (
+                    c,
+                    winner.expect("connected non-bipartite workloads converge"),
+                )
+            });
+
+            let mut floor_wins = 0u64;
+            let mut other_wins = 0u64;
+            let mut pred_floor = 0.0;
+            let mut mean_c = 0.0;
+            let mut mean_winner = 0.0;
+            for &(c, winner) in &outcomes {
+                let pred = theory::win_prediction(c);
+                pred_floor += pred.p_lower;
+                mean_c += c;
+                mean_winner += winner as f64;
+                if winner == pred.lower {
+                    floor_wins += 1;
+                } else if winner != pred.upper {
+                    other_wins += 1;
+                }
+            }
+            let t = outcomes.len() as f64;
+            let (lo, hi) = wilson_interval(floor_wins, outcomes.len() as u64, Z95);
+            table.row(&[
+                w.label.clone(),
+                (if edge_process { "edge" } else { "vertex" }).to_string(),
+                format!("{:.3}", mean_c / t),
+                format!("{:.3}", pred_floor / t),
+                format!("{:.3} [{lo:.3}, {hi:.3}]", floor_wins as f64 / t),
+                format!("{:.3}", other_wins as f64 / t),
+                format!("{:+.3}", (mean_winner - mean_c) / t),
+            ]);
+        }
+    }
+    emit(&table, &cfg);
+    println!("expected shape: P[other] ≈ 0, measured P[⌊c⌋] tracks prediction, mean drift ≈ 0");
+}

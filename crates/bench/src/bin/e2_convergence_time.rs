@@ -1,0 +1,160 @@
+//! E2 — Theorem 1 / eq. (4): time to reduce to two adjacent opinions.
+//!
+//! Sweeps `n` (fixed `k`) and `k` (fixed `n`) on `K_n` and random
+//! `d`-regular graphs, measuring the two-adjacent time `τ` and the full
+//! consensus time.  Reports:
+//!
+//! * the log–log growth exponent of `E[τ]` in `n` against the bound's
+//!   exponent (the bound grows like `n^{5/3} log n` here, i.e. slope
+//!   ≈ 1.67–1.8; a measured slope at or below it is "within bound");
+//! * the growth of `E[τ]` in `k` (the bound is linear in `k` for the
+//!   `k·n log n` regime);
+//! * `E[τ]/n²`, which must shrink with `n` (Theorem 1: `τ = o(n²)`).
+
+use div_bench::{banner, emit, ExpConfig};
+use div_core::{init, theory, DivProcess, VertexScheduler};
+use div_graph::{algo, generators, Graph};
+use div_sim::regression::log_log_fit;
+use div_sim::stats::Summary;
+use div_sim::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean two-adjacent and consensus times over the configured trials.
+fn measure(graph: &Graph, k: usize, cfg: &ExpConfig, tag: u64) -> (Summary, Summary) {
+    let results = div_sim::run_trials(cfg.trials, cfg.seed ^ tag, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(graph.num_vertices(), k, &mut rng).unwrap();
+        let mut p = DivProcess::new(graph, opinions, VertexScheduler::new()).unwrap();
+        let tau = p.run_to_two_adjacent(u64::MAX, &mut rng).steps();
+        let total = p.run_to_consensus(u64::MAX, &mut rng).steps();
+        (tau as f64, total as f64)
+    });
+    (
+        Summary::from_iter(results.iter().map(|r| r.0)),
+        Summary::from_iter(results.iter().map(|r| r.1)),
+    )
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args(40);
+    banner(
+        "E2",
+        "reduction and consensus time scaling",
+        "Theorem 1: τ = o(n²) w.h.p.; E[T] = O(kn log n + n^{5/3} log n + λkn² + √λ n²)",
+        &cfg,
+    );
+
+    // --- Sweep n on K_n at fixed k. ---
+    let k = 5;
+    let ns: Vec<usize> = if cfg.quick {
+        vec![50, 100, 200]
+    } else {
+        vec![100, 200, 400, 800]
+    };
+    let mut table = Table::new(&[
+        "graph",
+        "n",
+        "k",
+        "lambda",
+        "E[tau] (2-adjacent)",
+        "E[tau]/n^2",
+        "E[T] (consensus)",
+        "eq.(4) bound",
+    ]);
+    let mut tau_points = Vec::new();
+    let mut bound_points = Vec::new();
+    for &n in &ns {
+        let g = generators::complete(n).unwrap();
+        let lambda = 1.0 / (n as f64 - 1.0);
+        let (tau, total) = measure(&g, k, &cfg, n as u64);
+        let bound = theory::expected_reduction_time_bound(n, k, lambda);
+        tau_points.push((n as f64, tau.mean));
+        bound_points.push((n as f64, bound));
+        table.row(&[
+            format!("K_{n}"),
+            n.to_string(),
+            k.to_string(),
+            format!("{lambda:.4}"),
+            format!("{:.0} ± {:.0}", tau.mean, tau.std_error()),
+            format!("{:.4}", tau.mean / (n * n) as f64),
+            format!("{:.0}", total.mean),
+            format!("{bound:.0}"),
+        ]);
+    }
+    // Random regular: λ roughly constant in n, bound again ~n^{5/3} log n.
+    let d = 8;
+    let mut reg_tau_points = Vec::new();
+    for &n in &ns {
+        let mut grng = StdRng::seed_from_u64(cfg.seed ^ n as u64 ^ 0xBEEF);
+        let g = loop {
+            let g = generators::random_regular(n, d, &mut grng).unwrap();
+            if algo::is_connected(&g) {
+                break g;
+            }
+        };
+        let lambda = div_spectral::lambda(&g).unwrap();
+        let (tau, total) = measure(&g, k, &cfg, n as u64 ^ 0xF00D);
+        let bound = theory::expected_reduction_time_bound(n, k, lambda);
+        reg_tau_points.push((n as f64, tau.mean));
+        table.row(&[
+            format!("rand {d}-reg"),
+            n.to_string(),
+            k.to_string(),
+            format!("{lambda:.4}"),
+            format!("{:.0} ± {:.0}", tau.mean, tau.std_error()),
+            format!("{:.4}", tau.mean / (n * n) as f64),
+            format!("{:.0}", total.mean),
+            format!("{bound:.0}"),
+        ]);
+    }
+    emit(&table, &cfg);
+
+    let fit = log_log_fit(&tau_points);
+    let bound_fit = log_log_fit(&bound_points);
+    let reg_fit = log_log_fit(&reg_tau_points);
+    println!(
+        "growth exponent of E[tau] in n:  K_n measured {:.2} (R²={:.3})  vs bound slope {:.2}",
+        fit.slope, fit.r_squared, bound_fit.slope
+    );
+    println!(
+        "                                 rand-regular measured {:.2}",
+        reg_fit.slope
+    );
+    println!("expected shape: measured slope ≤ bound slope, and E[tau]/n² decreasing\n");
+
+    // --- Sweep k at fixed n. ---
+    let n = cfg.size(300, 80);
+    let g = generators::complete(n).unwrap();
+    let lambda = 1.0 / (n as f64 - 1.0);
+    // k = 2 starts two-adjacent (τ ≡ 0), so the sweep starts at 3.
+    let ks: Vec<usize> = if cfg.quick {
+        vec![3, 6, 12]
+    } else {
+        vec![3, 6, 12, 24, 48]
+    };
+    let mut ktable = Table::new(&["graph", "n", "k", "E[tau]", "E[tau]/k", "eq.(4) bound"]);
+    let mut k_points = Vec::new();
+    for &kk in &ks {
+        let (tau, _) = measure(&g, kk, &cfg, kk as u64 ^ 0xAAAA);
+        k_points.push((kk as f64, tau.mean));
+        ktable.row(&[
+            format!("K_{n}"),
+            n.to_string(),
+            kk.to_string(),
+            format!("{:.0} ± {:.0}", tau.mean, tau.std_error()),
+            format!("{:.0}", tau.mean / kk as f64),
+            format!(
+                "{:.0}",
+                theory::expected_reduction_time_bound(n, kk, lambda)
+            ),
+        ]);
+    }
+    emit(&ktable, &cfg);
+    let kfit = log_log_fit(&k_points);
+    println!(
+        "growth exponent of E[tau] in k: measured {:.2} (bound: ≤ 1, the k·n log n term)",
+        kfit.slope
+    );
+    println!("expected shape: E[tau] grows at most linearly in k");
+}

@@ -1,0 +1,115 @@
+//! E5 — the non-expander counterexample: on the path, DIV can converge to
+//! an opinion other than `⌊c⌋`/`⌈c⌉` with constant probability.
+//!
+//! The path has `λ₂ = 1 − O(1/n²)`, so the `λk = o(1)` hypothesis of
+//! Theorem 2 fails.  With opinions `{0, 1, 2}` laid out in *blocks* along
+//! the path (a 0-block, a 1-block, a 2-block), each of the three opinions
+//! wins with positive probability (Theorem 3 of the OPODIS'23 full paper):
+//! the interface between adjacent blocks does an unbiased random walk, so
+//! which block survives is essentially a gambler's-ruin race, not a mean
+//! computation.  The expander control row shows the contrast: same `k`,
+//! same initial counts, but the winner snaps to `⌊c⌋`/`⌈c⌉`.
+
+use div_bench::{banner, emit, ExpConfig};
+use div_core::{init, theory, DivProcess, EdgeScheduler};
+use div_graph::generators;
+use div_sim::stats::{wilson_interval, Z95};
+use div_sim::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ExpConfig::from_args(300);
+    banner(
+        "E5",
+        "path-graph counterexample (λk = Ω(1))",
+        "with blocked opinions {0,1,2} on a path, every opinion wins with positive probability",
+        &cfg,
+    );
+
+    let n = cfg.size(60, 24); // divisible by 3
+    let third = n / 3;
+    let path = generators::path(n).unwrap();
+    let lambda2 = div_spectral::lambda_two(&path).unwrap();
+    println!(
+        "path λ₂ = {lambda2:.6} (so λ·k ≈ {:.2}: hypothesis violated)\n",
+        lambda2 * 3.0
+    );
+
+    // Blocked layout: 0s, then 1s, then 2s; c = 1 exactly.
+    let blocked = init::blocks(&[(0, third), (1, third), (2, n - 2 * third)]).unwrap();
+    let c = init::average(&blocked);
+    let pred = theory::win_prediction(c);
+
+    let mut wins = [0u64; 3];
+    let mut cap_hit = 0u64;
+    let outcomes = div_sim::run_trials(cfg.trials, cfg.seed, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = DivProcess::new(&path, blocked.clone(), EdgeScheduler::new()).unwrap();
+        // The path mixes slowly: allow a generous budget, far beyond the
+        // typical O(n³) gambler's-ruin time.
+        let budget = (n as u64).pow(3) * 50;
+        p.run_to_consensus(budget, &mut rng).consensus_opinion()
+    });
+    for w in outcomes {
+        match w {
+            Some(op) if (0..=2).contains(&op) => wins[op as usize] += 1,
+            Some(_) => unreachable!("winner outside initial range"),
+            None => cap_hit += 1,
+        }
+    }
+
+    let mut table = Table::new(&[
+        "graph",
+        "winner",
+        "Theorem-2 prediction (if it applied)",
+        "measured [95% CI]",
+    ]);
+    let decided = cfg.trials as u64 - cap_hit;
+    for (op, &won) in wins.iter().enumerate() {
+        let (lo, hi) = wilson_interval(won, decided.max(1), Z95);
+        table.row(&[
+            format!("path n={n}, blocked 0|1|2"),
+            op.to_string(),
+            format!("{:.3}", pred.probability_of(op as i64)),
+            format!(
+                "{:.3} [{lo:.3}, {hi:.3}]",
+                won as f64 / decided.max(1) as f64
+            ),
+        ]);
+    }
+
+    // Expander control: same counts on K_n — opinion 1 must win (c = 1).
+    let complete = generators::complete(n).unwrap();
+    let mut control = [0u64; 3];
+    let control_outcomes = div_sim::run_trials(cfg.trials, cfg.seed ^ 1, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions =
+            init::shuffled_blocks(&[(0, third), (1, third), (2, n - 2 * third)], &mut rng).unwrap();
+        let mut p = DivProcess::new(&complete, opinions, EdgeScheduler::new()).unwrap();
+        p.run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .expect("complete graph converges")
+    });
+    for w in control_outcomes {
+        control[w as usize] += 1;
+    }
+    for (op, &won) in control.iter().enumerate() {
+        let (lo, hi) = wilson_interval(won, cfg.trials as u64, Z95);
+        table.row(&[
+            format!("K_{n} (control), same counts"),
+            op.to_string(),
+            format!("{:.3}", pred.probability_of(op as i64)),
+            format!("{:.3} [{lo:.3}, {hi:.3}]", won as f64 / cfg.trials as f64),
+        ]);
+    }
+
+    emit(&table, &cfg);
+    if cap_hit > 0 {
+        println!("({cap_hit} path trials hit the step cap and were excluded)");
+    }
+    println!(
+        "expected shape: on the path all three opinions have win rate bounded away from 0\n\
+         (extremes 0 and 2 each ≈ 1/3 under the blocked layout); on K_n opinion 1 wins ≈ always"
+    );
+}

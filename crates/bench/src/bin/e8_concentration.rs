@@ -1,0 +1,88 @@
+//! E8 — strong concentration of the final average on `K_n`.
+//!
+//! The paper's "Strong concentration of final average" section argues
+//! that on `K_n`, with `δ = min(c − ⌊c⌋, ⌈c⌉ − c)` constant, the
+//! probability DIV returns anything other than `⌊c⌋`/`⌈c⌉` decays like
+//! `exp(−Ω(n^{1/4}))`-ish — super-polynomially.  This experiment sweeps
+//! `n` with a δ-separated initial average (`c = x.5`) and reports the
+//! failure rate, which should fall rapidly toward 0 while `n` grows.
+
+use div_bench::{banner, emit, ExpConfig};
+use div_core::{init, theory, DivProcess, EdgeScheduler};
+use div_graph::generators;
+use div_sim::stats::{wilson_interval, Z95};
+use div_sim::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ExpConfig::from_args(400);
+    banner(
+        "E8",
+        "concentration of the final average on K_n",
+        "P[winner ∉ {⌊c⌋, ⌈c⌉}] decays super-polynomially in n (δ-separated c)",
+        &cfg,
+    );
+
+    let ns: Vec<usize> = if cfg.quick {
+        vec![16, 32, 64]
+    } else {
+        vec![16, 32, 64, 128, 256, 512]
+    };
+    let k = 6i64;
+
+    let mut table = Table::new(&[
+        "n",
+        "c",
+        "failures",
+        "trials",
+        "P[fail] [95% CI]",
+        "Azuma-style bound at T*=n^2",
+    ]);
+    let mut rates = Vec::new();
+    for &n in &ns {
+        // Half at 2, half at 5: c = 3.5, δ = 1/2, support spans [1, 6]-ish
+        // subrange of k = 6 values.
+        let half = n / 2;
+        let spec = [(2i64, half), (5, n - half)];
+        let c = init::average(&init::blocks(&spec).unwrap());
+        let pred = theory::win_prediction(c);
+        let failures: u64 = div_sim::run_trials(cfg.trials, cfg.seed ^ n as u64, |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::complete(n).unwrap();
+            let opinions = init::shuffled_blocks(&spec, &mut rng).unwrap();
+            let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+            let w = p
+                .run_to_consensus(u64::MAX, &mut rng)
+                .consensus_opinion()
+                .expect("K_n converges");
+            u64::from(w != pred.lower && w != pred.upper)
+        })
+        .into_iter()
+        .sum();
+        let (lo, hi) = wilson_interval(failures, cfg.trials as u64, Z95);
+        let rate = failures as f64 / cfg.trials as f64;
+        rates.push((n, rate));
+        // Heuristic bound for the table: to miss {⌊c⌋,⌈c⌉} the weight must
+        // drift by δn within the run; eq. (5) at t = n² gives the scale.
+        let bound = theory::azuma_weight_tail(0.5 * n as f64, (n as u64).pow(2));
+        table.row(&[
+            n.to_string(),
+            format!("{c:.1}"),
+            failures.to_string(),
+            cfg.trials.to_string(),
+            format!("{rate:.4} [{lo:.4}, {hi:.4}]"),
+            format!("{bound:.4}"),
+        ]);
+        let _ = k;
+    }
+    emit(&table, &cfg);
+    let first = rates.first().unwrap().1;
+    let last = rates.last().unwrap().1;
+    println!(
+        "expected shape: failure rate falls from {first:.3} (n={}) toward 0 (n={}: {last:.3});\n\
+         decay is faster than any fixed power of n",
+        rates.first().unwrap().0,
+        rates.last().unwrap().0
+    );
+}

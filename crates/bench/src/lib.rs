@@ -1,0 +1,182 @@
+//! Shared glue for the experiment binaries (`src/bin/e*.rs`).
+//!
+//! Every binary reproduces one quantitative claim of the DIV paper (the
+//! experiment index lives in `DESIGN.md`; results are recorded in
+//! `EXPERIMENTS.md`).  They share a tiny command-line convention:
+//!
+//! ```text
+//! e1_win_distribution [--trials N] [--seed S] [--quick] [--csv]
+//! ```
+//!
+//! `--quick` shrinks sizes/trials for smoke runs (used by CI-style
+//! checks); `--csv` additionally prints machine-readable rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spec;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Number of Monte-Carlo trials per table row.
+    pub trials: usize,
+    /// Master seed for the deterministic seed stream.
+    pub seed: u64,
+    /// Whether to shrink the workload for a smoke run.
+    pub quick: bool,
+    /// Whether to also emit CSV.
+    pub csv: bool,
+}
+
+impl ExpConfig {
+    /// Parses `std::env::args`, with the given default trial count.
+    ///
+    /// Unknown flags and malformed values abort with a usage message
+    /// (exit code 2); this is an experiment binary, not a library entry
+    /// point.
+    pub fn from_args(default_trials: usize) -> Self {
+        match Self::parse(default_trials, std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("{msg}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Testable parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        default_trials: usize,
+        args: I,
+    ) -> Result<Self, String> {
+        let mut cfg = ExpConfig {
+            trials: default_trials,
+            seed: 0xD117_5EED, // stable default master seed
+            quick: false,
+            csv: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    cfg.trials = it
+                        .next()
+                        .ok_or("--trials needs a value")?
+                        .parse()
+                        .map_err(|_| "--trials needs an integer".to_string())?;
+                }
+                "--seed" => {
+                    cfg.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?;
+                }
+                "--quick" => cfg.quick = true,
+                "--csv" => cfg.csv = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: <experiment> [--trials N] [--seed S] [--quick] [--csv]");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if cfg.quick {
+            cfg.trials = (cfg.trials / 10).max(8);
+        }
+        Ok(cfg)
+    }
+
+    /// Scales a size parameter down in quick mode.
+    pub fn size(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Prints the banner every experiment starts with.
+pub fn banner(id: &str, title: &str, claim: &str, cfg: &ExpConfig) {
+    println!("== {id}: {title} ==");
+    println!("paper claim: {claim}");
+    println!(
+        "trials/row: {}   master seed: {}   mode: {}",
+        cfg.trials,
+        cfg.seed,
+        if cfg.quick { "quick" } else { "full" }
+    );
+    println!();
+}
+
+/// Prints a rendered table, and its CSV when requested.
+pub fn emit(table: &div_sim::table::Table, cfg: &ExpConfig) {
+    println!("{}", table.render());
+    if cfg.csv {
+        println!("-- csv --");
+        print!("{}", table.to_csv());
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let c = ExpConfig::parse(100, strings(&[])).unwrap();
+        assert_eq!(c.trials, 100);
+        assert!(!c.quick);
+        assert!(!c.csv);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let c =
+            ExpConfig::parse(100, strings(&["--trials", "42", "--seed", "7", "--csv"])).unwrap();
+        assert_eq!(c.trials, 42);
+        assert_eq!(c.seed, 7);
+        assert!(c.csv);
+    }
+
+    #[test]
+    fn quick_shrinks_trials_and_sizes() {
+        let c = ExpConfig::parse(200, strings(&["--quick"])).unwrap();
+        assert!(c.quick);
+        assert_eq!(c.trials, 20);
+        assert_eq!(c.size(1000, 64), 64);
+        let full = ExpConfig::parse(200, strings(&[])).unwrap();
+        assert_eq!(full.size(1000, 64), 1000);
+    }
+
+    #[test]
+    fn quick_has_a_floor() {
+        let c = ExpConfig::parse(10, strings(&["--quick"])).unwrap();
+        assert_eq!(c.trials, 8);
+    }
+
+    #[test]
+    fn malformed_flags_are_errors_not_panics() {
+        assert!(ExpConfig::parse(10, strings(&["--trials", "abc"]))
+            .unwrap_err()
+            .contains("--trials needs an integer"));
+        assert!(ExpConfig::parse(10, strings(&["--seed"]))
+            .unwrap_err()
+            .contains("--seed needs a value"));
+        assert!(ExpConfig::parse(10, strings(&["--wat"]))
+            .unwrap_err()
+            .contains("unknown flag --wat"));
+    }
+}

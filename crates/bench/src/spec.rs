@@ -1,0 +1,224 @@
+//! Text specs for graphs and initial opinions, used by the `divlab` CLI.
+//!
+//! Graph specs (`family:params`):
+//!
+//! ```text
+//! complete:N            path:N              cycle:N           star:N
+//! wheel:N               grid:RxC            torus:RxC         hypercube:D
+//! binary-tree:N         barbell:H:B         lollipop:H:T      double-star:L:R
+//! circulant:N:s1,s2,…   multipartite:a,b,…  regular:N:D       gnp:N:P
+//! ws:N:K:BETA           ba:N:M
+//! ```
+//!
+//! Random families (`regular`, `gnp`, `ws`, `ba`) consume the provided
+//! RNG, so the same seed reproduces the same graph.
+//!
+//! Opinion specs:
+//!
+//! ```text
+//! uniform:K             # i.i.d. uniform over 1..=K
+//! spread:K              # round-robin 1..=K
+//! blocks:VxC,VxC,…      # C vertices at opinion V, shuffled
+//! ```
+
+use div_core::init;
+use div_graph::{generators, Graph};
+use rand::Rng;
+
+/// Parses a graph spec; see the module docs for the grammar.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown families, wrong arity, or
+/// invalid parameters.
+pub fn parse_graph<R: Rng + ?Sized>(spec: &str, rng: &mut R) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let usage = |msg: &str| format!("bad graph spec {spec:?}: {msg}");
+    let int = |s: &str| s.parse::<usize>().map_err(|_| usage("expected an integer"));
+    let float = |s: &str| s.parse::<f64>().map_err(|_| usage("expected a number"));
+    let dims = |s: &str| -> Result<(usize, usize), String> {
+        let (a, b) = s
+            .split_once('x')
+            .ok_or_else(|| usage("expected RxC dimensions"))?;
+        Ok((int(a)?, int(b)?))
+    };
+    let list = |s: &str| -> Result<Vec<usize>, String> { s.split(',').map(int).collect() };
+
+    let built = match parts.as_slice() {
+        ["complete", n] => generators::complete(int(n)?),
+        ["path", n] => generators::path(int(n)?),
+        ["cycle", n] => generators::cycle(int(n)?),
+        ["star", n] => generators::star(int(n)?),
+        ["wheel", n] => generators::wheel(int(n)?),
+        ["grid", d] => {
+            let (r, c) = dims(d)?;
+            generators::grid2d(r, c)
+        }
+        ["torus", d] => {
+            let (r, c) = dims(d)?;
+            generators::torus2d(r, c)
+        }
+        ["hypercube", d] => generators::hypercube(
+            int(d)?
+                .try_into()
+                .map_err(|_| usage("hypercube dimension too large"))?,
+        ),
+        ["binary-tree", n] => generators::binary_tree(int(n)?),
+        ["barbell", h, b] => generators::barbell(int(h)?, int(b)?),
+        ["lollipop", h, t] => generators::lollipop(int(h)?, int(t)?),
+        ["double-star", l, r] => generators::double_star(int(l)?, int(r)?),
+        ["circulant", n, strides] => generators::circulant(int(n)?, &list(strides)?),
+        ["multipartite", parts] => generators::complete_multipartite(&list(parts)?),
+        ["regular", n, d] => generators::random_regular(int(n)?, int(d)?, rng),
+        ["gnp", n, p] => generators::gnp(int(n)?, float(p)?, rng),
+        ["ws", n, k, beta] => generators::watts_strogatz(int(n)?, int(k)?, float(beta)?, rng),
+        ["ba", n, m] => generators::barabasi_albert(int(n)?, int(m)?, rng),
+        [family, ..] => return Err(usage(&format!("unknown family {family:?}"))),
+        [] => return Err(usage("empty spec")),
+    };
+    built.map_err(|e| usage(&e.to_string()))
+}
+
+/// Parses an opinion spec for a graph with `n` vertices; see the module
+/// docs for the grammar.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown kinds or invalid
+/// parameters (including block counts that do not sum to `n`).
+pub fn parse_opinions<R: Rng + ?Sized>(
+    spec: &str,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<i64>, String> {
+    let usage = |msg: &str| format!("bad opinion spec {spec:?}: {msg}");
+    match spec.split_once(':') {
+        Some(("uniform", k)) => {
+            let k: usize = k.parse().map_err(|_| usage("expected an integer k"))?;
+            init::uniform_random(n, k, rng).map_err(|e| usage(&e.to_string()))
+        }
+        Some(("spread", k)) => {
+            let k: usize = k.parse().map_err(|_| usage("expected an integer k"))?;
+            init::spread(n, k).map_err(|e| usage(&e.to_string()))
+        }
+        Some(("blocks", body)) => {
+            let mut blocks = Vec::new();
+            for item in body.split(',') {
+                let (v, c) = item
+                    .split_once('x')
+                    .ok_or_else(|| usage("blocks need VxC items"))?;
+                let v: i64 = v.parse().map_err(|_| usage("bad block value"))?;
+                let c: usize = c.parse().map_err(|_| usage("bad block count"))?;
+                blocks.push((v, c));
+            }
+            let total: usize = blocks.iter().map(|&(_, c)| c).sum();
+            if total != n {
+                return Err(usage(&format!(
+                    "block counts sum to {total}, but the graph has {n} vertices"
+                )));
+            }
+            init::shuffled_blocks(&blocks, rng).map_err(|e| usage(&e.to_string()))
+        }
+        _ => Err(usage("expected uniform:K, spread:K or blocks:VxC,…")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn deterministic_specs() {
+        let mut r = rng();
+        assert_eq!(parse_graph("complete:10", &mut r).unwrap().num_edges(), 45);
+        assert_eq!(parse_graph("path:5", &mut r).unwrap().num_edges(), 4);
+        assert_eq!(parse_graph("grid:3x4", &mut r).unwrap().num_vertices(), 12);
+        assert_eq!(parse_graph("torus:3x3", &mut r).unwrap().num_edges(), 18);
+        assert_eq!(
+            parse_graph("hypercube:4", &mut r).unwrap().num_vertices(),
+            16
+        );
+        assert_eq!(
+            parse_graph("barbell:4:2", &mut r).unwrap().num_vertices(),
+            10
+        );
+        assert_eq!(
+            parse_graph("circulant:10:1,3", &mut r)
+                .unwrap()
+                .min_degree(),
+            4
+        );
+        assert_eq!(
+            parse_graph("multipartite:2,2,2", &mut r)
+                .unwrap()
+                .num_edges(),
+            12
+        );
+        assert_eq!(
+            parse_graph("double-star:3:4", &mut r)
+                .unwrap()
+                .num_vertices(),
+            9
+        );
+    }
+
+    #[test]
+    fn random_specs_are_seed_reproducible() {
+        let a = parse_graph("gnp:50:0.2", &mut rng()).unwrap();
+        let b = parse_graph("gnp:50:0.2", &mut rng()).unwrap();
+        assert_eq!(a, b);
+        let r1 = parse_graph("regular:40:4", &mut rng()).unwrap();
+        assert!(r1.is_regular());
+        assert_eq!(r1.min_degree(), 4);
+        let ws = parse_graph("ws:30:4:0.2", &mut rng()).unwrap();
+        assert_eq!(ws.num_edges(), 60);
+        let ba = parse_graph("ba:30:2", &mut rng()).unwrap();
+        assert_eq!(ba.num_vertices(), 30);
+    }
+
+    #[test]
+    fn graph_spec_errors_are_descriptive() {
+        let mut r = rng();
+        for bad in [
+            "unknown:5",
+            "complete",
+            "complete:x",
+            "grid:3",
+            "",
+            "path:1",
+            "gnp:10:1.5",
+        ] {
+            let err = parse_graph(bad, &mut r).unwrap_err();
+            assert!(err.contains("bad graph spec"), "{err}");
+        }
+    }
+
+    #[test]
+    fn opinion_specs() {
+        let mut r = rng();
+        let u = parse_opinions("uniform:5", 100, &mut r).unwrap();
+        assert!(u.iter().all(|&x| (1..=5).contains(&x)));
+        let s = parse_opinions("spread:3", 7, &mut r).unwrap();
+        assert_eq!(s, vec![1, 2, 3, 1, 2, 3, 1]);
+        let b = parse_opinions("blocks:1x3,9x2", 5, &mut r).unwrap();
+        assert_eq!(b.iter().filter(|&&x| x == 1).count(), 3);
+        assert_eq!(b.iter().filter(|&&x| x == 9).count(), 2);
+    }
+
+    #[test]
+    fn opinion_spec_errors() {
+        let mut r = rng();
+        assert!(parse_opinions("nope:3", 5, &mut r).is_err());
+        assert!(parse_opinions("uniform:x", 5, &mut r).is_err());
+        assert!(parse_opinions("blocks:1x2", 5, &mut r)
+            .unwrap_err()
+            .contains("sum to 2"));
+        assert!(parse_opinions("blocks:1-2", 5, &mut r).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring a voting process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DivError {
+    /// The opinion vector was empty.
+    EmptyOpinions,
+    /// The opinion vector's length did not match the graph's vertex count.
+    LengthMismatch {
+        /// The graph's vertex count.
+        expected: usize,
+        /// The opinion vector's length.
+        got: usize,
+    },
+    /// An initial-opinion constructor was given an invalid parameter.
+    InvalidInit {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The graph has an isolated vertex; pull-style processes need every
+    /// vertex to have at least one neighbour to observe.
+    IsolatedVertex {
+        /// The isolated vertex.
+        vertex: usize,
+    },
+    /// The opinion span is too large for the dense per-opinion bookkeeping
+    /// (the paper's regime is `k = o(n/log n)`, far below this limit).
+    SpanTooLarge {
+        /// Smallest initial opinion.
+        min: i64,
+        /// Largest initial opinion.
+        max: i64,
+        /// The supported maximum span.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivError::EmptyOpinions => write!(f, "opinion vector must be non-empty"),
+            DivError::LengthMismatch { expected, got } => write!(
+                f,
+                "opinion vector has {got} entries but the graph has {expected} vertices"
+            ),
+            DivError::InvalidInit { reason } => {
+                write!(f, "invalid initial-opinion parameter: {reason}")
+            }
+            DivError::IsolatedVertex { vertex } => write!(
+                f,
+                "vertex {vertex} is isolated; every vertex needs a neighbour to observe"
+            ),
+            DivError::SpanTooLarge { min, max, limit } => write!(
+                f,
+                "opinion span [{min}, {max}] exceeds the supported width {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for DivError {}
+
+impl DivError {
+    /// Convenience constructor for [`DivError::InvalidInit`].
+    pub fn invalid_init(reason: impl Into<String>) -> Self {
+        DivError::InvalidInit {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert!(DivError::EmptyOpinions.to_string().contains("non-empty"));
+        assert!(DivError::LengthMismatch {
+            expected: 5,
+            got: 3
+        }
+        .to_string()
+        .contains("3 entries"));
+        assert!(DivError::invalid_init("k must be >= 1")
+            .to_string()
+            .contains("k must be >= 1"));
+        assert!(DivError::SpanTooLarge {
+            min: 0,
+            max: 1 << 40,
+            limit: 1 << 24
+        }
+        .to_string()
+        .contains("span"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<DivError>();
+    }
+}

@@ -1,0 +1,284 @@
+//! Initial-opinion constructors.
+//!
+//! The paper takes initial opinions from `{1, …, k}`; these helpers build
+//! the initial vectors used across the experiments: uniform random
+//! ([`uniform_random`]), fixed block counts ([`blocks`], [`shuffled_blocks`]),
+//! an even spread ([`spread`]), a categorical distribution
+//! ([`categorical`]), and explicit placement ([`placed`]).
+
+use rand::Rng;
+
+use crate::DivError;
+
+/// Each vertex draws an independent uniform opinion from `1..=k`.
+///
+/// # Errors
+///
+/// Returns [`DivError::InvalidInit`] if `n == 0` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), div_core::DivError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let x = div_core::init::uniform_random(100, 5, &mut rng)?;
+/// assert!(x.iter().all(|&v| (1..=5).contains(&v)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn uniform_random<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<i64>, DivError> {
+    if n == 0 {
+        return Err(DivError::invalid_init("n must be >= 1"));
+    }
+    if k == 0 {
+        return Err(DivError::invalid_init("k must be >= 1"));
+    }
+    Ok((0..n).map(|_| rng.gen_range(1..=k as i64)).collect())
+}
+
+/// Deterministic blocks: `count` consecutive vertices per `(opinion, count)`
+/// pair, in order.
+///
+/// # Errors
+///
+/// Returns [`DivError::InvalidInit`] if the blocks are empty or any count
+/// is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_core::DivError> {
+/// let x = div_core::init::blocks(&[(1, 2), (5, 3)])?;
+/// assert_eq!(x, vec![1, 1, 5, 5, 5]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn blocks(spec: &[(i64, usize)]) -> Result<Vec<i64>, DivError> {
+    if spec.is_empty() {
+        return Err(DivError::invalid_init("block spec must be non-empty"));
+    }
+    let mut out = Vec::new();
+    for &(opinion, count) in spec {
+        if count == 0 {
+            return Err(DivError::invalid_init(format!(
+                "block for opinion {opinion} has count 0"
+            )));
+        }
+        out.extend(std::iter::repeat_n(opinion, count));
+    }
+    Ok(out)
+}
+
+/// Like [`blocks`] but with the vertex assignment shuffled, so that opinion
+/// classes are not correlated with vertex ids (important on structured
+/// graphs such as paths and grids).
+///
+/// # Errors
+///
+/// Same conditions as [`blocks`].
+pub fn shuffled_blocks<R: Rng + ?Sized>(
+    spec: &[(i64, usize)],
+    rng: &mut R,
+) -> Result<Vec<i64>, DivError> {
+    let mut out = blocks(spec)?;
+    for i in (1..out.len()).rev() {
+        out.swap(i, rng.gen_range(0..=i));
+    }
+    Ok(out)
+}
+
+/// An even spread over `1..=k`: vertex `v` gets opinion `1 + (v mod k)`.
+/// The initial average is `(k + 1)/2` up to a remainder term.
+///
+/// # Errors
+///
+/// Returns [`DivError::InvalidInit`] if `n == 0` or `k == 0`.
+pub fn spread(n: usize, k: usize) -> Result<Vec<i64>, DivError> {
+    if n == 0 {
+        return Err(DivError::invalid_init("n must be >= 1"));
+    }
+    if k == 0 {
+        return Err(DivError::invalid_init("k must be >= 1"));
+    }
+    Ok((0..n).map(|v| 1 + (v % k) as i64).collect())
+}
+
+/// Each vertex draws opinion `i + 1` with probability `weights[i] / Σw`.
+///
+/// Used for the skewed mode-vs-mean-vs-median workloads (experiment E6).
+///
+/// # Errors
+///
+/// Returns [`DivError::InvalidInit`] if `n == 0`, the weight vector is
+/// empty, any weight is negative or non-finite, or all weights are zero.
+pub fn categorical<R: Rng + ?Sized>(
+    n: usize,
+    weights: &[f64],
+    rng: &mut R,
+) -> Result<Vec<i64>, DivError> {
+    if n == 0 {
+        return Err(DivError::invalid_init("n must be >= 1"));
+    }
+    if weights.is_empty() {
+        return Err(DivError::invalid_init("weights must be non-empty"));
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(DivError::invalid_init(
+            "weights must be finite and non-negative",
+        ));
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(DivError::invalid_init("weights must not all be zero"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut u = rng.gen::<f64>() * total;
+        let mut chosen = weights.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if u < w {
+                chosen = i;
+                break;
+            }
+            u -= w;
+        }
+        out.push(chosen as i64 + 1);
+    }
+    Ok(out)
+}
+
+/// Explicit placement: `assignment[v]` is the opinion of vertex `v`.
+///
+/// This is a validating identity function, provided so call sites read
+/// uniformly with the other constructors.
+///
+/// # Errors
+///
+/// Returns [`DivError::EmptyOpinions`] if the vector is empty.
+pub fn placed(assignment: Vec<i64>) -> Result<Vec<i64>, DivError> {
+    if assignment.is_empty() {
+        return Err(DivError::EmptyOpinions);
+    }
+    Ok(assignment)
+}
+
+/// The plain average `Σ X_v / n` of an opinion vector — the quantity `c`
+/// of the edge process.
+///
+/// # Panics
+///
+/// Panics if `opinions` is empty.
+pub fn average(opinions: &[i64]) -> f64 {
+    assert!(!opinions.is_empty(), "average of an empty opinion vector");
+    opinions.iter().sum::<i64>() as f64 / opinions.len() as f64
+}
+
+/// The degree-weighted average `Σ π_v X_v` — the quantity `c` of the
+/// vertex process.
+///
+/// # Panics
+///
+/// Panics if `opinions.len()` differs from the graph's vertex count.
+pub fn degree_weighted_average(g: &div_graph::Graph, opinions: &[i64]) -> f64 {
+    assert_eq!(
+        opinions.len(),
+        g.num_vertices(),
+        "one opinion per vertex required"
+    );
+    let weighted: i64 = g.vertices().map(|v| g.degree(v) as i64 * opinions[v]).sum();
+    weighted as f64 / g.total_degree() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_random_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = uniform_random(1000, 7, &mut rng).unwrap();
+        assert_eq!(x.len(), 1000);
+        assert!(x.iter().all(|&v| (1..=7).contains(&v)));
+        // All 7 opinions should appear in 1000 draws.
+        for k in 1..=7 {
+            assert!(x.contains(&k), "opinion {k} missing");
+        }
+    }
+
+    #[test]
+    fn uniform_random_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(uniform_random(0, 5, &mut rng).is_err());
+        assert!(uniform_random(5, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn blocks_layout() {
+        let x = blocks(&[(2, 3), (9, 1), (2, 2)]).unwrap();
+        assert_eq!(x, vec![2, 2, 2, 9, 2, 2]);
+        assert!(blocks(&[]).is_err());
+        assert!(blocks(&[(1, 0)]).is_err());
+    }
+
+    #[test]
+    fn shuffled_blocks_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = shuffled_blocks(&[(1, 10), (3, 20)], &mut rng).unwrap();
+        assert_eq!(x.len(), 30);
+        assert_eq!(x.iter().filter(|&&v| v == 1).count(), 10);
+        assert_eq!(x.iter().filter(|&&v| v == 3).count(), 20);
+    }
+
+    #[test]
+    fn spread_average() {
+        let x = spread(100, 5).unwrap();
+        assert!((average(&x) - 3.0).abs() < 1e-12);
+        let y = spread(7, 3).unwrap();
+        assert_eq!(y, vec![1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = categorical(20_000, &[0.0, 1.0, 3.0], &mut rng).unwrap();
+        assert!(x.iter().all(|&v| v == 2 || v == 3));
+        let frac3 = x.iter().filter(|&&v| v == 3).count() as f64 / x.len() as f64;
+        assert!((frac3 - 0.75).abs() < 0.02, "got {frac3}");
+    }
+
+    #[test]
+    fn categorical_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(categorical(0, &[1.0], &mut rng).is_err());
+        assert!(categorical(5, &[], &mut rng).is_err());
+        assert!(categorical(5, &[-1.0, 2.0], &mut rng).is_err());
+        assert!(categorical(5, &[0.0, 0.0], &mut rng).is_err());
+        assert!(categorical(5, &[f64::NAN], &mut rng).is_err());
+    }
+
+    #[test]
+    fn placed_rejects_empty() {
+        assert_eq!(placed(vec![]).unwrap_err(), DivError::EmptyOpinions);
+        assert_eq!(placed(vec![4, 2]).unwrap(), vec![4, 2]);
+    }
+
+    #[test]
+    fn averages() {
+        let g = div_graph::generators::star(3).unwrap(); // degrees 2,1,1
+        let x = vec![4, 0, 8];
+        assert!((average(&x) - 4.0).abs() < 1e-12);
+        // (2*4 + 1*0 + 1*8)/4 = 4.
+        assert!((degree_weighted_average(&g, &x) - 4.0).abs() < 1e-12);
+        let y = vec![10, 0, 0];
+        // (20 + 0 + 0)/4 = 5 vs plain 10/3.
+        assert!((degree_weighted_average(&g, &y) - 5.0).abs() < 1e-12);
+        assert!((average(&y) - 10.0 / 3.0).abs() < 1e-12);
+    }
+}

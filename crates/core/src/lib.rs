@@ -1,0 +1,85 @@
+//! Discrete incremental voting (DIV) — the asynchronous, mean-seeking
+//! opinion dynamic of Cooper, Radzik and Shiraga (PODC 2023 brief
+//! announcement; full version *Discrete Incremental Voting on Expanders*).
+//!
+//! # The process
+//!
+//! Vertices of a connected graph hold integer opinions from `{1, …, k}`.
+//! At each asynchronous step a vertex `v` and a neighbour `w` are chosen
+//! (by the [`VertexScheduler`] or the [`EdgeScheduler`]), and `v` moves its
+//! opinion **one unit toward** `X_w`:
+//!
+//! ```text
+//! X_v < X_w  ⟹  X_v ← X_v + 1
+//! X_v = X_w  ⟹  X_v unchanged
+//! X_v > X_w  ⟹  X_v ← X_v − 1
+//! ```
+//!
+//! On expander graphs (`λ·k = o(1)`) the process reaches consensus on
+//! `⌊c⌋` or `⌈c⌉`, where `c` is the initial average opinion (degree-
+//! weighted for the vertex process) — DIV computes the **mean**, where
+//! classic pull voting computes the **mode** and median voting the
+//! **median**.
+//!
+//! # Quick start
+//!
+//! ```
+//! use div_core::{init, DivProcess, EdgeScheduler, RunStatus};
+//! use div_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::complete(60)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // 30 vertices at opinion 1, 30 at opinion 5: average 3.
+//! let opinions = init::blocks(&[(1, 30), (5, 30)])?;
+//! let mut process = DivProcess::new(&g, opinions, EdgeScheduler::new())?;
+//! match process.run_to_consensus(10_000_000, &mut rng) {
+//!     RunStatus::Consensus { opinion, .. } => assert_eq!(opinion, 3),
+//!     other => panic!("did not converge: {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`DivProcess`] — the dynamic itself, with `O(1)` steps and exact
+//!   integer bookkeeping of every quantity in the paper's lemmas
+//!   (`S(t)`, `Z(t)`, `N_i(t)`, `π(A_i(t))`, live opinion range).
+//! * [`init`] — initial-opinion constructors.
+//! * [`VertexScheduler`] / [`EdgeScheduler`] / [`BiasedVertexScheduler`] —
+//!   the paper's two selection rules plus an alias-table reformulation of
+//!   the edge process used for ablation.
+//! * [`StageLog`] — records the elimination order of extreme opinions (the
+//!   `{1,2,5} → … → {3}` traces of the paper's introduction).
+//! * [`theory`] — the paper's quantitative predictions: Lemma 5 win
+//!   probabilities, the eq. (4) time bound, the Azuma tail (5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod init;
+mod lossy;
+mod observer;
+mod process;
+mod scheduler;
+mod stage;
+mod state;
+mod synchronous;
+pub mod theory;
+
+pub use error::DivError;
+pub use lossy::LossyDiv;
+pub use observer::{RangeSample, RangeSeries, WeightSample, WeightSeries};
+pub use process::{DivProcess, RunStatus, StepEvent};
+pub use scheduler::{
+    BiasedVertexScheduler, EdgeScheduler, Scheduler, SelectionBias, VertexScheduler,
+};
+pub use stage::{EliminationEvent, StageLog};
+pub use state::OpinionState;
+pub use synchronous::SynchronousDiv;
+
+/// Crate-wide result alias.
+pub type Result<T, E = DivError> = std::result::Result<T, E>;

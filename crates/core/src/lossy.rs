@@ -1,0 +1,215 @@
+//! Fault injection: DIV over a lossy interaction medium (an extension).
+//!
+//! In a real network some observations fail — the sampled neighbour's
+//! message is dropped and the updater keeps its opinion.  Modelling each
+//! interaction as lost independently with probability `q`, the surviving
+//! interactions are an unbiased subsample of the original schedule, so
+//! the process is exactly DIV on a clock slowed by the factor `1/(1−q)`:
+//! the **winner law is invariant** and only the time dilates.
+//! Experiment E15 and the tests verify both facts.
+
+use div_graph::Graph;
+use rand::Rng;
+
+use crate::{DivError, OpinionState, RunStatus, Scheduler, StepEvent};
+
+/// DIV where each interaction is dropped (no-op, clock still advances)
+/// independently with probability `loss`.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{init, EdgeScheduler, LossyDiv};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(40)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+/// let opinions = init::blocks(&[(1, 20), (3, 20)])?; // c = 2
+/// let mut p = LossyDiv::new(&g, opinions, EdgeScheduler::new(), 0.3)?;
+/// let w = p.run_to_consensus(u64::MAX, &mut rng).consensus_opinion().unwrap();
+/// assert!((1..=3).contains(&w));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyDiv<'g, S> {
+    graph: &'g Graph,
+    scheduler: S,
+    state: OpinionState,
+    loss: f64,
+    steps: u64,
+    dropped: u64,
+}
+
+impl<'g, S: Scheduler> LossyDiv<'g, S> {
+    /// Creates the process; `loss` is the per-interaction drop
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivError::InvalidInit`] if `loss` is not in `[0, 1)`
+    /// (at `loss = 1` nothing ever happens), plus the validation errors
+    /// of [`OpinionState::new`].
+    pub fn new(
+        graph: &'g Graph,
+        opinions: Vec<i64>,
+        scheduler: S,
+        loss: f64,
+    ) -> Result<Self, DivError> {
+        if !(0.0..1.0).contains(&loss) {
+            return Err(DivError::invalid_init(format!(
+                "loss probability must be in [0, 1), got {loss}"
+            )));
+        }
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(LossyDiv {
+            graph,
+            scheduler,
+            state,
+            loss,
+            steps: 0,
+            dropped: 0,
+        })
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Steps taken so far (including dropped interactions).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Interactions dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// One step: draws the pair, then drops the observation with
+    /// probability `loss` (the event still reports the pair, with
+    /// `old == new`).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepEvent {
+        let (v, w) = self.scheduler.pick(self.graph, rng);
+        self.steps += 1;
+        let old = self.state.opinion(v);
+        if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
+            self.dropped += 1;
+            return StepEvent {
+                step: self.steps,
+                vertex: v,
+                observed: w,
+                old,
+                new: old,
+            };
+        }
+        let new = old + (self.state.opinion(w) - old).signum();
+        if new != old {
+            self.state.set_opinion(v, new);
+        }
+        StepEvent {
+            step: self.steps,
+            vertex: v,
+            observed: w,
+            old,
+            new,
+        }
+    }
+
+    /// Runs until consensus or until the budget is spent.
+    pub fn run_to_consensus<R: Rng + ?Sized>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        let mut remaining = max_steps;
+        while !self.state.is_consensus() {
+            if remaining == 0 {
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            self.step(rng);
+        }
+        RunStatus::Consensus {
+            opinion: self.state.min_opinion(),
+            steps: self.steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, EdgeScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_probability_validated() {
+        let g = generators::complete(4).unwrap();
+        assert!(LossyDiv::new(&g, vec![1; 4], EdgeScheduler::new(), 1.0).is_err());
+        assert!(LossyDiv::new(&g, vec![1; 4], EdgeScheduler::new(), -0.1).is_err());
+        assert!(LossyDiv::new(&g, vec![1; 4], EdgeScheduler::new(), 0.0).is_ok());
+    }
+
+    #[test]
+    fn drop_rate_matches_configuration() {
+        let g = generators::complete(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let opinions = init::spread(20, 5).unwrap();
+        let mut p = LossyDiv::new(&g, opinions, EdgeScheduler::new(), 0.4).unwrap();
+        for _ in 0..20_000 {
+            p.step(&mut rng);
+        }
+        let rate = p.dropped() as f64 / p.steps() as f64;
+        assert!((rate - 0.4).abs() < 0.02, "drop rate {rate}");
+        assert!((p.loss() - 0.4).abs() < 1e-12);
+        p.state().check_invariants();
+    }
+
+    #[test]
+    fn still_converges_and_time_dilates() {
+        let g = generators::complete(40).unwrap();
+        let spec = [(1i64, 20), (5, 20)];
+        let trials = 40;
+        let mean_time = |loss: f64, master: u64| -> f64 {
+            let mut total = 0u64;
+            for t in 0..trials {
+                let mut rng = StdRng::seed_from_u64(master + t);
+                let opinions = init::shuffled_blocks(&spec, &mut rng).unwrap();
+                let mut p = LossyDiv::new(&g, opinions, EdgeScheduler::new(), loss).unwrap();
+                let status = p.run_to_consensus(u64::MAX, &mut rng);
+                assert!(status.consensus_opinion().is_some());
+                total += status.steps();
+            }
+            total as f64 / trials as f64
+        };
+        let clean = mean_time(0.0, 100);
+        let lossy = mean_time(0.5, 200);
+        // Time dilation factor 1/(1−0.5) = 2, within Monte-Carlo noise.
+        let ratio = lossy / clean;
+        assert!((1.5..3.0).contains(&ratio), "dilation ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_loss_matches_plain_div_exactly() {
+        // With loss = 0 every RNG draw goes to the scheduler in the same
+        // order as DivProcess, so trajectories coincide step for step.
+        let g = generators::wheel(15).unwrap();
+        let opinions = init::spread(15, 6).unwrap();
+        let mut a = crate::DivProcess::new(&g, opinions.clone(), EdgeScheduler::new()).unwrap();
+        let mut b = LossyDiv::new(&g, opinions, EdgeScheduler::new(), 0.0).unwrap();
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for _ in 0..5000 {
+            let ea = a.step(&mut ra);
+            let eb = b.step(&mut rb);
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(a.state(), b.state());
+    }
+}

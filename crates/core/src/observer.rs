@@ -1,0 +1,251 @@
+//! Time-series observers for process runs.
+//!
+//! These plug into [`crate::DivProcess::run_until`]'s `observe` closure
+//! (like [`crate::StageLog`]) and record downsampled trajectories of the
+//! paper's observables — the weight martingales `S(t)`/`Z(t)` and the
+//! opinion range — without holding every step in memory.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{OpinionState, StepEvent};
+
+/// Records `(step, S(t), Z(t))` every `stride` steps.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{init, DivProcess, EdgeScheduler, WeightSeries};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(30)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut p = DivProcess::new(&g, init::spread(30, 5)?, EdgeScheduler::new())?;
+/// let mut series = WeightSeries::new(p.state(), 10);
+/// p.run_until(2000, &mut rng, |_| false, |ev, st| series.observe(ev, st));
+/// assert_eq!(series.samples().first().unwrap().step, 0);
+/// assert!(series.samples().len() >= 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSeries {
+    stride: u64,
+    samples: Vec<WeightSample>,
+}
+
+/// One sample of the weight trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightSample {
+    /// The step at which the sample was taken.
+    pub step: u64,
+    /// `S(t) = Σ_v X_v`.
+    pub sum: i64,
+    /// `Z(t) = n·Σ_v π_v X_v`.
+    pub z_weight: f64,
+}
+
+impl WeightSeries {
+    /// Starts a series sampling every `stride` steps (the initial state is
+    /// always sampled as step 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(initial: &OpinionState, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        WeightSeries {
+            stride,
+            samples: vec![WeightSample {
+                step: 0,
+                sum: initial.sum(),
+                z_weight: initial.z_weight(),
+            }],
+        }
+    }
+
+    /// Feeds one step; call from the `observe` closure.
+    pub fn observe(&mut self, ev: &StepEvent, state: &OpinionState) {
+        if ev.step.is_multiple_of(self.stride) {
+            self.samples.push(WeightSample {
+                step: ev.step,
+                sum: state.sum(),
+                z_weight: state.z_weight(),
+            });
+        }
+    }
+
+    /// The recorded samples, in step order.
+    pub fn samples(&self) -> &[WeightSample] {
+        &self.samples
+    }
+
+    /// The largest |S(t) − S(0)| over the recorded samples — the quantity
+    /// bounded by eq. (5).
+    pub fn max_sum_deviation(&self) -> i64 {
+        let s0 = self.samples[0].sum;
+        self.samples
+            .iter()
+            .map(|s| (s.sum - s0).abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Records `(step, min, max, distinct)` whenever one of them changes.
+///
+/// The trajectory is tiny (the range shrinks at most `k` times, the
+/// distinct count is bounded by `k`), so no stride is needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeSeries {
+    samples: Vec<RangeSample>,
+}
+
+/// One sample of the opinion-range trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeSample {
+    /// The step at which the range changed (0 for the initial range).
+    pub step: u64,
+    /// The smallest opinion present.
+    pub min: i64,
+    /// The largest opinion present.
+    pub max: i64,
+    /// The number of distinct opinions present.
+    pub distinct: usize,
+}
+
+impl RangeSeries {
+    /// Starts a series from the given initial state.
+    pub fn new(initial: &OpinionState) -> Self {
+        RangeSeries {
+            samples: vec![RangeSample {
+                step: 0,
+                min: initial.min_opinion(),
+                max: initial.max_opinion(),
+                distinct: initial.distinct_count(),
+            }],
+        }
+    }
+
+    /// Feeds one step; call from the `observe` closure.
+    pub fn observe(&mut self, ev: &StepEvent, state: &OpinionState) {
+        let last = self.samples.last().expect("series starts non-empty");
+        let sample = RangeSample {
+            step: ev.step,
+            min: state.min_opinion(),
+            max: state.max_opinion(),
+            distinct: state.distinct_count(),
+        };
+        if sample.min != last.min || sample.max != last.max || sample.distinct != last.distinct {
+            self.samples.push(sample);
+        }
+    }
+
+    /// The recorded samples, in step order.
+    pub fn samples(&self) -> &[RangeSample] {
+        &self.samples
+    }
+
+    /// The first step at which the range width (`max − min`) dropped to
+    /// at most 1 — the empirical `τ` of Theorem 1 (`None` if it never
+    /// did during the observed run; 0 if it started that way).
+    pub fn two_adjacent_step(&self) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.max - s.min <= 1)
+            .map(|s| s.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, DivProcess, EdgeScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_with_series(seed: u64) -> (WeightSeries, RangeSeries, u64) {
+        let g = generators::complete(40).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(40, 7, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut ws = WeightSeries::new(p.state(), 5);
+        let mut rs = RangeSeries::new(p.state());
+        let status = p.run_until(
+            u64::MAX,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| {
+                ws.observe(ev, st);
+                rs.observe(ev, st);
+            },
+        );
+        (ws, rs, status.steps())
+    }
+
+    #[test]
+    fn weight_series_samples_at_stride() {
+        let (ws, _, steps) = run_with_series(1);
+        assert_eq!(ws.samples()[0].step, 0);
+        for w in ws.samples()[1..].iter() {
+            assert_eq!(w.step % 5, 0);
+        }
+        // Roughly steps/stride samples (+1 for the initial one).
+        let expected = (steps / 5) as usize;
+        assert!(ws.samples().len() >= expected && ws.samples().len() <= expected + 2);
+        assert!(ws.max_sum_deviation() >= 0);
+    }
+
+    #[test]
+    fn weight_series_tracks_state_exactly() {
+        let g = generators::complete(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p =
+            DivProcess::new(&g, init::spread(20, 5).unwrap(), EdgeScheduler::new()).unwrap();
+        let mut ws = WeightSeries::new(p.state(), 1);
+        for _ in 0..100 {
+            let ev = p.step(&mut rng);
+            ws.observe(&ev, p.state());
+        }
+        let last = ws.samples().last().unwrap();
+        assert_eq!(last.sum, p.state().sum());
+        assert!((last.z_weight - p.state().z_weight()).abs() < 1e-12);
+        assert_eq!(ws.samples().len(), 101);
+    }
+
+    #[test]
+    fn range_series_is_monotone_and_ends_at_consensus() {
+        let (_, rs, _) = run_with_series(3);
+        let samples = rs.samples();
+        assert!(samples.windows(2).all(|w| w[0].step < w[1].step));
+        assert!(samples.windows(2).all(|w| w[1].min >= w[0].min));
+        assert!(samples.windows(2).all(|w| w[1].max <= w[0].max));
+        let last = samples.last().unwrap();
+        assert_eq!(last.min, last.max);
+        assert_eq!(last.distinct, 1);
+        // τ is recorded and precedes (or equals) the consensus step.
+        let tau = rs.two_adjacent_step().expect("reached two-adjacent");
+        assert!(tau <= last.step);
+    }
+
+    #[test]
+    fn two_adjacent_step_none_when_unreached() {
+        let g = generators::complete(30).unwrap();
+        let st = crate::OpinionState::new(&g, init::spread(30, 5).unwrap()).unwrap();
+        let rs = RangeSeries::new(&st);
+        assert_eq!(rs.two_adjacent_step(), None);
+        // And Some(0) when starting two-adjacent.
+        let st2 = crate::OpinionState::new(&g, init::spread(30, 2).unwrap()).unwrap();
+        let rs2 = RangeSeries::new(&st2);
+        assert_eq!(rs2.two_adjacent_step(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let g = generators::complete(3).unwrap();
+        let st = crate::OpinionState::new(&g, vec![1, 2, 3]).unwrap();
+        let _ = WeightSeries::new(&st, 0);
+    }
+}

@@ -1,0 +1,427 @@
+//! The discrete incremental voting process.
+
+use div_graph::Graph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DivError, OpinionState, Scheduler};
+
+/// One asynchronous step of a voting process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepEvent {
+    /// The step index (1-based: the first step is step 1).
+    pub step: u64,
+    /// The updating vertex `v`.
+    pub vertex: usize,
+    /// The observed neighbour `w`.
+    pub observed: usize,
+    /// `v`'s opinion before the step.
+    pub old: i64,
+    /// `v`'s opinion after the step (`old` when the opinions matched).
+    pub new: i64,
+}
+
+impl StepEvent {
+    /// Whether the step changed any opinion.
+    pub fn changed(&self) -> bool {
+        self.old != self.new
+    }
+}
+
+/// Why a bounded run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// All vertices agree; the state is absorbing.
+    Consensus {
+        /// The unanimous opinion.
+        opinion: i64,
+        /// Steps taken to reach it.
+        steps: u64,
+    },
+    /// At most two adjacent opinions remain (Theorem 1's `τ`); from here
+    /// the process is exactly two-opinion pull voting.
+    TwoAdjacent {
+        /// The smaller surviving opinion.
+        low: i64,
+        /// The larger surviving opinion (`low + 1`).
+        high: i64,
+        /// Steps taken to reach the two-adjacent stage.
+        steps: u64,
+    },
+    /// The step budget ran out first.
+    StepLimit {
+        /// The budget that was exhausted.
+        steps: u64,
+    },
+}
+
+impl RunStatus {
+    /// The step count carried by any variant.
+    pub fn steps(&self) -> u64 {
+        match *self {
+            RunStatus::Consensus { steps, .. }
+            | RunStatus::TwoAdjacent { steps, .. }
+            | RunStatus::StepLimit { steps } => steps,
+        }
+    }
+
+    /// The consensus opinion, if this status is [`RunStatus::Consensus`].
+    pub fn consensus_opinion(&self) -> Option<i64> {
+        match *self {
+            RunStatus::Consensus { opinion, .. } => Some(opinion),
+            _ => None,
+        }
+    }
+}
+
+/// Discrete incremental voting on a graph, driven by a [`Scheduler`].
+///
+/// Each [`DivProcess::step`] draws an interacting pair `(v, w)` and moves
+/// `X_v` one unit toward `X_w` (the update rule (1) of the paper).  All of
+/// the paper's observables are maintained exactly; see [`OpinionState`].
+///
+/// # Examples
+///
+/// Theorem 2 in action: on `K_n` the winner is `⌊c⌋` or `⌈c⌉`.
+///
+/// ```
+/// use div_core::{init, DivProcess, VertexScheduler};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(40)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let opinions = init::uniform_random(40, 7, &mut rng)?;
+/// let c = init::average(&opinions);
+/// let mut p = DivProcess::new(&g, opinions, VertexScheduler::new())?;
+/// let status = p.run_to_consensus(5_000_000, &mut rng);
+/// let winner = status.consensus_opinion().expect("expanders reach consensus");
+/// assert!(winner == c.floor() as i64 || winner == c.ceil() as i64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DivProcess<'g, S> {
+    graph: &'g Graph,
+    scheduler: S,
+    state: OpinionState,
+    steps: u64,
+}
+
+impl<'g, S: Scheduler> DivProcess<'g, S> {
+    /// Creates the process with the given initial opinions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`OpinionState::new`]: empty or
+    /// mismatched opinion vectors, isolated vertices, oversized spans.
+    pub fn new(graph: &'g Graph, opinions: Vec<i64>, scheduler: S) -> Result<Self, DivError> {
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(DivProcess {
+            graph,
+            scheduler,
+            state,
+            steps: 0,
+        })
+    }
+
+    /// The graph the process runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// The scheduler's display label (`"vertex"`, `"edge"`, …).
+    pub fn scheduler_label(&self) -> &'static str {
+        self.scheduler.label()
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Performs one asynchronous step and reports what happened.
+    ///
+    /// Steps where the pair already agrees still advance the clock — the
+    /// paper counts every selection as a step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepEvent {
+        let (v, w) = self.scheduler.pick(self.graph, rng);
+        self.steps += 1;
+        let old = self.state.opinion(v);
+        let xw = self.state.opinion(w);
+        let new = old + (xw - old).signum();
+        if new != old {
+            self.state.set_opinion(v, new);
+        }
+        StepEvent {
+            step: self.steps,
+            vertex: v,
+            observed: w,
+            old,
+            new,
+        }
+    }
+
+    /// Runs until consensus or until `max_steps` *additional* steps have
+    /// been taken.
+    pub fn run_to_consensus<R: Rng + ?Sized>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
+        self.run_until(max_steps, rng, |s| s.is_consensus(), |_, _| {})
+    }
+
+    /// Runs until at most two adjacent opinions remain (the paper's `τ`),
+    /// or until `max_steps` additional steps have been taken.
+    pub fn run_to_two_adjacent<R: Rng + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> RunStatus {
+        self.run_until(max_steps, rng, |s| s.is_two_adjacent(), |_, _| {})
+    }
+
+    /// Runs until `stop(state)` holds or the budget is spent, invoking
+    /// `observe` after every step.
+    ///
+    /// `stop` is evaluated before the first step, so a run from an
+    /// already-stopped state takes zero steps.
+    pub fn run_until<R, F, O>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        stop: F,
+        mut observe: O,
+    ) -> RunStatus
+    where
+        R: Rng + ?Sized,
+        F: Fn(&OpinionState) -> bool,
+        O: FnMut(&StepEvent, &OpinionState),
+    {
+        let mut remaining = max_steps;
+        while !stop(&self.state) {
+            if remaining == 0 {
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            let ev = self.step(rng);
+            observe(&ev, &self.state);
+        }
+        self.status_snapshot()
+    }
+
+    /// The stopped-state classification at the current instant.
+    fn status_snapshot(&self) -> RunStatus {
+        if self.state.is_consensus() {
+            RunStatus::Consensus {
+                opinion: self.state.min_opinion(),
+                steps: self.steps,
+            }
+        } else if self.state.is_two_adjacent() {
+            RunStatus::TwoAdjacent {
+                low: self.state.min_opinion(),
+                high: self.state.max_opinion(),
+                steps: self.steps,
+            }
+        } else {
+            RunStatus::StepLimit { steps: self.steps }
+        }
+    }
+
+    /// Consumes the process and returns the final opinion state.
+    pub fn into_state(self) -> OpinionState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, EdgeScheduler, VertexScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn update_rule_moves_one_unit_toward_neighbor() {
+        let g = generators::path(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = DivProcess::new(&g, vec![1, 9], VertexScheduler::new()).unwrap();
+        for _ in 0..50 {
+            let before = (p.state().opinion(0), p.state().opinion(1));
+            let ev = p.step(&mut rng);
+            let delta = ev.new - ev.old;
+            assert!(delta.abs() <= 1, "opinions move by at most one");
+            if ev.changed() {
+                let observed_before = if ev.vertex == 0 { before.1 } else { before.0 };
+                assert_eq!(delta, (observed_before - ev.old).signum());
+            }
+        }
+    }
+
+    #[test]
+    fn equal_opinions_are_absorbing() {
+        let g = generators::complete(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = DivProcess::new(&g, vec![4; 10], EdgeScheduler::new()).unwrap();
+        assert!(p.state().is_consensus());
+        let status = p.run_to_consensus(1000, &mut rng);
+        assert_eq!(
+            status,
+            RunStatus::Consensus {
+                opinion: 4,
+                steps: 0
+            }
+        );
+        // Even stepping manually never changes anything.
+        for _ in 0..100 {
+            let ev = p.step(&mut rng);
+            assert!(!ev.changed());
+        }
+        assert!(p.state().is_consensus());
+    }
+
+    #[test]
+    fn two_adjacent_opinions_reduce_to_pull_voting_and_finish() {
+        let g = generators::complete(30).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let opinions = init::blocks(&[(5, 15), (6, 15)]).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let status = p.run_to_consensus(2_000_000, &mut rng);
+        let w = status
+            .consensus_opinion()
+            .expect("complete graph converges");
+        assert!(w == 5 || w == 6);
+    }
+
+    #[test]
+    fn run_to_two_adjacent_stops_early() {
+        let g = generators::complete(40).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let opinions = init::spread(40, 8).unwrap();
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        match p.run_to_two_adjacent(10_000_000, &mut rng) {
+            RunStatus::TwoAdjacent { low, high, .. } => {
+                assert_eq!(high, low + 1);
+                assert!(p.state().is_two_adjacent());
+                assert!(!p.state().is_consensus());
+            }
+            RunStatus::Consensus { .. } => {} // also acceptable (skipped past)
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let g = generators::path(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let opinions = init::spread(50, 5).unwrap();
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let status = p.run_to_consensus(10, &mut rng);
+        assert_eq!(status, RunStatus::StepLimit { steps: 10 });
+        assert_eq!(p.steps(), 10);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let g = generators::complete(12).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let opinions = init::uniform_random(12, 4, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut seen = 0u64;
+        let mut last_step = 0u64;
+        let status = p.run_until(
+            100_000,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| {
+                seen += 1;
+                assert_eq!(ev.step, last_step + 1);
+                last_step = ev.step;
+                assert_eq!(st.opinion(ev.vertex), ev.new);
+            },
+        );
+        assert_eq!(seen, status.steps());
+    }
+
+    #[test]
+    fn range_is_nonexpanding() {
+        // Invariant from the paper: max never increases, min never
+        // decreases.
+        let g = generators::wheel(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let opinions = init::uniform_random(20, 9, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let mut min_seen = p.state().min_opinion();
+        let mut max_seen = p.state().max_opinion();
+        for _ in 0..20_000 {
+            p.step(&mut rng);
+            let (lo, hi) = (p.state().min_opinion(), p.state().max_opinion());
+            assert!(lo >= min_seen, "min decreased");
+            assert!(hi <= max_seen, "max increased");
+            min_seen = lo;
+            max_seen = hi;
+            if p.state().is_consensus() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn weight_changes_by_at_most_one_per_step() {
+        // |S(t+1) − S(t)| ≤ 1 — the Azuma increment bound (edge process).
+        let g = generators::complete(25).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let opinions = init::uniform_random(25, 6, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut prev = p.state().sum();
+        for _ in 0..10_000 {
+            p.step(&mut rng);
+            let s = p.state().sum();
+            assert!((s - prev).abs() <= 1);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn status_accessors() {
+        let c = RunStatus::Consensus {
+            opinion: 3,
+            steps: 10,
+        };
+        assert_eq!(c.steps(), 10);
+        assert_eq!(c.consensus_opinion(), Some(3));
+        let t = RunStatus::TwoAdjacent {
+            low: 2,
+            high: 3,
+            steps: 5,
+        };
+        assert_eq!(t.steps(), 5);
+        assert_eq!(t.consensus_opinion(), None);
+        assert_eq!(RunStatus::StepLimit { steps: 7 }.steps(), 7);
+    }
+
+    #[test]
+    fn into_state_returns_final_configuration() {
+        let g = generators::complete(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = DivProcess::new(
+            &g,
+            init::blocks(&[(2, 4), (3, 4)]).unwrap(),
+            EdgeScheduler::new(),
+        )
+        .unwrap();
+        p.run_to_consensus(1_000_000, &mut rng);
+        let st = p.into_state();
+        assert!(st.is_consensus());
+    }
+
+    #[test]
+    fn construction_propagates_state_errors() {
+        let g = generators::complete(3).unwrap();
+        assert!(DivProcess::new(&g, vec![], VertexScheduler::new()).is_err());
+        assert!(DivProcess::new(&g, vec![1], VertexScheduler::new()).is_err());
+    }
+}

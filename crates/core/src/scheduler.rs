@@ -1,0 +1,369 @@
+//! Interaction schedulers: which vertex observes which neighbour.
+//!
+//! The paper studies two asynchronous selection rules.  In the **vertex
+//! process** a uniform vertex `v` observes a uniform neighbour, so
+//! `P(v chooses w) = 1/(n·d(v))`; in the **edge process** a uniform edge
+//! and a uniform endpoint are drawn, so `P(v chooses w) = 1/2m`.  The edge
+//! process is equivalently "a vertex drawn with probability
+//! `π_v = d(v)/2m` observes a uniform neighbour" — implemented directly by
+//! [`BiasedVertexScheduler`] via an alias table, used in the ablation bench
+//! to confirm both formulations sample the same distribution.
+
+use div_graph::Graph;
+use rand::Rng;
+
+/// How a scheduler selects the *updating* vertex — the property that
+/// decides which weight (`S` or `Z`) is the martingale and which eq. (3)
+/// formula applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionBias {
+    /// The updater is uniform over vertices (the vertex process): the
+    /// degree-weighted `Z` is the martingale and `P[i wins] = d(A_i)/2m`.
+    UniformVertex,
+    /// The updater is drawn with probability `π_v = d(v)/2m` (the edge
+    /// process and its reformulations): the plain sum `S` is the
+    /// martingale and `P[i wins] = N_i/n`.
+    Stationary,
+}
+
+/// A rule for drawing the interacting pair `(v, w)`: `v` updates toward
+/// `w`'s opinion.
+///
+/// Implementations must draw from a fixed distribution over ordered
+/// adjacent pairs each time [`Scheduler::pick`] is called.
+pub trait Scheduler {
+    /// Draws the ordered pair `(updater, observed)`.
+    ///
+    /// `g` must be the graph the scheduler was built for (schedulers may
+    /// precompute tables from it).
+    fn pick<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize);
+
+    /// Short label used in experiment tables, e.g. `"vertex"` or `"edge"`.
+    fn label(&self) -> &'static str;
+
+    /// Which selection bias the scheduler implements; drives the analytic
+    /// predictions (eq. (3), Lemma 5) for this scheduler.
+    fn selection_bias(&self) -> SelectionBias;
+}
+
+/// The asynchronous **vertex process**: uniform vertex, uniform neighbour.
+///
+/// `P(v chooses w) = 1/(n·d(v))` — eq. (2) of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VertexScheduler;
+
+impl VertexScheduler {
+    /// Creates a vertex-process scheduler.
+    pub fn new() -> Self {
+        VertexScheduler
+    }
+}
+
+impl Scheduler for VertexScheduler {
+    #[inline]
+    fn pick<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
+        let v = rng.gen_range(0..g.num_vertices());
+        let d = g.degree(v);
+        debug_assert!(d > 0, "vertex process needs min degree >= 1");
+        let w = g.neighbor(v, rng.gen_range(0..d));
+        (v, w)
+    }
+
+    fn label(&self) -> &'static str {
+        "vertex"
+    }
+
+    fn selection_bias(&self) -> SelectionBias {
+        SelectionBias::UniformVertex
+    }
+}
+
+/// The asynchronous **edge process**: uniform edge, uniform endpoint as the
+/// updater.
+///
+/// `P(v chooses w) = 1/2m`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeScheduler;
+
+impl EdgeScheduler {
+    /// Creates an edge-process scheduler.
+    pub fn new() -> Self {
+        EdgeScheduler
+    }
+}
+
+impl Scheduler for EdgeScheduler {
+    #[inline]
+    fn pick<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
+        let (a, b) = g.edge(rng.gen_range(0..g.num_edges()));
+        if rng.gen::<bool>() {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "edge"
+    }
+
+    fn selection_bias(&self) -> SelectionBias {
+        SelectionBias::Stationary
+    }
+}
+
+/// The edge process reformulated as a degree-biased vertex draw: pick `v`
+/// with probability `π_v = d(v)/2m` (via a Walker alias table), then a
+/// uniform neighbour of `v`.
+///
+/// Distributionally identical to [`EdgeScheduler`]; exists so the ablation
+/// bench can compare the two implementations' constants and tests can
+/// confirm the equivalence claimed below eq. (2) in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasedVertexScheduler {
+    alias: AliasTable,
+}
+
+impl BiasedVertexScheduler {
+    /// Builds the alias table for `g`'s degree distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has no edges.
+    pub fn new(g: &Graph) -> Self {
+        assert!(
+            g.num_edges() > 0,
+            "degree-biased draw needs at least one edge"
+        );
+        let weights: Vec<f64> = g.vertices().map(|v| g.degree(v) as f64).collect();
+        BiasedVertexScheduler {
+            alias: AliasTable::new(&weights),
+        }
+    }
+}
+
+impl Scheduler for BiasedVertexScheduler {
+    #[inline]
+    fn pick<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
+        let v = self.alias.sample(rng);
+        let d = g.degree(v);
+        debug_assert!(d > 0);
+        let w = g.neighbor(v, rng.gen_range(0..d));
+        (v, w)
+    }
+
+    fn label(&self) -> &'static str {
+        "edge(alias)"
+    }
+
+    fn selection_bias(&self) -> SelectionBias {
+        SelectionBias::Stationary
+    }
+}
+
+/// Walker alias method: `O(n)` construction, `O(1)` weighted sampling.
+#[derive(Debug, Clone, PartialEq)]
+struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table needs positive total weight");
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l as u32;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers pin to probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Chi-squared-style check: empirical pair frequencies match the
+    /// scheduler's claimed distribution within 6 standard errors.
+    fn check_pair_distribution<S: Scheduler>(
+        g: &Graph,
+        s: &S,
+        expected: impl Fn(usize, usize) -> f64,
+        samples: usize,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.num_vertices();
+        let mut counts = vec![0u64; n * n];
+        for _ in 0..samples {
+            let (v, w) = s.pick(g, &mut rng);
+            assert!(g.has_edge(v, w), "picked a non-edge ({v},{w})");
+            counts[v * n + w] += 1;
+        }
+        for v in 0..n {
+            for w in 0..n {
+                let p = expected(v, w);
+                let freq = counts[v * n + w] as f64 / samples as f64;
+                let se = (p * (1.0 - p) / samples as f64).sqrt().max(1e-9);
+                assert!(
+                    (freq - p).abs() < 6.0 * se + 1e-9,
+                    "pair ({v},{w}): freq {freq} vs p {p} (se {se})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_scheduler_distribution_on_star() {
+        let g = generators::star(5).unwrap();
+        let s = VertexScheduler::new();
+        check_pair_distribution(
+            &g,
+            &s,
+            |v, w| {
+                if !g.has_edge(v, w) {
+                    0.0
+                } else {
+                    1.0 / (5.0 * g.degree(v) as f64)
+                }
+            },
+            200_000,
+            1,
+        );
+    }
+
+    #[test]
+    fn edge_scheduler_distribution_on_star() {
+        let g = generators::star(5).unwrap();
+        let s = EdgeScheduler::new();
+        check_pair_distribution(
+            &g,
+            &s,
+            |v, w| {
+                if !g.has_edge(v, w) {
+                    0.0
+                } else {
+                    1.0 / (2.0 * g.num_edges() as f64)
+                }
+            },
+            200_000,
+            2,
+        );
+    }
+
+    #[test]
+    fn biased_vertex_matches_edge_process() {
+        let g = generators::double_star(2, 4).unwrap();
+        let s = BiasedVertexScheduler::new(&g);
+        check_pair_distribution(
+            &g,
+            &s,
+            |v, w| {
+                if !g.has_edge(v, w) {
+                    0.0
+                } else {
+                    1.0 / (2.0 * g.num_edges() as f64)
+                }
+            },
+            200_000,
+            3,
+        );
+    }
+
+    #[test]
+    fn labels_and_biases() {
+        assert_eq!(VertexScheduler::new().label(), "vertex");
+        assert_eq!(
+            VertexScheduler::new().selection_bias(),
+            SelectionBias::UniformVertex
+        );
+        assert_eq!(EdgeScheduler::new().label(), "edge");
+        assert_eq!(
+            EdgeScheduler::new().selection_bias(),
+            SelectionBias::Stationary
+        );
+        let g = generators::complete(3).unwrap();
+        assert_eq!(BiasedVertexScheduler::new(&g).label(), "edge(alias)");
+        assert_eq!(
+            BiasedVertexScheduler::new(&g).selection_bias(),
+            SelectionBias::Stationary
+        );
+    }
+
+    #[test]
+    fn alias_table_uniform_weights() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 80_000.0;
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn alias_table_skewed_weights() {
+        let t = AliasTable::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u64; 3];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let f2 = counts[2] as f64 / 100_000.0;
+        assert!((f2 - 0.75).abs() < 0.01, "freq {f2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn alias_table_rejects_zero_total() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn schedulers_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VertexScheduler>();
+        assert_send_sync::<EdgeScheduler>();
+        assert_send_sync::<BiasedVertexScheduler>();
+    }
+}

@@ -1,0 +1,304 @@
+//! Stage traces: the evolution of the set of present opinions.
+//!
+//! The paper's introduction illustrates DIV by the support-set trace
+//! `{1,2,5} → {1,2,4} → {1,2,3,4} → {2,3,4} → {2,4} → {2,3} → {3}` and
+//! notes two facts this module makes observable:
+//!
+//! * opinions are *irreversibly* eliminated only at the extremes (the
+//!   running min can only rise, the running max only fall);
+//! * *interior* opinions may disappear and reappear.
+//!
+//! [`StageLog`] is an observer for [`crate::DivProcess::run_until`] that
+//! records each change of the support set and classifies extreme
+//! eliminations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{OpinionState, StepEvent};
+
+/// Which end of the opinion range an elimination removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extreme {
+    /// The smallest opinion disappeared (the running min rose).
+    Smallest,
+    /// The largest opinion disappeared (the running max fell).
+    Largest,
+}
+
+/// An irreversible elimination of an extreme opinion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EliminationEvent {
+    /// The step at which the opinion vanished.
+    pub step: u64,
+    /// The opinion that vanished.
+    pub opinion: i64,
+    /// Which extreme it was.
+    pub side: Extreme,
+}
+
+/// One entry of the support trace: the set of opinions present from
+/// `step` onward (until the next entry).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// The step at which this support set appeared (0 for the initial set).
+    pub step: u64,
+    /// The opinions present, ascending.
+    pub support: Vec<i64>,
+}
+
+/// Records support-set changes and extreme eliminations during a run.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{init, DivProcess, EdgeScheduler, StageLog};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(30)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let opinions = init::shuffled_blocks(&[(1, 12), (2, 12), (5, 6)], &mut rng)?;
+/// let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new())?;
+/// let mut log = StageLog::new(p.state());
+/// p.run_until(5_000_000, &mut rng, |s| s.is_consensus(),
+///             |ev, st| log.observe(ev, st));
+/// assert_eq!(log.stages().first().unwrap().support, vec![1, 2, 5]);
+/// assert_eq!(log.stages().last().unwrap().support.len(), 1);
+/// // Extremes were eliminated one at a time, min rising / max falling.
+/// assert!(!log.eliminations().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StageLog {
+    stages: Vec<Stage>,
+    eliminations: Vec<EliminationEvent>,
+    min_seen: i64,
+    max_seen: i64,
+    cap: usize,
+    truncated: bool,
+}
+
+impl StageLog {
+    /// Default maximum number of recorded stages; support-set churn beyond
+    /// this is counted but not stored.
+    pub const DEFAULT_CAP: usize = 100_000;
+
+    /// Starts a log from the given initial state.
+    pub fn new(initial: &OpinionState) -> Self {
+        StageLog {
+            stages: vec![Stage {
+                step: 0,
+                support: initial.support_set(),
+            }],
+            eliminations: Vec::new(),
+            min_seen: initial.min_opinion(),
+            max_seen: initial.max_opinion(),
+            cap: Self::DEFAULT_CAP,
+            truncated: false,
+        }
+    }
+
+    /// Like [`StageLog::new`] with an explicit stage-storage cap.
+    pub fn with_capacity(initial: &OpinionState, cap: usize) -> Self {
+        let mut log = Self::new(initial);
+        log.cap = cap.max(1);
+        log
+    }
+
+    /// Feeds one step into the log; call from the `observe` closure of
+    /// [`crate::DivProcess::run_until`].
+    pub fn observe(&mut self, ev: &StepEvent, state: &OpinionState) {
+        if !ev.changed() {
+            return;
+        }
+        // Extreme eliminations: the live min rose or the live max fell.
+        let min_now = state.min_opinion();
+        let max_now = state.max_opinion();
+        while self.min_seen < min_now {
+            self.eliminations.push(EliminationEvent {
+                step: ev.step,
+                opinion: self.min_seen,
+                side: Extreme::Smallest,
+            });
+            self.min_seen += 1;
+        }
+        while self.max_seen > max_now {
+            self.eliminations.push(EliminationEvent {
+                step: ev.step,
+                opinion: self.max_seen,
+                side: Extreme::Largest,
+            });
+            self.max_seen -= 1;
+        }
+        // Support-set changes (a step moves one vertex by one unit, so the
+        // support changes iff a class emptied or a class was created).
+        let could_change = state.count(ev.old) == 0 || state.count(ev.new) == 1;
+        if could_change {
+            let support = state.support_set();
+            if self
+                .stages
+                .last()
+                .map(|s| s.support != support)
+                .unwrap_or(true)
+            {
+                if self.stages.len() < self.cap {
+                    self.stages.push(Stage {
+                        step: ev.step,
+                        support,
+                    });
+                } else {
+                    self.truncated = true;
+                }
+            }
+        }
+    }
+
+    /// The recorded support-set trace (first entry is the initial set).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Extreme eliminations in the order they happened — the paper's
+    /// "extreme values in order of removal".
+    pub fn eliminations(&self) -> &[EliminationEvent] {
+        &self.eliminations
+    }
+
+    /// The eliminated opinions in order, e.g. `[5, 1, 4, 2]` for the
+    /// paper's example.
+    pub fn elimination_order(&self) -> Vec<i64> {
+        self.eliminations.iter().map(|e| e.opinion).collect()
+    }
+
+    /// Whether the stage storage cap was hit (eliminations are always
+    /// complete; only the support trace can be truncated).
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Renders the trace in the paper's arrow notation:
+    /// `{1,2,5} → {1,2,4} → … → {3}`.
+    pub fn arrow_notation(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| {
+                let inner = s
+                    .support
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{{inner}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, DivProcess, EdgeScheduler};
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_logged(seed: u64, spec: &[(i64, usize)]) -> (StageLog, i64) {
+        let n: usize = spec.iter().map(|&(_, c)| c).sum();
+        let g = generators::complete(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::shuffled_blocks(spec, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut log = StageLog::new(p.state());
+        let status = p.run_until(
+            20_000_000,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| log.observe(ev, st),
+        );
+        (log, status.consensus_opinion().expect("converges"))
+    }
+
+    #[test]
+    fn trace_starts_with_initial_support_and_ends_with_winner() {
+        let (log, winner) = run_logged(3, &[(1, 10), (2, 10), (5, 10)]);
+        assert_eq!(log.stages()[0].support, vec![1, 2, 5]);
+        assert_eq!(log.stages().last().unwrap().support, vec![winner]);
+        assert!(!log.is_truncated());
+    }
+
+    #[test]
+    fn eliminations_alternate_only_at_extremes() {
+        let (log, winner) = run_logged(4, &[(1, 8), (3, 8), (6, 8)]);
+        // Everything except the winner is eliminated exactly once.
+        let mut eliminated = log.elimination_order();
+        eliminated.sort_unstable();
+        let expected: Vec<i64> = (1..=6).filter(|&o| o != winner).collect();
+        assert_eq!(eliminated, expected);
+        // Each Smallest elimination removes the then-minimum: the sequence
+        // of Smallest opinions is increasing; Largest is decreasing.
+        let smallest: Vec<i64> = log
+            .eliminations()
+            .iter()
+            .filter(|e| e.side == Extreme::Smallest)
+            .map(|e| e.opinion)
+            .collect();
+        let largest: Vec<i64> = log
+            .eliminations()
+            .iter()
+            .filter(|e| e.side == Extreme::Largest)
+            .map(|e| e.opinion)
+            .collect();
+        assert!(smallest.windows(2).all(|w| w[0] < w[1]));
+        assert!(largest.windows(2).all(|w| w[0] > w[1]));
+        // Elimination steps are non-decreasing.
+        assert!(log
+            .eliminations()
+            .windows(2)
+            .all(|w| w[0].step <= w[1].step));
+    }
+
+    #[test]
+    fn arrow_notation_renders() {
+        let (log, _) = run_logged(5, &[(1, 6), (2, 6), (5, 6)]);
+        let s = log.arrow_notation();
+        assert!(s.starts_with("{1,2,5}"));
+        assert!(s.contains(" → "));
+    }
+
+    #[test]
+    fn capacity_truncates_stage_storage_not_eliminations() {
+        let g = generators::complete(30).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let opinions = init::uniform_random(30, 8, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut log = StageLog::with_capacity(p.state(), 2);
+        p.run_until(
+            20_000_000,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| log.observe(ev, st),
+        );
+        assert!(log.stages().len() <= 2);
+        assert!(log.is_truncated());
+        assert!(!log.eliminations().is_empty());
+    }
+
+    #[test]
+    fn no_op_steps_do_not_touch_the_log() {
+        let g = generators::complete(4).unwrap();
+        let st = OpinionState::new(&g, vec![2, 2, 2, 2]).unwrap();
+        let mut log = StageLog::new(&st);
+        let ev = StepEvent {
+            step: 1,
+            vertex: 0,
+            observed: 1,
+            old: 2,
+            new: 2,
+        };
+        log.observe(&ev, &st);
+        assert_eq!(log.stages().len(), 1);
+        assert!(log.eliminations().is_empty());
+    }
+}

@@ -1,0 +1,491 @@
+//! Exact bookkeeping of an opinion configuration.
+//!
+//! [`OpinionState`] maintains, under single-vertex opinion changes, every
+//! quantity the paper's analysis tracks — all in `O(1)` per update and in
+//! exact integer arithmetic:
+//!
+//! * the opinion vector `X(t)`;
+//! * per-opinion counts `N_i(t) = |A_i(t)|`;
+//! * per-opinion total degrees `d(A_i(t))` (so `π(A_i) = d(A_i)/2m`);
+//! * the totals `S(t) = Σ X_v` and `Σ d(v)X_v` (so `Z(t) = n·Σπ_vX_v`);
+//! * the live opinion range `[min, max]` and the distinct-opinion count.
+//!
+//! The state is shared by DIV and by every baseline process (pull voting,
+//! median voting, best-of-k, load balancing): all of them only ever move
+//! opinions *within the initial span*, which the bookkeeping relies on.
+
+use div_graph::Graph;
+
+use crate::DivError;
+
+/// Widest supported opinion span (`max − min + 1`).  The paper's regime is
+/// `k = o(n/log n)`, far below this.
+pub const MAX_SPAN: usize = 1 << 24;
+
+/// An opinion configuration over a graph, with `O(1)` incremental updates
+/// and exact integer aggregates.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::OpinionState;
+/// use div_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::star(3)?; // degrees 2, 1, 1
+/// let mut st = OpinionState::new(&g, vec![4, 0, 8])?;
+/// assert_eq!(st.sum(), 12);
+/// assert_eq!(st.min_opinion(), 0);
+/// assert_eq!(st.max_opinion(), 8);
+/// assert!((st.degree_weighted_average() - 4.0).abs() < 1e-12);
+/// st.set_opinion(2, 7); // leaf moves one step toward the centre's 4
+/// assert_eq!(st.sum(), 11);
+/// assert_eq!(st.max_opinion(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpinionState {
+    opinions: Vec<i64>,
+    /// Vertex degrees, copied from the graph for `O(1)` mass updates.
+    degrees: Vec<u32>,
+    two_m: u64,
+    /// Smallest representable opinion; `counts[i]` is for opinion `base+i`.
+    base: i64,
+    counts: Vec<u32>,
+    degree_mass: Vec<u64>,
+    sum: i64,
+    degree_weighted_sum: i64,
+    lo: usize,
+    hi: usize,
+    distinct: usize,
+}
+
+impl OpinionState {
+    /// Builds the state for `opinions[v]` at each vertex `v` of `g`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DivError::EmptyOpinions`] / [`DivError::LengthMismatch`] for a
+    ///   malformed opinion vector;
+    /// * [`DivError::IsolatedVertex`] if some vertex has degree 0 (every
+    ///   pull-style process needs a neighbour to observe);
+    /// * [`DivError::SpanTooLarge`] if `max − min + 1 > 2²⁴`.
+    pub fn new(g: &Graph, opinions: Vec<i64>) -> Result<Self, DivError> {
+        if opinions.is_empty() {
+            return Err(DivError::EmptyOpinions);
+        }
+        if opinions.len() != g.num_vertices() {
+            return Err(DivError::LengthMismatch {
+                expected: g.num_vertices(),
+                got: opinions.len(),
+            });
+        }
+        if let Some(v) = g.vertices().find(|&v| g.degree(v) == 0) {
+            return Err(DivError::IsolatedVertex { vertex: v });
+        }
+        let min = *opinions.iter().min().expect("non-empty");
+        let max = *opinions.iter().max().expect("non-empty");
+        let span = usize::try_from(max - min).expect("span fits usize") + 1;
+        if span > MAX_SPAN {
+            return Err(DivError::SpanTooLarge {
+                min,
+                max,
+                limit: MAX_SPAN,
+            });
+        }
+
+        let degrees: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        let mut counts = vec![0u32; span];
+        let mut degree_mass = vec![0u64; span];
+        let mut sum = 0i64;
+        let mut dws = 0i64;
+        for (v, &x) in opinions.iter().enumerate() {
+            let i = (x - min) as usize;
+            counts[i] += 1;
+            degree_mass[i] += degrees[v] as u64;
+            sum += x;
+            dws += degrees[v] as i64 * x;
+        }
+        let distinct = counts.iter().filter(|&&c| c > 0).count();
+        Ok(OpinionState {
+            opinions,
+            degrees,
+            two_m: g.total_degree() as u64,
+            base: min,
+            counts,
+            degree_mass,
+            sum,
+            degree_weighted_sum: dws,
+            lo: 0,
+            hi: span - 1,
+            distinct,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.opinions.len()
+    }
+
+    /// The opinion of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn opinion(&self, v: usize) -> i64 {
+        self.opinions[v]
+    }
+
+    /// The full opinion vector, indexed by vertex.
+    pub fn opinions(&self) -> &[i64] {
+        &self.opinions
+    }
+
+    /// `N_i(t)`: how many vertices currently hold `opinion`.
+    ///
+    /// Returns 0 for opinions outside the initial span.
+    pub fn count(&self, opinion: i64) -> usize {
+        match self.index_of(opinion) {
+            Some(i) => self.counts[i] as usize,
+            None => 0,
+        }
+    }
+
+    /// `d(A_i(t))`: the total degree of the vertices holding `opinion`.
+    pub fn degree_mass(&self, opinion: i64) -> u64 {
+        match self.index_of(opinion) {
+            Some(i) => self.degree_mass[i],
+            None => 0,
+        }
+    }
+
+    /// `π(A_i(t)) = d(A_i)/2m`: the stationary measure of the vertices
+    /// holding `opinion` — the quantity driving Lemma 10.
+    pub fn support_measure(&self, opinion: i64) -> f64 {
+        self.degree_mass(opinion) as f64 / self.two_m as f64
+    }
+
+    /// The smallest opinion currently held.
+    #[inline]
+    pub fn min_opinion(&self) -> i64 {
+        self.base + self.lo as i64
+    }
+
+    /// The largest opinion currently held.
+    #[inline]
+    pub fn max_opinion(&self) -> i64 {
+        self.base + self.hi as i64
+    }
+
+    /// How many distinct opinions are currently held.
+    #[inline]
+    pub fn distinct_count(&self) -> usize {
+        self.distinct
+    }
+
+    /// Whether all vertices hold one opinion (the absorbing states).
+    #[inline]
+    pub fn is_consensus(&self) -> bool {
+        self.distinct == 1
+    }
+
+    /// Whether at most two *adjacent* opinions remain — the paper's `τ`
+    /// stopping condition (Theorem 1), after which the process is exactly
+    /// two-opinion pull voting.
+    #[inline]
+    pub fn is_two_adjacent(&self) -> bool {
+        self.hi - self.lo <= 1
+    }
+
+    /// `S(t) = Σ_v X_v`, the edge-process total weight (a martingale under
+    /// the edge process — Lemma 3 (i)).
+    #[inline]
+    pub fn sum(&self) -> i64 {
+        self.sum
+    }
+
+    /// `Σ_v d(v)·X_v`, in exact integer arithmetic.  The vertex-process
+    /// martingale is `Z(t) = n·Σ_v π_v X_v = n·(this)/2m` (Lemma 3 (ii)).
+    #[inline]
+    pub fn degree_weighted_sum(&self) -> i64 {
+        self.degree_weighted_sum
+    }
+
+    /// The plain average `S(t)/n` — the edge-process `c` at this instant.
+    pub fn average(&self) -> f64 {
+        self.sum as f64 / self.num_vertices() as f64
+    }
+
+    /// The degree-weighted average `Σ_v π_v X_v` — the vertex-process `c`.
+    pub fn degree_weighted_average(&self) -> f64 {
+        self.degree_weighted_sum as f64 / self.two_m as f64
+    }
+
+    /// `Z(t) = n·Σ_v π_v X_v`.
+    pub fn z_weight(&self) -> f64 {
+        self.num_vertices() as f64 * self.degree_weighted_average()
+    }
+
+    /// The currently held opinions with their counts, ascending.
+    pub fn support(&self) -> Vec<(i64, usize)> {
+        (self.lo..=self.hi)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| (self.base + i as i64, self.counts[i] as usize))
+            .collect()
+    }
+
+    /// Just the currently held opinions, ascending (the "set of opinions
+    /// present in the system" of the paper's stage traces).
+    pub fn support_set(&self) -> Vec<i64> {
+        self.support().into_iter().map(|(op, _)| op).collect()
+    }
+
+    /// Sets vertex `v`'s opinion to `new`, updating every aggregate in
+    /// `O(1)` (amortised: range shrinks move the bounds monotonically).
+    ///
+    /// Returns the previous opinion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `new` lies outside the initial
+    /// opinion span.  (Every process in this workspace — DIV, pull, median,
+    /// best-of-k, load balancing — provably stays within the initial span.)
+    pub fn set_opinion(&mut self, v: usize, new: i64) -> i64 {
+        let old = self.opinions[v];
+        if old == new {
+            return old;
+        }
+        let new_idx = self
+            .index_of(new)
+            .expect("new opinion must lie within the initial span");
+        let old_idx = (old - self.base) as usize;
+        let d = self.degrees[v] as u64;
+
+        self.opinions[v] = new;
+        self.sum += new - old;
+        self.degree_weighted_sum += d as i64 * (new - old);
+
+        self.counts[old_idx] -= 1;
+        self.degree_mass[old_idx] -= d;
+        if self.counts[old_idx] == 0 {
+            self.distinct -= 1;
+        }
+        if self.counts[new_idx] == 0 {
+            self.distinct += 1;
+        }
+        self.counts[new_idx] += 1;
+        self.degree_mass[new_idx] += d;
+
+        // Maintain the live range. New opinions within the span can extend
+        // the *current* range (an interior value reappearing beyond the
+        // current bounds never exceeds the initial span).
+        if new_idx < self.lo {
+            self.lo = new_idx;
+        }
+        if new_idx > self.hi {
+            self.hi = new_idx;
+        }
+        while self.counts[self.lo] == 0 {
+            self.lo += 1;
+        }
+        while self.counts[self.hi] == 0 {
+            self.hi -= 1;
+        }
+        old
+    }
+
+    /// Recomputes every aggregate from the opinion vector and asserts it
+    /// matches the incrementally maintained values.  Test/debug helper;
+    /// `O(n + span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut counts = vec![0u32; self.counts.len()];
+        let mut mass = vec![0u64; self.degree_mass.len()];
+        let mut sum = 0i64;
+        let mut dws = 0i64;
+        for (v, &x) in self.opinions.iter().enumerate() {
+            let i = (x - self.base) as usize;
+            counts[i] += 1;
+            mass[i] += self.degrees[v] as u64;
+            sum += x;
+            dws += self.degrees[v] as i64 * x;
+        }
+        assert_eq!(counts, self.counts, "counts out of sync");
+        assert_eq!(mass, self.degree_mass, "degree masses out of sync");
+        assert_eq!(sum, self.sum, "sum out of sync");
+        assert_eq!(dws, self.degree_weighted_sum, "weighted sum out of sync");
+        let distinct = counts.iter().filter(|&&c| c > 0).count();
+        assert_eq!(distinct, self.distinct, "distinct count out of sync");
+        let lo = counts.iter().position(|&c| c > 0).expect("non-empty");
+        let hi = counts.iter().rposition(|&c| c > 0).expect("non-empty");
+        assert_eq!(lo, self.lo, "min bound out of sync");
+        assert_eq!(hi, self.hi, "max bound out of sync");
+    }
+
+    #[inline]
+    fn index_of(&self, opinion: i64) -> Option<usize> {
+        let off = opinion.checked_sub(self.base)?;
+        if off < 0 || off as usize >= self.counts.len() {
+            None
+        } else {
+            Some(off as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+
+    fn star_state() -> OpinionState {
+        let g = generators::star(4).unwrap(); // degrees 3,1,1,1; 2m = 6
+        OpinionState::new(&g, vec![1, 3, 3, 5]).unwrap()
+    }
+
+    #[test]
+    fn construction_aggregates() {
+        let st = star_state();
+        assert_eq!(st.num_vertices(), 4);
+        assert_eq!(st.sum(), 12);
+        assert_eq!(st.count(3), 2);
+        assert_eq!(st.count(1), 1);
+        assert_eq!(st.count(2), 0);
+        assert_eq!(st.count(99), 0);
+        assert_eq!(st.degree_mass(1), 3);
+        assert_eq!(st.degree_mass(3), 2);
+        assert!((st.support_measure(1) - 0.5).abs() < 1e-12);
+        assert_eq!(st.min_opinion(), 1);
+        assert_eq!(st.max_opinion(), 5);
+        assert_eq!(st.distinct_count(), 3);
+        assert!(!st.is_consensus());
+        assert!(!st.is_two_adjacent());
+        // dws = 3*1 + 1*3 + 1*3 + 1*5 = 14; average 14/6.
+        assert_eq!(st.degree_weighted_sum(), 14);
+        assert!((st.degree_weighted_average() - 14.0 / 6.0).abs() < 1e-12);
+        assert!((st.z_weight() - 4.0 * 14.0 / 6.0).abs() < 1e-12);
+        assert!((st.average() - 3.0).abs() < 1e-12);
+        st.check_invariants();
+    }
+
+    #[test]
+    fn set_opinion_updates_everything() {
+        let mut st = star_state();
+        let old = st.set_opinion(3, 4); // 5 → 4: extreme 5 eliminated
+        assert_eq!(old, 5);
+        assert_eq!(st.max_opinion(), 4);
+        assert_eq!(st.sum(), 11);
+        assert_eq!(st.distinct_count(), 3);
+        st.check_invariants();
+
+        st.set_opinion(3, 3); // 4 → 3: merge into the 3s
+        assert_eq!(st.max_opinion(), 3);
+        assert_eq!(st.distinct_count(), 2);
+        assert!(!st.is_two_adjacent()); // {1, 3} adjacent? gap of 2
+        st.check_invariants();
+
+        st.set_opinion(0, 2); // 1 → 2
+        assert_eq!(st.min_opinion(), 2);
+        assert!(st.is_two_adjacent()); // {2, 3}
+        st.check_invariants();
+
+        st.set_opinion(0, 3); // consensus at 3
+        assert!(st.is_consensus());
+        assert_eq!(st.support(), vec![(3, 4)]);
+        st.check_invariants();
+    }
+
+    #[test]
+    fn interior_opinion_can_reappear() {
+        // The paper: "Intermediate values may disappear and then appear
+        // again".  Support {1, 3} has an empty slot at 2 that refills.
+        let g = generators::complete(3).unwrap();
+        let mut st = OpinionState::new(&g, vec![1, 1, 3]).unwrap();
+        assert_eq!(st.support_set(), vec![1, 3]);
+        st.set_opinion(2, 2); // 3 moves down: support {1, 2}
+        assert_eq!(st.support_set(), vec![1, 2]);
+        st.set_opinion(0, 2);
+        st.set_opinion(1, 2);
+        assert!(st.is_consensus());
+        st.check_invariants();
+    }
+
+    #[test]
+    fn range_can_regrow_within_span() {
+        // Support {1,2,3}; everything collapses to 2, then a vertex walks
+        // back up to 3 (possible mid-run before consensus).
+        let g = generators::complete(4).unwrap();
+        let mut st = OpinionState::new(&g, vec![1, 2, 2, 3]).unwrap();
+        st.set_opinion(0, 2);
+        st.set_opinion(3, 2);
+        assert!(st.is_consensus());
+        st.set_opinion(1, 3);
+        assert_eq!(st.support_set(), vec![2, 3]);
+        assert_eq!(st.max_opinion(), 3);
+        st.check_invariants();
+    }
+
+    #[test]
+    fn no_op_change_is_free() {
+        let mut st = star_state();
+        let before = st.clone();
+        st.set_opinion(1, 3);
+        assert_eq!(st, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the initial span")]
+    fn out_of_span_panics() {
+        let mut st = star_state();
+        st.set_opinion(0, 0); // span is [1, 5]
+    }
+
+    #[test]
+    fn negative_opinions_supported() {
+        let g = generators::complete(3).unwrap();
+        let mut st = OpinionState::new(&g, vec![-5, 0, 5]).unwrap();
+        assert_eq!(st.min_opinion(), -5);
+        assert_eq!(st.sum(), 0);
+        st.set_opinion(0, -4);
+        assert_eq!(st.min_opinion(), -4);
+        st.check_invariants();
+    }
+
+    #[test]
+    fn construction_errors() {
+        let g = generators::complete(3).unwrap();
+        assert_eq!(
+            OpinionState::new(&g, vec![]).unwrap_err(),
+            DivError::EmptyOpinions
+        );
+        assert_eq!(
+            OpinionState::new(&g, vec![1, 2]).unwrap_err(),
+            DivError::LengthMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(matches!(
+            OpinionState::new(&g, vec![0, 1, MAX_SPAN as i64 + 5]).unwrap_err(),
+            DivError::SpanTooLarge { .. }
+        ));
+        let disconnected = div_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(
+            OpinionState::new(&disconnected, vec![1, 1, 1]).unwrap_err(),
+            DivError::IsolatedVertex { vertex: 2 }
+        );
+    }
+
+    #[test]
+    fn support_lists_are_sorted_and_complete() {
+        let st = star_state();
+        assert_eq!(st.support(), vec![(1, 1), (3, 2), (5, 1)]);
+        assert_eq!(st.support_set(), vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Synchronous-rounds discrete incremental voting (an extension).
+//!
+//! The paper analyses the *asynchronous* process (one interaction per
+//! step).  A natural companion — standard in the voter-model literature —
+//! is the synchronous round model: in each round **every** vertex
+//! simultaneously samples one uniform neighbour and applies the DIV rule
+//! against the *previous* round's opinions.
+//!
+//! The degree-weighted weight `Z` is still a round-martingale: the
+//! expected round change is
+//! `E[ΔZ] = n·Σ_v π_v·(1/d(v))·Σ_{w~v} sign(X_w − X_v)
+//!        = (n/2m)·Σ_{(v,w) adjacent} sign(X_w − X_v) = 0`
+//! by antisymmetry — the synchronous analogue of Lemma 3 (ii).  The plain
+//! sum `S` is a martingale on regular graphs (where it is proportional to
+//! `Z`).  Experiment E12 verifies both facts and compares the convergence
+//! *work* (total interactions) against the asynchronous process.
+
+use div_graph::Graph;
+use rand::Rng;
+
+use crate::{DivError, OpinionState, RunStatus};
+
+/// DIV in synchronous rounds: every vertex updates once per round, based
+/// on a snapshot of the previous round's opinions.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{init, SynchronousDiv};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(50)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let opinions = init::blocks(&[(1, 25), (5, 25)])?; // c = 3
+/// let mut p = SynchronousDiv::new(&g, opinions)?;
+/// let status = p.run_to_consensus(100_000, &mut rng);
+/// let w = status.consensus_opinion().expect("K_n converges");
+/// assert!((2..=4).contains(&w), "winner {w} near the average 3");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynchronousDiv<'g> {
+    graph: &'g Graph,
+    state: OpinionState,
+    /// Previous-round snapshot, reused across rounds.
+    snapshot: Vec<i64>,
+    rounds: u64,
+}
+
+impl<'g> SynchronousDiv<'g> {
+    /// Creates the process with the given initial opinions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`OpinionState::new`].
+    pub fn new(graph: &'g Graph, opinions: Vec<i64>) -> Result<Self, DivError> {
+        let state = OpinionState::new(graph, opinions)?;
+        Ok(SynchronousDiv {
+            graph,
+            snapshot: state.opinions().to_vec(),
+            state,
+            rounds: 0,
+        })
+    }
+
+    /// The live opinion state.
+    pub fn state(&self) -> &OpinionState {
+        &self.state
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Interactions performed so far (`rounds × n`), the unit comparable
+    /// to asynchronous steps.
+    pub fn interactions(&self) -> u64 {
+        self.rounds * self.graph.num_vertices() as u64
+    }
+
+    /// One synchronous round: all vertices sample and update against the
+    /// pre-round snapshot.
+    pub fn round<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.snapshot.copy_from_slice(self.state.opinions());
+        self.rounds += 1;
+        for v in self.graph.vertices() {
+            let d = self.graph.degree(v);
+            let w = self.graph.neighbor(v, rng.gen_range(0..d));
+            let old = self.snapshot[v];
+            let new = old + (self.snapshot[w] - old).signum();
+            if new != old {
+                self.state.set_opinion(v, new);
+            }
+        }
+    }
+
+    /// Runs until consensus or until `max_rounds` further rounds pass.
+    pub fn run_to_consensus<R: Rng + ?Sized>(&mut self, max_rounds: u64, rng: &mut R) -> RunStatus {
+        let mut remaining = max_rounds;
+        while !self.state.is_consensus() {
+            if remaining == 0 {
+                return RunStatus::StepLimit { steps: self.rounds };
+            }
+            remaining -= 1;
+            self.round(rng);
+        }
+        RunStatus::Consensus {
+            opinion: self.state.min_opinion(),
+            steps: self.rounds,
+        }
+    }
+
+    /// Runs until at most two adjacent opinions remain, or the budget is
+    /// spent.
+    pub fn run_to_two_adjacent<R: Rng + ?Sized>(
+        &mut self,
+        max_rounds: u64,
+        rng: &mut R,
+    ) -> RunStatus {
+        let mut remaining = max_rounds;
+        while !self.state.is_two_adjacent() {
+            if remaining == 0 {
+                return RunStatus::StepLimit { steps: self.rounds };
+            }
+            remaining -= 1;
+            self.round(rng);
+        }
+        if self.state.is_consensus() {
+            RunStatus::Consensus {
+                opinion: self.state.min_opinion(),
+                steps: self.rounds,
+            }
+        } else {
+            RunStatus::TwoAdjacent {
+                low: self.state.min_opinion(),
+                high: self.state.max_opinion(),
+                steps: self.rounds,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_round_updates_against_the_snapshot() {
+        // Two vertices holding 1 and 3: both see each other's OLD value,
+        // so after one round they swap toward each other simultaneously
+        // (1 → 2 and 3 → 2): instant consensus, impossible asynchronously.
+        let g = generators::path(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = SynchronousDiv::new(&g, vec![1, 3]).unwrap();
+        p.round(&mut rng);
+        assert_eq!(p.state().opinions(), &[2, 2]);
+        assert!(p.state().is_consensus());
+        assert_eq!(p.rounds(), 1);
+        assert_eq!(p.interactions(), 2);
+    }
+
+    #[test]
+    fn range_is_nonexpanding_per_round() {
+        let g = generators::wheel(25).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let opinions = init::uniform_random(25, 9, &mut rng).unwrap();
+        let mut p = SynchronousDiv::new(&g, opinions).unwrap();
+        let mut lo = p.state().min_opinion();
+        let mut hi = p.state().max_opinion();
+        for _ in 0..500 {
+            p.round(&mut rng);
+            assert!(p.state().min_opinion() >= lo);
+            assert!(p.state().max_opinion() <= hi);
+            lo = p.state().min_opinion();
+            hi = p.state().max_opinion();
+        }
+        p.state().check_invariants();
+    }
+
+    #[test]
+    fn z_weight_is_a_round_martingale() {
+        // Irregular graph, degree-correlated opinions: plain S drifts but
+        // Z must not (the synchronous analogue of Lemma 3 (ii)).
+        let g = generators::star(30).unwrap();
+        let mut drift_sum = 0.0;
+        let trials = 4000;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut opinions = vec![1i64; 30];
+            opinions[0] = 9;
+            let mut p = SynchronousDiv::new(&g, opinions).unwrap();
+            let z0 = p.state().z_weight();
+            p.round(&mut rng);
+            drift_sum += p.state().z_weight() - z0;
+        }
+        let mean = drift_sum / trials as f64;
+        // Per-round Z changes are O(n·π_max) = O(n/2); the mean over 4000
+        // trials should be well inside ±0.5.
+        assert!(mean.abs() < 0.5, "mean one-round Z drift {mean}");
+    }
+
+    #[test]
+    fn converges_on_expanders_to_the_average_zone() {
+        let g = generators::complete(60).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0;
+        let trials = 30;
+        for _ in 0..trials {
+            let opinions = init::shuffled_blocks(&[(1, 30), (5, 30)], &mut rng).unwrap();
+            let mut p = SynchronousDiv::new(&g, opinions).unwrap();
+            let w = p
+                .run_to_consensus(1_000_000, &mut rng)
+                .consensus_opinion()
+                .expect("K_n converges");
+            if (2..=4).contains(&w) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= trials - 2, "only {hits}/{trials} near the average");
+    }
+
+    #[test]
+    fn two_adjacent_stop_works() {
+        let g = generators::complete(40).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let opinions = init::spread(40, 8).unwrap();
+        let mut p = SynchronousDiv::new(&g, opinions).unwrap();
+        match p.run_to_two_adjacent(100_000, &mut rng) {
+            RunStatus::TwoAdjacent { low, high, .. } => assert_eq!(high, low + 1),
+            RunStatus::Consensus { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The paper's quantitative predictions, as executable formulas.
+//!
+//! Every experiment table in this workspace prints a column computed here
+//! next to its measured counterpart:
+//!
+//! * [`win_prediction`] — Theorem 2 / Lemma 5 (iii): the winner is `⌊c⌋`
+//!   with probability `≈ ⌈c⌉ − c` and `⌈c⌉` with probability `≈ c − ⌊c⌋`;
+//! * [`two_opinion_win_probability_edge`] / [`two_opinion_win_probability_vertex`]
+//!   — eq. (3): exact win probabilities of two-opinion pull voting;
+//! * [`expected_reduction_time_bound`] — eq. (4): the `E[T]` upper bound
+//!   for the reduction to two adjacent opinions (an `O(·)` bound, reported
+//!   with unit constants);
+//! * [`azuma_weight_tail`] — eq. (5): the Azuma–Hoeffding tail on the
+//!   weight martingale's deviation.
+
+use serde::{Deserialize, Serialize};
+
+/// Theorem 2's predicted winner distribution for initial average `c`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WinPrediction {
+    /// `⌊c⌋`.
+    pub lower: i64,
+    /// `⌈c⌉` (equals `lower` when `c` is an integer).
+    pub upper: i64,
+    /// Probability the winner is `lower`: `⌈c⌉ − c` (1 when `c` integer).
+    pub p_lower: f64,
+    /// Probability the winner is `upper`: `c − ⌊c⌋` (0 when `c` integer).
+    pub p_upper: f64,
+}
+
+impl WinPrediction {
+    /// The probability the prediction assigns to `opinion` (0 for any
+    /// opinion other than `⌊c⌋`/`⌈c⌉`).
+    pub fn probability_of(&self, opinion: i64) -> f64 {
+        if opinion == self.lower {
+            self.p_lower
+        } else if opinion == self.upper {
+            self.p_upper
+        } else {
+            0.0
+        }
+    }
+
+    /// The predicted mean of the winning opinion (equals `c`: the outcome
+    /// is an unbiased probabilistic rounding of the initial average).
+    pub fn mean(&self) -> f64 {
+        self.lower as f64 * self.p_lower + self.upper as f64 * self.p_upper
+    }
+}
+
+/// Theorem 2 / Lemma 5 (iii): winner distribution from the initial average
+/// `c` (plain average for the edge process, degree-weighted for the vertex
+/// process).
+///
+/// # Panics
+///
+/// Panics if `c` is not finite.
+///
+/// # Examples
+///
+/// ```
+/// let p = div_core::theory::win_prediction(3.25);
+/// assert_eq!(p.lower, 3);
+/// assert_eq!(p.upper, 4);
+/// assert!((p.p_lower - 0.75).abs() < 1e-12);
+/// assert!((p.mean() - 3.25).abs() < 1e-12);
+/// ```
+pub fn win_prediction(c: f64) -> WinPrediction {
+    assert!(c.is_finite(), "initial average must be finite");
+    let lower = c.floor() as i64;
+    let upper = c.ceil() as i64;
+    if lower == upper {
+        WinPrediction {
+            lower,
+            upper,
+            p_lower: 1.0,
+            p_upper: 0.0,
+        }
+    } else {
+        WinPrediction {
+            lower,
+            upper,
+            p_lower: upper as f64 - c,
+            p_upper: c - lower as f64,
+        }
+    }
+}
+
+/// Lemma 5 (ii) applied to a *live* state that has reached the final
+/// stage: given the current configuration holds at most the two adjacent
+/// opinions `{i, i+1}`, the winner is `i` with probability `i + 1 − c′`
+/// where `c′` is the current weight average — the plain average for the
+/// edge process (`use_degree_weights = false`) or the degree-weighted
+/// average for the vertex process (`true`).
+///
+/// Returns `None` unless the state currently spans at most two adjacent
+/// opinions (the prediction is exact only in the final stage).
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{theory, OpinionState};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(4)?;
+/// let st = OpinionState::new(&g, vec![7, 7, 7, 8])?;
+/// let pred = theory::win_prediction_from_state(&st, false).unwrap();
+/// assert_eq!((pred.lower, pred.upper), (7, 8));
+/// assert!((pred.p_upper - 0.25).abs() < 1e-12); // N_8/n = 1/4
+/// # Ok(())
+/// # }
+/// ```
+pub fn win_prediction_from_state(
+    state: &crate::OpinionState,
+    use_degree_weights: bool,
+) -> Option<WinPrediction> {
+    if !state.is_two_adjacent() {
+        return None;
+    }
+    let c = if use_degree_weights {
+        state.degree_weighted_average()
+    } else {
+        state.average()
+    };
+    let lower = state.min_opinion();
+    let upper = state.max_opinion();
+    if lower == upper {
+        return Some(WinPrediction {
+            lower,
+            upper,
+            p_lower: 1.0,
+            p_upper: 0.0,
+        });
+    }
+    Some(WinPrediction {
+        lower,
+        upper,
+        p_lower: upper as f64 - c,
+        p_upper: c - lower as f64,
+    })
+}
+
+/// Eq. (3), edge process: in two-opinion pull voting, opinion `i` wins
+/// with probability `N_i/n`.
+///
+/// # Panics
+///
+/// Panics if `count > n` or `n == 0`.
+pub fn two_opinion_win_probability_edge(count: usize, n: usize) -> f64 {
+    assert!(n > 0, "n must be positive");
+    assert!(count <= n, "count cannot exceed n");
+    count as f64 / n as f64
+}
+
+/// Eq. (3), vertex process: opinion `i` wins with probability
+/// `d(A_i)/2m`.
+///
+/// # Panics
+///
+/// Panics if `degree_mass > two_m` or `two_m == 0`.
+pub fn two_opinion_win_probability_vertex(degree_mass: u64, two_m: u64) -> f64 {
+    assert!(two_m > 0, "2m must be positive");
+    assert!(degree_mass <= two_m, "degree mass cannot exceed 2m");
+    degree_mass as f64 / two_m as f64
+}
+
+/// Eq. (4): the paper's bound on the expected number of steps until only
+/// two adjacent opinions remain,
+/// `E[T] = O(k·n·log n + n^{5/3}·log n + λk·n² + √λ·n²)`,
+/// evaluated with unit constants.  Use for *shape* comparisons (growth in
+/// `n`, `k`, `λ`), not absolute step counts.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `k == 0`, or `lambda` is not in `[0, 1]`.
+pub fn expected_reduction_time_bound(n: usize, k: usize, lambda: f64) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&lambda),
+        "lambda must be in [0, 1], got {lambda}"
+    );
+    let nf = n as f64;
+    let kf = k as f64;
+    let ln = nf.ln();
+    kf * nf * ln + nf.powf(5.0 / 3.0) * ln + lambda * kf * nf * nf + lambda.sqrt() * nf * nf
+}
+
+/// Eq. (5): Azuma–Hoeffding bound
+/// `P[|W(t) − W(0)| ≥ h] ≤ 2·exp(−h²/2t)` for the weight martingale with
+/// unit increments.
+///
+/// Unit increments hold exactly for `S(t)` (one opinion moves by one per
+/// step).  For `Z(t) = n·Σπ_v X_v` a step at vertex `v` moves the weight
+/// by `n·π_v`, so on irregular graphs use
+/// [`azuma_weight_tail_with_increment`] with `d = n·‖π‖∞` instead — the
+/// paper's `π_min = Θ(1/n)` hypothesis is precisely what keeps that `d`
+/// bounded.
+///
+/// # Panics
+///
+/// Panics if `h < 0` or `t == 0`.
+pub fn azuma_weight_tail(h: f64, t: u64) -> f64 {
+    azuma_weight_tail_with_increment(h, t, 1.0)
+}
+
+/// Azuma–Hoeffding with per-step increments bounded by `d`:
+/// `P[|W(t) − W(0)| ≥ h] ≤ 2·exp(−h²/(2·t·d²))`.
+///
+/// # Panics
+///
+/// Panics if `h < 0`, `t == 0`, or `d <= 0`.
+pub fn azuma_weight_tail_with_increment(h: f64, t: u64, d: f64) -> f64 {
+    assert!(h >= 0.0, "deviation must be non-negative");
+    assert!(t > 0, "time must be positive");
+    assert!(d > 0.0, "increment bound must be positive");
+    (2.0 * (-h * h / (2.0 * t as f64 * d * d)).exp()).min(1.0)
+}
+
+/// The paper's comparison point for load balancing (\[5\], Berenbrink et
+/// al.): the averaging process reaches three consecutive values around the
+/// initial average within `O(n·log n + n·log k)` steps; evaluated with
+/// unit constants.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn load_balancing_time_bound(n: usize, k: usize) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    assert!(k >= 1, "k must be at least 1");
+    let nf = n as f64;
+    nf * nf.ln() + nf * (k.max(2) as f64).ln()
+}
+
+/// Doerr et al.'s median-voting guarantee, for the E6 comparison: on the
+/// complete graph the consensus index `l` satisfies
+/// `|l − n/2| = O(√(n·log n))` w.h.p.  Returns that deviation scale.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn median_voting_index_deviation(n: usize) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    let nf = n as f64;
+    (nf * nf.ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn win_prediction_fractional() {
+        let p = win_prediction(2.75);
+        assert_eq!((p.lower, p.upper), (2, 3));
+        assert!((p.p_lower - 0.25).abs() < 1e-12);
+        assert!((p.p_upper - 0.75).abs() < 1e-12);
+        assert!((p.p_lower + p.p_upper - 1.0).abs() < 1e-12);
+        assert!((p.mean() - 2.75).abs() < 1e-12);
+        assert!((p.probability_of(3) - 0.75).abs() < 1e-12);
+        assert_eq!(p.probability_of(7), 0.0);
+    }
+
+    #[test]
+    fn win_prediction_integer() {
+        let p = win_prediction(4.0);
+        assert_eq!((p.lower, p.upper), (4, 4));
+        assert_eq!(p.p_lower, 1.0);
+        assert_eq!(p.p_upper, 0.0);
+        assert_eq!(p.mean(), 4.0);
+    }
+
+    #[test]
+    fn win_prediction_negative_average() {
+        let p = win_prediction(-1.25);
+        assert_eq!((p.lower, p.upper), (-2, -1));
+        assert!((p.p_lower - 0.25).abs() < 1e-12);
+        assert!((p.mean() + 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_prediction_final_stage_only() {
+        let g = div_graph::generators::star(4).unwrap(); // degrees 3,1,1,1
+                                                         // Not two-adjacent: no prediction.
+        let wide = crate::OpinionState::new(&g, vec![1, 3, 1, 1]).unwrap();
+        assert!(win_prediction_from_state(&wide, false).is_none());
+        // Two adjacent {2, 3}: hub at 3 → vertex-weighted c' differs from
+        // the plain average.
+        let st = crate::OpinionState::new(&g, vec![3, 2, 2, 2]).unwrap();
+        let edge = win_prediction_from_state(&st, false).unwrap();
+        assert!((edge.p_upper - 0.25).abs() < 1e-12); // N_3/n
+        let vertex = win_prediction_from_state(&st, true).unwrap();
+        assert!((vertex.p_upper - 0.5).abs() < 1e-12); // d(A_3)/2m = 3/6
+                                                       // Consensus: certainty.
+        let done = crate::OpinionState::new(&g, vec![5; 4]).unwrap();
+        let p = win_prediction_from_state(&done, false).unwrap();
+        assert_eq!(p.p_lower, 1.0);
+        assert_eq!(p.lower, 5);
+    }
+
+    #[test]
+    fn two_opinion_probabilities() {
+        assert!((two_opinion_win_probability_edge(30, 100) - 0.3).abs() < 1e-12);
+        assert_eq!(two_opinion_win_probability_edge(0, 10), 0.0);
+        assert_eq!(two_opinion_win_probability_edge(10, 10), 1.0);
+        assert!((two_opinion_win_probability_vertex(5, 20) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed n")]
+    fn edge_probability_validates() {
+        let _ = two_opinion_win_probability_edge(11, 10);
+    }
+
+    #[test]
+    fn reduction_bound_shape() {
+        // On K_n (λ = 1/(n−1)), the bound is dominated by the n^{5/3} log n
+        // term for small k: doubling n should scale it by roughly
+        // 2^{5/3}·(log 2n / log n).
+        let n = 10_000;
+        let k = 3;
+        let l = 1.0 / (n as f64 - 1.0);
+        let b1 = expected_reduction_time_bound(n, k, l);
+        let b2 = expected_reduction_time_bound(2 * n, k, 1.0 / (2.0 * n as f64 - 1.0));
+        let ratio = b2 / b1;
+        assert!(ratio > 2.9 && ratio < 3.6, "ratio {ratio}");
+        // Monotone in k and λ.
+        assert!(expected_reduction_time_bound(n, 2 * k, l) > b1);
+        assert!(expected_reduction_time_bound(n, k, 0.5) > b1);
+    }
+
+    #[test]
+    fn azuma_tail_behaviour() {
+        // Small deviation, long time: trivial bound 1.
+        assert_eq!(azuma_weight_tail(1.0, 10_000), 1.0);
+        // Large deviation, short time: tiny.
+        assert!(azuma_weight_tail(1000.0, 100) < 1e-100);
+        // Monotone decreasing in h; increasing in t.
+        assert!(azuma_weight_tail(50.0, 1000) < azuma_weight_tail(40.0, 1000));
+        assert!(azuma_weight_tail(50.0, 2000) > azuma_weight_tail(50.0, 1000));
+        // Exact value check (below the trivial cap).
+        let b = azuma_weight_tail(200.0, 10_000);
+        assert!((b - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+        // General increments: d = 2 quadruples the exponent's denominator.
+        let b2 = azuma_weight_tail_with_increment(400.0, 10_000, 2.0);
+        assert!((b2 - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+        // d = 1 reduces to the unit-increment form.
+        assert_eq!(
+            azuma_weight_tail_with_increment(150.0, 5000, 1.0),
+            azuma_weight_tail(150.0, 5000)
+        );
+    }
+
+    #[test]
+    fn comparison_bounds() {
+        assert!(load_balancing_time_bound(1000, 10) > 0.0);
+        assert!(load_balancing_time_bound(2000, 10) > load_balancing_time_bound(1000, 10));
+        let d = median_voting_index_deviation(10_000);
+        assert!(d > 100.0 && d < 1000.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the DIV process and its bookkeeping.
+
+use div_core::{init, DivProcess, EdgeScheduler, OpinionState, Scheduler, VertexScheduler};
+use div_graph::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small connected workload graph chosen by an index.
+fn workload_graph(pick: u8, size: usize, seed: u64) -> div_graph::Graph {
+    let n = size.max(4);
+    match pick % 5 {
+        0 => generators::complete(n).unwrap(),
+        1 => generators::cycle(n).unwrap(),
+        2 => generators::wheel(n.max(4)).unwrap(),
+        3 => generators::star(n).unwrap(),
+        _ => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = if n.is_multiple_of(2) { 3 } else { 4 };
+            generators::random_regular(n, d, &mut rng).unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// After an arbitrary run prefix the incremental aggregates match a
+    /// from-scratch recomputation.
+    #[test]
+    fn bookkeeping_is_exact(
+        pick in any::<u8>(),
+        size in 4usize..30,
+        k in 1usize..9,
+        seed in any::<u64>(),
+        steps in 0usize..3000,
+    ) {
+        let g = workload_graph(pick, size, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        for _ in 0..steps {
+            p.step(&mut rng);
+        }
+        p.state().check_invariants();
+    }
+
+    /// The opinion range never expands beyond what has been seen, under
+    /// either scheduler.
+    #[test]
+    fn range_nonexpanding(
+        pick in any::<u8>(),
+        size in 4usize..25,
+        k in 2usize..8,
+        seed in any::<u64>(),
+        edge_process in any::<bool>(),
+    ) {
+        let g = workload_graph(pick, size, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1111);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        type StepFn<'a> = Box<dyn FnMut(&mut StdRng) -> (i64, i64) + 'a>;
+        let mut step: StepFn<'_> = if edge_process {
+            let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+            Box::new(move |rng| {
+                p.step(rng);
+                (p.state().min_opinion(), p.state().max_opinion())
+            })
+        } else {
+            let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+            Box::new(move |rng| {
+                p.step(rng);
+                (p.state().min_opinion(), p.state().max_opinion())
+            })
+        };
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        for _ in 0..2000 {
+            let (mn, mx) = step(&mut rng);
+            prop_assert!(mn >= lo || lo == i64::MIN, "min never decreases");
+            prop_assert!(mx <= hi || hi == i64::MAX, "max never increases");
+            lo = mn;
+            hi = mx;
+        }
+    }
+
+    /// Azuma increments: |S(t+1) − S(t)| ≤ 1 always, and
+    /// |Z(t+1) − Z(t)| ≤ n·‖π‖∞ for the vertex process.
+    #[test]
+    fn martingale_increments_bounded(
+        pick in any::<u8>(),
+        size in 4usize..25,
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let g = workload_graph(pick, size, seed);
+        let n = g.num_vertices() as f64;
+        let pi_max = g.max_degree() as f64 / g.total_degree() as f64;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2222);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let mut s_prev = p.state().sum();
+        let mut z_prev = p.state().z_weight();
+        for _ in 0..1500 {
+            p.step(&mut rng);
+            let s = p.state().sum();
+            let z = p.state().z_weight();
+            prop_assert!((s - s_prev).abs() <= 1);
+            prop_assert!((z - z_prev).abs() <= n * pi_max + 1e-9);
+            s_prev = s;
+            z_prev = z;
+        }
+    }
+
+    /// Consensus on the support's interval: the winner is always within
+    /// the initial [min, max], and once consensus is reached the state is
+    /// absorbing under further manual steps.
+    #[test]
+    fn winner_within_initial_range(
+        size in 4usize..16,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::complete(size).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3333);
+        let opinions = init::uniform_random(size, k, &mut rng).unwrap();
+        let (lo0, hi0) = (
+            *opinions.iter().min().unwrap(),
+            *opinions.iter().max().unwrap(),
+        );
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let status = p.run_to_consensus(3_000_000, &mut rng);
+        if let Some(w) = status.consensus_opinion() {
+            prop_assert!((lo0..=hi0).contains(&w));
+            for _ in 0..50 {
+                let ev = p.step(&mut rng);
+                prop_assert!(!ev.changed());
+            }
+        }
+    }
+
+    /// The generic `set_opinion` keeps exact bookkeeping under arbitrary
+    /// in-span jumps (the baselines' access pattern).
+    #[test]
+    fn state_handles_arbitrary_in_span_jumps(
+        size in 3usize..20,
+        span in 1i64..12,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..400),
+    ) {
+        let g = generators::complete(size).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions: Vec<i64> = (0..size).map(|_| rng.gen_range(0..=span)).collect();
+        // Pin the span by force: ensure both ends present.
+        let mut opinions = opinions;
+        opinions[0] = 0;
+        if size > 1 { opinions[1] = span; }
+        let mut st = OpinionState::new(&g, opinions).unwrap();
+        for (rv, rx) in ops {
+            let v = rv as usize % size;
+            let x = rx as i64 % (span + 1);
+            st.set_opinion(v, x);
+        }
+        st.check_invariants();
+    }
+
+    /// Both schedulers only ever produce adjacent ordered pairs.
+    #[test]
+    fn schedulers_produce_edges(
+        pick in any::<u8>(),
+        size in 4usize..20,
+        seed in any::<u64>(),
+    ) {
+        let g = workload_graph(pick, size, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
+        let vs = VertexScheduler::new();
+        let es = EdgeScheduler::new();
+        for _ in 0..200 {
+            let (v, w) = vs.pick(&g, &mut rng);
+            prop_assert!(g.has_edge(v, w));
+            let (a, b) = es.pick(&g, &mut rng);
+            prop_assert!(g.has_edge(a, b));
+        }
+    }
+}

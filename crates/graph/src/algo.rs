@@ -1,0 +1,436 @@
+//! Structural algorithms on [`Graph`]: traversal, connectivity,
+//! bipartiteness, distances and degree statistics.
+//!
+//! The voting theory of the paper assumes a *connected* graph (otherwise
+//! consensus is impossible) and an *aperiodic* walk (bipartite graphs have
+//! `λ = 1`), so [`is_connected`] and [`is_bipartite`] are used as workload
+//! preconditions throughout the experiments.
+
+use std::collections::VecDeque;
+
+use crate::Graph;
+
+/// Breadth-first search distances from `source`; unreachable vertices get
+/// `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source >= g.num_vertices()`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::generators::path(4)?;
+/// assert_eq!(div_graph::algo::bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.num_vertices(), "source out of range");
+    let mut dist = vec![usize::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for w in g.neighbors(v) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected.
+///
+/// A single-vertex graph is connected.
+pub fn is_connected(g: &Graph) -> bool {
+    bfs_distances(g, 0).iter().all(|&d| d != usize::MAX)
+}
+
+/// The connected components as a vector of component ids in `0..k`,
+/// together with the component count `k`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for w in g.neighbors(v) {
+                if comp[w] == usize::MAX {
+                    comp[w] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Whether the graph is bipartite (2-colourable).
+///
+/// For a connected bipartite graph the simple random walk is periodic and
+/// the paper's spectral condition fails (`λ = 1`); experiments therefore
+/// avoid bipartite inputs or use near-bipartite ones only as negative
+/// controls.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for w in g.neighbors(v) {
+                if color[w] == u8::MAX {
+                    color[w] = 1 - color[v];
+                    queue.push_back(w);
+                } else if color[w] == color[v] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Eccentricity of `source`: the largest BFS distance to any reachable
+/// vertex.
+///
+/// # Panics
+///
+/// Panics if `source >= g.num_vertices()` or the graph is disconnected.
+pub fn eccentricity(g: &Graph, source: usize) -> usize {
+    let dist = bfs_distances(g, source);
+    let max = *dist.iter().max().expect("graph has at least one vertex");
+    assert!(
+        max != usize::MAX,
+        "eccentricity undefined on a disconnected graph"
+    );
+    max
+}
+
+/// Exact diameter by running BFS from every vertex (`O(n(n + m))`).
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+pub fn diameter(g: &Graph) -> usize {
+    g.vertices().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Lower bound on the diameter via the standard double-sweep heuristic
+/// (exact on trees; never exceeds the true diameter).
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+pub fn diameter_double_sweep(g: &Graph) -> usize {
+    let d0 = bfs_distances(g, 0);
+    let far = d0
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v)
+        .expect("graph has at least one vertex");
+    eccentricity(g, far)
+}
+
+/// Summary of a graph's degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+}
+
+/// Computes the [`DegreeStats`] of a graph.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::generators::star(5)?;
+/// let s = div_graph::algo::degree_stats(&g);
+/// assert_eq!(s.min, 1);
+/// assert_eq!(s.max, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices() as f64;
+    let mean = g.total_degree() as f64 / n;
+    let variance = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean,
+        variance,
+    }
+}
+
+/// Number of triangles through each vertex (`O(Σ_v d(v)²)` with the
+/// sorted-adjacency merge).
+pub fn triangles_per_vertex(g: &Graph) -> Vec<usize> {
+    let mut count = vec![0usize; g.num_vertices()];
+    // Sorted adjacency, collected once so the per-edge merge below borrows
+    // instead of reallocating.
+    let adjacency: Vec<Vec<usize>> = g.vertices().map(|v| g.neighbors(v).collect()).collect();
+    // Each triangle {a, b, c} is found once via its (ordered) edge pairs:
+    // for every edge (u, v) with u < v, count common neighbours w > v to
+    // visit each triangle exactly once, then credit all three corners.
+    for (u, v) in g.edges() {
+        let nu = &adjacency[u];
+        let nv = &adjacency[v];
+        let (mut i, mut j) = (0, 0);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = nu[i];
+                    if w > v {
+                        count[u] += 1;
+                        count[v] += 1;
+                        count[w] += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The average local clustering coefficient (Watts–Strogatz): the mean
+/// over vertices of `triangles(v) / C(d(v), 2)`, skipping degree-< 2
+/// vertices as 0.
+///
+/// High for ring lattices and cliques, near `d/n` for random graphs —
+/// the signature small-world diagnostic.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let tri = triangles_per_vertex(g);
+    let n = g.num_vertices() as f64;
+    g.vertices()
+        .map(|v| {
+            let d = g.degree(v);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * tri[v] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// The degree histogram: `hist[d]` counts vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = generators::cycle(6).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!is_connected(&g));
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn components_of_connected_graph() {
+        let g = generators::complete(5).unwrap();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn bipartite_families() {
+        assert!(is_bipartite(&generators::path(7).unwrap()));
+        assert!(is_bipartite(&generators::cycle(8).unwrap()));
+        assert!(!is_bipartite(&generators::cycle(7).unwrap()));
+        assert!(is_bipartite(&generators::hypercube(3).unwrap()));
+        assert!(is_bipartite(&generators::complete_bipartite(3, 4).unwrap()));
+        assert!(!is_bipartite(&generators::complete(4).unwrap()));
+        assert!(!is_bipartite(&generators::wheel(6).unwrap()));
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&generators::path(9).unwrap()), 8);
+        assert_eq!(diameter(&generators::cycle(9).unwrap()), 4);
+        assert_eq!(diameter(&generators::complete(9).unwrap()), 1);
+        assert_eq!(diameter(&generators::star(9).unwrap()), 2);
+        assert_eq!(diameter(&generators::hypercube(4).unwrap()), 4);
+    }
+
+    #[test]
+    fn double_sweep_is_valid_lower_bound() {
+        for g in [
+            generators::path(15).unwrap(),
+            generators::cycle(12).unwrap(),
+            generators::grid2d(4, 5).unwrap(),
+            generators::barbell(4, 3).unwrap(),
+            generators::binary_tree(15).unwrap(),
+        ] {
+            let exact = diameter(&g);
+            let sweep = diameter_double_sweep(&g);
+            assert!(sweep <= exact);
+            // Exact on trees and paths.
+            if g.num_edges() + 1 == g.num_vertices() {
+                assert_eq!(sweep, exact);
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_of_path_center() {
+        let g = generators::path(9).unwrap();
+        assert_eq!(eccentricity(&g, 4), 4);
+        assert_eq!(eccentricity(&g, 0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn eccentricity_panics_on_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        eccentricity(&g, 0);
+    }
+
+    #[test]
+    fn degree_stats_regular_graph_has_zero_variance() {
+        let s = degree_stats(&generators::cycle(10).unwrap());
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.variance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&generators::star(5).unwrap());
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert!(s.variance > 1.0);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        // K_4: each vertex is in C(3,2) = 3 triangles.
+        let k4 = generators::complete(4).unwrap();
+        assert_eq!(triangles_per_vertex(&k4), vec![3; 4]);
+        // Trees and even cycles have none.
+        assert!(triangles_per_vertex(&generators::binary_tree(7).unwrap())
+            .iter()
+            .all(|&t| t == 0));
+        assert!(triangles_per_vertex(&generators::cycle(6).unwrap())
+            .iter()
+            .all(|&t| t == 0));
+        // Wheel W_5 (hub + C_4): hub in 4 triangles, rim vertices in 2.
+        let w = generators::wheel(5).unwrap();
+        let t = triangles_per_vertex(&w);
+        assert_eq!(t[0], 4);
+        assert!(t[1..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((clustering_coefficient(&generators::complete(7).unwrap()) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&generators::cycle(8).unwrap()), 0.0);
+        assert_eq!(clustering_coefficient(&generators::star(6).unwrap()), 0.0);
+        // Ring lattice (circulant with strides {1,2}): each vertex's 4
+        // neighbours share 3 of the C(4,2) = 6 possible edges → 1/2.
+        let ring = generators::circulant(12, &[1, 2]).unwrap();
+        assert!((clustering_coefficient(&ring) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_destroys_clustering() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let lattice = generators::watts_strogatz(200, 8, 0.0, &mut rng).unwrap();
+        let rewired = generators::watts_strogatz(200, 8, 1.0, &mut rng).unwrap();
+        let c0 = clustering_coefficient(&lattice);
+        let c1 = clustering_coefficient(&rewired);
+        assert!(c0 > 0.5, "lattice clustering {c0}");
+        assert!(c1 < 0.2, "rewired clustering {c1}");
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = generators::double_star(3, 5).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+        assert_eq!(h[1], 8); // leaves
+        assert_eq!(h[4], 1); // left hub (3 leaves + bridge)
+        assert_eq!(h[6], 1); // right hub
+    }
+
+    #[test]
+    fn barabasi_albert_has_heavy_degree_tail() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let ba = generators::barabasi_albert(600, 3, &mut rng).unwrap();
+        let h = degree_histogram(&ba);
+        // Most vertices sit at/near the minimum degree, a few far above.
+        let at_min: usize = h[3..6.min(h.len())].iter().sum();
+        assert!(at_min > 300, "bulk near minimum degree, got {at_min}");
+        assert!(
+            h.len() > 20,
+            "max degree {} too small for a hub tail",
+            h.len() - 1
+        );
+    }
+}

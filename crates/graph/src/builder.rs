@@ -1,0 +1,214 @@
+use crate::{Graph, GraphError};
+
+/// Incremental, validated construction of a [`Graph`].
+///
+/// The builder accepts edges in any orientation and any order; the final
+/// [`GraphBuilder::build`] canonicalises them (endpoints sorted within an
+/// edge, edges sorted lexicographically) and assembles the CSR arrays.
+///
+/// # Examples
+///
+/// ```
+/// use div_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let mut builder = GraphBuilder::new(3)?;
+/// builder.add_edge(0, 1)?;
+/// builder.add_edge(2, 1)?; // orientation does not matter
+/// let g = builder.build()?;
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph on `num_vertices` vertices (ids
+    /// `0..num_vertices`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] if `num_vertices == 0`, and
+    /// [`GraphError::InvalidParameter`] if `num_vertices` exceeds `u32`
+    /// range (the internal vertex-id width).
+    pub fn new(num_vertices: usize) -> Result<Self, GraphError> {
+        if num_vertices == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if num_vertices > u32::MAX as usize {
+            return Err(GraphError::invalid(format!(
+                "num_vertices {num_vertices} exceeds the supported maximum {}",
+                u32::MAX
+            )));
+        }
+        Ok(GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+        })
+    }
+
+    /// Like [`GraphBuilder::new`] but pre-allocates for `num_edges` edges.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::new`].
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Result<Self, GraphError> {
+        let mut b = Self::new(num_vertices)?;
+        b.edges.reserve(num_edges);
+        Ok(b)
+    }
+
+    /// Number of vertices of the graph under construction.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far (duplicates are only detected at
+    /// [`GraphBuilder::build`] time).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::VertexOutOfRange`] if an endpoint is `>=` the number of
+    /// vertices.  Duplicate detection is deferred to
+    /// [`GraphBuilder::build`], which reports [`GraphError::DuplicateEdge`].
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        for w in [u, v] {
+            if w >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32));
+        Ok(self)
+    }
+
+    /// Finishes construction, validating simplicity and assembling the CSR
+    /// arrays in `O(n + m log m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateEdge`] if any edge was added twice
+    /// (in either orientation).
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let GraphBuilder {
+            num_vertices,
+            mut edges,
+        } = self;
+        edges.sort_unstable();
+        if let Some(w) = edges.windows(2).find(|w| w[0] == w[1]) {
+            return Err(GraphError::DuplicateEdge {
+                u: w[0].0 as usize,
+                v: w[0].1 as usize,
+            });
+        }
+
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(u, v) in &edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; 2 * edges.len()];
+        // Edges are sorted, so filling in order keeps each adjacency list
+        // sorted: for a fixed u the v's arrive ascending, and for a fixed v
+        // the u's arrive ascending (u < v always).
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for &(u, v) in &edges {
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // The two passes above each append ascending sequences, but vertex
+        // w's list receives first its larger neighbours (as u) then its
+        // smaller ones (as v) interleaved per pass; merge-sort each list to
+        // restore global order. Lists are short; a per-list sort is cheap
+        // and keeps the code obviously correct.
+        for v in 0..num_vertices {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Ok(Graph::from_parts(offsets, neighbors, edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_counts_track_additions() {
+        let mut b = GraphBuilder::new(4).unwrap();
+        assert_eq!(b.num_vertices(), 4);
+        assert_eq!(b.num_edges(), 0);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    fn chained_adds() {
+        let mut b = GraphBuilder::new(3).unwrap();
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let a = GraphBuilder::with_capacity(5, 10).unwrap();
+        assert_eq!(a.num_vertices(), 5);
+        assert_eq!(a.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_detected_at_build() {
+        let mut b = GraphBuilder::new(3).unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap(); // accepted here...
+        let err = b.build().unwrap_err(); // ...rejected here
+        assert_eq!(err, GraphError::DuplicateEdge { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn adjacency_lists_sorted_for_scrambled_input() {
+        // Star centred at 3, edges supplied in scrambled orientations.
+        let mut b = GraphBuilder::new(6).unwrap();
+        for v in [5, 0, 4, 1, 2] {
+            if v < 3 {
+                b.add_edge(v, 3).unwrap();
+            } else {
+                b.add_edge(3, v).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(3).collect::<Vec<_>>(), vec![0, 1, 2, 4, 5]);
+        for v in [0, 1, 2, 4, 5] {
+            assert_eq!(g.neighbors(v).collect::<Vec<_>>(), vec![3]);
+        }
+    }
+
+    #[test]
+    fn zero_vertices_rejected() {
+        assert_eq!(GraphBuilder::new(0).unwrap_err(), GraphError::EmptyGraph);
+    }
+}

@@ -1,0 +1,95 @@
+//! Graphviz DOT export, for eyeballing workloads and opinion states.
+//!
+//! The `divlab` CLI and the examples use this to hand a graph (optionally
+//! coloured by opinion) to `dot`/`neato`.
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Renders the graph in DOT format.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::generators::path(3)?;
+/// let dot = div_graph::dot::render(&g);
+/// assert!(dot.starts_with("graph {"));
+/// assert!(dot.contains("0 -- 1;"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(g: &Graph) -> String {
+    render_with_labels(g, |_| None)
+}
+
+/// Renders the graph in DOT format with per-vertex labels (e.g. the
+/// current opinions); `label(v) == None` leaves vertex `v` unlabelled.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::generators::path(2)?;
+/// let opinions = [4i64, 7];
+/// let dot = div_graph::dot::render_with_labels(&g, |v| Some(opinions[v].to_string()));
+/// assert!(dot.contains("0 [label=\"4\"];"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_with_labels<F>(g: &Graph, label: F) -> String
+where
+    F: Fn(usize) -> Option<String>,
+{
+    let mut out = String::from("graph {\n");
+    for v in g.vertices() {
+        if let Some(l) = label(v) {
+            let escaped = l.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(out, "  {v} [label=\"{escaped}\"];");
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_every_edge_once() {
+        let g = generators::cycle(4).unwrap();
+        let dot = render(&g);
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("0 -- 3;"));
+        assert!(dot.starts_with("graph {\n"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn labels_are_emitted_and_escaped() {
+        let g = generators::path(3).unwrap();
+        let dot = render_with_labels(&g, |v| {
+            if v == 1 {
+                Some("say \"hi\"".to_string())
+            } else {
+                None
+            }
+        });
+        assert!(dot.contains("1 [label=\"say \\\"hi\\\"\"];"));
+        assert!(!dot.contains("0 [label"));
+    }
+
+    #[test]
+    fn edgeless_graph_renders() {
+        let g = Graph::from_edges(2, std::iter::empty()).unwrap();
+        let dot = render(&g);
+        assert_eq!(dot, "graph {\n}\n");
+    }
+}

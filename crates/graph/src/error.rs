@@ -1,0 +1,136 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or generating graphs.
+///
+/// Every constructor in this crate validates its input eagerly and reports
+/// the first violation through this type, so that a [`crate::Graph`] value
+/// always satisfies the *simple undirected graph* invariants (no loops, no
+/// parallel edges, endpoints in range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: usize,
+        /// The number of vertices of the graph being built.
+        num_vertices: usize,
+    },
+    /// An edge `(v, v)` was supplied; simple graphs have no loops.
+    SelfLoop {
+        /// The vertex with the attempted loop.
+        vertex: usize,
+    },
+    /// The same edge was supplied twice; simple graphs have no parallel
+    /// edges.
+    DuplicateEdge {
+        /// One endpoint of the duplicated edge.
+        u: usize,
+        /// The other endpoint of the duplicated edge.
+        v: usize,
+    },
+    /// A generator was asked for a graph with zero vertices.
+    EmptyGraph,
+    /// A generator parameter was outside its documented domain.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized generator exhausted its retry budget without producing
+    /// a valid (simple / connected) sample.
+    GenerationFailed {
+        /// Name of the generator that gave up.
+        generator: &'static str,
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(
+                    f,
+                    "self loop at vertex {vertex} not allowed in a simple graph"
+                )
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v}) not allowed in a simple graph")
+            }
+            GraphError::EmptyGraph => write!(f, "graph must have at least one vertex"),
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::GenerationFailed {
+                generator,
+                attempts,
+            } => write!(
+                f,
+                "generator `{generator}` failed to produce a valid graph after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl GraphError {
+    /// Convenience constructor for [`GraphError::InvalidParameter`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        GraphError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::VertexOutOfRange {
+                    vertex: 7,
+                    num_vertices: 5,
+                },
+                "vertex 7 out of range",
+            ),
+            (GraphError::SelfLoop { vertex: 3 }, "self loop at vertex 3"),
+            (
+                GraphError::DuplicateEdge { u: 1, v: 2 },
+                "duplicate edge (1, 2)",
+            ),
+            (GraphError::EmptyGraph, "at least one vertex"),
+            (GraphError::invalid("d must be even"), "d must be even"),
+            (
+                GraphError::GenerationFailed {
+                    generator: "random_regular",
+                    attempts: 10,
+                },
+                "`random_regular` failed",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

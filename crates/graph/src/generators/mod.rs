@@ -1,0 +1,19 @@
+//! Graph families used throughout the paper's analysis and experiments.
+//!
+//! The deterministic families ([`complete`], [`path`], [`cycle`], …) are the
+//! analytical touchstones: their random-walk spectra are known in closed
+//! form, so they anchor the spectral tests and the theory-vs-measurement
+//! tables.  The random families ([`random_regular`], [`gnp`], …) are the
+//! expander classes for which Theorem 2 of the paper applies.  Several
+//! deliberately *irregular* families ([`star`], [`double_star`],
+//! [`barbell`], [`lollipop`]) separate the vertex process (degree-weighted
+//! average) from the edge process (plain average).
+
+mod deterministic;
+mod random;
+
+pub use deterministic::{
+    barbell, binary_tree, circulant, complete, complete_bipartite, complete_multipartite, cycle,
+    double_star, grid2d, hypercube, lollipop, path, star, torus2d, wheel,
+};
+pub use random::{barabasi_albert, gnp, random_regular, watts_strogatz};

@@ -1,0 +1,217 @@
+//! graph6 text encoding (McKay's format), for interop with nauty,
+//! geng, SageMath, networkx and the house-of-graphs corpus.
+//!
+//! graph6 encodes an undirected simple graph as printable ASCII: a vertex
+//! count header followed by the upper-triangle adjacency bits in
+//! column-major order, six bits per character (offset 63).  See
+//! <https://users.cecs.anu.edu.au/~bdm/data/formats.txt>.
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Encodes a graph as a graph6 string.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::generators::complete(3)?;
+/// // K_3 is "Bw": n=3 → 'B'; bits 11 (0,1),(0,2) then (1,2)=1 → 111000.
+/// assert_eq!(div_graph::graph6::encode(&g), "Bw");
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(g: &Graph) -> String {
+    let n = g.num_vertices();
+    let mut out = String::new();
+    // Header N(n).
+    if n <= 62 {
+        out.push((n as u8 + 63) as char);
+    } else if n <= 258_047 {
+        out.push(126 as char);
+        for shift in [12, 6, 0] {
+            out.push((((n >> shift) & 0x3F) as u8 + 63) as char);
+        }
+    } else {
+        out.push(126 as char);
+        out.push(126 as char);
+        for shift in [30, 24, 18, 12, 6, 0] {
+            out.push((((n >> shift) & 0x3F) as u8 + 63) as char);
+        }
+    }
+    // Upper-triangle bits, column-major: (0,1), (0,2), (1,2), (0,3), …
+    let mut bits: Vec<bool> = Vec::with_capacity(n * (n - 1) / 2);
+    for v in 1..n {
+        for u in 0..v {
+            bits.push(g.has_edge(u, v));
+        }
+    }
+    for chunk in bits.chunks(6) {
+        let mut val = 0u8;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b {
+                val |= 1 << (5 - i);
+            }
+        }
+        out.push((val + 63) as char);
+    }
+    out
+}
+
+/// Decodes a graph6 string.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for malformed input
+/// (bad header, characters outside the printable range, wrong length,
+/// or nonzero padding bits), and [`GraphError::EmptyGraph`] for `n = 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::graph6::decode("Bw")?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Graph, GraphError> {
+    let bytes = s.trim_end().as_bytes();
+    if bytes.iter().any(|&b| !(63..=126).contains(&b)) {
+        return Err(GraphError::invalid("graph6 contains a non-printable byte"));
+    }
+    let (n, mut pos) = decode_header(bytes)?;
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let nbits = n * (n - 1) / 2;
+    let expected_chars = nbits.div_ceil(6);
+    if bytes.len() - pos != expected_chars {
+        return Err(GraphError::invalid(format!(
+            "graph6 body has {} characters, expected {expected_chars} for n = {n}",
+            bytes.len() - pos
+        )));
+    }
+    let mut builder = GraphBuilder::new(n)?;
+    let mut bit_index = 0usize;
+    let mut coords = upper_triangle_coords(n);
+    while pos < bytes.len() {
+        let val = bytes[pos] - 63;
+        pos += 1;
+        for i in 0..6 {
+            let bit = (val >> (5 - i)) & 1 == 1;
+            if bit_index < nbits {
+                let (u, v) = coords.next().expect("coords cover nbits entries");
+                if bit {
+                    builder.add_edge(u, v)?;
+                }
+            } else if bit {
+                return Err(GraphError::invalid("graph6 padding bits must be zero"));
+            }
+            bit_index += 1;
+        }
+    }
+    builder.build()
+}
+
+fn decode_header(bytes: &[u8]) -> Result<(usize, usize), GraphError> {
+    match bytes {
+        [] => Err(GraphError::invalid("graph6 string is empty")),
+        [126, 126, rest @ ..] => {
+            if rest.len() < 6 {
+                return Err(GraphError::invalid("graph6 long header truncated"));
+            }
+            let mut n = 0usize;
+            for &b in &rest[..6] {
+                n = (n << 6) | (b - 63) as usize;
+            }
+            Ok((n, 8))
+        }
+        [126, rest @ ..] => {
+            if rest.len() < 3 {
+                return Err(GraphError::invalid("graph6 medium header truncated"));
+            }
+            let mut n = 0usize;
+            for &b in &rest[..3] {
+                n = (n << 6) | (b - 63) as usize;
+            }
+            Ok((n, 4))
+        }
+        [b, ..] => Ok(((b - 63) as usize, 1)),
+    }
+}
+
+/// Yields the column-major upper-triangle coordinates
+/// `(0,1), (0,2), (1,2), (0,3), …`.
+fn upper_triangle_coords(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (1..n).flat_map(move |v| (0..v).map(move |u| (u, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_encodings() {
+        // Reference strings from the nauty documentation / SageMath.
+        assert_eq!(encode(&generators::complete(3).unwrap()), "Bw");
+        assert_eq!(encode(&generators::complete(4).unwrap()), "C~");
+        // Single vertex, no edges: just the header '@' (n = 1).
+        let single = Graph::from_edges(1, std::iter::empty()).unwrap();
+        assert_eq!(encode(&single), "@");
+        // P_4 (path on 4 vertices) is "Ch" in canonical numbering 0-1-2-3:
+        // bits (0,1)=1,(0,2)=0,(1,2)=1,(0,3)=0,(1,3)=0,(2,3)=1 → 101001.
+        assert_eq!(encode(&generators::path(4).unwrap()), "Ch");
+    }
+
+    #[test]
+    fn roundtrip_families() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in [
+            generators::complete(7).unwrap(),
+            generators::cycle(9).unwrap(),
+            generators::star(12).unwrap(),
+            generators::wheel(8).unwrap(),
+            generators::gnp(40, 0.15, &mut rng).unwrap(),
+            generators::random_regular(20, 3, &mut rng).unwrap(),
+            Graph::from_edges(2, std::iter::empty()).unwrap(),
+        ] {
+            let s = encode(&g);
+            let back = decode(&s).unwrap();
+            assert_eq!(g, back, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn medium_header_roundtrip() {
+        // n = 70 forces the 126-prefixed 18-bit header.
+        let g = generators::cycle(70).unwrap();
+        let s = encode(&g);
+        assert_eq!(s.as_bytes()[0], 126);
+        assert_eq!(decode(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode("").is_err());
+        assert!(decode("B").is_err()); // missing body for n = 3
+        assert!(decode("Bww").is_err()); // excess body
+        assert!(decode("?").is_err()); // n = 0
+        assert!(decode("\u{7}A").is_err()); // non-printable
+                                            // Nonzero padding: n = 3 needs 3 bits; set a 4th bit → '~' has
+                                            // them all set.
+        assert!(decode("B~").is_err());
+        // Truncated long headers.
+        assert!(decode("~A").is_err());
+        assert!(decode("~~AA").is_err());
+    }
+
+    #[test]
+    fn trailing_newline_is_tolerated() {
+        let g = generators::complete(3).unwrap();
+        assert_eq!(decode("Bw\n").unwrap(), g);
+    }
+}

@@ -1,0 +1,50 @@
+//! Undirected simple graphs for voting-process simulation.
+//!
+//! This crate is the graph substrate of the *discrete incremental voting*
+//! reproduction.  It provides:
+//!
+//! * [`Graph`] — an immutable, compressed-sparse-row (CSR) representation of
+//!   a finite undirected simple graph, optimised for the two access patterns
+//!   the voting processes need: *uniform neighbour of a vertex* (vertex
+//!   process) and *uniform edge* (edge process).
+//! * [`GraphBuilder`] — validated construction from edge lists.
+//! * [`generators`] — the deterministic and random graph families used in
+//!   the paper's analysis: complete graphs, paths/cycles, random `d`-regular
+//!   graphs, Erdős–Rényi `G(n,p)`, and several irregular families used to
+//!   separate the vertex and edge processes.
+//! * [`algo`] — basic structural algorithms (BFS, connectivity,
+//!   bipartiteness, diameter, degree statistics).
+//!
+//! # Examples
+//!
+//! ```
+//! use div_graph::generators;
+//!
+//! # fn main() -> Result<(), div_graph::GraphError> {
+//! let g = generators::complete(5)?;
+//! assert_eq!(g.num_vertices(), 5);
+//! assert_eq!(g.num_edges(), 10);
+//! assert_eq!(g.degree(0), 4);
+//! assert!(div_graph::algo::is_connected(&g));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+mod builder;
+pub mod dot;
+mod error;
+pub mod generators;
+mod graph;
+pub mod graph6;
+pub mod ops;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edges, Graph, Neighbors};
+
+/// Crate-wide result alias.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;

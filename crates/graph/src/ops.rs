@@ -1,0 +1,266 @@
+//! Graph operations: complement, induced subgraph, disjoint union,
+//! Cartesian product, and line graph.
+//!
+//! These are used to assemble composite workloads (e.g. a torus as the
+//! Cartesian product of two cycles) and as cross-checks for the direct
+//! generators.
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// The complement graph: `{u, v}` is an edge iff it is not one in `g`.
+///
+/// # Errors
+///
+/// Propagates builder errors (none are reachable for valid inputs).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), div_graph::GraphError> {
+/// let g = div_graph::generators::path(4)?; // 0-1-2-3
+/// let c = div_graph::ops::complement(&g)?;
+/// assert_eq!(c.num_edges(), 6 - 3);
+/// assert!(c.has_edge(0, 2) && c.has_edge(0, 3) && c.has_edge(1, 3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn complement(g: &Graph) -> Result<Graph, GraphError> {
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2 - g.num_edges())?;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// The subgraph induced by `keep` (a vertex membership mask), with
+/// vertices renumbered in increasing original order.
+///
+/// Returns the new graph and the mapping `new id → old id`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `keep` selects no vertex.
+///
+/// # Panics
+///
+/// Panics if `keep.len()` differs from the vertex count.
+pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> Result<(Graph, Vec<usize>), GraphError> {
+    assert_eq!(
+        keep.len(),
+        g.num_vertices(),
+        "mask must have one entry per vertex"
+    );
+    let old_ids: Vec<usize> = g.vertices().filter(|&v| keep[v]).collect();
+    if old_ids.is_empty() {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut new_id = vec![usize::MAX; g.num_vertices()];
+    for (i, &v) in old_ids.iter().enumerate() {
+        new_id[v] = i;
+    }
+    let mut b = GraphBuilder::new(old_ids.len())?;
+    for (u, v) in g.edges() {
+        if keep[u] && keep[v] {
+            b.add_edge(new_id[u], new_id[v])?;
+        }
+    }
+    Ok((b.build()?, old_ids))
+}
+
+/// The disjoint union of two graphs; `b`'s vertices are shifted by
+/// `a.num_vertices()`.  The result is disconnected (useful as a negative
+/// control for connectivity-dependent claims).
+///
+/// # Errors
+///
+/// Propagates builder errors (none are reachable for valid inputs).
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Result<Graph, GraphError> {
+    let na = a.num_vertices();
+    let mut builder =
+        GraphBuilder::with_capacity(na + b.num_vertices(), a.num_edges() + b.num_edges())?;
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v)?;
+    }
+    for (u, v) in b.edges() {
+        builder.add_edge(na + u, na + v)?;
+    }
+    builder.build()
+}
+
+/// The Cartesian product `a □ b`: vertex set `V(a) × V(b)`, with
+/// `(u1, v1) ~ (u2, v2)` iff (`u1 = u2` and `v1 ~ v2`) or (`v1 = v2` and
+/// `u1 ~ u2`).  Vertex `(u, v)` has id `u * b.num_vertices() + v`.
+///
+/// `C_m □ C_n` is the `m × n` torus; `K_2 □ K_2 □ …` builds hypercubes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if the product would exceed
+/// the vertex-id width.
+pub fn cartesian_product(a: &Graph, b: &Graph) -> Result<Graph, GraphError> {
+    let (na, nb) = (a.num_vertices(), b.num_vertices());
+    let n = na
+        .checked_mul(nb)
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or_else(|| GraphError::invalid("cartesian product too large"))?;
+    let id = |u: usize, v: usize| u * nb + v;
+    let mut builder = GraphBuilder::with_capacity(n, na * b.num_edges() + nb * a.num_edges())?;
+    for u in 0..na {
+        for (v1, v2) in b.edges() {
+            builder.add_edge(id(u, v1), id(u, v2))?;
+        }
+    }
+    for v in 0..nb {
+        for (u1, u2) in a.edges() {
+            builder.add_edge(id(u1, v), id(u2, v))?;
+        }
+    }
+    builder.build()
+}
+
+/// The line graph `L(g)`: one vertex per edge of `g`, adjacent iff the
+/// edges share an endpoint.  Vertex `e` of the result corresponds to
+/// `g.edge(e)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] if `g` has no edges.
+pub fn line_graph(g: &Graph) -> Result<Graph, GraphError> {
+    let m = g.num_edges();
+    if m == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    // Group edge indices by endpoint, then connect all pairs within each
+    // group (dedup via the builder would reject shared pairs: two edges
+    // share at most one endpoint in a simple graph, so no duplicates).
+    let mut at_vertex: Vec<Vec<u32>> = vec![Vec::new(); g.num_vertices()];
+    for (e, (u, v)) in g.edges().enumerate() {
+        at_vertex[u].push(e as u32);
+        at_vertex[v].push(e as u32);
+    }
+    let mut b = GraphBuilder::new(m)?;
+    for group in &at_vertex {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                b.add_edge(group[i] as usize, group[j] as usize)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo, generators};
+
+    #[test]
+    fn complement_of_complete_is_empty() {
+        let g = generators::complete(6).unwrap();
+        let c = complement(&g).unwrap();
+        assert_eq!(c.num_edges(), 0);
+        // And the complement of the empty graph is complete.
+        let cc = complement(&c).unwrap();
+        assert_eq!(cc, g);
+    }
+
+    #[test]
+    fn complement_edge_count() {
+        let g = generators::cycle(7).unwrap();
+        let c = complement(&g).unwrap();
+        assert_eq!(c.num_edges(), 21 - 7);
+        for (u, v) in g.edges() {
+            assert!(!c.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_of_clique() {
+        let g = generators::complete(8).unwrap();
+        let keep: Vec<bool> = (0..8).map(|v| v % 2 == 0).collect();
+        let (s, ids) = induced_subgraph(&g, &keep).unwrap();
+        assert_eq!(s.num_vertices(), 4);
+        assert_eq!(s.num_edges(), 6); // K_4
+        assert_eq!(ids, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_structure() {
+        let g = generators::path(6).unwrap();
+        // Keep 1, 2, 3: a sub-path.
+        let keep = vec![false, true, true, true, false, false];
+        let (s, ids) = induced_subgraph(&g, &keep).unwrap();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(s.num_edges(), 2);
+        assert!(s.has_edge(0, 1) && s.has_edge(1, 2));
+        // Empty mask is an error.
+        assert!(induced_subgraph(&g, &[false; 6]).is_err());
+    }
+
+    #[test]
+    fn disjoint_union_is_disconnected() {
+        let a = generators::complete(4).unwrap();
+        let b = generators::cycle(5).unwrap();
+        let u = disjoint_union(&a, &b).unwrap();
+        assert_eq!(u.num_vertices(), 9);
+        assert_eq!(u.num_edges(), 6 + 5);
+        assert!(!algo::is_connected(&u));
+        let (_, k) = algo::connected_components(&u);
+        assert_eq!(k, 2);
+        assert!(u.has_edge(4, 5)); // first cycle edge, shifted
+    }
+
+    #[test]
+    fn product_of_cycles_is_torus() {
+        let c3 = generators::cycle(3).unwrap();
+        let c5 = generators::cycle(5).unwrap();
+        let product = cartesian_product(&c3, &c5).unwrap();
+        let torus = generators::torus2d(3, 5).unwrap();
+        assert_eq!(product, torus);
+    }
+
+    #[test]
+    fn product_of_k2s_is_hypercube() {
+        let k2 = generators::complete(2).unwrap();
+        let q2 = cartesian_product(&k2, &k2).unwrap();
+        let q3 = cartesian_product(&k2, &q2).unwrap();
+        assert_eq!(q3.num_vertices(), 8);
+        assert!(q3.is_regular());
+        assert_eq!(q3.min_degree(), 3);
+        // Isomorphic to the direct hypercube (same degree sequence and
+        // diameter; a full isomorphism check is overkill here).
+        let h = generators::hypercube(3).unwrap();
+        assert_eq!(q3.num_edges(), h.num_edges());
+        assert_eq!(algo::diameter(&q3), algo::diameter(&h));
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        // Every edge of a star shares the hub: L(S_n) = K_{n-1}.
+        let g = generators::star(6).unwrap();
+        let l = line_graph(&g).unwrap();
+        assert_eq!(l.num_vertices(), 5);
+        assert_eq!(l.num_edges(), 10);
+    }
+
+    #[test]
+    fn line_graph_of_cycle_is_cycle() {
+        let g = generators::cycle(7).unwrap();
+        let l = line_graph(&g).unwrap();
+        assert_eq!(l.num_vertices(), 7);
+        assert!(l.is_regular());
+        assert_eq!(l.min_degree(), 2);
+        assert!(algo::is_connected(&l));
+    }
+
+    #[test]
+    fn line_graph_rejects_empty() {
+        let g = Graph::from_edges(2, std::iter::empty()).unwrap();
+        assert!(matches!(line_graph(&g), Err(GraphError::EmptyGraph)));
+    }
+}

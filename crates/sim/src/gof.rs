@@ -1,0 +1,226 @@
+//! Goodness-of-fit statistics: chi-square and Kolmogorov–Smirnov.
+//!
+//! Used by the acceptance tests and the ablation experiments to compare
+//! *whole distributions* rather than single proportions — e.g. the winner
+//! distribution against Lemma 5's two-point law, or the interaction-pair
+//! distribution of two scheduler implementations against each other.
+
+/// Pearson's chi-square statistic for observed counts against expected
+/// *probabilities* (which are scaled by the total count).
+///
+/// Categories with zero expected probability must have zero observed
+/// count (else the statistic is infinite, which is returned as
+/// `f64::INFINITY`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, probabilities are
+/// negative/non-finite or do not sum to ≈1, or the total observed count
+/// is zero.
+///
+/// # Examples
+///
+/// ```
+/// // A fair-looking die.
+/// let obs = [9u64, 11, 10, 8, 12, 10];
+/// let probs = [1.0 / 6.0; 6];
+/// let x2 = div_sim::gof::chi_square_statistic(&obs, &probs);
+/// assert!(x2 < div_sim::gof::chi_square_critical(5, 0.01));
+/// ```
+pub fn chi_square_statistic(observed: &[u64], probabilities: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        probabilities.len(),
+        "one probability per category required"
+    );
+    assert!(!observed.is_empty(), "need at least one category");
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let psum: f64 = probabilities.iter().sum();
+    assert!(
+        probabilities.iter().all(|p| p.is_finite() && *p >= 0.0),
+        "probabilities must be finite and non-negative"
+    );
+    assert!((psum - 1.0).abs() < 1e-9, "probabilities must sum to 1");
+    let mut x2 = 0.0;
+    for (&o, &p) in observed.iter().zip(probabilities) {
+        let e = p * total as f64;
+        if e == 0.0 {
+            if o > 0 {
+                return f64::INFINITY;
+            }
+        } else {
+            let d = o as f64 - e;
+            x2 += d * d / e;
+        }
+    }
+    x2
+}
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `dof` degrees of freedom at significance `alpha` (supported:
+/// 0.05, 0.01, 0.001), via the Wilson–Hilferty cube approximation.
+///
+/// Accuracy is within ~1% for `dof ≥ 3`, ample for acceptance testing.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `alpha` is unsupported.
+pub fn chi_square_critical(dof: usize, alpha: f64) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    let z = if (alpha - 0.05).abs() < 1e-12 {
+        1.644_853_627
+    } else if (alpha - 0.01).abs() < 1e-12 {
+        2.326_347_874
+    } else if (alpha - 0.001).abs() < 1e-12 {
+        3.090_232_306
+    } else {
+        panic!("unsupported alpha {alpha}; use 0.05, 0.01 or 0.001");
+    };
+    // Wilson–Hilferty: X²_α ≈ dof·(1 − 2/(9·dof) + z·√(2/(9·dof)))³.
+    let k = dof as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum gap between the
+/// empirical CDFs of the two samples.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("sample values must not be NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("sample values must not be NaN"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// The two-sample KS acceptance threshold at significance `alpha`:
+/// `c(α)·√((n+m)/(n·m))` with `c(α) = √(−ln(α/2)/2)`.
+///
+/// # Panics
+///
+/// Panics if a sample size is zero or `alpha` is outside `(0, 1)`.
+pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0, "sample sizes must be positive");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chi_square_detects_bias() {
+        // Heavily biased counts against a uniform hypothesis.
+        let obs = [100u64, 10, 10, 10];
+        let x2 = chi_square_statistic(&obs, &[0.25; 4]);
+        assert!(x2 > chi_square_critical(3, 0.001), "x2 = {x2}");
+        // Perfectly proportional counts give 0.
+        let exact = [25u64, 25, 25, 25];
+        assert_eq!(chi_square_statistic(&exact, &[0.25; 4]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_zero_probability_category() {
+        assert_eq!(chi_square_statistic(&[10, 0], &[1.0, 0.0]), 0.0);
+        assert_eq!(chi_square_statistic(&[9, 1], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn chi_square_critical_reference_values() {
+        // Reference: X²_{0.05,5} = 11.0705; X²_{0.01,10} = 23.2093.
+        assert!((chi_square_critical(5, 0.05) - 11.07).abs() < 0.15);
+        assert!((chi_square_critical(10, 0.01) - 23.21).abs() < 0.2);
+        assert!((chi_square_critical(1, 0.05) - 3.84).abs() < 0.35);
+    }
+
+    #[test]
+    fn chi_square_calibration_under_null() {
+        // Multinomial samples from the true distribution should pass at
+        // alpha = 0.001 essentially always.
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = [0.5, 0.3, 0.15, 0.05];
+        let crit = chi_square_critical(3, 0.001);
+        let mut failures = 0;
+        for _ in 0..200 {
+            let mut counts = [0u64; 4];
+            for _ in 0..500 {
+                let mut u: f64 = rng.gen();
+                let mut idx = 3;
+                for (i, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        idx = i;
+                        break;
+                    }
+                    u -= p;
+                }
+                counts[idx] += 1;
+            }
+            if chi_square_statistic(&counts, &probs) > crit {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 2, "{failures}/200 null rejections at α=0.001");
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 11.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ks_same_distribution_below_critical() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<f64> = (0..800).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..800).map(|_| rng.gen::<f64>()).collect();
+        let d = ks_statistic(&a, &b);
+        assert!(d < ks_critical(800, 800, 0.001), "d = {d}");
+    }
+
+    #[test]
+    fn ks_shifted_distribution_above_critical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..800).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..800).map(|_| rng.gen::<f64>() + 0.15).collect();
+        let d = ks_statistic(&a, &b);
+        assert!(d > ks_critical(800, 800, 0.001), "d = {d}");
+    }
+
+    #[test]
+    fn ks_handles_ties_and_unequal_sizes() {
+        let a = [1.0, 1.0, 1.0, 2.0];
+        let b = [1.0, 2.0];
+        let d = ks_statistic(&a, &b);
+        // CDFs: at 1: 0.75 vs 0.5 → 0.25; at 2: equal.
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+}

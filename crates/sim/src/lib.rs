@@ -1,0 +1,46 @@
+//! Monte-Carlo experiment harness for the DIV reproduction.
+//!
+//! The experiment binaries in `div-bench` all follow the same shape: run
+//! many independent seeded trials of a voting process, aggregate, and
+//! print a predicted-vs-measured table.  This crate provides those shared
+//! pieces:
+//!
+//! * [`SeedSequence`] — deterministic per-trial seeds from one master seed
+//!   (SplitMix64), so every experiment is exactly reproducible;
+//! * [`run_trials`] — parallel trial execution over scoped threads;
+//! * [`stats`] — summaries, confidence intervals (normal and Wilson),
+//!   quantiles and histograms;
+//! * [`regression`] — least-squares and log–log growth-exponent fits, for
+//!   the eq. (4) scaling experiments;
+//! * [`table`] — fixed-width ASCII tables ("the rows the paper reports")
+//!   with CSV export.
+//!
+//! # Examples
+//!
+//! ```
+//! use div_sim::{run_trials, stats::Summary, SeedSequence};
+//!
+//! // Estimate E[max of 2 dice] with 1000 parallel seeded trials.
+//! let outcomes = run_trials(1000, 0xD1CE, |_, seed| {
+//!     use rand::{Rng, SeedableRng};
+//!     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+//!     let (a, b): (u8, u8) = (rng.gen_range(1..=6), rng.gen_range(1..=6));
+//!     a.max(b) as f64
+//! });
+//! let s = Summary::from_iter(outcomes.iter().copied());
+//! assert!((s.mean - 4.47).abs() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gof;
+pub mod plot;
+pub mod regression;
+mod runner;
+mod seed;
+pub mod stats;
+pub mod table;
+
+pub use runner::{run_trials, run_trials_with_threads};
+pub use seed::SeedSequence;

@@ -1,0 +1,231 @@
+//! Terminal (ASCII) line plots for the figure-style experiment outputs.
+//!
+//! The paper has no figures, but the natural "figures" of this
+//! reproduction — range-contraction trajectories, martingale paths,
+//! scaling curves — are rendered by the `f*` binaries in `div-bench`
+//! using this module.  Multiple series share one canvas; each series gets
+//! a distinct glyph.
+
+/// A plot canvas accumulating named `(x, y)` series.
+///
+/// # Examples
+///
+/// ```
+/// let mut p = div_sim::plot::Plot::new("y = x and y = x²", 40, 10);
+/// p.series("linear", (0..10).map(|i| (i as f64, i as f64)));
+/// p.series("square", (0..10).map(|i| (i as f64, (i * i) as f64)));
+/// let text = p.render();
+/// assert!(text.contains("y = x and y = x²"));
+/// assert!(text.contains("a: linear"));
+/// assert!(text.contains("b: square"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plot {
+    title: String,
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[u8] = b"abcdefghij";
+
+impl Plot {
+    /// Creates an empty canvas; `width`/`height` are the interior plot
+    /// area in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8` or `height < 3`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8, "plot width must be at least 8");
+        assert!(height >= 3, "plot height must be at least 3");
+        Plot {
+            title: title.into(),
+            width,
+            height,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches both axes to log scale (points must then be positive).
+    pub fn log_log(mut self) -> Self {
+        self.log_x = true;
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series; at most 10 series are distinguishable.
+    ///
+    /// # Panics
+    ///
+    /// Panics beyond 10 series, or if a log-scaled axis receives a
+    /// non-positive coordinate.
+    pub fn series<I: IntoIterator<Item = (f64, f64)>>(
+        &mut self,
+        name: impl Into<String>,
+        points: I,
+    ) -> &mut Self {
+        assert!(self.series.len() < GLYPHS.len(), "too many series");
+        let pts: Vec<(f64, f64)> = points
+            .into_iter()
+            .inspect(|&(x, y)| {
+                assert!(x.is_finite() && y.is_finite(), "points must be finite");
+                if self.log_x {
+                    assert!(x > 0.0, "log x-axis needs positive x");
+                }
+                if self.log_y {
+                    assert!(y > 0.0, "log y-axis needs positive y");
+                }
+            })
+            .collect();
+        self.series.push((name.into(), pts));
+        self
+    }
+
+    /// Renders the canvas with axes, ranges, and a legend.
+    pub fn render(&self) -> String {
+        let tx = |x: f64| if self.log_x { x.ln() } else { x };
+        let ty = |y: f64| if self.log_y { y.ln() } else { y };
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, y)| (tx(x), ty(y))))
+            .collect();
+        let mut out = format!("{}\n", self.title);
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Degenerate ranges widen to a unit box so everything still lands
+        // on the canvas.
+        if x1 - x0 < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y1 - y0 < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        let mut grid = vec![vec![b' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si];
+            for &(x, y) in pts {
+                let (x, y) = (tx(x), ty(y));
+                let col = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let row = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row; // y grows upward
+                let cell = &mut grid[row][col];
+                // Overlapping series show '*'.
+                *cell = if *cell == b' ' || *cell == glyph {
+                    glyph
+                } else {
+                    b'*'
+                };
+            }
+        }
+        let fmt_axis = |v: f64, log: bool| {
+            let raw = if log { v.exp() } else { v };
+            format!("{raw:.3}")
+        };
+        for row in &grid {
+            out.push('|');
+            out.push_str(std::str::from_utf8(row).expect("ASCII canvas"));
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "x: [{}, {}]{}   y: [{}, {}]{}\n",
+            fmt_axis(x0, self.log_x),
+            fmt_axis(x1, self.log_x),
+            if self.log_x { " (log)" } else { "" },
+            fmt_axis(y0, self.log_y),
+            fmt_axis(y1, self.log_y),
+            if self.log_y { " (log)" } else { "" },
+        ));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {}: {}\n", GLYPHS[si] as char, name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_in_the_right_corners() {
+        let mut p = Plot::new("corners", 20, 5);
+        p.series("diag", [(0.0, 0.0), (1.0, 1.0)]);
+        let text = p.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Top row holds the max-y point at the right edge; bottom row the
+        // min at the left edge.
+        assert!(lines[1].ends_with('a'), "{text}");
+        assert!(lines[5].starts_with("|a"), "{text}");
+        assert!(text.contains("x: [0.000, 1.000]"));
+    }
+
+    #[test]
+    fn overlap_marks_star() {
+        let mut p = Plot::new("overlap", 10, 3);
+        p.series("one", [(0.0, 0.0), (1.0, 1.0)]);
+        p.series("two", [(0.0, 0.0)]);
+        let text = p.render();
+        assert!(text.contains('*'), "{text}");
+        assert!(text.contains("a: one"));
+        assert!(text.contains("b: two"));
+    }
+
+    #[test]
+    fn log_log_straightens_power_laws() {
+        // On a log-log canvas y = x³ lands on the diagonal: the glyph in
+        // the top row is at the right edge and the ranges are labelled as
+        // log.
+        let mut p = Plot::new("cubic", 30, 8).log_log();
+        p.series("x^3", (1..=10).map(|i| (i as f64, (i * i * i) as f64)));
+        let text = p.render();
+        assert!(text.contains("(log)"));
+        assert!(text.lines().nth(1).unwrap().trim_end().ends_with('a'));
+    }
+
+    #[test]
+    fn empty_plot_renders_placeholder() {
+        let p = Plot::new("nothing", 10, 3);
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_is_centred_not_crashing() {
+        let mut p = Plot::new("flat", 12, 3);
+        p.series("const", [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        let text = p.render();
+        assert!(text.contains('a'));
+    }
+
+    #[test]
+    #[should_panic(expected = "log x-axis needs positive x")]
+    fn log_axis_rejects_nonpositive() {
+        let mut p = Plot::new("bad", 10, 3).log_log();
+        p.series("s", [(0.0, 1.0)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Least-squares fits for the scaling experiments.
+//!
+//! The eq. (4) experiment (E2) fits measured reduction times against `n`
+//! and `k` on log–log axes: the fitted slope is the empirical growth
+//! exponent, to compare with the paper's predicted near-linear (in `n`)
+//! and linear (in `k`) behaviour on good expanders.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// The fitted intercept.
+    pub intercept: f64,
+    /// The fitted slope.
+    pub slope: f64,
+    /// The coefficient of determination `R²` (1 for a perfect fit; 0 when
+    /// the fit explains nothing; defined as 1 when the data has zero
+    /// variance).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or all `x` are identical.
+///
+/// # Examples
+///
+/// ```
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// let fit = div_sim::regression::linear_fit(&pts);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "x values must not all be identical");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
+}
+
+/// Fits `y = C·x^e` by least squares on `(ln x, ln y)`; the returned slope
+/// is the growth exponent `e`.
+///
+/// # Panics
+///
+/// Panics under the conditions of [`linear_fit`] or if any coordinate is
+/// non-positive.
+///
+/// # Examples
+///
+/// ```
+/// // y = 3·x².
+/// let pts: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * (i * i) as f64)).collect();
+/// let fit = div_sim::regression::log_log_fit(&pts);
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// ```
+pub fn log_log_fit(points: &[(f64, f64)]) -> LinearFit {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive coordinates");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_line_with_noise() {
+        // y = 5 − 0.5x + small deterministic "noise".
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 / 5.0;
+                let noise = ((i * 2654435761u64 as usize) % 100) as f64 / 1000.0 - 0.05;
+                (x, 5.0 - 0.5 * x + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope + 0.5).abs() < 0.01, "slope {}", fit.slope);
+        assert!((fit.intercept - 5.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+        assert!((fit.predict(2.0) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn r_squared_detects_poor_fit() {
+        // A saw-tooth has weak linear structure.
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, if i % 2 == 0 { 0.0 } else { 10.0 }))
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!(fit.r_squared < 0.2, "r² = {}", fit.r_squared);
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_fit() {
+        let fit = linear_fit(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 2.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log_log_recovers_exponent() {
+        // y = 0.3·x^{5/3}, the paper's superlinear term.
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = 100.0 * i as f64;
+                (x, 0.3 * x.powf(5.0 / 3.0))
+            })
+            .collect();
+        let fit = log_log_fit(&pts);
+        assert!((fit.slope - 5.0 / 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 0.3f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn log_log_rejects_nonpositive() {
+        let _ = log_log_fit(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn too_few_points_panics() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+}

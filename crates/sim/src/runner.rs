@@ -1,0 +1,125 @@
+//! Parallel execution of independent seeded trials.
+
+use parking_lot::Mutex;
+
+use crate::SeedSequence;
+
+/// Runs `trials` independent trials of `f` in parallel and returns the
+/// results **in trial order**.
+///
+/// Trial `i` receives `(i, seed_i)` where `seed_i` is drawn from
+/// [`SeedSequence`] for `master_seed` — the results are identical
+/// regardless of thread count or scheduling.  The thread count defaults to
+/// the available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// let squares = div_sim::run_trials(5, 0, |i, _seed| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_trials<T, F>(trials: usize, master_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    run_trials_with_threads(trials, master_seed, threads, f)
+}
+
+/// [`run_trials`] with an explicit thread count (`threads == 1` runs
+/// inline with no thread machinery — useful under a profiler).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a trial closure panics.
+pub fn run_trials_with_threads<T, F>(
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if trials == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || trials == 1 {
+        return (0..trials)
+            .map(|i| f(i, SeedSequence::seed_for(master_seed, i as u64)))
+            .collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(trials) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let out = f(i, SeedSequence::seed_for(master_seed, i as u64));
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("trial thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every trial index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let out = run_trials(100, 7, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_are_deterministic_across_thread_counts() {
+        let one = run_trials_with_threads(64, 3, 1, |_, seed| seed);
+        let many = run_trials_with_threads(64, 3, 8, |_, seed| seed);
+        assert_eq!(one, many);
+        let expected: Vec<u64> = crate::SeedSequence::new(3).take(64).collect();
+        assert_eq!(one, expected);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<u64> = run_trials(0, 0, |_, s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heavy_uneven_work_balances() {
+        // Uneven per-trial cost should not lose or reorder results.
+        let out = run_trials_with_threads(40, 5, 4, |i, _| {
+            let mut acc = 0u64;
+            for j in 0..(i * 1000) {
+                acc = acc.wrapping_add(j as u64);
+            }
+            (i, acc)
+        });
+        for (i, &(idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_trials_with_threads(1, 0, 0, |_, s| s);
+    }
+}

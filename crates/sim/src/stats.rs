@@ -1,0 +1,310 @@
+//! Summary statistics, confidence intervals, quantiles and histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean/variance summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Sample mean (0 for an empty sample).
+    pub mean: f64,
+    /// Unbiased sample variance (0 for samples of size < 2).
+    pub variance: f64,
+    /// Smallest observation (`+∞` for an empty sample).
+    pub min: f64,
+    /// Largest observation (`−∞` for an empty sample).
+    pub max: f64,
+}
+
+impl FromIterator<f64> for Summary {
+    /// Computes a summary in one pass (Welford's algorithm, numerically
+    /// stable).
+    fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for x in values {
+            count += 1;
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let variance = if count >= 2 {
+            m2 / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean: if count == 0 { 0.0 } else { mean },
+            variance,
+            min,
+            max,
+        }
+    }
+}
+
+impl Summary {
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// z-score (1.96 ≈ 95%); returns `(low, high)`.
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// The 95% z-score, for readability at call sites.
+pub const Z95: f64 = 1.959_963_985;
+
+/// The 99% z-score.
+pub const Z99: f64 = 2.575_829_304;
+
+/// Wilson score interval for a binomial proportion — well-behaved near 0
+/// and 1, unlike the normal approximation.  Returns `(low, high)`.
+///
+/// # Panics
+///
+/// Panics if `successes > trials` or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let (lo, hi) = div_sim::stats::wilson_interval(30, 100, div_sim::stats::Z95);
+/// assert!(lo < 0.3 && 0.3 < hi);
+/// assert!(lo > 0.2 && hi < 0.41);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation of the
+/// order statistics.
+///
+/// # Panics
+///
+/// Panics if the sample is empty, `q` is outside `[0, 1]`, or any value is
+/// NaN.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample values must not be NaN"));
+    let pos = q * (sorted.len() as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median (0.5-quantile).
+///
+/// # Panics
+///
+/// Same conditions as [`quantile`].
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// A fixed-width histogram over `[low, high)` with overflow/underflow
+/// tracking, used by the Azuma-tail experiment (E3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal bins over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `low >= high`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(low < high, "histogram needs low < high");
+        Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let w = (self.high - self.low) / self.bins.len() as f64;
+            let idx = (((x - self.low) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin centre, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.high - self.low) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.low + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// The empirical tail `P[X ≥ x]` implied by the recorded sample
+    /// (counting overflow, excluding underflow below `x`).
+    pub fn tail_at_least(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let w = (self.high - self.low) / self.bins.len() as f64;
+        let mut tail = self.overflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bin_low = self.low + w * i as f64;
+            if bin_low >= x {
+                tail += c;
+            }
+        }
+        if x <= self.low {
+            tail += self.underflow;
+        }
+        tail as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        let (lo, hi) = s.confidence_interval(Z95);
+        assert!(lo < 5.0 && 5.0 < hi);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        let empty = Summary::from_iter(std::iter::empty());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.std_error(), 0.0);
+        let single = Summary::from_iter([42.0]);
+        assert_eq!(single.mean, 42.0);
+        assert_eq!(single.variance, 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        let s = Summary::from_iter((0..1000).map(|i| 1e9 + (i % 2) as f64));
+        assert!((s.mean - (1e9 + 0.5)).abs() < 1e-3);
+        assert!((s.variance - 0.25025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wilson_is_sane_at_extremes() {
+        let (lo, hi) = wilson_interval(0, 50, Z95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15);
+        let (lo, hi) = wilson_interval(50, 50, Z95);
+        assert!(lo > 0.85 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_covers_true_p() {
+        let (lo, hi) = wilson_interval(300, 1000, Z95);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(hi - lo < 0.06);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_tail() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0); // underflow
+        h.record(25.0); // overflow
+        assert_eq!(h.count(), 12);
+        assert!(h.bins().iter().all(|&c| c == 1));
+        assert_eq!(h.centers()[0], (0.5, 1));
+        // P[X >= 5] = (5 in-range + 1 overflow) / 12.
+        assert!((h.tail_at_least(5.0) - 6.0 / 12.0).abs() < 1e-12);
+        // P[X >= 0] counts everything except... underflow is below 0 but
+        // `x <= low` includes it: 12/12.
+        assert!((h.tail_at_least(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn histogram_validates_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

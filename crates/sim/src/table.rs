@@ -1,0 +1,221 @@
+//! Fixed-width ASCII tables and CSV export for experiment output.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width table: headers, rows of strings, aligned render
+/// plus CSV export.
+///
+/// # Examples
+///
+/// ```
+/// use div_sim::table::Table;
+///
+/// let mut t = Table::new(&["graph", "n", "win rate"]);
+/// t.row(&["K_n", "100", "0.52"]);
+/// t.row(&["random 4-regular", "100", "0.49"]);
+/// let text = t.render();
+/// assert!(text.contains("graph"));
+/// assert!(text.lines().count() >= 4); // header + separator + 2 rows
+/// assert_eq!(t.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.  The first column is
+    /// left-aligned and the rest right-aligned — override with
+    /// [`Table::with_aligns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let aligns = std::iter::once(Align::Left)
+            .chain(std::iter::repeat(Align::Right))
+            .take(headers.len())
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment count differs from the column count.
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "one alignment per column required"
+        );
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "one cell per column required"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the aligned table with a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < ncols {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-style CSV (quoting cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let emit = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` significant decimal places, trimming to a
+/// compact experiment-table cell.
+pub fn fmt_f64(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a probability interval as `p [lo, hi]`.
+pub fn fmt_interval(p: f64, lo: f64, hi: f64) -> String {
+    format!("{p:.3} [{lo:.3}, {hi:.3}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "12345"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Numbers are right-aligned: both value cells end at same column.
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+        // Header separator spans the width.
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per column")]
+    fn row_width_is_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = Table::new(&["x", "y"]).with_aligns(&[Align::Right, Align::Left]);
+        t.row(&["1", "abc"]);
+        t.row(&["22", "d"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with(" 1"));
+        assert!(lines[3].starts_with("22"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(2.562_94, 2), "2.56");
+        assert_eq!(fmt_interval(0.5, 0.45, 0.55), "0.500 [0.450, 0.550]");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the statistics and harness substrate.
+
+use div_sim::gof::{ks_critical, ks_statistic};
+use div_sim::regression::{linear_fit, log_log_fit};
+use div_sim::stats::{median, quantile, wilson_interval, Histogram, Summary, Z95};
+use div_sim::{run_trials_with_threads, SeedSequence};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(sample in finite_sample()) {
+        let s = Summary::from_iter(sample.iter().copied());
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        prop_assert!((s.mean - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if sample.len() >= 2 {
+            let var = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.variance - var).abs() < 1e-4 * (1.0 + var.abs()));
+        } else {
+            prop_assert_eq!(s.variance, 0.0);
+        }
+        prop_assert_eq!(s.min, sample.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max, sample.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        prop_assert_eq!(s.count, sample.len());
+        let (lo, hi) = s.confidence_interval(Z95);
+        prop_assert!(lo <= s.mean && s.mean <= hi);
+    }
+
+    /// Quantiles are monotone in q, bounded by min/max, and exact at the
+    /// endpoints.
+    #[test]
+    fn quantiles_monotone(sample in finite_sample(), qa in 0.0f64..1.0, qb in 0.0f64..1.0) {
+        let (qlo, qhi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let a = quantile(&sample, qlo);
+        let b = quantile(&sample, qhi);
+        prop_assert!(a <= b + 1e-12);
+        let mn = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let mx = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(quantile(&sample, 0.0) == mn);
+        prop_assert!(quantile(&sample, 1.0) == mx);
+        prop_assert!(mn <= median(&sample) && median(&sample) <= mx);
+    }
+
+    /// Wilson intervals contain the point estimate and stay inside [0,1].
+    #[test]
+    fn wilson_contains_estimate(successes in 0u64..500, extra in 0u64..500) {
+        let trials = successes + extra + 1;
+        let (lo, hi) = wilson_interval(successes.min(trials), trials, Z95);
+        let p = successes.min(trials) as f64 / trials as f64;
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        prop_assert!(lo <= hi);
+    }
+
+    /// Linear regression exactly recovers planted lines.
+    #[test]
+    fn regression_recovers_lines(
+        intercept in -100.0f64..100.0,
+        slope in -100.0f64..100.0,
+        xs in proptest::collection::btree_set(-1000i32..1000, 2..40),
+    ) {
+        let pts: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x as f64, intercept + slope * x as f64))
+            .collect();
+        let fit = linear_fit(&pts);
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    /// Log-log regression recovers planted power laws.
+    #[test]
+    fn log_log_recovers_powers(
+        exponent in -3.0f64..3.0,
+        scale in 0.01f64..100.0,
+        xs in proptest::collection::btree_set(1u32..1000, 2..30),
+    ) {
+        let pts: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x as f64, scale * (x as f64).powf(exponent)))
+            .collect();
+        prop_assume!(pts.iter().all(|&(_, y)| y > 0.0 && y.is_finite()));
+        let fit = log_log_fit(&pts);
+        prop_assert!((fit.slope - exponent).abs() < 1e-6, "slope {} vs {exponent}", fit.slope);
+    }
+
+    /// KS is symmetric, in [0, 1], and zero on identical samples.
+    #[test]
+    fn ks_properties(a in finite_sample(), b in finite_sample()) {
+        let d1 = ks_statistic(&a, &b);
+        let d2 = ks_statistic(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d1));
+        prop_assert_eq!(ks_statistic(&a, &a), 0.0);
+        prop_assert!(ks_critical(a.len(), b.len(), 0.01) > 0.0);
+    }
+
+    /// Histograms conserve counts and their tails are monotone.
+    #[test]
+    fn histogram_conservation(sample in finite_sample(), bins in 1usize..40) {
+        let mut h = Histogram::new(-1e6, 1e6, bins);
+        for &x in &sample {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), sample.len() as u64);
+        let t1 = h.tail_at_least(-2e6);
+        let t2 = h.tail_at_least(0.0);
+        let t3 = h.tail_at_least(2e6);
+        prop_assert!(t1 >= t2 && t2 >= t3);
+        prop_assert!((t1 - 1.0).abs() < 1e-12);
+    }
+
+    /// The seed stream and the parallel runner are deterministic and
+    /// order-preserving for any thread count.
+    #[test]
+    fn runner_determinism(master in any::<u64>(), trials in 1usize..60, threads in 1usize..9) {
+        let serial = run_trials_with_threads(trials, master, 1, |i, s| (i, s));
+        let parallel = run_trials_with_threads(trials, master, threads, |i, s| (i, s));
+        prop_assert_eq!(&serial, &parallel);
+        for (i, &(idx, seed)) in serial.iter().enumerate() {
+            prop_assert_eq!(idx, i);
+            prop_assert_eq!(seed, SeedSequence::seed_for(master, i as u64));
+        }
+    }
+}

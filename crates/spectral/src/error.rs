@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from spectral computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpectralError {
+    /// A vertex with degree zero makes the walk matrix undefined.
+    IsolatedVertex {
+        /// The isolated vertex.
+        vertex: usize,
+    },
+    /// Power iteration did not meet its tolerance within the iteration cap.
+    NotConverged {
+        /// The number of iterations performed.
+        iterations: usize,
+        /// The residual change in the eigenvalue estimate at the last step.
+        residual_times_1e12: u64,
+    },
+    /// The graph is too large for a dense method (full spectrum).
+    TooLarge {
+        /// Number of vertices requested.
+        num_vertices: usize,
+        /// The maximum this method supports.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SpectralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectralError::IsolatedVertex { vertex } => write!(
+                f,
+                "vertex {vertex} is isolated; the random-walk matrix is undefined"
+            ),
+            SpectralError::NotConverged {
+                iterations,
+                residual_times_1e12,
+            } => write!(
+                f,
+                "power iteration did not converge within {iterations} iterations (residual ~{}e-12)",
+                residual_times_1e12
+            ),
+            SpectralError::TooLarge {
+                num_vertices,
+                limit,
+            } => write!(
+                f,
+                "dense spectrum supports at most {limit} vertices (got {num_vertices})"
+            ),
+        }
+    }
+}
+
+impl Error for SpectralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SpectralError::IsolatedVertex { vertex: 2 },
+            SpectralError::NotConverged {
+                iterations: 100,
+                residual_times_1e12: 5,
+            },
+            SpectralError::TooLarge {
+                num_vertices: 10_000,
+                limit: 2_000,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

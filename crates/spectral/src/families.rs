@@ -1,0 +1,266 @@
+//! Closed-form eigenvalues and the paper's eigenvalue bounds for its three
+//! example families (Section "Graphs with small second eigenvalue").
+//!
+//! These are the *predictions* column of experiment E9: for each family the
+//! paper quotes a bound on `λ`, which the measured power-iteration value
+//! must respect.
+
+/// Exact `λ = 1/(n − 1)` for the complete graph `K_n` (`n ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn lambda_complete(n: usize) -> f64 {
+    assert!(n >= 2, "K_n needs n >= 2 for a second eigenvalue");
+    1.0 / (n as f64 - 1.0)
+}
+
+/// Exact `λ` for the cycle `C_n`: `1` for even `n` (bipartite), otherwise
+/// `cos(π/n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn lambda_cycle(n: usize) -> f64 {
+    assert!(n >= 3, "C_n needs n >= 3");
+    if n.is_multiple_of(2) {
+        1.0
+    } else {
+        (std::f64::consts::PI / n as f64).cos()
+    }
+}
+
+/// Exact signed `λ₂ = cos(π/(n−1))` for the path `P_n` — the quantity
+/// behind the paper's remark that the path has `λ = 1 − O(1/n²)` (the
+/// non-lazy walk on a path is periodic, so `|λₙ| = 1`; the lazy/aperiodic
+/// reading uses `λ₂`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn lambda_two_path(n: usize) -> f64 {
+    assert!(n >= 2, "P_n needs n >= 2");
+    (std::f64::consts::PI / (n as f64 - 1.0)).cos()
+}
+
+/// Exact signed `λ₂ = 1 − 2/d` for the hypercube `Q_d`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn lambda_two_hypercube(d: u32) -> f64 {
+    assert!(d >= 1, "Q_d needs d >= 1");
+    1.0 - 2.0 / d as f64
+}
+
+/// The paper's w.h.p. bound `λ ≤ c/√d` for random `d`-regular graphs
+/// ([9, 23]); we use the Friedman-type constant `c = 2√(d−1)/√d ≤ 2`, i.e.
+/// the bound `(2√(d−1) + slack)/d` with a small additive slack to cover the
+/// `+ o(1)` at experimental sizes.
+///
+/// # Panics
+///
+/// Panics if `d < 3` (below that random regular graphs are unions of
+/// paths/cycles, not expanders).
+pub fn lambda_bound_random_regular(d: usize) -> f64 {
+    assert!(d >= 3, "random-regular expansion needs d >= 3");
+    (2.0 * ((d - 1) as f64).sqrt() + 1.0) / d as f64
+}
+
+/// The paper's w.h.p. bound `λ ≤ (1 + o(1))·2/√(np)` for `G(n,p)` with
+/// `np ≥ 2(1 + o(1))·log n` (\[8\], Theorem 1.2); the returned value includes
+/// a 1.5× slack factor for the `1 + o(1)` at experimental sizes.
+///
+/// # Panics
+///
+/// Panics if `np <= 0`.
+pub fn lambda_bound_gnp(n: usize, p: f64) -> f64 {
+    let np = n as f64 * p;
+    assert!(np > 0.0, "G(n,p) bound needs np > 0");
+    1.5 * 2.0 / np.sqrt()
+}
+
+/// The exact walk spectrum of the circulant graph `C_n(S)`
+/// ([`div_graph::generators::circulant`]), descending.
+///
+/// Circulant adjacency matrices are diagonalised by the Fourier basis:
+/// eigenvalue `j` of the adjacency matrix is
+/// `Σ_{s∈S, 2s<n} 2·cos(2πjs/n) + [2s = n]·cos(πj)`, and the walk matrix
+/// divides by the common degree.
+///
+/// # Panics
+///
+/// Panics under the same parameter conditions as the generator
+/// (`n ≥ 3`, strides distinct in `1..=n/2`).
+pub fn circulant_spectrum(n: usize, strides: &[usize]) -> Vec<f64> {
+    assert!(n >= 3, "circulant requires n >= 3");
+    assert!(
+        !strides.is_empty(),
+        "circulant requires at least one stride"
+    );
+    let degree: usize = strides
+        .iter()
+        .map(|&s| {
+            assert!(s >= 1 && s <= n / 2, "stride {s} outside 1..={}", n / 2);
+            if 2 * s == n {
+                1
+            } else {
+                2
+            }
+        })
+        .sum();
+    let mut eig: Vec<f64> = (0..n)
+        .map(|j| {
+            let theta = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+            strides
+                .iter()
+                .map(|&s| {
+                    if 2 * s == n {
+                        (theta * s as f64).cos()
+                    } else {
+                        2.0 * (theta * s as f64).cos()
+                    }
+                })
+                .sum::<f64>()
+                / degree as f64
+        })
+        .collect();
+    eig.sort_by(|a, b| b.partial_cmp(a).expect("cosines are finite"));
+    eig
+}
+
+/// Whether the Theorem 2 hypothesis `λk = o(1)` is *plausibly* satisfied at
+/// a finite size: we use the pragmatic cutoff `λ·k ≤ threshold` (the
+/// experiments use `threshold = 0.5`).
+pub fn expander_hypothesis_holds(lambda: f64, k: usize, threshold: f64) -> bool {
+    lambda * k as f64 <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_closed_form_matches_measurement() {
+        for n in [5usize, 20, 60] {
+            let g = generators::complete(n).unwrap();
+            let measured = crate::lambda(&g).unwrap();
+            assert!((measured - lambda_complete(n)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cycle_closed_form_matches_measurement() {
+        for n in [5usize, 8, 13] {
+            let g = generators::cycle(n).unwrap();
+            let measured = crate::lambda(&g).unwrap();
+            assert!(
+                (measured - lambda_cycle(n)).abs() < 1e-7,
+                "C_{n}: {measured} vs {}",
+                lambda_cycle(n)
+            );
+        }
+    }
+
+    #[test]
+    fn path_lambda_two_matches_measurement() {
+        for n in [6usize, 11, 30] {
+            let g = generators::path(n).unwrap();
+            let measured = crate::lambda_two(&g).unwrap();
+            assert!((measured - lambda_two_path(n)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn path_lambda_two_is_one_minus_theta_n_squared() {
+        // cos(π/(n−1)) = 1 − π²/2(n−1)² + O(n⁻⁴): the paper's
+        // λ = 1 − O(1/n²) remark.
+        for n in [100usize, 1000, 10_000] {
+            let gap = 1.0 - lambda_two_path(n);
+            let theory = std::f64::consts::PI.powi(2) / (2.0 * ((n - 1) as f64).powi(2));
+            assert!((gap / theory - 1.0).abs() < 0.01, "n={n}");
+        }
+    }
+
+    #[test]
+    fn hypercube_lambda_two_matches_measurement() {
+        for d in [3u32, 5] {
+            let g = generators::hypercube(d).unwrap();
+            let measured = crate::lambda_two(&g).unwrap();
+            assert!((measured - lambda_two_hypercube(d)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn random_regular_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(n, d) in &[(200usize, 4usize), (300, 6), (200, 8)] {
+            let g = generators::random_regular(n, d, &mut rng).unwrap();
+            let measured = crate::lambda(&g).unwrap();
+            let bound = lambda_bound_random_regular(d);
+            assert!(
+                measured <= bound,
+                "n={n} d={d}: λ={measured} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn gnp_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(n, c) in &[(300usize, 3.0f64), (500, 4.0)] {
+            let p = c * (n as f64).ln() / n as f64;
+            let g = generators::gnp(n, p, &mut rng).unwrap();
+            if !div_graph::algo::is_connected(&g) {
+                continue;
+            }
+            let measured = crate::lambda(&g).unwrap();
+            let bound = lambda_bound_gnp(n, p);
+            assert!(measured <= bound, "n={n}: λ={measured} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn circulant_spectrum_matches_dense_oracle() {
+        for (n, strides) in [
+            (9usize, vec![1usize]),
+            (10, vec![1, 5]),
+            (12, vec![1, 3]),
+            (11, vec![2, 3, 5]),
+            (8, vec![1, 2, 3, 4]), // K_8
+        ] {
+            let g = div_graph::generators::circulant(n, &strides).unwrap();
+            let dense = crate::spectrum(&g).unwrap();
+            let closed = circulant_spectrum(n, &strides);
+            assert_eq!(dense.len(), closed.len());
+            for (i, (a, b)) in dense.iter().zip(&closed).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "C_{n}({strides:?}) eigenvalue {i}: dense {a} vs closed {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_spectrum_top_is_one() {
+        let s = circulant_spectrum(20, &[1, 4]);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!(s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn hypothesis_predicate() {
+        assert!(expander_hypothesis_holds(0.01, 10, 0.5));
+        assert!(!expander_hypothesis_holds(0.2, 10, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn complete_requires_two_vertices() {
+        let _ = lambda_complete(1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Dense symmetric eigensolver (cyclic Jacobi) used as an exact oracle.
+//!
+//! For small graphs the full walk spectrum can be computed exactly by
+//! diagonalising the symmetrised matrix `N = D^{-1/2} A D^{-1/2}`.  This is
+//! the ground truth against which the sparse power iteration of
+//! [`crate::lambda`] is tested, and it powers small exact experiments.
+
+use div_graph::Graph;
+
+use crate::SpectralError;
+
+/// Maximum graph size for the dense spectrum method.
+pub(crate) const DENSE_LIMIT: usize = 2_048;
+
+/// All `n` eigenvalues of the walk matrix `P`, descending.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::IsolatedVertex`] for graphs with an isolated
+/// vertex and [`SpectralError::TooLarge`] above the dense-size limit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // K_4 has walk spectrum {1, −1/3, −1/3, −1/3}.
+/// let g = div_graph::generators::complete(4)?;
+/// let s = div_spectral::spectrum(&g)?;
+/// assert!((s[0] - 1.0).abs() < 1e-9);
+/// assert!((s[3] + 1.0 / 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spectrum(g: &Graph) -> Result<Vec<f64>, SpectralError> {
+    let n = g.num_vertices();
+    if n > DENSE_LIMIT {
+        return Err(SpectralError::TooLarge {
+            num_vertices: n,
+            limit: DENSE_LIMIT,
+        });
+    }
+    if let Some(v) = g.vertices().find(|&v| g.degree(v) == 0) {
+        return Err(SpectralError::IsolatedVertex { vertex: v });
+    }
+    let inv_sqrt_deg: Vec<f64> = g
+        .vertices()
+        .map(|v| 1.0 / (g.degree(v) as f64).sqrt())
+        .collect();
+    let mut a = vec![0.0f64; n * n];
+    for (u, v) in g.edges() {
+        let w = inv_sqrt_deg[u] * inv_sqrt_deg[v];
+        a[u * n + v] = w;
+        a[v * n + u] = w;
+    }
+    let mut eig = symmetric_eigenvalues(&mut a, n);
+    eig.sort_by(|x, y| y.partial_cmp(x).expect("eigenvalues are finite"));
+    Ok(eig)
+}
+
+/// Eigenvalues of a dense symmetric `n × n` matrix (row-major in `a`,
+/// destroyed in place), via cyclic Jacobi rotations.
+///
+/// Exposed for testing and reuse; the returned order is unspecified.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+pub fn symmetric_eigenvalues(a: &mut [f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "matrix buffer must be n*n");
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![a[0]];
+    }
+    const MAX_SWEEPS: usize = 64;
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm; stop when numerically diagonal.
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off.sqrt() < 1e-13 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Rotation angle: tan(2θ) = 2a_pq / (a_pp − a_qq).
+                let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                // Apply G^T A G where G rotates coordinates p and q.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp + s * akq;
+                    a[k * n + q] = -s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk + s * aqk;
+                    a[q * n + k] = -s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| a[i * n + i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    }
+
+    fn assert_spectra_close(actual: &[f64], expected: &[f64], tol: f64) {
+        assert_eq!(actual.len(), expected.len());
+        for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+            assert!(
+                (a - e).abs() < tol,
+                "eigenvalue {i}: got {a}, expected {e}\nactual: {actual:?}\nexpected: {expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let mut a = vec![0.0; 9];
+        a[0] = 3.0;
+        a[4] = -1.0;
+        a[8] = 0.5;
+        let eig = sorted(symmetric_eigenvalues(&mut a, 3));
+        assert_spectra_close(&eig, &[3.0, 0.5, -1.0], 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let mut a = vec![2.0, 1.0, 1.0, 2.0];
+        let eig = sorted(symmetric_eigenvalues(&mut a, 2));
+        assert_spectra_close(&eig, &[3.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        // Random-ish symmetric matrix; trace = Σ eigenvalues.
+        let n = 6;
+        let mut a = vec![0.0f64; n * n];
+        let mut seed = 88172645463325252u64;
+        let mut rnd = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = rnd();
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let eig = symmetric_eigenvalues(&mut a, n);
+        let sum: f64 = eig.iter().sum();
+        assert!((trace - sum).abs() < 1e-9, "trace {trace} vs sum {sum}");
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        let n = 7;
+        let g = generators::complete(n).unwrap();
+        let s = spectrum(&g).unwrap();
+        let mut expected = vec![-1.0 / (n as f64 - 1.0); n];
+        expected[0] = 1.0;
+        assert_spectra_close(&s, &expected, 1e-9);
+    }
+
+    #[test]
+    fn cycle_spectrum() {
+        let n = 6usize;
+        let g = generators::cycle(n).unwrap();
+        let s = spectrum(&g).unwrap();
+        let mut expected: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * j as f64 / n as f64).cos())
+            .collect();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_spectra_close(&s, &expected, 1e-9);
+    }
+
+    #[test]
+    fn path_spectrum() {
+        let n = 8usize;
+        let g = generators::path(n).unwrap();
+        let s = spectrum(&g).unwrap();
+        let mut expected: Vec<f64> = (0..n)
+            .map(|j| (std::f64::consts::PI * j as f64 / (n as f64 - 1.0)).cos())
+            .collect();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_spectra_close(&s, &expected, 1e-9);
+    }
+
+    #[test]
+    fn star_spectrum() {
+        let n = 9;
+        let g = generators::star(n).unwrap();
+        let s = spectrum(&g).unwrap();
+        let mut expected = vec![0.0; n];
+        expected[0] = 1.0;
+        expected[n - 1] = -1.0;
+        assert_spectra_close(&s, &expected, 1e-9);
+    }
+
+    #[test]
+    fn hypercube_spectrum_multiplicities() {
+        let d = 3u32;
+        let g = generators::hypercube(d).unwrap();
+        let s = spectrum(&g).unwrap();
+        // Eigenvalue (d − 2i)/d with multiplicity C(d, i).
+        let mut expected = Vec::new();
+        for i in 0..=d {
+            let val = (d as f64 - 2.0 * i as f64) / d as f64;
+            let mult = (0..i).fold(1usize, |acc, j| acc * (d - j) as usize / (j + 1) as usize);
+            for _ in 0..mult {
+                expected.push(val);
+            }
+        }
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_spectra_close(&s, &expected, 1e-9);
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_dense_oracle() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for g in [
+            generators::random_regular(60, 4, &mut rng).unwrap(),
+            generators::gnp(50, 0.2, &mut rng).unwrap(),
+            generators::barbell(6, 2).unwrap(),
+            generators::wheel(15).unwrap(),
+            generators::lollipop(5, 6).unwrap(),
+        ] {
+            if !div_graph::algo::is_connected(&g) || g.min_degree() == 0 {
+                continue;
+            }
+            let s = spectrum(&g).unwrap();
+            let exact = s[1..].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            let approx = crate::lambda(&g).unwrap();
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "{g}: dense {exact} vs power {approx}"
+            );
+            let exact_l2 = s[1];
+            let approx_l2 = crate::lambda_two(&g).unwrap();
+            assert!(
+                (exact_l2 - approx_l2).abs() < 1e-5,
+                "{g}: dense λ₂ {exact_l2} vs power {approx_l2}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_large_is_an_error() {
+        // Don't actually build a huge dense matrix; check the guard.
+        let g = generators::path(DENSE_LIMIT + 1).unwrap();
+        assert!(matches!(spectrum(&g), Err(SpectralError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn first_eigenvalue_is_one_for_connected_graphs() {
+        for g in [
+            generators::complete(10).unwrap(),
+            generators::wheel(10).unwrap(),
+            generators::grid2d(3, 4).unwrap(),
+        ] {
+            let s = spectrum(&g).unwrap();
+            assert!((s[0] - 1.0).abs() < 1e-9);
+            assert!(s.iter().all(|&v| (-1.0 - 1e-9..=1.0 + 1e-9).contains(&v)));
+        }
+    }
+}

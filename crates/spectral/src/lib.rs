@@ -1,0 +1,51 @@
+//! Spectral analysis of the simple-random-walk transition matrix.
+//!
+//! The paper's Theorem 2 applies to graphs whose walk matrix
+//! `P(v,u) = 1/d(v)` (for `{v,u} ∈ E`) has a small second eigenvalue
+//! `λ = max(|λ₂|, |λₙ|)`.  This crate computes, for any
+//! [`div_graph::Graph`]:
+//!
+//! * the stationary distribution `π_v = d(v)/2m` and its norms
+//!   ([`StationaryDistribution`]);
+//! * `λ` and the signed second eigenvalue `λ₂`, via power iteration with
+//!   deflation on the symmetrised matrix `N = D^{-1/2} A D^{-1/2}`
+//!   ([`lambda`], [`lambda_two`]);
+//! * the full spectrum by cyclic Jacobi rotations, used as a test oracle
+//!   and for small exact experiments ([`spectrum`]);
+//! * the edge measure `Q(S,U)`, set conductance, and a checker for the
+//!   expander mixing lemma (Lemma 9 of the paper) ([`mixing`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use div_graph::generators;
+//! use div_spectral::lambda;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // K_n has λ = 1/(n − 1).
+//! let g = generators::complete(25)?;
+//! let l = lambda(&g)?;
+//! assert!((l - 1.0 / 24.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod families;
+mod jacobi;
+pub mod mixing;
+mod power;
+mod stationary;
+mod walk;
+
+pub use error::SpectralError;
+pub use jacobi::{spectrum, symmetric_eigenvalues};
+pub use power::{lambda, lambda_two, lambda_with, PowerOptions, PowerResult};
+pub use stationary::StationaryDistribution;
+pub use walk::{empirical_mixing_time, mixing_time_bound, WalkDistribution};
+
+/// Crate-wide result alias.
+pub type Result<T, E = SpectralError> = std::result::Result<T, E>;

@@ -1,0 +1,299 @@
+//! Edge measure `Q`, conductance, and the expander mixing lemma (Lemma 9).
+//!
+//! For a reversible walk, `Q(S, U) = Σ_{v∈S} π_v P(v, U)` is the stationary
+//! probability of seeing a transition from `S` into `U`.  For the simple
+//! random walk this is `e(S, U)/2m`, where `e(S, U)` counts ordered
+//! adjacent pairs `(v, u)` with `v ∈ S`, `u ∈ U`.  Lemma 9 of the paper
+//! (the expander mixing lemma) bounds its deviation from the product
+//! measure:
+//!
+//! ```text
+//! |Q(S,U) − π(S)π(U)| ≤ λ √(π(S)π(S^C)π(U)π(U^C)).
+//! ```
+
+use div_graph::Graph;
+
+use crate::{SpectralError, StationaryDistribution};
+
+/// The edge measure `Q(S, U) = e(S, U)/2m` of two vertex sets.
+///
+/// Sets are given as boolean membership masks over the vertices; this keeps
+/// the computation a single `O(m)` pass over the edge list.
+///
+/// # Panics
+///
+/// Panics if either mask's length differs from the vertex count.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::cycle(4)?;
+/// let s = vec![true, true, false, false];
+/// let c: Vec<bool> = s.iter().map(|b| !b).collect();
+/// // Two of eight directed edges cross from {0,1} to {2,3}.
+/// assert!((div_spectral::mixing::edge_measure(&g, &s, &c) - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn edge_measure(g: &Graph, s: &[bool], u: &[bool]) -> f64 {
+    let n = g.num_vertices();
+    assert_eq!(s.len(), n, "mask `s` must have one entry per vertex");
+    assert_eq!(u.len(), n, "mask `u` must have one entry per vertex");
+    let mut ordered_pairs = 0usize;
+    for (a, b) in g.edges() {
+        if s[a] && u[b] {
+            ordered_pairs += 1;
+        }
+        if s[b] && u[a] {
+            ordered_pairs += 1;
+        }
+    }
+    ordered_pairs as f64 / g.total_degree() as f64
+}
+
+/// Detailed-balance check: for the simple random walk,
+/// `Q(S, U) == Q(U, S)` exactly (both count the same unordered crossings).
+/// Returns the absolute difference, which should be ~0.
+pub fn detailed_balance_gap(g: &Graph, s: &[bool], u: &[bool]) -> f64 {
+    (edge_measure(g, s, u) - edge_measure(g, u, s)).abs()
+}
+
+/// One evaluation of the expander mixing lemma (Lemma 9 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixingCheck {
+    /// `|Q(S,U) − π(S)π(U)|`.
+    pub deviation: f64,
+    /// `λ √(π(S)π(S^C)π(U)π(U^C))`.
+    pub bound: f64,
+}
+
+impl MixingCheck {
+    /// Whether the lemma's inequality holds (up to floating-point slack).
+    pub fn holds(&self) -> bool {
+        self.deviation <= self.bound + 1e-9
+    }
+}
+
+/// Evaluates the expander mixing lemma for sets `S`, `U` given `λ`.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::IsolatedVertex`] if the stationary distribution
+/// is undefined.
+///
+/// # Panics
+///
+/// Panics if a mask's length differs from the vertex count.
+pub fn mixing_lemma_check(
+    g: &Graph,
+    lambda: f64,
+    s: &[bool],
+    u: &[bool],
+) -> Result<MixingCheck, SpectralError> {
+    let pi = StationaryDistribution::new(g)?;
+    let mass = |mask: &[bool]| -> f64 {
+        mask.iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(v, _)| pi.prob(v))
+            .sum()
+    };
+    let ps = mass(s);
+    let pu = mass(u);
+    let q = edge_measure(g, s, u);
+    Ok(MixingCheck {
+        deviation: (q - ps * pu).abs(),
+        bound: lambda * (ps * (1.0 - ps) * pu * (1.0 - pu)).sqrt(),
+    })
+}
+
+/// Conductance `Φ(S) = Q(S, S^C) / min(π(S), π(S^C))` of a vertex set.
+///
+/// Returns `f64::INFINITY` for the empty set or the full vertex set.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::IsolatedVertex`] if the stationary distribution
+/// is undefined.
+pub fn set_conductance(g: &Graph, s: &[bool]) -> Result<f64, SpectralError> {
+    let pi = StationaryDistribution::new(g)?;
+    let comp: Vec<bool> = s.iter().map(|&b| !b).collect();
+    let ps: f64 = s
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b)
+        .map(|(v, _)| pi.prob(v))
+        .sum();
+    let small = ps.min(1.0 - ps);
+    if small <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(edge_measure(g, s, &comp) / small)
+}
+
+/// A Cheeger-style sweep cut: orders vertices by the (deflated) power-
+/// iteration vector and returns the minimum conductance over all prefixes,
+/// together with the best prefix size.
+///
+/// This is a heuristic upper bound on the graph conductance, used to relate
+/// slow DIV convergence to poor expansion in the experiments.
+///
+/// # Errors
+///
+/// Propagates errors from the power iteration and the stationary
+/// distribution.
+pub fn sweep_conductance(g: &Graph) -> Result<(f64, usize), SpectralError> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return Ok((f64::INFINITY, 0));
+    }
+    let r = crate::lambda_with(g, crate::PowerOptions::default())?;
+    let mut order: Vec<usize> = g.vertices().collect();
+    order.sort_by(|&a, &b| {
+        r.vector[a]
+            .partial_cmp(&r.vector[b])
+            .expect("eigenvector entries are finite")
+    });
+    let mut mask = vec![false; n];
+    let mut best = f64::INFINITY;
+    let mut best_size = 0;
+    for (i, &v) in order.iter().take(n - 1).enumerate() {
+        mask[v] = true;
+        let phi = set_conductance(g, &mask)?;
+        if phi < best {
+            best = phi;
+            best_size = i + 1;
+        }
+    }
+    Ok((best, best_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mask(n: usize, rng: &mut StdRng) -> Vec<bool> {
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn edge_measure_hand_computed() {
+        // Triangle: 2m = 6. Q({0}, {1,2}) counts (0,1),(0,2) → 2/6.
+        let g = generators::complete(3).unwrap();
+        let s = vec![true, false, false];
+        let u = vec![false, true, true];
+        assert!((edge_measure(&g, &s, &u) - 2.0 / 6.0).abs() < 1e-12);
+        // Q(V, V) = 1.
+        let all = vec![true; 3];
+        assert!((edge_measure(&g, &all, &all) - 1.0).abs() < 1e-12);
+        // Overlapping sets: Q({0,1}, {1,2}) counts (0,1),(0,2),(1,2) → 3/6.
+        let s2 = vec![true, true, false];
+        assert!((edge_measure(&g, &s2, &u) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detailed_balance_holds_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp(40, 0.2, &mut rng).unwrap();
+        for _ in 0..20 {
+            let s = random_mask(40, &mut rng);
+            let u = random_mask(40, &mut rng);
+            assert!(detailed_balance_gap(&g, &s, &u) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mixing_lemma_holds_on_expanders() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::random_regular(120, 6, &mut rng).unwrap();
+        let lambda = crate::lambda(&g).unwrap();
+        for _ in 0..50 {
+            let s = random_mask(120, &mut rng);
+            let u = random_mask(120, &mut rng);
+            let check = mixing_lemma_check(&g, lambda, &s, &u).unwrap();
+            assert!(
+                check.holds(),
+                "deviation {} > bound {}",
+                check.deviation,
+                check.bound
+            );
+        }
+    }
+
+    #[test]
+    fn mixing_lemma_tight_on_complete_graph() {
+        let g = generators::complete(30).unwrap();
+        let lambda = crate::lambda(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let s = random_mask(30, &mut rng);
+            let u = random_mask(30, &mut rng);
+            let check = mixing_lemma_check(&g, lambda, &s, &u).unwrap();
+            assert!(check.holds());
+        }
+    }
+
+    #[test]
+    fn conductance_of_barbell_cut_is_small() {
+        let h = 10;
+        let g = generators::barbell(h, 0).unwrap();
+        let mut s = vec![false; 2 * h];
+        s[..h].fill(true);
+        // One crossing edge out of m = 2*C(10,2)+1 = 91; 2m = 182.
+        // Q(S, S^C) = 2/182; π(S) ≈ 1/2 → Φ ≈ 0.022.
+        let phi = set_conductance(&g, &s).unwrap();
+        assert!(phi < 0.03, "Φ = {phi}");
+        // The complete graph's balanced cut is far more conductive.
+        let k = generators::complete(2 * h).unwrap();
+        let phi_k = set_conductance(&k, &s).unwrap();
+        assert!(phi_k > 0.4, "Φ(K_20 half) = {phi_k}");
+    }
+
+    #[test]
+    fn empty_and_full_sets_have_infinite_conductance() {
+        let g = generators::complete(5).unwrap();
+        assert_eq!(set_conductance(&g, &[false; 5]).unwrap(), f64::INFINITY);
+        assert_eq!(set_conductance(&g, &[true; 5]).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sweep_cut_finds_the_barbell_bottleneck() {
+        let h = 8;
+        let g = generators::barbell(h, 0).unwrap();
+        let (phi, size) = sweep_conductance(&g).unwrap();
+        assert!(phi < 0.05, "sweep conductance {phi}");
+        assert_eq!(size, h, "sweep should cut between the cliques");
+    }
+
+    #[test]
+    fn sweep_cut_on_expander_is_large() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::random_regular(100, 8, &mut rng).unwrap();
+        let (phi, _) = sweep_conductance(&g).unwrap();
+        assert!(phi > 0.1, "expander sweep conductance {phi}");
+    }
+
+    #[test]
+    fn cheeger_inequality_sanity() {
+        // 1 − λ₂ ≤ 2Φ(G) ≤ sweep bound consistency: the sweep cut's
+        // conductance upper-bounds the true conductance, and Cheeger's
+        // easy direction gives (1 − λ₂)/2 ≤ Φ(G) ≤ sweep.
+        for g in [
+            generators::barbell(6, 0).unwrap(),
+            generators::cycle(11).unwrap(),
+            generators::complete(12).unwrap(),
+        ] {
+            let l2 = crate::lambda_two(&g).unwrap();
+            let (sweep, _) = sweep_conductance(&g).unwrap();
+            assert!(
+                (1.0 - l2) / 2.0 <= sweep + 1e-9,
+                "{g}: (1-λ₂)/2 = {} > sweep {sweep}",
+                (1.0 - l2) / 2.0
+            );
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Power iteration with deflation for the walk matrix's second eigenvalue.
+//!
+//! The transition matrix `P = D⁻¹A` of a simple random walk is similar to
+//! the symmetric matrix `N = D^{-1/2} A D^{-1/2}` (`N = D^{1/2} P D^{-1/2}`),
+//! so both have the same real spectrum `1 = λ₁ ≥ λ₂ ≥ … ≥ λₙ ≥ −1`.  The
+//! top eigenvector of `N` is `u₁ ∝ (√d(v))_v`.  Deflating `u₁` and power
+//! iterating on `N` therefore converges (in norm-ratio) to
+//! `λ = max(|λ₂|, |λₙ|)` — exactly the quantity in the paper's theorems.
+//! Iterating on `(N + I)/2` instead yields the *signed* second-largest
+//! eigenvalue `λ₂` (useful for bipartite graphs where `λₙ = −1` dominates).
+
+use div_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SpectralError;
+
+/// Options controlling [`lambda_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerOptions {
+    /// Convergence tolerance on successive eigenvalue estimates.
+    pub tolerance: f64,
+    /// Maximum number of matrix–vector products.
+    pub max_iterations: usize,
+    /// Seed for the random starting vector (deterministic by default).
+    pub seed: u64,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        PowerOptions {
+            tolerance: 1e-11,
+            max_iterations: 200_000,
+            seed: 0x5EED_1234_ABCD_0001,
+        }
+    }
+}
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerResult {
+    /// The eigenvalue estimate.
+    pub value: f64,
+    /// The final iterate (an approximate eigenvector of `N²` restricted to
+    /// the complement of the top eigenvector), indexed by vertex.
+    pub vector: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+/// `λ = max(|λ₂|, |λₙ|)` of the walk matrix, with default options.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::IsolatedVertex`] for graphs with an isolated
+/// vertex and [`SpectralError::NotConverged`] if the iteration cap is hit.
+/// For a single-vertex graph there is no second eigenvalue; an isolated
+/// vertex error is reported.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Even cycles are bipartite: λ = |λₙ| = 1.
+/// let g = div_graph::generators::cycle(8)?;
+/// assert!((div_spectral::lambda(&g)? - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lambda(g: &Graph) -> Result<f64, SpectralError> {
+    Ok(lambda_with(g, PowerOptions::default())?.value)
+}
+
+/// `λ` with explicit [`PowerOptions`]; also returns the iterate vector and
+/// the iteration count.
+///
+/// # Errors
+///
+/// See [`lambda`].
+pub fn lambda_with(g: &Graph, opts: PowerOptions) -> Result<PowerResult, SpectralError> {
+    power_deflated(g, opts, false)
+}
+
+/// The signed second-largest eigenvalue `λ₂` of the walk matrix.
+///
+/// Computed by power iteration on the half-lazy matrix `(N + I)/2`, whose
+/// spectrum is the affine image `(λ + 1)/2 ∈ [0, 1]`; the dominant deflated
+/// eigenvalue maps back to `λ₂` regardless of how negative `λₙ` is.
+///
+/// # Errors
+///
+/// See [`lambda`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The hypercube Q_4 has λ₂ = 1 − 2/4 = 0.5 (but λ = 1: bipartite).
+/// let g = div_graph::generators::hypercube(4)?;
+/// assert!((div_spectral::lambda_two(&g)? - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lambda_two(g: &Graph) -> Result<f64, SpectralError> {
+    let r = power_deflated(g, PowerOptions::default(), true)?;
+    Ok(r.value)
+}
+
+/// Shared implementation. With `lazy = false`, iterate `x ← Nx` and report
+/// `max |λᵢ|` over the deflated spectrum; with `lazy = true`, iterate
+/// `x ← (N + I)x / 2` and report the affine preimage `2μ − 1 = λ₂`.
+fn power_deflated(g: &Graph, opts: PowerOptions, lazy: bool) -> Result<PowerResult, SpectralError> {
+    let n = g.num_vertices();
+    if let Some(v) = g.vertices().find(|&v| g.degree(v) == 0) {
+        return Err(SpectralError::IsolatedVertex { vertex: v });
+    }
+
+    let inv_sqrt_deg: Vec<f64> = g
+        .vertices()
+        .map(|v| 1.0 / (g.degree(v) as f64).sqrt())
+        .collect();
+    // Top eigenvector of N, normalised: u₁(v) = √(d(v)/2m).
+    let two_m = g.total_degree() as f64;
+    let top: Vec<f64> = g
+        .vertices()
+        .map(|v| (g.degree(v) as f64 / two_m).sqrt())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let mut y = vec![0.0f64; n];
+
+    deflate(&mut x, &top);
+    let norm = l2(&x);
+    if norm < 1e-300 {
+        // n == 1, or an adversarial start; the complement is trivial.
+        return Ok(PowerResult {
+            value: 0.0,
+            vector: x,
+            iterations: 0,
+        });
+    }
+    scale(&mut x, 1.0 / norm);
+
+    let mut estimate = f64::NAN;
+    let mut residual = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        // y = N x  (or (N + I)x / 2).
+        for yv in y.iter_mut() {
+            *yv = 0.0;
+        }
+        for (u, v) in g.edges() {
+            let w = inv_sqrt_deg[u] * inv_sqrt_deg[v];
+            y[u] += w * x[v];
+            y[v] += w * x[u];
+        }
+        if lazy {
+            for v in 0..n {
+                y[v] = 0.5 * (y[v] + x[v]);
+            }
+        }
+        deflate(&mut y, &top);
+        let norm = l2(&y);
+        if norm < 1e-300 {
+            // The deflated operator annihilated the iterate: the remaining
+            // spectrum is (numerically) zero.
+            let value = if lazy { -1.0 } else { 0.0 };
+            return Ok(PowerResult {
+                value,
+                vector: y,
+                iterations: it,
+            });
+        }
+        // ‖Nx‖/‖x‖ with ‖x‖ = 1 converges to max |λᵢ| on the complement
+        // even when λ₂ and λₙ tie in magnitude with opposite signs.
+        let new_estimate = norm;
+        residual = (new_estimate - estimate).abs();
+        estimate = new_estimate;
+        scale(&mut y, 1.0 / norm);
+        std::mem::swap(&mut x, &mut y);
+        if residual < opts.tolerance && it > 8 {
+            let value = if lazy {
+                2.0 * estimate - 1.0
+            } else {
+                estimate.min(1.0)
+            };
+            return Ok(PowerResult {
+                value,
+                vector: x,
+                iterations: it,
+            });
+        }
+    }
+    Err(SpectralError::NotConverged {
+        iterations: opts.max_iterations,
+        residual_times_1e12: (residual * 1e12) as u64,
+    })
+}
+
+fn deflate(x: &mut [f64], top: &[f64]) {
+    let dot: f64 = x.iter().zip(top).map(|(a, b)| a * b).sum();
+    for (xv, tv) in x.iter_mut().zip(top) {
+        *xv -= dot * tv;
+    }
+}
+
+fn l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn scale(x: &mut [f64], s: f64) {
+    for v in x.iter_mut() {
+        *v *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64, what: &str) {
+        assert!(
+            (actual - expected).abs() < tol,
+            "{what}: got {actual}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn complete_graph_closed_form() {
+        for n in [3usize, 5, 10, 40, 100] {
+            let g = generators::complete(n).unwrap();
+            let l = lambda(&g).unwrap();
+            assert_close(l, 1.0 / (n as f64 - 1.0), 1e-8, &format!("K_{n}"));
+        }
+    }
+
+    #[test]
+    fn odd_cycle_closed_form() {
+        // λ = cos(π/n) for odd n (the most negative eigenvalue dominates).
+        for n in [5usize, 9, 15] {
+            let g = generators::cycle(n).unwrap();
+            let expected = (std::f64::consts::PI / n as f64).cos();
+            assert_close(lambda(&g).unwrap(), expected, 1e-8, &format!("C_{n}"));
+        }
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let g = generators::cycle(8).unwrap();
+        assert_close(lambda(&g).unwrap(), 1.0, 1e-8, "C_8");
+        // Signed second eigenvalue is cos(2π/8).
+        let expected = (2.0 * std::f64::consts::PI / 8.0).cos();
+        assert_close(lambda_two(&g).unwrap(), expected, 1e-7, "λ₂(C_8)");
+    }
+
+    #[test]
+    fn path_second_eigenvalue() {
+        // P_n has eigenvalues cos(πj/(n−1)); λ₂ = cos(π/(n−1)), λ = 1.
+        let n = 12;
+        let g = generators::path(n).unwrap();
+        assert_close(lambda(&g).unwrap(), 1.0, 1e-7, "P_12 bipartite");
+        let expected = (std::f64::consts::PI / (n as f64 - 1.0)).cos();
+        assert_close(lambda_two(&g).unwrap(), expected, 1e-7, "λ₂(P_12)");
+    }
+
+    #[test]
+    fn hypercube_eigenvalues() {
+        let g = generators::hypercube(4).unwrap();
+        assert_close(lambda(&g).unwrap(), 1.0, 1e-8, "Q_4 bipartite");
+        assert_close(lambda_two(&g).unwrap(), 0.5, 1e-8, "λ₂(Q_4)");
+    }
+
+    #[test]
+    fn complete_bipartite_eigenvalues() {
+        let g = generators::complete_bipartite(4, 7).unwrap();
+        assert_close(lambda(&g).unwrap(), 1.0, 1e-8, "K_{4,7}");
+        assert_close(lambda_two(&g).unwrap(), 0.0, 1e-6, "λ₂(K_{4,7})");
+    }
+
+    #[test]
+    fn star_eigenvalues() {
+        // Star = K_{1,n−1}: spectrum {1, 0^{n−2}, −1}.
+        let g = generators::star(9).unwrap();
+        assert_close(lambda(&g).unwrap(), 1.0, 1e-8, "S_9");
+        assert_close(lambda_two(&g).unwrap(), 0.0, 1e-6, "λ₂(S_9)");
+    }
+
+    #[test]
+    fn random_regular_is_an_expander() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let g = generators::random_regular(300, 8, &mut rng).unwrap();
+        let l = lambda(&g).unwrap();
+        // Friedman: λ ≈ 2√(d−1)/d ≈ 0.66 for d = 8; comfortably below 0.9.
+        assert!(l < 0.9, "λ = {l}");
+        assert!(l > 0.2, "λ = {l} suspiciously small");
+    }
+
+    #[test]
+    fn barbell_has_lambda_near_one() {
+        let g = generators::barbell(8, 0).unwrap();
+        let l = lambda(&g).unwrap();
+        assert!(l > 0.9, "barbell should mix slowly, λ = {l}");
+        assert!(l < 1.0 - 1e-6, "barbell is connected & aperiodic, λ = {l}");
+    }
+
+    #[test]
+    fn lambda_with_reports_iterations_and_vector() {
+        let g = generators::complete(12).unwrap();
+        let r = lambda_with(&g, PowerOptions::default()).unwrap();
+        assert!(r.iterations > 0);
+        assert_eq!(r.vector.len(), 12);
+        // The iterate is (numerically) orthogonal to the top eigenvector.
+        let two_m = g.total_degree() as f64;
+        let dot: f64 = g
+            .vertices()
+            .map(|v| r.vector[v] * (g.degree(v) as f64 / two_m).sqrt())
+            .sum();
+        assert!(dot.abs() < 1e-8);
+    }
+
+    #[test]
+    fn isolated_vertex_is_an_error() {
+        let g = div_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert!(matches!(
+            lambda(&g),
+            Err(SpectralError::IsolatedVertex { vertex: 2 })
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_does_not_converge() {
+        let g = generators::barbell(8, 4).unwrap();
+        let opts = PowerOptions {
+            max_iterations: 3,
+            ..PowerOptions::default()
+        };
+        assert!(matches!(
+            lambda_with(&g, opts),
+            Err(SpectralError::NotConverged { iterations: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = generators::complete(30).unwrap();
+        assert_eq!(lambda(&g).unwrap(), lambda(&g).unwrap());
+    }
+}

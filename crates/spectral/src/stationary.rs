@@ -1,0 +1,209 @@
+use div_graph::Graph;
+
+use crate::SpectralError;
+
+/// The stationary distribution `π_v = d(v)/2m` of the simple random walk,
+/// with the norms used throughout the paper's statements.
+///
+/// * `π_min` appears in Theorem 1's hypothesis `π_min = Θ(1/n)`;
+/// * `‖π‖∞` bounds the vertex-process step size of the weight martingale
+///   (Lemma 5 (iii) requires `T = o(1/‖π‖∞²)`);
+/// * `‖π‖₂` appears in the linear-voting machinery of \[14\].
+///
+/// # Examples
+///
+/// ```
+/// use div_graph::generators;
+/// use div_spectral::StationaryDistribution;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::star(5)?; // centre degree 4, leaves degree 1
+/// let pi = StationaryDistribution::new(&g)?;
+/// assert!((pi.prob(0) - 0.5).abs() < 1e-12);
+/// assert!((pi.prob(1) - 0.125).abs() < 1e-12);
+/// assert!((pi.total() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryDistribution {
+    probs: Vec<f64>,
+}
+
+impl StationaryDistribution {
+    /// Computes `π` for a graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError::IsolatedVertex`] if any vertex has degree
+    /// zero (the walk matrix row would be undefined).
+    pub fn new(g: &Graph) -> Result<Self, SpectralError> {
+        if let Some(v) = g.vertices().find(|&v| g.degree(v) == 0) {
+            return Err(SpectralError::IsolatedVertex { vertex: v });
+        }
+        let two_m = g.total_degree() as f64;
+        let probs = g.vertices().map(|v| g.degree(v) as f64 / two_m).collect();
+        Ok(StationaryDistribution { probs })
+    }
+
+    /// `π_v` for a vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn prob(&self, v: usize) -> f64 {
+        self.probs[v]
+    }
+
+    /// The probabilities as a slice indexed by vertex.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution is over zero vertices (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// `π_min = min_v π_v`.
+    pub fn min(&self) -> f64 {
+        self.probs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// `‖π‖∞ = max_v π_v`.
+    pub fn max(&self) -> f64 {
+        self.probs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// `‖π‖₂ = sqrt(Σ_v π_v²)`.
+    pub fn l2_norm(&self) -> f64 {
+        self.probs.iter().map(|p| p * p).sum::<f64>().sqrt()
+    }
+
+    /// Total mass (should be 1 up to floating-point error).
+    pub fn total(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Measure `π(S) = Σ_{v∈S} π_v` of a vertex set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex in `set` is out of range.
+    pub fn measure<'a, I: IntoIterator<Item = &'a usize>>(&self, set: I) -> f64 {
+        set.into_iter().map(|&v| self.probs[v]).sum()
+    }
+
+    /// The π-weighted average `Σ_v π_v x_v` of a vertex-indexed vector —
+    /// the quantity `Z(t)/n` tracks in the vertex process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the vertex count.
+    pub fn weighted_average(&self, values: &[i64]) -> f64 {
+        assert_eq!(
+            values.len(),
+            self.probs.len(),
+            "value vector must have one entry per vertex"
+        );
+        self.probs
+            .iter()
+            .zip(values)
+            .map(|(&p, &x)| p * x as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+
+    #[test]
+    fn uniform_on_regular_graphs() {
+        for g in [
+            generators::complete(8).unwrap(),
+            generators::cycle(8).unwrap(),
+            generators::torus2d(3, 4).unwrap(),
+        ] {
+            let pi = StationaryDistribution::new(&g).unwrap();
+            let u = 1.0 / g.num_vertices() as f64;
+            for v in g.vertices() {
+                assert!((pi.prob(v) - u).abs() < 1e-12);
+            }
+            assert!((pi.min() - u).abs() < 1e-12);
+            assert!((pi.max() - u).abs() < 1e-12);
+            assert!(
+                (pi.l2_norm() - (u / 1.0).sqrt() * u.sqrt() * (g.num_vertices() as f64).sqrt())
+                    .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn sums_to_one() {
+        for g in [
+            generators::star(17).unwrap(),
+            generators::barbell(5, 3).unwrap(),
+            generators::double_star(3, 9).unwrap(),
+        ] {
+            let pi = StationaryDistribution::new(&g).unwrap();
+            assert!((pi.total() - 1.0).abs() < 1e-12);
+            assert_eq!(pi.len(), g.num_vertices());
+            assert!(!pi.is_empty());
+        }
+    }
+
+    #[test]
+    fn star_values() {
+        let g = generators::star(11).unwrap(); // centre degree 10, 2m = 20
+        let pi = StationaryDistribution::new(&g).unwrap();
+        assert!((pi.prob(0) - 0.5).abs() < 1e-12);
+        for v in 1..11 {
+            assert!((pi.prob(v) - 0.05).abs() < 1e-12);
+        }
+        assert!((pi.min() - 0.05).abs() < 1e-12);
+        assert!((pi.max() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertex_rejected() {
+        let g = div_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        let err = StationaryDistribution::new(&g).unwrap_err();
+        assert_eq!(err, SpectralError::IsolatedVertex { vertex: 2 });
+    }
+
+    #[test]
+    fn measure_of_sets() {
+        let g = generators::star(5).unwrap();
+        let pi = StationaryDistribution::new(&g).unwrap();
+        let all: Vec<usize> = g.vertices().collect();
+        assert!((pi.measure(&all) - 1.0).abs() < 1e-12);
+        let leaves: Vec<usize> = (1..5).collect();
+        assert!((pi.measure(&leaves) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average_matches_hand_computation() {
+        let g = generators::star(3).unwrap(); // degrees 2,1,1; 2m=4
+        let pi = StationaryDistribution::new(&g).unwrap();
+        // π = [1/2, 1/4, 1/4]; X = [4, 0, 8] → 2 + 0 + 2 = 4.
+        assert!((pi.weighted_average(&[4, 0, 8]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per vertex")]
+    fn weighted_average_length_mismatch_panics() {
+        let g = generators::complete(3).unwrap();
+        let pi = StationaryDistribution::new(&g).unwrap();
+        let _ = pi.weighted_average(&[1, 2]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Random-walk distribution evolution and mixing times.
+//!
+//! Theorem 1's proof machinery is driven by how fast the walk mixes
+//! (through the expander mixing lemma); these utilities make the
+//! connection measurable: evolve a distribution through `P^t`, compute
+//! total-variation distance to `π`, and compare the empirical mixing time
+//! to the classical spectral bound
+//! `t_mix(ε) ≤ log(1/(ε·π_min)) / (1 − λ)`.
+
+use div_graph::Graph;
+
+use crate::{SpectralError, StationaryDistribution};
+
+/// A probability distribution over vertices, evolving under the walk
+/// matrix `P` (`row ← row·P` per step).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(10)?;
+/// let mut w = div_spectral::WalkDistribution::point(&g, 0)?;
+/// w.step(&g);
+/// // After one step the mass is uniform over the other 9 vertices.
+/// assert!(w.probability(0) == 0.0);
+/// assert!((w.probability(3) - 1.0 / 9.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkDistribution {
+    probs: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl WalkDistribution {
+    /// The point mass at `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError::IsolatedVertex`] if the graph has an
+    /// isolated vertex (the walk matrix is undefined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn point(g: &Graph, source: usize) -> Result<Self, SpectralError> {
+        assert!(source < g.num_vertices(), "source out of range");
+        if let Some(v) = g.vertices().find(|&v| g.degree(v) == 0) {
+            return Err(SpectralError::IsolatedVertex { vertex: v });
+        }
+        let mut probs = vec![0.0; g.num_vertices()];
+        probs[source] = 1.0;
+        Ok(WalkDistribution {
+            scratch: vec![0.0; probs.len()],
+            probs,
+        })
+    }
+
+    /// The probability currently at vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn probability(&self, v: usize) -> f64 {
+        self.probs[v]
+    }
+
+    /// The distribution as a slice indexed by vertex.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// One step of the walk: `p ← p·P`, i.e.
+    /// `p'(u) = Σ_{v ~ u} p(v)/d(v)`.
+    pub fn step(&mut self, g: &Graph) {
+        for s in self.scratch.iter_mut() {
+            *s = 0.0;
+        }
+        for v in g.vertices() {
+            let share = self.probs[v] / g.degree(v) as f64;
+            if share == 0.0 {
+                continue;
+            }
+            for u in g.neighbors(v) {
+                self.scratch[u] += share;
+            }
+        }
+        std::mem::swap(&mut self.probs, &mut self.scratch);
+    }
+
+    /// `t` steps of the *lazy* walk `(P + I)/2` (aperiodic even on
+    /// bipartite graphs, at the cost of halving the spectral gap).
+    pub fn lazy_steps(&mut self, g: &Graph, t: usize) {
+        for _ in 0..t {
+            self.step(g);
+            // `step` swaps, so `scratch` now holds the pre-step
+            // distribution: blend in place, no extra allocation.
+            let (probs, before) = (&mut self.probs, &self.scratch);
+            for (p, b) in probs.iter_mut().zip(before) {
+                *p = 0.5 * (*p + b);
+            }
+        }
+    }
+
+    /// Total-variation distance to the stationary distribution:
+    /// `½ Σ_v |p(v) − π_v|`.
+    pub fn tv_distance(&self, pi: &StationaryDistribution) -> f64 {
+        0.5 * self
+            .probs
+            .iter()
+            .zip(pi.as_slice())
+            .map(|(p, q)| (p - q).abs())
+            .sum::<f64>()
+    }
+}
+
+/// The classical spectral upper bound on the ε-mixing time of a
+/// reversible aperiodic walk: `t_mix(ε) ≤ ln(1/(ε·π_min))/(1 − λ)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < eps < 1`, `0 < pi_min <= 1`, and `0 <= lambda < 1`.
+pub fn mixing_time_bound(lambda: f64, pi_min: f64, eps: f64) -> f64 {
+    assert!((0.0..1.0).contains(&lambda), "lambda must be in [0, 1)");
+    assert!(pi_min > 0.0 && pi_min <= 1.0, "pi_min must be in (0, 1]");
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    (1.0 / (eps * pi_min)).ln() / (1.0 - lambda)
+}
+
+/// The empirical ε-mixing time of the **lazy** walk from the worst of the
+/// given start vertices: the first `t` with `max_src TV(p_src P^t, π) ≤ ε`.
+///
+/// Returns `None` if mixing does not occur within `max_steps`.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::IsolatedVertex`] for graphs with an isolated
+/// vertex.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an out-of-range vertex.
+pub fn empirical_mixing_time(
+    g: &Graph,
+    sources: &[usize],
+    eps: f64,
+    max_steps: usize,
+) -> Result<Option<usize>, SpectralError> {
+    assert!(!sources.is_empty(), "need at least one start vertex");
+    let pi = StationaryDistribution::new(g)?;
+    let mut walks: Vec<WalkDistribution> = sources
+        .iter()
+        .map(|&s| WalkDistribution::point(g, s))
+        .collect::<Result<_, _>>()?;
+    for t in 0..=max_steps {
+        let worst = walks
+            .iter()
+            .map(|w| w.tv_distance(&pi))
+            .fold(0.0f64, f64::max);
+        if worst <= eps {
+            return Ok(Some(t));
+        }
+        for w in walks.iter_mut() {
+            w.lazy_steps(g, 1);
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_graph::generators;
+
+    #[test]
+    fn distribution_stays_normalised() {
+        let g = generators::wheel(12).unwrap();
+        let mut w = WalkDistribution::point(&g, 3).unwrap();
+        for _ in 0..50 {
+            w.step(&g);
+            let total: f64 = w.as_slice().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert!(w.as_slice().iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_is_fixed() {
+        let g = generators::double_star(4, 7).unwrap();
+        let pi = StationaryDistribution::new(&g).unwrap();
+        let mut w = WalkDistribution::point(&g, 0).unwrap();
+        // Overwrite with π and step: should stay at π.
+        w.probs.copy_from_slice(pi.as_slice());
+        w.step(&g);
+        assert!(w.tv_distance(&pi) < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_mixes_in_one_step_almost() {
+        let g = generators::complete(100).unwrap();
+        let pi = StationaryDistribution::new(&g).unwrap();
+        let mut w = WalkDistribution::point(&g, 0).unwrap();
+        w.step(&g);
+        // TV after one step is exactly 1/n (only the origin is off).
+        assert!((w.tv_distance(&pi) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bipartite_non_lazy_walk_never_mixes_but_lazy_does() {
+        let g = generators::cycle(8).unwrap();
+        let pi = StationaryDistribution::new(&g).unwrap();
+        let mut parity = WalkDistribution::point(&g, 0).unwrap();
+        for _ in 0..100 {
+            parity.step(&g);
+        }
+        assert!(parity.tv_distance(&pi) > 0.4, "parity trap should persist");
+        let t = empirical_mixing_time(&g, &[0], 0.25, 1000).unwrap();
+        assert!(t.is_some(), "lazy walk mixes");
+    }
+
+    #[test]
+    fn empirical_mixing_below_spectral_bound() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(5)
+        };
+        let g = generators::random_regular(64, 6, &mut rng).unwrap();
+        let pi = StationaryDistribution::new(&g).unwrap();
+        // Lazy-walk λ is (1 + λ)/2.
+        let lambda = crate::lambda(&g).unwrap();
+        let lazy_lambda = 0.5 * (1.0 + lambda);
+        let eps = 0.125;
+        let bound = mixing_time_bound(lazy_lambda, pi.min(), eps).ceil() as usize;
+        let measured = empirical_mixing_time(&g, &[0, 1, 2], eps, bound + 10)
+            .unwrap()
+            .expect("must mix within the bound");
+        assert!(
+            measured <= bound,
+            "measured lazy mixing {measured} exceeds bound {bound}"
+        );
+    }
+
+    #[test]
+    fn mixing_time_orders_families_by_gap() {
+        // Expander mixes much faster than the slow cycle at equal n.
+        let n = 48;
+        let eps = 0.25;
+        let fast = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            let g = generators::random_regular(n, 6, &mut rng).unwrap();
+            empirical_mixing_time(&g, &[0], eps, 100_000)
+                .unwrap()
+                .unwrap()
+        };
+        let slow = {
+            let g = generators::cycle(n).unwrap();
+            empirical_mixing_time(&g, &[0], eps, 100_000)
+                .unwrap()
+                .unwrap()
+        };
+        assert!(
+            8 * fast < slow,
+            "expander {fast} steps vs cycle {slow} steps"
+        );
+    }
+
+    #[test]
+    fn bound_validation() {
+        assert!(mixing_time_bound(0.5, 0.01, 0.25) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1)")]
+    fn bound_rejects_lambda_one() {
+        let _ = mixing_time_bound(1.0, 0.01, 0.25);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the spectral substrate.
+
+use div_graph::{algo, generators};
+use div_spectral::{lambda, lambda_two, mixing, spectrum, StationaryDistribution};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A connected G(n, p) above the connectivity threshold, or `None` if the
+/// sample happened to be disconnected.
+fn connected_gnp(n: usize, seed: u64) -> Option<div_graph::Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (3.0 * (n as f64).ln() / n as f64).min(1.0);
+    let g = generators::gnp(n, p, &mut rng).ok()?;
+    algo::is_connected(&g).then_some(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// π is a probability distribution with the degree-proportional shape.
+    #[test]
+    fn stationary_distribution_shape(seed in any::<u64>(), n in 3usize..60) {
+        let Some(g) = connected_gnp(n, seed) else { return Ok(()); };
+        let pi = StationaryDistribution::new(&g).unwrap();
+        prop_assert!((pi.total() - 1.0).abs() < 1e-9);
+        let two_m = g.total_degree() as f64;
+        for v in g.vertices() {
+            prop_assert!((pi.prob(v) - g.degree(v) as f64 / two_m).abs() < 1e-12);
+        }
+        prop_assert!(pi.min() <= 1.0 / n as f64 + 1e-12);
+        prop_assert!(pi.max() >= 1.0 / n as f64 - 1e-12);
+        prop_assert!(pi.l2_norm() <= pi.max().sqrt() + 1e-12);
+    }
+
+    /// λ is always in [0, 1], and the full spectrum lies in [−1, 1] with
+    /// top eigenvalue 1 for connected graphs.
+    #[test]
+    fn spectrum_bounds(seed in any::<u64>(), n in 3usize..40) {
+        let Some(g) = connected_gnp(n, seed) else { return Ok(()); };
+        let l = lambda(&g).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&l), "λ = {l}");
+        let s = spectrum(&g).unwrap();
+        prop_assert!((s[0] - 1.0).abs() < 1e-8);
+        for &e in &s {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        }
+        // λ matches the dense oracle.
+        let oracle = s[1..].iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        prop_assert!((l - oracle).abs() < 1e-5, "power {l} vs dense {oracle}");
+        // λ₂ matches the dense oracle too.
+        let l2 = lambda_two(&g).unwrap();
+        prop_assert!((l2 - s[1]).abs() < 1e-5, "λ₂ power {l2} vs dense {}", s[1]);
+    }
+
+    /// The expander mixing lemma (Lemma 9) holds for arbitrary set pairs
+    /// with the measured λ.
+    #[test]
+    fn mixing_lemma_universal(seed in any::<u64>(), n in 4usize..50, mask_seed in any::<u64>()) {
+        let Some(g) = connected_gnp(n, seed) else { return Ok(()); };
+        let l = lambda(&g).unwrap();
+        let mut mrng = StdRng::seed_from_u64(mask_seed);
+        for _ in 0..8 {
+            let s: Vec<bool> = (0..n).map(|_| mrng.gen()).collect();
+            let u: Vec<bool> = (0..n).map(|_| mrng.gen()).collect();
+            let check = mixing::mixing_lemma_check(&g, l, &s, &u).unwrap();
+            prop_assert!(
+                check.holds(),
+                "deviation {} > bound {}",
+                check.deviation,
+                check.bound
+            );
+            // Detailed balance is exact for random walks on graphs.
+            prop_assert!(mixing::detailed_balance_gap(&g, &s, &u) < 1e-14);
+        }
+    }
+
+    /// Q is monotone and bounded: Q(S,U) ≤ min(π(S), π(U)) and
+    /// Q(S,V) = π(S).
+    #[test]
+    fn edge_measure_bounds(seed in any::<u64>(), n in 4usize..50, mask_seed in any::<u64>()) {
+        let Some(g) = connected_gnp(n, seed) else { return Ok(()); };
+        let pi = StationaryDistribution::new(&g).unwrap();
+        let mut mrng = StdRng::seed_from_u64(mask_seed);
+        let s: Vec<bool> = (0..n).map(|_| mrng.gen()).collect();
+        let all = vec![true; n];
+        let ps: f64 = (0..n).filter(|&v| s[v]).map(|v| pi.prob(v)).sum();
+        let q_sv = mixing::edge_measure(&g, &s, &all);
+        prop_assert!((q_sv - ps).abs() < 1e-12, "Q(S,V) = {q_sv} vs π(S) = {ps}");
+        let u: Vec<bool> = (0..n).map(|_| mrng.gen()).collect();
+        let pu: f64 = (0..n).filter(|&v| u[v]).map(|v| pi.prob(v)).sum();
+        let q_su = mixing::edge_measure(&g, &s, &u);
+        prop_assert!(q_su <= ps.min(pu) + 1e-12);
+        prop_assert!(q_su >= 0.0);
+    }
+
+    /// Conductance of any nontrivial set is within (0, ∞) on a connected
+    /// graph and the Cheeger easy direction (1 − λ₂)/2 ≤ Φ(S) holds for
+    /// every sweep prefix in particular for the minimum.
+    #[test]
+    fn conductance_cheeger(seed in any::<u64>(), n in 4usize..40) {
+        let Some(g) = connected_gnp(n, seed) else { return Ok(()); };
+        let l2 = lambda_two(&g).unwrap();
+        let (phi, size) = mixing::sweep_conductance(&g).unwrap();
+        prop_assert!(size >= 1 && size < n);
+        prop_assert!(phi.is_finite() && phi > 0.0);
+        prop_assert!((1.0 - l2) / 2.0 <= phi + 1e-7, "cheeger: {} > {phi}", (1.0 - l2) / 2.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The hypothesis boundary: the same election on an expander and a path.
+//!
+//! Theorem 2 needs `λ·k = o(1)`.  This example runs the *same* blocked
+//! `{0, 1, 2}` configuration on a complete graph (`λ·k ≈ 0`) and on a
+//! path (`λ·k ≈ 3`), many times each, and prints the two winner
+//! histograms side by side: the expander snaps to the average, the path
+//! hands each opinion a constant share (the counterexample of [13],
+//! Theorem 3).
+//!
+//! ```sh
+//! cargo run --release --example expander_vs_path
+//! ```
+
+use div_core::{init, DivProcess, EdgeScheduler};
+use div_graph::generators;
+use div_sim::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 60; // divisible by 3
+    let third = n / 3;
+    let trials = 150;
+    let complete = generators::complete(n)?;
+    let path = generators::path(n)?;
+    println!(
+        "blocked opinions 0|1|2 (a third each), c = 1;  λ(K_n) = {:.4}, λ₂(path) = {:.4}\n",
+        div_spectral::lambda(&complete)?,
+        div_spectral::lambda_two(&path)?
+    );
+
+    let mut wins = [[0u64; 3]; 2];
+    for (gi, graph) in [&complete, &path].into_iter().enumerate() {
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 * gi as u64 + t);
+            // Blocked along vertex ids: on the path this is three segments.
+            let opinions = init::blocks(&[(0, third), (1, third), (2, third)])?;
+            let mut p = DivProcess::new(graph, opinions, EdgeScheduler::new())?;
+            let w = p
+                .run_to_consensus(u64::MAX, &mut rng)
+                .consensus_opinion()
+                .expect("connected graphs converge");
+            wins[gi][w as usize] += 1;
+        }
+    }
+
+    let mut table = Table::new(&["winner", "K_n (expander)", "path (non-expander)"]);
+    for (op, counts) in wins[0].iter().zip(&wins[1]).enumerate() {
+        table.row(&[
+            op.to_string(),
+            format!("{:.2}", *counts.0 as f64 / trials as f64),
+            format!("{:.2}", *counts.1 as f64 / trials as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "on K_n the average opinion 1 wins essentially always; on the path the\n\
+         extreme opinions 0 and 2 keep constant winning probability — the λk = o(1)\n\
+         hypothesis is not an artifact of the proof."
+    );
+    assert!(wins[0][1] > 3 * trials / 4, "expander should pick 1");
+    assert!(
+        wins[1][0] + wins[1][2] > trials / 5,
+        "path should let extremes win"
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Visualize a DIV run: write Graphviz DOT snapshots of the opinions.
+//!
+//! Runs DIV on a small torus and writes `div_snapshot_*.dot` files into a
+//! temp directory, each labelling vertices with their current opinions —
+//! render with `dot -Tpng` or `neato -Tpng` to watch the extremes
+//! contract toward the average.
+//!
+//! ```sh
+//! cargo run --example stage_snapshots
+//! ```
+
+use div_core::{init, DivProcess, EdgeScheduler};
+use div_graph::{dot, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::torus2d(6, 6)?;
+    let opinions = init::uniform_random(g.num_vertices(), 9, &mut rng)?;
+    let c = init::average(&opinions);
+    println!("torus 6×6, opinions 1..=9, c = {c:.2}");
+
+    let out_dir = std::env::temp_dir().join("div_snapshots");
+    std::fs::create_dir_all(&out_dir)?;
+
+    let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new())?;
+    let snapshot = |p: &DivProcess<EdgeScheduler>, tag: &str| -> std::io::Result<()> {
+        let rendered =
+            dot::render_with_labels(p.graph(), |v| Some(p.state().opinion(v).to_string()));
+        let path = out_dir.join(format!("div_snapshot_{tag}.dot"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(rendered.as_bytes())?;
+        println!(
+            "step {:>6}: support {:?} → {}",
+            p.steps(),
+            p.state().support_set(),
+            path.display()
+        );
+        Ok(())
+    };
+
+    snapshot(&p, "000_initial")?;
+    for (i, burst) in [200u64, 400, 800, 1600].iter().enumerate() {
+        for _ in 0..*burst {
+            p.step(&mut rng);
+            if p.state().is_consensus() {
+                break;
+            }
+        }
+        snapshot(&p, &format!("{:03}_mid", i + 1))?;
+        if p.state().is_consensus() {
+            break;
+        }
+    }
+    let status = p.run_to_consensus(u64::MAX, &mut rng);
+    snapshot(&p, "999_final")?;
+    println!(
+        "consensus on {} after {} steps; render the .dot files with `neato -Tpng`",
+        status.consensus_opinion().expect("torus converges"),
+        status.steps()
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! `div-lab` — a reproduction of *Discrete Incremental Voting* (Cooper,
+//! Radzik, Shiraga; PODC 2023 brief announcement / full version *Discrete
+//! Incremental Voting on Expanders*).
+//!
+//! This facade crate re-exports the workspace members under short names
+//! and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).  Library users should usually depend on
+//! the member crates directly:
+//!
+//! * [`graph`] (`div-graph`) — CSR graphs and the workload generators;
+//! * [`spectral`] (`div-spectral`) — `λ`, `π`, and the expander-mixing
+//!   toolbox;
+//! * [`core`] (`div-core`) — the DIV process itself plus the paper's
+//!   theory formulas;
+//! * [`baselines`] (`div-baselines`) — pull voting, median voting,
+//!   best-of-k and load balancing;
+//! * [`sim`] (`div-sim`) — the Monte-Carlo experiment harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use div_lab::core::{init, theory, DivProcess, EdgeScheduler};
+//! use div_lab::graph::generators;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::complete(50)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let opinions = init::uniform_random(50, 5, &mut rng)?;
+//! let prediction = theory::win_prediction(init::average(&opinions));
+//! let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new())?;
+//! let winner = p.run_to_consensus(u64::MAX, &mut rng).consensus_opinion().unwrap();
+//! assert!(prediction.probability_of(winner) > 0.0 || winner.abs_diff(prediction.lower) <= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use div_baselines as baselines;
+pub use div_core as core;
+pub use div_graph as graph;
+pub use div_sim as sim;
+pub use div_spectral as spectral;

@@ -1,0 +1,188 @@
+//! Adversarial and boundary-condition tests: worst-case initial
+//! configurations, extreme parameter values, and rejected inputs across
+//! the whole pipeline.
+
+use div_core::{init, DivError, DivProcess, EdgeScheduler, RunStatus, VertexScheduler};
+use div_graph::{generators, Graph, GraphError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All the initial mass at the two ends of a wide range — the worst case
+/// for the range-reduction machinery (every intermediate value must be
+/// created by the dynamics).
+#[test]
+fn polarized_extremes_still_converge_to_the_middle() {
+    let n = 60;
+    let g = generators::complete(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut hits = 0;
+    let trials = 30;
+    for _ in 0..trials {
+        let opinions = init::shuffled_blocks(&[(1, 30), (41, 30)], &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let w = p
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        // c = 21; allow the small finite-size window around it.
+        if (19..=23).contains(&w) {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits >= trials - 3,
+        "only {hits}/{trials} landed near c = 21"
+    );
+}
+
+/// A single wildly mis-calibrated vertex: DIV faithfully tracks the
+/// **mean** (Lemma 3's martingale), so the outlier legitimately drags the
+/// consensus toward `c ≈ 10 005` — while median voting, the robust
+/// statistic, ignores it completely.  (This is the flip side of
+/// "DIV computes the average": the average is not outlier-robust.)
+#[test]
+fn lone_extreme_outlier_drags_div_but_not_median() {
+    let n = 100;
+    let g = generators::complete(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mk = || {
+        let mut opinions = vec![5i64; n];
+        opinions[0] = 1_000_000;
+        opinions
+    };
+    let c = init::average(&mk()); // 10_004.95
+    for _ in 0..5 {
+        let mut p = DivProcess::new(&g, mk(), EdgeScheduler::new()).unwrap();
+        let w = p
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        // k ≫ n violates Theorem 2's hypotheses, so exact ⌊c⌋/⌈c⌉ is not
+        // guaranteed — but the martingale keeps the winner within a few
+        // percent of the true mean over a run this long.
+        assert!(
+            (w as f64 - c).abs() < 0.05 * c,
+            "winner {w} should be near the mean {c:.0}"
+        );
+
+        let mut m = div_baselines::MedianVoting::new(&g, mk()).unwrap();
+        let mw = div_baselines::run_to_consensus(&mut m, u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        assert_eq!(mw, 5, "median voting must shrug the outlier off");
+    }
+}
+
+/// Maximum supported opinion span constructs and steps correctly.
+#[test]
+fn huge_span_works_within_limit() {
+    let g = generators::complete(4).unwrap();
+    let span_edge = div_core::OpinionState::new(&g, vec![0, 1, (1 << 24) - 1, 5]);
+    assert!(span_edge.is_ok(), "span at the limit must construct");
+    let too_big = div_core::OpinionState::new(&g, vec![0, 1, 1 << 24, 5]);
+    assert!(matches!(too_big, Err(DivError::SpanTooLarge { .. })));
+}
+
+/// Negative and mixed-sign opinions flow through the whole pipeline.
+#[test]
+fn negative_opinions_full_run() {
+    let n = 40;
+    let g = generators::complete(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let opinions = init::shuffled_blocks(&[(-7, 20), (5, 20)], &mut rng).unwrap();
+    let c = init::average(&opinions); // -1.0
+    assert!((c + 1.0).abs() < 1e-12);
+    let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+    let w = p
+        .run_to_consensus(u64::MAX, &mut rng)
+        .consensus_opinion()
+        .unwrap();
+    assert!((-3..=1).contains(&w), "winner {w} far from c = -1");
+}
+
+/// Disconnected graphs can never reach consensus from differing
+/// components; the process keeps running to the step limit (and the
+/// components' ranges stay separated when their spans don't overlap).
+#[test]
+fn disconnected_graph_never_reaches_consensus() {
+    let a = generators::complete(10).unwrap();
+    let b = generators::complete(10).unwrap();
+    let g = div_graph::ops::disjoint_union(&a, &b).unwrap();
+    let mut opinions = vec![1i64; 10];
+    opinions.extend(vec![9i64; 10]);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+    let status = p.run_to_consensus(200_000, &mut rng);
+    assert!(matches!(status, RunStatus::StepLimit { .. }));
+    // Components cannot exchange opinions: all 1s stay 1, all 9s stay 9.
+    assert_eq!(p.state().count(1), 10);
+    assert_eq!(p.state().count(9), 10);
+}
+
+/// Every malformed input is rejected with the right error, not a panic.
+#[test]
+fn error_paths_are_total() {
+    // Graph layer.
+    assert!(matches!(
+        Graph::from_edges(0, std::iter::empty()),
+        Err(GraphError::EmptyGraph)
+    ));
+    assert!(matches!(
+        generators::random_regular(5, 3, &mut StdRng::seed_from_u64(0)),
+        Err(GraphError::InvalidParameter { .. })
+    ));
+    // Spectral layer: isolated vertex.
+    let lonely = Graph::from_edges(3, [(0, 1)]).unwrap();
+    assert!(div_spectral::lambda(&lonely).is_err());
+    assert!(div_spectral::StationaryDistribution::new(&lonely).is_err());
+    // Core layer.
+    let g = generators::complete(3).unwrap();
+    assert!(matches!(
+        DivProcess::new(&g, vec![], EdgeScheduler::new()),
+        Err(DivError::EmptyOpinions)
+    ));
+    assert!(matches!(
+        DivProcess::new(&g, vec![1, 2], EdgeScheduler::new()),
+        Err(DivError::LengthMismatch { .. })
+    ));
+    assert!(matches!(
+        DivProcess::new(&lonely, vec![1, 2, 3], EdgeScheduler::new()),
+        Err(DivError::IsolatedVertex { vertex: 2 })
+    ));
+    // Baselines layer.
+    assert!(div_baselines::BestOfK::new(&g, vec![1; 3], 0).is_err());
+    assert!(
+        div_baselines::TwoOpinionVoting::new(&g, vec![0, 1, 2], 0, 1, EdgeScheduler::new())
+            .is_err()
+    );
+}
+
+/// Step budgets of zero and one behave exactly.
+#[test]
+fn tiny_budgets() {
+    let g = generators::complete(10).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let opinions = init::spread(10, 5).unwrap();
+    let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+    assert_eq!(
+        p.run_to_consensus(0, &mut rng),
+        RunStatus::StepLimit { steps: 0 }
+    );
+    let status = p.run_to_consensus(1, &mut rng);
+    assert_eq!(status, RunStatus::StepLimit { steps: 1 });
+    assert_eq!(p.steps(), 1);
+}
+
+/// The widest workable span on a long run: opinions across ±10⁶ still
+/// track exact integer aggregates (no float drift anywhere).
+#[test]
+fn exactness_over_long_runs_with_wide_span() {
+    let g = generators::wheel(30).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let opinions: Vec<i64> = (0..30).map(|i| (i as i64 - 15) * 1000).collect();
+    let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+    for _ in 0..200_000 {
+        p.step(&mut rng);
+    }
+    p.state().check_invariants();
+}

@@ -1,0 +1,160 @@
+//! Integration tests for the path counterexample ([13] Theorem 3) and the
+//! mode/median/mean trichotomy (the paper's framing of pull voting,
+//! median voting and DIV).
+
+use div_baselines::{run_to_consensus, MedianVoting, PullVoting};
+use div_core::{init, DivProcess, EdgeScheduler};
+use div_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// On the path with blocked {0,1,2}, each opinion wins with positive
+/// probability — including the extremes, which Theorem 2 would forbid on
+/// an expander.
+#[test]
+fn path_lets_every_opinion_win() {
+    let n = 24;
+    let third = n / 3;
+    let path = generators::path(n).unwrap();
+    let blocked = init::blocks(&[(0, third), (1, third), (2, third)]).unwrap();
+    let trials = 120;
+    let winners: Vec<i64> = div_sim::run_trials(trials, 0xC0DE, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = DivProcess::new(&path, blocked.clone(), EdgeScheduler::new()).unwrap();
+        p.run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .expect("path is connected; DIV absorbs")
+    });
+    let count = |op: i64| winners.iter().filter(|&&w| w == op).count();
+    // Each opinion should win a nontrivial share (expected ≈ 1/4, 1/2,
+    // 1/4 for the blocked layout; demand ≥ 5% each).
+    for op in 0..=2 {
+        assert!(
+            count(op) as f64 / trials as f64 >= 0.05,
+            "opinion {op} won only {}/{trials} on the path",
+            count(op)
+        );
+    }
+}
+
+/// The same counts on K_n concentrate on the average, opinion 1.
+#[test]
+fn expander_control_concentrates_on_average() {
+    let n = 150;
+    let third = n / 3;
+    let g = generators::complete(n).unwrap();
+    let trials = 120;
+    let winners: Vec<i64> = div_sim::run_trials(trials, 0xC0DF, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions =
+            init::shuffled_blocks(&[(0, third), (1, third), (2, third)], &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        p.run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap()
+    });
+    let ones = winners.iter().filter(|&&w| w == 1).count();
+    assert!(
+        ones as f64 / trials as f64 > 0.8,
+        "average opinion won only {ones}/{trials} on K_n"
+    );
+}
+
+/// One skewed population, three processes, three different winners: pull
+/// → mode, median voting → median, DIV → rounded mean.
+#[test]
+fn mode_median_mean_diverge() {
+    let n = 120;
+    let g = generators::complete(n).unwrap();
+    // 48 × 1, 30 × 2, 42 × 8: mode 1, median 2, mean 3.85 → DIV: {3, 4}.
+    let spec = [(1i64, 48), (2, 30), (8, 42)];
+    let trials = 60;
+    let results = div_sim::run_trials(trials, 0xC0E0, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::shuffled_blocks(&spec, &mut rng).unwrap();
+        let mut pull = PullVoting::new(&g, opinions.clone(), EdgeScheduler::new()).unwrap();
+        let pull_w = pull
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        let mut med = MedianVoting::new(&g, opinions.clone()).unwrap();
+        let med_w = run_to_consensus(&mut med, u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        let mut div = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let div_w = div
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        (pull_w, med_w, div_w)
+    });
+
+    // Pull voting: winners only from the initial support; mode wins a
+    // plurality of runs.
+    assert!(results.iter().all(|r| [1, 2, 8].contains(&r.0)));
+    let pull_mode = results.iter().filter(|r| r.0 == 1).count();
+    assert!(
+        pull_mode * 2 >= trials * 2 * 2 / 5,
+        "mode won only {pull_mode}/{trials} pull runs"
+    );
+
+    // Median voting: concentrated on the median 2.
+    let med_hits = results.iter().filter(|r| r.1 == 2).count();
+    assert!(
+        med_hits as f64 / trials as f64 > 0.75,
+        "median won only {med_hits}/{trials}"
+    );
+
+    // DIV: concentrated on {3, 4} — values *nobody held initially*.
+    let div_hits = results.iter().filter(|r| r.2 == 3 || r.2 == 4).count();
+    assert!(
+        div_hits as f64 / trials as f64 > 0.85,
+        "rounded mean won only {div_hits}/{trials}"
+    );
+}
+
+/// Load balancing conserves the sum exactly and lands on {⌊c⌋, ⌈c⌉};
+/// DIV matches its accuracy without conservation.
+#[test]
+fn load_balancing_and_div_agree_on_the_target() {
+    use div_baselines::LoadBalancing;
+    let n = 80;
+    let g = generators::complete(n).unwrap();
+    let trials = 40;
+    let ok = div_sim::run_trials(trials, 0xC0E1, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, 10, &mut rng).unwrap();
+        let sum0: i64 = opinions.iter().sum();
+        let pred = div_core::theory::win_prediction(init::average(&opinions));
+
+        let mut lb = LoadBalancing::new(&g, opinions.clone()).unwrap();
+        lb.run_to_near_balance(u64::MAX, &mut rng);
+        let lb_sum_exact = lb.state().sum() == sum0;
+        let lb_on_target = lb.state().min_opinion() >= pred.lower - 1
+            && lb.state().max_opinion() <= pred.upper + 1;
+
+        let mut div = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let w = div
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        let div_on_target = (pred.lower - 1..=pred.upper + 1).contains(&w);
+        (lb_sum_exact, lb_on_target, div_on_target)
+    });
+    assert!(
+        ok.iter().all(|r| r.0),
+        "load balancing must conserve the sum"
+    );
+    let lb_hits = ok.iter().filter(|r| r.1).count();
+    let div_hits = ok.iter().filter(|r| r.2).count();
+    assert!(
+        lb_hits == trials,
+        "LB off target in {} runs",
+        trials - lb_hits
+    );
+    assert!(
+        div_hits as f64 / trials as f64 > 0.9,
+        "DIV off target in {} runs",
+        trials - div_hits
+    );
+}

@@ -1,0 +1,163 @@
+//! Integration tests for Lemma 3 (martingale), eq. (5) (Azuma), and
+//! Theorem 1 (fast reduction to two adjacent opinions).
+
+use div_core::{init, theory, DivProcess, EdgeScheduler, RunStatus, VertexScheduler};
+use div_graph::generators;
+use div_sim::stats::{Summary, Z99};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Lemma 3 (i): S(t) has zero drift under the edge process on any graph.
+#[test]
+fn edge_process_weight_has_no_drift() {
+    for graph in [
+        generators::complete(50).unwrap(),
+        generators::double_star(20, 10).unwrap(), // highly irregular
+        generators::cycle(50).unwrap(),
+    ] {
+        let horizon = 2000u64;
+        let drifts = div_sim::run_trials(2500, 0x3A + graph.num_edges() as u64, |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opinions = init::uniform_random(graph.num_vertices(), 9, &mut rng).unwrap();
+            let mut p = DivProcess::new(&graph, opinions, EdgeScheduler::new()).unwrap();
+            let s0 = p.state().sum();
+            for _ in 0..horizon {
+                p.step(&mut rng);
+            }
+            (p.state().sum() - s0) as f64
+        });
+        let s = Summary::from_iter(drifts);
+        // |z| ≤ 4 keeps the false-failure probability per graph ≈ 6e-5
+        // while still catching any real per-step bias (a bias of one part
+        // in 10⁴ per step would show up as z ≈ 10 here).
+        let z = s.mean / s.std_error();
+        assert!(
+            z.abs() <= 4.0,
+            "{graph}: drift z-score {z:.2} (mean {:.3} ± {:.3})",
+            s.mean,
+            s.std_error()
+        );
+    }
+}
+
+/// Lemma 3 (ii): Z(t) has zero drift under the vertex process, including
+/// on irregular graphs where S(t) does drift.
+#[test]
+fn vertex_process_z_weight_has_no_drift_where_s_drifts() {
+    let graph = generators::star(40).unwrap();
+    let horizon = 1500u64;
+    let results = div_sim::run_trials(600, 0x3B, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Hub at 9, leaves at 1: maximally degree-correlated opinions.
+        let mut opinions = vec![1i64; 40];
+        opinions[0] = 9;
+        let mut p = DivProcess::new(&graph, opinions, VertexScheduler::new()).unwrap();
+        let z0 = p.state().z_weight();
+        let s0 = p.state().sum() as f64;
+        for _ in 0..horizon {
+            p.step(&mut rng);
+        }
+        (p.state().z_weight() - z0, p.state().sum() as f64 - s0)
+    });
+    let z = Summary::from_iter(results.iter().map(|r| r.0));
+    let zscore = z.mean / z.std_error();
+    assert!(
+        zscore.abs() <= 4.0,
+        "Z drift z-score {zscore:.2} (mean {:.3} ± {:.3})",
+        z.mean,
+        z.std_error()
+    );
+    // Contrast: the plain sum under the vertex process *does* drift here
+    // (each leaf pulls toward the hub's 9 far more often than the hub
+    // moves), which is exactly why the vertex process tracks Z, not S.
+    let s = Summary::from_iter(results.iter().map(|r| r.1));
+    let (slo, shi) = s.confidence_interval(Z99);
+    assert!(
+        slo > 0.0,
+        "expected positive S-drift on the star under the vertex process, CI [{slo:.3}, {shi:.3}]"
+    );
+}
+
+/// Eq. (5): the empirical deviation tail is dominated by the Azuma bound
+/// (edge process, unit increments — the case the bound addresses).
+#[test]
+fn azuma_tail_dominates_empirical_tail() {
+    let n = 60;
+    let g = generators::complete(n).unwrap();
+    let horizon = 1600u64;
+    let trials = 800;
+    let devs: Vec<f64> = div_sim::run_trials(trials, 0x3C, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, 9, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let s0 = p.state().sum();
+        for _ in 0..horizon {
+            p.step(&mut rng);
+        }
+        (p.state().sum() - s0).abs() as f64
+    });
+    for h in [40.0f64, 80.0, 120.0] {
+        let measured = devs.iter().filter(|&&d| d >= h).count() as f64 / trials as f64;
+        let bound = theory::azuma_weight_tail(h, horizon);
+        assert!(
+            measured <= bound + 0.02,
+            "h={h}: measured tail {measured:.4} exceeds Azuma bound {bound:.4}"
+        );
+    }
+}
+
+/// Theorem 1: on expanders the two-adjacent stage arrives well within n²
+/// steps, for every seed tried.
+#[test]
+fn reduction_is_within_n_squared_on_expanders() {
+    for (label, g) in [
+        ("K_100", generators::complete(100).unwrap()),
+        ("rand 8-regular", {
+            let mut rng = StdRng::seed_from_u64(0x3D);
+            generators::random_regular(100, 8, &mut rng).unwrap()
+        }),
+    ] {
+        let n = g.num_vertices() as u64;
+        let taus = div_sim::run_trials(60, 0x3E, |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opinions = init::uniform_random(g.num_vertices(), 8, &mut rng).unwrap();
+            let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+            match p.run_to_two_adjacent(n * n, &mut rng) {
+                RunStatus::TwoAdjacent { steps, .. } | RunStatus::Consensus { steps, .. } => {
+                    Some(steps)
+                }
+                RunStatus::StepLimit { .. } => None,
+            }
+        });
+        assert!(
+            taus.iter().all(|t| t.is_some()),
+            "{label}: some run needed ≥ n² steps to reach two adjacent opinions"
+        );
+        let mean_tau = taus.iter().map(|t| t.unwrap() as f64).sum::<f64>() / taus.len() as f64;
+        assert!(
+            mean_tau < (n * n) as f64 / 4.0,
+            "{label}: mean τ = {mean_tau} is not ≪ n²"
+        );
+    }
+}
+
+/// Theorem 1's bound formula dominates the measurement (with unit
+/// constants it should comfortably, on K_n).
+#[test]
+fn measured_reduction_time_below_eq4_bound() {
+    let n = 120;
+    let k = 6;
+    let g = generators::complete(n).unwrap();
+    let bound = theory::expected_reduction_time_bound(n, k, 1.0 / (n as f64 - 1.0));
+    let taus = div_sim::run_trials(40, 0x3F, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, k, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        p.run_to_two_adjacent(u64::MAX, &mut rng).steps() as f64
+    });
+    let mean = Summary::from_iter(taus).mean;
+    assert!(
+        mean < bound,
+        "mean τ {mean:.0} exceeds the eq.(4) bound {bound:.0}"
+    );
+}

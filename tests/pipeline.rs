@@ -1,0 +1,131 @@
+//! Whole-pipeline integration tests: spectral analysis feeding process
+//! configuration, stage logging across a full run, and the facade crate.
+
+use div_core::{init, DivProcess, EdgeScheduler, StageLog, VertexScheduler};
+use div_graph::{algo, generators};
+use div_spectral::families;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The E9-style pipeline: generate a family member, measure λ, check the
+/// Theorem 2 hypothesis budget, then verify the promised outcome quality
+/// on the admissible side.
+#[test]
+fn spectral_gate_predicts_outcome_quality() {
+    let n = 80;
+    let mut rng = StdRng::seed_from_u64(0x90);
+    let g = generators::random_regular(n, 10, &mut rng).unwrap();
+    assert!(algo::is_connected(&g));
+    let lambda = div_spectral::lambda(&g).unwrap();
+    assert!(
+        lambda <= families::lambda_bound_random_regular(10),
+        "λ = {lambda} violates the family bound"
+    );
+    // Admissible k under the pragmatic λk ≤ 0.5 gate.
+    let k = (0.5 / lambda).floor() as usize;
+    assert!(families::expander_hypothesis_holds(lambda, k, 0.5));
+    let k = k.clamp(2, 6);
+
+    let trials = 60;
+    let hits = div_sim::run_trials(trials, 0x91, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, k, &mut rng).unwrap();
+        let pred = div_core::theory::win_prediction(init::average(&opinions));
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let w = p
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        w == pred.lower || w == pred.upper
+    })
+    .into_iter()
+    .filter(|&b| b)
+    .count();
+    assert!(
+        hits as f64 / trials as f64 > 0.85,
+        "hypothesis satisfied but only {hits}/{trials} runs hit the target"
+    );
+}
+
+/// Stage logs over a full run are structurally sound: the trace starts at
+/// the initial support, ends at the winner, eliminations are extreme-only
+/// and consistent with the trace.
+#[test]
+fn stage_log_is_consistent_over_a_full_run() {
+    let n = 45;
+    let g = generators::complete(n).unwrap();
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::shuffled_blocks(&[(1, 15), (2, 15), (5, 15)], &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut log = StageLog::new(p.state());
+        let status = p.run_until(
+            u64::MAX,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| log.observe(ev, st),
+        );
+        let winner = status.consensus_opinion().unwrap();
+
+        let stages = log.stages();
+        assert_eq!(stages.first().unwrap().support, vec![1, 2, 5]);
+        assert_eq!(stages.last().unwrap().support, vec![winner]);
+        // Steps are strictly increasing along the trace.
+        assert!(stages.windows(2).all(|w| w[0].step < w[1].step));
+        // Each consecutive pair differs (that is what a stage means).
+        assert!(stages.windows(2).all(|w| w[0].support != w[1].support));
+        // Eliminations: 4 of the 5 values in [1,5] minus the winner...
+        // (values 3 and 4 may never have existed as extremes; only the
+        // *extreme* opinions are recorded). Mins rise, maxes fall.
+        let order = log.elimination_order();
+        assert!(!order.is_empty());
+        assert!(!order.contains(&winner));
+        // The support range of each stage never widens beyond the
+        // previous stage's range.
+        for w in stages.windows(2) {
+            let (a, b) = (&w[0].support, &w[1].support);
+            assert!(b.first().unwrap() >= a.first().unwrap());
+            assert!(b.last().unwrap() <= a.last().unwrap());
+        }
+    }
+}
+
+/// The facade crate exposes the whole pipeline under its short names.
+#[test]
+fn facade_reexports_work_end_to_end() {
+    let g = div_lab::graph::generators::complete(30).unwrap();
+    let pi = div_lab::spectral::StationaryDistribution::new(&g).unwrap();
+    assert!((pi.total() - 1.0).abs() < 1e-9);
+    let mut rng = StdRng::seed_from_u64(0x92);
+    let opinions = div_lab::core::init::uniform_random(30, 4, &mut rng).unwrap();
+    let mut p =
+        div_lab::core::DivProcess::new(&g, opinions, div_lab::core::EdgeScheduler::new()).unwrap();
+    let status = p.run_to_consensus(u64::MAX, &mut rng);
+    assert!(status.consensus_opinion().is_some());
+    let mut t = div_lab::sim::table::Table::new(&["k", "v"]);
+    t.row(&["winner", &status.consensus_opinion().unwrap().to_string()]);
+    assert_eq!(t.num_rows(), 1);
+    // Baselines via the facade too.
+    let mut lb = div_lab::baselines::LoadBalancing::new(&g, vec![3; 30]).unwrap();
+    lb.step(&mut rng);
+    assert_eq!(lb.state().sum(), 90);
+}
+
+/// Determinism: the same master seed reproduces the same winners across
+/// parallel harness runs.
+#[test]
+fn experiments_are_reproducible() {
+    let n = 40;
+    let g = generators::complete(n).unwrap();
+    let run = || {
+        div_sim::run_trials(24, 0xDE7E, |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opinions = init::uniform_random(n, 5, &mut rng).unwrap();
+            let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+            p.run_to_consensus(u64::MAX, &mut rng)
+                .consensus_opinion()
+                .unwrap()
+        })
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,137 @@
+//! Statistical acceptance test for Theorem 2: on expanders the DIV winner
+//! is `⌊c⌋`/`⌈c⌉` with the predicted probabilities.
+//!
+//! All tests use fixed master seeds; the acceptance bands are ±6σ-ish so
+//! a correct implementation fails with negligible probability.
+
+use div_core::{init, theory, DivProcess, EdgeScheduler, VertexScheduler};
+use div_graph::{algo, generators};
+use div_sim::stats::{wilson_interval, Z99};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn winner_is_floor_or_ceil_on_complete_graph() {
+    let n = 80;
+    let g = generators::complete(n).unwrap();
+    let trials = 120;
+    let ok = div_sim::run_trials(trials, 0xE1_01, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, 6, &mut rng).unwrap();
+        let pred = theory::win_prediction(init::average(&opinions));
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let w = p
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        w == pred.lower || w == pred.upper
+    });
+    let hits = ok.iter().filter(|&&b| b).count();
+    // Finite-size slack: allow up to 15% "other" outcomes at n = 80.
+    assert!(
+        hits as f64 / trials as f64 > 0.85,
+        "only {hits}/{trials} runs hit ⌊c⌋/⌈c⌉"
+    );
+}
+
+#[test]
+fn floor_probability_tracks_fractional_part() {
+    // Fixed c = 2.25: P[2 wins] ≈ 0.75, P[3 wins] ≈ 0.25.
+    let n = 80;
+    let g = generators::complete(n).unwrap();
+    let trials = 300usize;
+    let spec = [(1i64, 25), (2, 25), (3, 15), (4, 15)]; // sum 180/80 = 2.25
+    let c = init::average(&init::blocks(&spec).unwrap());
+    assert!((c - 2.25).abs() < 1e-12);
+    let wins: Vec<i64> = div_sim::run_trials(trials, 0xE1_02, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::shuffled_blocks(&spec, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        p.run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap()
+    });
+    let floor_wins = wins.iter().filter(|&&w| w == 2).count() as u64;
+    let (lo, hi) = wilson_interval(floor_wins, trials as u64, Z99);
+    // The 99% interval must overlap a generous band around 0.75 (the
+    // asymptotic value; finite n shifts it slightly).
+    assert!(
+        lo < 0.83 && hi > 0.63,
+        "P[⌊c⌋] 99% CI [{lo:.3}, {hi:.3}] incompatible with ≈0.75"
+    );
+}
+
+#[test]
+fn vertex_process_on_random_regular_graph() {
+    let n = 100;
+    let mut grng = StdRng::seed_from_u64(0xE1_03);
+    let g = generators::random_regular(n, 8, &mut grng).unwrap();
+    assert!(algo::is_connected(&g));
+    let trials = 100;
+    let ok = div_sim::run_trials(trials, 0xE1_04, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, 4, &mut rng).unwrap();
+        // Regular graph: degree-weighted average == plain average.
+        let pred = theory::win_prediction(init::average(&opinions));
+        let mut p = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let w = p
+            .run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap();
+        w == pred.lower || w == pred.upper
+    });
+    let hits = ok.iter().filter(|&&b| b).count();
+    assert!(
+        hits as f64 / trials as f64 > 0.85,
+        "only {hits}/{trials} runs hit ⌊c⌋/⌈c⌉"
+    );
+}
+
+#[test]
+fn integer_average_wins_outright() {
+    // c exactly integer: the prediction degenerates to certainty, and the
+    // winner should be c in the overwhelming majority of runs.
+    let n = 100;
+    let g = generators::complete(n).unwrap();
+    let spec = [(2i64, 50), (6, 50)]; // c = 4
+    let trials = 100;
+    let wins: Vec<i64> = div_sim::run_trials(trials, 0xE1_05, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::shuffled_blocks(&spec, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        p.run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap()
+    });
+    let exact = wins.iter().filter(|&&w| w == 4).count();
+    assert!(
+        exact as f64 / trials as f64 > 0.7,
+        "integer average won only {exact}/{trials}"
+    );
+    // Excursions past the neighbours of c are exponentially rare even at
+    // this size; the support never leaves the initial span in any case.
+    let near = wins.iter().filter(|&&w| (3..=5).contains(&w)).count();
+    assert!(near >= trials - 3, "{wins:?}");
+}
+
+#[test]
+fn mean_of_winner_is_unbiased_estimate_of_c() {
+    let n = 60;
+    let g = generators::complete(n).unwrap();
+    let spec = [(1i64, 30), (4, 30)]; // c = 2.5
+    let trials = 400;
+    let wins: Vec<f64> = div_sim::run_trials(trials, 0xE1_06, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::shuffled_blocks(&spec, &mut rng).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        p.run_to_consensus(u64::MAX, &mut rng)
+            .consensus_opinion()
+            .unwrap() as f64
+    });
+    let s = div_sim::stats::Summary::from_iter(wins);
+    let (lo, hi) = s.confidence_interval(Z99);
+    assert!(
+        lo <= 2.5 && 2.5 <= hi,
+        "winner mean CI [{lo:.3}, {hi:.3}] should bracket c = 2.5"
+    );
+}
