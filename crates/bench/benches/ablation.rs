@@ -9,9 +9,15 @@
 //! * `early_stop`: stopping at the two-adjacent stage and rounding
 //!   analytically via Lemma 5 vs simulating the final two-opinion stage to
 //!   the end — the final stage dominates on K_n.
+//! * `engine`: the reference `DivProcess` + `StdRng` stepping path vs the
+//!   compiled `FastProcess` + `FastRng` engine (DESIGN.md §3.3) on the
+//!   same graph, opinions and step budget.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use div_core::{init, BiasedVertexScheduler, DivProcess, EdgeScheduler, OpinionState};
+use div_core::{
+    init, BiasedVertexScheduler, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
+    FinishPolicy, OpinionState, VertexScheduler,
+};
 use div_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,6 +156,114 @@ fn bench_early_stop(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    group.bench_function("fast_analytic_two_adjacent", |b| {
+        let mut seed = 2000u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                (mk(seed), FastRng::seed_from_u64(seed ^ 0xAA))
+            },
+            |(ops, mut rng)| {
+                let mut p = FastProcess::new(&g, ops, FastScheduler::Edge).unwrap();
+                p.run_with_policy(u64::MAX, &mut rng, FinishPolicy::AnalyticTwoAdjacent)
+                    .consensus_opinion()
+                    .unwrap() as f64
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Reference stepping path vs the compiled engine, per scheduler.
+fn bench_engine(c: &mut Criterion) {
+    const STEPS: u64 = 10_000;
+    let mut group = c.benchmark_group("ablation/engine");
+    group.sample_size(20);
+    let g = generators::complete(1000).unwrap();
+    let mk = || {
+        let mut rng = StdRng::seed_from_u64(7);
+        init::uniform_random(g.num_vertices(), 9, &mut rng).unwrap()
+    };
+    group.bench_function("reference_vertex", |b| {
+        b.iter_batched(
+            || {
+                (
+                    DivProcess::new(&g, mk(), VertexScheduler::new()).unwrap(),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                for _ in 0..STEPS {
+                    p.step(&mut rng);
+                }
+                p.state().sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fast_vertex", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FastProcess::new(&g, mk(), FastScheduler::Vertex).unwrap(),
+                    FastRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                p.run_to_consensus(STEPS, &mut rng);
+                p.sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("reference_edge", |b| {
+        b.iter_batched(
+            || {
+                (
+                    DivProcess::new(&g, mk(), EdgeScheduler::new()).unwrap(),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                for _ in 0..STEPS {
+                    p.step(&mut rng);
+                }
+                p.state().sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fast_edge", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FastProcess::new(&g, mk(), FastScheduler::Edge).unwrap(),
+                    FastRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                p.run_to_consensus(STEPS, &mut rng);
+                p.sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fast_edge_alias", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FastProcess::new(&g, mk(), FastScheduler::EdgeAlias).unwrap(),
+                    FastRng::seed_from_u64(3),
+                )
+            },
+            |(mut p, mut rng)| {
+                p.run_to_consensus(STEPS, &mut rng);
+                p.sum()
+            },
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 
@@ -157,6 +271,7 @@ criterion_group!(
     benches,
     bench_edge_sampling,
     bench_aggregate_maintenance,
-    bench_early_stop
+    bench_early_stop,
+    bench_engine
 );
 criterion_main!(benches);

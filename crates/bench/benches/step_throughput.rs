@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use div_baselines::{BestOfK, LoadBalancing, MedianVoting, PullVoting};
-use div_core::{init, DivProcess, EdgeScheduler, VertexScheduler};
+use div_core::{
+    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, VertexScheduler,
+};
 use div_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +64,40 @@ fn bench_steps(c: &mut Criterion) {
             format!("div_edge/{gname}"),
             DivProcess::new(&g, mk_opinions(), EdgeScheduler::new()).unwrap()
         );
+        // The fast engine, same dynamics: the stop predicate never fires
+        // inside the STEPS budget on these graphs, so `run_to_consensus`
+        // measures pure block stepping.
+        group.bench_function(format!("fast_vertex/{gname}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        FastProcess::new(&g, mk_opinions(), FastScheduler::Vertex).unwrap(),
+                        FastRng::seed_from_u64(3),
+                    )
+                },
+                |(mut p, mut rng)| {
+                    p.run_to_consensus(STEPS, &mut rng);
+                    p.sum()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("fast_edge/{gname}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        FastProcess::new(&g, mk_opinions(), FastScheduler::Edge).unwrap(),
+                        FastRng::seed_from_u64(3),
+                    )
+                },
+                |(mut p, mut rng)| {
+                    p.run_to_consensus(STEPS, &mut rng);
+                    p.sum()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
         bench_process!(
             group,
             format!("pull/{gname}"),

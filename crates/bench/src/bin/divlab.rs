@@ -1,7 +1,8 @@
 //! `divlab` — a command-line laboratory for discrete incremental voting.
 //!
 //! ```text
-//! divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--seed N] [--trace]
+//! divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex]
+//!                 [--engine reference|fast] [--seed N] [--trace]
 //! divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]
 //! divlab spectral --graph SPEC [--seed N]
 //! divlab graph6   --graph SPEC [--seed N]
@@ -14,7 +15,10 @@ use div_baselines::{
     run_to_consensus, BestOfK, LoadBalancing, MedianVoting, PullVoting, PushVoting,
 };
 use div_bench::spec;
-use div_core::{init, theory, DivProcess, EdgeScheduler, StageLog, VertexScheduler};
+use div_core::{
+    init, theory, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, StageLog,
+    VertexScheduler,
+};
 use div_sim::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,7 +47,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--seed N] [--trace]\n  divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,..."
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n  divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,..."
     );
     exit(0);
 }
@@ -102,6 +106,36 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
         "Theorem 2 prediction: {} w.p. {:.3}, {} w.p. {:.3}",
         pred.lower, pred.p_lower, pred.upper, pred.p_upper
     );
+
+    let engine = opts.map_or_default("engine", "reference");
+    if engine == "fast" {
+        // The fast engine has no per-step observer hooks, so --trace (the
+        // StageLog elimination trace) needs the reference engine.
+        if opts.contains_key("trace") {
+            return Err(
+                "--trace needs --engine reference (the fast engine has no observers)".to_string(),
+            );
+        }
+        let kind = match scheduler.as_str() {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        let mut frng = {
+            use rand::RngCore;
+            FastRng::seed_from_u64(rng.next_u64())
+        };
+        let mut p = FastProcess::new(&graph, opinions, kind).map_err(|e| e.to_string())?;
+        let status = p.run_to_consensus(u64::MAX, &mut frng);
+        let winner = status.consensus_opinion().expect("ran to consensus");
+        println!(
+            "consensus on {winner} after {} steps ({} scheduler, fast engine)",
+            status.steps(),
+            scheduler
+        );
+        return Ok(());
+    } else if engine != "reference" {
+        return Err(format!("unknown engine {engine:?} (use reference or fast)"));
+    }
 
     let (status, log) = if scheduler == "edge" {
         let mut p =

@@ -1,0 +1,164 @@
+//! Machine-readable step-throughput smoke benchmark.
+//!
+//! Measures ns/step of the reference path (`DivProcess` + `StdRng`) and
+//! the compiled engine (`FastProcess` + `FastRng`) for the DIV vertex and
+//! edge processes on `complete_1k` and `regular8_1k`, and writes the
+//! results (including the speedup ratios) to `BENCH_step_throughput.json`.
+//!
+//! ```text
+//! perf_smoke [--steps N] [--out PATH]
+//! ```
+//!
+//! The acceptance bar tracked by this file is a ≥ 3× ns/step improvement
+//! of the fast engine over the reference path for both processes on both
+//! graphs.
+
+use std::time::Instant;
+
+use div_core::{
+    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, Scheduler,
+    VertexScheduler,
+};
+use div_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DEFAULT_STEPS: u64 = 2_000_000;
+
+fn usage() -> ! {
+    eprintln!("usage: perf_smoke [--steps N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    vec![
+        ("complete_1k", generators::complete(1000).unwrap()),
+        (
+            "regular8_1k",
+            generators::random_regular(1000, 8, &mut rng).unwrap(),
+        ),
+    ]
+}
+
+fn opinions_for(g: &Graph) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    init::uniform_random(g.num_vertices(), 9, &mut rng).unwrap()
+}
+
+/// Times up to `steps` reference-path steps (early exit at consensus, as
+/// the reference driver `run_until` does), returning (ns/step, steps).
+fn time_reference<S: Scheduler>(g: &Graph, scheduler: S, steps: u64) -> (f64, u64) {
+    let mut p = DivProcess::new(g, opinions_for(g), scheduler).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    // Warmup: fault in tables and caches.
+    p.run_until(10_000, &mut rng, |s| s.is_consensus(), |_, _| {});
+    let before = p.steps();
+    let start = Instant::now();
+    p.run_until(steps, &mut rng, |s| s.is_consensus(), |_, _| {});
+    let elapsed = start.elapsed();
+    let taken = (p.steps() - before).max(1);
+    (elapsed.as_nanos() as f64 / taken as f64, taken)
+}
+
+/// Times up to `steps` fast-engine steps (early exit at consensus),
+/// returning (ns/step, steps).
+fn time_fast(g: &Graph, scheduler: FastScheduler, steps: u64) -> (f64, u64) {
+    let mut p = FastProcess::new(g, opinions_for(g), scheduler).unwrap();
+    let mut rng = FastRng::seed_from_u64(3);
+    p.run_to_consensus(10_000, &mut rng);
+    let before = p.steps();
+    let start = Instant::now();
+    p.run_to_consensus(steps, &mut rng);
+    let elapsed = start.elapsed();
+    let taken = (p.steps() - before).max(1);
+    (elapsed.as_nanos() as f64 / taken as f64, taken)
+}
+
+struct Row {
+    graph: &'static str,
+    process: &'static str,
+    reference_ns: f64,
+    fast_ns: f64,
+}
+
+fn main() {
+    let mut steps = DEFAULT_STEPS;
+    let mut out = String::from("BENCH_step_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--steps" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => steps = v,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (gname, g) in graphs() {
+        let (ref_v, _) = time_reference(&g, VertexScheduler::new(), steps);
+        let (fast_v, _) = time_fast(&g, FastScheduler::Vertex, steps);
+        rows.push(Row {
+            graph: gname,
+            process: "div_vertex",
+            reference_ns: ref_v,
+            fast_ns: fast_v,
+        });
+        let (ref_e, _) = time_reference(&g, EdgeScheduler::new(), steps);
+        let (fast_e, _) = time_fast(&g, FastScheduler::Edge, steps);
+        rows.push(Row {
+            graph: gname,
+            process: "div_edge",
+            reference_ns: ref_e,
+            fast_ns: fast_e,
+        });
+    }
+
+    // Hand-rolled JSON: the workspace deliberately has no serializer
+    // dependency.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"steps_per_measurement\": {steps},\n"));
+    json.push_str("  \"unit\": \"ns_per_step\",\n");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.reference_ns / r.fast_ns;
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"process\": \"{}\", \"reference\": {:.2}, \"fast\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.graph,
+            r.process,
+            r.reference_ns,
+            r.fast_ns,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    for r in &rows {
+        println!(
+            "{:>12}/{:<10} reference {:7.2} ns/step   fast {:6.2} ns/step   speedup {:5.2}x",
+            r.graph,
+            r.process,
+            r.reference_ns,
+            r.fast_ns,
+            r.reference_ns / r.fast_ns
+        );
+    }
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+
+    let worst = rows
+        .iter()
+        .map(|r| r.reference_ns / r.fast_ns)
+        .fold(f64::INFINITY, f64::min);
+    println!("worst-case speedup: {worst:.2}x (target >= 3x)");
+}

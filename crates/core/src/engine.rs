@@ -1,0 +1,928 @@
+//! The high-throughput stepping engine.
+//!
+//! [`FastProcess`] runs the same DIV dynamic as [`crate::DivProcess`] but
+//! is built for Monte-Carlo volume rather than observability.  The two
+//! implementations are kept deliberately redundant: the reference process
+//! is the correctness oracle (statistical acceptance tests run against
+//! both), the engine is what experiments actually spend their cycles in.
+//!
+//! What the engine does differently, per step:
+//!
+//! * **One RNG word where the reference draws two or three.**  The edge
+//!   process draws a single index into a precompiled array of all `2m`
+//!   *directed* edges, folding the endpoint flip into the same draw; the
+//!   vertex process splits one 64-bit word into two 32-bit halves (vertex,
+//!   neighbour slot).
+//! * **Lemire bounded sampling** (multiply-shift with exact rejection)
+//!   instead of the generic `gen_range` plumbing.
+//! * **[`FastRng`] (xoshiro256++)** instead of `StdRng` — a handful of ALU
+//!   ops per word instead of a ChaCha block.
+//! * **Block stepping**: the stop condition is hoisted out of the inner
+//!   loop and checked once per block.  Both stop predicates are *monotone*
+//!   along a DIV trajectory (the opinion range never expands, so
+//!   "range width ≤ w" never becomes false once true), hence a block whose
+//!   endpoint satisfies the predicate contains the first hit; the engine
+//!   rewinds to the block's start snapshot and replays stepwise to report
+//!   the exact first-hit step count — block size never changes results.
+//! * **Branchless updates**: the signum and the aggregate increments
+//!   compile to arithmetic, not branches; the only data-dependent branch
+//!   left is the (rare) range-boundary shrink.
+//! * **Optional analytic finish** ([`FinishPolicy::AnalyticTwoAdjacent`]):
+//!   after the two-adjacent time `τ` the process is exactly two-opinion
+//!   pull voting, whose absorption law Lemma 5 gives in closed form —
+//!   `P[high wins] = N_high/n` (edge process) or `d(A_high)/2m` (vertex
+//!   process).  The engine can sample that law directly (with an exact
+//!   integer draw) instead of simulating the long final stage.
+//!
+//! [`FastRng`]: crate::FastRng
+
+use div_graph::Graph;
+use rand::RngCore;
+
+use crate::{DivError, OpinionState, RunStatus, SelectionBias};
+
+/// Which interaction law [`FastProcess`] compiles.
+///
+/// Mirrors the reference schedulers: `Vertex` ↔ [`crate::VertexScheduler`],
+/// `Edge` ↔ [`crate::EdgeScheduler`], `EdgeAlias` ↔
+/// [`crate::BiasedVertexScheduler`] (the degree-biased reformulation of the
+/// edge process, kept for ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastScheduler {
+    /// Uniform vertex observes a uniform neighbour (the vertex process).
+    Vertex,
+    /// Uniform directed edge: updater, observed (the edge process).
+    Edge,
+    /// Degree-biased vertex via a packed alias table, then a uniform
+    /// neighbour — distributionally identical to `Edge`.
+    EdgeAlias,
+}
+
+impl FastScheduler {
+    /// The selection bias of the compiled law (decides which Lemma 5
+    /// formula applies).
+    pub fn selection_bias(self) -> SelectionBias {
+        match self {
+            FastScheduler::Vertex => SelectionBias::UniformVertex,
+            FastScheduler::Edge | FastScheduler::EdgeAlias => SelectionBias::Stationary,
+        }
+    }
+
+    /// Display label matching the reference schedulers' labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            FastScheduler::Vertex => "vertex",
+            FastScheduler::Edge => "edge",
+            FastScheduler::EdgeAlias => "edge(alias)",
+        }
+    }
+}
+
+/// How a run that reaches the two-adjacent stage is brought to consensus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FinishPolicy {
+    /// Simulate the final two-opinion stage step by step (the default; the
+    /// reported step count is the true absorption time).
+    #[default]
+    Simulate,
+    /// Stop simulating at `τ` and sample the winner from the exact Lemma 5
+    /// absorption law with one integer draw.  The reported `steps` is the
+    /// step count at `τ`, not the absorption time, and the internal state
+    /// is left at `τ`.
+    AnalyticTwoAdjacent,
+}
+
+/// 64-bit Lemire bounded draw with exact rejection: uniform in `[0, range)`.
+#[inline(always)]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let mut m = (rng.next_u64() as u128) * (range as u128);
+    if (m as u64) < range {
+        // Slow path (probability `range/2⁶⁴`): compute the exact rejection
+        // threshold and redraw below it.
+        let t = range.wrapping_neg() % range;
+        while (m as u64) < t {
+            m = (rng.next_u64() as u128) * (range as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// 32-bit Lemire step on a pre-drawn word half: `Some(value)` on accept.
+/// Rejection (probability `< range/2³²`) asks the caller to redraw.
+#[inline(always)]
+fn bounded_u32_half(half: u32, range: u32) -> Option<u32> {
+    debug_assert!(range > 0);
+    let m = (half as u64) * (range as u64);
+    let frac = m as u32;
+    if frac < range {
+        let t = range.wrapping_neg() % range;
+        if frac < t {
+            return None;
+        }
+    }
+    Some((m >> 32) as u32)
+}
+
+/// The precompiled interaction sampler.
+#[derive(Debug, Clone)]
+enum CompiledSampler {
+    /// One word: high half picks the vertex, low half the neighbour slot.
+    Vertex { n: u32 },
+    /// Closed-form sampler for complete graphs: a uniform ordered pair of
+    /// distinct vertices from one word, no tables.  `K_n` is regular, so
+    /// the edge and vertex processes draw the *same* law and both compile
+    /// to this.
+    CompletePair { n: u32 },
+    /// The edge list flattened to `[a₀, b₀, a₁, b₁, …]` (`2m` entries);
+    /// a single draw `j ∈ [0, 2m)` addresses the directed edge
+    /// `(endpoints[j], endpoints[j ^ 1])`, so the endpoint flip is the low
+    /// bit of the same draw and both loads share a cache line.
+    Edge { endpoints: Vec<u32>, two_m: u64 },
+    /// Packed Walker alias table over the degree distribution:
+    /// `slot = threshold << 32 | alias`.  One word draws the (biased)
+    /// vertex — high half picks the slot, low half decides slot vs alias —
+    /// and a second word picks the neighbour.
+    Alias { slots: Vec<u64>, n: u32 },
+}
+
+impl CompiledSampler {
+    fn compile(g: &Graph, kind: FastScheduler) -> CompiledSampler {
+        // A simple graph with m = n(n−1)/2 is complete: both the vertex
+        // process (uniform v, uniform neighbour) and the edge process
+        // (uniform directed edge — identical on any regular graph) reduce
+        // to a uniform ordered pair of distinct vertices.
+        let n = g.num_vertices() as u64;
+        let complete = g.num_edges() as u64 == n * (n - 1) / 2 && n > 1;
+        match kind {
+            FastScheduler::Vertex | FastScheduler::Edge if complete => {
+                CompiledSampler::CompletePair { n: n as u32 }
+            }
+            FastScheduler::Vertex => CompiledSampler::Vertex {
+                n: g.num_vertices() as u32,
+            },
+            FastScheduler::Edge => {
+                let m = g.num_edges();
+                let mut endpoints = Vec::with_capacity(2 * m);
+                for e in 0..m {
+                    let (a, b) = g.edge(e);
+                    endpoints.push(a as u32);
+                    endpoints.push(b as u32);
+                }
+                CompiledSampler::Edge {
+                    endpoints,
+                    two_m: 2 * m as u64,
+                }
+            }
+            FastScheduler::EdgeAlias => CompiledSampler::Alias {
+                slots: packed_alias_table(g),
+                n: g.num_vertices() as u32,
+            },
+        }
+    }
+
+    /// Draws the ordered pair `(updater, observed)`.
+    #[inline(always)]
+    fn pick<R: RngCore + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
+        match *self {
+            CompiledSampler::Vertex { n } => loop {
+                let word = rng.next_u64();
+                let Some(v) = bounded_u32_half((word >> 32) as u32, n) else {
+                    continue;
+                };
+                let v = v as usize;
+                let d = g.degree(v) as u32;
+                let Some(slot) = bounded_u32_half(word as u32, d) else {
+                    continue;
+                };
+                return (v, g.neighbor(v, slot as usize));
+            },
+            CompiledSampler::CompletePair { n } => loop {
+                let word = rng.next_u64();
+                let Some(v) = bounded_u32_half((word >> 32) as u32, n) else {
+                    continue;
+                };
+                let Some(w) = bounded_u32_half(word as u32, n - 1) else {
+                    continue;
+                };
+                // Skip over v: maps [0, n−1) onto [0, n) \ {v}.
+                let w = w + (w >= v) as u32;
+                return (v as usize, w as usize);
+            },
+            CompiledSampler::Edge {
+                ref endpoints,
+                two_m,
+            } => {
+                let j = bounded_u64(rng, two_m) as usize;
+                (endpoints[j] as usize, endpoints[j ^ 1] as usize)
+            }
+            CompiledSampler::Alias { ref slots, n } => {
+                let v = loop {
+                    let word = rng.next_u64();
+                    let Some(i) = bounded_u32_half((word >> 32) as u32, n) else {
+                        continue;
+                    };
+                    let slot = slots[i as usize];
+                    break if (word as u32) < (slot >> 32) as u32 {
+                        i as usize
+                    } else {
+                        (slot as u32) as usize
+                    };
+                };
+                let d = g.degree(v) as u64;
+                (v, g.neighbor(v, bounded_u64(rng, d) as usize))
+            }
+        }
+    }
+}
+
+/// Builds the packed alias table for `g`'s degree distribution in integer
+/// arithmetic: slot `i` keeps itself with probability `threshold_i/2³²`
+/// where `threshold_i` approximates `n·d(i)/2m` (mod 1) to within `2⁻³²`;
+/// saturated slots alias to themselves, so the approximation error only
+/// shifts mass between a slot and its alias partner.
+fn packed_alias_table(g: &Graph) -> Vec<u64> {
+    let n = g.num_vertices() as u128;
+    let two_m = g.total_degree() as u128;
+    assert!(two_m > 0, "degree-biased draw needs at least one edge");
+    const ONE: u128 = 1 << 32;
+    // Fixed-point scaled probabilities: n·d(v)/2m in 32.32.
+    let mut scaled: Vec<u128> = g
+        .vertices()
+        .map(|v| (g.degree(v) as u128 * n * ONE + two_m / 2) / two_m)
+        .collect();
+    let mut alias: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let mut small: Vec<usize> = Vec::new();
+    let mut large: Vec<usize> = Vec::new();
+    for (i, &p) in scaled.iter().enumerate() {
+        if p < ONE {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+        alias[s] = l as u32;
+        scaled[l] = (scaled[l] + scaled[s]) - ONE;
+        if scaled[l] < ONE {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    // Leftovers are full slots (threshold saturates; alias = self keeps
+    // them exact even when the 32-bit threshold clips to 2³²−1).
+    for i in small.into_iter().chain(large) {
+        scaled[i] = ONE;
+        alias[i] = i as u32;
+    }
+    scaled
+        .into_iter()
+        .zip(alias)
+        .map(|(p, a)| ((p.min(ONE - 1) as u64) << 32) | a as u64)
+        .collect()
+}
+
+/// Compact opinion state: opinions as offsets into the initial span.
+#[derive(Debug, Clone)]
+struct FastState {
+    /// `opinions[v] = X_v − base`, always within `[0, span)`.
+    opinions: Vec<u32>,
+    counts: Vec<u32>,
+    /// Smallest/largest offset currently held.
+    lo: u32,
+    hi: u32,
+    /// `Σ_v (X_v − base)`; `S(t)` is `base·n + sum_off`.
+    sum_off: i64,
+}
+
+impl FastState {
+    /// One DIV step: move `v` one unit toward `w`'s opinion.  The signum
+    /// and all aggregate increments are branchless; when the pair already
+    /// agrees every update is a provable no-op (`±0` / `−1+1`), so the
+    /// equal-opinion case needs no early exit.
+    #[inline(always)]
+    fn apply(&mut self, v: usize, w: usize) {
+        let xv = self.opinions[v];
+        let xw = self.opinions[w];
+        let delta = (xw > xv) as i64 - (xw < xv) as i64;
+        let old = xv as usize;
+        let new = (xv as i64 + delta) as usize;
+        self.opinions[v] = new as u32;
+        self.sum_off += delta;
+        self.counts[old] -= 1;
+        self.counts[new] += 1;
+        // Rare branch: the last holder of a boundary opinion moved off it.
+        // DIV never expands the range (`new` lies between `xv` and `xw`,
+        // both inside `[lo, hi]`), so only shrinks need handling.
+        if self.counts[old] == 0 {
+            if old as u32 == self.lo {
+                while self.counts[self.lo as usize] == 0 {
+                    self.lo += 1;
+                }
+            }
+            if old as u32 == self.hi {
+                while self.counts[self.hi as usize] == 0 {
+                    self.hi -= 1;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn width(&self) -> u32 {
+        self.hi - self.lo
+    }
+}
+
+/// High-throughput DIV process; see the [module docs](self) for the design
+/// and [`crate::DivProcess`] for the observable reference implementation.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{init, FastProcess, FastRng, FastScheduler, RunStatus};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(60)?;
+/// let mut rng = FastRng::seed_from_u64(1);
+/// let opinions = init::blocks(&[(1, 30), (5, 30)])?;
+/// let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge)?;
+/// match p.run_to_consensus(10_000_000, &mut rng) {
+///     RunStatus::Consensus { opinion, .. } => assert_eq!(opinion, 3),
+///     other => panic!("did not converge: {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastProcess<'g> {
+    graph: &'g Graph,
+    kind: FastScheduler,
+    sampler: CompiledSampler,
+    state: FastState,
+    base: i64,
+    steps: u64,
+}
+
+impl<'g> FastProcess<'g> {
+    /// Compiles the sampler tables and the compact state.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the validation errors of [`OpinionState::new`].
+    pub fn new(
+        graph: &'g Graph,
+        opinions: Vec<i64>,
+        scheduler: FastScheduler,
+    ) -> Result<Self, DivError> {
+        // Reference-path validation keeps the two engines' error contracts
+        // identical.
+        let reference = OpinionState::new(graph, opinions)?;
+        let base = reference.min_opinion();
+        let span = (reference.max_opinion() - base) as usize + 1;
+        let opinions_off: Vec<u32> = reference
+            .opinions()
+            .iter()
+            .map(|&x| (x - base) as u32)
+            .collect();
+        let mut counts = vec![0u32; span];
+        for &off in &opinions_off {
+            counts[off as usize] += 1;
+        }
+        let sum_off = reference.sum() - base * reference.num_vertices() as i64;
+        Ok(FastProcess {
+            graph,
+            kind: scheduler,
+            sampler: CompiledSampler::compile(graph, scheduler),
+            state: FastState {
+                opinions: opinions_off,
+                counts,
+                lo: 0,
+                hi: (span - 1) as u32,
+                sum_off,
+            },
+            base,
+            steps: 0,
+        })
+    }
+
+    /// The graph the process runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The compiled interaction law.
+    pub fn scheduler(&self) -> FastScheduler {
+        self.kind
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// `S(t) = Σ_v X_v`.
+    pub fn sum(&self) -> i64 {
+        self.base * self.state.opinions.len() as i64 + self.state.sum_off
+    }
+
+    /// The smallest opinion currently held.
+    pub fn min_opinion(&self) -> i64 {
+        self.base + self.state.lo as i64
+    }
+
+    /// The largest opinion currently held.
+    pub fn max_opinion(&self) -> i64 {
+        self.base + self.state.hi as i64
+    }
+
+    /// `N_i(t)` for `opinion` (0 outside the initial span).
+    pub fn count(&self, opinion: i64) -> usize {
+        let off = opinion - self.base;
+        if (0..self.state.counts.len() as i64).contains(&off) {
+            self.state.counts[off as usize] as usize
+        } else {
+            0
+        }
+    }
+
+    /// Whether all vertices agree.
+    pub fn is_consensus(&self) -> bool {
+        self.state.width() == 0
+    }
+
+    /// Whether at most two adjacent opinions remain (the paper's `τ`).
+    pub fn is_two_adjacent(&self) -> bool {
+        self.state.width() <= 1
+    }
+
+    /// The current opinion vector, indexed by vertex.
+    pub fn opinions(&self) -> Vec<i64> {
+        self.state
+            .opinions
+            .iter()
+            .map(|&off| self.base + off as i64)
+            .collect()
+    }
+
+    /// Rebuilds a full [`OpinionState`] from the compact state (`O(n)`;
+    /// for interop with observers and the theory helpers).
+    pub fn opinion_state(&self) -> OpinionState {
+        OpinionState::new(self.graph, self.opinions())
+            .expect("compact state stays within the validated span")
+    }
+
+    /// Draws one `(updater, observed)` pair from the compiled sampler
+    /// without stepping — the hook the distributional acceptance tests
+    /// exercise.
+    pub fn sample_pair<R: RngCore + ?Sized>(&self, rng: &mut R) -> (usize, usize) {
+        self.sampler.pick(self.graph, rng)
+    }
+
+    /// Runs until consensus or until `max_steps` additional steps.
+    pub fn run_to_consensus<R: RngCore + Clone>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> RunStatus {
+        self.run_blocks(max_steps, rng, 0)
+    }
+
+    /// Runs until at most two adjacent opinions remain (`τ`), or until
+    /// `max_steps` additional steps.
+    pub fn run_to_two_adjacent<R: RngCore + Clone>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> RunStatus {
+        self.run_blocks(max_steps, rng, 1)
+    }
+
+    /// Runs to consensus under the given [`FinishPolicy`].
+    ///
+    /// With [`FinishPolicy::AnalyticTwoAdjacent`], simulation stops at `τ`
+    /// and the winner is drawn from the exact Lemma 5 law — `N_high/n`
+    /// under the edge process, `d(A_high)/2m` under the vertex process —
+    /// using one exact integer draw (no floating-point rounding).  The
+    /// returned step count is then the step count at `τ` and the internal
+    /// state remains the `τ`-state.
+    pub fn run_with_policy<R: RngCore + Clone>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        policy: FinishPolicy,
+    ) -> RunStatus {
+        match policy {
+            FinishPolicy::Simulate => self.run_to_consensus(max_steps, rng),
+            FinishPolicy::AnalyticTwoAdjacent => match self.run_to_two_adjacent(max_steps, rng) {
+                RunStatus::TwoAdjacent { low, high, steps } => {
+                    let high_wins = match self.kind.selection_bias() {
+                        SelectionBias::Stationary => {
+                            let n = self.state.opinions.len() as u64;
+                            bounded_u64(rng, n) < self.count(high) as u64
+                        }
+                        SelectionBias::UniformVertex => {
+                            let two_m = self.graph.total_degree() as u64;
+                            bounded_u64(rng, two_m) < self.degree_mass_of(high)
+                        }
+                    };
+                    RunStatus::Consensus {
+                        opinion: if high_wins { high } else { low },
+                        steps,
+                    }
+                }
+                done => done,
+            },
+        }
+    }
+
+    /// `d(A_i)` for `opinion`, by an `O(n)` scan (only needed once, at `τ`).
+    fn degree_mass_of(&self, opinion: i64) -> u64 {
+        let off = (opinion - self.base) as u32;
+        self.state
+            .opinions
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == off)
+            .map(|(v, _)| self.graph.degree(v) as u64)
+            .sum()
+    }
+
+    /// The block engine.  `stop_width` is 0 (consensus) or 1 (two
+    /// adjacent); both predicates are monotone along DIV trajectories, so
+    /// checking only at block boundaries and replaying the hitting block
+    /// from its snapshot reproduces the exact stepwise semantics.
+    fn run_blocks<R: RngCore + Clone>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        stop_width: u32,
+    ) -> RunStatus {
+        if self.state.width() <= stop_width {
+            return self.status();
+        }
+        // Clone cost per block is O(n + span); amortised O(1) per step
+        // once the block is at least that long.
+        let block = (self.state.opinions.len() as u64).max(1024);
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let b = block.min(remaining);
+            let snap_state = self.state.clone();
+            let snap_rng = rng.clone();
+            for _ in 0..b {
+                let (v, w) = self.sampler.pick(self.graph, rng);
+                self.state.apply(v, w);
+            }
+            if self.state.width() <= stop_width {
+                // The first hit is inside this block: rewind and replay
+                // the identical RNG stream with per-step checks.
+                self.state = snap_state;
+                *rng = snap_rng;
+                for _ in 0..b {
+                    let (v, w) = self.sampler.pick(self.graph, rng);
+                    self.state.apply(v, w);
+                    self.steps += 1;
+                    if self.state.width() <= stop_width {
+                        return self.status();
+                    }
+                }
+                unreachable!("stop held at block end but not in replay");
+            }
+            self.steps += b;
+            remaining -= b;
+        }
+        RunStatus::StepLimit { steps: self.steps }
+    }
+
+    /// The stopped-state classification at the current instant.
+    fn status(&self) -> RunStatus {
+        if self.is_consensus() {
+            RunStatus::Consensus {
+                opinion: self.min_opinion(),
+                steps: self.steps,
+            }
+        } else if self.is_two_adjacent() {
+            RunStatus::TwoAdjacent {
+                low: self.min_opinion(),
+                high: self.max_opinion(),
+                steps: self.steps,
+            }
+        } else {
+            RunStatus::StepLimit { steps: self.steps }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, FastRng};
+    use div_graph::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounded_u64_is_in_range_and_covers() {
+        let mut rng = FastRng::seed_from_u64(0);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = bounded_u64(&mut rng, 7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bounded_u32_half_is_in_range() {
+        let mut rng = FastRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let word = rng.next_u64();
+            if let Some(x) = bounded_u32_half(word as u32, 13) {
+                assert!(x < 13);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_u64_unbiased_on_awkward_span() {
+        // Span 3 does not divide 2⁶⁴; exact rejection keeps it uniform.
+        let mut rng = FastRng::seed_from_u64(2);
+        let mut counts = [0u64; 3];
+        let n = 300_000;
+        for _ in 0..n {
+            counts[bounded_u64(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.005, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn alias_table_masses_match_degrees() {
+        // Decode the packed table and check each vertex's total mass is
+        // n·d(v)/2m of the table, to within the 2⁻³² packing error.
+        let g = generators::double_star(3, 5).unwrap();
+        let slots = packed_alias_table(&g);
+        let n = g.num_vertices();
+        let mut mass = vec![0.0f64; n];
+        const ONE: f64 = 4294967296.0;
+        for (i, &slot) in slots.iter().enumerate() {
+            let p = ((slot >> 32) as u32) as f64 / ONE;
+            let a = (slot as u32) as usize;
+            if a == i {
+                // Self-alias: the slot keeps itself regardless of the draw.
+                mass[i] += 1.0;
+            } else {
+                mass[i] += p;
+                mass[a] += 1.0 - p;
+            }
+        }
+        for (v, &m) in mass.iter().enumerate() {
+            let expect = g.degree(v) as f64 * n as f64 / g.total_degree() as f64;
+            assert!(
+                (m - expect).abs() < 1e-6,
+                "vertex {v}: mass {m} vs {expect}"
+            );
+        }
+    }
+
+    /// Checks the process's compiled sampler against the claimed pair law
+    /// with the same chi-squared bar as the reference schedulers.
+    fn check_sampler(p: &FastProcess<'_>, seed: u64, expected: impl Fn(usize, usize) -> f64) {
+        let mut rng = FastRng::seed_from_u64(seed);
+        crate::test_util::check_pair_distribution(
+            p.graph(),
+            || p.sample_pair(&mut rng),
+            expected,
+            200_000,
+        );
+    }
+
+    #[test]
+    fn vertex_sampler_distribution_on_star() {
+        // Star is not complete (for n ≥ 3), so this exercises the general
+        // CSR path, not the CompletePair shortcut.
+        let g = generators::star(6).unwrap();
+        let p = FastProcess::new(&g, vec![0; 6], FastScheduler::Vertex).unwrap();
+        assert!(matches!(p.sampler, CompiledSampler::Vertex { .. }));
+        let n = g.num_vertices() as f64;
+        check_sampler(&p, 10, |v, w| {
+            if g.has_edge(v, w) {
+                1.0 / (n * g.degree(v) as f64)
+            } else {
+                0.0
+            }
+        });
+    }
+
+    #[test]
+    fn edge_sampler_distribution_on_double_star() {
+        let g = generators::double_star(2, 4).unwrap();
+        let p = FastProcess::new(&g, vec![0; g.num_vertices()], FastScheduler::Edge).unwrap();
+        assert!(matches!(p.sampler, CompiledSampler::Edge { .. }));
+        let two_m = 2.0 * g.num_edges() as f64;
+        check_sampler(
+            &p,
+            11,
+            |v, w| {
+                if g.has_edge(v, w) {
+                    1.0 / two_m
+                } else {
+                    0.0
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn alias_sampler_distribution_on_double_star() {
+        let g = generators::double_star(2, 4).unwrap();
+        let p = FastProcess::new(&g, vec![0; g.num_vertices()], FastScheduler::EdgeAlias).unwrap();
+        assert!(matches!(p.sampler, CompiledSampler::Alias { .. }));
+        let two_m = 2.0 * g.num_edges() as f64;
+        check_sampler(
+            &p,
+            12,
+            |v, w| {
+                if g.has_edge(v, w) {
+                    1.0 / two_m
+                } else {
+                    0.0
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn complete_pair_sampler_distribution() {
+        // On K_n both processes compile to the closed-form pair sampler,
+        // and 1/(n·d(v)) = 1/2m = 1/(n(n−1)) agree.
+        let g = generators::complete(7).unwrap();
+        let uniform = 1.0 / (7.0 * 6.0);
+        for kind in [FastScheduler::Vertex, FastScheduler::Edge] {
+            let p = FastProcess::new(&g, vec![0; 7], kind).unwrap();
+            assert!(matches!(p.sampler, CompiledSampler::CompletePair { .. }));
+            check_sampler(&p, 13, |v, w| if v == w { 0.0 } else { uniform });
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_on_k_n() {
+        let g = generators::complete(60).unwrap();
+        let opinions = init::blocks(&[(1, 30), (5, 30)]).unwrap();
+        let mut rng = FastRng::seed_from_u64(1);
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let status = p.run_to_consensus(10_000_000, &mut rng);
+        assert_eq!(status.consensus_opinion(), Some(3));
+        assert!(p.is_consensus());
+        assert_eq!(p.sum(), 3 * 60);
+        assert_eq!(p.steps(), status.steps());
+    }
+
+    #[test]
+    fn zero_step_stop_semantics_match_reference() {
+        let g = generators::complete(10).unwrap();
+        let mut rng = FastRng::seed_from_u64(2);
+        let mut p = FastProcess::new(&g, vec![4; 10], FastScheduler::Vertex).unwrap();
+        assert_eq!(
+            p.run_to_consensus(1000, &mut rng),
+            RunStatus::Consensus {
+                opinion: 4,
+                steps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn step_limit_is_exact() {
+        let g = generators::path(50).unwrap();
+        let mut rng = FastRng::seed_from_u64(3);
+        let opinions = init::spread(50, 5).unwrap();
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Vertex).unwrap();
+        let status = p.run_to_consensus(10, &mut rng);
+        assert_eq!(status, RunStatus::StepLimit { steps: 10 });
+        assert_eq!(p.steps(), 10);
+        // An odd, non-block-aligned budget also lands exactly.
+        let status = p.run_to_consensus(1537, &mut rng);
+        assert_eq!(status.steps(), 1547);
+    }
+
+    #[test]
+    fn block_size_does_not_change_first_hit_step() {
+        // Same seed, same graph: the step count at τ must be identical
+        // whether found by the block engine or by naive stepping, because
+        // the block replay reproduces the exact stepwise semantics.
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 8).unwrap();
+
+        let mut rng = FastRng::seed_from_u64(4);
+        let mut fast = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let fast_status = fast.run_to_two_adjacent(10_000_000, &mut rng);
+
+        // Naive replay: one sampler draw per step from the same stream.
+        let mut rng = FastRng::seed_from_u64(4);
+        let mut naive = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut steps = 0u64;
+        while !naive.is_two_adjacent() {
+            let (v, w) = naive.sample_pair(&mut rng);
+            naive.state.apply(v, w);
+            steps += 1;
+        }
+        assert_eq!(fast_status.steps(), steps);
+        assert_eq!(fast.min_opinion(), naive.min_opinion());
+        assert_eq!(fast.opinions(), naive.opinions());
+    }
+
+    #[test]
+    fn fast_state_aggregates_stay_exact() {
+        let g = generators::wheel(20).unwrap();
+        let mut rng = FastRng::seed_from_u64(5);
+        let opinions = init::uniform_random(20, 9, &mut rng).unwrap();
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Vertex).unwrap();
+        for _ in 0..2000 {
+            let (v, w) = p.sample_pair(&mut rng);
+            p.state.apply(v, w);
+            // Cross-check against the exhaustively validated OpinionState.
+            p.opinion_state().check_invariants();
+            let expect_sum: i64 = p.opinions().iter().sum();
+            assert_eq!(p.sum(), expect_sum);
+            if p.is_consensus() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_finish_returns_floor_or_ceil() {
+        let g = generators::complete(50).unwrap();
+        let mut rng = FastRng::seed_from_u64(6);
+        let opinions = init::spread(50, 6).unwrap();
+        let c = init::average(&opinions);
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let status = p.run_with_policy(10_000_000, &mut rng, FinishPolicy::AnalyticTwoAdjacent);
+        let w = status.consensus_opinion().expect("analytic finish decides");
+        assert!(w == c.floor() as i64 || w == c.ceil() as i64, "winner {w}");
+        // The internal state is left at τ, not simulated to consensus.
+        assert!(p.is_two_adjacent());
+    }
+
+    #[test]
+    fn analytic_finish_on_already_stopped_state() {
+        let g = generators::complete(8).unwrap();
+        let mut rng = FastRng::seed_from_u64(7);
+        let mut p = FastProcess::new(&g, vec![2; 8], FastScheduler::Edge).unwrap();
+        let status = p.run_with_policy(100, &mut rng, FinishPolicy::AnalyticTwoAdjacent);
+        assert_eq!(
+            status,
+            RunStatus::Consensus {
+                opinion: 2,
+                steps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn accessors_and_labels() {
+        let g = generators::complete(6).unwrap();
+        let p = FastProcess::new(&g, vec![1, 1, 2, 2, 3, 3], FastScheduler::EdgeAlias).unwrap();
+        assert_eq!(p.scheduler(), FastScheduler::EdgeAlias);
+        assert_eq!(p.scheduler().label(), "edge(alias)");
+        assert_eq!(p.scheduler().selection_bias(), SelectionBias::Stationary);
+        assert_eq!(FastScheduler::Vertex.label(), "vertex");
+        assert_eq!(FastScheduler::Edge.label(), "edge");
+        assert_eq!(
+            FastScheduler::Vertex.selection_bias(),
+            SelectionBias::UniformVertex
+        );
+        assert_eq!(p.count(1), 2);
+        assert_eq!(p.count(99), 0);
+        assert_eq!(p.min_opinion(), 1);
+        assert_eq!(p.max_opinion(), 3);
+        assert_eq!(p.sum(), 12);
+        assert_eq!(p.graph().num_vertices(), 6);
+        assert!(!p.is_consensus());
+        assert!(!p.is_two_adjacent());
+        assert_eq!(p.opinions(), vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn construction_propagates_state_errors() {
+        let g = generators::complete(3).unwrap();
+        assert!(FastProcess::new(&g, vec![], FastScheduler::Edge).is_err());
+        assert!(FastProcess::new(&g, vec![1], FastScheduler::Edge).is_err());
+    }
+
+    #[test]
+    fn negative_opinions_work() {
+        let g = generators::complete(20).unwrap();
+        let mut rng = FastRng::seed_from_u64(8);
+        let opinions = init::blocks(&[(-3, 10), (-1, 10)]).unwrap();
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let status = p.run_to_consensus(10_000_000, &mut rng);
+        let w = status.consensus_opinion().unwrap();
+        assert!((-3..=-1).contains(&w), "winner {w}");
+    }
+}

@@ -55,25 +55,34 @@
 //!   `{1,2,5} → … → {3}` traces of the paper's introduction).
 //! * [`theory`] — the paper's quantitative predictions: Lemma 5 win
 //!   probabilities, the eq. (4) time bound, the Azuma tail (5).
+//! * [`FastProcess`] / [`FastRng`] — the high-throughput stepping engine
+//!   (precompiled samplers, block stepping, xoshiro256++) for Monte-Carlo
+//!   volume; [`DivProcess`] stays the observable correctness oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod error;
 pub mod init;
 mod lossy;
 mod observer;
 mod process;
+mod rng;
 mod scheduler;
 mod stage;
 mod state;
 mod synchronous;
+#[cfg(test)]
+mod test_util;
 pub mod theory;
 
+pub use engine::{FastProcess, FastScheduler, FinishPolicy};
 pub use error::DivError;
 pub use lossy::LossyDiv;
 pub use observer::{RangeSample, RangeSeries, WeightSample, WeightSeries};
 pub use process::{DivProcess, RunStatus, StepEvent};
+pub use rng::FastRng;
 pub use scheduler::{
     BiasedVertexScheduler, EdgeScheduler, Scheduler, SelectionBias, VertexScheduler,
 };

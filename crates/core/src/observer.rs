@@ -5,8 +5,6 @@
 //! paper's observables — the weight martingales `S(t)`/`Z(t)` and the
 //! opinion range — without holding every step in memory.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{OpinionState, StepEvent};
 
 /// Records `(step, S(t), Z(t))` every `stride` steps.
@@ -35,7 +33,7 @@ pub struct WeightSeries {
 }
 
 /// One sample of the weight trajectories.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightSample {
     /// The step at which the sample was taken.
     pub step: u64,
@@ -102,7 +100,7 @@ pub struct RangeSeries {
 }
 
 /// One sample of the opinion-range trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeSample {
     /// The step at which the range changed (0 for the initial range).
     pub step: u64,

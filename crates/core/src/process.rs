@@ -2,12 +2,11 @@
 
 use div_graph::Graph;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::{DivError, OpinionState, Scheduler};
 
 /// One asynchronous step of a voting process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepEvent {
     /// The step index (1-based: the first step is step 1).
     pub step: u64,
@@ -29,7 +28,7 @@ impl StepEvent {
 }
 
 /// Why a bounded run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunStatus {
     /// All vertices agree; the state is absorbing.
     Consensus {

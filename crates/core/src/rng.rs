@@ -1,0 +1,245 @@
+//! The hot-path random number generator.
+//!
+//! [`FastRng`] is xoshiro256++ (Blackman & Vigna), seeded from a `u64`
+//! through SplitMix64 exactly as the reference implementation recommends.
+//! It implements [`rand::RngCore`]/[`rand::SeedableRng`], so it is a
+//! drop-in replacement for `StdRng` anywhere in the workspace; the fast
+//! stepping engine uses it by default because one output costs a handful
+//! of ALU operations instead of a ChaCha block.
+//!
+//! Statistical quality: xoshiro256++ passes BigCrush and PractRand; it is
+//! not cryptographically secure, which a Monte-Carlo simulation does not
+//! need.  Trial seeding stays with `div_sim::SeedSequence` — each trial
+//! derives an independent `u64` seed and expands it here.
+
+use rand::{RngCore, SeedableRng};
+
+/// xoshiro256++ generator: 256-bit state, 64-bit outputs, period `2²⁵⁶−1`.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::FastRng;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = FastRng::seed_from_u64(7);
+/// let x: u64 = rng.gen_range(0..100);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastRng {
+    s: [u64; 4],
+}
+
+#[inline(always)]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl FastRng {
+    /// Builds the generator from raw state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all four words are zero (the one inadmissible state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        FastRng { s }
+    }
+
+    /// One raw xoshiro256++ output word.
+    #[inline(always)]
+    pub fn next_word(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+}
+
+impl RngCore for FastRng {
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_word() >> 32) as u32
+    }
+
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        self.next_word()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for FastRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is a fixed point; remap it to the
+            // SplitMix64 expansion of 0, matching `seed_from_u64(0)`.
+            return FastRng::seed_from_u64(0);
+        }
+        FastRng { s }
+    }
+
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, per the xoshiro reference guidance.
+        let mut sm = rand::SplitMix64::new(seed);
+        FastRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Reference outputs computed with an independent implementation of
+    /// the published xoshiro256++/SplitMix64 algorithms (SplitMix64's
+    /// expansion is pinned against the published test vector for seed 0,
+    /// `0xe220a8397b1dcdaf…`, in the rand crate's own tests).
+    #[test]
+    fn reference_vectors_seed_0() {
+        let mut rng = FastRng::seed_from_u64(0);
+        let expected = [
+            0x53175d61490b23df_u64,
+            0x61da6f3dc380d507,
+            0x5c0fdf91ec9a7bfc,
+            0x02eebf8c3bbe5e1a,
+            0x7eca04ebaf4a5eea,
+            0x0543c37757f08d9a,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn reference_vectors_seed_42() {
+        let mut rng = FastRng::seed_from_u64(42);
+        let expected = [
+            0xd0764d4f4476689f_u64,
+            0x519e4174576f3791,
+            0xfbe07cfb0c24ed8c,
+            0xb37d9f600cd835b8,
+            0xcb231c3874846a73,
+            0x968d9f004e50de7d,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn reference_vectors_seed_12345() {
+        let mut rng = FastRng::seed_from_u64(12345);
+        let expected = [
+            0x8d948a82def8a568_u64,
+            0x3477f953796702a0,
+            0x15caa2fce6db8d69,
+            0x2cef8853c20c6dd0,
+            0x43ff3fff9c039cd9,
+            0xb9c18b4a72333287,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn reference_vectors_raw_state() {
+        // State {1,2,3,4} — bypasses the seeding to pin the core update.
+        let mut rng = FastRng::from_state([1, 2, 3, 4]);
+        let expected = [
+            0x0000000002800001_u64,
+            0x0000000003800067,
+            0x000cc00003800067,
+            0x000cc201994400b2,
+            0x8012a2019ac433cd,
+            0x8a69978acdee33ba,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_matches_splitmix_expansion() {
+        let mut sm = rand::SplitMix64::new(99);
+        let state = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        assert_eq!(FastRng::seed_from_u64(99), FastRng::from_state(state));
+    }
+
+    #[test]
+    fn from_seed_little_endian_words() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1; // word 0 = 1
+        seed[8] = 2; // word 1 = 2
+        seed[16] = 3;
+        seed[24] = 4;
+        assert_eq!(FastRng::from_seed(seed), FastRng::from_state([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let rng = FastRng::from_seed([0u8; 32]);
+        assert_eq!(rng, FastRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn all_zero_state_rejected() {
+        let _ = FastRng::from_state([0; 4]);
+    }
+
+    #[test]
+    fn rng_trait_integration() {
+        let mut rng = FastRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..17);
+            assert!(x < 17);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunks() {
+        let mut a = FastRng::seed_from_u64(5);
+        let mut b = FastRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..13], &w1[..5]);
+    }
+
+    #[test]
+    fn bit_balance_is_sane() {
+        let mut rng = FastRng::seed_from_u64(123);
+        let ones: u32 = (0..10_000).map(|_| rng.next_u64().count_ones()).sum();
+        let mean = ones as f64 / 10_000.0;
+        assert!((mean - 32.0).abs() < 0.5, "mean ones per word {mean}");
+    }
+}

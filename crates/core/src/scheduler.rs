@@ -95,8 +95,13 @@ impl EdgeScheduler {
 impl Scheduler for EdgeScheduler {
     #[inline]
     fn pick<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
-        let (a, b) = g.edge(rng.gen_range(0..g.num_edges()));
-        if rng.gen::<bool>() {
+        // One draw over the 2m *directed* edges folds the endpoint flip
+        // into the edge selection: index j < m keeps edge j's stored
+        // orientation, j ≥ m reverses edge j − m.
+        let m = g.num_edges();
+        let j = rng.gen_range(0..2 * m);
+        let (a, b) = g.edge(if j < m { j } else { j - m });
+        if j < m {
             (a, b)
         } else {
             (b, a)
@@ -219,8 +224,8 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Chi-squared-style check: empirical pair frequencies match the
-    /// scheduler's claimed distribution within 6 standard errors.
+    /// [`crate::test_util::check_pair_distribution`] adapted to the
+    /// reference [`Scheduler`] trait.
     fn check_pair_distribution<S: Scheduler>(
         g: &Graph,
         s: &S,
@@ -229,24 +234,7 @@ mod tests {
         seed: u64,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let n = g.num_vertices();
-        let mut counts = vec![0u64; n * n];
-        for _ in 0..samples {
-            let (v, w) = s.pick(g, &mut rng);
-            assert!(g.has_edge(v, w), "picked a non-edge ({v},{w})");
-            counts[v * n + w] += 1;
-        }
-        for v in 0..n {
-            for w in 0..n {
-                let p = expected(v, w);
-                let freq = counts[v * n + w] as f64 / samples as f64;
-                let se = (p * (1.0 - p) / samples as f64).sqrt().max(1e-9);
-                assert!(
-                    (freq - p).abs() < 6.0 * se + 1e-9,
-                    "pair ({v},{w}): freq {freq} vs p {p} (se {se})"
-                );
-            }
-        }
+        crate::test_util::check_pair_distribution(g, || s.pick(g, &mut rng), expected, samples);
     }
 
     #[test]

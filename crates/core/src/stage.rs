@@ -12,12 +12,10 @@
 //! records each change of the support set and classifies extreme
 //! eliminations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{OpinionState, StepEvent};
 
 /// Which end of the opinion range an elimination removed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Extreme {
     /// The smallest opinion disappeared (the running min rose).
     Smallest,
@@ -26,7 +24,7 @@ pub enum Extreme {
 }
 
 /// An irreversible elimination of an extreme opinion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EliminationEvent {
     /// The step at which the opinion vanished.
     pub step: u64,
@@ -38,7 +36,7 @@ pub struct EliminationEvent {
 
 /// One entry of the support trace: the set of opinions present from
 /// `step` onward (until the next entry).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// The step at which this support set appeared (0 for the initial set).
     pub step: u64,

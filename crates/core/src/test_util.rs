@@ -1,0 +1,33 @@
+//! Shared statistical helpers for in-crate tests.
+
+use div_graph::Graph;
+
+/// Chi-squared-style check: empirical pair frequencies of `pick` match the
+/// claimed distribution within 6 standard errors, and every picked pair is
+/// an edge.  Shared by the reference-scheduler and compiled-sampler tests
+/// so both implementations face the identical acceptance bar.
+pub(crate) fn check_pair_distribution(
+    g: &Graph,
+    mut pick: impl FnMut() -> (usize, usize),
+    expected: impl Fn(usize, usize) -> f64,
+    samples: usize,
+) {
+    let n = g.num_vertices();
+    let mut counts = vec![0u64; n * n];
+    for _ in 0..samples {
+        let (v, w) = pick();
+        assert!(g.has_edge(v, w), "picked a non-edge ({v},{w})");
+        counts[v * n + w] += 1;
+    }
+    for v in 0..n {
+        for w in 0..n {
+            let p = expected(v, w);
+            let freq = counts[v * n + w] as f64 / samples as f64;
+            let se = (p * (1.0 - p) / samples as f64).sqrt().max(1e-9);
+            assert!(
+                (freq - p).abs() < 6.0 * se + 1e-9,
+                "pair ({v},{w}): freq {freq} vs p {p} (se {se})"
+            );
+        }
+    }
+}

@@ -13,10 +13,8 @@
 //! * [`azuma_weight_tail`] — eq. (5): the Azuma–Hoeffding tail on the
 //!   weight martingale's deviation.
 
-use serde::{Deserialize, Serialize};
-
 /// Theorem 2's predicted winner distribution for initial average `c`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WinPrediction {
     /// `⌊c⌋`.
     pub lower: i64,

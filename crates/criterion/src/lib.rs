@@ -1,0 +1,320 @@
+//! Offline, in-workspace subset of the `criterion` 0.5 bench API.
+//!
+//! Implements exactly the surface the workspace's benches call —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a plain `Instant`-based timer.
+//!
+//! Each benchmark warms up briefly, picks an iteration count targeting a
+//! few milliseconds per sample, takes `sample_size` samples, and prints
+//! the median and mean time per iteration (per element when a
+//! [`Throughput`] is set).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context; one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// How work per iteration is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements; results are
+    /// reported per element.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the offline harness
+/// treats every variant the same (one setup per measured call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id.label, &b.samples, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.label, &b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the offline harness
+    /// reports eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    /// `(total_time, iterations)` per sample.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+/// Target wall time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(4);
+
+impl Bencher {
+    /// Times `routine` run back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-sample iteration count calibration.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            let scale = (SAMPLE_TARGET.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
+                .clamp(1.2, 100.0);
+            iters = ((iters as f64 * scale) as u64).max(iters + 1);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` on fresh state from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate: aim for SAMPLE_TARGET per sample, at least 1 run.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let runs = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..runs).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push((start.elapsed(), runs));
+        }
+    }
+}
+
+fn report(group: &str, label: &str, samples: &[(Duration, u64)], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{label}: no samples");
+        return;
+    }
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / (*n).max(1) as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let mean: f64 = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let (unit, scale) = match throughput {
+        Some(Throughput::Elements(e)) if e > 0 => ("ns/elem", e as f64),
+        Some(Throughput::Bytes(b)) if b > 0 => ("ns/byte", b as f64),
+        _ => ("ns/iter", 1.0),
+    };
+    println!(
+        "{group}/{label}: median {:.1} {unit}, mean {:.1} {unit} ({} samples)",
+        median / scale,
+        mean / scale,
+        per_iter.len(),
+    );
+}
+
+/// Groups bench functions into one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("batched", 10), &10u64, |b, &_n| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 4]
+                },
+                |v| {
+                    runs += 1;
+                    v.iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(setups >= runs || setups + 1 >= runs, "one setup per run");
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.label, "plain");
+    }
+}

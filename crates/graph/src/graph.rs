@@ -1,6 +1,3 @@
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
 use crate::{GraphBuilder, GraphError};
 
 /// An immutable undirected simple graph in compressed-sparse-row form.
@@ -262,36 +259,6 @@ impl Iterator for Edges<'_> {
 }
 
 impl ExactSizeIterator for Edges<'_> {}
-
-/// Serialised form: `{ num_vertices, edges }`.  Deserialisation re-validates
-/// through [`GraphBuilder`] so that decoded values uphold the simple-graph
-/// invariants.
-#[derive(Serialize, Deserialize)]
-struct GraphSerde {
-    num_vertices: usize,
-    edges: Vec<(u32, u32)>,
-}
-
-impl Serialize for Graph {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        GraphSerde {
-            num_vertices: self.num_vertices(),
-            edges: self.edges.clone(),
-        }
-        .serialize(serializer)
-    }
-}
-
-impl<'de> Deserialize<'de> for Graph {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let raw = GraphSerde::deserialize(deserializer)?;
-        Graph::from_edges(
-            raw.num_vertices,
-            raw.edges.iter().map(|&(u, v)| (u as usize, v as usize)),
-        )
-        .map_err(D::Error::custom)
-    }
-}
 
 #[cfg(test)]
 mod tests {

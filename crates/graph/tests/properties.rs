@@ -74,17 +74,12 @@ proptest! {
         prop_assert_eq!(err, GraphError::DuplicateEdge { u, v });
     }
 
-    /// Serde round-trip through JSON-like tokens preserves the graph.
-    /// (Uses the canonical edge-list encoding via Debug equality.)
+    /// Round-tripping a graph through its canonical edge list rebuilds an
+    /// identical graph.
     #[test]
-    fn serde_roundtrip((n, raw) in edge_list()) {
+    fn edge_list_roundtrip((n, raw) in edge_list()) {
         let clean = canonicalize(n, &raw);
         let g = Graph::from_edges(n, clean).unwrap();
-        // Round-trip through the serde data model using a self-describing
-        // in-memory format: serde_json is not a dependency, so exercise the
-        // impls through bincode-like manual plumbing is overkill — instead
-        // rely on the Serialize impl producing the {n, edges} struct and
-        // rebuild from the same data.
         let edges: Vec<(usize, usize)> = g.edges().collect();
         let g2 = Graph::from_edges(g.num_vertices(), edges).unwrap();
         prop_assert_eq!(g, g2);

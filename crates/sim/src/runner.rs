@@ -1,6 +1,12 @@
 //! Parallel execution of independent seeded trials.
+//!
+//! The worker pool is lock-free: threads claim trial indices from a shared
+//! atomic counter and accumulate `(index, result)` pairs in thread-local
+//! vectors, which the caller scatters into the final ordered vector after
+//! all workers join.  No mutex is held anywhere on the trial path, so a
+//! slow trial never blocks another thread's bookkeeping.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::SeedSequence;
 
@@ -55,23 +61,41 @@ where
             .collect();
     }
 
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(trials) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let out = f(i, SeedSequence::seed_for(master_seed, i as u64));
-                results.lock()[i] = Some(out);
-            });
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(trials);
+    let mut batches: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        local.push((i, f(i, SeedSequence::seed_for(master_seed, i as u64))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial thread panicked"))
+            .collect()
+    });
+
+    // Scatter each worker's batch into its ordered slot.  Every index in
+    // 0..trials was claimed by exactly one worker, so after the scatter the
+    // slot vector is dense.
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    for batch in batches.iter_mut() {
+        for (i, out) in batch.drain(..) {
+            debug_assert!(slots[i].is_none(), "trial index claimed twice");
+            slots[i] = Some(out);
         }
-    })
-    .expect("trial thread panicked");
-    results
-        .into_inner()
+    }
+    slots
         .into_iter()
         .map(|r| r.expect("every trial index was claimed exactly once"))
         .collect()
@@ -115,6 +139,12 @@ mod tests {
         for (i, &(idx, _)) in out.iter().enumerate() {
             assert_eq!(i, idx);
         }
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let out = run_trials_with_threads(3, 11, 16, |i, _| i * 2);
+        assert_eq!(out, vec![0, 2, 4]);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Summary statistics, confidence intervals, quantiles and histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean/variance summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,

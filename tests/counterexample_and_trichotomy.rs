@@ -89,12 +89,15 @@ fn mode_median_mean_diverge() {
         (pull_w, med_w, div_w)
     });
 
-    // Pull voting: winners only from the initial support; mode wins a
-    // plurality of runs.
+    // Pull voting: winners only from the initial support, and the mode
+    // wins a healthy share of runs.  Its win probability is its initial
+    // share, 48/120 = 0.40, so demanding ≥ 24/60 would sit exactly at the
+    // expectation (a coin flip); demand ≥ 1/3 instead, which expectation
+    // clears by ~1.8 standard errors.
     assert!(results.iter().all(|r| [1, 2, 8].contains(&r.0)));
     let pull_mode = results.iter().filter(|r| r.0 == 1).count();
     assert!(
-        pull_mode * 2 >= trials * 2 * 2 / 5,
+        pull_mode * 3 >= trials,
         "mode won only {pull_mode}/{trials} pull runs"
     );
 
