@@ -3,26 +3,43 @@
 //! ```text
 //! divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex]
 //!                 [--engine reference|fast] [--seed N] [--trace]
+//!                 [--faults SPEC] [--trials N] [--budget N]
+//!                 [--checkpoint PATH] [--resume] [--stop-after N]
 //! divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]
+//!                 [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]
 //! divlab spectral --graph SPEC [--seed N]
 //! divlab graph6   --graph SPEC [--seed N]
 //! ```
 //!
 //! Graph and opinion spec grammars are documented in
 //! [`div_bench::spec`]; e.g. `--graph regular:200:8 --init uniform:5`.
+//! Fault specs follow `div_core::FaultPlan::parse`, e.g.
+//! `--faults drop:0.1,noise:0.05:1,stubborn:3`.
+//!
+//! With `--trials N` (N > 1) or any checkpoint flag, `run` executes a
+//! resilient Monte-Carlo campaign: panicking trials are retried with
+//! fresh deterministic sub-seeds and reported in an outcome taxonomy,
+//! and `--checkpoint PATH` + `--resume` make a killed campaign resume
+//! exactly (byte-identical report).
+//!
+//! Exit codes: `0` clean, `2` usage or IO error, `3` campaign complete
+//! but degraded (non-converged outcomes present), `4` campaign partial
+//! (`--stop-after` hit before the last trial).
 
 use div_baselines::{
     run_to_consensus, BestOfK, LoadBalancing, MedianVoting, PullVoting, PushVoting,
 };
 use div_bench::spec;
 use div_core::{
-    init, theory, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, StageLog,
-    VertexScheduler,
+    init, theory, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, FaultPlan,
+    FaultStats, OpinionState, RunStatus, Scheduler, StageLog, VertexScheduler,
 };
 use div_sim::table::Table;
+use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::exit;
 
 fn main() {
@@ -34,20 +51,23 @@ fn main() {
     let result = match command.as_str() {
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
-        "spectral" => cmd_spectral(&opts),
-        "graph6" => cmd_graph6(&opts),
+        "spectral" => cmd_spectral(&opts).map(|()| 0),
+        "graph6" => cmd_graph6(&opts).map(|()| 0),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => Err(format!("unknown command {other:?}")),
     };
-    if let Err(msg) = result {
-        eprintln!("divlab: {msg}");
-        exit(2);
+    match result {
+        Ok(code) => exit(code),
+        Err(msg) => {
+            eprintln!("divlab: {msg}");
+            exit(2);
+        }
     }
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n  divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,..."
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n                  [--faults SPEC] [--trials N] [--budget N] [--checkpoint PATH] [--resume] [--stop-after N]\n  divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N] [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none"
     );
     exit(0);
 }
@@ -56,8 +76,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--trace" {
-            out.insert("trace".to_string(), "1".to_string());
+        if arg == "--trace" || arg == "--resume" {
+            out.insert(arg[2..].to_string(), "1".to_string());
         } else if let Some(key) = arg.strip_prefix("--") {
             if let Some(value) = it.next() {
                 out.insert(key.to_string(), value.clone());
@@ -73,12 +93,18 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     out
 }
 
+/// Parses an optional typed flag, turning parse failures into usage errors.
+fn parse_opt<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    opts.get(key)
+        .map(|s| s.parse::<T>().map_err(|_| format!("bad --{key}")))
+        .transpose()
+}
+
 fn setup(opts: &HashMap<String, String>) -> Result<(div_graph::Graph, Vec<i64>, StdRng), String> {
-    let seed: u64 = opts
-        .get("seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
-        .transpose()?
-        .unwrap_or(1);
+    let seed: u64 = parse_opt(opts, "seed")?.unwrap_or(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let gspec = opts.get("graph").ok_or("missing --graph SPEC")?;
     let graph = spec::parse_graph(gspec, &mut rng)?;
@@ -92,7 +118,36 @@ fn setup(opts: &HashMap<String, String>) -> Result<(div_graph::Graph, Vec<i64>, 
     Ok((graph, opinions, rng))
 }
 
-fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Maps a bounded run's end state to the campaign outcome taxonomy.
+fn outcome_of(status: RunStatus, two_adjacent: bool, low: i64, high: i64) -> TrialOutcome {
+    match status {
+        RunStatus::Consensus { opinion, steps } => TrialOutcome::Converged {
+            winner: opinion,
+            steps,
+        },
+        RunStatus::TwoAdjacent { low, high, steps } => {
+            TrialOutcome::TwoAdjacent { low, high, steps }
+        }
+        RunStatus::StepLimit { steps } if two_adjacent => {
+            TrialOutcome::TwoAdjacent { low, high, steps }
+        }
+        RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
+    }
+}
+
+fn print_fault_stats(stats: &FaultStats) {
+    println!(
+        "faults: delivered={} dropped={} suppressed={} stale={} noisy={} crashes={}",
+        stats.delivered,
+        stats.dropped,
+        stats.suppressed,
+        stats.stale_reads,
+        stats.noisy,
+        stats.crash_events
+    );
+}
+
+fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
     let (graph, opinions, mut rng) = setup(opts)?;
     let scheduler = opts.map_or_default("scheduler", "edge");
     let c = match scheduler.as_str() {
@@ -107,15 +162,56 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
         pred.lower, pred.p_lower, pred.upper, pred.p_upper
     );
 
-    let engine = opts.map_or_default("engine", "reference");
+    let faults_spec = opts.map_or_default("faults", "none");
+    let faults = FaultPlan::parse(&faults_spec)?;
+    let mut engine = opts.map_or_default("engine", "reference");
+    if engine != "reference" && engine != "fast" {
+        return Err(format!("unknown engine {engine:?} (use reference or fast)"));
+    }
+    if engine == "fast" && opts.contains_key("trace") {
+        // The fast engine has no per-step observer hooks; fall back to the
+        // reference engine instead of dying on the flag combination.
+        eprintln!(
+            "divlab: --trace needs the reference engine (the fast engine has no observers); \
+             falling back to --engine reference"
+        );
+        engine = "reference".to_string();
+    }
+    let trials: usize = parse_opt(opts, "trials")?.unwrap_or(1);
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_string());
+    }
+    let campaign_mode = trials > 1
+        || opts.contains_key("checkpoint")
+        || opts.contains_key("resume")
+        || opts.contains_key("stop-after");
+    // Fault plans can obstruct consensus entirely, so faulty and campaign
+    // runs default to a finite watchdog budget instead of u64::MAX.
+    let budget: u64 =
+        parse_opt(opts, "budget")?.unwrap_or(if faults.is_trivial() && !campaign_mode {
+            u64::MAX
+        } else {
+            1_000_000_000
+        });
+    // Validate the plan against this instance up front (e.g. more stubborn
+    // vertices than the graph has).
+    faults.session(&opinions).map_err(|e| e.to_string())?;
+
+    if campaign_mode {
+        return run_campaign_cmd(
+            &graph,
+            &opinions,
+            &scheduler,
+            &engine,
+            &faults,
+            &faults_spec,
+            trials,
+            budget,
+            opts,
+        );
+    }
+
     if engine == "fast" {
-        // The fast engine has no per-step observer hooks, so --trace (the
-        // StageLog elimination trace) needs the reference engine.
-        if opts.contains_key("trace") {
-            return Err(
-                "--trace needs --engine reference (the fast engine has no observers)".to_string(),
-            );
-        }
         let kind = match scheduler.as_str() {
             "edge" => FastScheduler::Edge,
             _ => FastScheduler::Vertex,
@@ -124,73 +220,271 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
             use rand::RngCore;
             FastRng::seed_from_u64(rng.next_u64())
         };
-        let mut p = FastProcess::new(&graph, opinions, kind).map_err(|e| e.to_string())?;
-        let status = p.run_to_consensus(u64::MAX, &mut frng);
-        let winner = status.consensus_opinion().expect("ran to consensus");
-        println!(
-            "consensus on {winner} after {} steps ({} scheduler, fast engine)",
-            status.steps(),
-            scheduler
+        let mut p = FastProcess::new(&graph, opinions.clone(), kind).map_err(|e| e.to_string())?;
+        let status = if faults.is_trivial() {
+            p.run_to_consensus(budget, &mut frng)
+        } else {
+            let mut session = faults.session(&opinions).map_err(|e| e.to_string())?;
+            let status = p.run_faulty_to_consensus(budget, &mut session, &mut frng);
+            print_fault_stats(session.stats());
+            status
+        };
+        return finish_single_run(
+            outcome_of(
+                status,
+                p.is_two_adjacent(),
+                p.min_opinion(),
+                p.max_opinion(),
+            ),
+            &format!("{scheduler} scheduler, fast engine"),
         );
-        return Ok(());
-    } else if engine != "reference" {
-        return Err(format!("unknown engine {engine:?} (use reference or fast)"));
     }
 
-    let (status, log) = if scheduler == "edge" {
+    fn reference_single<S: Scheduler>(
+        graph: &div_graph::Graph,
+        opinions: &[i64],
+        scheduler: S,
+        faults: &FaultPlan,
+        budget: u64,
+        rng: &mut StdRng,
+    ) -> Result<(RunStatus, StageLog, FaultStats, bool, i64, i64), String> {
         let mut p =
-            DivProcess::new(&graph, opinions, EdgeScheduler::new()).map_err(|e| e.to_string())?;
+            DivProcess::new(graph, opinions.to_vec(), scheduler).map_err(|e| e.to_string())?;
         let mut log = StageLog::new(p.state());
-        let status = p.run_until(
-            u64::MAX,
-            &mut rng,
-            |s| s.is_consensus(),
+        let mut session = faults.session(opinions).map_err(|e| e.to_string())?;
+        let status = p.run_faulty_until(
+            budget,
+            &mut session,
+            rng,
+            |s: &OpinionState| s.is_consensus(),
             |ev, st| log.observe(ev, st),
         );
-        (status, log)
-    } else {
-        let mut p =
-            DivProcess::new(&graph, opinions, VertexScheduler::new()).map_err(|e| e.to_string())?;
-        let mut log = StageLog::new(p.state());
-        let status = p.run_until(
-            u64::MAX,
-            &mut rng,
-            |s| s.is_consensus(),
-            |ev, st| log.observe(ev, st),
-        );
-        (status, log)
-    };
-    let winner = status.consensus_opinion().expect("ran to consensus");
-    println!(
-        "consensus on {winner} after {} steps ({} scheduler)",
-        status.steps(),
-        scheduler
-    );
-    println!("elimination order: {:?}", log.elimination_order());
-    if opts.contains_key("trace") {
-        println!("trace: {}", log.arrow_notation());
+        let s = p.state();
+        Ok((
+            status,
+            log,
+            *session.stats(),
+            s.is_two_adjacent(),
+            s.min_opinion(),
+            s.max_opinion(),
+        ))
     }
-    Ok(())
+    let (status, log, stats, two_adjacent, low, high) = if scheduler == "edge" {
+        reference_single(
+            &graph,
+            &opinions,
+            EdgeScheduler::new(),
+            &faults,
+            budget,
+            &mut rng,
+        )?
+    } else {
+        reference_single(
+            &graph,
+            &opinions,
+            VertexScheduler::new(),
+            &faults,
+            budget,
+            &mut rng,
+        )?
+    };
+    if !faults.is_trivial() {
+        print_fault_stats(&stats);
+    }
+    let code = finish_single_run(
+        outcome_of(status, two_adjacent, low, high),
+        &format!("{scheduler} scheduler"),
+    )?;
+    if code == 0 {
+        println!("elimination order: {:?}", log.elimination_order());
+        if opts.contains_key("trace") {
+            println!("trace: {}", log.arrow_notation());
+        }
+    }
+    Ok(code)
 }
 
-fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Prints the single-run verdict and picks the exit code (0 clean,
+/// 3 degraded).
+fn finish_single_run(outcome: TrialOutcome, label: &str) -> Result<i32, String> {
+    match outcome {
+        TrialOutcome::Converged { winner, steps } => {
+            println!("consensus on {winner} after {steps} steps ({label})");
+            Ok(0)
+        }
+        TrialOutcome::TwoAdjacent { low, high, steps } => {
+            println!("degraded: stuck between {low} and {high} after {steps} steps ({label})");
+            Ok(3)
+        }
+        TrialOutcome::Timeout { steps } => {
+            println!("degraded: no consensus within {steps} steps ({label})");
+            Ok(3)
+        }
+        TrialOutcome::Panicked { .. } => unreachable!("single runs propagate panics"),
+    }
+}
+
+/// The `run` subcommand's campaign mode: N resilient trials with the
+/// configured fault plan, optional crash-safe checkpointing.
+#[allow(clippy::too_many_arguments)]
+fn run_campaign_cmd(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    scheduler: &str,
+    engine: &str,
+    faults: &FaultPlan,
+    faults_spec: &str,
+    trials: usize,
+    budget: u64,
+    opts: &HashMap<String, String>,
+) -> Result<i32, String> {
+    let master: u64 = parse_opt(opts, "seed")?.unwrap_or(1);
+    let mut cfg = CampaignConfig::new(trials, master);
+    cfg.step_budget = budget;
+    cfg.checkpoint = opts.get("checkpoint").map(PathBuf::from);
+    cfg.resume = opts.contains_key("resume");
+    cfg.stop_after = parse_opt(opts, "stop-after")?;
+    if cfg.resume && cfg.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint PATH".to_string());
+    }
+    let gspec = opts.map_or_default("graph", "");
+    let ispec = opts.map_or_default("init", "uniform:5");
+    cfg.tag = format!("run {gspec} {ispec} {scheduler} {engine} {faults_spec} {budget}");
+
+    let report = if engine == "fast" {
+        let kind = match scheduler {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        run_campaign(&cfg, |ctx| {
+            let mut rng = FastRng::seed_from_u64(ctx.seed);
+            let mut p =
+                FastProcess::new(graph, opinions.to_vec(), kind).expect("validated in setup");
+            let status = if faults.is_trivial() {
+                p.run_to_consensus(ctx.step_budget, &mut rng)
+            } else {
+                let mut session = faults.session(opinions).expect("validated in setup");
+                p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng)
+            };
+            outcome_of(
+                status,
+                p.is_two_adjacent(),
+                p.min_opinion(),
+                p.max_opinion(),
+            )
+        })
+    } else if scheduler == "edge" {
+        run_campaign(&cfg, |ctx| {
+            reference_trial(graph, opinions, EdgeScheduler::new(), faults, ctx)
+        })
+    } else {
+        run_campaign(&cfg, |ctx| {
+            reference_trial(graph, opinions, VertexScheduler::new(), faults, ctx)
+        })
+    }
+    .map_err(|e| e.to_string())?;
+
+    // Infra chatter goes to stderr: stdout stays a pure function of
+    // (master seed, outcomes) so killed-and-resumed campaigns diff clean.
+    if let Some(path) = &cfg.checkpoint {
+        eprintln!("divlab: checkpoint manifest at {}", path.display());
+        if report.resumed > 0 {
+            eprintln!(
+                "divlab: resumed {} completed trials from checkpoint",
+                report.resumed
+            );
+        }
+    }
+    print!("{}", report.render());
+    if !report.is_complete() {
+        eprintln!(
+            "divlab: campaign partial ({}/{} trials complete)",
+            report.completed(),
+            report.trials
+        );
+        Ok(4)
+    } else if report.is_degraded() {
+        eprintln!("divlab: campaign complete but degraded (non-converged outcomes present)");
+        Ok(3)
+    } else {
+        Ok(0)
+    }
+}
+
+/// One reference-engine campaign trial under the given scheduler.
+fn reference_trial<S: Scheduler>(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    scheduler: S,
+    faults: &FaultPlan,
+    ctx: &div_sim::TrialCtx,
+) -> TrialOutcome {
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut p = DivProcess::new(graph, opinions.to_vec(), scheduler).expect("validated in setup");
+    let mut session = faults.session(opinions).expect("validated in setup");
+    let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
+    let s = p.state();
+    outcome_of(
+        status,
+        s.is_two_adjacent(),
+        s.min_opinion(),
+        s.max_opinion(),
+    )
+}
+
+fn cmd_compare(opts: &HashMap<String, String>) -> Result<i32, String> {
     let (graph, opinions, _) = setup(opts)?;
-    let trials: usize = opts
-        .get("trials")
-        .map(|s| s.parse().map_err(|_| "bad --trials".to_string()))
-        .transpose()?
-        .unwrap_or(50);
+    let trials: usize = parse_opt(opts, "trials")?.unwrap_or(50);
     let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let faults_spec = opts.map_or_default("faults", "none");
+    let faults = FaultPlan::parse(&faults_spec)?;
+    faults.session(&opinions).map_err(|e| e.to_string())?;
+    let budget: u64 = parse_opt(opts, "budget")?.unwrap_or(if faults.is_trivial() {
+        u64::MAX
+    } else {
+        1_000_000_000
+    });
     let c = init::average(&opinions);
     println!(
         "{graph}; c = {c:.3}; mode/median of the initial opinions vs each process, {trials} trials"
     );
+    if !faults.is_trivial() {
+        println!("fault plan {faults_spec} applies to the div row only (baselines run clean)");
+    }
 
     let mut table = Table::new(&["process", "winner histogram (opinion: runs)"]);
+
+    // The div row runs as a resilient campaign: fault injection, panic
+    // isolation, optional checkpoint/resume.  `seed ^ 3` keeps the
+    // per-trial seeds identical to the historical `seed ^ "div".len()`.
+    let mut cfg = CampaignConfig::new(trials, seed ^ 3);
+    cfg.step_budget = budget;
+    cfg.checkpoint = opts.get("checkpoint").map(PathBuf::from);
+    cfg.resume = opts.contains_key("resume");
+    if cfg.resume && cfg.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint PATH".to_string());
+    }
+    let gspec = opts.map_or_default("graph", "");
+    let ispec = opts.map_or_default("init", "uniform:5");
+    cfg.tag = format!("compare div {gspec} {ispec} {faults_spec} {budget}");
+    let report = run_campaign(&cfg, |ctx| {
+        reference_trial(&graph, &opinions, EdgeScheduler::new(), &faults, ctx)
+    })
+    .map_err(|e| e.to_string())?;
+    let mut rendered: Vec<String> = report
+        .winner_histogram()
+        .iter()
+        .map(|(op, c)| format!("{op}: {c}"))
+        .collect();
+    let (_, two, timeout, panicked) = report.counts();
+    if two + timeout + panicked > 0 {
+        rendered.push(format!("[degraded: {}]", two + timeout + panicked));
+    }
+    table.row(&["div".to_string(), rendered.join(", ")]);
+
     // Load balancing usually ends in a {c⌊⌋, c⌈⌉} mixture, not consensus;
     // its row reports the low value of that near-balanced state.
     let processes: Vec<&str> = vec![
-        "div",
         "pull",
         "push",
         "median",
@@ -202,10 +496,6 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
             let mut rng = StdRng::seed_from_u64(s);
             let ops = opinions.clone();
             match name {
-                "div" => {
-                    let mut p = DivProcess::new(&graph, ops, EdgeScheduler::new()).unwrap();
-                    p.run_to_consensus(u64::MAX, &mut rng).consensus_opinion()
-                }
                 "pull" => {
                     let mut p = PullVoting::new(&graph, ops, EdgeScheduler::new()).unwrap();
                     run_to_consensus(&mut p, u64::MAX, &mut rng).consensus_opinion()
@@ -239,7 +529,12 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
         table.row(&[name.to_string(), rendered.join(", ")]);
     }
     print!("{}", table.render());
-    Ok(())
+    if report.is_degraded() {
+        eprintln!("divlab: div campaign degraded (non-converged outcomes present)");
+        Ok(3)
+    } else {
+        Ok(0)
+    }
 }
 
 fn cmd_spectral(opts: &HashMap<String, String>) -> Result<(), String> {

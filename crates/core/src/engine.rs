@@ -37,9 +37,9 @@
 //! [`FastRng`]: crate::FastRng
 
 use div_graph::Graph;
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
-use crate::{DivError, OpinionState, RunStatus, SelectionBias};
+use crate::{DivError, FaultSession, OpinionState, RunStatus, SelectionBias};
 
 /// Which interaction law [`FastProcess`] compiles.
 ///
@@ -329,6 +329,46 @@ impl FastState {
         }
     }
 
+    /// One step toward an *arbitrary* observed offset (faulty runs): move
+    /// `v` one unit toward `target`.  Unlike [`FastState::apply`], the
+    /// observed value need not be a live opinion — noisy or stale reads
+    /// can drag `v` past the current `[lo, hi]` (never past the initial
+    /// span, the fault layer clamps there), so the range may re-expand.
+    #[inline(always)]
+    fn apply_observed(&mut self, v: usize, target: u32) {
+        let xv = self.opinions[v];
+        let delta = (target > xv) as i64 - (target < xv) as i64;
+        if delta == 0 {
+            return;
+        }
+        let old = xv as usize;
+        let new = (xv as i64 + delta) as usize;
+        self.opinions[v] = new as u32;
+        self.sum_off += delta;
+        self.counts[old] -= 1;
+        self.counts[new] += 1;
+        // Expand first so the shrink walks below stay bounded by an
+        // occupied cell, then handle a vacated boundary as usual.
+        if (new as u32) < self.lo {
+            self.lo = new as u32;
+        }
+        if (new as u32) > self.hi {
+            self.hi = new as u32;
+        }
+        if self.counts[old] == 0 {
+            if old as u32 == self.lo {
+                while self.counts[self.lo as usize] == 0 {
+                    self.lo += 1;
+                }
+            }
+            if old as u32 == self.hi {
+                while self.counts[self.hi as usize] == 0 {
+                    self.hi -= 1;
+                }
+            }
+        }
+    }
+
     #[inline(always)]
     fn width(&self) -> u32 {
         self.hi - self.lo
@@ -536,6 +576,69 @@ impl<'g> FastProcess<'g> {
                 done => done,
             },
         }
+    }
+
+    /// Performs one step under a fault model, at engine speed.
+    ///
+    /// The pair comes from the compiled sampler exactly as in fault-free
+    /// stepping; the observation is routed through
+    /// [`FaultSession::filter`].  With a trivial plan the RNG stream is
+    /// identical to the fault-free engine's.
+    pub fn step_faulty<R: Rng + ?Sized>(&mut self, faults: &mut FaultSession, rng: &mut R) {
+        let (v, w) = self.sampler.pick(self.graph, rng);
+        self.steps += 1;
+        let base = self.base;
+        let opinions = &self.state.opinions;
+        if let Some(x) = faults.filter(self.steps, v, w, |u| base + opinions[u] as i64, rng) {
+            let target = (x - base).clamp(0, self.state.counts.len() as i64 - 1) as u32;
+            self.state.apply_observed(v, target);
+        }
+    }
+
+    /// Runs under a fault model until consensus or budget exhaustion.
+    ///
+    /// Faulty runs cannot use the block engine: noise and stale reads can
+    /// re-expand the opinion range, so the stop predicates are no longer
+    /// monotone and block-endpoint checks could miss (or mis-time) the
+    /// first hit.  The per-step loop keeps a single width comparison in
+    /// the hot path instead.  As with the reference engine, pass a finite
+    /// budget — fault plans can obstruct consensus entirely.
+    pub fn run_faulty_to_consensus<R: Rng + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+    ) -> RunStatus {
+        self.run_faulty_width(max_steps, faults, rng, 0)
+    }
+
+    /// Runs under a fault model until at most two adjacent opinions
+    /// remain, or until the budget is spent.
+    pub fn run_faulty_to_two_adjacent<R: Rng + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+    ) -> RunStatus {
+        self.run_faulty_width(max_steps, faults, rng, 1)
+    }
+
+    fn run_faulty_width<R: Rng + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+        stop_width: u32,
+    ) -> RunStatus {
+        let mut remaining = max_steps;
+        while self.state.width() > stop_width {
+            if remaining == 0 {
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            self.step_faulty(faults, rng);
+        }
+        self.status()
     }
 
     /// `d(A_i)` for `opinion`, by an `O(n)` scan (only needed once, at `τ`).
@@ -913,6 +1016,66 @@ mod tests {
         let g = generators::complete(3).unwrap();
         assert!(FastProcess::new(&g, vec![], FastScheduler::Edge).is_err());
         assert!(FastProcess::new(&g, vec![1], FastScheduler::Edge).is_err());
+    }
+
+    #[test]
+    fn apply_observed_handles_range_reexpansion() {
+        let g = generators::complete(4).unwrap();
+        let mut p = FastProcess::new(&g, vec![0, 4, 2, 2], FastScheduler::Edge).unwrap();
+        // Shrink the live range to {2} first.
+        p.state.apply_observed(0, 2);
+        p.state.apply_observed(0, 2);
+        p.state.apply_observed(1, 2);
+        p.state.apply_observed(1, 2);
+        assert!(p.is_consensus());
+        assert_eq!((p.min_opinion(), p.max_opinion()), (2, 2));
+        // A noisy observation drags vertex 0 back below the live range.
+        p.state.apply_observed(0, 0);
+        assert_eq!((p.min_opinion(), p.max_opinion()), (1, 2));
+        assert!(!p.is_consensus());
+        assert_eq!(p.sum(), 1 + 2 + 2 + 2);
+        p.opinion_state().check_invariants();
+        // And past the top boundary too.
+        p.state.apply_observed(2, 4);
+        p.state.apply_observed(2, 4);
+        assert_eq!((p.min_opinion(), p.max_opinion()), (1, 4));
+        p.opinion_state().check_invariants();
+    }
+
+    #[test]
+    fn trivial_fault_plan_matches_clean_engine_exactly() {
+        use crate::FaultPlan;
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 6).unwrap();
+        let mut clean = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut faulty = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut session = FaultPlan::none().session(&opinions).unwrap();
+        let mut rc = FastRng::seed_from_u64(20);
+        let mut rf = FastRng::seed_from_u64(20);
+        let status = clean.run_to_consensus(10_000_000, &mut rc);
+        let faulty_status = faulty.run_faulty_to_consensus(10_000_000, &mut session, &mut rf);
+        assert_eq!(status, faulty_status);
+        assert_eq!(clean.opinions(), faulty.opinions());
+        assert_eq!(session.stats().delivered, status.steps());
+    }
+
+    #[test]
+    fn stubborn_bloc_pins_consensus_to_its_value() {
+        use crate::FaultPlan;
+        // A stubborn sixth of K_60 at opinion 9 versus a majority at 1:
+        // fault-free DIV would settle near the mean (≈ 2.3); stubborn
+        // vertices drag everyone to 9 instead.
+        let g = generators::complete(60).unwrap();
+        let mut opinions = vec![1i64; 60];
+        for o in opinions.iter_mut().take(10) {
+            *o = 9;
+        }
+        let plan = FaultPlan::parse("stubborn:10").unwrap();
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(21);
+        let status = p.run_faulty_to_consensus(100_000_000, &mut session, &mut rng);
+        assert_eq!(status.consensus_opinion(), Some(9));
     }
 
     #[test]

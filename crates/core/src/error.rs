@@ -19,6 +19,12 @@ pub enum DivError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A fault plan was given an invalid parameter or cannot be applied
+    /// to the instance at hand.
+    InvalidFault {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
     /// The graph has an isolated vertex; pull-style processes need every
     /// vertex to have at least one neighbour to observe.
     IsolatedVertex {
@@ -48,6 +54,9 @@ impl fmt::Display for DivError {
             DivError::InvalidInit { reason } => {
                 write!(f, "invalid initial-opinion parameter: {reason}")
             }
+            DivError::InvalidFault { reason } => {
+                write!(f, "invalid fault parameter: {reason}")
+            }
             DivError::IsolatedVertex { vertex } => write!(
                 f,
                 "vertex {vertex} is isolated; every vertex needs a neighbour to observe"
@@ -66,6 +75,13 @@ impl DivError {
     /// Convenience constructor for [`DivError::InvalidInit`].
     pub fn invalid_init(reason: impl Into<String>) -> Self {
         DivError::InvalidInit {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`DivError::InvalidFault`].
+    pub fn invalid_fault(reason: impl Into<String>) -> Self {
+        DivError::InvalidFault {
             reason: reason.into(),
         }
     }

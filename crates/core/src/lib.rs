@@ -55,6 +55,10 @@
 //!   `{1,2,5} → … → {3}` traces of the paper's introduction).
 //! * [`theory`] — the paper's quantitative predictions: Lemma 5 win
 //!   probabilities, the eq. (4) time bound, the Azuma tail (5).
+//! * [`FaultPlan`] / [`FaultSession`] — the fault-injection layer (message
+//!   drop, observation noise, stale reads, stubborn and crash–recover
+//!   vertices), pluggable into both stepping engines; [`LossyDiv`] is its
+//!   drop-only special case.
 //! * [`FastProcess`] / [`FastRng`] — the high-throughput stepping engine
 //!   (precompiled samplers, block stepping, xoshiro256++) for Monte-Carlo
 //!   volume; [`DivProcess`] stays the observable correctness oracle.
@@ -64,6 +68,7 @@
 
 mod engine;
 mod error;
+mod fault;
 pub mod init;
 mod lossy;
 mod observer;
@@ -79,6 +84,7 @@ pub mod theory;
 
 pub use engine::{FastProcess, FastScheduler, FinishPolicy};
 pub use error::DivError;
+pub use fault::{CrashFault, FaultPlan, FaultSession, FaultStats, NoiseFault, StaleFault};
 pub use lossy::LossyDiv;
 pub use observer::{RangeSample, RangeSeries, WeightSample, WeightSeries};
 pub use process::{DivProcess, RunStatus, StepEvent};

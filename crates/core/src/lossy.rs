@@ -1,4 +1,5 @@
-//! Fault injection: DIV over a lossy interaction medium (an extension).
+//! DIV over a lossy interaction medium — the drop-only special case of
+//! the general fault layer ([`crate::FaultPlan`]).
 //!
 //! In a real network some observations fail — the sampled neighbour's
 //! message is dropped and the updater keeps its opinion.  Modelling each
@@ -7,11 +8,18 @@
 //! the process is exactly DIV on a clock slowed by the factor `1/(1−q)`:
 //! the **winner law is invariant** and only the time dilates.
 //! Experiment E15 and the tests verify both facts.
+//!
+//! [`LossyDiv`] is kept as a thin, source-compatible façade over
+//! [`crate::DivProcess::step_faulty`] with a [`FaultPlan::drop_only`]
+//! session; richer adversaries (noise, stale reads, stubborn or crashing
+//! vertices) use the fault layer directly.
 
 use div_graph::Graph;
 use rand::Rng;
 
-use crate::{DivError, OpinionState, RunStatus, Scheduler, StepEvent};
+use crate::{
+    DivError, DivProcess, FaultPlan, FaultSession, OpinionState, RunStatus, Scheduler, StepEvent,
+};
 
 /// DIV where each interaction is dropped (no-op, clock still advances)
 /// independently with probability `loss`.
@@ -34,12 +42,8 @@ use crate::{DivError, OpinionState, RunStatus, Scheduler, StepEvent};
 /// ```
 #[derive(Debug, Clone)]
 pub struct LossyDiv<'g, S> {
-    graph: &'g Graph,
-    scheduler: S,
-    state: OpinionState,
-    loss: f64,
-    steps: u64,
-    dropped: u64,
+    inner: DivProcess<'g, S>,
+    faults: FaultSession,
 }
 
 impl<'g, S: Scheduler> LossyDiv<'g, S> {
@@ -48,7 +52,7 @@ impl<'g, S: Scheduler> LossyDiv<'g, S> {
     ///
     /// # Errors
     ///
-    /// Returns [`DivError::InvalidInit`] if `loss` is not in `[0, 1)`
+    /// Returns [`DivError::InvalidFault`] if `loss` is not in `[0, 1)`
     /// (at `loss = 1` nothing ever happens), plus the validation errors
     /// of [`OpinionState::new`].
     pub fn new(
@@ -57,86 +61,49 @@ impl<'g, S: Scheduler> LossyDiv<'g, S> {
         scheduler: S,
         loss: f64,
     ) -> Result<Self, DivError> {
-        if !(0.0..1.0).contains(&loss) {
-            return Err(DivError::invalid_init(format!(
-                "loss probability must be in [0, 1), got {loss}"
-            )));
-        }
-        let state = OpinionState::new(graph, opinions)?;
-        Ok(LossyDiv {
-            graph,
-            scheduler,
-            state,
-            loss,
-            steps: 0,
-            dropped: 0,
-        })
+        let plan = FaultPlan::drop_only(loss).map_err(|_| {
+            DivError::invalid_fault(format!("loss probability must be in [0, 1), got {loss}"))
+        })?;
+        let inner = DivProcess::new(graph, opinions, scheduler)?;
+        let faults = plan.session(inner.state().opinions())?;
+        Ok(LossyDiv { inner, faults })
     }
 
     /// The live opinion state.
     pub fn state(&self) -> &OpinionState {
-        &self.state
+        self.inner.state()
     }
 
     /// Steps taken so far (including dropped interactions).
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.inner.steps()
     }
 
     /// Interactions dropped so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.faults.stats().dropped
     }
 
     /// The configured loss probability.
     pub fn loss(&self) -> f64 {
-        self.loss
+        self.faults.plan().drop
     }
 
     /// One step: draws the pair, then drops the observation with
     /// probability `loss` (the event still reports the pair, with
     /// `old == new`).
+    ///
+    /// The drop decision is only drawn when `loss > 0`, so at `loss = 0`
+    /// the RNG stream — and hence the trajectory — is identical to
+    /// [`DivProcess::step`].
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepEvent {
-        let (v, w) = self.scheduler.pick(self.graph, rng);
-        self.steps += 1;
-        let old = self.state.opinion(v);
-        if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
-            self.dropped += 1;
-            return StepEvent {
-                step: self.steps,
-                vertex: v,
-                observed: w,
-                old,
-                new: old,
-            };
-        }
-        let new = old + (self.state.opinion(w) - old).signum();
-        if new != old {
-            self.state.set_opinion(v, new);
-        }
-        StepEvent {
-            step: self.steps,
-            vertex: v,
-            observed: w,
-            old,
-            new,
-        }
+        self.inner.step_faulty(&mut self.faults, rng)
     }
 
     /// Runs until consensus or until the budget is spent.
     pub fn run_to_consensus<R: Rng + ?Sized>(&mut self, max_steps: u64, rng: &mut R) -> RunStatus {
-        let mut remaining = max_steps;
-        while !self.state.is_consensus() {
-            if remaining == 0 {
-                return RunStatus::StepLimit { steps: self.steps };
-            }
-            remaining -= 1;
-            self.step(rng);
-        }
-        RunStatus::Consensus {
-            opinion: self.state.min_opinion(),
-            steps: self.steps,
-        }
+        self.inner
+            .run_faulty_to_consensus(max_steps, &mut self.faults, rng)
     }
 }
 
@@ -211,5 +178,28 @@ mod tests {
             assert_eq!(ea, eb);
         }
         assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn matches_general_fault_layer_drop_session() {
+        // LossyDiv must be *exactly* the drop-only fault plan: identical
+        // trajectory, identical RNG stream, identical drop counter.
+        let g = generators::wheel(15).unwrap();
+        let opinions = init::spread(15, 6).unwrap();
+        let mut a = LossyDiv::new(&g, opinions.clone(), EdgeScheduler::new(), 0.3).unwrap();
+        let mut b = crate::DivProcess::new(&g, opinions.clone(), EdgeScheduler::new()).unwrap();
+        let mut session = FaultPlan::drop_only(0.3)
+            .unwrap()
+            .session(&opinions)
+            .unwrap();
+        let mut ra = StdRng::seed_from_u64(10);
+        let mut rb = StdRng::seed_from_u64(10);
+        for _ in 0..5000 {
+            let ea = a.step(&mut ra);
+            let eb = b.step_faulty(&mut session, &mut rb);
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.dropped(), session.stats().dropped);
     }
 }

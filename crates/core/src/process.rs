@@ -3,7 +3,7 @@
 use div_graph::Graph;
 use rand::Rng;
 
-use crate::{DivError, OpinionState, Scheduler};
+use crate::{DivError, FaultSession, OpinionState, Scheduler};
 
 /// One asynchronous step of a voting process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,6 +206,82 @@ impl<'g, S: Scheduler> DivProcess<'g, S> {
             }
             remaining -= 1;
             let ev = self.step(rng);
+            observe(&ev, &self.state);
+        }
+        self.status_snapshot()
+    }
+
+    /// Performs one asynchronous step under a fault model.
+    ///
+    /// The pair is drawn exactly as in [`DivProcess::step`]; the
+    /// observation is then routed through [`FaultSession::filter`], which
+    /// may drop, delay, or perturb it.  Suppressed interactions still
+    /// advance the clock and report `old == new`.  With a trivial plan
+    /// the RNG stream — and hence the trajectory — is identical to
+    /// [`DivProcess::step`].
+    pub fn step_faulty<R: Rng + ?Sized>(
+        &mut self,
+        faults: &mut FaultSession,
+        rng: &mut R,
+    ) -> StepEvent {
+        let (v, w) = self.scheduler.pick(self.graph, rng);
+        self.steps += 1;
+        let old = self.state.opinion(v);
+        let state = &self.state;
+        let observed = faults.filter(self.steps, v, w, |u| state.opinion(u), rng);
+        let new = match observed {
+            Some(x) => old + (x - old).signum(),
+            None => old,
+        };
+        if new != old {
+            self.state.set_opinion(v, new);
+        }
+        StepEvent {
+            step: self.steps,
+            vertex: v,
+            observed: w,
+            old,
+            new,
+        }
+    }
+
+    /// Runs under a fault model until consensus or budget exhaustion.
+    ///
+    /// Note that faulty runs need not converge at all (e.g. two stubborn
+    /// vertices pinned to different opinions); always pass a finite
+    /// budget when the plan can obstruct consensus.
+    pub fn run_faulty_to_consensus<R: Rng + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+    ) -> RunStatus {
+        self.run_faulty_until(max_steps, faults, rng, |s| s.is_consensus(), |_, _| {})
+    }
+
+    /// Runs under a fault model until `stop(state)` holds or the budget
+    /// is spent, invoking `observe` after every step — the faulty
+    /// counterpart of [`DivProcess::run_until`].
+    pub fn run_faulty_until<R, F, O>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+        stop: F,
+        mut observe: O,
+    ) -> RunStatus
+    where
+        R: Rng + ?Sized,
+        F: Fn(&OpinionState) -> bool,
+        O: FnMut(&StepEvent, &OpinionState),
+    {
+        let mut remaining = max_steps;
+        while !stop(&self.state) {
+            if remaining == 0 {
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            let ev = self.step_faulty(faults, rng);
             observe(&ev, &self.state);
         }
         self.status_snapshot()

@@ -1,0 +1,854 @@
+//! Resilient Monte-Carlo campaigns.
+//!
+//! [`run_campaign`] hardens the basic [`crate::run_trials`] pool into
+//! something a multi-hour study can be left alone with:
+//!
+//! * **Panic isolation with bounded retry** — each trial attempt runs
+//!   under `catch_unwind`; a panicked attempt is retried up to
+//!   [`CampaignConfig::max_retries`] times with a fresh deterministic
+//!   sub-seed, and a slot that exhausts its retries is recorded as
+//!   [`TrialOutcome::Panicked`] instead of sinking the campaign.
+//! * **Step-budget watchdogs** — the per-trial closure receives its
+//!   budget via [`TrialCtx::step_budget`] and reports
+//!   [`TrialOutcome::Timeout`]/[`TrialOutcome::TwoAdjacent`] when a trial
+//!   fails to converge, so one pathological seed cannot wedge a worker.
+//! * **Crash-safe checkpointing** — completed trials are periodically
+//!   flushed to an on-disk manifest (written to a temp sibling and
+//!   atomically renamed), and a killed campaign resumes *exactly*: the
+//!   same master seed plus the same manifest produce a final report
+//!   byte-identical to an uninterrupted run, because per-trial seeds
+//!   depend only on `(master_seed, trial, attempt)` and the report is a
+//!   pure function of the outcome set.
+//!
+//! The outcome taxonomy is deliberately engine-agnostic (plain integers,
+//! no `div-core` types), so the sim crate stays a generic harness.
+//!
+//! # Manifest format
+//!
+//! A line-based text format (the workspace has no serde):
+//!
+//! ```text
+//! divlab-campaign v1
+//! master 3405691582
+//! trials 500
+//! tag regular:1000:8 uniform:5 edge fast drop:0.2 1000000000
+//! trial 0 converged 3 81243
+//! trial 1 two-adjacent 2 3 1000000000
+//! trial 2 timeout 1000000000
+//! trial 3 panicked 3 index out of bounds
+//! ```
+//!
+//! Trial lines appear in ascending index order; `tag` and panic messages
+//! are backslash-escaped (`\n`, `\r`, `\\`) so the format stays
+//! one-record-per-line.  The `tag` records the campaign parameters and is
+//! checked on resume, so a manifest can never be replayed against a
+//! different experiment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::runner::panic_message;
+use crate::SeedSequence;
+
+/// How a single campaign trial ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The process reached consensus within its budget.
+    Converged {
+        /// The consensus opinion.
+        winner: i64,
+        /// Steps taken to reach it.
+        steps: u64,
+    },
+    /// The budget ran out with at most two adjacent opinions left.
+    TwoAdjacent {
+        /// The smaller surviving opinion.
+        low: i64,
+        /// The larger surviving opinion.
+        high: i64,
+        /// Steps taken (the exhausted budget).
+        steps: u64,
+    },
+    /// The budget ran out with three or more opinions still live.
+    Timeout {
+        /// Steps taken (the exhausted budget).
+        steps: u64,
+    },
+    /// Every attempt panicked; the slot is reported, not re-raised.
+    Panicked {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The final attempt's panic message.
+        message: String,
+    },
+}
+
+impl TrialOutcome {
+    /// Whether the trial converged cleanly.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, TrialOutcome::Converged { .. })
+    }
+
+    /// The consensus opinion, when converged.
+    pub fn winner(&self) -> Option<i64> {
+        match *self {
+            TrialOutcome::Converged { winner, .. } => Some(winner),
+            _ => None,
+        }
+    }
+
+    /// One manifest line for trial `i`; inverse of
+    /// [`TrialOutcome::parse_line`].
+    fn manifest_line(&self, i: usize) -> String {
+        match self {
+            TrialOutcome::Converged { winner, steps } => {
+                format!("trial {i} converged {winner} {steps}")
+            }
+            TrialOutcome::TwoAdjacent { low, high, steps } => {
+                format!("trial {i} two-adjacent {low} {high} {steps}")
+            }
+            TrialOutcome::Timeout { steps } => format!("trial {i} timeout {steps}"),
+            TrialOutcome::Panicked { attempts, message } => {
+                format!("trial {i} panicked {attempts} {}", escape(message))
+            }
+        }
+    }
+
+    /// Parses one `trial …` manifest line.
+    fn parse_line(line: &str) -> Option<(usize, TrialOutcome)> {
+        let fields: Vec<&str> = line.split(' ').collect();
+        if fields.len() < 4 || fields[0] != "trial" {
+            return None;
+        }
+        let i: usize = fields[1].parse().ok()?;
+        let outcome = match fields[2] {
+            "converged" if fields.len() == 5 => TrialOutcome::Converged {
+                winner: fields[3].parse().ok()?,
+                steps: fields[4].parse().ok()?,
+            },
+            "two-adjacent" if fields.len() == 6 => TrialOutcome::TwoAdjacent {
+                low: fields[3].parse().ok()?,
+                high: fields[4].parse().ok()?,
+                steps: fields[5].parse().ok()?,
+            },
+            "timeout" if fields.len() == 4 => TrialOutcome::Timeout {
+                steps: fields[3].parse().ok()?,
+            },
+            "panicked" => {
+                // The message is everything after the fourth space; it may
+                // itself contain spaces (but no raw newlines — escaped).
+                let message = line.splitn(5, ' ').nth(4).unwrap_or("");
+                TrialOutcome::Panicked {
+                    attempts: fields[3].parse().ok()?,
+                    message: unescape(message),
+                }
+            }
+            _ => return None,
+        };
+        Some((i, outcome))
+    }
+}
+
+/// Per-attempt context handed to the trial closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialCtx {
+    /// The trial index within the campaign.
+    pub trial: usize,
+    /// The deterministic seed for this attempt: attempt 0 uses
+    /// `SeedSequence::seed_for(master, trial)`, retry `a` re-derives
+    /// `SeedSequence::seed_for(that, a)` — fresh randomness, still a pure
+    /// function of `(master, trial, attempt)`.
+    pub seed: u64,
+    /// Which attempt this is (0 = first).
+    pub attempt: u32,
+    /// The step budget the trial must respect.
+    pub step_budget: u64,
+}
+
+/// Campaign parameters; construct with [`CampaignConfig::new`] and adjust
+/// the public fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Total number of trials in the campaign.
+    pub trials: usize,
+    /// The master seed every per-trial seed derives from.
+    pub master_seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Step budget handed to each trial via [`TrialCtx`].
+    pub step_budget: u64,
+    /// Retries after a panicked attempt before the slot is recorded as
+    /// [`TrialOutcome::Panicked`].
+    pub max_retries: u32,
+    /// Manifest path for checkpoint/resume (`None` disables both).
+    pub checkpoint: Option<PathBuf>,
+    /// Completed trials between checkpoint flushes (the final flush always
+    /// happens; clamped to ≥ 1).
+    pub checkpoint_every: usize,
+    /// Load previously completed trials from the manifest before running.
+    pub resume: bool,
+    /// Execute at most this many *new* trials, then stop and report the
+    /// partial campaign (for incremental runs and kill/resume tests).
+    pub stop_after: Option<usize>,
+    /// Free-form parameter fingerprint stored in the manifest and checked
+    /// on resume.
+    pub tag: String,
+}
+
+impl CampaignConfig {
+    /// A config with sane defaults: auto threads, a `10⁹`-step budget,
+    /// 2 retries, checkpoint every 32 trials (once a path is set).
+    pub fn new(trials: usize, master_seed: u64) -> Self {
+        CampaignConfig {
+            trials,
+            master_seed,
+            threads: 0,
+            step_budget: 1_000_000_000,
+            max_retries: 2,
+            checkpoint: None,
+            checkpoint_every: 32,
+            resume: false,
+            stop_after: None,
+            tag: String::new(),
+        }
+    }
+}
+
+/// The aggregate result of [`run_campaign`].
+///
+/// [`CampaignReport::render`] is a pure function of
+/// `(master_seed, trials, outcomes)` — resume bookkeeping is deliberately
+/// excluded so an interrupted-and-resumed campaign renders byte-identical
+/// to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// The campaign's master seed.
+    pub master_seed: u64,
+    /// The campaign's total trial count (≥ `outcomes.len()` when partial).
+    pub trials: usize,
+    /// Completed trials, keyed by index.
+    pub outcomes: BTreeMap<usize, TrialOutcome>,
+    /// How many outcomes were loaded from the manifest rather than run.
+    pub resumed: usize,
+}
+
+impl CampaignReport {
+    /// Completed trials (run + resumed).
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether every trial in the campaign has an outcome.
+    pub fn is_complete(&self) -> bool {
+        self.completed() == self.trials
+    }
+
+    /// Whether any completed trial failed to converge (two-adjacent,
+    /// timeout, or panicked) — the "degraded" exit condition.
+    pub fn is_degraded(&self) -> bool {
+        self.outcomes.values().any(|o| !o.is_converged())
+    }
+
+    /// `(converged, two_adjacent, timeout, panicked)` counts.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0);
+        for o in self.outcomes.values() {
+            match o {
+                TrialOutcome::Converged { .. } => c.0 += 1,
+                TrialOutcome::TwoAdjacent { .. } => c.1 += 1,
+                TrialOutcome::Timeout { .. } => c.2 += 1,
+                TrialOutcome::Panicked { .. } => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Histogram of consensus winners over the converged trials.
+    pub fn winner_histogram(&self) -> BTreeMap<i64, u64> {
+        crate::stats::tally(self.outcomes.values().filter_map(|o| o.winner()))
+    }
+
+    /// The deterministic textual report (see the type docs).
+    pub fn render(&self) -> String {
+        let (conv, two, timeout, panicked) = self.counts();
+        let mut out = format!(
+            "campaign master={} trials={} completed={}\n\
+             outcomes converged={conv} two-adjacent={two} timeout={timeout} panicked={panicked}\n",
+            self.master_seed,
+            self.trials,
+            self.completed()
+        );
+        let hist = self.winner_histogram();
+        if !hist.is_empty() {
+            out.push_str("winners");
+            for (w, c) in &hist {
+                out.push_str(&format!(" {w}={c}"));
+            }
+            out.push('\n');
+            let steps: Vec<f64> = self
+                .outcomes
+                .values()
+                .filter_map(|o| match o {
+                    TrialOutcome::Converged { steps, .. } => Some(*steps as f64),
+                    _ => None,
+                })
+                .collect();
+            let s = crate::stats::Summary::from_iter(steps);
+            out.push_str(&format!(
+                "steps-to-consensus mean={:.1} min={} max={}\n",
+                s.mean, s.min as u64, s.max as u64
+            ));
+        }
+        out
+    }
+}
+
+/// What can go wrong outside the trials themselves.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Checkpoint IO failed.
+    Io(std::io::Error),
+    /// The manifest was malformed or does not match this campaign.
+    Manifest(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CampaignError::Manifest(m) => write!(f, "manifest error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Runs the campaign: claims pending trial indices across workers,
+/// isolates and retries panicking attempts, streams finished outcomes to
+/// the collector for periodic checkpointing, and returns the aggregate
+/// report.
+///
+/// When `cfg.resume` is set and the manifest exists, its completed trials
+/// are loaded (after a header check) and only the remainder is executed.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] for checkpoint IO failures or a mismatched
+/// or malformed manifest; trial failures are *data* ([`TrialOutcome`]),
+/// never errors.
+pub fn run_campaign<F>(cfg: &CampaignConfig, trial_fn: F) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(&TrialCtx) -> TrialOutcome + Sync,
+{
+    let mut outcomes: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
+    let mut resumed = 0usize;
+    if let Some(path) = &cfg.checkpoint {
+        if cfg.resume && path.exists() {
+            let manifest = Manifest::load(path)?;
+            manifest.check_matches(cfg)?;
+            resumed = manifest.outcomes.len();
+            outcomes = manifest.outcomes;
+        }
+    }
+
+    let pending: Vec<usize> = (0..cfg.trials)
+        .filter(|i| !outcomes.contains_key(i))
+        .collect();
+    let scheduled: Vec<usize> = match cfg.stop_after {
+        Some(k) => pending.into_iter().take(k).collect(),
+        None => pending,
+    };
+
+    if !scheduled.is_empty() {
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let workers = threads.min(scheduled.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, TrialOutcome)>();
+        let flush_every = cfg.checkpoint_every.max(1);
+        let outcomes_ref = &mut outcomes;
+        std::thread::scope(|scope| -> Result<(), CampaignError> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let scheduled = &scheduled;
+                let trial_fn = &trial_fn;
+                scope.spawn(move || loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= scheduled.len() {
+                        break;
+                    }
+                    let i = scheduled[slot];
+                    let outcome = run_one_trial(cfg, i, trial_fn);
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut since_flush = 0usize;
+            for (i, outcome) in rx {
+                outcomes_ref.insert(i, outcome);
+                since_flush += 1;
+                if let Some(path) = &cfg.checkpoint {
+                    if since_flush >= flush_every {
+                        write_manifest(path, cfg, outcomes_ref)?;
+                        since_flush = 0;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    if let Some(path) = &cfg.checkpoint {
+        write_manifest(path, cfg, &outcomes)?;
+    }
+    Ok(CampaignReport {
+        master_seed: cfg.master_seed,
+        trials: cfg.trials,
+        outcomes,
+        resumed,
+    })
+}
+
+/// One slot: run the attempt chain until an outcome or retry exhaustion.
+fn run_one_trial<F>(cfg: &CampaignConfig, trial: usize, trial_fn: &F) -> TrialOutcome
+where
+    F: Fn(&TrialCtx) -> TrialOutcome,
+{
+    let base = SeedSequence::seed_for(cfg.master_seed, trial as u64);
+    let mut last = String::new();
+    for attempt in 0..=cfg.max_retries {
+        let seed = if attempt == 0 {
+            base
+        } else {
+            SeedSequence::seed_for(base, attempt as u64)
+        };
+        let ctx = TrialCtx {
+            trial,
+            seed,
+            attempt,
+            step_budget: cfg.step_budget,
+        };
+        match catch_unwind(AssertUnwindSafe(|| trial_fn(&ctx))) {
+            Ok(outcome) => return outcome,
+            Err(payload) => last = panic_message(payload.as_ref()),
+        }
+    }
+    TrialOutcome::Panicked {
+        attempts: cfg.max_retries + 1,
+        message: last,
+    }
+}
+
+/// Backslash-escapes newlines so any string fits in one manifest line.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Inverse of [`escape`].
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// A loaded checkpoint manifest.
+struct Manifest {
+    master: u64,
+    trials: usize,
+    tag: String,
+    outcomes: BTreeMap<usize, TrialOutcome>,
+}
+
+impl Manifest {
+    fn load(path: &Path) -> Result<Manifest, CampaignError> {
+        let text = fs::read_to_string(path)?;
+        let bad = |line_no: usize, what: &str| {
+            CampaignError::Manifest(format!("{}:{}: {what}", path.display(), line_no + 1))
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "divlab-campaign v1")) => {}
+            _ => return Err(bad(0, "missing `divlab-campaign v1` header")),
+        }
+        let mut master: Option<u64> = None;
+        let mut trials: Option<usize> = None;
+        let mut tag: Option<String> = None;
+        let mut outcomes = BTreeMap::new();
+        for (no, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("master ") {
+                master = Some(rest.parse().map_err(|_| bad(no, "bad master seed"))?);
+            } else if let Some(rest) = line.strip_prefix("trials ") {
+                trials = Some(rest.parse().map_err(|_| bad(no, "bad trial count"))?);
+            } else if let Some(rest) = line.strip_prefix("tag ") {
+                tag = Some(unescape(rest));
+            } else if line == "tag" {
+                tag = Some(String::new());
+            } else if line.starts_with("trial ") {
+                let (i, o) =
+                    TrialOutcome::parse_line(line).ok_or_else(|| bad(no, "bad trial record"))?;
+                outcomes.insert(i, o);
+            } else {
+                return Err(bad(no, "unrecognised record"));
+            }
+        }
+        Ok(Manifest {
+            master: master.ok_or_else(|| bad(0, "missing master record"))?,
+            trials: trials.ok_or_else(|| bad(0, "missing trials record"))?,
+            tag: tag.unwrap_or_default(),
+            outcomes,
+        })
+    }
+
+    /// Refuses to resume a manifest written by a different campaign.
+    fn check_matches(&self, cfg: &CampaignConfig) -> Result<(), CampaignError> {
+        if self.master != cfg.master_seed {
+            return Err(CampaignError::Manifest(format!(
+                "manifest master seed {} does not match campaign seed {}",
+                self.master, cfg.master_seed
+            )));
+        }
+        if self.trials != cfg.trials {
+            return Err(CampaignError::Manifest(format!(
+                "manifest trial count {} does not match campaign trials {}",
+                self.trials, cfg.trials
+            )));
+        }
+        if self.tag != cfg.tag {
+            return Err(CampaignError::Manifest(format!(
+                "manifest tag {:?} does not match campaign tag {:?}",
+                self.tag, cfg.tag
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialises the manifest to a temp sibling, fsyncs, and atomically
+/// renames it into place — a kill can lose at most the last
+/// `checkpoint_every` trials, never corrupt the file.
+fn write_manifest(
+    path: &Path,
+    cfg: &CampaignConfig,
+    outcomes: &BTreeMap<usize, TrialOutcome>,
+) -> Result<(), CampaignError> {
+    let mut text = String::with_capacity(64 + outcomes.len() * 32);
+    text.push_str("divlab-campaign v1\n");
+    text.push_str(&format!("master {}\n", cfg.master_seed));
+    text.push_str(&format!("trials {}\n", cfg.trials));
+    text.push_str(&format!("tag {}\n", escape(&cfg.tag)));
+    for (i, o) in outcomes {
+        text.push_str(&o.manifest_line(*i));
+        text.push('\n');
+    }
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "manifest".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut fh = fs::File::create(&tmp)?;
+        fh.write_all(text.as_bytes())?;
+        fh.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_manifest(label: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "div-campaign-{label}-{}-{}.manifest",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn outcome_for(ctx: &TrialCtx) -> TrialOutcome {
+        TrialOutcome::Converged {
+            winner: (ctx.seed % 3) as i64,
+            steps: ctx.seed % 1000,
+        }
+    }
+
+    #[test]
+    fn manifest_lines_round_trip() {
+        let cases = [
+            (
+                0usize,
+                TrialOutcome::Converged {
+                    winner: -2,
+                    steps: 12345,
+                },
+            ),
+            (
+                7,
+                TrialOutcome::TwoAdjacent {
+                    low: 3,
+                    high: 4,
+                    steps: 99,
+                },
+            ),
+            (42, TrialOutcome::Timeout { steps: 1_000_000 }),
+            (
+                3,
+                TrialOutcome::Panicked {
+                    attempts: 3,
+                    message: "index 12 out of\nbounds \\ with spaces".to_string(),
+                },
+            ),
+            (
+                4,
+                TrialOutcome::Panicked {
+                    attempts: 1,
+                    message: String::new(),
+                },
+            ),
+        ];
+        for (i, o) in cases {
+            let line = o.manifest_line(i);
+            assert!(!line.contains('\n'), "line breaks leak: {line:?}");
+            let (pi, po) = TrialOutcome::parse_line(&line).expect("round trip");
+            assert_eq!((pi, po), (i, o));
+        }
+        assert!(TrialOutcome::parse_line("trial x converged 1 2").is_none());
+        assert!(TrialOutcome::parse_line("trial 1 wat 1 2").is_none());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["", "plain", "a\nb", "a\\nb", "tr\\ail\\", "\r\n\\"] {
+            assert_eq!(unescape(&escape(s)), s, "for {s:?}");
+            assert!(!escape(s).contains('\n'));
+        }
+    }
+
+    #[test]
+    fn campaign_runs_to_completion_without_checkpoint() {
+        let cfg = CampaignConfig::new(20, 0xC0FFEE);
+        let report = run_campaign(&cfg, outcome_for).unwrap();
+        assert!(report.is_complete());
+        assert!(!report.is_degraded());
+        assert_eq!(report.completed(), 20);
+        assert_eq!(report.resumed, 0);
+        let (conv, two, timeout, panicked) = report.counts();
+        assert_eq!((conv, two, timeout, panicked), (20, 0, 0, 0));
+        assert_eq!(report.winner_histogram().values().sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let mut one = CampaignConfig::new(33, 5);
+        one.threads = 1;
+        let mut many = CampaignConfig::new(33, 5);
+        many.threads = 8;
+        let a = run_campaign(&one, outcome_for).unwrap();
+        let b = run_campaign(&many, outcome_for).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn panicking_slot_is_recorded_not_raised() {
+        let mut cfg = CampaignConfig::new(10, 77);
+        cfg.max_retries = 1;
+        let report = run_campaign(&cfg, |ctx| {
+            assert!(ctx.trial != 4, "slot four always explodes");
+            outcome_for(ctx)
+        })
+        .unwrap();
+        assert!(report.is_complete());
+        assert!(report.is_degraded());
+        match &report.outcomes[&4] {
+            TrialOutcome::Panicked { attempts, message } => {
+                assert_eq!(*attempts, 2);
+                assert!(message.contains("slot four always explodes"));
+            }
+            other => panic!("expected panic record, got {other:?}"),
+        }
+        assert_eq!(report.counts().0, 9);
+    }
+
+    #[test]
+    fn retry_recovers_with_fresh_subseed() {
+        let cfg = CampaignConfig::new(6, 123);
+        let report = run_campaign(&cfg, |ctx| {
+            // Trial 2 fails on its first attempt only; the retry must run
+            // with a different (but deterministic) seed and succeed.
+            assert!(!(ctx.trial == 2 && ctx.attempt == 0), "transient failure");
+            if ctx.trial == 2 {
+                let base = SeedSequence::seed_for(123, 2);
+                assert_eq!(ctx.seed, SeedSequence::seed_for(base, ctx.attempt as u64));
+                assert_ne!(ctx.seed, base);
+            }
+            outcome_for(ctx)
+        })
+        .unwrap();
+        assert!(!report.is_degraded(), "retry should have recovered");
+        assert!(report.outcomes[&2].is_converged());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_reproduce_uninterrupted_run() {
+        let path = temp_manifest("resume");
+        let mut cfg = CampaignConfig::new(30, 0xABCD);
+        cfg.checkpoint = Some(path.clone());
+        cfg.checkpoint_every = 5;
+        cfg.tag = "unit-test".to_string();
+
+        // Phase 1: run only 12 trials, then "die".
+        let mut partial = cfg.clone();
+        partial.stop_after = Some(12);
+        let p = run_campaign(&partial, outcome_for).unwrap();
+        assert!(!p.is_complete());
+        assert_eq!(p.completed(), 12);
+
+        // Phase 2: resume to completion.
+        let mut resume = cfg.clone();
+        resume.resume = true;
+        let resumed = run_campaign(&resume, outcome_for).unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed, 12);
+        let manifest_bytes = fs::read(&path).unwrap();
+
+        // Uninterrupted control with the same master seed.
+        let control_path = temp_manifest("control");
+        let mut control = cfg.clone();
+        control.checkpoint = Some(control_path.clone());
+        let c = run_campaign(&control, outcome_for).unwrap();
+
+        assert_eq!(resumed.outcomes, c.outcomes);
+        assert_eq!(
+            resumed.render(),
+            c.render(),
+            "reports must be byte-identical"
+        );
+        assert_eq!(manifest_bytes, fs::read(&control_path).unwrap());
+        fs::remove_file(&path).ok();
+        fs::remove_file(&control_path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_manifest() {
+        let path = temp_manifest("mismatch");
+        let mut cfg = CampaignConfig::new(8, 1);
+        cfg.checkpoint = Some(path.clone());
+        run_campaign(&cfg, outcome_for).unwrap();
+
+        for mutate in [
+            |c: &mut CampaignConfig| c.master_seed = 2,
+            |c: &mut CampaignConfig| c.trials = 9,
+            |c: &mut CampaignConfig| c.tag = "different".to_string(),
+        ] {
+            let mut other = cfg.clone();
+            other.resume = true;
+            mutate(&mut other);
+            match run_campaign(&other, outcome_for) {
+                Err(CampaignError::Manifest(msg)) => {
+                    assert!(msg.contains("does not match"), "{msg}")
+                }
+                other => panic!("expected manifest mismatch, got {other:?}"),
+            }
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_manifest_is_a_parse_error() {
+        let path = temp_manifest("malformed");
+        fs::write(&path, "not a manifest\n").unwrap();
+        let mut cfg = CampaignConfig::new(4, 3);
+        cfg.checkpoint = Some(path.clone());
+        cfg.resume = true;
+        match run_campaign(&cfg, outcome_for) {
+            Err(CampaignError::Manifest(msg)) => assert!(msg.contains("header"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn render_mentions_every_outcome_class() {
+        let mut outcomes = BTreeMap::new();
+        outcomes.insert(
+            0,
+            TrialOutcome::Converged {
+                winner: 3,
+                steps: 100,
+            },
+        );
+        outcomes.insert(
+            1,
+            TrialOutcome::TwoAdjacent {
+                low: 3,
+                high: 4,
+                steps: 500,
+            },
+        );
+        outcomes.insert(2, TrialOutcome::Timeout { steps: 500 });
+        outcomes.insert(
+            3,
+            TrialOutcome::Panicked {
+                attempts: 3,
+                message: "x".into(),
+            },
+        );
+        let report = CampaignReport {
+            master_seed: 9,
+            trials: 5,
+            outcomes,
+            resumed: 0,
+        };
+        let text = report.render();
+        assert!(text.contains("converged=1 two-adjacent=1 timeout=1 panicked=1"));
+        assert!(text.contains("completed=4"));
+        assert!(text.contains("winners 3=1"));
+        assert!(!report.is_complete());
+        assert!(report.is_degraded());
+    }
+}

@@ -7,7 +7,12 @@
 //!
 //! * [`SeedSequence`] — deterministic per-trial seeds from one master seed
 //!   (SplitMix64), so every experiment is exactly reproducible;
-//! * [`run_trials`] — parallel trial execution over scoped threads;
+//! * [`run_trials`] — parallel trial execution over scoped threads, with
+//!   per-slot panic isolation ([`run_trials_caught`]);
+//! * [`run_campaign`] — the resilient campaign layer on top: bounded
+//!   deterministic retries, a `TrialOutcome` taxonomy instead of
+//!   all-or-nothing, and crash-safe checkpoint manifests with exact
+//!   resume;
 //! * [`stats`] — summaries, confidence intervals (normal and Wilson),
 //!   quantiles and histograms;
 //! * [`regression`] — least-squares and log–log growth-exponent fits, for
@@ -34,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod gof;
 pub mod plot;
 pub mod regression;
@@ -42,5 +48,8 @@ mod seed;
 pub mod stats;
 pub mod table;
 
-pub use runner::{run_trials, run_trials_with_threads};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignReport, TrialCtx, TrialOutcome,
+};
+pub use runner::{run_trials, run_trials_caught, run_trials_with_threads, TrialPanic};
 pub use seed::SeedSequence;

@@ -134,6 +134,24 @@ pub fn median(values: &[f64]) -> f64 {
     quantile(values, 0.5)
 }
 
+/// Tallies integer observations into an ordered histogram (winner
+/// counts, outcome classes) — ordered so reports render deterministically.
+///
+/// # Examples
+///
+/// ```
+/// let h = div_sim::stats::tally([3, 2, 3, 3]);
+/// assert_eq!(h[&3], 3);
+/// assert_eq!(h[&2], 1);
+/// ```
+pub fn tally<I: IntoIterator<Item = i64>>(values: I) -> std::collections::BTreeMap<i64, u64> {
+    let mut out = std::collections::BTreeMap::new();
+    for v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}
+
 /// A fixed-width histogram over `[low, high)` with overflow/underflow
 /// tracking, used by the Azuma-tail experiment (E3).
 #[derive(Debug, Clone, PartialEq)]

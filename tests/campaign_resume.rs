@@ -1,0 +1,150 @@
+//! Integration tests for the resilient campaign runner on real DIV
+//! workloads: panic isolation with deterministic retry, the outcome
+//! taxonomy, and exact checkpoint/resume.
+
+use div_core::{init, DivProcess, EdgeScheduler, FaultPlan, RunStatus};
+use div_graph::generators;
+use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique temp path per call so parallel tests never share a manifest.
+fn temp_manifest(label: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "div-it-campaign-{label}-{}-{}.manifest",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One real trial: DIV on K_50 under 25% message drop.
+fn div_trial(seed: u64, step_budget: u64) -> TrialOutcome {
+    let g = generators::complete(50).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let opinions = init::uniform_random(50, 5, &mut rng).unwrap();
+    let plan = FaultPlan::parse("drop:0.25").unwrap();
+    let mut session = plan.session(&opinions).unwrap();
+    let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+    match p.run_faulty_to_consensus(step_budget, &mut session, &mut rng) {
+        RunStatus::Consensus { opinion, steps } => TrialOutcome::Converged {
+            winner: opinion,
+            steps,
+        },
+        RunStatus::TwoAdjacent { low, high, steps } => {
+            TrialOutcome::TwoAdjacent { low, high, steps }
+        }
+        RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
+    }
+}
+
+/// Kill-and-resume on a real workload reproduces the uninterrupted
+/// campaign exactly: same outcomes, same rendered report, same final
+/// manifest bytes.
+#[test]
+fn kill_and_resume_matches_uninterrupted_run_exactly() {
+    let trials = 20;
+    let master = 0xCA_05;
+    let budget = 10_000_000u64;
+
+    let mut control = CampaignConfig::new(trials, master);
+    control.step_budget = budget;
+    control.checkpoint = Some(temp_manifest("control"));
+    let control_report =
+        run_campaign(&control, |ctx| div_trial(ctx.seed, ctx.step_budget)).unwrap();
+    assert!(control_report.is_complete());
+
+    let path = temp_manifest("killed");
+    let mut first = CampaignConfig::new(trials, master);
+    first.step_budget = budget;
+    first.checkpoint = Some(path.clone());
+    first.stop_after = Some(7);
+    let partial = run_campaign(&first, |ctx| div_trial(ctx.seed, ctx.step_budget)).unwrap();
+    assert_eq!(partial.completed(), 7);
+    assert!(!partial.is_complete());
+
+    let mut second = first.clone();
+    second.stop_after = None;
+    second.resume = true;
+    let resumed = run_campaign(&second, |ctx| div_trial(ctx.seed, ctx.step_budget)).unwrap();
+    assert_eq!(resumed.resumed, 7);
+    assert!(resumed.is_complete());
+
+    assert_eq!(resumed.outcomes, control_report.outcomes);
+    assert_eq!(resumed.render(), control_report.render());
+    let control_bytes = std::fs::read(control.checkpoint.as_ref().unwrap()).unwrap();
+    let resumed_bytes = std::fs::read(&path).unwrap();
+    assert_eq!(
+        control_bytes, resumed_bytes,
+        "final manifests differ between killed-and-resumed and straight-through runs"
+    );
+    let _ = std::fs::remove_file(control.checkpoint.as_ref().unwrap());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A trial that panics on its first attempt recovers on retry with a
+/// fresh deterministic sub-seed; a trial that always panics is recorded
+/// in the taxonomy without aborting the campaign.
+#[test]
+fn panicking_trials_retry_and_are_recorded() {
+    // Flaky: trial 4 dies on attempt 0 only.
+    let cfg = CampaignConfig::new(10, 0xCA_06);
+    let run = || {
+        run_campaign(&cfg, |ctx| {
+            assert!(
+                !(ctx.trial == 4 && ctx.attempt == 0),
+                "transient failure on trial {}",
+                ctx.trial
+            );
+            div_trial(ctx.seed, ctx.step_budget)
+        })
+        .unwrap()
+    };
+    let report = run();
+    assert!(report.is_complete());
+    let (converged, _, _, panicked) = report.counts();
+    assert_eq!(converged, 10, "the retry should have rescued trial 4");
+    assert_eq!(panicked, 0);
+    // The rescue is deterministic: a second identical campaign renders
+    // byte-identically.
+    assert_eq!(report.render(), run().render());
+
+    // Persistent: trial 3 dies on every attempt; everything else finishes
+    // and the failure is an outcome, not an abort.
+    let report = run_campaign(&cfg, |ctx| {
+        assert!(ctx.trial != 3, "hard failure");
+        div_trial(ctx.seed, ctx.step_budget)
+    })
+    .unwrap();
+    assert!(report.is_complete());
+    assert!(report.is_degraded());
+    match &report.outcomes[&3] {
+        TrialOutcome::Panicked { attempts, message } => {
+            assert_eq!(*attempts, cfg.max_retries + 1);
+            assert!(message.contains("hard failure"), "{message}");
+        }
+        other => panic!("expected a panicked outcome for trial 3, got {other:?}"),
+    }
+    let (converged, _, _, panicked) = report.counts();
+    assert_eq!((converged, panicked), (9, 1));
+}
+
+/// An impossible step budget yields `Timeout` outcomes — degraded, never
+/// fatal — and the watchdog records the steps actually spent.
+#[test]
+fn step_budget_timeouts_are_degraded_not_fatal() {
+    let mut cfg = CampaignConfig::new(6, 0xCA_07);
+    cfg.step_budget = 100; // K_50 cannot converge this fast
+    let report = run_campaign(&cfg, |ctx| div_trial(ctx.seed, ctx.step_budget)).unwrap();
+    assert!(report.is_complete());
+    assert!(report.is_degraded());
+    let (_, _, timeouts, _) = report.counts();
+    assert!(timeouts > 0, "expected timeouts: {:?}", report.counts());
+    for outcome in report.outcomes.values() {
+        if let TrialOutcome::Timeout { steps } = outcome {
+            assert_eq!(*steps, 100);
+        }
+    }
+}

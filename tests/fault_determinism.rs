@@ -1,0 +1,171 @@
+//! Property tests: fault injection is exactly reproducible.
+//!
+//! The whole robustness story leans on determinism — retries, checkpoint
+//! resume and regression triage all assume that (master seed, fault
+//! plan) pins down every trajectory bit-for-bit.  These properties drive
+//! randomly composed fault plans through both engines twice and demand
+//! identical results, and check that a campaign interrupted at an
+//! arbitrary point resumes to the uninterrupted report.
+
+use div_core::{
+    init, CrashFault, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, FaultPlan,
+    NoiseFault, RunStatus, StaleFault,
+};
+use div_graph::generators;
+use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Composes a fault plan from raw proptest draws: `mode` bits toggle the
+/// optional fault families on top of a message-drop rate and a stubborn
+/// bloc.
+fn plan_from(drop: f64, mode: u8, stubborn: usize) -> FaultPlan {
+    let mut plan = FaultPlan {
+        drop,
+        ..FaultPlan::none()
+    };
+    if mode & 1 != 0 {
+        plan.noise = Some(NoiseFault {
+            prob: 0.15,
+            magnitude: 1 + i64::from(mode >> 6),
+        });
+    }
+    if mode & 2 != 0 {
+        plan.stale = Some(StaleFault { prob: 0.2, age: 32 });
+    }
+    if mode & 4 != 0 {
+        plan.crash = Some(CrashFault {
+            prob: 0.01,
+            outage: 64,
+        });
+    }
+    plan.stubborn = stubborn;
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Reference engine: the same seed and plan reproduce the exact
+    /// trajectory — final opinions, step events consumed, and fault
+    /// counters all match across two independent runs.
+    #[test]
+    fn reference_faulty_trajectory_is_reproducible(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.35,
+        mode in any::<u8>(),
+        stubborn in 0usize..4,
+        steps in 100u64..1500,
+    ) {
+        let n = 24;
+        let g = generators::complete(n).unwrap();
+        let plan = plan_from(drop, mode, stubborn);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opinions = init::uniform_random(n, 7, &mut rng).unwrap();
+            let mut session = plan.session(&opinions).unwrap();
+            let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+            for _ in 0..steps {
+                p.step_faulty(&mut session, &mut rng);
+            }
+            (p.state().opinions().to_vec(), p.steps(), *session.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Fast engine: same reproducibility bar, plus the clamp invariant —
+    /// noise and stale reads may re-expand the live range but never past
+    /// the initial span.
+    #[test]
+    fn fast_faulty_run_is_reproducible_and_span_bounded(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.35,
+        mode in any::<u8>(),
+        stubborn in 0usize..4,
+        budget in 500u64..20_000,
+    ) {
+        let n = 24;
+        let g = generators::complete(n).unwrap();
+        let plan = plan_from(drop, mode, stubborn);
+        let mut irng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let opinions = init::uniform_random(n, 7, &mut irng).unwrap();
+        let (lo, hi) = (
+            *opinions.iter().min().unwrap(),
+            *opinions.iter().max().unwrap(),
+        );
+        let run = || {
+            let mut rng = FastRng::seed_from_u64(seed);
+            let mut session = plan.session(&opinions).unwrap();
+            let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+            let status = p.run_faulty_to_consensus(budget, &mut session, &mut rng);
+            (p.opinions(), status, *session.stats())
+        };
+        let (ops_a, status_a, stats_a) = run();
+        let (ops_b, status_b, stats_b) = run();
+        prop_assert_eq!(&ops_a, &ops_b);
+        prop_assert_eq!(status_a, status_b);
+        prop_assert_eq!(stats_a, stats_b);
+        for &x in &ops_a {
+            prop_assert!((lo..=hi).contains(&x), "opinion {} outside [{}, {}]", x, lo, hi);
+        }
+        if let RunStatus::Consensus { steps, .. } | RunStatus::StepLimit { steps } = status_a {
+            prop_assert!(steps <= budget);
+        }
+    }
+
+    /// A campaign killed after an arbitrary number of trials and resumed
+    /// from its manifest renders the same report as the uninterrupted
+    /// campaign.
+    #[test]
+    fn interrupted_campaign_resumes_to_uninterrupted_report(
+        master in any::<u64>(),
+        trials in 4usize..10,
+        cut in 1usize..9,
+        drop in 0.0f64..0.3,
+    ) {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "div-prop-campaign-{}-{}.manifest",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let plan = FaultPlan { drop, ..FaultPlan::none() };
+        let trial = |seed: u64, step_budget: u64| {
+            let g = generators::complete(16).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opinions = init::uniform_random(16, 4, &mut rng).unwrap();
+            let mut session = plan.session(&opinions).unwrap();
+            let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+            match p.run_faulty_to_consensus(step_budget, &mut session, &mut rng) {
+                RunStatus::Consensus { opinion, steps } => {
+                    TrialOutcome::Converged { winner: opinion, steps }
+                }
+                RunStatus::TwoAdjacent { low, high, steps } => {
+                    TrialOutcome::TwoAdjacent { low, high, steps }
+                }
+                RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
+            }
+        };
+
+        let mut control = CampaignConfig::new(trials, master);
+        control.step_budget = 200_000;
+        let full = run_campaign(&control, |ctx| trial(ctx.seed, ctx.step_budget)).unwrap();
+
+        let mut killed = control.clone();
+        killed.checkpoint = Some(path.clone());
+        killed.stop_after = Some(cut.min(trials - 1));
+        let partial = run_campaign(&killed, |ctx| trial(ctx.seed, ctx.step_budget)).unwrap();
+        prop_assert!(!partial.is_complete());
+
+        let mut resumed_cfg = killed.clone();
+        resumed_cfg.stop_after = None;
+        resumed_cfg.resume = true;
+        let resumed = run_campaign(&resumed_cfg, |ctx| trial(ctx.seed, ctx.step_budget)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(resumed.is_complete());
+        prop_assert_eq!(resumed.outcomes.clone(), full.outcomes.clone());
+        prop_assert_eq!(resumed.render(), full.render());
+    }
+}

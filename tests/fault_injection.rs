@@ -1,0 +1,205 @@
+//! Fault-injection acceptance tests: which of the paper's laws survive
+//! which faults.
+//!
+//! Message drop is a pure time dilation of the edge process (each
+//! delivered interaction is distributed exactly as a clean step), so the
+//! Theorem 2 winner law must survive any drop rate — checked by
+//! chi-square at the acceptance-study scale (`regular:1000:8`, drop 0.2).
+//! Stubborn vertices, by contrast, break the martingale argument and
+//! bias consensus toward the stubborn bloc; stale reads leave absorption
+//! intact; persistent noise destroys exact consensus but the process
+//! still concentrates.
+
+use div_core::{
+    init, theory, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, FaultPlan,
+    RunStatus,
+};
+use div_graph::generators;
+use div_sim::gof::{chi_square_critical, chi_square_statistic};
+use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Maps a fast-engine run's end status into the campaign taxonomy.
+fn outcome_of(status: RunStatus) -> TrialOutcome {
+    match status {
+        RunStatus::Consensus { opinion, steps } => TrialOutcome::Converged {
+            winner: opinion,
+            steps,
+        },
+        RunStatus::TwoAdjacent { low, high, steps } => {
+            TrialOutcome::TwoAdjacent { low, high, steps }
+        }
+        RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
+    }
+}
+
+/// The acceptance study: on a random 8-regular graph with n = 1000 and
+/// 20% message drop, the Theorem 2 two-point winner law still passes the
+/// same chi-square gate as the clean process (α = 0.001).
+#[test]
+fn theorem2_winner_law_survives_drop_on_regular_1000_8() {
+    let mut grng = StdRng::seed_from_u64(0xFA17);
+    let g = generators::random_regular(1000, 8, &mut grng).unwrap();
+    let spec = [(1i64, 600), (7, 400)]; // c = (600 + 2800)/1000 = 3.4
+    let opinions = init::shuffled_blocks(&spec, &mut grng).unwrap();
+    let pred = theory::win_prediction(init::average(&opinions));
+    let plan = FaultPlan::parse("drop:0.2").unwrap();
+    let trials = 300usize;
+
+    let mut cfg = CampaignConfig::new(trials, 0xFA18);
+    cfg.step_budget = 100_000_000;
+    let report = run_campaign(&cfg, |ctx| {
+        let mut rng = FastRng::seed_from_u64(ctx.seed);
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        outcome_of(p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng))
+    })
+    .unwrap();
+    assert!(
+        !report.is_degraded(),
+        "all faulty runs should still converge: {:?}",
+        report.counts()
+    );
+
+    let hist = report.winner_histogram();
+    let lower = hist.get(&pred.lower).copied().unwrap_or(0);
+    let upper = hist.get(&pred.upper).copied().unwrap_or(0);
+    let counts = [lower, upper, trials as u64 - lower - upper];
+    // The same 2% finite-size "other" allowance as the clean-process
+    // winner-law test in tests/distribution_acceptance.rs.
+    let other = 0.02;
+    let probs = [
+        pred.p_lower * (1.0 - other),
+        pred.p_upper * (1.0 - other),
+        other,
+    ];
+    let x2 = chi_square_statistic(&counts, &probs);
+    let crit = chi_square_critical(2, 0.001);
+    assert!(
+        x2 < crit,
+        "winner law under drop:0.2 rejected: χ² = {x2:.2} > {crit:.2}; counts {counts:?}"
+    );
+}
+
+/// A stubborn minority breaks Theorem 2: 10 vertices pinned at 9 drag
+/// K_60 (c = 2.33, prediction {2, 3}) to consensus at 9 in every run.
+#[test]
+fn stubborn_minority_biases_consensus_away_from_theorem2() {
+    let n = 60;
+    let g = generators::complete(n).unwrap();
+    let mut opinions = vec![1i64; n];
+    for o in opinions.iter_mut().take(10) {
+        *o = 9;
+    }
+    let pred = theory::win_prediction(init::average(&opinions));
+    assert!(pred.upper < 9, "the prediction must not already be 9");
+    let plan = FaultPlan::parse("stubborn:10").unwrap();
+    let trials = 8usize;
+
+    let mut cfg = CampaignConfig::new(trials, 0xFA19);
+    cfg.step_budget = 100_000_000;
+    let report = run_campaign(&cfg, |ctx| {
+        let mut rng = FastRng::seed_from_u64(ctx.seed);
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        outcome_of(p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng))
+    })
+    .unwrap();
+    assert!(!report.is_degraded(), "{:?}", report.counts());
+    let hist = report.winner_histogram();
+    assert_eq!(
+        hist.get(&9).copied().unwrap_or(0),
+        trials as u64,
+        "every run should be dragged to the stubborn value 9, got {hist:?}"
+    );
+}
+
+/// Stale reads delay information but preserve absorption: at consensus
+/// every snapshot equals the live state, so consensus stays absorbing
+/// and every run converges, with winners inside the initial span.
+#[test]
+fn stale_reads_still_reach_consensus() {
+    let n = 80;
+    let g = generators::complete(n).unwrap();
+    let plan = FaultPlan::parse("stale:0.3:64").unwrap();
+    let trials = 10usize;
+
+    let mut grng = StdRng::seed_from_u64(0xFA1A);
+    let opinions = init::uniform_random(n, 6, &mut grng).unwrap();
+    let (lo, hi) = (
+        *opinions.iter().min().unwrap(),
+        *opinions.iter().max().unwrap(),
+    );
+    let mut cfg = CampaignConfig::new(trials, 0xFA1B);
+    cfg.step_budget = 50_000_000;
+    let report = run_campaign(&cfg, |ctx| {
+        let mut rng = FastRng::seed_from_u64(ctx.seed);
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        outcome_of(p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng))
+    })
+    .unwrap();
+    assert!(!report.is_degraded(), "{:?}", report.counts());
+    for (w, _) in report.winner_histogram() {
+        assert!(
+            (lo..=hi).contains(&w),
+            "winner {w} escaped the initial span [{lo}, {hi}]"
+        );
+    }
+}
+
+/// Observation noise destroys *exact* consensus — perturbed reads keep
+/// re-seeding deviants, an equilibrium rather than absorption — so the
+/// honest outcome is a watchdog timeout.  But the process still
+/// concentrates: at the end of the budget nearly all mass sits in a
+/// three-value band around the mode.
+#[test]
+fn noise_prevents_exact_consensus_but_concentrates() {
+    let n = 80;
+    let g = generators::complete(n).unwrap();
+    let plan = FaultPlan::parse("noise:0.1:1").unwrap();
+    let mut grng = StdRng::seed_from_u64(0xFA1D);
+    let opinions = init::uniform_random(n, 6, &mut grng).unwrap();
+    let mut session = plan.session(&opinions).unwrap();
+    let mut rng = FastRng::seed_from_u64(0xFA1E);
+    let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+    let status = p.run_faulty_to_consensus(2_000_000, &mut session, &mut rng);
+    assert!(
+        matches!(status, RunStatus::StepLimit { .. }),
+        "persistent noise should make the watchdog fire, got {status:?}"
+    );
+    let finals = p.opinions();
+    let hist = div_sim::stats::tally(finals.iter().copied());
+    let (&mode, _) = hist.iter().max_by_key(|(_, &c)| c).unwrap();
+    let near = finals.iter().filter(|&&x| (x - mode).abs() <= 1).count() as f64;
+    assert!(
+        near / n as f64 >= 0.9,
+        "only {near}/{n} vertices within ±1 of the mode {mode}: {hist:?}"
+    );
+}
+
+/// Crash–recover faults silence vertices for whole windows yet the
+/// reference process still converges, and the session records the
+/// outages it injected.
+#[test]
+fn crash_recovery_dilates_but_still_converges() {
+    let n = 60;
+    let g = generators::complete(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xFA1C);
+    let opinions = init::uniform_random(n, 5, &mut rng).unwrap();
+    let plan = FaultPlan::parse("crash:0.002:500").unwrap();
+    let mut session = plan.session(&opinions).unwrap();
+    let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+    let status = p.run_faulty_to_consensus(50_000_000, &mut session, &mut rng);
+    assert!(
+        matches!(status, RunStatus::Consensus { .. }),
+        "crash faults should only dilate, not prevent, consensus: {status:?}"
+    );
+    let stats = session.stats();
+    assert!(stats.crash_events > 0, "no crashes were actually injected");
+    assert!(
+        stats.dropped + stats.suppressed > 0,
+        "crash windows should have silenced some interactions"
+    );
+}

@@ -1,7 +1,7 @@
 //! Integration tests for Lemma 3 (martingale), eq. (5) (Azuma), and
 //! Theorem 1 (fast reduction to two adjacent opinions).
 
-use div_core::{init, theory, DivProcess, EdgeScheduler, RunStatus, VertexScheduler};
+use div_core::{init, theory, DivProcess, EdgeScheduler, FaultPlan, RunStatus, VertexScheduler};
 use div_graph::generators;
 use div_sim::stats::{Summary, Z99};
 use rand::rngs::StdRng;
@@ -102,6 +102,47 @@ fn azuma_tail_dominates_empirical_tail() {
         assert!(
             measured <= bound + 0.02,
             "h={h}: measured tail {measured:.4} exceeds Azuma bound {bound:.4}"
+        );
+    }
+}
+
+/// Eq. (5) under message drop: conditional on the number of *delivered*
+/// interactions, each delivered step of the faulty edge process is
+/// distributed exactly as a clean step, so the weight deviation is still
+/// a bounded-increment martingale and the Azuma bound evaluated at each
+/// run's delivered count dominates the empirical tail.
+#[test]
+fn azuma_tail_dominates_under_message_drop() {
+    let n = 60;
+    let g = generators::complete(n).unwrap();
+    let scheduled = 3200u64; // ≈ 1600 delivered at drop 0.5
+    let trials = 800;
+    let plan = FaultPlan::drop_only(0.5).unwrap();
+    let runs: Vec<(f64, u64)> = div_sim::run_trials(trials, 0x5C, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opinions = init::uniform_random(n, 9, &mut rng).unwrap();
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let s0 = p.state().sum();
+        for _ in 0..scheduled {
+            p.step_faulty(&mut session, &mut rng);
+        }
+        (
+            (p.state().sum() - s0).abs() as f64,
+            session.stats().delivered,
+        )
+    });
+    for h in [40.0f64, 80.0, 120.0] {
+        let measured = runs.iter().filter(|(d, _)| *d >= h).count() as f64 / trials as f64;
+        // P[|ΔS| ≥ h] = E[P[|ΔS| ≥ h | delivered]] ≤ E[azuma(h, delivered)].
+        let bound = runs
+            .iter()
+            .map(|(_, delivered)| theory::azuma_weight_tail(h, *delivered))
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            measured <= bound + 0.02,
+            "h={h}: measured faulty tail {measured:.4} exceeds Azuma bound {bound:.4}"
         );
     }
 }
