@@ -3,9 +3,14 @@
 //! ```text
 //! divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex]
 //!                 [--engine reference|fast] [--seed N] [--trace]
+//!                 [--telemetry PATH] [--sample-every K]
 //!                 [--faults SPEC] [--trials N] [--budget N]
 //!                 [--checkpoint PATH] [--resume] [--stop-after N]
-//! divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N]
+//! divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex]
+//!                 [--engine reference|fast] [--seed N] [--faults SPEC]
+//!                 [--budget N] [--sample-every K]
+//! divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast]
+//!                 [--seed N] [--trials N]
 //!                 [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]
 //! divlab spectral --graph SPEC [--seed N]
 //! divlab graph6   --graph SPEC [--seed N]
@@ -20,7 +25,18 @@
 //! resilient Monte-Carlo campaign: panicking trials are retried with
 //! fresh deterministic sub-seeds and reported in an outcome taxonomy,
 //! and `--checkpoint PATH` + `--resume` make a killed campaign resume
-//! exactly (byte-identical report).
+//! exactly (byte-identical report, including its aggregated metrics
+//! block).
+//!
+//! `--telemetry PATH` streams the single run's trajectory through the
+//! engines' observer hooks to a JSONL file (or CSV when the path ends in
+//! `.csv`): `W(t)` samples every `--sample-every` steps (default 64),
+//! exact phase-transition events, fault counters, wall-clock timing.
+//! `divlab stats` runs one observed trial into an in-memory recorder and
+//! prints the trajectory summary instead.  `--trace` needs the reference
+//! engine's per-step stage log; every entry point (run, campaign,
+//! compare, stats) resolves `--trace --engine fast` by warning and
+//! falling back to the reference engine.
 //!
 //! Exit codes: `0` clean, `2` usage or IO error, `3` campaign complete
 //! but degraded (non-converged outcomes present), `4` campaign partial
@@ -31,15 +47,17 @@ use div_baselines::{
 };
 use div_bench::spec;
 use div_core::{
-    init, theory, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, FaultPlan,
-    FaultStats, OpinionState, RunStatus, Scheduler, StageLog, VertexScheduler,
+    init, theory, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
+    FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, RingRecorder, RunStatus,
+    Scheduler, StageLog, VertexScheduler,
 };
 use div_sim::table::Table;
 use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 fn main() {
@@ -50,6 +68,7 @@ fn main() {
     let opts = parse_flags(rest);
     let result = match command.as_str() {
         "run" => cmd_run(&opts),
+        "stats" => cmd_stats(&opts),
         "compare" => cmd_compare(&opts),
         "spectral" => cmd_spectral(&opts).map(|()| 0),
         "graph6" => cmd_graph6(&opts).map(|()| 0),
@@ -67,7 +86,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n                  [--faults SPEC] [--trials N] [--budget N] [--checkpoint PATH] [--resume] [--stop-after N]\n  divlab compare  --graph SPEC [--init SPEC] [--seed N] [--trials N] [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N]\n                  [--checkpoint PATH] [--resume] [--stop-after N]\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv)"
     );
     exit(0);
 }
@@ -135,6 +154,35 @@ fn outcome_of(status: RunStatus, two_adjacent: bool, low: i64, high: i64) -> Tri
     }
 }
 
+/// Resolves `--engine` against `--trace`, identically for every entry
+/// point (run, campaign, compare, stats): `--trace` needs the reference
+/// engine's per-step stage log, so fast+trace warns on stderr and falls
+/// back to the reference engine instead of erroring or silently ignoring
+/// the flag.
+fn resolve_engine(opts: &HashMap<String, String>) -> Result<String, String> {
+    let engine = opts.map_or_default("engine", "reference");
+    if engine != "reference" && engine != "fast" {
+        return Err(format!("unknown engine {engine:?} (use reference or fast)"));
+    }
+    if engine == "fast" && opts.contains_key("trace") {
+        eprintln!(
+            "divlab: --trace needs the reference engine (the fast engine has no per-step \
+             stage log); falling back to --engine reference"
+        );
+        return Ok("reference".to_string());
+    }
+    Ok(engine)
+}
+
+/// The `--sample-every` stride (default 64), validated.
+fn parse_stride(opts: &HashMap<String, String>) -> Result<u64, String> {
+    let stride: u64 = parse_opt(opts, "sample-every")?.unwrap_or(64);
+    if stride == 0 {
+        return Err("--sample-every must be at least 1".to_string());
+    }
+    Ok(stride)
+}
+
 fn print_fault_stats(stats: &FaultStats) {
     println!(
         "faults: delivered={} dropped={} suppressed={} stale={} noisy={} crashes={}",
@@ -164,19 +212,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
 
     let faults_spec = opts.map_or_default("faults", "none");
     let faults = FaultPlan::parse(&faults_spec)?;
-    let mut engine = opts.map_or_default("engine", "reference");
-    if engine != "reference" && engine != "fast" {
-        return Err(format!("unknown engine {engine:?} (use reference or fast)"));
-    }
-    if engine == "fast" && opts.contains_key("trace") {
-        // The fast engine has no per-step observer hooks; fall back to the
-        // reference engine instead of dying on the flag combination.
-        eprintln!(
-            "divlab: --trace needs the reference engine (the fast engine has no observers); \
-             falling back to --engine reference"
-        );
-        engine = "reference".to_string();
-    }
+    let engine = resolve_engine(opts)?;
     let trials: usize = parse_opt(opts, "trials")?.unwrap_or(1);
     if trials == 0 {
         return Err("--trials must be at least 1".to_string());
@@ -197,7 +233,15 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
     // vertices than the graph has).
     faults.session(&opinions).map_err(|e| e.to_string())?;
 
+    let telemetry = opts.get("telemetry").map(PathBuf::from);
+    let stride = parse_stride(opts)?;
     if campaign_mode {
+        if telemetry.is_some() {
+            // Per-run trajectory export has no aggregate meaning across a
+            // campaign; the aggregated metrics block in the report (and
+            // manifest) is the campaign-scale telemetry.
+            eprintln!("divlab: --telemetry applies to single runs; ignoring in campaign mode");
+        }
         return run_campaign_cmd(
             &graph,
             &opinions,
@@ -209,6 +253,19 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
             budget,
             opts,
         );
+    }
+    if let Some(path) = telemetry {
+        if opts.contains_key("trace") {
+            return Err(
+                "--trace and --telemetry are mutually exclusive (trace prints the reference \
+                 engine's stage log; telemetry streams observer events)"
+                    .to_string(),
+            );
+        }
+        let (outcome, label) = run_telemetry_export(
+            &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &path,
+        )?;
+        return finish_single_run(outcome, &label);
     }
 
     if engine == "fast" {
@@ -356,23 +413,7 @@ fn run_campaign_cmd(
             "edge" => FastScheduler::Edge,
             _ => FastScheduler::Vertex,
         };
-        run_campaign(&cfg, |ctx| {
-            let mut rng = FastRng::seed_from_u64(ctx.seed);
-            let mut p =
-                FastProcess::new(graph, opinions.to_vec(), kind).expect("validated in setup");
-            let status = if faults.is_trivial() {
-                p.run_to_consensus(ctx.step_budget, &mut rng)
-            } else {
-                let mut session = faults.session(opinions).expect("validated in setup");
-                p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng)
-            };
-            outcome_of(
-                status,
-                p.is_two_adjacent(),
-                p.min_opinion(),
-                p.max_opinion(),
-            )
-        })
+        run_campaign(&cfg, |ctx| fast_trial(graph, opinions, kind, faults, ctx))
     } else if scheduler == "edge" {
         run_campaign(&cfg, |ctx| {
             reference_trial(graph, opinions, EdgeScheduler::new(), faults, ctx)
@@ -432,10 +473,235 @@ fn reference_trial<S: Scheduler>(
     )
 }
 
+/// One fast-engine campaign trial under the given compiled scheduler.
+fn fast_trial(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    faults: &FaultPlan,
+    ctx: &div_sim::TrialCtx,
+) -> TrialOutcome {
+    let mut rng = FastRng::seed_from_u64(ctx.seed);
+    let mut p = FastProcess::new(graph, opinions.to_vec(), kind).expect("validated in setup");
+    let status = if faults.is_trivial() {
+        p.run_to_consensus(ctx.step_budget, &mut rng)
+    } else {
+        let mut session = faults.session(opinions).expect("validated in setup");
+        p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng)
+    };
+    outcome_of(
+        status,
+        p.is_two_adjacent(),
+        p.min_opinion(),
+        p.max_opinion(),
+    )
+}
+
+/// Runs one observed single trial on the resolved engine, streaming
+/// telemetry into `obs`.  Returns the outcome plus the engine label for
+/// the verdict line; fault stats are printed for non-trivial plans.
+#[allow(clippy::too_many_arguments)]
+fn observed_single<O: Observer>(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    scheduler: &str,
+    engine: &str,
+    faults: &FaultPlan,
+    budget: u64,
+    rng: &mut StdRng,
+    stride: u64,
+    obs: &mut O,
+) -> Result<(TrialOutcome, String), String> {
+    if engine == "fast" {
+        let kind = match scheduler {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        let mut frng = {
+            use rand::RngCore;
+            FastRng::seed_from_u64(rng.next_u64())
+        };
+        let mut p = FastProcess::new(graph, opinions.to_vec(), kind).map_err(|e| e.to_string())?;
+        let status = if faults.is_trivial() {
+            p.run_observed(budget, &mut frng, stride, obs)
+        } else {
+            let mut session = faults.session(opinions).map_err(|e| e.to_string())?;
+            let status = p.run_faulty_observed(budget, &mut session, &mut frng, stride, obs);
+            print_fault_stats(session.stats());
+            status
+        };
+        let outcome = outcome_of(
+            status,
+            p.is_two_adjacent(),
+            p.min_opinion(),
+            p.max_opinion(),
+        );
+        return Ok((outcome, format!("{scheduler} scheduler, fast engine")));
+    }
+    fn go<S: Scheduler, O: Observer>(
+        graph: &div_graph::Graph,
+        opinions: &[i64],
+        scheduler: S,
+        faults: &FaultPlan,
+        budget: u64,
+        rng: &mut StdRng,
+        stride: u64,
+        obs: &mut O,
+    ) -> Result<(RunStatus, bool, i64, i64, FaultStats), String> {
+        let mut p =
+            DivProcess::new(graph, opinions.to_vec(), scheduler).map_err(|e| e.to_string())?;
+        let mut session = faults.session(opinions).map_err(|e| e.to_string())?;
+        let status = p.run_faulty_observed(budget, &mut session, rng, stride, obs);
+        let s = p.state();
+        Ok((
+            status,
+            s.is_two_adjacent(),
+            s.min_opinion(),
+            s.max_opinion(),
+            *session.stats(),
+        ))
+    }
+    let (status, two_adjacent, low, high, stats) = if scheduler == "edge" {
+        go(
+            graph,
+            opinions,
+            EdgeScheduler::new(),
+            faults,
+            budget,
+            rng,
+            stride,
+            obs,
+        )?
+    } else {
+        go(
+            graph,
+            opinions,
+            VertexScheduler::new(),
+            faults,
+            budget,
+            rng,
+            stride,
+            obs,
+        )?
+    };
+    if !faults.is_trivial() {
+        print_fault_stats(&stats);
+    }
+    Ok((
+        outcome_of(status, two_adjacent, low, high),
+        format!("{scheduler} scheduler"),
+    ))
+}
+
+/// The `--telemetry PATH` mode of `divlab run`: streams the observed
+/// single run to a JSONL file, or CSV when the path ends in `.csv`.
+#[allow(clippy::too_many_arguments)]
+fn run_telemetry_export(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    scheduler: &str,
+    engine: &str,
+    faults: &FaultPlan,
+    budget: u64,
+    rng: &mut StdRng,
+    stride: u64,
+    path: &Path,
+) -> Result<(TrialOutcome, String), String> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create telemetry file {}: {e}", path.display()))?;
+    let out = BufWriter::new(file);
+    let csv = path.extension().and_then(|e| e.to_str()) == Some("csv");
+    let result = if csv {
+        let mut ex = CsvExporter::new(out);
+        let r = observed_single(
+            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut ex,
+        )?;
+        ex.finish().map(|_| r)
+    } else {
+        let mut ex = JsonlExporter::new(out);
+        let r = observed_single(
+            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut ex,
+        )?;
+        ex.finish().map(|_| r)
+    };
+    let r = result.map_err(|e| format!("telemetry write to {} failed: {e}", path.display()))?;
+    eprintln!(
+        "divlab: telemetry ({}, stride {stride}) written to {}",
+        if csv { "csv" } else { "jsonl" },
+        path.display()
+    );
+    Ok(r)
+}
+
+/// The `stats` subcommand: one observed run into an in-memory recorder,
+/// summarised as the trajectory-level view of the run (phases, `W(t)`
+/// excursion, sampling coverage).
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<i32, String> {
+    let (graph, opinions, mut rng) = setup(opts)?;
+    let scheduler = opts.map_or_default("scheduler", "edge");
+    if scheduler != "edge" && scheduler != "vertex" {
+        return Err(format!(
+            "unknown scheduler {scheduler:?} (use edge or vertex)"
+        ));
+    }
+    let engine = resolve_engine(opts)?;
+    let faults_spec = opts.map_or_default("faults", "none");
+    let faults = FaultPlan::parse(&faults_spec)?;
+    faults.session(&opinions).map_err(|e| e.to_string())?;
+    let budget: u64 = parse_opt(opts, "budget")?.unwrap_or(if faults.is_trivial() {
+        u64::MAX
+    } else {
+        1_000_000_000
+    });
+    let stride = parse_stride(opts)?;
+    println!("{graph}; c = {:.4}", init::average(&opinions));
+
+    let mut rec = RingRecorder::new(4096);
+    let (outcome, label) = observed_single(
+        &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &mut rec,
+    )?;
+    let code = finish_single_run(outcome, &label)?;
+
+    let first = rec.samples().first().expect("observed runs always start");
+    let last = rec.final_sample().expect("observed runs always finish");
+    match (rec.two_adjacent_step(), rec.consensus_step()) {
+        (Some(tau), Some(cons)) => println!("phases: two-adjacent @ {tau}, consensus @ {cons}"),
+        (Some(tau), None) => println!("phases: two-adjacent @ {tau}, consensus not reached"),
+        (None, Some(cons)) => println!("phases: consensus @ {cons}"),
+        (None, None) => println!("phases: none crossed"),
+    }
+    println!(
+        "samples: {} retained (stride {stride}, decimation x{})",
+        rec.samples().len(),
+        rec.decimation_factor()
+    );
+    println!(
+        "S(t): start {} final {}, max |S(t)-S(0)| = {}",
+        first.sum,
+        last.sum,
+        rec.max_sum_deviation()
+    );
+    println!(
+        "Z(t): start {:.3} final {:.3}",
+        first.z_weight, last.z_weight
+    );
+    println!(
+        "opinions: distinct {} -> {}, range [{}, {}] -> [{}, {}]",
+        first.distinct, last.distinct, first.min, first.max, last.min, last.max
+    );
+    // Fault counters were already printed by the observed run itself.
+    // Wall-clock chatter goes to stderr: stdout stays deterministic.
+    if let Some(elapsed) = rec.elapsed() {
+        eprintln!("divlab: observed run took {elapsed:?}");
+    }
+    Ok(code)
+}
+
 fn cmd_compare(opts: &HashMap<String, String>) -> Result<i32, String> {
     let (graph, opinions, _) = setup(opts)?;
     let trials: usize = parse_opt(opts, "trials")?.unwrap_or(50);
     let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let engine = resolve_engine(opts)?;
     let faults_spec = opts.map_or_default("faults", "none");
     let faults = FaultPlan::parse(&faults_spec)?;
     faults.session(&opinions).map_err(|e| e.to_string())?;
@@ -466,10 +732,16 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<i32, String> {
     }
     let gspec = opts.map_or_default("graph", "");
     let ispec = opts.map_or_default("init", "uniform:5");
-    cfg.tag = format!("compare div {gspec} {ispec} {faults_spec} {budget}");
-    let report = run_campaign(&cfg, |ctx| {
-        reference_trial(&graph, &opinions, EdgeScheduler::new(), &faults, ctx)
-    })
+    cfg.tag = format!("compare div {gspec} {ispec} {engine} {faults_spec} {budget}");
+    let report = if engine == "fast" {
+        run_campaign(&cfg, |ctx| {
+            fast_trial(&graph, &opinions, FastScheduler::Edge, &faults, ctx)
+        })
+    } else {
+        run_campaign(&cfg, |ctx| {
+            reference_trial(&graph, &opinions, EdgeScheduler::new(), &faults, ctx)
+        })
+    }
     .map_err(|e| e.to_string())?;
     let mut rendered: Vec<String> = report
         .winner_histogram()

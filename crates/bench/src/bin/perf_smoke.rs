@@ -6,17 +6,24 @@
 //! results (including the speedup ratios) to `BENCH_step_throughput.json`.
 //!
 //! ```text
-//! perf_smoke [--steps N] [--out PATH]
+//! perf_smoke [--steps N] [--out PATH] [--check-overhead]
 //! ```
 //!
 //! The acceptance bar tracked by this file is a ≥ 3× ns/step improvement
 //! of the fast engine over the reference path for both processes on both
 //! graphs.
+//!
+//! A second acceptance bar guards the telemetry layer: stepping the fast
+//! engine through the observed entry point with the disabled
+//! [`NullObserver`] must cost within 5% of the plain entry point on
+//! `regular8_1k` (i.e. the no-op path is provably free).  The comparison
+//! is relative and in-process, so it is machine-independent;
+//! `--check-overhead` runs only this check and exits nonzero on failure.
 
 use std::time::Instant;
 
 use div_core::{
-    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, Scheduler,
+    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, NullObserver, Scheduler,
     VertexScheduler,
 };
 use div_graph::{generators, Graph};
@@ -25,8 +32,13 @@ use rand::SeedableRng;
 
 const DEFAULT_STEPS: u64 = 2_000_000;
 
+/// Maximum tolerated ratio of NullObserver-observed to plain fast-engine
+/// ns/step.  The observed path is monomorphised away when
+/// `Observer::ENABLED` is false, so anything above noise is a regression.
+const OVERHEAD_LIMIT: f64 = 1.05;
+
 fn usage() -> ! {
-    eprintln!("usage: perf_smoke [--steps N] [--out PATH]");
+    eprintln!("usage: perf_smoke [--steps N] [--out PATH] [--check-overhead]");
     std::process::exit(2);
 }
 
@@ -75,6 +87,80 @@ fn time_fast(g: &Graph, scheduler: FastScheduler, steps: u64) -> (f64, u64) {
     (elapsed.as_nanos() as f64 / taken as f64, taken)
 }
 
+/// Times up to `steps` fast-engine steps routed through the observed
+/// entry point with the disabled [`NullObserver`] (early exit at
+/// consensus), returning (ns/step, steps).  Mirrors [`time_fast`] exactly
+/// so the two are directly comparable.
+fn time_fast_observed(g: &Graph, scheduler: FastScheduler, steps: u64) -> (f64, u64) {
+    let mut p = FastProcess::new(g, opinions_for(g), scheduler).unwrap();
+    let mut rng = FastRng::seed_from_u64(3);
+    p.run_observed(10_000, &mut rng, 64, &mut NullObserver);
+    let before = p.steps();
+    let start = Instant::now();
+    p.run_observed(steps, &mut rng, 64, &mut NullObserver);
+    let elapsed = start.elapsed();
+    let taken = (p.steps() - before).max(1);
+    (elapsed.as_nanos() as f64 / taken as f64, taken)
+}
+
+/// A single telemetry-overhead measurement: plain vs NullObserver-observed
+/// fast-engine ns/step on one graph/process pair.
+struct Overhead {
+    graph: &'static str,
+    process: &'static str,
+    plain_ns: f64,
+    observed_ns: f64,
+}
+
+impl Overhead {
+    fn ratio(&self) -> f64 {
+        self.observed_ns / self.plain_ns
+    }
+}
+
+/// Aggregates fresh seeded runs (each early-exiting at consensus) until at
+/// least `min_steps` total steps have been timed, returning the pooled
+/// ns/step.  A single run on `regular8_1k` reaches consensus well before
+/// the step budget, so one measurement alone is too short to time reliably.
+fn aggregate_fast(g: &Graph, min_steps: u64, observed: bool) -> f64 {
+    let (mut ns, mut total) = (0.0, 0u64);
+    while total < min_steps {
+        let (per, taken) = if observed {
+            time_fast_observed(g, FastScheduler::Edge, min_steps)
+        } else {
+            time_fast(g, FastScheduler::Edge, min_steps)
+        };
+        ns += per * taken as f64;
+        total += taken;
+    }
+    ns / total as f64
+}
+
+/// Measures the disabled-observer overhead on `regular8_1k` (the graph the
+/// acceptance bar names — the sparse case, where per-step work is smallest
+/// and any fixed overhead shows up largest).  The arms are interleaved
+/// across rounds so slow machine drift (thermal, noisy neighbours on a
+/// shared runner) affects both equally, and each arm keeps its best round;
+/// both arms replay the identical seeded trajectories.
+fn measure_overhead(steps: u64) -> Overhead {
+    let mut rng = StdRng::seed_from_u64(1);
+    // Same construction as `graphs()`: complete_1k is drawn first so the
+    // regular graph here is bit-identical to the benchmark-matrix one.
+    let _ = generators::complete(1000).unwrap();
+    let g = generators::random_regular(1000, 8, &mut rng).unwrap();
+    let (mut plain, mut observed) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        plain = plain.min(aggregate_fast(&g, steps, false));
+        observed = observed.min(aggregate_fast(&g, steps, true));
+    }
+    Overhead {
+        graph: "regular8_1k",
+        process: "div_edge",
+        plain_ns: plain,
+        observed_ns: observed,
+    }
+}
+
 struct Row {
     graph: &'static str,
     process: &'static str,
@@ -85,6 +171,7 @@ struct Row {
 fn main() {
     let mut steps = DEFAULT_STEPS;
     let mut out = String::from("BENCH_step_throughput.json");
+    let mut check_overhead = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -96,8 +183,30 @@ fn main() {
                 Some(path) => out = path,
                 None => usage(),
             },
+            "--check-overhead" => check_overhead = true,
             _ => usage(),
         }
+    }
+
+    if check_overhead {
+        let o = measure_overhead(steps);
+        println!(
+            "telemetry overhead ({}/{}): plain {:.2} ns/step   NullObserver {:.2} ns/step   ratio {:.3} (limit {OVERHEAD_LIMIT})",
+            o.graph,
+            o.process,
+            o.plain_ns,
+            o.observed_ns,
+            o.ratio()
+        );
+        if o.ratio() > OVERHEAD_LIMIT {
+            eprintln!(
+                "FAIL: disabled-observer path costs {:.1}% over the plain path (limit {:.0}%)",
+                (o.ratio() - 1.0) * 100.0,
+                (OVERHEAD_LIMIT - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     let mut rows: Vec<Row> = Vec::new();
@@ -120,6 +229,8 @@ fn main() {
         });
     }
 
+    let overhead = measure_overhead(steps);
+
     // Hand-rolled JSON: the workspace deliberately has no serializer
     // dependency.
     let mut json = String::from("{\n");
@@ -138,7 +249,16 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry_overhead\": {{\"graph\": \"{}\", \"process\": \"{}\", \"fast_plain\": {:.2}, \"fast_null_observer\": {:.2}, \"ratio\": {:.3}, \"limit\": {OVERHEAD_LIMIT}}}\n",
+        overhead.graph,
+        overhead.process,
+        overhead.plain_ns,
+        overhead.observed_ns,
+        overhead.ratio()
+    ));
+    json.push_str("}\n");
 
     for r in &rows {
         println!(
@@ -161,4 +281,10 @@ fn main() {
         .map(|r| r.reference_ns / r.fast_ns)
         .fold(f64::INFINITY, f64::min);
     println!("worst-case speedup: {worst:.2}x (target >= 3x)");
+    println!(
+        "telemetry overhead ({}/{}): ratio {:.3} (limit {OVERHEAD_LIMIT})",
+        overhead.graph,
+        overhead.process,
+        overhead.ratio()
+    );
 }

@@ -1,0 +1,248 @@
+//! End-to-end tests for the `divlab` binary's telemetry surface and the
+//! uniform `--trace`/`--engine` resolution (one test per entry point:
+//! run, campaign, compare, stats).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn divlab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_divlab"))
+        .args(args)
+        .output()
+        .expect("divlab spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_file(label: &str, ext: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "divlab-cli-{label}-{}-{}.{ext}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+const FALLBACK: &str = "falling back to --engine reference";
+
+#[test]
+fn trace_with_fast_engine_falls_back_on_run() {
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:40",
+        "--init",
+        "blocks:1x20,5x20",
+        "--engine",
+        "fast",
+        "--trace",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains(FALLBACK), "stderr: {}", stderr(&out));
+    // The reference engine actually ran: its stage log was printed.
+    assert!(stdout(&out).contains("trace:"), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn trace_with_fast_engine_falls_back_on_campaign() {
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--trace",
+        "--trials",
+        "3",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains(FALLBACK), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("campaign master="));
+}
+
+#[test]
+fn trace_with_fast_engine_falls_back_on_compare() {
+    let out = divlab(&[
+        "compare",
+        "--graph",
+        "complete:20",
+        "--init",
+        "blocks:1x10,5x10",
+        "--trials",
+        "4",
+        "--engine",
+        "fast",
+        "--trace",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains(FALLBACK), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("div"));
+}
+
+#[test]
+fn trace_with_fast_engine_falls_back_on_stats() {
+    let out = divlab(&[
+        "stats",
+        "--graph",
+        "complete:40",
+        "--engine",
+        "fast",
+        "--trace",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains(FALLBACK), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn telemetry_jsonl_export_contains_trajectory() {
+    let path = temp_file("jsonl", "jsonl");
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:40",
+        "--init",
+        "blocks:1x20,5x20",
+        "--engine",
+        "fast",
+        "--telemetry",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("telemetry file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].contains("\"type\":\"sample\"") && lines[0].contains("\"step\":0"));
+    assert!(text.contains("\"type\":\"phase\""));
+    assert!(text.contains("\"phase\":\"consensus\""));
+    assert!(text.contains("\"final\":true"));
+    assert!(lines.last().unwrap().contains("\"type\":\"finish\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn telemetry_csv_export_has_header_and_final_row() {
+    let path = temp_file("csv", "csv");
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:40",
+        "--init",
+        "blocks:1x20,5x20",
+        "--telemetry",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("telemetry (csv"), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("telemetry file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "step,sum,z,min,max,distinct,event");
+    assert!(lines.last().unwrap().ends_with(",final"));
+    assert!(text.contains(",consensus"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn telemetry_and_trace_are_mutually_exclusive() {
+    let path = temp_file("clash", "jsonl");
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:40",
+        "--trace",
+        "--telemetry",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn telemetry_is_ignored_in_campaign_mode() {
+    let path = temp_file("campaign", "jsonl");
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--trials",
+        "3",
+        "--telemetry",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("ignoring in campaign mode"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(!path.exists(), "no per-run export in campaign mode");
+}
+
+#[test]
+fn campaign_report_includes_metrics_block() {
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--trials",
+        "4",
+        "--seed",
+        "9",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\nmetrics\n"), "stdout: {text}");
+    assert!(text.contains("counter outcomes.converged = 4"), "{text}");
+    assert!(text.contains("gauge outcomes.converged_rate = 1"), "{text}");
+    assert!(text.contains("histogram steps.to_consensus"), "{text}");
+}
+
+#[test]
+fn stats_summarises_an_observed_run() {
+    let out = divlab(&[
+        "stats",
+        "--graph",
+        "complete:40",
+        "--init",
+        "blocks:1x20,5x20",
+        "--engine",
+        "fast",
+        "--seed",
+        "3",
+        "--sample-every",
+        "32",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("consensus on"), "{text}");
+    assert!(text.contains("phases: two-adjacent @ "), "{text}");
+    assert!(text.contains("samples: "), "{text}");
+    assert!(text.contains("stride 32"), "{text}");
+    assert!(text.contains("S(t): start 120"), "{text}");
+    assert!(text.contains("Z(t): start 120.000"), "{text}");
+    assert!(text.contains("distinct 2 -> 1"), "{text}");
+}
+
+#[test]
+fn sample_every_zero_is_rejected() {
+    let out = divlab(&["stats", "--graph", "complete:10", "--sample-every", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--sample-every"), "{}", stderr(&out));
+}

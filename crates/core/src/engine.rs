@@ -36,10 +36,17 @@
 //!
 //! [`FastRng`]: crate::FastRng
 
+use std::time::Instant;
+
 use div_graph::Graph;
 use rand::{Rng, RngCore};
 
+use crate::telemetry::{Observer, Phase, PhaseEvent, TelemetrySample};
 use crate::{DivError, FaultSession, OpinionState, RunStatus, SelectionBias};
+
+/// Phase thresholds in crossing order: range width ≤ 1 is the paper's
+/// `τ`, width 0 is consensus.
+const PHASES: [(u32, Phase); 2] = [(1, Phase::TwoAdjacent), (0, Phase::Consensus)];
 
 /// Which interaction law [`FastProcess`] compiles.
 ///
@@ -585,14 +592,27 @@ impl<'g> FastProcess<'g> {
     /// [`FaultSession::filter`].  With a trivial plan the RNG stream is
     /// identical to the fault-free engine's.
     pub fn step_faulty<R: Rng + ?Sized>(&mut self, faults: &mut FaultSession, rng: &mut R) {
+        let _ = self.step_faulty_traced(faults, rng);
+    }
+
+    /// [`FastProcess::step_faulty`], additionally reporting the updating
+    /// vertex and its opinion delta (what observed runs need to maintain
+    /// the degree-weighted sum incrementally).
+    fn step_faulty_traced<R: Rng + ?Sized>(
+        &mut self,
+        faults: &mut FaultSession,
+        rng: &mut R,
+    ) -> (usize, i64) {
         let (v, w) = self.sampler.pick(self.graph, rng);
         self.steps += 1;
         let base = self.base;
         let opinions = &self.state.opinions;
+        let before = self.state.sum_off;
         if let Some(x) = faults.filter(self.steps, v, w, |u| base + opinions[u] as i64, rng) {
             let target = (x - base).clamp(0, self.state.counts.len() as i64 - 1) as u32;
             self.state.apply_observed(v, target);
         }
+        (v, self.state.sum_off - before)
     }
 
     /// Runs under a fault model until consensus or budget exhaustion.
@@ -639,6 +659,260 @@ impl<'g> FastProcess<'g> {
             self.step_faulty(faults, rng);
         }
         self.status()
+    }
+
+    /// Runs to consensus with telemetry: stride-boundary samples plus
+    /// exact phase-transition events delivered to `obs`.
+    ///
+    /// Block stepping stays intact — the engine cuts blocks at stride
+    /// boundaries to take samples and reuses the block-snapshot replay to
+    /// locate the `τ` and consensus crossings at their **exact** steps
+    /// (both predicates are monotone along fault-free trajectories).
+    /// With a disabled observer ([`Observer::ENABLED`]` == false`, e.g.
+    /// [`crate::NullObserver`]) this monomorphises to a direct call to
+    /// the unobserved block engine: provably zero overhead.
+    ///
+    /// Samples land on the lattice `stride·ℕ` of the *global* step
+    /// counter; the initial state is always reported via
+    /// [`Observer::on_start`] and the terminal one via
+    /// [`Observer::on_finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn run_observed<R: RngCore + Clone, O: Observer>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        stride: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        self.run_blocks_observed(max_steps, rng, 0, stride, obs)
+    }
+
+    /// [`FastProcess::run_observed`] stopping at the two-adjacent stage
+    /// (the paper's `τ`) instead of consensus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn run_observed_to_two_adjacent<R: RngCore + Clone, O: Observer>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        stride: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        self.run_blocks_observed(max_steps, rng, 1, stride, obs)
+    }
+
+    /// Runs under a fault model to consensus with telemetry: stride
+    /// samples, first-entry phase events, and the session's fault
+    /// counters (delivered to [`Observer::on_faults`] just before
+    /// [`Observer::on_finish`]).
+    ///
+    /// Faulty runs step one at a time (faults break the monotonicity the
+    /// block engine relies on), so phase events are exact here too — but
+    /// since noise and stale reads can re-expand the range, only the
+    /// *first* entry into each phase is reported.  With a disabled
+    /// observer this delegates to the plain faulty loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn run_faulty_observed<R: Rng + ?Sized, O: Observer>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+        stride: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        if !O::ENABLED {
+            return self.run_faulty_width(max_steps, faults, rng, 0);
+        }
+        assert!(stride > 0, "stride must be positive");
+        let start = Instant::now();
+        let mut dw_off = self.degree_weighted_off_sum();
+        obs.on_start(&self.telemetry_sample_at(self.steps, dw_off));
+        let mut next_phase = self.first_pending_phase();
+        let mut remaining = max_steps;
+        while self.state.width() > 0 {
+            if remaining == 0 {
+                obs.on_faults(faults.stats());
+                obs.on_finish(
+                    &self.telemetry_sample_at(self.steps, dw_off),
+                    start.elapsed(),
+                );
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            let (v, delta) = self.step_faulty_traced(faults, rng);
+            dw_off += delta * self.graph.degree(v) as i64;
+            let width = self.state.width();
+            while next_phase < PHASES.len() && width <= PHASES[next_phase].0 {
+                obs.on_phase(&PhaseEvent {
+                    phase: PHASES[next_phase].1,
+                    step: self.steps,
+                });
+                next_phase += 1;
+            }
+            if width > 0 && self.steps.is_multiple_of(stride) {
+                obs.on_sample(&self.telemetry_sample_at(self.steps, dw_off));
+            }
+        }
+        obs.on_faults(faults.stats());
+        obs.on_finish(
+            &self.telemetry_sample_at(self.steps, dw_off),
+            start.elapsed(),
+        );
+        self.status()
+    }
+
+    /// The observed block engine: [`FastProcess::run_blocks`] with blocks
+    /// additionally cut at stride boundaries for sampling.  A sub-block
+    /// whose endpoint crosses a phase (or the stop predicate) triggers
+    /// the usual rewind-and-replay from the big block's snapshot, which
+    /// locates the crossing's exact step; monotonicity guarantees the
+    /// replay sees it.  Emitted samples are deduplicated against replays
+    /// via `last_sampled`.
+    fn run_blocks_observed<R: RngCore + Clone, O: Observer>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        stop_width: u32,
+        stride: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        if !O::ENABLED {
+            return self.run_blocks(max_steps, rng, stop_width);
+        }
+        assert!(stride > 0, "stride must be positive");
+        let start = Instant::now();
+        let mut dw_off = self.degree_weighted_off_sum();
+        obs.on_start(&self.telemetry_sample_at(self.steps, dw_off));
+        if self.state.width() <= stop_width {
+            obs.on_finish(
+                &self.telemetry_sample_at(self.steps, dw_off),
+                start.elapsed(),
+            );
+            return self.status();
+        }
+        let mut next_phase = self.first_pending_phase();
+        let block = (self.state.opinions.len() as u64).max(1024);
+        let mut remaining = max_steps;
+        let mut last_sampled = self.steps;
+        while remaining > 0 {
+            let b = block.min(remaining);
+            let snap_state = self.state.clone();
+            let snap_rng = rng.clone();
+            let snap_dw = dw_off;
+            let mut done = 0u64;
+            while done < b {
+                let to_boundary = stride - (self.steps + done) % stride;
+                let sub = to_boundary.min(b - done);
+                for _ in 0..sub {
+                    let (v, w) = self.sampler.pick(self.graph, rng);
+                    let before = self.state.sum_off;
+                    self.state.apply(v, w);
+                    dw_off += (self.state.sum_off - before) * self.graph.degree(v) as i64;
+                }
+                done += sub;
+                let width = self.state.width();
+                let phase_hit = next_phase < PHASES.len() && width <= PHASES[next_phase].0;
+                if width <= stop_width || phase_hit {
+                    // The crossing is inside the block: rewind to the
+                    // block snapshot and replay the identical RNG stream
+                    // stepwise to locate its exact step.
+                    self.state = snap_state.clone();
+                    *rng = snap_rng.clone();
+                    dw_off = snap_dw;
+                    let base_steps = self.steps;
+                    for i in 1..=done {
+                        let (v, w) = self.sampler.pick(self.graph, rng);
+                        let before = self.state.sum_off;
+                        self.state.apply(v, w);
+                        dw_off += (self.state.sum_off - before) * self.graph.degree(v) as i64;
+                        let step_no = base_steps + i;
+                        let w_now = self.state.width();
+                        while next_phase < PHASES.len() && w_now <= PHASES[next_phase].0 {
+                            obs.on_phase(&PhaseEvent {
+                                phase: PHASES[next_phase].1,
+                                step: step_no,
+                            });
+                            next_phase += 1;
+                        }
+                        if w_now <= stop_width {
+                            self.steps = step_no;
+                            obs.on_finish(
+                                &self.telemetry_sample_at(self.steps, dw_off),
+                                start.elapsed(),
+                            );
+                            return self.status();
+                        }
+                        if step_no.is_multiple_of(stride) && step_no > last_sampled {
+                            last_sampled = step_no;
+                            obs.on_sample(&self.telemetry_sample_at(step_no, dw_off));
+                        }
+                    }
+                    // The stop predicate did not fire, so the hit was a
+                    // phase crossing only (now emitted); the replay has
+                    // advanced state and RNG back to the sub-block end.
+                } else if (self.steps + done).is_multiple_of(stride) {
+                    last_sampled = self.steps + done;
+                    obs.on_sample(&self.telemetry_sample_at(last_sampled, dw_off));
+                }
+            }
+            self.steps += b;
+            remaining -= b;
+        }
+        obs.on_finish(
+            &self.telemetry_sample_at(self.steps, dw_off),
+            start.elapsed(),
+        );
+        RunStatus::StepLimit { steps: self.steps }
+    }
+
+    /// The index into [`PHASES`] of the first phase this state has not
+    /// yet entered (phases already satisfied at run start emit no event).
+    fn first_pending_phase(&self) -> usize {
+        let width = self.state.width();
+        PHASES
+            .iter()
+            .position(|&(t, _)| width > t)
+            .unwrap_or(PHASES.len())
+    }
+
+    /// `Σ_v d(v)·(X_v − base)` by an `O(n)` scan — the one-off seed for
+    /// the incrementally maintained degree-weighted sum of observed runs.
+    fn degree_weighted_off_sum(&self) -> i64 {
+        self.state
+            .opinions
+            .iter()
+            .enumerate()
+            .map(|(v, &off)| self.graph.degree(v) as i64 * off as i64)
+            .sum()
+    }
+
+    /// Builds the telemetry sample for an explicit step count (the block
+    /// engine advances `self.steps` only at block granularity).
+    fn telemetry_sample_at(&self, step: u64, dw_off: i64) -> TelemetrySample {
+        let n = self.state.opinions.len();
+        let two_m = self.graph.total_degree() as i64;
+        // Σ_v d(v)·X_v = base·2m + dw_off; matches OpinionState::z_weight.
+        let dws = self.base * two_m + dw_off;
+        let distinct = self.state.counts[self.state.lo as usize..=self.state.hi as usize]
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
+        TelemetrySample {
+            step,
+            sum: self.sum(),
+            z_weight: n as f64 * (dws as f64 / two_m as f64),
+            min: self.min_opinion(),
+            max: self.max_opinion(),
+            distinct,
+        }
     }
 
     /// `d(A_i)` for `opinion`, by an `O(n)` scan (only needed once, at `τ`).
@@ -746,6 +1020,45 @@ mod tests {
                 assert!(x < 13);
             }
         }
+    }
+
+    /// Chi-squared uniformity statistic over `range` cells for `draws`
+    /// Lemire draws, compared against the Wilson–Hilferty approximation
+    /// of the `α = 0.001` critical value (exact enough for df ≥ 2).
+    fn chi_square_bounded_u64(seed: u64, range: u64, draws: u64) {
+        let mut rng = FastRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; range as usize];
+        for _ in 0..draws {
+            counts[bounded_u64(&mut rng, range) as usize] += 1;
+        }
+        let expected = draws as f64 / range as f64;
+        let stat: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        let df = (range - 1) as f64;
+        // Wilson–Hilferty: χ²_α ≈ df·(1 − 2/(9df) + z_α·√(2/(9df)))³ with
+        // z_0.001 = 3.0902.
+        let h = 2.0 / (9.0 * df);
+        let critical = df * (1.0 - h + 3.0902 * h.sqrt()).powi(3);
+        assert!(
+            stat < critical,
+            "range {range}: chi² {stat:.1} ≥ critical {critical:.1} — modulo bias?"
+        );
+    }
+
+    /// Modulo-bias guard: spans that do not divide 2⁶⁴ must stay uniform
+    /// under Lemire's exact rejection.  3 and 5 exercise the tiny-range
+    /// fast path (rejection probability ≈ range/2⁶⁴ ≈ 0), 1000003 (prime)
+    /// exercises a range whose naive `% range` bias would be detectable.
+    #[test]
+    fn chi_square_accepts_lemire_on_non_dividing_spans() {
+        chi_square_bounded_u64(0xD1CE_0001, 3, 60_000);
+        chi_square_bounded_u64(0xD1CE_0002, 5, 100_000);
+        chi_square_bounded_u64(0xD1CE_0003, 1_000_003, 10_000_030);
     }
 
     #[test]
@@ -1076,6 +1389,189 @@ mod tests {
         let mut rng = FastRng::seed_from_u64(21);
         let status = p.run_faulty_to_consensus(100_000_000, &mut session, &mut rng);
         assert_eq!(status.consensus_opinion(), Some(9));
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_exactly() {
+        use crate::RingRecorder;
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 8).unwrap();
+
+        let mut plain = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(40);
+        let plain_status = plain.run_to_consensus(10_000_000, &mut rng);
+
+        let mut observed = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(40);
+        let mut rec = RingRecorder::new(1 << 20);
+        let observed_status = observed.run_observed(10_000_000, &mut rng, 64, &mut rec);
+
+        assert_eq!(plain_status, observed_status);
+        assert_eq!(plain.opinions(), observed.opinions());
+        assert_eq!(rec.consensus_step(), Some(plain_status.steps()));
+
+        // The τ event matches a third twin run stopped at τ.
+        let mut tau = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(40);
+        let tau_status = tau.run_to_two_adjacent(10_000_000, &mut rng);
+        assert_eq!(rec.two_adjacent_step(), Some(tau_status.steps()));
+    }
+
+    #[test]
+    fn observed_phase_events_match_naive_stepping() {
+        use crate::{Phase, RingRecorder};
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 8).unwrap();
+
+        let mut observed = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(41);
+        let mut rec = RingRecorder::new(1 << 20);
+        observed.run_observed(10_000_000, &mut rng, 64, &mut rec);
+
+        // Naive replay of the identical stream, checking widths per step.
+        let mut naive = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(41);
+        let mut steps = 0u64;
+        let (mut naive_tau, mut naive_consensus) = (None, None);
+        while !naive.is_consensus() {
+            let (v, w) = naive.sample_pair(&mut rng);
+            naive.state.apply(v, w);
+            steps += 1;
+            if naive_tau.is_none() && naive.is_two_adjacent() {
+                naive_tau = Some(steps);
+            }
+            if naive.is_consensus() {
+                naive_consensus = Some(steps);
+            }
+        }
+        assert_eq!(
+            rec.phases()
+                .iter()
+                .map(|e| (e.phase, e.step))
+                .collect::<Vec<_>>(),
+            vec![
+                (Phase::TwoAdjacent, naive_tau.unwrap()),
+                (Phase::Consensus, naive_consensus.unwrap())
+            ]
+        );
+    }
+
+    #[test]
+    fn observed_samples_are_stride_decimations() {
+        use crate::RingRecorder;
+        // Samples at stride 64 must be exactly the stride-1 samples
+        // restricted to the 64-lattice: sampling never perturbs the run.
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 8).unwrap();
+
+        let mut fine = RingRecorder::new(1 << 20);
+        let mut p1 = FastProcess::new(&g, opinions.clone(), FastScheduler::Vertex).unwrap();
+        let mut rng = FastRng::seed_from_u64(42);
+        p1.run_observed(20_000, &mut rng, 1, &mut fine);
+
+        let mut coarse = RingRecorder::new(1 << 20);
+        let mut p64 = FastProcess::new(&g, opinions, FastScheduler::Vertex).unwrap();
+        let mut rng = FastRng::seed_from_u64(42);
+        p64.run_observed(20_000, &mut rng, 64, &mut coarse);
+
+        assert_eq!(fine.decimation_factor(), 1, "capacity must not decimate");
+        let on_lattice: Vec<_> = fine
+            .samples()
+            .iter()
+            .filter(|s| s.step.is_multiple_of(64))
+            .copied()
+            .collect();
+        assert_eq!(on_lattice, coarse.samples().to_vec());
+        assert!(coarse.samples().len() > 2);
+
+        // Spot-check the incremental Z against the O(n) reference rebuild.
+        let last = coarse.final_sample().unwrap();
+        let state = p64.opinion_state();
+        assert_eq!(last.sum, state.sum());
+        assert!((last.z_weight - state.z_weight()).abs() < 1e-9);
+        assert_eq!(last.distinct, state.distinct_count());
+    }
+
+    #[test]
+    fn null_observer_is_bit_identical_to_plain_run() {
+        use crate::NullObserver;
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 6).unwrap();
+
+        let mut plain = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut rng_a = FastRng::seed_from_u64(43);
+        let sa = plain.run_to_consensus(10_000_000, &mut rng_a);
+
+        let mut nulled = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut rng_b = FastRng::seed_from_u64(43);
+        let sb = nulled.run_observed(10_000_000, &mut rng_b, 64, &mut NullObserver);
+
+        assert_eq!(sa, sb);
+        assert_eq!(plain.opinions(), nulled.opinions());
+        // Identical downstream RNG stream: no draw was added or lost.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn observed_run_from_stopped_state_emits_only_start_and_finish() {
+        use crate::RingRecorder;
+        let g = generators::complete(8).unwrap();
+        let mut p = FastProcess::new(&g, vec![3; 8], FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(44);
+        let mut rec = RingRecorder::new(16);
+        let status = p.run_observed(1000, &mut rng, 8, &mut rec);
+        assert_eq!(status.steps(), 0);
+        assert!(rec.phases().is_empty(), "pre-satisfied phases emit nothing");
+        assert_eq!(rec.samples().len(), 1); // the initial sample
+        assert_eq!(rec.final_sample().unwrap().step, 0);
+    }
+
+    #[test]
+    fn faulty_observed_run_reports_fault_stats_and_phases() {
+        use crate::{FaultPlan, Phase, RingRecorder};
+        let g = generators::complete(50).unwrap();
+        let opinions = init::spread(50, 5).unwrap();
+        let plan = FaultPlan::parse("drop:0.3").unwrap();
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(45);
+        let mut rec = RingRecorder::new(1 << 16);
+        let status = p.run_faulty_observed(10_000_000, &mut session, &mut rng, 64, &mut rec);
+        assert!(status.consensus_opinion().is_some());
+        let stats = rec.fault_stats().expect("faulty runs surface counters");
+        assert!(stats.dropped > 0);
+        assert_eq!(stats, session.stats());
+        assert_eq!(rec.consensus_step(), Some(status.steps()));
+        assert_eq!(
+            rec.phases().first().map(|e| e.phase),
+            Some(Phase::TwoAdjacent)
+        );
+        // Samples sit on the stride lattice and the run was timed.
+        assert!(rec.samples()[1..].iter().all(|s| s.step.is_multiple_of(64)));
+        assert!(rec.elapsed().is_some());
+    }
+
+    #[test]
+    fn faulty_observed_with_trivial_plan_matches_clean_observed() {
+        use crate::{FaultPlan, RingRecorder};
+        let g = generators::complete(40).unwrap();
+        let opinions = init::spread(40, 6).unwrap();
+
+        let mut clean_rec = RingRecorder::new(1 << 16);
+        let mut clean = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(46);
+        let clean_status = clean.run_observed(10_000_000, &mut rng, 64, &mut clean_rec);
+
+        let mut faulty_rec = RingRecorder::new(1 << 16);
+        let mut session = FaultPlan::none().session(&opinions).unwrap();
+        let mut faulty = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(46);
+        let faulty_status =
+            faulty.run_faulty_observed(10_000_000, &mut session, &mut rng, 64, &mut faulty_rec);
+
+        assert_eq!(clean_status, faulty_status);
+        assert_eq!(clean_rec.samples(), faulty_rec.samples());
+        assert_eq!(clean_rec.phases(), faulty_rec.phases());
     }
 
     #[test]

@@ -62,6 +62,11 @@
 //! * [`FastProcess`] / [`FastRng`] — the high-throughput stepping engine
 //!   (precompiled samplers, block stepping, xoshiro256++) for Monte-Carlo
 //!   volume; [`DivProcess`] stays the observable correctness oracle.
+//! * [`telemetry`] — zero-cost-when-disabled [`Observer`] hooks threaded
+//!   through both engines (`run_observed`): stride samples of `S(t)`/
+//!   `Z(t)`/range/distinct count, exact phase-transition events, fault
+//!   counters, wall-clock timings; [`RingRecorder`] and the JSONL/CSV
+//!   exporters are the built-in sinks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +83,7 @@ mod scheduler;
 mod stage;
 mod state;
 mod synchronous;
+pub mod telemetry;
 #[cfg(test)]
 mod test_util;
 pub mod theory;
@@ -95,6 +101,10 @@ pub use scheduler::{
 pub use stage::{EliminationEvent, StageLog};
 pub use state::OpinionState;
 pub use synchronous::SynchronousDiv;
+pub use telemetry::{
+    CsvExporter, JsonlExporter, NullObserver, Observer, Phase, PhaseEvent, RingRecorder,
+    TelemetrySample,
+};
 
 /// Crate-wide result alias.
 pub type Result<T, E = DivError> = std::result::Result<T, E>;

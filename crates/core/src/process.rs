@@ -1,9 +1,51 @@
 //! The discrete incremental voting process.
 
+use std::time::Instant;
+
 use div_graph::Graph;
 use rand::Rng;
 
+use crate::telemetry::{Observer, Phase, PhaseEvent, TelemetrySample};
 use crate::{DivError, FaultSession, OpinionState, Scheduler};
+
+/// The phases `state` has not yet entered, in crossing order (width ≤ 1
+/// is the paper's `τ`, width 0 is consensus).
+fn pending_phases(state: &OpinionState) -> Vec<(i64, Phase)> {
+    let width = state.max_opinion() - state.min_opinion();
+    [(1, Phase::TwoAdjacent), (0, Phase::Consensus)]
+        .into_iter()
+        .filter(|&(t, _)| width > t)
+        .collect()
+}
+
+/// Emits phase events for every pending threshold the state has crossed.
+fn emit_crossings<O: Observer>(
+    pending: &mut Vec<(i64, Phase)>,
+    state: &OpinionState,
+    step: u64,
+    obs: &mut O,
+) {
+    let width = state.max_opinion() - state.min_opinion();
+    while let Some(&(t, phase)) = pending.first() {
+        if width > t {
+            break;
+        }
+        obs.on_phase(&PhaseEvent { phase, step });
+        pending.remove(0);
+    }
+}
+
+/// Builds a telemetry sample from a reference-engine state.
+fn sample_of(step: u64, state: &OpinionState) -> TelemetrySample {
+    TelemetrySample {
+        step,
+        sum: state.sum(),
+        z_weight: state.z_weight(),
+        min: state.min_opinion(),
+        max: state.max_opinion(),
+        distinct: state.distinct_count(),
+    }
+}
 
 /// One asynchronous step of a voting process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +250,92 @@ impl<'g, S: Scheduler> DivProcess<'g, S> {
             let ev = self.step(rng);
             observe(&ev, &self.state);
         }
+        self.status_snapshot()
+    }
+
+    /// Runs to consensus with telemetry: a sample every `stride` steps
+    /// plus exact phase-transition events, delivered to `obs`.
+    ///
+    /// The reference engine checks every step anyway, so phase events are
+    /// trivially exact; the fast-engine counterpart
+    /// ([`crate::FastProcess::run_observed`]) reproduces the same event
+    /// semantics on top of block stepping.  With a disabled observer
+    /// ([`crate::NullObserver`]) this compiles to the plain run loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn run_observed<R: Rng + ?Sized, O: Observer>(
+        &mut self,
+        max_steps: u64,
+        rng: &mut R,
+        stride: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        if !O::ENABLED {
+            return self.run_to_consensus(max_steps, rng);
+        }
+        assert!(stride > 0, "stride must be positive");
+        let start = Instant::now();
+        obs.on_start(&sample_of(self.steps, &self.state));
+        let mut pending = pending_phases(&self.state);
+        let mut remaining = max_steps;
+        while !self.state.is_consensus() {
+            if remaining == 0 {
+                obs.on_finish(&sample_of(self.steps, &self.state), start.elapsed());
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            self.step(rng);
+            emit_crossings(&mut pending, &self.state, self.steps, obs);
+            if !self.state.is_consensus() && self.steps.is_multiple_of(stride) {
+                obs.on_sample(&sample_of(self.steps, &self.state));
+            }
+        }
+        obs.on_finish(&sample_of(self.steps, &self.state), start.elapsed());
+        self.status_snapshot()
+    }
+
+    /// Runs under a fault model to consensus with telemetry — the faulty
+    /// counterpart of [`DivProcess::run_observed`].  The session's fault
+    /// counters are delivered to [`Observer::on_faults`] just before
+    /// [`Observer::on_finish`]; since faults can re-expand the opinion
+    /// range, only the *first* entry into each phase is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn run_faulty_observed<R: Rng + ?Sized, O: Observer>(
+        &mut self,
+        max_steps: u64,
+        faults: &mut FaultSession,
+        rng: &mut R,
+        stride: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        if !O::ENABLED {
+            return self.run_faulty_to_consensus(max_steps, faults, rng);
+        }
+        assert!(stride > 0, "stride must be positive");
+        let start = Instant::now();
+        obs.on_start(&sample_of(self.steps, &self.state));
+        let mut pending = pending_phases(&self.state);
+        let mut remaining = max_steps;
+        while !self.state.is_consensus() {
+            if remaining == 0 {
+                obs.on_faults(faults.stats());
+                obs.on_finish(&sample_of(self.steps, &self.state), start.elapsed());
+                return RunStatus::StepLimit { steps: self.steps };
+            }
+            remaining -= 1;
+            self.step_faulty(faults, rng);
+            emit_crossings(&mut pending, &self.state, self.steps, obs);
+            if !self.state.is_consensus() && self.steps.is_multiple_of(stride) {
+                obs.on_sample(&sample_of(self.steps, &self.state));
+            }
+        }
+        obs.on_faults(faults.stats());
+        obs.on_finish(&sample_of(self.steps, &self.state), start.elapsed());
         self.status_snapshot()
     }
 
@@ -419,6 +547,114 @@ mod tests {
             },
         );
         assert_eq!(seen, status.steps());
+    }
+
+    #[test]
+    fn observed_reference_run_matches_plain_run() {
+        use crate::{Phase, RingRecorder};
+        let g = generators::complete(30).unwrap();
+        let opinions = init::spread(30, 6).unwrap();
+
+        let mut plain = DivProcess::new(&g, opinions.clone(), EdgeScheduler::new()).unwrap();
+        let mut rng = StdRng::seed_from_u64(50);
+        let plain_status = plain.run_to_consensus(10_000_000, &mut rng);
+
+        // A second plain run that tracks the phase-crossing steps by hand.
+        let mut naive = DivProcess::new(&g, opinions.clone(), EdgeScheduler::new()).unwrap();
+        let mut rng = StdRng::seed_from_u64(50);
+        let (mut naive_tau, mut naive_consensus) = (None, None);
+        naive.run_until(
+            10_000_000,
+            &mut rng,
+            |s| s.is_consensus(),
+            |ev, st| {
+                if naive_tau.is_none() && st.is_two_adjacent() {
+                    naive_tau = Some(ev.step);
+                }
+                if st.is_consensus() {
+                    naive_consensus = Some(ev.step);
+                }
+            },
+        );
+
+        let mut observed = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut rec = RingRecorder::new(1 << 20);
+        let observed_status = observed.run_observed(10_000_000, &mut rng, 64, &mut rec);
+
+        assert_eq!(plain_status, observed_status);
+        assert_eq!(plain.state().opinions(), observed.state().opinions());
+        assert_eq!(
+            rec.phases()
+                .iter()
+                .map(|e| (e.phase, e.step))
+                .collect::<Vec<_>>(),
+            vec![
+                (Phase::TwoAdjacent, naive_tau.unwrap()),
+                (Phase::Consensus, naive_consensus.unwrap())
+            ]
+        );
+        // Samples sit on the stride lattice and report exact aggregates.
+        assert_eq!(rec.samples()[0].step, 0);
+        assert!(rec.samples()[1..].iter().all(|s| s.step.is_multiple_of(64)));
+        let last = rec.final_sample().unwrap();
+        assert_eq!(last.step, observed_status.steps());
+        assert_eq!(last.sum, observed.state().sum());
+        assert_eq!(last.distinct, 1);
+        assert!((last.z_weight - observed.state().z_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_observer_reference_run_is_bit_identical() {
+        use crate::NullObserver;
+        let g = generators::complete(24).unwrap();
+        let opinions = init::spread(24, 5).unwrap();
+
+        let mut plain = DivProcess::new(&g, opinions.clone(), VertexScheduler::new()).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(51);
+        let sa = plain.run_to_consensus(10_000_000, &mut rng_a);
+
+        let mut nulled = DivProcess::new(&g, opinions, VertexScheduler::new()).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(51);
+        let sb = nulled.run_observed(10_000_000, &mut rng_b, 64, &mut NullObserver);
+
+        assert_eq!(sa, sb);
+        assert_eq!(plain.state().opinions(), nulled.state().opinions());
+        use rand::RngCore;
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn faulty_observed_reference_run_reports_fault_stats() {
+        use crate::{FaultPlan, RingRecorder};
+        let g = generators::complete(30).unwrap();
+        let opinions = init::spread(30, 5).unwrap();
+        let plan = FaultPlan::parse("drop:0.3").unwrap();
+        let mut session = plan.session(&opinions).unwrap();
+        let mut p = DivProcess::new(&g, opinions, EdgeScheduler::new()).unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut rec = RingRecorder::new(1 << 16);
+        let status = p.run_faulty_observed(10_000_000, &mut session, &mut rng, 64, &mut rec);
+        assert!(status.consensus_opinion().is_some());
+        let stats = rec.fault_stats().expect("faulty runs surface counters");
+        assert!(stats.dropped > 0);
+        assert_eq!(stats, session.stats());
+        assert_eq!(rec.consensus_step(), Some(status.steps()));
+        assert!(rec.elapsed().is_some());
+    }
+
+    #[test]
+    fn observed_run_on_consensus_state_emits_nothing_but_endpoints() {
+        use crate::RingRecorder;
+        let g = generators::complete(6).unwrap();
+        let mut p = DivProcess::new(&g, vec![2; 6], EdgeScheduler::new()).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut rec = RingRecorder::new(16);
+        let status = p.run_observed(1000, &mut rng, 8, &mut rec);
+        assert_eq!(status.steps(), 0);
+        assert!(rec.phases().is_empty());
+        assert_eq!(rec.samples().len(), 1);
+        assert_eq!(rec.final_sample().unwrap().step, 0);
     }
 
     #[test]

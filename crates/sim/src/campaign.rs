@@ -36,13 +36,17 @@
 //! trial 1 two-adjacent 2 3 1000000000
 //! trial 2 timeout 1000000000
 //! trial 3 panicked 3 index out of bounds
+//! metric counter outcomes.converged = 1
 //! ```
 //!
 //! Trial lines appear in ascending index order; `tag` and panic messages
 //! are backslash-escaped (`\n`, `\r`, `\\`) so the format stays
 //! one-record-per-line.  The `tag` records the campaign parameters and is
 //! checked on resume, so a manifest can never be replayed against a
-//! different experiment.
+//! different experiment.  `metric` lines carry the aggregated
+//! [`MetricsRegistry`] rollup for human inspection; they are recomputed
+//! from the trial records on every write and *skipped* on load, so they
+//! can never disagree with the outcomes.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -54,7 +58,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use crate::runner::panic_message;
-use crate::SeedSequence;
+use crate::{MetricsRegistry, SeedSequence};
 
 /// How a single campaign trial ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,6 +278,14 @@ impl CampaignReport {
         crate::stats::tally(self.outcomes.values().filter_map(|o| o.winner()))
     }
 
+    /// The aggregated metrics rollup, derived purely from the outcome
+    /// set — outcome-class counters, the convergence-rate gauge, and a
+    /// steps-to-consensus histogram whose bounds come from the observed
+    /// extremes (so the same outcomes always bin identically).
+    pub fn metrics(&self) -> MetricsRegistry {
+        metrics_of(&self.outcomes)
+    }
+
     /// The deterministic textual report (see the type docs).
     pub fn render(&self) -> String {
         let (conv, two, timeout, panicked) = self.counts();
@@ -305,8 +317,53 @@ impl CampaignReport {
                 s.mean, s.min as u64, s.max as u64
             ));
         }
+        let metrics = self.metrics();
+        if !metrics.is_empty() {
+            out.push_str("metrics\n");
+            out.push_str(&metrics.render());
+        }
         out
     }
+}
+
+/// The metrics rollup for an outcome set (shared by
+/// [`CampaignReport::metrics`] and the manifest writer, so both always
+/// agree).
+fn metrics_of(outcomes: &BTreeMap<usize, TrialOutcome>) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    if outcomes.is_empty() {
+        return m;
+    }
+    let mut steps_total = 0u64;
+    let mut converged_steps: Vec<u64> = Vec::new();
+    for o in outcomes.values() {
+        let (class, steps) = match o {
+            TrialOutcome::Converged { steps, .. } => {
+                converged_steps.push(*steps);
+                ("outcomes.converged", *steps)
+            }
+            TrialOutcome::TwoAdjacent { steps, .. } => ("outcomes.two_adjacent", *steps),
+            TrialOutcome::Timeout { steps } => ("outcomes.timeout", *steps),
+            TrialOutcome::Panicked { .. } => ("outcomes.panicked", 0),
+        };
+        m.add(class, 1);
+        steps_total += steps;
+    }
+    m.add("steps.simulated", steps_total);
+    m.set_gauge(
+        "outcomes.converged_rate",
+        converged_steps.len() as f64 / outcomes.len() as f64,
+    );
+    if !converged_steps.is_empty() {
+        // Bounds from the observed extremes: a pure function of the
+        // outcome set, so resumed and uninterrupted campaigns bin alike.
+        let lo = *converged_steps.iter().min().unwrap() as f64;
+        let hi = *converged_steps.iter().max().unwrap() as f64 + 1.0;
+        for s in &converged_steps {
+            m.observe("steps.to_consensus", lo, hi, 8, *s as f64);
+        }
+    }
+    m
 }
 
 /// What can go wrong outside the trials themselves.
@@ -528,6 +585,10 @@ impl Manifest {
                 let (i, o) =
                     TrialOutcome::parse_line(line).ok_or_else(|| bad(no, "bad trial record"))?;
                 outcomes.insert(i, o);
+            } else if line.starts_with("metric ") || line == "metric" {
+                // Aggregated metrics are recomputed from the trial
+                // records on every write; the stored copies are
+                // informational and deliberately not trusted here.
             } else {
                 return Err(bad(no, "unrecognised record"));
             }
@@ -581,6 +642,9 @@ fn write_manifest(
         text.push_str(&o.manifest_line(*i));
         text.push('\n');
     }
+    for line in metrics_of(outcomes).render().lines() {
+        text.push_str(&format!("metric {line}\n"));
+    }
     let mut tmp_name = path
         .file_name()
         .map(|n| n.to_os_string())
@@ -593,6 +657,18 @@ fn write_manifest(
         fh.sync_all()?;
     }
     fs::rename(&tmp, path)?;
+    // The rename itself lives in the parent directory's entries; without
+    // flushing those a crash can still forget the new name even though
+    // the file contents were synced.  Directory handles are only
+    // fsync-able on unix; elsewhere the rename alone is the best we get.
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        fs::File::open(parent)?.sync_all()?;
+    }
     Ok(())
 }
 

@@ -13,6 +13,9 @@
 //!   deterministic retries, a `TrialOutcome` taxonomy instead of
 //!   all-or-nothing, and crash-safe checkpoint manifests with exact
 //!   resume;
+//! * [`MetricsRegistry`] — named counters/gauges/histograms with a
+//!   deterministic rendering, folded into campaign reports and
+//!   manifests;
 //! * [`stats`] — summaries, confidence intervals (normal and Wilson),
 //!   quantiles and histograms;
 //! * [`regression`] — least-squares and log–log growth-exponent fits, for
@@ -41,6 +44,7 @@
 
 pub mod campaign;
 pub mod gof;
+pub mod metrics;
 pub mod plot;
 pub mod regression;
 mod runner;
@@ -51,5 +55,8 @@ pub mod table;
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignError, CampaignReport, TrialCtx, TrialOutcome,
 };
-pub use runner::{run_trials, run_trials_caught, run_trials_with_threads, TrialPanic};
+pub use metrics::MetricsRegistry;
+pub use runner::{
+    run_trials, run_trials_caught, run_trials_with_threads, TrialPanic, NON_STRING_PANIC,
+};
 pub use seed::SeedSequence;

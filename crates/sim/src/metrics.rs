@@ -1,0 +1,186 @@
+//! An aggregating metrics registry for campaign-scale telemetry.
+//!
+//! Where div-core's `Observer` hooks stream *per-run* trajectory
+//! events, a Monte-Carlo campaign wants the
+//! *cross-trial* rollup: how many trials converged, how the
+//! steps-to-consensus distribute, what the fault counters summed to.
+//! [`MetricsRegistry`] is that rollup — a deliberately small registry of
+//! named counters, gauges and histograms (reusing [`crate::stats::Histogram`])
+//! with a deterministic textual rendering.
+//!
+//! Determinism is the load-bearing property: the campaign runner derives
+//! its registry purely from the outcome set, so a resumed campaign's
+//! metrics block is byte-identical to an uninterrupted run's — the same
+//! guarantee [`crate::CampaignReport::render`] makes for the rest of the
+//! report.  To that end iteration order is `BTreeMap` order and floats
+//! are rendered with Rust's shortest-roundtrip `Display`, which is fully
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::stats::Histogram;
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Names are free-form; dotted lower-case (`outcomes.converged`,
+/// `steps.mean`) keeps renderings tidy.  The three kinds live in separate
+/// namespaces, though reusing one name across kinds is best avoided.
+///
+/// # Examples
+///
+/// ```
+/// use div_sim::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.add("trials.converged", 3);
+/// m.add("trials.converged", 1);
+/// m.set_gauge("convergence.rate", 0.8);
+/// m.observe("steps", 0.0, 100.0, 4, 12.0);
+/// assert_eq!(m.counter("trials.converged"), Some(4));
+/// assert!(m.render().contains("counter trials.converged = 4"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to the named counter (created at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records `x` into the named histogram, creating it over
+    /// `[low, high)` with `bins` bins on first use.  The bounds of an
+    /// existing histogram are kept — callers must derive them
+    /// deterministically (e.g. from the full outcome set) for renderings
+    /// to be reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a new histogram is created with `bins == 0` or
+    /// `low >= high` (see [`Histogram::new`]).
+    pub fn observe(&mut self, name: &str, low: f64, high: f64, bins: usize, x: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(low, high, bins))
+            .record(x);
+    }
+
+    /// The named counter's value, when it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's value, when it exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, when it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Renders every metric as one `kind name = value` line, sorted by
+    /// kind then name — a pure function of the registry's contents.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} range=[{},{}) under={} over={} bins=",
+                h.count(),
+                h.low(),
+                h.high(),
+                h.underflow(),
+                h.overflow()
+            ));
+            for (i, c) in h.bins().iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.add("a", 2);
+        m.add("a", 3);
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.counter("a"), Some(5));
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.counter("missing"), None);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn histogram_bounds_are_kept_after_creation() {
+        let mut m = MetricsRegistry::new();
+        m.observe("h", 0.0, 10.0, 2, 1.0);
+        // Later bounds are ignored; the record still lands.
+        m.observe("h", -100.0, 100.0, 50, 9.0);
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bins(), &[1, 1]);
+    }
+
+    #[test]
+    fn render_is_sorted_and_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.add("z.last", 1);
+        m.add("a.first", 2);
+        m.set_gauge("mid", 0.5);
+        m.observe("steps", 0.0, 4.0, 2, 1.0);
+        m.observe("steps", 0.0, 4.0, 2, 9.0);
+        let text = m.render();
+        assert_eq!(
+            text,
+            "counter a.first = 2\n\
+             counter z.last = 1\n\
+             gauge mid = 0.5\n\
+             histogram steps count=2 range=[0,4) under=0 over=1 bins=1|0\n"
+        );
+        let again = m.clone().render();
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn empty_registry_renders_nothing() {
+        assert_eq!(MetricsRegistry::new().render(), "");
+    }
+}

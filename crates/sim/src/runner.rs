@@ -39,15 +39,20 @@ impl std::fmt::Display for TrialPanic {
     }
 }
 
+/// The marker recorded when a panic payload is neither `&str` nor
+/// `String` (e.g. `panic_any(42)`); typed so callers can distinguish "the
+/// message was lost" from a genuine message with this text shape.
+pub const NON_STRING_PANIC: &str = "<non-string panic payload>";
+
 /// Stringifies a `catch_unwind` payload (panics carry `&str` or `String`
-/// in practice).
+/// in practice; anything else becomes [`NON_STRING_PANIC`]).
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
-        "<non-string panic payload>".to_string()
+        NON_STRING_PANIC.to_string()
     }
 }
 
@@ -292,9 +297,6 @@ mod tests {
         });
         assert_eq!(out[0].as_ref().unwrap_err().message, "owned message");
         let out = run_trials_caught(1, 0, 1, |_, _| -> () { std::panic::panic_any(42i32) });
-        assert_eq!(
-            out[0].as_ref().unwrap_err().message,
-            "<non-string panic payload>"
-        );
+        assert_eq!(out[0].as_ref().unwrap_err().message, NON_STRING_PANIC);
     }
 }

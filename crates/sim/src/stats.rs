@@ -202,6 +202,26 @@ impl Histogram {
         self.count
     }
 
+    /// The inclusive lower edge of the binned range.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// The exclusive upper edge of the binned range.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Observations below `low`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `high`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
     /// The bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins

@@ -4,7 +4,7 @@
 
 use div_core::{init, DivProcess, EdgeScheduler, FaultPlan, RunStatus};
 use div_graph::generators;
-use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
+use div_sim::{run_campaign, CampaignConfig, TrialOutcome, NON_STRING_PANIC};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -65,6 +65,22 @@ fn kill_and_resume_matches_uninterrupted_run_exactly() {
     assert_eq!(partial.completed(), 7);
     assert!(!partial.is_complete());
 
+    // The checkpoint must be durable at this point: the writer fsyncs the
+    // temp file *and* the parent directory after the rename, so the
+    // manifest survives a crash right here.  It must exist, parse line by
+    // line, and carry exactly the 7 completed trials plus the recomputed
+    // aggregate-metrics block.
+    let manifest_text = std::fs::read_to_string(&path).expect("manifest survives the kill");
+    let trial_lines = manifest_text
+        .lines()
+        .filter(|l| l.starts_with("trial "))
+        .count();
+    assert_eq!(trial_lines, 7, "manifest records the completed trials");
+    assert!(
+        manifest_text.contains("metric counter outcomes."),
+        "manifest carries the metrics block:\n{manifest_text}"
+    );
+
     let mut second = first.clone();
     second.stop_after = None;
     second.resume = true;
@@ -74,6 +90,14 @@ fn kill_and_resume_matches_uninterrupted_run_exactly() {
 
     assert_eq!(resumed.outcomes, control_report.outcomes);
     assert_eq!(resumed.render(), control_report.render());
+    // The rendered report includes the aggregated metrics block, and since
+    // the renders are byte-identical the metrics survived the resume too.
+    assert!(
+        resumed.render().contains("\nmetrics\n"),
+        "report carries the metrics block:\n{}",
+        resumed.render()
+    );
+    assert!(resumed.render().contains("counter outcomes.converged = "));
     let control_bytes = std::fs::read(control.checkpoint.as_ref().unwrap()).unwrap();
     let resumed_bytes = std::fs::read(&path).unwrap();
     assert_eq!(
@@ -129,6 +153,48 @@ fn panicking_trials_retry_and_are_recorded() {
     }
     let (converged, _, _, panicked) = report.counts();
     assert_eq!((converged, panicked), (9, 1));
+}
+
+/// Panic payloads survive into the outcome taxonomy verbatim: owned
+/// `String` payloads keep their text, and payloads that are not strings at
+/// all are recorded with the typed [`NON_STRING_PANIC`] marker rather
+/// than being silently lost.
+#[test]
+fn panic_payloads_are_preserved_in_outcomes() {
+    let mut cfg = CampaignConfig::new(4, 0xCA_08);
+    cfg.max_retries = 0;
+
+    // An owned String payload (panic_any, not panic!): the exact text must
+    // come through, including the per-trial detail interpolated into it.
+    let report = run_campaign(&cfg, |ctx| {
+        if ctx.trial == 2 {
+            std::panic::panic_any(format!("disk quota hit on trial {}", ctx.trial));
+        }
+        div_trial(ctx.seed, ctx.step_budget)
+    })
+    .unwrap();
+    match &report.outcomes[&2] {
+        TrialOutcome::Panicked { message, .. } => {
+            assert_eq!(message, "disk quota hit on trial 2");
+        }
+        other => panic!("expected a panicked outcome, got {other:?}"),
+    }
+
+    // A non-string payload degrades to the typed marker, not to garbage or
+    // an empty message.
+    let report = run_campaign(&cfg, |ctx| {
+        if ctx.trial == 1 {
+            std::panic::panic_any(42u32);
+        }
+        div_trial(ctx.seed, ctx.step_budget)
+    })
+    .unwrap();
+    match &report.outcomes[&1] {
+        TrialOutcome::Panicked { message, .. } => {
+            assert_eq!(message, NON_STRING_PANIC);
+        }
+        other => panic!("expected a panicked outcome, got {other:?}"),
+    }
 }
 
 /// An impossible step budget yields `Timeout` outcomes — degraded, never

@@ -1,0 +1,118 @@
+//! Acceptance tests for the telemetry layer: the `W(t)` series recorded by
+//! [`RingRecorder`] at stride 64 on the fast engine must satisfy the same
+//! paper-level checks as the process itself — Lemma 3's zero-drift
+//! martingale property and the eq. (5) Azuma tail bound — and the phase
+//! events it reports must agree with the engine's own run status.
+
+use div_core::{init, theory, FastProcess, FastRng, FastScheduler, Phase, RingRecorder, RunStatus};
+use div_graph::generators;
+use div_sim::stats::Summary;
+use rand::SeedableRng;
+
+/// One observed trial on K_50: runs the fast edge process to `horizon`
+/// under a stride-64 recorder and returns `S(t) - S(0)` read *from the
+/// telemetry series* at the lattice point `at` (a multiple of 64).  If the
+/// run reached consensus before `at`, the final sample's sum is used —
+/// `S(t)` is constant after consensus, so the two agree.
+fn observed_drift(graph: &div_graph::Graph, seed: u64, horizon: u64, at: u64) -> f64 {
+    let mut rng = FastRng::seed_from_u64(seed);
+    let opinions = {
+        // The init helpers take a `rand::Rng`; reuse the trial seed.
+        let mut init_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        init::uniform_random(graph.num_vertices(), 9, &mut init_rng).unwrap()
+    };
+    let mut p = FastProcess::new(graph, opinions, FastScheduler::Edge).unwrap();
+    let mut rec = RingRecorder::new(1 << 16);
+    p.run_observed(horizon, &mut rng, 64, &mut rec);
+    let s0 = rec.samples().first().expect("start sample").sum;
+    let s_at = rec
+        .samples()
+        .iter()
+        .find(|s| s.step == at)
+        .or_else(|| rec.final_sample())
+        .expect("final sample")
+        .sum;
+    (s_at - s0) as f64
+}
+
+/// Lemma 3 (i) read off the telemetry stream: the stride-64 `W(t)` series
+/// of the fast edge process has zero drift, and its deviations obey the
+/// eq. (5) Azuma bound.
+#[test]
+fn telemetry_series_is_a_bounded_increment_martingale() {
+    let g = generators::complete(50).unwrap();
+    let horizon = 1600u64; // 64 × 25: the checkpoint is on the sample lattice
+    let trials = 2500;
+    let drifts = div_sim::run_trials(trials, 0x7E1E, |_, seed| {
+        observed_drift(&g, seed, horizon, horizon)
+    });
+
+    // Zero drift: same |z| ≤ 4 criterion as the process-level martingale
+    // test (false-failure probability ≈ 6e-5).
+    let s = Summary::from_iter(drifts.iter().copied());
+    let z = s.mean / s.std_error();
+    assert!(
+        z.abs() <= 4.0,
+        "telemetry drift z-score {z:.2} (mean {:.3} ± {:.3})",
+        s.mean,
+        s.std_error()
+    );
+
+    // Eq. (5): the empirical tail of |S(t) - S(0)| from the recorded
+    // series is dominated by the Azuma bound.  Runs that consensus early
+    // took fewer than `horizon` steps, for which the bound at `horizon`
+    // is only looser — the domination still holds.
+    for h in [40.0f64, 80.0, 120.0] {
+        let measured = drifts.iter().filter(|&&d| d.abs() >= h).count() as f64 / trials as f64;
+        let bound = theory::azuma_weight_tail(h, horizon);
+        assert!(
+            measured <= bound + 0.02,
+            "h={h}: telemetry tail {measured:.4} exceeds Azuma bound {bound:.4}"
+        );
+    }
+}
+
+/// The recorder's structural guarantees: a start sample at step 0, strictly
+/// increasing steps on the 64-lattice, and a final sample consistent with
+/// the engine's terminal state and run status.
+#[test]
+fn recorded_series_is_well_formed_and_matches_the_engine() {
+    let g = generators::complete(60).unwrap();
+    let mut init_rng = rand::rngs::StdRng::seed_from_u64(0x7E1F);
+    let opinions = init::uniform_random(60, 9, &mut init_rng).unwrap();
+    let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+    let mut rng = FastRng::seed_from_u64(0x7E1F);
+    let mut rec = RingRecorder::new(1 << 16);
+    let status = p.run_observed(u64::MAX, &mut rng, 64, &mut rec);
+
+    let samples = rec.samples();
+    assert_eq!(samples.first().expect("nonempty").step, 0);
+    for w in samples.windows(2) {
+        assert!(w[0].step < w[1].step, "steps must increase");
+        assert!(w[1].step.is_multiple_of(64), "interior samples on lattice");
+    }
+
+    let fin = rec.final_sample().expect("terminal sample");
+    let state = p.opinion_state();
+    assert_eq!(fin.sum, state.sum());
+    assert_eq!(fin.distinct, state.distinct_count());
+    assert_eq!(fin.min, state.min_opinion());
+    assert_eq!(fin.max, state.max_opinion());
+
+    // Phase events agree with the run status.
+    match status {
+        RunStatus::Consensus { steps, .. } => {
+            assert_eq!(rec.consensus_step(), Some(steps));
+            assert_eq!(fin.step, steps);
+            assert_eq!(fin.distinct, 1);
+        }
+        other => panic!("K_60 run should reach consensus, got {other:?}"),
+    }
+    let tau = rec.two_adjacent_step().expect("two-adjacent crossed first");
+    assert!(tau <= rec.consensus_step().unwrap());
+    // Phases are emitted in order, at their recorded steps.
+    let phases = rec.phases();
+    assert_eq!(phases[0].phase, Phase::TwoAdjacent);
+    assert_eq!(phases[0].step, tau);
+    assert_eq!(phases.last().unwrap().phase, Phase::Consensus);
+}
