@@ -1,0 +1,826 @@
+//! Offline convergence diagnostics over recorded telemetry traces.
+//!
+//! `divlab analyze` feeds a trace corpus — one file, or a directory of
+//! JSONL/CSV exports from `--telemetry` — through the shared
+//! [`div_core::trace`] reader and re-derives the paper-level checks that
+//! `tests/telemetry_acceptance.rs` performs in-process, from disk alone:
+//!
+//! * **Lemma 3 zero drift** — the per-trace drift `S(end) − S(0)` has
+//!   mean zero (`|z| ≤ 4` on the aggregate, the same criterion as the
+//!   process-level martingale tests);
+//! * **eq. (5) Azuma envelope** — the empirical tail of `|S(t) − S(0)|`
+//!   across traces is dominated by
+//!   [`div_core::theory::azuma_weight_tail`] at the corpus horizon
+//!   (+2 pp slack, as in the acceptance test);
+//! * **phase extraction** — two-adjacent and consensus first-hit steps,
+//!   aggregated into summaries;
+//! * **eq. (4) fit** — empirical `E[T]` against the initial spread `k`.
+//!   With `n` and `λ` fixed across a corpus, the eq. (4) bound
+//!   `O(k·n log n + n^{5/3} log n + λk·n² + √λ·n²)` collapses to
+//!   `T ≈ A·k + B` (the `k`-linear terms fold into `A`, the rest into
+//!   `B`), so the corpus-level fit is a straight line via
+//!   [`div_sim::regression::linear_fit`], plus the log–log growth
+//!   exponent when the corpus spans several `k`.
+//!
+//! Every rendering is a pure function of the sorted input corpus — no
+//! timestamps, no machine identity — so re-running over the same traces
+//! is byte-identical (asserted by the CLI tests).
+
+use std::path::{Path, PathBuf};
+
+use div_core::{theory, trace::read_trace, Trace};
+use div_sim::regression::{linear_fit, log_log_fit, LinearFit};
+use div_sim::stats::Summary;
+
+/// Acceptance slack on the Azuma tail comparison (probability points),
+/// identical to `tests/telemetry_acceptance.rs`.
+const AZUMA_SLACK: f64 = 0.02;
+
+/// Zero-drift acceptance threshold on the aggregate z-score.
+const DRIFT_Z_LIMIT: f64 = 4.0;
+
+/// Per-trace derived quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// File name (not the full path), the stable sort key.
+    pub name: String,
+    /// `S(end) − S(0)` — zero in expectation by Lemma 3 (i).
+    pub drift: i64,
+    /// `max_t |S(t) − S(0)|` over the recorded lattice.
+    pub max_dev: i64,
+    /// The last recorded step.
+    pub end_step: u64,
+    /// First step with ≤ 2 adjacent opinions, when crossed.
+    pub two_adjacent: Option<u64>,
+    /// First step with one opinion, when reached.
+    pub consensus: Option<u64>,
+    /// The initial opinion spread `k = max − min + 1` at step 0.
+    pub initial_span: Option<i64>,
+}
+
+/// One row of the Azuma-envelope comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzumaRow {
+    /// Deviation threshold `h`.
+    pub h: f64,
+    /// Fraction of traces with `|drift| ≥ h`.
+    pub measured: f64,
+    /// `min(1, 2·exp(−h²/2t))` at the corpus horizon.
+    pub bound: f64,
+}
+
+impl AzumaRow {
+    /// Whether the measured tail is dominated by the bound (+ slack).
+    pub fn pass(&self) -> bool {
+        self.measured <= self.bound + AZUMA_SLACK
+    }
+}
+
+/// The `E[T]`-vs-`k` fit, shaped by how much the corpus varies `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EtFit {
+    /// Fewer than two converged traces with a known initial span.
+    TooFew {
+        /// How many usable `(k, T)` points the corpus had.
+        points: usize,
+    },
+    /// Every trace started from the same spread: a plain mean with a 95%
+    /// confidence interval (a line fit would be degenerate).
+    ConstantK {
+        /// The corpus-wide initial spread.
+        k: i64,
+        /// Converged traces contributing.
+        points: usize,
+        /// Mean steps to consensus.
+        mean: f64,
+        /// 95% confidence interval on the mean.
+        ci: (f64, f64),
+    },
+    /// The corpus spans several spreads: `T ≈ A·k + B` (eq. (4) with `n`,
+    /// `λ` fixed) plus the log–log growth exponent.
+    Linear {
+        /// Usable `(k, T)` points.
+        points: usize,
+        /// The least-squares line `T = slope·k + intercept`.
+        fit: LinearFit,
+        /// Growth exponent from `ln T` on `ln k` (eq. (4) predicts ≈ 1
+        /// in the `k`-dominated regime); absent if any coordinate was
+        /// non-positive.
+        exponent: Option<LinearFit>,
+    },
+}
+
+/// Aggregate report over a trace corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    /// Per-trace rows, sorted by file name.
+    pub rows: Vec<TraceRow>,
+    /// Files skipped because they held no samples (recorded loudly: a
+    /// silently shrinking corpus would fake passing checks).
+    pub skipped: Vec<String>,
+    /// Mean per-trace drift.
+    pub drift_mean: f64,
+    /// Standard error of the mean drift.
+    pub drift_std_error: f64,
+    /// `mean / std_error` when the spread is nonzero.
+    pub drift_z: Option<f64>,
+    /// The corpus horizon: the largest recorded end step.
+    pub horizon: u64,
+    /// Azuma-envelope rows at `h = j·⌈√horizon⌉`, `j ∈ {1, 2, 3}`.
+    pub azuma: Vec<AzumaRow>,
+    /// Two-adjacent first-hit summary (when any trace crossed it).
+    pub two_adjacent: Option<Summary>,
+    /// Consensus first-hit summary (when any trace converged).
+    pub consensus: Option<Summary>,
+    /// The `E[T]`-vs-`k` fit.
+    pub fit: EtFit,
+}
+
+impl AnalyzeReport {
+    /// Lemma 3 verdict: zero mean within `|z| ≤ 4` (exactly zero when the
+    /// corpus has no spread to estimate an error from).
+    pub fn drift_pass(&self) -> bool {
+        match self.drift_z {
+            Some(z) => z.abs() <= DRIFT_Z_LIMIT,
+            None => self.drift_mean == 0.0,
+        }
+    }
+
+    /// Overall verdict: the drift and every Azuma row pass.
+    pub fn all_pass(&self) -> bool {
+        self.drift_pass() && self.azuma.iter().all(AzumaRow::pass)
+    }
+}
+
+/// Collects the trace files under `path`: the file itself, or every
+/// `.jsonl`/`.csv` entry of the directory, sorted by file name.
+///
+/// # Errors
+///
+/// Returns a message if `path` does not exist, the directory cannot be
+/// read, or a directory contains no trace files.
+pub fn collect_trace_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_file() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    if !path.is_dir() {
+        return Err(format!(
+            "--traces {}: no such file or directory",
+            path.display()
+        ));
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_file()
+                && matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("jsonl") | Some("csv")
+                )
+        })
+        .collect();
+    if files.is_empty() {
+        return Err(format!("no .jsonl or .csv traces in {}", path.display()));
+    }
+    files.sort_by_key(|p| p.file_name().map(|n| n.to_os_string()));
+    Ok(files)
+}
+
+/// Reads and analyzes the corpus at `path` (file or directory).
+///
+/// # Errors
+///
+/// Returns a message for missing paths, unreadable or malformed traces,
+/// or a corpus with no usable (sampled) trace.
+pub fn analyze_path(path: &Path) -> Result<AnalyzeReport, String> {
+    let files = collect_trace_files(path)?;
+    let mut corpus = Vec::with_capacity(files.len());
+    for file in &files {
+        let name = file
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.display().to_string());
+        let trace = read_trace(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        corpus.push((name, trace));
+    }
+    analyze_traces(&corpus)
+}
+
+/// Analyzes an already-parsed corpus of `(name, trace)` pairs.
+///
+/// # Errors
+///
+/// Returns a message when no trace in the corpus has samples.
+pub fn analyze_traces(corpus: &[(String, Trace)]) -> Result<AnalyzeReport, String> {
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for (name, trace) in corpus {
+        let (Some(drift), Some(end_step)) = (trace.drift(), trace.end_step()) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        rows.push(TraceRow {
+            name: name.clone(),
+            drift,
+            max_dev: trace.max_sum_deviation(),
+            end_step,
+            two_adjacent: trace.two_adjacent_step(),
+            consensus: trace.consensus_step(),
+            initial_span: trace.initial_span(),
+        });
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    skipped.sort();
+    if rows.is_empty() {
+        return Err("no usable traces (every file was empty of samples)".to_string());
+    }
+
+    let drift_summary = Summary::from_iter(rows.iter().map(|r| r.drift as f64));
+    let drift_z = if drift_summary.std_error() > 0.0 {
+        Some(drift_summary.mean / drift_summary.std_error())
+    } else {
+        None
+    };
+
+    let horizon = rows.iter().map(|r| r.end_step).max().unwrap_or(0);
+    // h = j·⌈√horizon⌉ recovers the acceptance test's {40, 80, 120} grid
+    // at its horizon of 1600.
+    let azuma = if horizon > 0 {
+        let unit = (horizon as f64).sqrt().ceil();
+        (1..=3)
+            .map(|j| {
+                let h = j as f64 * unit;
+                let measured = rows.iter().filter(|r| (r.drift.abs() as f64) >= h).count() as f64
+                    / rows.len() as f64;
+                AzumaRow {
+                    h,
+                    measured,
+                    bound: theory::azuma_weight_tail(h, horizon),
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let two_adjacent = summarize(rows.iter().filter_map(|r| r.two_adjacent));
+    let consensus = summarize(rows.iter().filter_map(|r| r.consensus));
+
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter_map(|r| {
+            let t = r.consensus?;
+            let k = r.initial_span?;
+            Some((k as f64, t as f64))
+        })
+        .collect();
+    let fit = if points.len() < 2 {
+        EtFit::TooFew {
+            points: points.len(),
+        }
+    } else if points.iter().all(|&(k, _)| k == points[0].0) {
+        // `linear_fit` rejects identical x values; a fixed-k corpus gets
+        // the degenerate-but-honest constant fit instead.
+        let s = Summary::from_iter(points.iter().map(|&(_, t)| t));
+        EtFit::ConstantK {
+            k: points[0].0 as i64,
+            points: points.len(),
+            mean: s.mean,
+            ci: s.confidence_interval(1.96),
+        }
+    } else {
+        let exponent = if points.iter().all(|&(k, t)| k > 0.0 && t > 0.0) {
+            Some(log_log_fit(&points))
+        } else {
+            None
+        };
+        EtFit::Linear {
+            points: points.len(),
+            fit: linear_fit(&points),
+            exponent,
+        }
+    };
+
+    Ok(AnalyzeReport {
+        rows,
+        skipped,
+        drift_mean: drift_summary.mean,
+        drift_std_error: drift_summary.std_error(),
+        drift_z,
+        horizon,
+        azuma,
+        two_adjacent,
+        consensus,
+        fit,
+    })
+}
+
+fn summarize(values: impl Iterator<Item = u64>) -> Option<Summary> {
+    let v: Vec<f64> = values.map(|x| x as f64).collect();
+    if v.is_empty() {
+        None
+    } else {
+        Some(Summary::from_iter(v))
+    }
+}
+
+/// Fixed-precision float rendering: deterministic and diff-friendly.
+fn num(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+fn verdict(pass: bool) -> &'static str {
+    if pass {
+        "pass"
+    } else {
+        "FAIL"
+    }
+}
+
+/// Minimal JSON string escaping for file names.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl AnalyzeReport {
+    /// The short stdout summary.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "analyze: {} traces ({} skipped), horizon {} steps\n",
+            self.rows.len(),
+            self.skipped.len(),
+            self.horizon
+        ));
+        out.push_str(&format!(
+            "drift (Lemma 3): mean {} se {} z {} -> {}\n",
+            num(self.drift_mean),
+            num(self.drift_std_error),
+            self.drift_z.map_or("n/a".to_string(), num),
+            verdict(self.drift_pass())
+        ));
+        for row in &self.azuma {
+            out.push_str(&format!(
+                "azuma (eq. 5) h={}: measured {} bound {} -> {}\n",
+                row.h,
+                num(row.measured),
+                num(row.bound),
+                verdict(row.pass())
+            ));
+        }
+        if let Some(s) = &self.two_adjacent {
+            out.push_str(&format!(
+                "two-adjacent: {} traces, mean step {}\n",
+                s.count,
+                num(s.mean)
+            ));
+        }
+        if let Some(s) = &self.consensus {
+            out.push_str(&format!(
+                "consensus: {} traces, mean step {}\n",
+                s.count,
+                num(s.mean)
+            ));
+        }
+        match &self.fit {
+            EtFit::TooFew { points } => {
+                out.push_str(&format!("E[T] fit: skipped ({points} usable points)\n"));
+            }
+            EtFit::ConstantK {
+                k,
+                points,
+                mean,
+                ci,
+            } => {
+                out.push_str(&format!(
+                    "E[T] fit (eq. 4, fixed k={k}): mean {} (95% CI [{}, {}], {points} points)\n",
+                    num(*mean),
+                    num(ci.0),
+                    num(ci.1)
+                ));
+            }
+            EtFit::Linear {
+                points,
+                fit,
+                exponent,
+            } => {
+                out.push_str(&format!(
+                    "E[T] fit (eq. 4): T ~= {}*k + {} (R2 {}, {points} points)\n",
+                    num(fit.slope),
+                    num(fit.intercept),
+                    num(fit.r_squared)
+                ));
+                if let Some(e) = exponent {
+                    out.push_str(&format!(
+                        "E[T] growth exponent in k: {} (R2 {})\n",
+                        num(e.slope),
+                        num(e.r_squared)
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!("verdict: {}\n", verdict(self.all_pass())));
+        out
+    }
+
+    /// The full markdown report.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Trace convergence diagnostics\n\n");
+        out.push_str(&format!(
+            "Corpus: **{} traces** analyzed, {} skipped (no samples); horizon {} steps.\n\n",
+            self.rows.len(),
+            self.skipped.len(),
+            self.horizon
+        ));
+        if !self.skipped.is_empty() {
+            out.push_str("Skipped files:\n\n");
+            for name in &self.skipped {
+                out.push_str(&format!("- `{name}`\n"));
+            }
+            out.push('\n');
+        }
+
+        out.push_str("## Lemma 3: zero drift\n\n");
+        out.push_str(&format!(
+            "Per-trace drift `S(end) - S(0)`: mean {} (standard error {}).\n",
+            num(self.drift_mean),
+            num(self.drift_std_error)
+        ));
+        out.push_str(&match self.drift_z {
+            Some(z) => format!(
+                "Aggregate z-score {} against the |z| <= {DRIFT_Z_LIMIT} gate: **{}**.\n\n",
+                num(z),
+                verdict(self.drift_pass())
+            ),
+            None => format!(
+                "Zero spread in the corpus; exact-zero criterion: **{}**.\n\n",
+                verdict(self.drift_pass())
+            ),
+        });
+
+        out.push_str("## Eq. (5): Azuma envelope\n\n");
+        if self.azuma.is_empty() {
+            out.push_str("Not applicable (zero-step corpus).\n\n");
+        } else {
+            out.push_str("| h | measured tail | Azuma bound | verdict |\n");
+            out.push_str("|---|---------------|-------------|---------|\n");
+            for row in &self.azuma {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    row.h,
+                    num(row.measured),
+                    num(row.bound),
+                    verdict(row.pass())
+                ));
+            }
+            out.push('\n');
+        }
+
+        out.push_str("## Phase steps\n\n");
+        for (label, summary) in [
+            ("two-adjacent", &self.two_adjacent),
+            ("consensus", &self.consensus),
+        ] {
+            match summary {
+                Some(s) => out.push_str(&format!(
+                    "- **{label}**: {} traces, mean step {} (sd {})\n",
+                    s.count,
+                    num(s.mean),
+                    num(s.std_dev())
+                )),
+                None => out.push_str(&format!("- **{label}**: never crossed\n")),
+            }
+        }
+        out.push('\n');
+
+        out.push_str("## Eq. (4): E[T] against the initial spread k\n\n");
+        out.push_str(
+            "With `n` and `lambda` fixed across the corpus, eq. (4) collapses to \
+             `T ~= A*k + B`.\n\n",
+        );
+        match &self.fit {
+            EtFit::TooFew { points } => out.push_str(&format!(
+                "Skipped: only {points} converged traces with a known initial span.\n"
+            )),
+            EtFit::ConstantK {
+                k,
+                points,
+                mean,
+                ci,
+            } => out.push_str(&format!(
+                "Fixed spread k = {k} across {points} converged traces: mean T = {} \
+                 with 95% CI [{}, {}].\n",
+                num(*mean),
+                num(ci.0),
+                num(ci.1)
+            )),
+            EtFit::Linear {
+                points,
+                fit,
+                exponent,
+            } => {
+                out.push_str(&format!(
+                    "Least squares over {points} converged traces: `T ~= {}*k + {}` \
+                     (R^2 = {}).\n",
+                    num(fit.slope),
+                    num(fit.intercept),
+                    num(fit.r_squared)
+                ));
+                if let Some(e) = exponent {
+                    out.push_str(&format!(
+                        "Log-log growth exponent: {} (R^2 = {}); eq. (4) predicts ~1 in \
+                         the k-dominated regime.\n",
+                        num(e.slope),
+                        num(e.r_squared)
+                    ));
+                }
+            }
+        }
+        out.push('\n');
+
+        out.push_str("## Per-trace rows\n\n");
+        out.push_str("| trace | drift | max dev | end step | two-adjacent | consensus | k |\n");
+        out.push_str("|-------|-------|---------|----------|--------------|-----------|---|\n");
+        for r in &self.rows {
+            let opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} | {} | {} |\n",
+                r.name,
+                r.drift,
+                r.max_dev,
+                r.end_step,
+                opt(r.two_adjacent),
+                opt(r.consensus),
+                r.initial_span.map_or("-".to_string(), |k| k.to_string())
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!("**Verdict: {}**\n", verdict(self.all_pass())));
+        out
+    }
+
+    /// The full JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"traces\": {},\n", self.rows.len()));
+        out.push_str(&format!(
+            "  \"skipped\": [{}],\n",
+            self.skipped
+                .iter()
+                .map(|s| json_str(s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"horizon\": {},\n", self.horizon));
+        out.push_str(&format!(
+            "  \"drift\": {{\"mean\": {}, \"std_error\": {}, \"z\": {}, \"pass\": {}}},\n",
+            num(self.drift_mean),
+            num(self.drift_std_error),
+            self.drift_z.map_or("null".to_string(), num),
+            self.drift_pass()
+        ));
+        out.push_str("  \"azuma\": [\n");
+        for (i, row) in self.azuma.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"h\": {}, \"measured\": {}, \"bound\": {}, \"pass\": {}}}{}\n",
+                row.h,
+                num(row.measured),
+                num(row.bound),
+                row.pass(),
+                if i + 1 < self.azuma.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        for (key, summary) in [
+            ("two_adjacent", &self.two_adjacent),
+            ("consensus", &self.consensus),
+        ] {
+            match summary {
+                Some(s) => out.push_str(&format!(
+                    "  \"{key}\": {{\"count\": {}, \"mean\": {}, \"std_dev\": {}}},\n",
+                    s.count,
+                    num(s.mean),
+                    num(s.std_dev())
+                )),
+                None => out.push_str(&format!("  \"{key}\": null,\n")),
+            }
+        }
+        match &self.fit {
+            EtFit::TooFew { points } => out.push_str(&format!(
+                "  \"fit\": {{\"kind\": \"too_few\", \"points\": {points}}},\n"
+            )),
+            EtFit::ConstantK {
+                k,
+                points,
+                mean,
+                ci,
+            } => out.push_str(&format!(
+                "  \"fit\": {{\"kind\": \"constant_k\", \"k\": {k}, \"points\": {points}, \
+                 \"mean\": {}, \"ci\": [{}, {}]}},\n",
+                num(*mean),
+                num(ci.0),
+                num(ci.1)
+            )),
+            EtFit::Linear {
+                points,
+                fit,
+                exponent,
+            } => {
+                let exp = exponent.map_or("null".to_string(), |e| {
+                    format!(
+                        "{{\"slope\": {}, \"r_squared\": {}}}",
+                        num(e.slope),
+                        num(e.r_squared)
+                    )
+                });
+                out.push_str(&format!(
+                    "  \"fit\": {{\"kind\": \"linear\", \"points\": {points}, \"slope\": {}, \
+                     \"intercept\": {}, \"r_squared\": {}, \"exponent\": {exp}}},\n",
+                    num(fit.slope),
+                    num(fit.intercept),
+                    num(fit.r_squared)
+                ));
+            }
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"drift\": {}, \"max_dev\": {}, \"end_step\": {}, \
+                 \"two_adjacent\": {}, \"consensus\": {}, \"initial_span\": {}}}{}\n",
+                json_str(&r.name),
+                r.drift,
+                r.max_dev,
+                r.end_step,
+                opt(r.two_adjacent),
+                opt(r.consensus),
+                r.initial_span.map_or("null".to_string(), |k| k.to_string()),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"pass\": {}\n", self.all_pass()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_core::trace::parse_jsonl;
+
+    /// A synthetic converged trace: start at `[min, max]`, end at one
+    /// opinion with the given drift.
+    fn trace(min: i64, max: i64, tau: u64, consensus: u64, drift: i64) -> Trace {
+        let start_sum = 100i64;
+        parse_jsonl(&format!(
+            "{{\"type\":\"sample\",\"step\":0,\"sum\":{start_sum},\"z\":{start_sum}.0,\"min\":{min},\"max\":{max},\"distinct\":2}}\n\
+             {{\"type\":\"phase\",\"phase\":\"two-adjacent\",\"step\":{tau}}}\n\
+             {{\"type\":\"phase\",\"phase\":\"consensus\",\"step\":{consensus}}}\n\
+             {{\"type\":\"sample\",\"step\":{consensus},\"sum\":{},\"z\":0.0,\"min\":{min},\"max\":{min},\"distinct\":1,\"final\":true}}\n",
+            start_sum + drift
+        ))
+        .expect("synthetic trace parses")
+    }
+
+    fn corpus(drifts: &[i64]) -> Vec<(String, Trace)> {
+        drifts
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (format!("trial-{i:03}.jsonl"), trace(1, 5, 400, 900, d)))
+            .collect()
+    }
+
+    #[test]
+    fn balanced_corpus_passes_both_checks() {
+        let drifts: Vec<i64> = (0..30).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let report = analyze_traces(&corpus(&drifts)).expect("analyzes");
+        assert_eq!(report.rows.len(), 30);
+        assert_eq!(report.horizon, 900);
+        assert!(report.drift_pass(), "mean drift 0");
+        assert!(report.all_pass());
+        assert_eq!(report.azuma.len(), 3);
+        // h = j·⌈√900⌉ = 30j, all drifts are ±1: empirical tail 0.
+        assert_eq!(report.azuma[0].h, 30.0);
+        assert_eq!(report.azuma[0].measured, 0.0);
+    }
+
+    #[test]
+    fn biased_corpus_fails_the_drift_check() {
+        let drifts: Vec<i64> = (0..30).map(|i| 50 + (i % 3)).collect();
+        let report = analyze_traces(&corpus(&drifts)).expect("analyzes");
+        assert!(!report.drift_pass(), "z = {:?}", report.drift_z);
+        assert!(!report.all_pass());
+    }
+
+    #[test]
+    fn heavy_tails_fail_the_azuma_check() {
+        // Half the corpus at ±1, half at an enormous symmetric deviation:
+        // drift stays zero-mean but the tail at h=30 is 0.5 ≫ bound+0.02.
+        let drifts: Vec<i64> = (0..40)
+            .map(|i| match i % 4 {
+                0 => 1,
+                1 => -1,
+                2 => 800,
+                _ => -800,
+            })
+            .collect();
+        let report = analyze_traces(&corpus(&drifts)).expect("analyzes");
+        assert!(report.drift_pass());
+        // The j=1 row's bound is trivially 1 (2e^{-1/2} > 1); the tail
+        // violation shows at j ∈ {2, 3} where the bound is 0.27 / 0.022.
+        assert!(report.azuma[0].pass());
+        assert!(!report.azuma[1].pass());
+        assert!(!report.azuma[2].pass());
+        assert!(!report.all_pass());
+    }
+
+    #[test]
+    fn fixed_k_corpus_gets_the_constant_fit() {
+        let report = analyze_traces(&corpus(&[1, -1, 1, -1])).expect("analyzes");
+        match report.fit {
+            EtFit::ConstantK { k, points, .. } => {
+                assert_eq!(k, 5, "span 1..5");
+                assert_eq!(points, 4);
+            }
+            other => panic!("expected ConstantK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varying_k_corpus_gets_the_linear_fit() {
+        // T grows linearly in k: T = 100k + 50.
+        let corpus: Vec<(String, Trace)> = (2..8)
+            .map(|k| {
+                let t = 100 * k as u64 + 50;
+                (format!("trial-{k}.jsonl"), trace(1, k, t / 2, t, 0))
+            })
+            .collect();
+        let report = analyze_traces(&corpus).expect("analyzes");
+        match &report.fit {
+            EtFit::Linear {
+                points,
+                fit,
+                exponent,
+            } => {
+                assert_eq!(*points, 6);
+                assert!((fit.slope - 100.0).abs() < 1e-9, "slope {}", fit.slope);
+                assert!((fit.intercept - 50.0).abs() < 1e-6);
+                assert!(exponent.is_some());
+            }
+            other => panic!("expected Linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_traces_are_skipped_loudly_and_all_empty_errors() {
+        let empty = ("empty.jsonl".to_string(), Trace::default());
+        let mut corpus = corpus(&[0, 0]);
+        corpus.push(empty.clone());
+        let report = analyze_traces(&corpus).expect("analyzes");
+        assert_eq!(report.skipped, vec!["empty.jsonl"]);
+        assert!(analyze_traces(&[empty]).is_err());
+    }
+
+    #[test]
+    fn renderings_are_deterministic_and_structured() {
+        let report = analyze_traces(&corpus(&[1, -1, 2, -2])).expect("analyzes");
+        let (md1, json1) = (report.render_markdown(), report.render_json());
+        let report2 = analyze_traces(&corpus(&[1, -1, 2, -2])).expect("analyzes");
+        assert_eq!(md1, report2.render_markdown());
+        assert_eq!(json1, report2.render_json());
+        assert!(md1.contains("# Trace convergence diagnostics"));
+        assert!(md1.contains("| `trial-000.jsonl` |"));
+        assert!(json1.contains("\"pass\": true"));
+        assert_eq!(json1.matches('{').count(), json1.matches('}').count());
+        let summary = report.render_summary();
+        assert!(summary.contains("drift (Lemma 3)"));
+        assert!(summary.contains("verdict: pass"));
+    }
+
+    #[test]
+    fn collect_rejects_missing_and_empty_dirs() {
+        assert!(collect_trace_files(Path::new("/nonexistent/nowhere")).is_err());
+        let dir = std::env::temp_dir().join(format!("div-analyze-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(collect_trace_files(&dir).is_err(), "no traces inside");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -14,6 +14,7 @@
 //!                 [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]
 //! divlab spectral --graph SPEC [--seed N]
 //! divlab graph6   --graph SPEC [--seed N]
+//! divlab analyze  --traces PATH [--out DIR]
 //! ```
 //!
 //! Graph and opinion spec grammars are documented in
@@ -31,16 +32,31 @@
 //! `--telemetry PATH` streams the single run's trajectory through the
 //! engines' observer hooks to a JSONL file (or CSV when the path ends in
 //! `.csv`): `W(t)` samples every `--sample-every` steps (default 64),
-//! exact phase-transition events, fault counters, wall-clock timing.
-//! `divlab stats` runs one observed trial into an in-memory recorder and
-//! prints the trajectory summary instead.  `--trace` needs the reference
-//! engine's per-step stage log; every entry point (run, campaign,
-//! compare, stats) resolves `--trace --engine fast` by warning and
-//! falling back to the reference engine.
+//! exact phase-transition events, fault counters, wall-clock timing.  In
+//! campaign mode `PATH` is a directory (created if needed) receiving one
+//! `trial-<seed>.jsonl` file per trial — the trace corpora that
+//! `divlab analyze` consumes.  `divlab stats` runs one observed trial
+//! into an in-memory recorder and prints the trajectory summary instead.
+//! `--trace` needs the reference engine's per-step stage log; every entry
+//! point (run, campaign, compare, stats) resolves `--trace --engine
+//! fast` by warning and falling back to the reference engine.
+//!
+//! `--serve ADDR` (on `run`, campaigns and `compare`) publishes live
+//! progress over HTTP while the command executes: `/metrics` in
+//! Prometheus text format, `/progress` as JSON, `/healthz`.  Bind port 0
+//! for an ephemeral port; the resolved address is announced on stderr.
+//! `--serve-linger SECS` keeps the endpoint up after the command
+//! finishes so a final scrape can be compared against the report.
+//!
+//! `divlab analyze` re-derives the paper's trajectory checks (Lemma 3
+//! zero drift, the eq. (5) Azuma envelope, phase steps, the eq. (4)
+//! `E[T]`-vs-`k` fit) from a recorded trace corpus, writing markdown and
+//! JSON reports under `--out` (default `results/`).
 //!
 //! Exit codes: `0` clean, `2` usage or IO error, `3` campaign complete
-//! but degraded (non-converged outcomes present), `4` campaign partial
-//! (`--stop-after` hit before the last trial).
+//! but degraded (non-converged outcomes present) or `analyze` checks
+//! failed, `4` campaign partial (`--stop-after` hit before the last
+//! trial) or telemetry data lost to a latched exporter I/O error.
 
 use div_baselines::{
     run_to_consensus, BestOfK, LoadBalancing, MedianVoting, PullVoting, PushVoting,
@@ -48,17 +64,22 @@ use div_baselines::{
 use div_bench::spec;
 use div_core::{
     init, theory, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
-    FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, RingRecorder, RunStatus,
-    Scheduler, StageLog, VertexScheduler,
+    FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, Phase, PhaseEvent, RingRecorder,
+    RunStatus, Scheduler, StageLog, VertexScheduler,
 };
 use div_sim::table::Table;
-use div_sim::{run_campaign, CampaignConfig, TrialOutcome};
+use div_sim::{
+    run_campaign_monitored, CampaignConfig, CampaignMonitor, FaultTotals, MetricsServer,
+    MonitorPhase, TrialOutcome,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +93,7 @@ fn main() {
         "compare" => cmd_compare(&opts),
         "spectral" => cmd_spectral(&opts).map(|()| 0),
         "graph6" => cmd_graph6(&opts).map(|()| 0),
+        "analyze" => cmd_analyze(&opts),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => Err(format!("unknown command {other:?}")),
     };
@@ -86,7 +108,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N]\n                  [--checkpoint PATH] [--resume] [--stop-after N]\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv)"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
     );
     exit(0);
 }
@@ -195,7 +217,87 @@ fn print_fault_stats(stats: &FaultStats) {
     );
 }
 
+/// A live `--serve` endpoint attached to the command currently running.
+struct Serving {
+    monitor: Arc<CampaignMonitor>,
+    server: MetricsServer,
+    linger_secs: u64,
+}
+
+impl Serving {
+    /// Flushes the command's report, optionally lingers so a final scrape
+    /// can be diffed against it, then stops the endpoint.
+    fn finish(self) {
+        use std::io::Write;
+        // Redirected stdout is block-buffered: flush so the report is
+        // visible to whoever scrapes during the linger window.
+        std::io::stdout().flush().ok();
+        std::io::stderr().flush().ok();
+        if self.linger_secs > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(self.linger_secs));
+        }
+        self.server.shutdown();
+    }
+}
+
+/// Binds the `--serve ADDR` endpoint when requested; `None` otherwise.
+fn start_serving(opts: &HashMap<String, String>) -> Result<Option<Serving>, String> {
+    let Some(addr) = opts.get("serve") else {
+        return Ok(None);
+    };
+    let linger_secs: u64 = parse_opt(opts, "serve-linger")?.unwrap_or(0);
+    let monitor = Arc::new(CampaignMonitor::new());
+    let server = MetricsServer::bind(addr, Arc::clone(&monitor))
+        .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+    eprintln!("divlab: serving metrics on {}", server.local_addr());
+    Ok(Some(Serving {
+        monitor,
+        server,
+        linger_secs,
+    }))
+}
+
+/// Observer adapter that mirrors two-adjacent phase crossings into the
+/// live monitor's phase histogram.  Consensus steps are deliberately not
+/// forwarded: `record_outcome` already feeds the consensus histogram, so
+/// forwarding here would double-count converged trials.
+struct PhaseToMonitor<'a>(Option<&'a CampaignMonitor>);
+
+impl Observer for PhaseToMonitor<'_> {
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        if let (Some(m), Phase::TwoAdjacent) = (self.0, event.phase) {
+            m.record_phase_step(MonitorPhase::TwoAdjacent, event.step);
+        }
+    }
+}
+
+/// Adds a trial's fault counters to the live monitor, if one is attached.
+fn publish_faults(monitor: Option<&CampaignMonitor>, stats: &FaultStats) {
+    if let Some(m) = monitor {
+        m.add_faults(&FaultTotals {
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            suppressed: stats.suppressed,
+            stale_reads: stats.stale_reads,
+            noisy: stats.noisy,
+            crash_events: stats.crash_events,
+        });
+    }
+}
+
 fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
+    let serving = start_serving(opts)?;
+    let result = cmd_run_inner(opts, serving.as_ref().map(|s| &*s.monitor));
+    if let Some(s) = serving {
+        s.finish();
+    }
+    result
+}
+
+fn cmd_run_inner(
+    opts: &HashMap<String, String>,
+    monitor: Option<&CampaignMonitor>,
+) -> Result<i32, String> {
     let (graph, opinions, mut rng) = setup(opts)?;
     let scheduler = opts.map_or_default("scheduler", "edge");
     let c = match scheduler.as_str() {
@@ -236,12 +338,22 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
     let telemetry = opts.get("telemetry").map(PathBuf::from);
     let stride = parse_stride(opts)?;
     if campaign_mode {
-        if telemetry.is_some() {
-            // Per-run trajectory export has no aggregate meaning across a
-            // campaign; the aggregated metrics block in the report (and
-            // manifest) is the campaign-scale telemetry.
-            eprintln!("divlab: --telemetry applies to single runs; ignoring in campaign mode");
-        }
+        let telemetry_dir = match telemetry {
+            Some(path) if path.is_file() => {
+                return Err(format!(
+                    "--telemetry {} exists as a regular file; campaign mode writes per-trial \
+                     files into a directory",
+                    path.display()
+                ));
+            }
+            Some(path) => {
+                std::fs::create_dir_all(&path).map_err(|e| {
+                    format!("cannot create telemetry directory {}: {e}", path.display())
+                })?;
+                Some(path)
+            }
+            None => None,
+        };
         return run_campaign_cmd(
             &graph,
             &opinions,
@@ -251,8 +363,15 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
             &faults_spec,
             trials,
             budget,
+            telemetry_dir.as_deref(),
+            stride,
+            monitor,
             opts,
         );
+    }
+    if let Some(m) = monitor {
+        m.set_expected(1);
+        m.trial_started();
     }
     if let Some(path) = telemetry {
         if opts.contains_key("trace") {
@@ -262,10 +381,18 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
                     .to_string(),
             );
         }
-        let (outcome, label) = run_telemetry_export(
+        let (outcome, label, telemetry_err) = run_telemetry_export(
             &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &path,
+            monitor,
         )?;
-        return finish_single_run(outcome, &label);
+        let code = finish_single_run(outcome, &label, monitor)?;
+        if let Some(err) = telemetry_err {
+            // The run itself finished, but its exported trajectory is
+            // incomplete on disk: that is data loss, not a usage error.
+            eprintln!("divlab: {err}");
+            return Ok(4);
+        }
+        return Ok(code);
     }
 
     if engine == "fast" {
@@ -284,6 +411,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
             let mut session = faults.session(&opinions).map_err(|e| e.to_string())?;
             let status = p.run_faulty_to_consensus(budget, &mut session, &mut frng);
             print_fault_stats(session.stats());
+            publish_faults(monitor, session.stats());
             status
         };
         return finish_single_run(
@@ -294,6 +422,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
                 p.max_opinion(),
             ),
             &format!("{scheduler} scheduler, fast engine"),
+            monitor,
         );
     }
 
@@ -347,10 +476,12 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
     };
     if !faults.is_trivial() {
         print_fault_stats(&stats);
+        publish_faults(monitor, &stats);
     }
     let code = finish_single_run(
         outcome_of(status, two_adjacent, low, high),
         &format!("{scheduler} scheduler"),
+        monitor,
     )?;
     if code == 0 {
         println!("elimination order: {:?}", log.elimination_order());
@@ -362,8 +493,18 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
 }
 
 /// Prints the single-run verdict and picks the exit code (0 clean,
-/// 3 degraded).
-fn finish_single_run(outcome: TrialOutcome, label: &str) -> Result<i32, String> {
+/// 3 degraded), publishing the outcome to the live monitor when one is
+/// attached.
+fn finish_single_run(
+    outcome: TrialOutcome,
+    label: &str,
+    monitor: Option<&CampaignMonitor>,
+) -> Result<i32, String> {
+    if let Some(m) = monitor {
+        // record_outcome also bumps `finished` (publication ordering lives
+        // in the monitor, not here).
+        m.record_outcome(&outcome);
+    }
     match outcome {
         TrialOutcome::Converged { winner, steps } => {
             println!("consensus on {winner} after {steps} steps ({label})");
@@ -382,7 +523,8 @@ fn finish_single_run(outcome: TrialOutcome, label: &str) -> Result<i32, String> 
 }
 
 /// The `run` subcommand's campaign mode: N resilient trials with the
-/// configured fault plan, optional crash-safe checkpointing.
+/// configured fault plan, optional crash-safe checkpointing, optional
+/// per-trial telemetry export and live monitoring.
 #[allow(clippy::too_many_arguments)]
 fn run_campaign_cmd(
     graph: &div_graph::Graph,
@@ -393,6 +535,9 @@ fn run_campaign_cmd(
     faults_spec: &str,
     trials: usize,
     budget: u64,
+    telemetry_dir: Option<&Path>,
+    stride: u64,
+    monitor: Option<&CampaignMonitor>,
     opts: &HashMap<String, String>,
 ) -> Result<i32, String> {
     let master: u64 = parse_opt(opts, "seed")?.unwrap_or(1);
@@ -408,21 +553,24 @@ fn run_campaign_cmd(
     let ispec = opts.map_or_default("init", "uniform:5");
     cfg.tag = format!("run {gspec} {ispec} {scheduler} {engine} {faults_spec} {budget}");
 
-    let report = if engine == "fast" {
-        let kind = match scheduler {
-            "edge" => FastScheduler::Edge,
-            _ => FastScheduler::Vertex,
-        };
-        run_campaign(&cfg, |ctx| fast_trial(graph, opinions, kind, faults, ctx))
-    } else if scheduler == "edge" {
-        run_campaign(&cfg, |ctx| {
-            reference_trial(graph, opinions, EdgeScheduler::new(), faults, ctx)
-        })
-    } else {
-        run_campaign(&cfg, |ctx| {
-            reference_trial(graph, opinions, VertexScheduler::new(), faults, ctx)
-        })
-    }
+    // Telemetry export failures (file creation, latched write errors) must
+    // not kill the campaign — the trial result is still sound — but they
+    // are data loss and surface as exit code 4 at the end.
+    let telemetry_errors = AtomicU64::new(0);
+    let report = run_campaign_monitored(&cfg, monitor, |ctx| {
+        campaign_trial(
+            graph,
+            opinions,
+            scheduler,
+            engine,
+            faults,
+            telemetry_dir,
+            stride,
+            monitor,
+            &telemetry_errors,
+            ctx,
+        )
+    })
     .map_err(|e| e.to_string())?;
 
     // Infra chatter goes to stderr: stdout stays a pure function of
@@ -436,13 +584,23 @@ fn run_campaign_cmd(
             );
         }
     }
+    if let Some(dir) = telemetry_dir {
+        eprintln!(
+            "divlab: per-trial telemetry (jsonl, stride {stride}) written under {}",
+            dir.display()
+        );
+    }
     print!("{}", report.render());
+    let lost = telemetry_errors.load(Ordering::SeqCst);
     if !report.is_complete() {
         eprintln!(
             "divlab: campaign partial ({}/{} trials complete)",
             report.completed(),
             report.trials
         );
+        Ok(4)
+    } else if lost > 0 {
+        eprintln!("divlab: telemetry lost for {lost} trial(s) (exporter I/O errors above)");
         Ok(4)
     } else if report.is_degraded() {
         eprintln!("divlab: campaign complete but degraded (non-converged outcomes present)");
@@ -452,18 +610,180 @@ fn run_campaign_cmd(
     }
 }
 
+/// One campaign trial: plain (fast/reference) when no telemetry directory
+/// is configured, otherwise observed with its trajectory streamed to
+/// `DIR/trial-<seed>.jsonl`.  Seeds are per-attempt, so a retried trial
+/// writes a fresh file instead of clobbering the panicked attempt's.
+#[allow(clippy::too_many_arguments)]
+fn campaign_trial(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    scheduler: &str,
+    engine: &str,
+    faults: &FaultPlan,
+    telemetry_dir: Option<&Path>,
+    stride: u64,
+    monitor: Option<&CampaignMonitor>,
+    errors: &AtomicU64,
+    ctx: &div_sim::TrialCtx,
+) -> TrialOutcome {
+    let plain = |graph: &div_graph::Graph, opinions: &[i64]| {
+        if engine == "fast" {
+            let kind = match scheduler {
+                "edge" => FastScheduler::Edge,
+                _ => FastScheduler::Vertex,
+            };
+            fast_trial(graph, opinions, kind, faults, monitor, ctx)
+        } else if scheduler == "edge" {
+            reference_trial(graph, opinions, EdgeScheduler::new(), faults, monitor, ctx)
+        } else {
+            reference_trial(
+                graph,
+                opinions,
+                VertexScheduler::new(),
+                faults,
+                monitor,
+                ctx,
+            )
+        }
+    };
+    let Some(dir) = telemetry_dir else {
+        return plain(graph, opinions);
+    };
+    // Zero-padded decimal seeds sort lexicographically == numerically, so
+    // directory listings and analyze reports come out in a stable order.
+    let path = dir.join(format!("trial-{:020}.jsonl", ctx.seed));
+    let file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            errors.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "divlab: cannot create telemetry file {}: {e}; running trial unobserved",
+                path.display()
+            );
+            return plain(graph, opinions);
+        }
+    };
+    let mut obs = (
+        JsonlExporter::new(BufWriter::new(file)),
+        PhaseToMonitor(monitor),
+    );
+    let outcome = observed_trial(
+        graph, opinions, scheduler, engine, faults, ctx, stride, monitor, &mut obs,
+    );
+    if let Err(e) = obs.0.finish() {
+        errors.fetch_add(1, Ordering::SeqCst);
+        eprintln!("divlab: telemetry write to {} failed: {e}", path.display());
+    }
+    outcome
+}
+
+/// One silent observed campaign trial: like [`observed_single`] but
+/// seeded directly from the trial context and chatter-free (campaign
+/// workers must not interleave per-trial fault lines on stdout); fault
+/// counters go to the live monitor instead.
+#[allow(clippy::too_many_arguments)]
+fn observed_trial<O: Observer>(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    scheduler: &str,
+    engine: &str,
+    faults: &FaultPlan,
+    ctx: &div_sim::TrialCtx,
+    stride: u64,
+    monitor: Option<&CampaignMonitor>,
+    obs: &mut O,
+) -> TrialOutcome {
+    if engine == "fast" {
+        let kind = match scheduler {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        let mut rng = FastRng::seed_from_u64(ctx.seed);
+        let mut p = FastProcess::new(graph, opinions.to_vec(), kind).expect("validated in setup");
+        let status = if faults.is_trivial() {
+            p.run_observed(ctx.step_budget, &mut rng, stride, obs)
+        } else {
+            let mut session = faults.session(opinions).expect("validated in setup");
+            let status =
+                p.run_faulty_observed(ctx.step_budget, &mut session, &mut rng, stride, obs);
+            publish_faults(monitor, session.stats());
+            status
+        };
+        return outcome_of(
+            status,
+            p.is_two_adjacent(),
+            p.min_opinion(),
+            p.max_opinion(),
+        );
+    }
+    fn go<S: Scheduler, O: Observer>(
+        graph: &div_graph::Graph,
+        opinions: &[i64],
+        scheduler: S,
+        faults: &FaultPlan,
+        ctx: &div_sim::TrialCtx,
+        stride: u64,
+        monitor: Option<&CampaignMonitor>,
+        obs: &mut O,
+    ) -> TrialOutcome {
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        let mut p =
+            DivProcess::new(graph, opinions.to_vec(), scheduler).expect("validated in setup");
+        let mut session = faults.session(opinions).expect("validated in setup");
+        let status = p.run_faulty_observed(ctx.step_budget, &mut session, &mut rng, stride, obs);
+        if !faults.is_trivial() {
+            publish_faults(monitor, session.stats());
+        }
+        let s = p.state();
+        outcome_of(
+            status,
+            s.is_two_adjacent(),
+            s.min_opinion(),
+            s.max_opinion(),
+        )
+    }
+    if scheduler == "edge" {
+        go(
+            graph,
+            opinions,
+            EdgeScheduler::new(),
+            faults,
+            ctx,
+            stride,
+            monitor,
+            obs,
+        )
+    } else {
+        go(
+            graph,
+            opinions,
+            VertexScheduler::new(),
+            faults,
+            ctx,
+            stride,
+            monitor,
+            obs,
+        )
+    }
+}
+
 /// One reference-engine campaign trial under the given scheduler.
 fn reference_trial<S: Scheduler>(
     graph: &div_graph::Graph,
     opinions: &[i64],
     scheduler: S,
     faults: &FaultPlan,
+    monitor: Option<&CampaignMonitor>,
     ctx: &div_sim::TrialCtx,
 ) -> TrialOutcome {
     let mut rng = StdRng::seed_from_u64(ctx.seed);
     let mut p = DivProcess::new(graph, opinions.to_vec(), scheduler).expect("validated in setup");
     let mut session = faults.session(opinions).expect("validated in setup");
     let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
+    if !faults.is_trivial() {
+        publish_faults(monitor, session.stats());
+    }
     let s = p.state();
     outcome_of(
         status,
@@ -479,6 +799,7 @@ fn fast_trial(
     opinions: &[i64],
     kind: FastScheduler,
     faults: &FaultPlan,
+    monitor: Option<&CampaignMonitor>,
     ctx: &div_sim::TrialCtx,
 ) -> TrialOutcome {
     let mut rng = FastRng::seed_from_u64(ctx.seed);
@@ -487,7 +808,9 @@ fn fast_trial(
         p.run_to_consensus(ctx.step_budget, &mut rng)
     } else {
         let mut session = faults.session(opinions).expect("validated in setup");
-        p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng)
+        let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
+        publish_faults(monitor, session.stats());
+        status
     };
     outcome_of(
         status,
@@ -595,6 +918,12 @@ fn observed_single<O: Observer>(
 
 /// The `--telemetry PATH` mode of `divlab run`: streams the observed
 /// single run to a JSONL file, or CSV when the path ends in `.csv`.
+///
+/// A file that cannot be created is a usage/IO error (`Err`, exit 2).  A
+/// *latched* exporter write error is different: the run itself completed,
+/// so the outcome and label come back normally with the error text in the
+/// third slot, and the caller maps it to exit code 4 (data loss) after
+/// printing the verdict.
 #[allow(clippy::too_many_arguments)]
 fn run_telemetry_export(
     graph: &div_graph::Graph,
@@ -606,31 +935,35 @@ fn run_telemetry_export(
     rng: &mut StdRng,
     stride: u64,
     path: &Path,
-) -> Result<(TrialOutcome, String), String> {
+    monitor: Option<&CampaignMonitor>,
+) -> Result<(TrialOutcome, String, Option<String>), String> {
     let file = std::fs::File::create(path)
         .map_err(|e| format!("cannot create telemetry file {}: {e}", path.display()))?;
     let out = BufWriter::new(file);
     let csv = path.extension().and_then(|e| e.to_str()) == Some("csv");
-    let result = if csv {
-        let mut ex = CsvExporter::new(out);
+    let ((outcome, label), write_err) = if csv {
+        let mut obs = (CsvExporter::new(out), PhaseToMonitor(monitor));
         let r = observed_single(
-            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut ex,
+            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut obs,
         )?;
-        ex.finish().map(|_| r)
+        (r, obs.0.finish().err())
     } else {
-        let mut ex = JsonlExporter::new(out);
+        let mut obs = (JsonlExporter::new(out), PhaseToMonitor(monitor));
         let r = observed_single(
-            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut ex,
+            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut obs,
         )?;
-        ex.finish().map(|_| r)
+        (r, obs.0.finish().err())
     };
-    let r = result.map_err(|e| format!("telemetry write to {} failed: {e}", path.display()))?;
-    eprintln!(
-        "divlab: telemetry ({}, stride {stride}) written to {}",
-        if csv { "csv" } else { "jsonl" },
-        path.display()
-    );
-    Ok(r)
+    let telemetry_err =
+        write_err.map(|e| format!("telemetry write to {} failed: {e}", path.display()));
+    if telemetry_err.is_none() {
+        eprintln!(
+            "divlab: telemetry ({}, stride {stride}) written to {}",
+            if csv { "csv" } else { "jsonl" },
+            path.display()
+        );
+    }
+    Ok((outcome, label, telemetry_err))
 }
 
 /// The `stats` subcommand: one observed run into an in-memory recorder,
@@ -660,7 +993,7 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<i32, String> {
     let (outcome, label) = observed_single(
         &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &mut rec,
     )?;
-    let code = finish_single_run(outcome, &label)?;
+    let code = finish_single_run(outcome, &label, None)?;
 
     let first = rec.samples().first().expect("observed runs always start");
     let last = rec.final_sample().expect("observed runs always finish");
@@ -698,6 +1031,21 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<i32, String> {
 }
 
 fn cmd_compare(opts: &HashMap<String, String>) -> Result<i32, String> {
+    let serving = start_serving(opts)?;
+    let result = cmd_compare_inner(opts, serving.as_ref().map(|s| &*s.monitor));
+    if let Some(s) = serving {
+        s.finish();
+    }
+    result
+}
+
+/// `compare` proper.  The live monitor (when attached) tracks the div
+/// campaign row; baseline rows run unmonitored so the scrape's expected /
+/// outcome counts describe exactly one campaign.
+fn cmd_compare_inner(
+    opts: &HashMap<String, String>,
+    monitor: Option<&CampaignMonitor>,
+) -> Result<i32, String> {
     let (graph, opinions, _) = setup(opts)?;
     let trials: usize = parse_opt(opts, "trials")?.unwrap_or(50);
     let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -734,12 +1082,26 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<i32, String> {
     let ispec = opts.map_or_default("init", "uniform:5");
     cfg.tag = format!("compare div {gspec} {ispec} {engine} {faults_spec} {budget}");
     let report = if engine == "fast" {
-        run_campaign(&cfg, |ctx| {
-            fast_trial(&graph, &opinions, FastScheduler::Edge, &faults, ctx)
+        run_campaign_monitored(&cfg, monitor, |ctx| {
+            fast_trial(
+                &graph,
+                &opinions,
+                FastScheduler::Edge,
+                &faults,
+                monitor,
+                ctx,
+            )
         })
     } else {
-        run_campaign(&cfg, |ctx| {
-            reference_trial(&graph, &opinions, EdgeScheduler::new(), &faults, ctx)
+        run_campaign_monitored(&cfg, monitor, |ctx| {
+            reference_trial(
+                &graph,
+                &opinions,
+                EdgeScheduler::new(),
+                &faults,
+                monitor,
+                ctx,
+            )
         })
     }
     .map_err(|e| e.to_string())?;
@@ -806,6 +1168,38 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<i32, String> {
         Ok(3)
     } else {
         Ok(0)
+    }
+}
+
+/// The `analyze` subcommand: offline convergence diagnostics over a
+/// recorded trace corpus (one file or a directory of `.jsonl`/`.csv`
+/// traces), writing `analyze.md` and `analyze.json` under `--out`.
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<i32, String> {
+    let traces = opts
+        .get("traces")
+        .map(PathBuf::from)
+        .ok_or("missing --traces PATH (a trace file or a directory of traces)")?;
+    let out_dir = PathBuf::from(opts.map_or_default("out", "results"));
+    let report = div_bench::analyze::analyze_path(&traces)?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create output directory {}: {e}", out_dir.display()))?;
+    let md_path = out_dir.join("analyze.md");
+    let json_path = out_dir.join("analyze.json");
+    std::fs::write(&md_path, report.render_markdown())
+        .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, report.render_json())
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    print!("{}", report.render_summary());
+    eprintln!(
+        "divlab: analysis reports at {} and {}",
+        md_path.display(),
+        json_path.display()
+    );
+    if report.all_pass() {
+        Ok(0)
+    } else {
+        eprintln!("divlab: analyze checks failed (details in the report)");
+        Ok(3)
     }
 }
 

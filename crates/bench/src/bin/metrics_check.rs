@@ -1,0 +1,386 @@
+//! `metrics_check` — a tiny scrape validator for `divlab --serve`.
+//!
+//! ```text
+//! metrics_check grammar  URL    validate Prometheus text exposition 0.0.4
+//! metrics_check outcomes URL    print the scrape's outcome taxonomy as the
+//!                               report's `outcomes ...` line (for diffing)
+//! metrics_check progress URL    sanity-check the /progress JSON snapshot
+//! ```
+//!
+//! `URL` is `http://HOST:PORT/PATH`.  The checker is dependency-free (raw
+//! `TcpStream` + a hand-rolled exposition parser) so CI can validate the
+//! endpoint without a Prometheus install.
+//!
+//! Exit codes: `0` valid, `1` validation failure, `2` usage or
+//! connection error.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, url) = match args.as_slice() {
+        [mode, url] => (mode.as_str(), url.as_str()),
+        _ => {
+            eprintln!("usage: metrics_check grammar|outcomes|progress URL");
+            exit(2);
+        }
+    };
+    let body = match fetch(url) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("metrics_check: {e}");
+            exit(2);
+        }
+    };
+    let result = match mode {
+        "grammar" => check_grammar(&body),
+        "outcomes" => print_outcomes(&body),
+        "progress" => check_progress(&body),
+        other => {
+            eprintln!("metrics_check: unknown mode {other:?}");
+            exit(2);
+        }
+    };
+    match result {
+        Ok(()) => exit(0),
+        Err(msg) => {
+            eprintln!("metrics_check: {msg}");
+            exit(1);
+        }
+    }
+}
+
+/// Fetches `http://host:port/path` over a raw socket (HTTP/1.1, one
+/// request, `Connection: close`).
+fn fetch(url: &str) -> Result<String, String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("URL must start with http:// (got {url:?})"))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let mut stream =
+        TcpStream::connect(authority).map_err(|e| format!("connect {authority}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response (no header separator)")?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("non-200 response: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_sample_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Splits `name{labels}` into the metric name and its label pairs.
+fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(open) = series.find('{') else {
+        if !is_metric_name(series) {
+            return Err(format!("bad metric name {series:?}"));
+        }
+        return Ok((series.to_string(), Vec::new()));
+    };
+    let name = &series[..open];
+    if !is_metric_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let body = series[open + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unterminated label set in {series:?}"))?;
+    let mut labels = Vec::new();
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("label pair {pair:?} has no '='"))?;
+        if !is_label_name(k) {
+            return Err(format!("bad label name {k:?}"));
+        }
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("label value {v:?} is not quoted"))?;
+        if v.contains('"') || v.contains('\\') || v.contains('\n') {
+            return Err(format!("label value {v:?} needs escaping"));
+        }
+        labels.push((k.to_string(), v.to_string()));
+    }
+    Ok((name.to_string(), labels))
+}
+
+/// Validates the Prometheus text exposition format 0.0.4: HELP/TYPE
+/// comment structure, metric/label name charsets, numeric sample values,
+/// and (for histograms) cumulative `le` buckets with a final `+Inf`.
+fn check_grammar(body: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples = 0usize;
+    // per-histogram: (last cumulative count, saw +Inf, last le)
+    let mut histograms: HashMap<String, (f64, bool, f64)> = HashMap::new();
+    for (ln, line) in body.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", ln + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !is_metric_name(name) {
+                        return Err(at(format!("HELP for bad metric name {name:?}")));
+                    }
+                    if tail.is_empty() {
+                        return Err(at(format!("HELP {name} has no help text")));
+                    }
+                }
+                "TYPE" => {
+                    if !is_metric_name(name) {
+                        return Err(at(format!("TYPE for bad metric name {name:?}")));
+                    }
+                    if !matches!(
+                        tail,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(at(format!("TYPE {name} has unknown type {tail:?}")));
+                    }
+                    if types.insert(name.to_string(), tail.to_string()).is_some() {
+                        return Err(at(format!("duplicate TYPE for {name}")));
+                    }
+                }
+                _ => return Err(at(format!("unknown comment keyword {keyword:?}"))),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(at("comment without '# ' prefix".to_string()));
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("sample line has no value".to_string()))?;
+        if !is_sample_value(value) {
+            return Err(at(format!("bad sample value {value:?}")));
+        }
+        let (name, labels) = parse_series(series).map_err(at)?;
+        // A histogram's _bucket/_sum/_count series belong to the base name.
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| types.get(*b).is_some_and(|t| t == "histogram"));
+        let typed_name = base.unwrap_or(&name);
+        if !types.contains_key(typed_name) {
+            return Err(at(format!("sample for {name} without a TYPE line")));
+        }
+        if name.ends_with("_bucket") && base.is_some() {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| at(format!("{name} bucket without an le label")))?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| at(format!("bad le bound {le:?}")))?
+            };
+            let count: f64 = value.parse().unwrap_or(f64::NAN);
+            let key: String = format!(
+                "{typed_name}{{{}}}",
+                labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let entry = histograms
+                .entry(key.clone())
+                .or_insert((0.0, false, f64::NEG_INFINITY));
+            if bound <= entry.2 {
+                return Err(at(format!("{key}: le buckets not strictly increasing")));
+            }
+            if count < entry.0 {
+                return Err(at(format!("{key}: bucket counts not cumulative")));
+            }
+            entry.0 = count;
+            entry.2 = bound;
+            if bound.is_infinite() {
+                entry.1 = true;
+            }
+        }
+        samples += 1;
+    }
+    for (key, (_, saw_inf, _)) in &histograms {
+        if !saw_inf {
+            return Err(format!("{key}: histogram without a +Inf bucket"));
+        }
+    }
+    if samples == 0 {
+        return Err("no samples in scrape".to_string());
+    }
+    println!(
+        "grammar ok: {} metrics, {samples} samples, {} histogram series",
+        types.len(),
+        histograms.len()
+    );
+    Ok(())
+}
+
+/// Prints the scrape's outcome counts formatted exactly like the campaign
+/// report's `outcomes ...` line, so CI can `diff` the two.
+fn print_outcomes(body: &str) -> Result<(), String> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("div_trials_total{outcome=\"") {
+            let (outcome, value) = rest
+                .split_once("\"} ")
+                .ok_or_else(|| format!("malformed outcome sample {line:?}"))?;
+            let v: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("non-integer outcome count {value:?}"))?;
+            counts.insert(outcome.to_string(), v);
+        }
+    }
+    if counts.is_empty() {
+        return Err("no div_trials_total samples in scrape".to_string());
+    }
+    let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+    // Must match CampaignReport::render's taxonomy line verbatim.
+    println!(
+        "outcomes converged={} two-adjacent={} timeout={} panicked={}",
+        get("converged"),
+        get("two_adjacent"),
+        get("timeout"),
+        get("panicked")
+    );
+    Ok(())
+}
+
+/// Sanity-checks the `/progress` JSON snapshot: it parses far enough to
+/// extract the counters, and `finished <= started <= expected-or-more`.
+fn check_progress(body: &str) -> Result<(), String> {
+    let field = |key: &str| -> Result<u64, String> {
+        let pat = format!("\"{key}\":");
+        let at = body
+            .find(&pat)
+            .ok_or_else(|| format!("missing field {key:?} in {body:?}"))?
+            + pat.len();
+        body[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .map_err(|_| format!("non-integer field {key:?}"))
+    };
+    let expected = field("expected")?;
+    let started = field("started")?;
+    let finished = field("finished")?;
+    if finished > started {
+        return Err(format!(
+            "inconsistent snapshot: finished {finished} > started {started}"
+        ));
+    }
+    println!("progress ok: expected={expected} started={started} finished={finished}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_accepts_a_real_scrape_shape() {
+        let body = "# HELP div_trials_total Finished trials by outcome class.\n\
+                    # TYPE div_trials_total counter\n\
+                    div_trials_total{outcome=\"converged\"} 25\n\
+                    # HELP div_phase_steps Steps at phase entry.\n\
+                    # TYPE div_phase_steps histogram\n\
+                    div_phase_steps_bucket{phase=\"consensus\",le=\"1\"} 0\n\
+                    div_phase_steps_bucket{phase=\"consensus\",le=\"2\"} 3\n\
+                    div_phase_steps_bucket{phase=\"consensus\",le=\"+Inf\"} 25\n\
+                    div_phase_steps_sum{phase=\"consensus\"} 512\n\
+                    div_phase_steps_count{phase=\"consensus\"} 25\n";
+        assert!(check_grammar(body).is_ok(), "{:?}", check_grammar(body));
+    }
+
+    #[test]
+    fn grammar_rejects_broken_expositions() {
+        assert!(check_grammar("div_x 1\n").is_err(), "sample without TYPE");
+        assert!(
+            check_grammar("# TYPE div_x wat\ndiv_x 1\n").is_err(),
+            "unknown type"
+        );
+        assert!(
+            check_grammar("# TYPE div_x counter\ndiv_x abc\n").is_err(),
+            "non-numeric value"
+        );
+        let noninf = "# TYPE div_h histogram\ndiv_h_bucket{le=\"1\"} 1\n";
+        assert!(check_grammar(noninf).is_err(), "histogram without +Inf");
+        let noncumulative = "# TYPE div_h histogram\n\
+                             div_h_bucket{le=\"1\"} 5\n\
+                             div_h_bucket{le=\"2\"} 3\n\
+                             div_h_bucket{le=\"+Inf\"} 9\n";
+        assert!(
+            check_grammar(noncumulative).is_err(),
+            "non-cumulative buckets"
+        );
+    }
+
+    #[test]
+    fn outcomes_line_matches_the_report_format() {
+        let body = "div_trials_total{outcome=\"converged\"} 7\n\
+                    div_trials_total{outcome=\"two_adjacent\"} 2\n\
+                    div_trials_total{outcome=\"timeout\"} 1\n\
+                    div_trials_total{outcome=\"panicked\"} 0\n";
+        // print_outcomes writes to stdout; here we only assert it parses.
+        assert!(print_outcomes(body).is_ok());
+        assert!(print_outcomes("").is_err());
+    }
+
+    #[test]
+    fn progress_checks_snapshot_consistency() {
+        assert!(check_progress("{\"expected\":10,\"started\":4,\"finished\":2}").is_ok());
+        assert!(check_progress("{\"expected\":10,\"started\":2,\"finished\":4}").is_err());
+        assert!(check_progress("{}").is_err());
+    }
+}

@@ -13,20 +13,29 @@
 //! of the fast engine over the reference path for both processes on both
 //! graphs.
 //!
-//! A second acceptance bar guards the telemetry layer: stepping the fast
-//! engine through the observed entry point with the disabled
-//! [`NullObserver`] must cost within 5% of the plain entry point on
-//! `regular8_1k` (i.e. the no-op path is provably free).  The comparison
-//! is relative and in-process, so it is machine-independent;
-//! `--check-overhead` runs only this check and exits nonzero on failure.
+//! A second acceptance bar guards the observability layer, with three
+//! arms — all on `regular8_1k`, the sparse case where per-step work is
+//! smallest and any fixed overhead shows up largest:
+//!
+//! - stepping the fast engine through the observed entry point with the
+//!   disabled [`NullObserver`] must cost within 5% of the plain entry
+//!   point, for **both** the edge and the vertex process (the no-op path
+//!   is provably free);
+//! - publishing per-trial counts to a live [`CampaignMonitor`] (as
+//!   `divlab --serve` does) must also cost within 5% of unmonitored runs.
+//!
+//! The comparisons are relative and in-process, so they are
+//! machine-independent; `--check-overhead` runs only these checks and
+//! exits nonzero if any arm fails.
 
 use std::time::Instant;
 
 use div_core::{
-    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, NullObserver, Scheduler,
-    VertexScheduler,
+    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, NullObserver, RunStatus,
+    Scheduler, VertexScheduler,
 };
 use div_graph::{generators, Graph};
+use div_sim::{CampaignMonitor, TrialOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -103,9 +112,11 @@ fn time_fast_observed(g: &Graph, scheduler: FastScheduler, steps: u64) -> (f64, 
     (elapsed.as_nanos() as f64 / taken as f64, taken)
 }
 
-/// A single telemetry-overhead measurement: plain vs NullObserver-observed
-/// fast-engine ns/step on one graph/process pair.
+/// A single overhead measurement: plain vs instrumented fast-engine
+/// ns/step on one graph/process pair, under the named arm
+/// (`"null_observer"` or `"monitor"`).
 struct Overhead {
+    arm: &'static str,
     graph: &'static str,
     process: &'static str,
     plain_ns: f64,
@@ -118,17 +129,58 @@ impl Overhead {
     }
 }
 
+/// Times one fast-engine consensus run with the per-trial live-monitor
+/// publication (`trial_started` + `record_outcome`, exactly what a
+/// monitored campaign slot adds) inside the timed window.  Mirrors
+/// [`time_fast`] so the two are directly comparable.
+fn time_fast_monitored(
+    g: &Graph,
+    scheduler: FastScheduler,
+    steps: u64,
+    monitor: &CampaignMonitor,
+) -> (f64, u64) {
+    let mut p = FastProcess::new(g, opinions_for(g), scheduler).unwrap();
+    let mut rng = FastRng::seed_from_u64(3);
+    p.run_to_consensus(10_000, &mut rng);
+    let before = p.steps();
+    let start = Instant::now();
+    monitor.trial_started();
+    let status = p.run_to_consensus(steps, &mut rng);
+    let taken = (p.steps() - before).max(1);
+    monitor.record_outcome(&match status {
+        RunStatus::Consensus { opinion, .. } => TrialOutcome::Converged {
+            winner: opinion,
+            steps: taken,
+        },
+        RunStatus::TwoAdjacent { low, high, .. } => TrialOutcome::TwoAdjacent {
+            low,
+            high,
+            steps: taken,
+        },
+        RunStatus::StepLimit { .. } => TrialOutcome::Timeout { steps: taken },
+    });
+    let elapsed = start.elapsed();
+    (elapsed.as_nanos() as f64 / taken as f64, taken)
+}
+
+/// The instrumented arm an aggregated measurement runs.
+enum Arm<'a> {
+    Plain,
+    NullObserver,
+    Monitor(&'a CampaignMonitor),
+}
+
 /// Aggregates fresh seeded runs (each early-exiting at consensus) until at
 /// least `min_steps` total steps have been timed, returning the pooled
 /// ns/step.  A single run on `regular8_1k` reaches consensus well before
 /// the step budget, so one measurement alone is too short to time reliably.
-fn aggregate_fast(g: &Graph, min_steps: u64, observed: bool) -> f64 {
+fn aggregate_fast(g: &Graph, scheduler: FastScheduler, min_steps: u64, arm: &Arm) -> f64 {
     let (mut ns, mut total) = (0.0, 0u64);
     while total < min_steps {
-        let (per, taken) = if observed {
-            time_fast_observed(g, FastScheduler::Edge, min_steps)
-        } else {
-            time_fast(g, FastScheduler::Edge, min_steps)
+        let (per, taken) = match arm {
+            Arm::Plain => time_fast(g, scheduler, min_steps),
+            Arm::NullObserver => time_fast_observed(g, scheduler, min_steps),
+            Arm::Monitor(m) => time_fast_monitored(g, scheduler, min_steps, m),
         };
         ns += per * taken as f64;
         total += taken;
@@ -136,29 +188,63 @@ fn aggregate_fast(g: &Graph, min_steps: u64, observed: bool) -> f64 {
     ns / total as f64
 }
 
-/// Measures the disabled-observer overhead on `regular8_1k` (the graph the
-/// acceptance bar names — the sparse case, where per-step work is smallest
-/// and any fixed overhead shows up largest).  The arms are interleaved
-/// across rounds so slow machine drift (thermal, noisy neighbours on a
-/// shared runner) affects both equally, and each arm keeps its best round;
-/// both arms replay the identical seeded trajectories.
-fn measure_overhead(steps: u64) -> Overhead {
+/// The benchmark's copy of `regular8_1k`.  Same construction as
+/// [`graphs`]: complete_1k is drawn first so the regular graph here is
+/// bit-identical to the benchmark-matrix one.
+fn regular8_1k() -> Graph {
     let mut rng = StdRng::seed_from_u64(1);
-    // Same construction as `graphs()`: complete_1k is drawn first so the
-    // regular graph here is bit-identical to the benchmark-matrix one.
     let _ = generators::complete(1000).unwrap();
-    let g = generators::random_regular(1000, 8, &mut rng).unwrap();
+    generators::random_regular(1000, 8, &mut rng).unwrap()
+}
+
+/// Interleaves a plain arm against an instrumented arm across rounds (so
+/// slow machine drift — thermal, noisy neighbours on a shared runner —
+/// affects both equally), keeping each arm's best round; both arms replay
+/// the identical seeded trajectories.
+fn interleave_best_of(
+    g: &Graph,
+    scheduler: FastScheduler,
+    steps: u64,
+    instrumented: &Arm,
+) -> (f64, f64) {
     let (mut plain, mut observed) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..5 {
-        plain = plain.min(aggregate_fast(&g, steps, false));
-        observed = observed.min(aggregate_fast(&g, steps, true));
+        plain = plain.min(aggregate_fast(g, scheduler, steps, &Arm::Plain));
+        observed = observed.min(aggregate_fast(g, scheduler, steps, instrumented));
     }
-    Overhead {
+    (plain, observed)
+}
+
+/// Measures the disabled-observer overhead on `regular8_1k` for both the
+/// edge and the vertex process, plus the live-monitor publication
+/// overhead for the edge process.
+fn measure_overheads(steps: u64) -> Vec<Overhead> {
+    let g = regular8_1k();
+    let mut out = Vec::new();
+    for (process, scheduler) in [
+        ("div_vertex", FastScheduler::Vertex),
+        ("div_edge", FastScheduler::Edge),
+    ] {
+        let (plain_ns, observed_ns) = interleave_best_of(&g, scheduler, steps, &Arm::NullObserver);
+        out.push(Overhead {
+            arm: "null_observer",
+            graph: "regular8_1k",
+            process,
+            plain_ns,
+            observed_ns,
+        });
+    }
+    let monitor = CampaignMonitor::new();
+    let (plain_ns, observed_ns) =
+        interleave_best_of(&g, FastScheduler::Edge, steps, &Arm::Monitor(&monitor));
+    out.push(Overhead {
+        arm: "monitor",
         graph: "regular8_1k",
         process: "div_edge",
-        plain_ns: plain,
-        observed_ns: observed,
-    }
+        plain_ns,
+        observed_ns,
+    });
+    out
 }
 
 struct Row {
@@ -189,21 +275,30 @@ fn main() {
     }
 
     if check_overhead {
-        let o = measure_overhead(steps);
-        println!(
-            "telemetry overhead ({}/{}): plain {:.2} ns/step   NullObserver {:.2} ns/step   ratio {:.3} (limit {OVERHEAD_LIMIT})",
-            o.graph,
-            o.process,
-            o.plain_ns,
-            o.observed_ns,
-            o.ratio()
-        );
-        if o.ratio() > OVERHEAD_LIMIT {
-            eprintln!(
-                "FAIL: disabled-observer path costs {:.1}% over the plain path (limit {:.0}%)",
-                (o.ratio() - 1.0) * 100.0,
-                (OVERHEAD_LIMIT - 1.0) * 100.0
+        let mut failed = false;
+        for o in measure_overheads(steps) {
+            println!(
+                "{} overhead ({}/{}): plain {:.2} ns/step   instrumented {:.2} ns/step   ratio {:.3} (limit {OVERHEAD_LIMIT})",
+                o.arm,
+                o.graph,
+                o.process,
+                o.plain_ns,
+                o.observed_ns,
+                o.ratio()
             );
+            if o.ratio() > OVERHEAD_LIMIT {
+                eprintln!(
+                    "FAIL: {} arm ({}/{}) costs {:.1}% over the plain path (limit {:.0}%)",
+                    o.arm,
+                    o.graph,
+                    o.process,
+                    (o.ratio() - 1.0) * 100.0,
+                    (OVERHEAD_LIMIT - 1.0) * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
         return;
@@ -229,7 +324,7 @@ fn main() {
         });
     }
 
-    let overhead = measure_overhead(steps);
+    let overheads = measure_overheads(steps);
 
     // Hand-rolled JSON: the workspace deliberately has no serializer
     // dependency.
@@ -250,13 +345,34 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    let telemetry: Vec<&Overhead> = overheads
+        .iter()
+        .filter(|o| o.arm == "null_observer")
+        .collect();
+    json.push_str("  \"telemetry_overhead\": [\n");
+    for (i, o) in telemetry.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"process\": \"{}\", \"fast_plain\": {:.2}, \"fast_null_observer\": {:.2}, \"ratio\": {:.3}, \"limit\": {OVERHEAD_LIMIT}}}{}\n",
+            o.graph,
+            o.process,
+            o.plain_ns,
+            o.observed_ns,
+            o.ratio(),
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let monitor = overheads
+        .iter()
+        .find(|o| o.arm == "monitor")
+        .expect("monitor arm always measured");
     json.push_str(&format!(
-        "  \"telemetry_overhead\": {{\"graph\": \"{}\", \"process\": \"{}\", \"fast_plain\": {:.2}, \"fast_null_observer\": {:.2}, \"ratio\": {:.3}, \"limit\": {OVERHEAD_LIMIT}}}\n",
-        overhead.graph,
-        overhead.process,
-        overhead.plain_ns,
-        overhead.observed_ns,
-        overhead.ratio()
+        "  \"monitor_overhead\": {{\"graph\": \"{}\", \"process\": \"{}\", \"fast_plain\": {:.2}, \"fast_monitored\": {:.2}, \"ratio\": {:.3}, \"limit\": {OVERHEAD_LIMIT}}}\n",
+        monitor.graph,
+        monitor.process,
+        monitor.plain_ns,
+        monitor.observed_ns,
+        monitor.ratio()
     ));
     json.push_str("}\n");
 
@@ -281,10 +397,13 @@ fn main() {
         .map(|r| r.reference_ns / r.fast_ns)
         .fold(f64::INFINITY, f64::min);
     println!("worst-case speedup: {worst:.2}x (target >= 3x)");
-    println!(
-        "telemetry overhead ({}/{}): ratio {:.3} (limit {OVERHEAD_LIMIT})",
-        overhead.graph,
-        overhead.process,
-        overhead.ratio()
-    );
+    for o in &overheads {
+        println!(
+            "{} overhead ({}/{}): ratio {:.3} (limit {OVERHEAD_LIMIT})",
+            o.arm,
+            o.graph,
+            o.process,
+            o.ratio()
+        );
+    }
 }

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod spec;
 
 /// Parsed command-line options shared by all experiment binaries.

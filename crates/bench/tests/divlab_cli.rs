@@ -169,8 +169,52 @@ fn telemetry_and_trace_are_mutually_exclusive() {
 }
 
 #[test]
-fn telemetry_is_ignored_in_campaign_mode() {
-    let path = temp_file("campaign", "jsonl");
+fn campaign_telemetry_writes_one_trace_per_trial() {
+    let dir = temp_file("campaign-dir", "d");
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--trials",
+        "3",
+        "--telemetry",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("per-trial telemetry"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let mut traces: Vec<String> = std::fs::read_dir(&dir)
+        .expect("telemetry directory created")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    traces.sort();
+    assert_eq!(traces.len(), 3, "one trace per trial: {traces:?}");
+    for name in &traces {
+        assert!(
+            name.starts_with("trial-") && name.ends_with(".jsonl"),
+            "unexpected trace name {name:?}"
+        );
+        let text = std::fs::read_to_string(dir.join(name)).unwrap();
+        assert!(text.contains("\"type\":\"sample\""), "{name}: {text}");
+        assert!(
+            text.lines().last().unwrap().contains("\"type\":\"finish\""),
+            "{name} is truncated"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_telemetry_rejects_a_regular_file_path() {
+    let path = temp_file("campaign-file", "jsonl");
+    std::fs::write(&path, "occupied\n").unwrap();
     let out = divlab(&[
         "run",
         "--graph",
@@ -182,13 +226,138 @@ fn telemetry_is_ignored_in_campaign_mode() {
         "--telemetry",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
     assert!(
-        stderr(&out).contains("ignoring in campaign mode"),
+        stderr(&out).contains("regular file"),
         "stderr: {}",
         stderr(&out)
     );
-    assert!(!path.exists(), "no per-run export in campaign mode");
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        "occupied\n",
+        "existing file untouched"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_over_a_campaign_corpus_is_deterministic() {
+    let dir = temp_file("analyze-corpus", "d");
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--trials",
+        "20",
+        "--seed",
+        "11",
+        "--telemetry",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 20);
+
+    let out1 = temp_file("analyze-out1", "d");
+    let out2 = temp_file("analyze-out2", "d");
+    let first = divlab(&[
+        "analyze",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--out",
+        out1.to_str().unwrap(),
+    ]);
+    assert!(first.status.success(), "stderr: {}", stderr(&first));
+    let text = stdout(&first);
+    assert!(text.contains("analyze: 20 traces"), "{text}");
+    assert!(text.contains("drift (Lemma 3)"), "{text}");
+    assert!(text.contains("azuma (eq. 5)"), "{text}");
+    assert!(text.contains("verdict: pass"), "{text}");
+    let second = divlab(&[
+        "analyze",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--out",
+        out2.to_str().unwrap(),
+    ]);
+    assert!(second.status.success(), "stderr: {}", stderr(&second));
+    assert_eq!(stdout(&first), stdout(&second), "summary is deterministic");
+    for name in ["analyze.md", "analyze.json"] {
+        let a = std::fs::read(out1.join(name)).expect(name);
+        let b = std::fs::read(out2.join(name)).expect(name);
+        assert_eq!(a, b, "{name} differs between identical runs");
+    }
+    for d in [&dir, &out1, &out2] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn analyze_without_traces_is_a_usage_error() {
+    let out = divlab(&["analyze"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--traces"), "{}", stderr(&out));
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn latched_telemetry_write_error_exits_with_data_loss_code() {
+    // /dev/full accepts the open but fails every flush with ENOSPC: the
+    // run completes, the verdict prints, and the latched exporter error
+    // surfaces as exit code 4 (telemetry data loss), not 0 and not 2.
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--telemetry",
+        "/dev/full",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("consensus on"),
+        "run still reports its verdict: {}",
+        stdout(&out)
+    );
+    assert!(
+        stderr(&out).contains("telemetry write to /dev/full failed"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_announces_its_endpoint_and_campaign_still_reports() {
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--trials",
+        "3",
+        "--serve",
+        "127.0.0.1:0",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("serving metrics on 127.0.0.1:"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("outcomes converged=3"),
+        "{}",
+        stdout(&out)
+    );
 }
 
 #[test]

@@ -382,7 +382,7 @@ impl FastState {
     }
 }
 
-/// High-throughput DIV process; see the [module docs](self) for the design
+/// High-throughput DIV process; see the module docs for the design
 /// and [`crate::DivProcess`] for the observable reference implementation.
 ///
 /// # Examples

@@ -76,8 +76,8 @@ pub struct CrashFault {
     pub outage: u64,
 }
 
-/// A declarative fault model for a DIV run; see the [module docs](self)
-/// for the taxonomy.
+/// A declarative fault model for a DIV run; see the module docs for the
+/// taxonomy.
 ///
 /// # Examples
 ///

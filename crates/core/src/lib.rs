@@ -67,6 +67,10 @@
 //!   `Z(t)`/range/distinct count, exact phase-transition events, fault
 //!   counters, wall-clock timings; [`RingRecorder`] and the JSONL/CSV
 //!   exporters are the built-in sinks.
+//! * [`trace`] — the shared reader for exported traces: parses the JSONL
+//!   and CSV formats back into [`Trace`] values, so offline tooling
+//!   (`divlab analyze`) re-derives the paper's trajectory checks from
+//!   disk alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,6 +91,7 @@ pub mod telemetry;
 #[cfg(test)]
 mod test_util;
 pub mod theory;
+pub mod trace;
 
 pub use engine::{FastProcess, FastScheduler, FinishPolicy};
 pub use error::DivError;
@@ -105,6 +110,7 @@ pub use telemetry::{
     CsvExporter, JsonlExporter, NullObserver, Observer, Phase, PhaseEvent, RingRecorder,
     TelemetrySample,
 };
+pub use trace::{read_trace, Trace, TraceError};
 
 /// Crate-wide result alias.
 pub type Result<T, E = DivError> = std::result::Result<T, E>;

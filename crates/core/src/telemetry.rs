@@ -658,4 +658,51 @@ mod tests {
         let err = ex.finish().unwrap_err();
         assert_eq!(err.to_string(), "disk full");
     }
+
+    /// A writer with an N-byte capacity: the write that crosses it fails,
+    /// modelling a disk filling up mid-export.
+    #[derive(Debug)]
+    struct FailAfterBytes {
+        written: usize,
+        capacity: usize,
+    }
+
+    impl Write for FailAfterBytes {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written + buf.len() > self.capacity {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "no space left"))
+            } else {
+                self.written += buf.len();
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn byte_capacity_overflow_is_latched_and_surfaced_by_finish() {
+        for capacity in [0usize, 10, 60, 120] {
+            let mut ex = JsonlExporter::new(FailAfterBytes {
+                written: 0,
+                capacity,
+            });
+            for i in 0..8u64 {
+                ex.on_sample(&sample(i * 64, i as i64));
+            }
+            // Eight sample lines always overflow these capacities; the
+            // first failing write must be the one finish() reports.
+            let err = ex.finish().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull, "cap {capacity}");
+            assert_eq!(err.to_string(), "no space left");
+        }
+        // Under a large enough capacity everything fits and finish is Ok.
+        let mut ex = CsvExporter::new(FailAfterBytes {
+            written: 0,
+            capacity: 4096,
+        });
+        ex.on_start(&sample(0, 1));
+        assert!(ex.finish().is_ok());
+    }
 }

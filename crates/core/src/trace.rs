@@ -1,0 +1,443 @@
+//! Reading recorded telemetry traces back from disk.
+//!
+//! The [`crate::JsonlExporter`] and [`crate::CsvExporter`] observers
+//! stream a run's trajectory to a file; this module is their inverse: a
+//! shared reader that parses either format back into a [`Trace`], so
+//! offline tooling (`divlab analyze`) re-derives the paper's trajectory
+//! checks — Lemma 3 zero drift, the eq. (5) Azuma envelope, phase
+//! structure — from disk alone.
+//!
+//! Both exporters emit only what this reader consumes, and the pair is
+//! round-trip exact: integers are written in full, and `f64` values use
+//! Rust's shortest-roundtrip `Display`, which reparses to the identical
+//! bit pattern.  The CSV format is rectangular and cannot carry fault
+//! counters or wall-clock timings; traces read from CSV simply leave
+//! those fields `None`.
+//!
+//! The parsers are deliberately small, hand-rolled scanners for the exact
+//! line shapes the exporters produce (the workspace has no serde); they
+//! are not general JSON/CSV readers.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::telemetry::{Phase, PhaseEvent, TelemetrySample};
+use crate::FaultStats;
+
+/// A parsed telemetry trace: everything an exporter wrote for one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// The sampled trajectory in step order, starting with the step-0
+    /// start sample (the final sample is kept separately).
+    pub samples: Vec<TelemetrySample>,
+    /// Phase transitions at their exact first-hit steps, in step order.
+    pub phases: Vec<PhaseEvent>,
+    /// Cumulative fault counters (JSONL only, faulty runs only).
+    pub faults: Option<FaultStats>,
+    /// The terminal sample (flagged `"final"` by the exporters).
+    pub final_sample: Option<TelemetrySample>,
+    /// Wall-clock duration of the run in nanoseconds (JSONL only).
+    pub elapsed_ns: Option<u128>,
+}
+
+impl Trace {
+    /// `S(end) − S(0)` — the drift whose expectation Lemma 3 pins at
+    /// zero.  The end is the final sample when present, else the last
+    /// interior sample; `None` for an empty trace.
+    pub fn drift(&self) -> Option<i64> {
+        let first = self.samples.first()?;
+        let last = self.final_sample.as_ref().or(self.samples.last())?;
+        Some(last.sum - first.sum)
+    }
+
+    /// The largest `|S(t) − S(0)|` over every recorded sample including
+    /// the final one — the excursion bounded by the eq. (5) Azuma tail.
+    pub fn max_sum_deviation(&self) -> i64 {
+        let Some(first) = self.samples.first() else {
+            return 0;
+        };
+        self.samples
+            .iter()
+            .chain(self.final_sample.iter())
+            .map(|s| (s.sum - first.sum).abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The last recorded step (final sample when present).
+    pub fn end_step(&self) -> Option<u64> {
+        self.final_sample
+            .as_ref()
+            .or(self.samples.last())
+            .map(|s| s.step)
+    }
+
+    /// The exact first step with at most two adjacent opinions, when
+    /// recorded.
+    pub fn two_adjacent_step(&self) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|e| e.phase == Phase::TwoAdjacent)
+            .map(|e| e.step)
+    }
+
+    /// The exact consensus step, when recorded.
+    pub fn consensus_step(&self) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|e| e.phase == Phase::Consensus)
+            .map(|e| e.step)
+    }
+
+    /// The initial opinion span `max − min + 1` (the paper's `k` for a
+    /// `{1, …, k}` start), read off the step-0 sample.
+    pub fn initial_span(&self) -> Option<i64> {
+        self.samples.first().map(|s| s.max - s.min + 1)
+    }
+}
+
+/// Why a trace file failed to parse.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// A line did not match the exporter formats.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads one trace file, dispatching on extension: `.csv` parses as CSV,
+/// anything else as JSON Lines (matching the exporters' own convention).
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the file cannot be read, [`TraceError::Parse`]
+/// when a line does not match the exporter formats.
+pub fn read_trace(path: &Path) -> Result<Trace, TraceError> {
+    let text = fs::read_to_string(path)?;
+    if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+        parse_csv(&text)
+    } else {
+        parse_jsonl(&text)
+    }
+}
+
+/// Pulls the value of `"key":` out of a flat single-line JSON object, as
+/// an unparsed token (up to the next `,` or `}` — exporter values are
+/// numbers, bools and bare-word strings, never nested).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| c == ',' || (c == '}' && !rest[..i].contains('"')))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim_matches(|c| c == '"' || c == '}'))
+}
+
+fn json_num<T: std::str::FromStr>(line: &str, key: &str, no: usize) -> Result<T, TraceError> {
+    json_field(line, key)
+        .ok_or_else(|| parse_err(no, format!("missing field {key:?}")))?
+        .parse()
+        .map_err(|_| parse_err(no, format!("bad value for {key:?}")))
+}
+
+fn sample_of_json(line: &str, no: usize) -> Result<TelemetrySample, TraceError> {
+    Ok(TelemetrySample {
+        step: json_num(line, "step", no)?,
+        sum: json_num(line, "sum", no)?,
+        z_weight: json_num(line, "z", no)?,
+        min: json_num(line, "min", no)?,
+        max: json_num(line, "max", no)?,
+        distinct: json_num(line, "distinct", no)?,
+    })
+}
+
+fn phase_of_label(label: &str, step: u64, no: usize) -> Result<PhaseEvent, TraceError> {
+    let phase = match label {
+        "two-adjacent" => Phase::TwoAdjacent,
+        "consensus" => Phase::Consensus,
+        other => return Err(parse_err(no, format!("unknown phase {other:?}"))),
+    };
+    Ok(PhaseEvent { phase, step })
+}
+
+/// Parses the [`crate::JsonlExporter`] format: one `{"type": …}` object
+/// per line, types `sample` (with an optional `"final":true` marker),
+/// `phase`, `faults` and `finish`.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] with the offending 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Trace, TraceError> {
+    let mut trace = Trace::default();
+    for (i, line) in text.lines().enumerate() {
+        let no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json_field(line, "type") {
+            Some("sample") => {
+                let sample = sample_of_json(line, no)?;
+                if json_field(line, "final") == Some("true") {
+                    trace.final_sample = Some(sample);
+                } else {
+                    trace.samples.push(sample);
+                }
+            }
+            Some("phase") => {
+                let label = json_field(line, "phase")
+                    .ok_or_else(|| parse_err(no, "missing field \"phase\""))?;
+                let step = json_num(line, "step", no)?;
+                trace.phases.push(phase_of_label(label, step, no)?);
+            }
+            Some("faults") => {
+                trace.faults = Some(FaultStats {
+                    delivered: json_num(line, "delivered", no)?,
+                    dropped: json_num(line, "dropped", no)?,
+                    suppressed: json_num(line, "suppressed", no)?,
+                    stale_reads: json_num(line, "stale", no)?,
+                    noisy: json_num(line, "noisy", no)?,
+                    crash_events: json_num(line, "crashes", no)?,
+                });
+            }
+            Some("finish") => {
+                trace.elapsed_ns = Some(json_num(line, "elapsed_ns", no)?);
+            }
+            Some(other) => return Err(parse_err(no, format!("unknown record type {other:?}"))),
+            None => return Err(parse_err(no, "missing field \"type\"")),
+        }
+    }
+    Ok(trace)
+}
+
+/// Parses the [`crate::CsvExporter`] format: a
+/// `step,sum,z,min,max,distinct,event` header, sample rows with an empty
+/// `event`, phase rows with blank aggregates, and a `final` sample row.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] with the offending 1-based line number.
+pub fn parse_csv(text: &str) -> Result<Trace, TraceError> {
+    const HEADER: &str = "step,sum,z,min,max,distinct,event";
+    let mut trace = Trace::default();
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, line)) if line == HEADER => {}
+        Some((_, line)) => return Err(parse_err(1, format!("bad header {line:?}"))),
+        None => return Ok(trace),
+    }
+    for (i, line) in lines {
+        let no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(parse_err(
+                no,
+                format!("expected 7 fields, got {}", fields.len()),
+            ));
+        }
+        let step: u64 = fields[0]
+            .parse()
+            .map_err(|_| parse_err(no, "bad step field"))?;
+        if fields[1].is_empty() {
+            // Phase row: aggregates are blank, the event is the label.
+            trace.phases.push(phase_of_label(fields[6], step, no)?);
+            continue;
+        }
+        let num = |idx: usize, what: &str| -> Result<i64, TraceError> {
+            fields[idx]
+                .parse()
+                .map_err(|_| parse_err(no, format!("bad {what} field")))
+        };
+        let sample = TelemetrySample {
+            step,
+            sum: num(1, "sum")?,
+            z_weight: fields[2]
+                .parse()
+                .map_err(|_| parse_err(no, "bad z field"))?,
+            min: num(3, "min")?,
+            max: num(4, "max")?,
+            distinct: fields[5]
+                .parse()
+                .map_err(|_| parse_err(no, "bad distinct field"))?,
+        };
+        match fields[6] {
+            "" => trace.samples.push(sample),
+            "final" => trace.final_sample = Some(sample),
+            other => return Err(parse_err(no, format!("unknown event {other:?}"))),
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{CsvExporter, JsonlExporter, Observer};
+    use std::time::Duration;
+
+    fn sample(step: u64, sum: i64) -> TelemetrySample {
+        TelemetrySample {
+            step,
+            sum,
+            z_weight: sum as f64 * 0.5,
+            min: -1,
+            max: 3,
+            distinct: 4,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_exporter() {
+        let mut ex = JsonlExporter::new(Vec::new());
+        ex.on_start(&sample(0, 7));
+        ex.on_sample(&sample(64, 9));
+        ex.on_phase(&PhaseEvent {
+            phase: Phase::TwoAdjacent,
+            step: 70,
+        });
+        ex.on_phase(&PhaseEvent {
+            phase: Phase::Consensus,
+            step: 90,
+        });
+        ex.on_faults(&FaultStats {
+            delivered: 1,
+            dropped: 2,
+            suppressed: 3,
+            stale_reads: 4,
+            noisy: 5,
+            crash_events: 6,
+        });
+        ex.on_finish(&sample(90, 8), Duration::from_nanos(4242));
+        let text = String::from_utf8(ex.finish().unwrap()).unwrap();
+        let trace = parse_jsonl(&text).unwrap();
+        assert_eq!(trace.samples, vec![sample(0, 7), sample(64, 9)]);
+        assert_eq!(trace.two_adjacent_step(), Some(70));
+        assert_eq!(trace.consensus_step(), Some(90));
+        assert_eq!(trace.final_sample, Some(sample(90, 8)));
+        assert_eq!(trace.faults.unwrap().stale_reads, 4);
+        assert_eq!(trace.elapsed_ns, Some(4242));
+        assert_eq!(trace.drift(), Some(1));
+        assert_eq!(trace.max_sum_deviation(), 2);
+        assert_eq!(trace.end_step(), Some(90));
+        assert_eq!(trace.initial_span(), Some(5));
+    }
+
+    #[test]
+    fn csv_round_trips_through_the_exporter() {
+        let mut ex = CsvExporter::new(Vec::new());
+        ex.on_start(&sample(0, 7));
+        ex.on_sample(&sample(64, 9));
+        ex.on_phase(&PhaseEvent {
+            phase: Phase::Consensus,
+            step: 80,
+        });
+        ex.on_finish(&sample(80, 7), Duration::ZERO);
+        let text = String::from_utf8(ex.finish().unwrap()).unwrap();
+        let trace = parse_csv(&text).unwrap();
+        assert_eq!(trace.samples, vec![sample(0, 7), sample(64, 9)]);
+        assert_eq!(trace.consensus_step(), Some(80));
+        assert_eq!(trace.final_sample, Some(sample(80, 7)));
+        assert_eq!(trace.faults, None, "csv cannot carry fault counters");
+        assert_eq!(trace.elapsed_ns, None);
+        assert_eq!(trace.drift(), Some(0));
+    }
+
+    #[test]
+    fn empty_inputs_are_empty_traces() {
+        assert_eq!(parse_jsonl("").unwrap(), Trace::default());
+        assert_eq!(parse_csv("").unwrap(), Trace::default());
+        let t = parse_csv("step,sum,z,min,max,distinct,event\n").unwrap();
+        assert_eq!(t, Trace::default());
+        assert_eq!(t.drift(), None);
+        assert_eq!(t.end_step(), None);
+        assert_eq!(t.max_sum_deviation(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let err = parse_jsonl("{\"type\":\"sample\",\"step\":0,\"sum\":1,\"z\":1,\"min\":0,\"max\":1,\"distinct\":2}\nnot json\n")
+            .unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let err = parse_csv("step,sum,z,min,max,distinct,event\n1,2\n").unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_csv("wrong header\n").is_err());
+        assert!(parse_jsonl("{\"type\":\"phase\",\"phase\":\"warp\",\"step\":1}").is_err());
+    }
+
+    #[test]
+    fn f64_display_round_trips_exactly() {
+        for z in [0.1, 1.0 / 3.0, -123.456e-7, f64::MAX, 5e-324] {
+            let mut ex = JsonlExporter::new(Vec::new());
+            let mut s = sample(0, 0);
+            s.z_weight = z;
+            ex.on_start(&s);
+            let text = String::from_utf8(ex.finish().unwrap()).unwrap();
+            let trace = parse_jsonl(&text).unwrap();
+            assert_eq!(trace.samples[0].z_weight.to_bits(), z.to_bits(), "z={z}");
+        }
+    }
+
+    #[test]
+    fn read_trace_dispatches_on_extension() {
+        let dir = std::env::temp_dir();
+        let base = format!("div-trace-test-{}", std::process::id());
+        let jsonl = dir.join(format!("{base}.jsonl"));
+        let csv = dir.join(format!("{base}.csv"));
+        let mut ex = JsonlExporter::new(Vec::new());
+        ex.on_start(&sample(0, 3));
+        fs::write(&jsonl, ex.finish().unwrap()).unwrap();
+        let mut ex = CsvExporter::new(Vec::new());
+        ex.on_start(&sample(0, 3));
+        fs::write(&csv, ex.finish().unwrap()).unwrap();
+        assert_eq!(read_trace(&jsonl).unwrap().samples.len(), 1);
+        assert_eq!(read_trace(&csv).unwrap().samples.len(), 1);
+        assert!(matches!(
+            read_trace(&dir.join(format!("{base}.missing"))),
+            Err(TraceError::Io(_))
+        ));
+        fs::remove_file(&jsonl).ok();
+        fs::remove_file(&csv).ok();
+    }
+}

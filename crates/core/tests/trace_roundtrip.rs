@@ -1,0 +1,202 @@
+//! Property-based round-trip: any telemetry event sequence an observed
+//! run can produce, written through [`JsonlExporter`] or [`CsvExporter`],
+//! parses back through the shared trace reader ([`div_core::trace`]) into
+//! exactly the samples, phases, faults and timings that were exported.
+
+use std::time::Duration;
+
+use div_core::trace::{parse_csv, parse_jsonl};
+use div_core::{
+    CsvExporter, FaultStats, JsonlExporter, Observer, Phase, PhaseEvent, TelemetrySample,
+};
+use proptest::prelude::*;
+
+/// A wide-dynamic-range finite `f64`: mantissa × 2^exponent spans tiny
+/// subnormal-ish magnitudes to ~1e18 of either sign.  `z_weight` stays
+/// finite on purpose: the exporters print `f64` via `Display` (shortest
+/// round-trip), which is bit-exact for every finite value, and a NaN
+/// would defeat the `PartialEq` comparison below without exercising
+/// anything new.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (any::<i64>(), -60i32..60).prop_map(|(m, e)| m as f64 * 2f64.powi(e))
+}
+
+fn sample_strategy() -> impl Strategy<Value = TelemetrySample> {
+    (
+        any::<u64>(),
+        any::<i64>(),
+        finite_f64(),
+        any::<i64>(),
+        any::<i64>(),
+        any::<usize>(),
+    )
+        .prop_map(
+            |(step, sum, z_weight, min, max, distinct)| TelemetrySample {
+                step,
+                sum,
+                z_weight,
+                min,
+                max,
+                distinct,
+            },
+        )
+}
+
+/// One interior trace event: a periodic sample or a phase crossing
+/// (weighted 4:1 towards samples, as real traces are).
+#[derive(Debug, Clone)]
+enum Event {
+    Sample(TelemetrySample),
+    Phase(PhaseEvent),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0u8..5, sample_strategy(), any::<bool>(), any::<u64>()).prop_map(
+        |(pick, sample, two_adjacent, step)| {
+            if pick < 4 {
+                Event::Sample(sample)
+            } else {
+                Event::Phase(PhaseEvent {
+                    phase: if two_adjacent {
+                        Phase::TwoAdjacent
+                    } else {
+                        Phase::Consensus
+                    },
+                    step,
+                })
+            }
+        },
+    )
+}
+
+fn faults_strategy() -> impl Strategy<Value = FaultStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(delivered, dropped, suppressed, stale_reads, noisy, crash_events)| FaultStats {
+                delivered,
+                dropped,
+                suppressed,
+                stale_reads,
+                noisy,
+                crash_events,
+            },
+        )
+}
+
+/// `Some(value)` half the time (the vendored proptest has no
+/// `option::of`).
+fn option_of<S: Strategy>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+    (any::<bool>(), inner).prop_map(|(some, v)| if some { Some(v) } else { None })
+}
+
+/// Replays a generated event sequence into an exporter in the order the
+/// observed-run drivers call the hooks: start, interior events, optional
+/// fault counters, finish.
+fn replay<O: Observer>(
+    obs: &mut O,
+    start: &TelemetrySample,
+    events: &[Event],
+    faults: Option<&FaultStats>,
+    finish: Option<(&TelemetrySample, u64)>,
+) {
+    obs.on_start(start);
+    for event in events {
+        match event {
+            Event::Sample(s) => obs.on_sample(s),
+            Event::Phase(p) => obs.on_phase(p),
+        }
+    }
+    if let Some(f) = faults {
+        obs.on_faults(f);
+    }
+    if let Some((s, ns)) = finish {
+        obs.on_finish(s, Duration::from_nanos(ns));
+    }
+}
+
+fn expected_samples(start: &TelemetrySample, events: &[Event]) -> Vec<TelemetrySample> {
+    std::iter::once(*start)
+        .chain(events.iter().filter_map(|e| match e {
+            Event::Sample(s) => Some(*s),
+            Event::Phase(_) => None,
+        }))
+        .collect()
+}
+
+fn expected_phases(events: &[Event]) -> Vec<PhaseEvent> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Phase(p) => Some(*p),
+            Event::Sample(_) => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JSONL carries the full event vocabulary: samples, phases, fault
+    /// counters and the timed finish all survive the disk round trip.
+    #[test]
+    fn jsonl_round_trips_any_event_sequence(
+        start in sample_strategy(),
+        events in proptest::collection::vec(event_strategy(), 0..40),
+        faults in option_of(faults_strategy()),
+        finish in option_of((sample_strategy(), any::<u64>())),
+    ) {
+        let mut ex = JsonlExporter::new(Vec::new());
+        replay(
+            &mut ex,
+            &start,
+            &events,
+            faults.as_ref(),
+            finish.as_ref().map(|(s, ns)| (s, *ns)),
+        );
+        let text = String::from_utf8(ex.finish().unwrap()).unwrap();
+        let trace = parse_jsonl(&text).unwrap();
+        prop_assert_eq!(&trace.samples, &expected_samples(&start, &events));
+        prop_assert_eq!(&trace.phases, &expected_phases(&events));
+        prop_assert_eq!(&trace.faults, &faults);
+        prop_assert_eq!(&trace.final_sample, &finish.as_ref().map(|(s, _)| *s));
+        prop_assert_eq!(trace.elapsed_ns, finish.as_ref().map(|(_, ns)| u128::from(*ns)));
+        // The z values must come back bit-identical, not just `==`.
+        for (got, want) in trace.samples.iter().zip(expected_samples(&start, &events)) {
+            prop_assert_eq!(got.z_weight.to_bits(), want.z_weight.to_bits());
+        }
+    }
+
+    /// CSV is the rectangular subset — samples, phases and the final
+    /// sample round-trip; fault counters and wall-clock timings are not
+    /// representable and come back `None`.
+    #[test]
+    fn csv_round_trips_any_event_sequence(
+        start in sample_strategy(),
+        events in proptest::collection::vec(event_strategy(), 0..40),
+        faults in option_of(faults_strategy()),
+        finish in option_of((sample_strategy(), any::<u64>())),
+    ) {
+        let mut ex = CsvExporter::new(Vec::new());
+        replay(
+            &mut ex,
+            &start,
+            &events,
+            faults.as_ref(),
+            finish.as_ref().map(|(s, ns)| (s, *ns)),
+        );
+        let text = String::from_utf8(ex.finish().unwrap()).unwrap();
+        let trace = parse_csv(&text).unwrap();
+        prop_assert_eq!(&trace.samples, &expected_samples(&start, &events));
+        prop_assert_eq!(&trace.phases, &expected_phases(&events));
+        prop_assert_eq!(&trace.final_sample, &finish.as_ref().map(|(s, _)| *s));
+        prop_assert_eq!(&trace.faults, &None);
+        prop_assert_eq!(trace.elapsed_ns, None);
+    }
+}

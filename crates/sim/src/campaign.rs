@@ -57,6 +57,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use crate::monitor::CampaignMonitor;
 use crate::runner::panic_message;
 use crate::{MetricsRegistry, SeedSequence};
 
@@ -104,6 +105,17 @@ impl TrialOutcome {
         match *self {
             TrialOutcome::Converged { winner, .. } => Some(winner),
             _ => None,
+        }
+    }
+
+    /// The steps the trial executed (zero for panicked trials, whose
+    /// step counts are unknown).
+    pub fn steps(&self) -> u64 {
+        match *self {
+            TrialOutcome::Converged { steps, .. }
+            | TrialOutcome::TwoAdjacent { steps, .. }
+            | TrialOutcome::Timeout { steps } => steps,
+            TrialOutcome::Panicked { .. } => 0,
         }
     }
 
@@ -409,6 +421,27 @@ pub fn run_campaign<F>(cfg: &CampaignConfig, trial_fn: F) -> Result<CampaignRepo
 where
     F: Fn(&TrialCtx) -> TrialOutcome + Sync,
 {
+    run_campaign_monitored(cfg, None, trial_fn)
+}
+
+/// [`run_campaign`] with live publication: when `monitor` is given, the
+/// campaign declares `cfg.trials` as expected, replays resumed outcomes
+/// into it, and every worker slot publishes trial starts, panic retries
+/// and finished outcomes as they happen — so an HTTP scrape (see
+/// [`crate::MetricsServer`]) watches the campaign in flight, and a scrape
+/// taken after this returns agrees exactly with the report's counts.
+///
+/// # Errors
+///
+/// Identical to [`run_campaign`].
+pub fn run_campaign_monitored<F>(
+    cfg: &CampaignConfig,
+    monitor: Option<&CampaignMonitor>,
+    trial_fn: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(&TrialCtx) -> TrialOutcome + Sync,
+{
     let mut outcomes: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
     let mut resumed = 0usize;
     if let Some(path) = &cfg.checkpoint {
@@ -417,6 +450,13 @@ where
             manifest.check_matches(cfg)?;
             resumed = manifest.outcomes.len();
             outcomes = manifest.outcomes;
+        }
+    }
+    if let Some(m) = monitor {
+        m.set_expected(cfg.trials as u64);
+        for outcome in outcomes.values() {
+            m.trial_started();
+            m.record_outcome(outcome);
         }
     }
 
@@ -453,7 +493,13 @@ where
                         break;
                     }
                     let i = scheduled[slot];
-                    let outcome = run_one_trial(cfg, i, trial_fn);
+                    if let Some(m) = monitor {
+                        m.trial_started();
+                    }
+                    let outcome = run_one_trial(cfg, i, monitor, trial_fn);
+                    if let Some(m) = monitor {
+                        m.record_outcome(&outcome);
+                    }
                     if tx.send((i, outcome)).is_err() {
                         break;
                     }
@@ -487,7 +533,12 @@ where
 }
 
 /// One slot: run the attempt chain until an outcome or retry exhaustion.
-fn run_one_trial<F>(cfg: &CampaignConfig, trial: usize, trial_fn: &F) -> TrialOutcome
+fn run_one_trial<F>(
+    cfg: &CampaignConfig,
+    trial: usize,
+    monitor: Option<&CampaignMonitor>,
+    trial_fn: &F,
+) -> TrialOutcome
 where
     F: Fn(&TrialCtx) -> TrialOutcome,
 {
@@ -497,6 +548,9 @@ where
         let seed = if attempt == 0 {
             base
         } else {
+            if let Some(m) = monitor {
+                m.trial_retried();
+            }
             SeedSequence::seed_for(base, attempt as u64)
         };
         let ctx = TrialCtx {

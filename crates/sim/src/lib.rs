@@ -16,6 +16,10 @@
 //! * [`MetricsRegistry`] — named counters/gauges/histograms with a
 //!   deterministic rendering, folded into campaign reports and
 //!   manifests;
+//! * [`CampaignMonitor`] / [`MetricsServer`] — live monitoring: lock-free
+//!   atomic counters published by running campaigns and trial pools,
+//!   scraped over HTTP as Prometheus text format (`/metrics`), JSON
+//!   (`/progress`) and a liveness probe (`/healthz`);
 //! * [`stats`] — summaries, confidence intervals (normal and Wilson),
 //!   quantiles and histograms;
 //! * [`regression`] — least-squares and log–log growth-exponent fits, for
@@ -45,18 +49,26 @@
 pub mod campaign;
 pub mod gof;
 pub mod metrics;
+pub mod monitor;
 pub mod plot;
 pub mod regression;
 mod runner;
 mod seed;
+pub mod serve;
 pub mod stats;
 pub mod table;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignReport, TrialCtx, TrialOutcome,
+    run_campaign, run_campaign_monitored, CampaignConfig, CampaignError, CampaignReport, TrialCtx,
+    TrialOutcome,
 };
 pub use metrics::MetricsRegistry;
+pub use monitor::{
+    CampaignMonitor, FaultTotals, MonitorPhase, MonitorSnapshot, PhaseSteps, PHASE_BUCKETS,
+};
 pub use runner::{
-    run_trials, run_trials_caught, run_trials_with_threads, TrialPanic, NON_STRING_PANIC,
+    run_trials, run_trials_caught, run_trials_monitored, run_trials_with_threads, TrialPanic,
+    NON_STRING_PANIC,
 };
 pub use seed::SeedSequence;
+pub use serve::MetricsServer;

@@ -1,0 +1,270 @@
+//! Dependency-free HTTP endpoint for live campaign monitoring.
+//!
+//! [`MetricsServer`] binds a [`std::net::TcpListener`], serves on a
+//! background thread, and answers three `GET` routes from a shared
+//! [`CampaignMonitor`]:
+//!
+//! * `/metrics` — Prometheus text exposition format 0.0.4
+//!   ([`crate::MonitorSnapshot::render_prometheus`]),
+//! * `/progress` — the same snapshot as a JSON object
+//!   ([`crate::MonitorSnapshot::render_progress_json`]),
+//! * `/healthz` — `ok`, for liveness probes.
+//!
+//! Requests are handled one at a time (a scrape renders in microseconds;
+//! there is nothing to win from a thread pool), every response closes its
+//! connection, and the listener polls non-blocking so
+//! [`MetricsServer::shutdown`] — or dropping the server — stops the
+//! thread promptly.  Binding port `0` picks a free port; the resolved
+//! address is available via [`MetricsServer::local_addr`].
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::monitor::CampaignMonitor;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head the server is willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A background HTTP server publishing a [`CampaignMonitor`].
+///
+/// The server thread runs until [`MetricsServer::shutdown`] is called or
+/// the value is dropped.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, or port `0` for an
+    /// ephemeral port) and starts serving `monitor` on a background
+    /// thread.
+    pub fn bind(addr: &str, monitor: Arc<CampaignMonitor>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("div-metrics".to_string())
+            .spawn(move || serve_loop(listener, monitor, thread_stop))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port `0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, monitor: Arc<CampaignMonitor>, stop: Arc<AtomicBool>) {
+    while !stop.load(SeqCst) {
+        match listener.accept() {
+            // A failing client connection must not take the endpoint down.
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, &monitor);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, monitor: &CampaignMonitor) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = read_request_head(&mut stream)?;
+    let (status, content_type, body) = respond(&request, monitor);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST_BYTES {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Routes a request head to `(status line, content type, body)`.
+fn respond(request: &str, monitor: &CampaignMonitor) -> (&'static str, &'static str, String) {
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            monitor.snapshot().render_prometheus(),
+        ),
+        "/progress" => (
+            "200 OK",
+            "application/json",
+            monitor.snapshot().render_progress_json(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::TrialOutcome;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+        (head.to_string(), body.to_string())
+    }
+
+    fn monitor_with_data() -> Arc<CampaignMonitor> {
+        let monitor = Arc::new(CampaignMonitor::new());
+        monitor.set_expected(2);
+        monitor.trial_started();
+        monitor.record_outcome(&TrialOutcome::Converged {
+            winner: 3,
+            steps: 120,
+        });
+        monitor
+    }
+
+    #[test]
+    fn serves_metrics_progress_and_healthz() {
+        let monitor = monitor_with_data();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&monitor)).expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.contains("text/plain; version=0.0.4"), "head: {head}");
+        assert!(body.contains("div_trials_total{outcome=\"converged\"} 1"));
+        assert!(body.contains("div_trials_started_total 1"));
+
+        let (head, body) = get(addr, "/progress");
+        assert!(head.contains("application/json"), "head: {head}");
+        assert!(body.contains("\"finished\":1"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "head: {head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let monitor = Arc::new(CampaignMonitor::new());
+        let server = MetricsServer::bind("127.0.0.1:0", monitor).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "got: {response}");
+    }
+
+    #[test]
+    fn scrapes_observe_consistent_counts_under_load() {
+        let monitor = Arc::new(CampaignMonitor::new());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&monitor)).expect("bind");
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            let writer_monitor = Arc::clone(&monitor);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    writer_monitor.trial_started();
+                    writer_monitor.record_outcome(&TrialOutcome::Timeout { steps: 5 });
+                }
+            });
+            for _ in 0..10 {
+                let (_, body) = get(addr, "/progress");
+                let field = |key: &str| -> u64 {
+                    let at = body.find(key).expect("field present") + key.len();
+                    body[at..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .expect("numeric field")
+                };
+                assert!(
+                    field("\"finished\":") <= field("\"started\":"),
+                    "inconsistent scrape: {body}"
+                );
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn port_zero_resolves_to_a_real_port() {
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::new(CampaignMonitor::new()))
+            .expect("bind port 0");
+        assert_ne!(server.local_addr().port(), 0);
+    }
+}

@@ -183,6 +183,28 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from externally collected bin counts over
+    /// `[low, high)` (e.g. the atomic buckets of a
+    /// [`crate::CampaignMonitor`] snapshot), so lock-free collectors can
+    /// hand their tallies to the same statistics tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is empty or `low >= high`.
+    pub fn from_parts(low: f64, high: f64, bins: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        assert!(low < high, "histogram needs low < high");
+        let count = bins.iter().sum::<u64>() + underflow + overflow;
+        Histogram {
+            low,
+            high,
+            bins,
+            underflow,
+            overflow,
+            count,
+        }
+    }
+
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
