@@ -12,11 +12,17 @@
 //! * `engine`: the reference `DivProcess` + `StdRng` stepping path vs the
 //!   compiled `FastProcess` + `FastRng` engine (DESIGN.md §3.3) on the
 //!   same graph, opinions and step budget.
+//! * `batch`: K trials run one-by-one through the scalar fast engine vs
+//!   one lockstep `BatchProcess` over the same compiled graph
+//!   (DESIGN.md §3.4), K ∈ {4, 8, 16}, on `complete_1k` and
+//!   `regular8_1k` — both arms replay identical seeded trajectories, so
+//!   the ratio is pure per-step engine overhead plus the batch engine's
+//!   amortised setup.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use div_core::{
-    init, BiasedVertexScheduler, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
-    FinishPolicy, OpinionState, VertexScheduler,
+    init, BatchProcess, BiasedVertexScheduler, DivProcess, EdgeScheduler, FastProcess, FastRng,
+    FastScheduler, FinishPolicy, OpinionState, VertexScheduler,
 };
 use div_graph::generators;
 use rand::rngs::StdRng;
@@ -267,11 +273,68 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar-fast campaign loop vs the lockstep batch engine at K lanes.
+/// Step budget per trial keeps the arms bounded; both run the identical
+/// seeded trajectories (same per-lane seed discipline), so the comparison
+/// is engine overhead, not workload variance.
+fn bench_batch(c: &mut Criterion) {
+    const BUDGET: u64 = 20_000;
+    let mut group = c.benchmark_group("ablation/batch");
+    group.sample_size(10);
+    let mut grng = StdRng::seed_from_u64(1);
+    let graphs = [
+        ("complete_1k", generators::complete(1000).unwrap()),
+        (
+            "regular8_1k",
+            generators::random_regular(1000, 8, &mut grng).unwrap(),
+        ),
+    ];
+    for (gname, g) in &graphs {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            init::uniform_random(g.num_vertices(), 9, &mut rng).unwrap()
+        };
+        for k in [4usize, 8, 16] {
+            let seeds: Vec<u64> = (0..k as u64).map(|t| 0xBA7C ^ (t * 0x9E37)).collect();
+            group.bench_function(format!("{gname}/scalar_fast_x{k}"), |b| {
+                b.iter_batched(
+                    mk,
+                    |ops| {
+                        let mut total = 0u64;
+                        for &s in &seeds {
+                            let mut p =
+                                FastProcess::new(g, ops.clone(), FastScheduler::Edge).unwrap();
+                            let mut rng = FastRng::seed_from_u64(s);
+                            p.run_to_consensus(BUDGET, &mut rng);
+                            total += p.steps();
+                        }
+                        total
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            group.bench_function(format!("{gname}/batch_x{k}"), |b| {
+                b.iter_batched(
+                    mk,
+                    |ops| {
+                        let mut p = BatchProcess::new(g, ops, FastScheduler::Edge, &seeds).unwrap();
+                        p.run_to_consensus(BUDGET);
+                        (0..k).map(|l| p.steps(l)).sum::<u64>()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_edge_sampling,
     bench_aggregate_maintenance,
     bench_early_stop,
-    bench_engine
+    bench_engine,
+    bench_batch
 );
 criterion_main!(benches);

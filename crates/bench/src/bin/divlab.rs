@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex]
-//!                 [--engine reference|fast] [--seed N] [--trace]
+//!                 [--engine reference|fast|batch] [--seed N] [--trace]
 //!                 [--telemetry PATH] [--sample-every K]
 //!                 [--faults SPEC] [--trials N] [--budget N]
+//!                 [--lanes K] [--threads T]
 //!                 [--checkpoint PATH] [--resume] [--stop-after N]
+//! divlab campaign ...same flags as run; forces campaign mode at any --trials
 //! divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex]
-//!                 [--engine reference|fast] [--seed N] [--faults SPEC]
+//!                 [--engine reference|fast|batch] [--seed N] [--faults SPEC]
 //!                 [--budget N] [--sample-every K]
-//! divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast]
+//! divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch]
 //!                 [--seed N] [--trials N]
 //!                 [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]
 //! divlab spectral --graph SPEC [--seed N]
@@ -27,7 +29,18 @@
 //! fresh deterministic sub-seeds and reported in an outcome taxonomy,
 //! and `--checkpoint PATH` + `--resume` make a killed campaign resume
 //! exactly (byte-identical report, including its aggregated metrics
-//! block).
+//! block).  `divlab campaign` is the same command with campaign mode
+//! forced on, so single-trial smoke campaigns don't need `--trials 2`.
+//!
+//! `--engine batch` runs campaigns through the lockstep batch engine
+//! ([`div_core::BatchProcess`]): trials are grouped into `--lanes K`
+//! lanes (default 8) stepped together over one compiled graph, with
+//! groups sharded across `--threads T` workers (default: available
+//! parallelism).  Every lane is bit-exact against the scalar fast
+//! engine for the same seed, so batch and fast campaigns print
+//! byte-identical reports — including under fault plans and on resumed
+//! checkpoints.  Paths that need per-step observer hooks (`--telemetry`,
+//! `stats`) warn and fall back to the fast engine.
 //!
 //! `--telemetry PATH` streams the single run's trajectory through the
 //! engines' observer hooks to a JSONL file (or CSV when the path ends in
@@ -63,14 +76,14 @@ use div_baselines::{
 };
 use div_bench::spec;
 use div_core::{
-    init, theory, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
-    FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, Phase, PhaseEvent, RingRecorder,
-    RunStatus, Scheduler, StageLog, VertexScheduler,
+    init, theory, BatchProcess, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng,
+    FastScheduler, FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, Phase, PhaseEvent,
+    RingRecorder, RunStatus, Scheduler, StageLog, VertexScheduler,
 };
 use div_sim::table::Table;
 use div_sim::{
-    run_campaign_monitored, CampaignConfig, CampaignMonitor, FaultTotals, MetricsServer,
-    MonitorPhase, TrialOutcome,
+    run_campaign_batched_monitored, run_campaign_monitored, CampaignConfig, CampaignMonitor,
+    FaultTotals, MetricsServer, MonitorPhase, TrialOutcome,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,7 +101,8 @@ fn main() {
     };
     let opts = parse_flags(rest);
     let result = match command.as_str() {
-        "run" => cmd_run(&opts),
+        "run" => cmd_run(&opts, false),
+        "campaign" => cmd_run(&opts, true),
         "stats" => cmd_stats(&opts),
         "compare" => cmd_compare(&opts),
         "spectral" => cmd_spectral(&opts).map(|()| 0),
@@ -108,7 +122,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
     );
     exit(0);
 }
@@ -178,22 +192,53 @@ fn outcome_of(status: RunStatus, two_adjacent: bool, low: i64, high: i64) -> Tri
 
 /// Resolves `--engine` against `--trace`, identically for every entry
 /// point (run, campaign, compare, stats): `--trace` needs the reference
-/// engine's per-step stage log, so fast+trace warns on stderr and falls
-/// back to the reference engine instead of erroring or silently ignoring
-/// the flag.
+/// engine's per-step stage log, so fast+trace (and batch+trace) warns on
+/// stderr and falls back to the reference engine instead of erroring or
+/// silently ignoring the flag.
 fn resolve_engine(opts: &HashMap<String, String>) -> Result<String, String> {
     let engine = opts.map_or_default("engine", "reference");
-    if engine != "reference" && engine != "fast" {
-        return Err(format!("unknown engine {engine:?} (use reference or fast)"));
+    if engine != "reference" && engine != "fast" && engine != "batch" {
+        return Err(format!(
+            "unknown engine {engine:?} (use reference, fast or batch)"
+        ));
     }
-    if engine == "fast" && opts.contains_key("trace") {
+    if engine != "reference" && opts.contains_key("trace") {
         eprintln!(
-            "divlab: --trace needs the reference engine (the fast engine has no per-step \
+            "divlab: --trace needs the reference engine (the {engine} engine has no per-step \
              stage log); falling back to --engine reference"
         );
         return Ok("reference".to_string());
     }
     Ok(engine)
+}
+
+/// Demotes `batch` to `fast` for paths that need per-step observer hooks
+/// (telemetry export, `stats`): the batch engine defers bookkeeping to
+/// block boundaries, so it cannot stream per-step samples.  The demotion
+/// is outcome-preserving — batch lanes are bit-exact against the fast
+/// engine for the same seed — and warns like the trace/fast conflict
+/// instead of erroring.
+fn demote_batch_for_observers(engine: String, what: &str) -> String {
+    if engine == "batch" {
+        eprintln!(
+            "divlab: {what} needs per-step observer hooks, which the batch engine's deferred \
+             bookkeeping cannot provide; falling back to --engine fast (outcomes are identical)"
+        );
+        return "fast".to_string();
+    }
+    engine
+}
+
+/// The batch engine's campaign knobs: `--lanes K` trials stepped per
+/// lockstep group (default 8) and `--threads T` worker threads
+/// (default 0 = available parallelism).
+fn parse_batch_knobs(opts: &HashMap<String, String>) -> Result<(usize, usize), String> {
+    let lanes: usize = parse_opt(opts, "lanes")?.unwrap_or(8);
+    if lanes == 0 {
+        return Err("--lanes must be at least 1".to_string());
+    }
+    let threads: usize = parse_opt(opts, "threads")?.unwrap_or(0);
+    Ok((lanes, threads))
 }
 
 /// The `--sample-every` stride (default 64), validated.
@@ -285,9 +330,9 @@ fn publish_faults(monitor: Option<&CampaignMonitor>, stats: &FaultStats) {
     }
 }
 
-fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
+fn cmd_run(opts: &HashMap<String, String>, force_campaign: bool) -> Result<i32, String> {
     let serving = start_serving(opts)?;
-    let result = cmd_run_inner(opts, serving.as_ref().map(|s| &*s.monitor));
+    let result = cmd_run_inner(opts, serving.as_ref().map(|s| &*s.monitor), force_campaign);
     if let Some(s) = serving {
         s.finish();
     }
@@ -297,6 +342,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<i32, String> {
 fn cmd_run_inner(
     opts: &HashMap<String, String>,
     monitor: Option<&CampaignMonitor>,
+    force_campaign: bool,
 ) -> Result<i32, String> {
     let (graph, opinions, mut rng) = setup(opts)?;
     let scheduler = opts.map_or_default("scheduler", "edge");
@@ -319,7 +365,8 @@ fn cmd_run_inner(
     if trials == 0 {
         return Err("--trials must be at least 1".to_string());
     }
-    let campaign_mode = trials > 1
+    let campaign_mode = force_campaign
+        || trials > 1
         || opts.contains_key("checkpoint")
         || opts.contains_key("resume")
         || opts.contains_key("stop-after");
@@ -381,6 +428,7 @@ fn cmd_run_inner(
                     .to_string(),
             );
         }
+        let engine = demote_batch_for_observers(engine, "--telemetry");
         let (outcome, label, telemetry_err) = run_telemetry_export(
             &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &path,
             monitor,
@@ -393,6 +441,43 @@ fn cmd_run_inner(
             return Ok(4);
         }
         return Ok(code);
+    }
+
+    if engine == "batch" {
+        // A single run is a one-lane batch seeded exactly like the fast
+        // path, so `--engine batch` and `--engine fast` print the same
+        // verdict for the same `--seed` (the lockstep engine is bit-exact
+        // against the scalar one).
+        let kind = match scheduler.as_str() {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        let lane_seed = {
+            use rand::RngCore;
+            rng.next_u64()
+        };
+        let mut batch = BatchProcess::new(&graph, opinions.clone(), kind, &[lane_seed])
+            .map_err(|e| e.to_string())?;
+        let status = if faults.is_trivial() {
+            batch.run_to_consensus(budget)[0]
+        } else {
+            let (statuses, stats) = batch
+                .run_faulty_to_consensus(budget, &faults)
+                .map_err(|e| e.to_string())?;
+            print_fault_stats(&stats[0]);
+            publish_faults(monitor, &stats[0]);
+            statuses[0]
+        };
+        return finish_single_run(
+            outcome_of(
+                status,
+                batch.is_two_adjacent(0),
+                batch.min_opinion(0),
+                batch.max_opinion(0),
+            ),
+            &format!("{scheduler} scheduler, batch engine"),
+            monitor,
+        );
     }
 
     if engine == "fast" {
@@ -540,12 +625,24 @@ fn run_campaign_cmd(
     monitor: Option<&CampaignMonitor>,
     opts: &HashMap<String, String>,
 ) -> Result<i32, String> {
+    // Per-trial telemetry needs the scalar engines' observer hooks, so a
+    // batch campaign with `--telemetry DIR` demotes to fast (bit-exact,
+    // so the report is unchanged — only the lockstep speedup is lost).
+    let engine = if telemetry_dir.is_some() {
+        demote_batch_for_observers(engine.to_string(), "per-trial telemetry")
+    } else {
+        engine.to_string()
+    };
+    let (lanes, threads) = parse_batch_knobs(opts)?;
     let master: u64 = parse_opt(opts, "seed")?.unwrap_or(1);
     let mut cfg = CampaignConfig::new(trials, master);
     cfg.step_budget = budget;
     cfg.checkpoint = opts.get("checkpoint").map(PathBuf::from);
     cfg.resume = opts.contains_key("resume");
     cfg.stop_after = parse_opt(opts, "stop-after")?;
+    if engine == "batch" {
+        cfg.threads = threads;
+    }
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err("--resume needs --checkpoint PATH".to_string());
     }
@@ -557,20 +654,37 @@ fn run_campaign_cmd(
     // not kill the campaign — the trial result is still sound — but they
     // are data loss and surface as exit code 4 at the end.
     let telemetry_errors = AtomicU64::new(0);
-    let report = run_campaign_monitored(&cfg, monitor, |ctx| {
-        campaign_trial(
-            graph,
-            opinions,
-            scheduler,
-            engine,
-            faults,
-            telemetry_dir,
-            stride,
+    let report = if engine == "batch" {
+        // Groups of `lanes` trials run lockstep in one BatchProcess; a
+        // group that panics falls back to the scalar fast engine trial
+        // by trial, which reproduces the same outcomes (bit-exactness).
+        let kind = match scheduler {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        run_campaign_batched_monitored(
+            &cfg,
+            lanes,
             monitor,
-            &telemetry_errors,
-            ctx,
+            |ctxs| batch_group(graph, opinions, kind, faults, monitor, ctxs),
+            |ctx| fast_trial(graph, opinions, kind, faults, monitor, ctx),
         )
-    })
+    } else {
+        run_campaign_monitored(&cfg, monitor, |ctx| {
+            campaign_trial(
+                graph,
+                opinions,
+                scheduler,
+                &engine,
+                faults,
+                telemetry_dir,
+                stride,
+                monitor,
+                &telemetry_errors,
+                ctx,
+            )
+        })
+    }
     .map_err(|e| e.to_string())?;
 
     // Infra chatter goes to stderr: stdout stays a pure function of
@@ -820,6 +934,47 @@ fn fast_trial(
     )
 }
 
+/// One lockstep batch group: every lane of the group stepped together by
+/// a single [`BatchProcess`] over the shared compiled graph.  Lane `l`
+/// is seeded with `ctxs[l].seed`, so each lane is bit-exact against the
+/// [`fast_trial`] the batched campaign runner would otherwise have run —
+/// the report is identical to a scalar fast campaign's, just faster.
+fn batch_group(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    faults: &FaultPlan,
+    monitor: Option<&CampaignMonitor>,
+    ctxs: &[div_sim::TrialCtx],
+) -> Vec<TrialOutcome> {
+    let seeds: Vec<u64> = ctxs.iter().map(|c| c.seed).collect();
+    let mut batch =
+        BatchProcess::new(graph, opinions.to_vec(), kind, &seeds).expect("validated in setup");
+    let statuses = if faults.is_trivial() {
+        batch.run_to_consensus(ctxs[0].step_budget)
+    } else {
+        let (statuses, stats) = batch
+            .run_faulty_to_consensus(ctxs[0].step_budget, faults)
+            .expect("validated in setup");
+        for s in &stats {
+            publish_faults(monitor, s);
+        }
+        statuses
+    };
+    statuses
+        .into_iter()
+        .enumerate()
+        .map(|(l, status)| {
+            outcome_of(
+                status,
+                batch.is_two_adjacent(l),
+                batch.min_opinion(l),
+                batch.max_opinion(l),
+            )
+        })
+        .collect()
+}
+
 /// Runs one observed single trial on the resolved engine, streaming
 /// telemetry into `obs`.  Returns the outcome plus the engine label for
 /// the verdict line; fault stats are printed for non-trivial plans.
@@ -977,7 +1132,7 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<i32, String> {
             "unknown scheduler {scheduler:?} (use edge or vertex)"
         ));
     }
-    let engine = resolve_engine(opts)?;
+    let engine = demote_batch_for_observers(resolve_engine(opts)?, "stats");
     let faults_spec = opts.map_or_default("faults", "none");
     let faults = FaultPlan::parse(&faults_spec)?;
     faults.session(&opinions).map_err(|e| e.to_string())?;
@@ -1081,7 +1236,35 @@ fn cmd_compare_inner(
     let gspec = opts.map_or_default("graph", "");
     let ispec = opts.map_or_default("init", "uniform:5");
     cfg.tag = format!("compare div {gspec} {ispec} {engine} {faults_spec} {budget}");
-    let report = if engine == "fast" {
+    let report = if engine == "batch" {
+        let (lanes, threads) = parse_batch_knobs(opts)?;
+        cfg.threads = threads;
+        run_campaign_batched_monitored(
+            &cfg,
+            lanes,
+            monitor,
+            |ctxs| {
+                batch_group(
+                    &graph,
+                    &opinions,
+                    FastScheduler::Edge,
+                    &faults,
+                    monitor,
+                    ctxs,
+                )
+            },
+            |ctx| {
+                fast_trial(
+                    &graph,
+                    &opinions,
+                    FastScheduler::Edge,
+                    &faults,
+                    monitor,
+                    ctx,
+                )
+            },
+        )
+    } else if engine == "fast" {
         run_campaign_monitored(&cfg, monitor, |ctx| {
             fast_trial(
                 &graph,

@@ -26,20 +26,44 @@
 //!
 //! The comparisons are relative and in-process, so they are
 //! machine-independent; `--check-overhead` runs only these checks and
-//! exits nonzero if any arm fails.
+//! exits nonzero if any arm fails.  `--check-overhead --against OLD.json`
+//! instead re-validates the arms *recorded* in an existing BENCH file
+//! without re-measuring; arms a schema-older file does not record are
+//! skipped with a note rather than erroring, so the check keeps working
+//! against BENCH files written before an arm existed.
+//!
+//! A third section benchmarks the lockstep batch engine
+//! ([`div_core::BatchProcess`]): a fixed seeded campaign (32 trials,
+//! edge process) is run once trial-by-trial through the scalar fast
+//! engine and once in lockstep groups of 8 lanes through the batch
+//! engine, on one and on four worker threads.  The JSON gains a `batch`
+//! block with `lanes`, `threads`, `ns_per_lane_step` and
+//! `campaign_steps_per_sec` for each arm — both engines execute the
+//! bit-identical trajectories, so the ratio is pure engine overhead.
 
 use std::time::Instant;
 
 use div_core::{
-    init, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, NullObserver, RunStatus,
-    Scheduler, VertexScheduler,
+    init, BatchProcess, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
+    NullObserver, RunStatus, Scheduler, VertexScheduler,
 };
 use div_graph::{generators, Graph};
-use div_sim::{CampaignMonitor, TrialOutcome};
+use div_sim::{run_lane_groups, CampaignMonitor, SeedSequence, TrialOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const DEFAULT_STEPS: u64 = 2_000_000;
+
+/// Trials in the fixed batch-vs-scalar campaign workload.
+const BATCH_TRIALS: usize = 32;
+
+/// Lockstep lanes per group in the batch campaign arms.
+const DEFAULT_LANES: usize = 8;
+
+/// Master seed of the batch campaign workload (both arms derive trial
+/// seeds from it via [`SeedSequence::seed_for`], so they replay the same
+/// trajectories).
+const BATCH_MASTER: u64 = 0xBA7C;
 
 /// Maximum tolerated ratio of NullObserver-observed to plain fast-engine
 /// ns/step.  The observed path is monomorphised away when
@@ -47,7 +71,7 @@ const DEFAULT_STEPS: u64 = 2_000_000;
 const OVERHEAD_LIMIT: f64 = 1.05;
 
 fn usage() -> ! {
-    eprintln!("usage: perf_smoke [--steps N] [--out PATH] [--check-overhead]");
+    eprintln!("usage: perf_smoke [--steps N] [--out PATH] [--check-overhead [--against OLD.json]]");
     std::process::exit(2);
 }
 
@@ -254,10 +278,176 @@ struct Row {
     fast_ns: f64,
 }
 
+/// One batch-vs-scalar campaign measurement: the same `BATCH_TRIALS`
+/// seeded trials timed end to end through both engines.
+struct BatchRow {
+    graph: &'static str,
+    lanes: usize,
+    threads: usize,
+    scalar_ns_per_step: f64,
+    ns_per_lane_step: f64,
+    scalar_steps_per_sec: f64,
+    campaign_steps_per_sec: f64,
+}
+
+impl BatchRow {
+    fn speedup(&self) -> f64 {
+        self.campaign_steps_per_sec / self.scalar_steps_per_sec
+    }
+}
+
+/// Runs the fixed campaign workload trial by trial through the scalar
+/// fast engine, returning (total ns, total steps).
+fn scalar_campaign(g: &Graph, budget: u64) -> (f64, u64) {
+    let start = Instant::now();
+    let mut total = 0u64;
+    for trial in 0..BATCH_TRIALS {
+        let seed = SeedSequence::seed_for(BATCH_MASTER, trial as u64);
+        let mut p = FastProcess::new(g, opinions_for(g), FastScheduler::Edge).unwrap();
+        let mut rng = FastRng::seed_from_u64(seed);
+        p.run_to_consensus(budget, &mut rng);
+        total += p.steps();
+    }
+    (start.elapsed().as_nanos() as f64, total)
+}
+
+/// Runs the same workload in lockstep groups through the batch engine on
+/// `threads` workers, returning (total ns, total steps).  Seeds come from
+/// the same [`SeedSequence`], so every lane replays the scalar arm's
+/// trajectory bit-exactly — asserted by the caller via the step totals.
+fn batch_campaign(g: &Graph, lanes: usize, threads: usize, budget: u64) -> (f64, u64) {
+    let start = Instant::now();
+    let per_trial: Vec<u64> =
+        run_lane_groups(BATCH_TRIALS, BATCH_MASTER, lanes, threads, |_, seeds| {
+            let mut b = BatchProcess::new(g, opinions_for(g), FastScheduler::Edge, seeds).unwrap();
+            b.run_to_consensus(budget);
+            (0..seeds.len()).map(|l| b.steps(l)).collect()
+        });
+    (start.elapsed().as_nanos() as f64, per_trial.iter().sum())
+}
+
+/// Measures the batch engine's campaign throughput against the scalar
+/// fast engine on both benchmark graphs, single-threaded and on four
+/// workers.  Arms are interleaved across rounds (best-of-3) so machine
+/// drift hits them equally.
+fn measure_batch(budget: u64) -> Vec<BatchRow> {
+    let mut out = Vec::new();
+    for (gname, g) in graphs() {
+        let (mut scalar_ns, mut batch1_ns, mut batch4_ns) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let (mut scalar_steps, mut batch_steps) = (0u64, 0u64);
+        for _ in 0..3 {
+            let (ns, steps) = scalar_campaign(&g, budget);
+            scalar_ns = scalar_ns.min(ns);
+            scalar_steps = steps;
+            let (ns, steps) = batch_campaign(&g, DEFAULT_LANES, 1, budget);
+            batch1_ns = batch1_ns.min(ns);
+            batch_steps = steps;
+            let (ns, _) = batch_campaign(&g, DEFAULT_LANES, 4, budget);
+            batch4_ns = batch4_ns.min(ns);
+        }
+        assert_eq!(
+            scalar_steps, batch_steps,
+            "batch lanes must replay the scalar trajectories bit-exactly"
+        );
+        let steps = scalar_steps as f64;
+        for (threads, batch_ns) in [(1usize, batch1_ns), (4, batch4_ns)] {
+            out.push(BatchRow {
+                graph: gname,
+                lanes: DEFAULT_LANES,
+                threads,
+                scalar_ns_per_step: scalar_ns / steps,
+                ns_per_lane_step: batch_ns / steps,
+                scalar_steps_per_sec: steps / (scalar_ns * 1e-9),
+                campaign_steps_per_sec: steps / (batch_ns * 1e-9),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts every `"FIELD": NUMBER` occurrence inside the given
+/// top-level section of a BENCH file written by this tool.  The files
+/// are produced by our own stable hand-rolled writer, so plain string
+/// scanning is sufficient — no JSON parser dependency needed.
+fn recorded_ratios(text: &str, section: &str, field: &str) -> Option<Vec<f64>> {
+    let start = text.find(&format!("\"{section}\""))?;
+    // A section ends where the next top-level key begins (two-space
+    // indent), or at the closing brace of the document.
+    let body = &text[start..];
+    let end = body
+        .find("\n  \"")
+        .map(|i| i + 1)
+        .unwrap_or_else(|| body.rfind('}').unwrap_or(body.len()));
+    let body = &body[..end];
+    let needle = format!("\"{field}\":");
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(i) = rest.find(&needle) {
+        rest = &rest[i + needle.len()..];
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse() {
+            out.push(v);
+        }
+    }
+    Some(out)
+}
+
+/// `--check-overhead --against OLD.json`: re-validates the overhead arms
+/// recorded in an existing BENCH file against the current limit, skipping
+/// arms the file predates (older schemas) instead of erroring.  Returns
+/// the process exit code.
+fn check_recorded_overheads(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let mut failed = false;
+    for section in ["telemetry_overhead", "monitor_overhead"] {
+        match recorded_ratios(&text, section, "ratio") {
+            None => println!("{section}: absent from {path} (older schema); skipped"),
+            Some(ratios) if ratios.is_empty() => {
+                println!("{section}: no recorded ratios in {path}; skipped")
+            }
+            Some(ratios) => {
+                for r in ratios {
+                    let verdict = if r > OVERHEAD_LIMIT { "FAIL" } else { "ok" };
+                    println!("{section}: recorded ratio {r:.3} (limit {OVERHEAD_LIMIT}) {verdict}");
+                    failed |= r > OVERHEAD_LIMIT;
+                }
+            }
+        }
+    }
+    // The batch block is informational (absolute speedups are
+    // machine-dependent), but surface it so CI logs show what the file
+    // claims; absence is fine for pre-batch files.
+    match recorded_ratios(&text, "batch", "speedup") {
+        None => println!("batch: absent from {path} (older schema); skipped"),
+        Some(speedups) => {
+            for s in speedups {
+                println!("batch: recorded campaign speedup {s:.2}x");
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let mut steps = DEFAULT_STEPS;
     let mut out = String::from("BENCH_step_throughput.json");
     let mut check_overhead = false;
+    let mut against: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -270,10 +460,20 @@ fn main() {
                 None => usage(),
             },
             "--check-overhead" => check_overhead = true,
+            "--against" => match args.next() {
+                Some(path) => against = Some(path),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
+    if against.is_some() && !check_overhead {
+        usage();
+    }
 
+    if let (true, Some(path)) = (check_overhead, &against) {
+        std::process::exit(check_recorded_overheads(path));
+    }
     if check_overhead {
         let mut failed = false;
         for o in measure_overheads(steps) {
@@ -325,6 +525,7 @@ fn main() {
     }
 
     let overheads = measure_overheads(steps);
+    let batch_rows = measure_batch(steps);
 
     // Hand-rolled JSON: the workspace deliberately has no serializer
     // dependency.
@@ -342,6 +543,25 @@ fn main() {
             r.fast_ns,
             speedup,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"batch\": [\n");
+    for (i, b) in batch_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"process\": \"div_edge\", \"lanes\": {}, \"threads\": {}, \
+             \"scalar_ns_per_step\": {:.2}, \"ns_per_lane_step\": {:.2}, \
+             \"scalar_steps_per_sec\": {:.0}, \"campaign_steps_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            b.graph,
+            b.lanes,
+            b.threads,
+            b.scalar_ns_per_step,
+            b.ns_per_lane_step,
+            b.scalar_steps_per_sec,
+            b.campaign_steps_per_sec,
+            b.speedup(),
+            if i + 1 < batch_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
@@ -392,6 +612,18 @@ fn main() {
     });
     println!("wrote {out}");
 
+    for b in &batch_rows {
+        println!(
+            "{:>12}/batch K={} T={}  scalar {:5.2} ns/step   batch {:5.2} ns/lane-step   campaign {:>12.0} steps/s   speedup {:4.2}x",
+            b.graph,
+            b.lanes,
+            b.threads,
+            b.scalar_ns_per_step,
+            b.ns_per_lane_step,
+            b.campaign_steps_per_sec,
+            b.speedup()
+        );
+    }
     let worst = rows
         .iter()
         .map(|r| r.reference_ns / r.fast_ns)

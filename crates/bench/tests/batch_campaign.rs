@@ -1,0 +1,135 @@
+//! Thread- and grouping-invariance of batched campaigns driven by the
+//! lockstep engine.
+//!
+//! The batch engine itself is single-threaded per group; parallelism
+//! happens at the group level (`run_lane_groups`,
+//! `run_campaign_batched`).  These tests pin the determinism contract:
+//! neither the worker-thread count nor the lane grouping may change any
+//! lane's trajectory or any campaign outcome, because lane seeds depend
+//! only on the trial index.
+
+use div_core::{init, BatchProcess, FastScheduler};
+use div_graph::generators;
+use div_sim::{run_campaign_batched, run_lane_groups, CampaignConfig, SeedSequence, TrialOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload() -> (div_graph::Graph, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = generators::random_regular(80, 4, &mut rng).unwrap();
+    let opinions = init::uniform_random(80, 7, &mut rng).unwrap();
+    (g, opinions)
+}
+
+/// A lane's full observable end state — what thread sharding must not
+/// perturb.
+#[derive(Debug, PartialEq)]
+struct LaneTrace {
+    status: div_core::RunStatus,
+    steps: u64,
+    opinions: Vec<i64>,
+}
+
+fn batched_traces(trials: usize, lanes: usize, threads: usize) -> Vec<LaneTrace> {
+    let (g, opinions) = workload();
+    run_lane_groups(trials, 0xD15C, lanes, threads, |_, seeds| {
+        let mut b = BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, seeds).unwrap();
+        let statuses = b.run_to_consensus(200_000);
+        statuses
+            .into_iter()
+            .enumerate()
+            .map(|(l, status)| LaneTrace {
+                status,
+                steps: b.steps(l),
+                opinions: b.opinions_of(l),
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn thread_count_does_not_change_any_lane_trajectory() {
+    let base = batched_traces(19, 8, 1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(
+            base,
+            batched_traces(19, 8, threads),
+            "trajectories diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn lane_grouping_does_not_change_any_lane_trajectory() {
+    // K=1 groups are literally scalar fast-engine runs (one lane each),
+    // so equality across K also re-checks batch-vs-scalar equivalence
+    // through the pool's seed discipline.
+    let base = batched_traces(19, 1, 1);
+    for lanes in [3usize, 8, 16] {
+        assert_eq!(
+            base,
+            batched_traces(19, lanes, 2),
+            "trajectories diverged at {lanes} lanes"
+        );
+    }
+}
+
+#[test]
+fn batched_campaign_report_is_thread_and_lane_invariant() {
+    let (g, opinions) = workload();
+    let run = |lanes: usize, threads: usize| {
+        let mut cfg = CampaignConfig::new(23, 0xCAFE);
+        cfg.step_budget = 200_000;
+        cfg.threads = threads;
+        let batch = |ctxs: &[div_sim::TrialCtx]| -> Vec<TrialOutcome> {
+            let seeds: Vec<u64> = ctxs.iter().map(|c| c.seed).collect();
+            let mut b =
+                BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &seeds).unwrap();
+            let statuses = b.run_to_consensus(ctxs[0].step_budget);
+            statuses
+                .into_iter()
+                .map(|status| match status {
+                    div_core::RunStatus::Consensus { opinion, steps } => TrialOutcome::Converged {
+                        winner: opinion,
+                        steps,
+                    },
+                    div_core::RunStatus::TwoAdjacent { low, high, steps } => {
+                        TrialOutcome::TwoAdjacent { low, high, steps }
+                    }
+                    div_core::RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
+                })
+                .collect()
+        };
+        let scalar = |ctx: &div_sim::TrialCtx| {
+            let group = batch(std::slice::from_ref(ctx));
+            group.into_iter().next().unwrap()
+        };
+        run_campaign_batched(&cfg, lanes, batch, scalar)
+            .unwrap()
+            .render()
+    };
+    let base = run(8, 1);
+    assert_eq!(base, run(8, 4), "thread count changed the report");
+    assert_eq!(base, run(3, 2), "lane count changed the report");
+    assert_eq!(
+        base,
+        run(1, 1),
+        "scalar-equivalent grouping changed the report"
+    );
+}
+
+#[test]
+fn lane_seeds_follow_the_campaign_seed_discipline() {
+    // The pool must hand groups exactly seed_for(master, index): the
+    // property that makes batch lanes interchangeable with scalar trials.
+    let seen = run_lane_groups(10, 0xABCD, 4, 1, |idxs, seeds| {
+        idxs.iter()
+            .zip(seeds)
+            .map(|(&i, &s)| (i, s))
+            .collect::<Vec<_>>()
+    });
+    for (i, (idx, seed)) in seen.into_iter().enumerate() {
+        assert_eq!(i, idx);
+        assert_eq!(seed, SeedSequence::seed_for(0xABCD, i as u64));
+    }
+}

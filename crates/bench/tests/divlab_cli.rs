@@ -103,6 +103,226 @@ fn trace_with_fast_engine_falls_back_on_stats() {
 }
 
 #[test]
+fn trace_with_batch_engine_falls_back_on_run() {
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:40",
+        "--init",
+        "blocks:1x20,5x20",
+        "--engine",
+        "batch",
+        "--trace",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains(FALLBACK), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("trace:"), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn batch_single_run_matches_fast_single_run() {
+    let batch = divlab(&[
+        "run",
+        "--graph",
+        "complete:50",
+        "--engine",
+        "batch",
+        "--seed",
+        "41",
+    ]);
+    let fast = divlab(&[
+        "run",
+        "--graph",
+        "complete:50",
+        "--engine",
+        "fast",
+        "--seed",
+        "41",
+    ]);
+    assert!(batch.status.success(), "stderr: {}", stderr(&batch));
+    // The verdict lines differ only in the engine label.
+    assert_eq!(
+        stdout(&batch).replace("batch engine", "fast engine"),
+        stdout(&fast),
+        "batch and fast single runs diverged"
+    );
+}
+
+#[test]
+fn batch_campaign_report_matches_fast_campaign_report() {
+    let args = |engine: &'static str| {
+        vec![
+            "campaign",
+            "--graph",
+            "regular:120:6",
+            "--init",
+            "uniform:5",
+            "--trials",
+            "13",
+            "--seed",
+            "17",
+            "--engine",
+            engine,
+        ]
+    };
+    let batch = divlab(&args("batch"));
+    let fast = divlab(&args("fast"));
+    assert!(batch.status.success(), "stderr: {}", stderr(&batch));
+    assert!(fast.status.success(), "stderr: {}", stderr(&fast));
+    assert_eq!(
+        stdout(&batch),
+        stdout(&fast),
+        "batch campaign report must be byte-identical to the fast engine's"
+    );
+    assert!(stdout(&batch).contains("outcomes converged=13"));
+}
+
+#[test]
+fn faulty_batch_campaign_report_matches_fast_campaign_report() {
+    let args = |engine: &'static str| {
+        vec![
+            "campaign",
+            "--graph",
+            "regular:100:6",
+            "--trials",
+            "11",
+            "--seed",
+            "29",
+            "--faults",
+            "drop:0.2",
+            "--budget",
+            "400000",
+            "--engine",
+            engine,
+        ]
+    };
+    let batch = divlab(&args("batch"));
+    let fast = divlab(&args("fast"));
+    assert_eq!(
+        stdout(&batch),
+        stdout(&fast),
+        "faulty batch campaign must replay the fast engine's outcomes"
+    );
+    assert_eq!(batch.status.code(), fast.status.code());
+}
+
+#[test]
+fn batch_campaign_telemetry_demotes_to_fast_with_warning() {
+    let dir = temp_file("batch-telemetry", "d");
+    let out = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "batch",
+        "--trials",
+        "3",
+        "--telemetry",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("falling back to --engine fast"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert_eq!(
+        std::fs::read_dir(&dir).expect("telemetry dir").count(),
+        3,
+        "demoted campaign still writes per-trial traces"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_with_batch_engine_demotes_to_fast_with_warning() {
+    let out = divlab(&["stats", "--graph", "complete:40", "--engine", "batch"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("falling back to --engine fast"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("consensus on"), "{}", stdout(&out));
+}
+
+#[test]
+fn compare_with_batch_engine_matches_fast_div_row() {
+    let args = |engine: &'static str| {
+        vec![
+            "compare",
+            "--graph",
+            "complete:24",
+            "--trials",
+            "8",
+            "--seed",
+            "13",
+            "--engine",
+            engine,
+        ]
+    };
+    let batch = divlab(&args("batch"));
+    let fast = divlab(&args("fast"));
+    assert!(batch.status.success(), "stderr: {}", stderr(&batch));
+    assert_eq!(
+        stdout(&batch),
+        stdout(&fast),
+        "compare's div row must not depend on batch-vs-fast"
+    );
+}
+
+#[test]
+fn zero_lanes_is_a_usage_error() {
+    let out = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:20",
+        "--engine",
+        "batch",
+        "--trials",
+        "4",
+        "--lanes",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--lanes"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_engine_names_all_three_variants() {
+    let out = divlab(&["run", "--graph", "complete:10", "--engine", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("use reference, fast or batch"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn campaign_subcommand_forces_campaign_mode_at_one_trial() {
+    let out = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "batch",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("campaign master=5 trials=1"),
+        "campaign mode not forced: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
 fn telemetry_jsonl_export_contains_trajectory() {
     let path = temp_file("jsonl", "jsonl");
     let out = divlab(&[

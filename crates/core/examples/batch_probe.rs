@@ -1,0 +1,47 @@
+//! Quick throughput probe: scalar fast engine vs the lockstep batch
+//! engine on the two perf_smoke graphs.  Dev tool, not a benchmark —
+//! `cargo run --release -p div-core --example batch_probe`.
+
+use div_core::{init, BatchProcess, FastProcess, FastRng, FastScheduler};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut setup = rand::rngs::StdRng::seed_from_u64(1);
+    let complete = div_graph::generators::complete(1000).unwrap();
+    let regular = div_graph::generators::random_regular(1000, 8, &mut setup).unwrap();
+    let mut init_rng = rand::rngs::StdRng::seed_from_u64(7);
+    let opinions = init::uniform_random(1000, 9, &mut init_rng).unwrap();
+    let budget = 200_000u64;
+
+    for (name, g) in [("complete_1k", &complete), ("regular8_1k", &regular)] {
+        for kind in [FastScheduler::Edge, FastScheduler::Vertex] {
+            for k in [4usize, 8, 16] {
+                let seeds: Vec<u64> = (0..k as u64).map(|t| 0xFEED ^ t).collect();
+                // scalar: run each trial independently
+                let t0 = Instant::now();
+                let mut scalar_steps = 0u64;
+                for &s in &seeds {
+                    let mut rng = FastRng::seed_from_u64(s);
+                    let mut p = FastProcess::new(g, opinions.clone(), kind).unwrap();
+                    p.run_to_consensus(budget, &mut rng);
+                    scalar_steps += p.steps();
+                }
+                let scalar = t0.elapsed().as_secs_f64();
+                // batch
+                let t0 = Instant::now();
+                let mut b = BatchProcess::new(g, opinions.clone(), kind, &seeds).unwrap();
+                b.run_to_consensus(budget);
+                let batch_steps: u64 = (0..k).map(|l| b.steps(l)).sum();
+                let batch = t0.elapsed().as_secs_f64();
+                assert_eq!(scalar_steps, batch_steps);
+                println!(
+                    "{name:12} {kind:?}v K={k:2}  scalar {:6.2} ns/step  batch {:6.2} ns/lane-step  speedup {:.2}x",
+                    1e9 * scalar / scalar_steps as f64,
+                    1e9 * batch / batch_steps as f64,
+                    scalar / batch
+                );
+            }
+        }
+    }
+}

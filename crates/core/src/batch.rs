@@ -1,0 +1,936 @@
+//! Lockstep multi-trial batch stepping engine.
+//!
+//! A Monte-Carlo campaign runs many independent trials of the same
+//! instance (one graph, one initial opinion vector, per-trial seeds).
+//! [`FastProcess`] executes those trials one at a time at ~5 ns/step,
+//! and every one of those steps pays for more than the step itself: the
+//! per-opinion count table, the live-range walk and the convergence
+//! check that exact stopping needs are all maintained *incrementally*,
+//! on the hot path.
+//!
+//! [`BatchProcess`] runs `K` trials ("lanes") of one compiled instance
+//! and splits that per-step work into three rates:
+//!
+//! * **per lane-step** (the hot loop): one sampler draw from the lane's
+//!   own stream and one bare branchless toward-step — a `u16` load /
+//!   compare / store against the lane's opinion column.  No counts, no
+//!   range bookkeeping, no stopping check.  The lane's RNG lives in
+//!   registers for the whole block instead of being re-loaded from the
+//!   lane array every step.
+//! * **per block** (every `B ≈ max(n, 1024)` lane-steps): a contiguous
+//!   min/max scan of the lane's column.  Fault-free DIV never widens the
+//!   live opinion range (a vertex moves *toward* a held opinion, so it
+//!   can never pass the current extremes), so a lane whose width is
+//!   above the stop target at a block boundary was above it for the
+//!   whole block — deferred checking loses nothing.
+//! * **once per finishing lane**: a lane that crossed the stop width
+//!   inside a block is rewound to the block-start snapshot (its column
+//!   and its RNG) and replayed step-by-step with full bookkeeping to
+//!   its exact first hit — the same snapshot/rewind trick the scalar
+//!   engine's block stepping uses, applied per lane.
+//!
+//! Opinion state is structure-of-arrays: one contiguous `u16` column of
+//! offsets per lane (`opinions[l * n + v]`), half the bytes of the
+//! scalar engine's `u32` state, so `K` in-flight trials fit in cache
+//! together and column scans, snapshots and rewinds are straight-line
+//! `memcpy`/scan loops.  (Packing lanes into shared wide words was
+//! considered and rejected: each lane steps an independently drawn
+//! vertex, so cross-lane SIMD on the opinion update never aligns; the
+//! win comes from sharing the compiled instance and amortising the
+//! bookkeeping, not from sharing arithmetic.)  The per-lane stat
+//! registers (`S(t)`, `Z(t)`, min/max, distinct, `N_i(t)`) are derived
+//! from the columns by contiguous scans when read; they never burden
+//! the hot loop.
+//!
+//! # What is shared, what is per-lane
+//!
+//! Shared across lanes (compiled/validated **once** per batch):
+//! the graph, the [`CompiledSampler`] tables (alias slots, complete-pair
+//! ranges, Lemire constants), the base offset and span, the initial
+//! opinion vector.
+//!
+//! Strictly per-lane: the xoshiro256++ stream, the opinion column and
+//! the step counter.  **No random draw is ever shared between lanes** —
+//! sharing draws would correlate trials and break the bit-exactness
+//! contract below.
+//!
+//! # The bit-exactness contract
+//!
+//! Lane `l` seeded with `s` produces *exactly* the trajectory, step
+//! count, final status and fault statistics of
+//! `FastProcess::new(..)` driven by `FastRng::seed_from_u64(s)`:
+//!
+//! * per step, one [`CompiledSampler::pick`] from the lane's stream —
+//!   the same draw order (including Lemire rejection redraws) as the
+//!   scalar engine;
+//! * a lane's steps, final state and RNG position freeze at its exact
+//!   first hit of the stop width (block overshoot is rewound and
+//!   replayed, exactly like the scalar engine's `run_blocks`);
+//! * faulty lanes run the identical per-step fault pipeline
+//!   ([`FaultSession::filter`]) with the identical documented RNG draw
+//!   order, falling back to per-lane scalar stepping (faults can widen
+//!   the range, so the monotonicity argument above does not apply);
+//! * the analytic finish ([`FinishPolicy::AnalyticTwoAdjacent`]) makes
+//!   the same single bounded draw from the lane's stream at `τ`.
+//!
+//! The property tests in `crates/core/tests/` assert lane-vs-scalar
+//! equality across random graphs, seeds, lane counts and fault plans.
+//!
+//! # Examples
+//!
+//! ```
+//! use div_core::{init, BatchProcess, FastScheduler, RunStatus};
+//! use div_graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::complete(40)?;
+//! let opinions = init::blocks(&[(1, 20), (5, 20)])?;
+//! let seeds: Vec<u64> = (0..8).map(|t| 1000 + t).collect();
+//! let mut batch = BatchProcess::new(&g, opinions, FastScheduler::Edge, &seeds)?;
+//! for status in batch.run_to_consensus(10_000_000) {
+//!     match status {
+//!         // The winner is random (Theorem 2) but must lie in the
+//!         // initial range — width never expands fault-free.
+//!         RunStatus::Consensus { opinion, .. } => assert!((1..=5).contains(&opinion)),
+//!         other => panic!("lane did not converge: {other:?}"),
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use div_graph::Graph;
+use rand::SeedableRng;
+
+use crate::engine::{bounded_u32_half, bounded_u64, CompiledSampler};
+use crate::error::DivError;
+use crate::fault::{FaultPlan, FaultStats};
+use crate::process::RunStatus;
+use crate::rng::FastRng;
+use crate::scheduler::SelectionBias;
+use crate::state::OpinionState;
+use crate::telemetry::TelemetrySample;
+use crate::{FastScheduler, FinishPolicy};
+
+/// Widest opinion span the `u16` lane offsets can hold.  Narrower than
+/// the scalar engine's limit, but still far above the paper's
+/// `k = o(n / log n)` regime.
+const LANE_SPAN_LIMIT: usize = 1 << 16;
+
+/// `K` trials of one DIV instance stepped in lockstep (see the module
+/// docs for the layout and the bit-exactness contract).
+#[derive(Debug, Clone)]
+pub struct BatchProcess<'g> {
+    graph: &'g Graph,
+    kind: FastScheduler,
+    sampler: CompiledSampler,
+    lanes: usize,
+    span: usize,
+    base: i64,
+    /// The shared initial opinion vector (fault sessions validate
+    /// stubborn/crash sets against it, exactly as the scalar engine does).
+    initial: Vec<i64>,
+    /// Structure-of-arrays offsets: lane `l`'s column is
+    /// `opinions[l * n .. (l + 1) * n]`, indexed by vertex.
+    opinions: Vec<u16>,
+    steps: Vec<u64>,
+    rngs: Vec<FastRng>,
+}
+
+impl<'g> BatchProcess<'g> {
+    /// Compiles a batch: one lane per seed, all lanes starting from the
+    /// same `opinions` vector.  Lane `l` draws from
+    /// `FastRng::seed_from_u64(seeds[l])`, so pairing lane `l` with trial
+    /// seeds from `div_sim::SeedSequence::seed_for` reproduces the scalar
+    /// campaign exactly.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`OpinionState::new`] rejects, plus
+    /// [`DivError::SpanTooLarge`] when the span exceeds the `u16` lane
+    /// limit (65 536 distinct opinions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty — a batch needs at least one lane.
+    pub fn new(
+        graph: &'g Graph,
+        opinions: Vec<i64>,
+        scheduler: FastScheduler,
+        seeds: &[u64],
+    ) -> Result<Self, DivError> {
+        assert!(!seeds.is_empty(), "a batch needs at least one lane");
+        let reference = OpinionState::new(graph, opinions)?;
+        let base = reference.min_opinion();
+        let span = (reference.max_opinion() - base) as usize + 1;
+        if span > LANE_SPAN_LIMIT {
+            return Err(DivError::SpanTooLarge {
+                min: base,
+                max: reference.max_opinion(),
+                limit: LANE_SPAN_LIMIT,
+            });
+        }
+        let lanes = seeds.len();
+        let n = reference.num_vertices();
+        let initial = reference.opinions().to_vec();
+        let column: Vec<u16> = initial.iter().map(|&x| (x - base) as u16).collect();
+        let mut soa = Vec::with_capacity(n * lanes);
+        for _ in 0..lanes {
+            soa.extend_from_slice(&column);
+        }
+        Ok(BatchProcess {
+            graph,
+            kind: scheduler,
+            sampler: CompiledSampler::compile(graph, scheduler),
+            lanes,
+            span,
+            base,
+            initial,
+            opinions: soa,
+            steps: vec![0u64; lanes],
+            rngs: seeds.iter().map(|&s| FastRng::seed_from_u64(s)).collect(),
+        })
+    }
+
+    /// The number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The number of vertices (shared across lanes).
+    pub fn num_vertices(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// The scheduler the batch was compiled for.
+    pub fn scheduler(&self) -> FastScheduler {
+        self.kind
+    }
+
+    /// Lane `l`'s column of `u16` offsets, indexed by vertex.
+    fn column(&self, l: usize) -> &[u16] {
+        let n = self.initial.len();
+        &self.opinions[l * n..(l + 1) * n]
+    }
+
+    /// Smallest and largest offset currently held in lane `l` (one
+    /// contiguous `O(n)` scan).
+    fn column_min_max(&self, l: usize) -> (u16, u16) {
+        let (mut mn, mut mx) = (u16::MAX, 0u16);
+        for &x in self.column(l) {
+            mn = mn.min(x);
+            mx = mx.max(x);
+        }
+        (mn, mx)
+    }
+
+    fn width(&self, l: usize) -> u16 {
+        let (mn, mx) = self.column_min_max(l);
+        mx - mn
+    }
+
+    /// Steps taken by lane `l` so far.
+    pub fn steps(&self, l: usize) -> u64 {
+        self.steps[l]
+    }
+
+    /// `S(t)` for lane `l` (`O(n)` column scan).
+    pub fn sum(&self, l: usize) -> i64 {
+        let off: i64 = self.column(l).iter().map(|&x| x as i64).sum();
+        self.base * self.initial.len() as i64 + off
+    }
+
+    /// The smallest opinion currently held in lane `l`.
+    pub fn min_opinion(&self, l: usize) -> i64 {
+        self.base + self.column_min_max(l).0 as i64
+    }
+
+    /// The largest opinion currently held in lane `l`.
+    pub fn max_opinion(&self, l: usize) -> i64 {
+        self.base + self.column_min_max(l).1 as i64
+    }
+
+    /// `N_i(t)` for `opinion` in lane `l` (0 outside the initial span;
+    /// `O(n)` column scan).
+    pub fn count(&self, l: usize, opinion: i64) -> usize {
+        let off = opinion - self.base;
+        if !(0..self.span as i64).contains(&off) {
+            return 0;
+        }
+        let off = off as u16;
+        self.column(l).iter().filter(|&&x| x == off).count()
+    }
+
+    /// Whether lane `l` has reached consensus.
+    pub fn is_consensus(&self, l: usize) -> bool {
+        self.width(l) == 0
+    }
+
+    /// Whether lane `l` holds at most two adjacent opinions (the paper's
+    /// `τ`).
+    pub fn is_two_adjacent(&self, l: usize) -> bool {
+        self.width(l) <= 1
+    }
+
+    /// The number of distinct opinions currently held in lane `l`.
+    pub fn distinct(&self, l: usize) -> usize {
+        let mut held = self.column(l).to_vec();
+        held.sort_unstable();
+        held.dedup();
+        held.len()
+    }
+
+    /// Lane `l`'s current opinion vector, indexed by vertex.
+    pub fn opinions_of(&self, l: usize) -> Vec<i64> {
+        self.column(l)
+            .iter()
+            .map(|&x| self.base + x as i64)
+            .collect()
+    }
+
+    /// The telemetry sample for lane `l`, matching the scalar engine's
+    /// [`TelemetrySample`] fields exactly (all registers are `O(n)`
+    /// column scans, computed only when sampled).
+    pub fn telemetry_sample(&self, l: usize) -> TelemetrySample {
+        let n = self.initial.len();
+        let two_m = self.graph.total_degree() as i64;
+        let dw_off: i64 = self
+            .column(l)
+            .iter()
+            .enumerate()
+            .map(|(v, &x)| self.graph.degree(v) as i64 * x as i64)
+            .sum();
+        let dws = self.base * two_m + dw_off;
+        let (mn, mx) = self.column_min_max(l);
+        TelemetrySample {
+            step: self.steps[l],
+            sum: self.sum(l),
+            z_weight: n as f64 * (dws as f64 / two_m as f64),
+            min: self.base + mn as i64,
+            max: self.base + mx as i64,
+            distinct: self.distinct(l),
+        }
+    }
+
+    /// Lane `l`'s result after a run to `stop_width`: classified like the
+    /// scalar `status()` when the lane got there, `StepLimit` when the
+    /// budget ran out first (matching `run_blocks`, which only classifies
+    /// on a hit).
+    fn result_for(&self, l: usize, stop_width: u16) -> RunStatus {
+        let (mn, mx) = self.column_min_max(l);
+        let w = mx - mn;
+        if w > stop_width {
+            RunStatus::StepLimit {
+                steps: self.steps[l],
+            }
+        } else if w == 0 {
+            RunStatus::Consensus {
+                opinion: self.base + mn as i64,
+                steps: self.steps[l],
+            }
+        } else {
+            RunStatus::TwoAdjacent {
+                low: self.base + mn as i64,
+                high: self.base + mx as i64,
+                steps: self.steps[l],
+            }
+        }
+    }
+
+    /// Replays lane `l` step-by-step with full bookkeeping until its
+    /// width first reaches `stop_width`, returning the number of steps
+    /// taken.  Called after a rewind, so the hit is guaranteed within
+    /// `limit` steps.
+    fn replay_lane_to_width(
+        &mut self,
+        l: usize,
+        limit: u64,
+        stop_width: u16,
+        counts: &mut Vec<u32>,
+    ) -> u64 {
+        let n = self.initial.len();
+        counts.clear();
+        counts.resize(self.span, 0);
+        for v in 0..n {
+            counts[self.opinions[l * n + v] as usize] += 1;
+        }
+        let mut lo = counts.iter().position(|&c| c > 0).expect("non-empty") as u16;
+        let mut hi = counts.iter().rposition(|&c| c > 0).expect("non-empty") as u16;
+        debug_assert!(hi - lo > stop_width, "replay starts above the stop width");
+        for r in 1..=limit {
+            let (v, w) = self.sampler.pick(self.graph, &mut self.rngs[l]);
+            let xi = l * n + v;
+            let xv = self.opinions[xi];
+            let xw = self.opinions[l * n + w];
+            let delta = (xw > xv) as i32 - ((xw < xv) as i32);
+            if delta != 0 {
+                let new = (xv as i32 + delta) as u16;
+                self.opinions[xi] = new;
+                counts[xv as usize] -= 1;
+                counts[new as usize] += 1;
+                if counts[xv as usize] == 0 {
+                    if xv == lo {
+                        while counts[lo as usize] == 0 {
+                            lo += 1;
+                        }
+                    }
+                    if xv == hi {
+                        while counts[hi as usize] == 0 {
+                            hi -= 1;
+                        }
+                    }
+                    if hi - lo <= stop_width {
+                        return r;
+                    }
+                }
+            }
+        }
+        unreachable!("block scan found a hit that the replay did not");
+    }
+
+    /// The hot loop: every lane above `stop_width` takes at most
+    /// `max_steps` additional steps, in blocks of `B = max(n, 1024)`
+    /// bare toward-steps per lane (see the module docs for the
+    /// block/scan/rewind scheme).  Lanes are driven one at a time per
+    /// block — they never interact, so per-lane order is equivalent to
+    /// round-lockstep order and keeps the lane's RNG in registers.  The
+    /// sampler variant is matched **once** out here so each lane's block
+    /// loop is monomorphic.
+    fn run_width(&mut self, max_steps: u64, stop_width: u16) -> Vec<RunStatus> {
+        let k = self.lanes;
+        let n = self.initial.len();
+        let mut active: Vec<u32> = (0..k as u32)
+            .filter(|&l| self.width(l as usize) > stop_width)
+            .collect();
+        // Big blocks amortise the snapshot + scan (~2n ops) to noise;
+        // overshoot is paid once per lane (the block it finishes in), at
+        // scalar replay speed, so large blocks cost almost nothing.
+        let block = (4 * n as u64).max(8192);
+        let mut remaining = max_steps;
+        let mut col_snap: Vec<u16> = vec![0u16; n];
+        let mut counts_scratch: Vec<u32> = Vec::new();
+        while remaining > 0 && !active.is_empty() {
+            let b = block.min(remaining);
+            remaining -= b;
+
+            // Drive phase: each active lane takes b bare toward-steps.
+            // `finished` collects lanes whose end-of-block width is at or
+            // below the stop target; they are rewound and replayed below.
+            let mut finished: Vec<u32> = Vec::new();
+            {
+                let graph = self.graph;
+                let BatchProcess {
+                    sampler,
+                    opinions,
+                    rngs,
+                    ..
+                } = self;
+
+                macro_rules! drive {
+                    ($pick:expr) => {{
+                        let pick = $pick;
+                        for &lane in active.iter() {
+                            let l = lane as usize;
+                            let col = &mut opinions[l * n..(l + 1) * n];
+                            col_snap.copy_from_slice(col);
+                            let snap_rng = rngs[l];
+                            let mut rng = rngs[l];
+                            for _ in 0..b {
+                                let (v, w) = pick(&mut rng);
+                                let xv = col[v as usize];
+                                let xw = col[w as usize];
+                                let delta = (xw > xv) as i32 - ((xw < xv) as i32);
+                                col[v as usize] = (xv as i32 + delta) as u16;
+                            }
+                            let (mut mn, mut mx) = (u16::MAX, 0u16);
+                            for &x in col.iter() {
+                                mn = mn.min(x);
+                                mx = mx.max(x);
+                            }
+                            if mx - mn <= stop_width {
+                                // Crossed inside the block: rewind to the
+                                // block start; the settle phase replays to
+                                // the exact first hit.
+                                col.copy_from_slice(&col_snap);
+                                rngs[l] = snap_rng;
+                                finished.push(lane);
+                            } else {
+                                rngs[l] = rng;
+                            }
+                        }
+                    }};
+                }
+
+                match sampler {
+                    CompiledSampler::Vertex { n } => {
+                        let n = *n;
+                        drive!(|rng: &mut FastRng| loop {
+                            let word = rng.next_word();
+                            let Some(v) = bounded_u32_half((word >> 32) as u32, n) else {
+                                continue;
+                            };
+                            let d = graph.degree(v as usize) as u32;
+                            let Some(slot) = bounded_u32_half(word as u32, d) else {
+                                continue;
+                            };
+                            break (v, graph.neighbor(v as usize, slot as usize) as u32);
+                        });
+                    }
+                    CompiledSampler::CompletePair { n } => {
+                        let n = *n;
+                        drive!(|rng: &mut FastRng| loop {
+                            let word = rng.next_word();
+                            let Some(v) = bounded_u32_half((word >> 32) as u32, n) else {
+                                continue;
+                            };
+                            let Some(w) = bounded_u32_half(word as u32, n - 1) else {
+                                continue;
+                            };
+                            // Skip over v: maps [0, n−1) onto [0, n) \ {v}.
+                            break (v, w + (w >= v) as u32);
+                        });
+                    }
+                    CompiledSampler::Edge { endpoints, two_m } => {
+                        let endpoints = endpoints.as_slice();
+                        let two_m = *two_m;
+                        drive!(|rng: &mut FastRng| {
+                            let j = bounded_u64(rng, two_m) as usize;
+                            (endpoints[j], endpoints[j ^ 1])
+                        });
+                    }
+                    CompiledSampler::Alias { slots, n } => {
+                        let slots = slots.as_slice();
+                        let n = *n;
+                        drive!(|rng: &mut FastRng| {
+                            let v = loop {
+                                let word = rng.next_word();
+                                let Some(i) = bounded_u32_half((word >> 32) as u32, n) else {
+                                    continue;
+                                };
+                                let slot = slots[i as usize];
+                                break if (word as u32) < (slot >> 32) as u32 {
+                                    i as usize
+                                } else {
+                                    (slot as u32) as usize
+                                };
+                            };
+                            let d = graph.degree(v) as u64;
+                            (
+                                v as u32,
+                                graph.neighbor(v, bounded_u64(rng, d) as usize) as u32,
+                            )
+                        });
+                    }
+                }
+            }
+
+            // Settle phase: survivors took every round; finishers replay
+            // from the block-start snapshot to their exact first hit and
+            // retire from the active set.
+            for &lane in &active {
+                if !finished.contains(&lane) {
+                    self.steps[lane as usize] += b;
+                }
+            }
+            for &lane in &finished {
+                let l = lane as usize;
+                let r = self.replay_lane_to_width(l, b, stop_width, &mut counts_scratch);
+                self.steps[l] += r;
+            }
+            active.retain(|lane| !finished.contains(lane));
+        }
+        (0..k).map(|l| self.result_for(l, stop_width)).collect()
+    }
+
+    /// Runs every lane until consensus or until `max_steps` additional
+    /// steps per lane.  Equivalent to `FastProcess::run_to_consensus` on
+    /// each lane independently.
+    pub fn run_to_consensus(&mut self, max_steps: u64) -> Vec<RunStatus> {
+        self.run_width(max_steps, 0)
+    }
+
+    /// Runs every lane until at most two adjacent opinions remain (the
+    /// paper's `τ`) or until `max_steps` additional steps per lane.
+    pub fn run_to_two_adjacent(&mut self, max_steps: u64) -> Vec<RunStatus> {
+        self.run_width(max_steps, 1)
+    }
+
+    /// Runs every lane under a finish policy, mirroring
+    /// `FastProcess::run_with_policy`: the analytic finish stops each lane
+    /// at `τ` and resolves the winner with one bounded draw from that
+    /// lane's stream (Lemma 5's stationary weights).
+    pub fn run_with_policy(&mut self, max_steps: u64, policy: FinishPolicy) -> Vec<RunStatus> {
+        match policy {
+            FinishPolicy::Simulate => self.run_to_consensus(max_steps),
+            FinishPolicy::AnalyticTwoAdjacent => {
+                let statuses = self.run_to_two_adjacent(max_steps);
+                statuses
+                    .into_iter()
+                    .enumerate()
+                    .map(|(l, status)| match status {
+                        RunStatus::TwoAdjacent { low, high, steps } => {
+                            let high_wins = match self.kind.selection_bias() {
+                                SelectionBias::Stationary => {
+                                    let n = self.initial.len() as u64;
+                                    let hits = self.count(l, high) as u64;
+                                    bounded_u64(&mut self.rngs[l], n) < hits
+                                }
+                                SelectionBias::UniformVertex => {
+                                    let two_m = self.graph.total_degree() as u64;
+                                    let mass = self.degree_mass_of(l, high);
+                                    bounded_u64(&mut self.rngs[l], two_m) < mass
+                                }
+                            };
+                            RunStatus::Consensus {
+                                opinion: if high_wins { high } else { low },
+                                steps,
+                            }
+                        }
+                        done => done,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// `d(A_i)` for `opinion` in lane `l` (`O(n)` column scan, only
+    /// needed once per lane, at `τ`).
+    fn degree_mass_of(&self, l: usize, opinion: i64) -> u64 {
+        let off = (opinion - self.base) as u16;
+        self.column(l)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x == off)
+            .map(|(v, _)| self.graph.degree(v) as u64)
+            .sum()
+    }
+
+    /// Runs every lane to consensus under a fault plan.
+    ///
+    /// Faulty lanes fall back to per-lane scalar stepping: each lane gets
+    /// its own fresh [`FaultSession`](crate::FaultSession) (validated
+    /// against the shared initial opinions) and replays the scalar
+    /// engine's exact per-step fault pipeline and RNG draw order, with
+    /// full per-step bookkeeping (noise can widen the live range, so the
+    /// block deferral is unsound here).
+    ///
+    /// Like the scalar engine's faulty runners, each call builds fresh
+    /// sessions — crash/stale timers restart, so chunking a faulty run is
+    /// *not* equivalent to one long call.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`FaultPlan::session`] rejects for this instance.
+    pub fn run_faulty_to_consensus(
+        &mut self,
+        max_steps: u64,
+        plan: &FaultPlan,
+    ) -> Result<(Vec<RunStatus>, Vec<FaultStats>), DivError> {
+        self.run_faulty_width(max_steps, plan, 0)
+    }
+
+    /// Runs every lane to the two-adjacent time `τ` under a fault plan.
+    /// See [`BatchProcess::run_faulty_to_consensus`] for the session
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`FaultPlan::session`] rejects for this instance.
+    pub fn run_faulty_to_two_adjacent(
+        &mut self,
+        max_steps: u64,
+        plan: &FaultPlan,
+    ) -> Result<(Vec<RunStatus>, Vec<FaultStats>), DivError> {
+        self.run_faulty_width(max_steps, plan, 1)
+    }
+
+    fn run_faulty_width(
+        &mut self,
+        max_steps: u64,
+        plan: &FaultPlan,
+        stop_width: u16,
+    ) -> Result<(Vec<RunStatus>, Vec<FaultStats>), DivError> {
+        let k = self.lanes;
+        let n = self.initial.len();
+        let span = self.span;
+        let mut statuses = Vec::with_capacity(k);
+        let mut stats = Vec::with_capacity(k);
+        let mut counts: Vec<u32> = Vec::new();
+        for l in 0..k {
+            let mut session = plan.session(&self.initial)?;
+            counts.clear();
+            counts.resize(span, 0);
+            for v in 0..n {
+                counts[self.opinions[l * n + v] as usize] += 1;
+            }
+            let mut lo = counts.iter().position(|&c| c > 0).expect("non-empty") as u16;
+            let mut hi = counts.iter().rposition(|&c| c > 0).expect("non-empty") as u16;
+            let mut remaining = max_steps;
+            // Mirrors `FastProcess::run_faulty_width`: width check first,
+            // then the budget gate, then one scalar faulty step.
+            while hi - lo > stop_width {
+                if remaining == 0 {
+                    break;
+                }
+                remaining -= 1;
+                let (v, w) = self.sampler.pick(self.graph, &mut self.rngs[l]);
+                self.steps[l] += 1;
+                let step = self.steps[l];
+                let base = self.base;
+                let delivered = {
+                    let opinions = &self.opinions;
+                    session.filter(
+                        step,
+                        v,
+                        w,
+                        |u| base + opinions[l * n + u] as i64,
+                        &mut self.rngs[l],
+                    )
+                };
+                if let Some(x) = delivered {
+                    let target = (x - base).clamp(0, span as i64 - 1) as u16;
+                    let xi = l * n + v;
+                    let xv = self.opinions[xi];
+                    let delta = (target > xv) as i32 - ((target < xv) as i32);
+                    if delta != 0 {
+                        let new = (xv as i32 + delta) as u16;
+                        self.opinions[xi] = new;
+                        counts[xv as usize] -= 1;
+                        counts[new as usize] += 1;
+                        // Faults can push a lane back outside its
+                        // shrunken live range.
+                        lo = lo.min(new);
+                        hi = hi.max(new);
+                        if counts[xv as usize] == 0 {
+                            if xv == lo {
+                                while counts[lo as usize] == 0 {
+                                    lo += 1;
+                                }
+                            }
+                            if xv == hi {
+                                while counts[hi as usize] == 0 {
+                                    hi -= 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            statuses.push(self.result_for(l, stop_width));
+            stats.push(*session.stats());
+        }
+        Ok((statuses, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, FastProcess};
+    use div_graph::generators;
+
+    fn seeds(k: usize, base: u64) -> Vec<u64> {
+        (0..k as u64).map(|t| base ^ (t * 0x9E37)).collect()
+    }
+
+    fn uniform(n: usize, k: usize, seed: u64) -> Vec<i64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        init::uniform_random(n, k, &mut rng).unwrap()
+    }
+
+    fn regular(n: usize, d: usize, seed: u64) -> Graph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generators::random_regular(n, d, &mut rng).unwrap()
+    }
+
+    fn scalar_statuses(
+        g: &Graph,
+        opinions: &[i64],
+        kind: FastScheduler,
+        seeds: &[u64],
+        budget: u64,
+    ) -> Vec<(RunStatus, Vec<i64>, u64)> {
+        seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = FastRng::seed_from_u64(s);
+                let mut p = FastProcess::new(g, opinions.to_vec(), kind).unwrap();
+                let status = p.run_to_consensus(budget, &mut rng);
+                (status, p.opinions(), p.steps())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_fast_engine() {
+        let g = generators::complete(30).unwrap();
+        let opinions = uniform(30, 7, 99);
+        for kind in [FastScheduler::Vertex, FastScheduler::Edge] {
+            let seeds = seeds(8, 0xBEEF);
+            let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+            let got = batch.run_to_consensus(1_000_000);
+            let want = scalar_statuses(&g, &opinions, kind, &seeds, 1_000_000);
+            for (l, (status, final_opinions, steps)) in want.into_iter().enumerate() {
+                assert_eq!(got[l], status, "lane {l} status ({kind:?})");
+                assert_eq!(batch.opinions_of(l), final_opinions, "lane {l} opinions");
+                assert_eq!(batch.steps(l), steps, "lane {l} steps");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_runs_match_one_shot() {
+        let g = regular(64, 8, 4);
+        let opinions = uniform(64, 9, 5);
+        let seeds = seeds(4, 77);
+        let mut one = BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &seeds).unwrap();
+        let mut chunked =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &seeds).unwrap();
+        let final_one = one.run_to_consensus(1_000_000);
+        let mut final_chunked = chunked.run_to_consensus(500);
+        let mut spent = 500u64;
+        while final_chunked
+            .iter()
+            .any(|s| matches!(s, RunStatus::StepLimit { .. }))
+        {
+            assert!(spent < 2_000_000, "chunked run did not converge");
+            final_chunked = chunked.run_to_consensus(500);
+            spent += 500;
+        }
+        assert_eq!(final_one, final_chunked);
+        for l in 0..seeds.len() {
+            assert_eq!(one.opinions_of(l), chunked.opinions_of(l), "lane {l}");
+            assert_eq!(one.rngs[l], chunked.rngs[l], "lane {l} rng position");
+        }
+    }
+
+    #[test]
+    fn trivial_fault_plan_matches_fault_free_stream() {
+        let g = generators::wheel(41).unwrap();
+        let opinions = uniform(41, 6, 11);
+        let seeds = seeds(3, 1234);
+        let mut plain =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Vertex, &seeds).unwrap();
+        let mut faulty =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Vertex, &seeds).unwrap();
+        let a = plain.run_to_consensus(200_000);
+        let (b, stats) = faulty
+            .run_faulty_to_consensus(200_000, &FaultPlan::default())
+            .unwrap();
+        assert_eq!(a, b);
+        for (l, s) in stats.iter().enumerate() {
+            assert_eq!(s.delivered, faulty.steps(l), "lane {l} delivered");
+            assert_eq!(
+                (
+                    s.dropped,
+                    s.suppressed,
+                    s.crash_events,
+                    s.stale_reads,
+                    s.noisy
+                ),
+                (0, 0, 0, 0, 0),
+                "lane {l} fault counters"
+            );
+            assert_eq!(plain.rngs[l], faulty.rngs[l], "lane {l} rng position");
+        }
+    }
+
+    #[test]
+    fn faulty_lanes_match_scalar_replay() {
+        let g = generators::complete(24).unwrap();
+        let opinions = uniform(24, 5, 42);
+        let plan = FaultPlan {
+            drop: 0.2,
+            ..FaultPlan::default()
+        };
+        let seeds = seeds(6, 9);
+        let mut batch =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &seeds).unwrap();
+        let (statuses, stats) = batch.run_faulty_to_consensus(300_000, &plan).unwrap();
+        for (l, &s) in seeds.iter().enumerate() {
+            let mut rng = FastRng::seed_from_u64(s);
+            let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+            let mut session = plan.session(&opinions).unwrap();
+            let status = p.run_faulty_to_consensus(300_000, &mut session, &mut rng);
+            assert_eq!(statuses[l], status, "lane {l} status");
+            assert_eq!(batch.opinions_of(l), p.opinions(), "lane {l} opinions");
+            assert_eq!(stats[l], *session.stats(), "lane {l} fault stats");
+        }
+    }
+
+    #[test]
+    fn analytic_policy_matches_scalar() {
+        let g = generators::complete(40).unwrap();
+        let opinions = init::blocks(&[(1, 13), (2, 27)]).unwrap();
+        for kind in [FastScheduler::Vertex, FastScheduler::Edge] {
+            let seeds = seeds(8, 0xA11C);
+            let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+            let got = batch.run_with_policy(1_000_000, FinishPolicy::AnalyticTwoAdjacent);
+            for (l, &s) in seeds.iter().enumerate() {
+                let mut rng = FastRng::seed_from_u64(s);
+                let mut p = FastProcess::new(&g, opinions.clone(), kind).unwrap();
+                let want =
+                    p.run_with_policy(1_000_000, &mut rng, FinishPolicy::AnalyticTwoAdjacent);
+                assert_eq!(got[l], want, "lane {l} ({kind:?})");
+                assert_eq!(batch.rngs[l], rng, "lane {l} rng position");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_is_just_the_fast_engine() {
+        let g = generators::cycle(50).unwrap();
+        let opinions = uniform(50, 4, 8);
+        let mut batch =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &[321]).unwrap();
+        let got = batch.run_to_consensus(5_000_000).remove(0);
+        let mut rng = FastRng::seed_from_u64(321);
+        let mut p = FastProcess::new(&g, opinions, FastScheduler::Edge).unwrap();
+        let want = p.run_to_consensus(5_000_000, &mut rng);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stat_registers_match_scalar_accessors() {
+        let g = regular(48, 6, 2);
+        let opinions = uniform(48, 9, 3);
+        let seeds = seeds(5, 0xCAFE);
+        let mut batch =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Vertex, &seeds).unwrap();
+        batch.run_to_consensus(2_000);
+        for (l, &s) in seeds.iter().enumerate() {
+            let mut rng = FastRng::seed_from_u64(s);
+            let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Vertex).unwrap();
+            p.run_to_consensus(batch.steps(l), &mut rng);
+            assert_eq!(batch.sum(l), p.sum(), "lane {l} S(t)");
+            assert_eq!(batch.min_opinion(l), p.min_opinion(), "lane {l} min");
+            assert_eq!(batch.max_opinion(l), p.max_opinion(), "lane {l} max");
+            assert_eq!(
+                batch.is_two_adjacent(l),
+                p.is_two_adjacent(),
+                "lane {l} two-adjacent"
+            );
+            for x in 0..10 {
+                assert_eq!(batch.count(l, x), p.count(x), "lane {l} count({x})");
+            }
+            let sample = batch.telemetry_sample(l);
+            assert_eq!(sample.sum, p.sum(), "lane {l} sample sum");
+            assert_eq!(sample.step, batch.steps(l), "lane {l} sample step");
+        }
+    }
+
+    #[test]
+    fn span_too_large_is_rejected() {
+        let g = generators::complete(4).unwrap();
+        let opinions = vec![0, 1, 2, 1 << 20];
+        let err = BatchProcess::new(&g, opinions, FastScheduler::Edge, &[1]).unwrap_err();
+        assert!(matches!(err, DivError::SpanTooLarge { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_seed_list_panics() {
+        let g = generators::complete(4).unwrap();
+        let _ = BatchProcess::new(&g, vec![1, 2, 1, 2], FastScheduler::Edge, &[]);
+    }
+}

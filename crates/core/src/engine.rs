@@ -101,7 +101,7 @@ pub enum FinishPolicy {
 
 /// 64-bit Lemire bounded draw with exact rejection: uniform in `[0, range)`.
 #[inline(always)]
-fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+pub(crate) fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
     debug_assert!(range > 0);
     let mut m = (rng.next_u64() as u128) * (range as u128);
     if (m as u64) < range {
@@ -118,7 +118,7 @@ fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
 /// 32-bit Lemire step on a pre-drawn word half: `Some(value)` on accept.
 /// Rejection (probability `< range/2³²`) asks the caller to redraw.
 #[inline(always)]
-fn bounded_u32_half(half: u32, range: u32) -> Option<u32> {
+pub(crate) fn bounded_u32_half(half: u32, range: u32) -> Option<u32> {
     debug_assert!(range > 0);
     let m = (half as u64) * (range as u64);
     let frac = m as u32;
@@ -131,9 +131,11 @@ fn bounded_u32_half(half: u32, range: u32) -> Option<u32> {
     Some((m >> 32) as u32)
 }
 
-/// The precompiled interaction sampler.
+/// The precompiled interaction sampler.  Shared with the batch engine
+/// (`crate::batch`): the tables depend only on the graph and the
+/// scheduler, so one compilation serves every lane of a batch.
 #[derive(Debug, Clone)]
-enum CompiledSampler {
+pub(crate) enum CompiledSampler {
     /// One word: high half picks the vertex, low half the neighbour slot.
     Vertex { n: u32 },
     /// Closed-form sampler for complete graphs: a uniform ordered pair of
@@ -154,7 +156,7 @@ enum CompiledSampler {
 }
 
 impl CompiledSampler {
-    fn compile(g: &Graph, kind: FastScheduler) -> CompiledSampler {
+    pub(crate) fn compile(g: &Graph, kind: FastScheduler) -> CompiledSampler {
         // A simple graph with m = n(n−1)/2 is complete: both the vertex
         // process (uniform v, uniform neighbour) and the edge process
         // (uniform directed edge — identical on any regular graph) reduce
@@ -190,7 +192,7 @@ impl CompiledSampler {
 
     /// Draws the ordered pair `(updater, observed)`.
     #[inline(always)]
-    fn pick<R: RngCore + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
+    pub(crate) fn pick<R: RngCore + ?Sized>(&self, g: &Graph, rng: &mut R) -> (usize, usize) {
         match *self {
             CompiledSampler::Vertex { n } => loop {
                 let word = rng.next_u64();

@@ -75,6 +75,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod engine;
 mod error;
 mod fault;
@@ -93,6 +94,7 @@ mod test_util;
 pub mod theory;
 pub mod trace;
 
+pub use batch::BatchProcess;
 pub use engine::{FastProcess, FastScheduler, FinishPolicy};
 pub use error::DivError;
 pub use fault::{CrashFault, FaultPlan, FaultSession, FaultStats, NoiseFault, StaleFault};

@@ -1,0 +1,164 @@
+//! Bit-exactness of the lockstep batch engine against per-lane scalar
+//! replays of the fast engine.
+//!
+//! The contract under test (DESIGN.md §3.4): lane `l` of a
+//! [`BatchProcess`] seeded with `seeds[l]` consumes the *identical* RNG
+//! word sequence, visits the identical states and stops with the
+//! identical [`RunStatus`] as a scalar [`FastProcess`] run with
+//! `FastRng::seed_from_u64(seeds[l])` — for every compiled scheduler,
+//! under fault plans, and regardless of how many lanes share the batch.
+
+use div_core::{init, BatchProcess, FastProcess, FastRng, FastScheduler, FaultPlan};
+use div_graph::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small connected workload graph chosen by an index.
+fn workload_graph(pick: u8, size: usize, seed: u64) -> div_graph::Graph {
+    let n = size.max(4);
+    match pick % 5 {
+        0 => generators::complete(n).unwrap(),
+        1 => generators::cycle(n).unwrap(),
+        2 => generators::wheel(n.max(4)).unwrap(),
+        3 => generators::star(n).unwrap(),
+        _ => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = if n.is_multiple_of(2) { 3 } else { 4 };
+            generators::random_regular(n, d, &mut rng).unwrap()
+        }
+    }
+}
+
+/// The compiled scheduler under test, by index — all three sampler
+/// families (edge list, vertex-neighbour, alias) must hold the contract.
+fn scheduler(pick: u8) -> FastScheduler {
+    match pick % 3 {
+        0 => FastScheduler::Edge,
+        1 => FastScheduler::Vertex,
+        _ => FastScheduler::EdgeAlias,
+    }
+}
+
+/// Distinct per-lane seeds derived from one base, mimicking the campaign
+/// runner's per-trial seed discipline.
+fn lane_seeds(k: usize, base: u64) -> Vec<u64> {
+    (0..k as u64)
+        .map(|t| base ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+/// A fault plan chosen by an index, covering the drop/noise/stubborn
+/// families the batch engine's scalar fallback lanes must reproduce.
+fn fault_plan(pick: u8) -> (&'static str, FaultPlan) {
+    let spec = match pick % 4 {
+        0 => "drop:0.2",
+        1 => "noise:0.15:1",
+        2 => "drop:0.1,stubborn:1",
+        _ => "stale:0.2:3",
+    };
+    (spec, FaultPlan::parse(spec).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free lanes: every lane's outcome, step count and final
+    /// opinion vector equal a scalar fast-engine run with the same seed.
+    #[test]
+    fn lanes_are_bit_exact_vs_scalar_replay(
+        gpick in any::<u8>(),
+        spick in any::<u8>(),
+        size in 4usize..40,
+        k in 2usize..8,
+        seed in any::<u64>(),
+        lane_pick in 0usize..4,
+        budget in 500u64..40_000,
+    ) {
+        let lanes = [1usize, 3, 8, 16][lane_pick];
+        let g = workload_graph(gpick, size, seed);
+        let kind = scheduler(spick);
+        let mut orng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut orng).unwrap();
+        let seeds = lane_seeds(lanes, seed);
+
+        let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+        let statuses = batch.run_to_consensus(budget);
+
+        for (l, &s) in seeds.iter().enumerate() {
+            let mut p = FastProcess::new(&g, opinions.clone(), kind).unwrap();
+            let mut rng = FastRng::seed_from_u64(s);
+            let status = p.run_to_consensus(budget, &mut rng);
+            prop_assert_eq!(statuses[l], status, "lane {} status", l);
+            prop_assert_eq!(batch.steps(l), p.steps(), "lane {} steps", l);
+            prop_assert_eq!(batch.opinions_of(l), p.opinions(), "lane {} opinions", l);
+            prop_assert_eq!(batch.sum(l), p.sum());
+            prop_assert_eq!(batch.min_opinion(l), p.min_opinion());
+            prop_assert_eq!(batch.max_opinion(l), p.max_opinion());
+            prop_assert_eq!(batch.is_two_adjacent(l), p.is_two_adjacent());
+        }
+    }
+
+    /// Faulty lanes: the batch engine's per-lane scalar fallback replays
+    /// the fast engine's faulty path exactly, fault counters included.
+    #[test]
+    fn faulty_lanes_are_bit_exact_vs_scalar_replay(
+        gpick in any::<u8>(),
+        spick in any::<u8>(),
+        fpick in any::<u8>(),
+        size in 4usize..30,
+        k in 2usize..7,
+        seed in any::<u64>(),
+        lane_pick in 0usize..3,
+        budget in 500u64..20_000,
+    ) {
+        let lanes = [1usize, 3, 8][lane_pick];
+        let g = workload_graph(gpick, size, seed);
+        let kind = scheduler(spick);
+        let (spec, plan) = fault_plan(fpick);
+        let mut orng = StdRng::seed_from_u64(seed ^ 0xFA17);
+        let opinions = init::uniform_random(g.num_vertices(), k, &mut orng).unwrap();
+        let seeds = lane_seeds(lanes, seed);
+
+        let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+        let (statuses, stats) = batch.run_faulty_to_consensus(budget, &plan).unwrap();
+
+        for (l, &s) in seeds.iter().enumerate() {
+            let mut p = FastProcess::new(&g, opinions.clone(), kind).unwrap();
+            let mut rng = FastRng::seed_from_u64(s);
+            let mut session = plan.session(&opinions).unwrap();
+            let status = p.run_faulty_to_consensus(budget, &mut session, &mut rng);
+            prop_assert_eq!(statuses[l], status, "lane {} status under {}", l, spec);
+            prop_assert_eq!(batch.steps(l), p.steps(), "lane {} steps under {}", l, spec);
+            prop_assert_eq!(
+                batch.opinions_of(l), p.opinions(),
+                "lane {} opinions under {}", l, spec
+            );
+            prop_assert_eq!(
+                stats[l], *session.stats(),
+                "lane {} fault counters under {}", l, spec
+            );
+        }
+    }
+}
+
+/// A one-shot deep check on a denser instance than proptest's small
+/// cases: two-adjacent stopping must agree lane by lane as well.
+#[test]
+fn two_adjacent_stop_matches_scalar_on_a_regular_graph() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::random_regular(120, 6, &mut rng).unwrap();
+    let opinions = init::uniform_random(120, 9, &mut rng).unwrap();
+    let seeds = lane_seeds(8, 0xC0FFEE);
+
+    let mut batch = BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &seeds).unwrap();
+    let statuses = batch.run_to_two_adjacent(u64::MAX);
+
+    for (l, &s) in seeds.iter().enumerate() {
+        let mut p = FastProcess::new(&g, opinions.clone(), FastScheduler::Edge).unwrap();
+        let mut frng = FastRng::seed_from_u64(s);
+        let status = p.run_to_two_adjacent(u64::MAX, &mut frng);
+        assert_eq!(statuses[l], status, "lane {l}");
+        assert_eq!(batch.opinions_of(l), p.opinions(), "lane {l}");
+    }
+}

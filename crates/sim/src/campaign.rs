@@ -532,6 +532,184 @@ where
     })
 }
 
+/// [`run_campaign`] driven by a **batch engine**: pending trials are
+/// chunked into lane groups of `lanes` and each group is handed to
+/// `batch_fn` as a slice of [`TrialCtx`]s (attempt 0, the same
+/// per-trial seeds the scalar campaign would use), which steps them in
+/// lockstep and returns one [`TrialOutcome`] per context.
+///
+/// Resilience composes with the scalar machinery: a `batch_fn` call
+/// that panics, or that returns the wrong number of outcomes, demotes
+/// every trial of that group to the scalar path — `trial_fn` with the
+/// standard retry chain, whose attempt 0 reuses the very seed the batch
+/// lane was given.  A batch engine that is bit-exact against `trial_fn`
+/// therefore yields a report identical to [`run_campaign`]'s, whatever
+/// fails.  Checkpoint/resume, `stop_after` and the outcome taxonomy are
+/// untouched: resumed holes simply make shorter or non-contiguous
+/// groups.
+///
+/// # Errors
+///
+/// Identical to [`run_campaign`].
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn run_campaign_batched<F, G>(
+    cfg: &CampaignConfig,
+    lanes: usize,
+    batch_fn: F,
+    trial_fn: G,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(&[TrialCtx]) -> Vec<TrialOutcome> + Sync,
+    G: Fn(&TrialCtx) -> TrialOutcome + Sync,
+{
+    run_campaign_batched_monitored(cfg, lanes, None, batch_fn, trial_fn)
+}
+
+/// [`run_campaign_batched`] with live publication into a
+/// [`CampaignMonitor`] (see [`run_campaign_monitored`]): trial starts
+/// are published per lane as its group begins, outcomes as each group
+/// (or scalar fallback) completes.
+///
+/// # Errors
+///
+/// Identical to [`run_campaign`].
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn run_campaign_batched_monitored<F, G>(
+    cfg: &CampaignConfig,
+    lanes: usize,
+    monitor: Option<&CampaignMonitor>,
+    batch_fn: F,
+    trial_fn: G,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(&[TrialCtx]) -> Vec<TrialOutcome> + Sync,
+    G: Fn(&TrialCtx) -> TrialOutcome + Sync,
+{
+    assert!(lanes > 0, "need at least one lane per group");
+    let mut outcomes: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
+    let mut resumed = 0usize;
+    if let Some(path) = &cfg.checkpoint {
+        if cfg.resume && path.exists() {
+            let manifest = Manifest::load(path)?;
+            manifest.check_matches(cfg)?;
+            resumed = manifest.outcomes.len();
+            outcomes = manifest.outcomes;
+        }
+    }
+    if let Some(m) = monitor {
+        m.set_expected(cfg.trials as u64);
+        for outcome in outcomes.values() {
+            m.trial_started();
+            m.record_outcome(outcome);
+        }
+    }
+
+    let pending: Vec<usize> = (0..cfg.trials)
+        .filter(|i| !outcomes.contains_key(i))
+        .collect();
+    let scheduled: Vec<usize> = match cfg.stop_after {
+        Some(k) => pending.into_iter().take(k).collect(),
+        None => pending,
+    };
+
+    if !scheduled.is_empty() {
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let groups: Vec<&[usize]> = scheduled.chunks(lanes).collect();
+        let workers = threads.min(groups.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, TrialOutcome)>();
+        let flush_every = cfg.checkpoint_every.max(1);
+        let outcomes_ref = &mut outcomes;
+        std::thread::scope(|scope| -> Result<(), CampaignError> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let groups = &groups;
+                let batch_fn = &batch_fn;
+                let trial_fn = &trial_fn;
+                scope.spawn(move || loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= groups.len() {
+                        break;
+                    }
+                    let group = groups[slot];
+                    let ctxs: Vec<TrialCtx> = group
+                        .iter()
+                        .map(|&i| TrialCtx {
+                            trial: i,
+                            seed: SeedSequence::seed_for(cfg.master_seed, i as u64),
+                            attempt: 0,
+                            step_budget: cfg.step_budget,
+                        })
+                        .collect();
+                    if let Some(m) = monitor {
+                        for _ in group {
+                            m.trial_started();
+                        }
+                    }
+                    let batched = catch_unwind(AssertUnwindSafe(|| batch_fn(&ctxs)))
+                        .ok()
+                        .filter(|v| v.len() == ctxs.len());
+                    let results: Vec<(usize, TrialOutcome)> = match batched {
+                        Some(v) => group.iter().copied().zip(v).collect(),
+                        // The whole group falls back to the scalar attempt
+                        // chain; attempt 0 reuses the batch lane's seed, so
+                        // a healthy scalar engine reproduces exactly what
+                        // the batch would have produced.
+                        None => group
+                            .iter()
+                            .map(|&i| (i, run_one_trial(cfg, i, monitor, trial_fn)))
+                            .collect(),
+                    };
+                    for (i, outcome) in results {
+                        if let Some(m) = monitor {
+                            m.record_outcome(&outcome);
+                        }
+                        if tx.send((i, outcome)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut since_flush = 0usize;
+            for (i, outcome) in rx {
+                outcomes_ref.insert(i, outcome);
+                since_flush += 1;
+                if let Some(path) = &cfg.checkpoint {
+                    if since_flush >= flush_every {
+                        write_manifest(path, cfg, outcomes_ref)?;
+                        since_flush = 0;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    if let Some(path) = &cfg.checkpoint {
+        write_manifest(path, cfg, &outcomes)?;
+    }
+    Ok(CampaignReport {
+        master_seed: cfg.master_seed,
+        trials: cfg.trials,
+        outcomes,
+        resumed,
+    })
+}
+
 /// One slot: run the attempt chain until an outcome or retry exhaustion.
 fn run_one_trial<F>(
     cfg: &CampaignConfig,
@@ -940,6 +1118,130 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_campaign_matches_scalar_campaign() {
+        let cfg = CampaignConfig::new(29, 0xBA7C4);
+        let scalar = run_campaign(&cfg, outcome_for).unwrap();
+        for lanes in [1, 3, 8, 64] {
+            let batched = run_campaign_batched(
+                &cfg,
+                lanes,
+                |ctxs| ctxs.iter().map(outcome_for).collect(),
+                outcome_for,
+            )
+            .unwrap();
+            assert_eq!(batched, scalar, "lanes={lanes}");
+            assert_eq!(batched.render(), scalar.render(), "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn batched_campaign_is_thread_count_invariant() {
+        let mut one = CampaignConfig::new(33, 5);
+        one.threads = 1;
+        let mut many = one.clone();
+        many.threads = 8;
+        let batch = |ctxs: &[TrialCtx]| ctxs.iter().map(outcome_for).collect::<Vec<_>>();
+        let a = run_campaign_batched(&one, 4, batch, outcome_for).unwrap();
+        let b = run_campaign_batched(&many, 4, batch, outcome_for).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn panicking_batch_group_falls_back_to_scalar_trials() {
+        let cfg = CampaignConfig::new(20, 0xFA11);
+        let scalar = run_campaign(&cfg, outcome_for).unwrap();
+        // Group containing trial 5 always dies; its trials must come back
+        // through the scalar path with identical outcomes.
+        let batched = run_campaign_batched(
+            &cfg,
+            4,
+            |ctxs| {
+                assert!(!ctxs.iter().any(|c| c.trial == 5), "group exploded");
+                ctxs.iter().map(outcome_for).collect()
+            },
+            outcome_for,
+        )
+        .unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn wrong_arity_batch_group_falls_back_to_scalar_trials() {
+        let cfg = CampaignConfig::new(10, 7);
+        let scalar = run_campaign(&cfg, outcome_for).unwrap();
+        let batched = run_campaign_batched(
+            &cfg,
+            5,
+            |ctxs| {
+                let mut v: Vec<TrialOutcome> = ctxs.iter().map(outcome_for).collect();
+                if ctxs[0].trial == 0 {
+                    v.pop(); // first group under-delivers
+                }
+                v
+            },
+            outcome_for,
+        )
+        .unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_campaign_checkpoints_and_resumes_exactly() {
+        let path = temp_manifest("batched-resume");
+        let mut cfg = CampaignConfig::new(30, 0xABCD);
+        cfg.checkpoint = Some(path.clone());
+        cfg.checkpoint_every = 5;
+        cfg.tag = "unit-test".to_string();
+        let batch = |ctxs: &[TrialCtx]| ctxs.iter().map(outcome_for).collect::<Vec<_>>();
+
+        let mut partial = cfg.clone();
+        partial.stop_after = Some(11);
+        let p = run_campaign_batched(&partial, 4, batch, outcome_for).unwrap();
+        assert_eq!(p.completed(), 11);
+
+        let mut resume = cfg.clone();
+        resume.resume = true;
+        let resumed = run_campaign_batched(&resume, 4, batch, outcome_for).unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed, 11);
+
+        // The scalar control must agree outcome-for-outcome.
+        let control = run_campaign(&CampaignConfig::new(30, 0xABCD), outcome_for).unwrap();
+        assert_eq!(resumed.outcomes, control.outcomes);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_campaign_publishes_to_monitor() {
+        let monitor = CampaignMonitor::new();
+        let cfg = CampaignConfig::new(12, 3);
+        let report = run_campaign_batched_monitored(
+            &cfg,
+            5,
+            Some(&monitor),
+            |ctxs| ctxs.iter().map(outcome_for).collect(),
+            outcome_for,
+        )
+        .unwrap();
+        assert!(report.is_complete());
+        let s = monitor.snapshot();
+        assert_eq!((s.expected, s.started, s.finished), (12, 12, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn batched_campaign_rejects_zero_lanes() {
+        let cfg = CampaignConfig::new(2, 1);
+        let _ = run_campaign_batched(
+            &cfg,
+            0,
+            |c| c.iter().map(outcome_for).collect(),
+            outcome_for,
+        );
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //!   (SplitMix64), so every experiment is exactly reproducible;
 //! * [`run_trials`] — parallel trial execution over scoped threads, with
 //!   per-slot panic isolation ([`run_trials_caught`]);
+//! * [`run_lane_groups`] — the batched pool: trials chunked into lane
+//!   groups for lockstep engines (`div_core::BatchProcess`), sharded
+//!   across threads with a static, deterministic group→thread map;
 //! * [`run_campaign`] — the resilient campaign layer on top: bounded
 //!   deterministic retries, a `TrialOutcome` taxonomy instead of
 //!   all-or-nothing, and crash-safe checkpoint manifests with exact
-//!   resume;
+//!   resume; [`run_campaign_batched`] drives the same machinery through
+//!   a batch engine, demoting failed groups to the scalar retry chain;
 //! * [`MetricsRegistry`] — named counters/gauges/histograms with a
 //!   deterministic rendering, folded into campaign reports and
 //!   manifests;
@@ -59,16 +63,16 @@ pub mod stats;
 pub mod table;
 
 pub use campaign::{
-    run_campaign, run_campaign_monitored, CampaignConfig, CampaignError, CampaignReport, TrialCtx,
-    TrialOutcome,
+    run_campaign, run_campaign_batched, run_campaign_batched_monitored, run_campaign_monitored,
+    CampaignConfig, CampaignError, CampaignReport, TrialCtx, TrialOutcome,
 };
 pub use metrics::MetricsRegistry;
 pub use monitor::{
     CampaignMonitor, FaultTotals, MonitorPhase, MonitorSnapshot, PhaseSteps, PHASE_BUCKETS,
 };
 pub use runner::{
-    run_trials, run_trials_caught, run_trials_monitored, run_trials_with_threads, TrialPanic,
-    NON_STRING_PANIC,
+    run_lane_groups, run_trials, run_trials_caught, run_trials_monitored, run_trials_with_threads,
+    TrialPanic, NON_STRING_PANIC,
 };
 pub use seed::SeedSequence;
 pub use serve::MetricsServer;
