@@ -75,6 +75,7 @@ use div_baselines::{
     run_to_consensus, BestOfK, LoadBalancing, MedianVoting, PullVoting, PushVoting,
 };
 use div_bench::spec;
+use div_bench::trial::{batch_group, fast_trial, outcome_of, publish_faults, reference_trial};
 use div_core::{
     init, theory, BatchProcess, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng,
     FastScheduler, FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, Phase, PhaseEvent,
@@ -83,7 +84,7 @@ use div_core::{
 use div_sim::table::Table;
 use div_sim::{
     run_campaign_batched_monitored, run_campaign_monitored, CampaignConfig, CampaignMonitor,
-    FaultTotals, MetricsServer, MonitorPhase, TrialOutcome,
+    MetricsServer, MonitorPhase, TrialOutcome,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,6 +109,7 @@ fn main() {
         "spectral" => cmd_spectral(&opts).map(|()| 0),
         "graph6" => cmd_graph6(&opts).map(|()| 0),
         "analyze" => cmd_analyze(&opts),
+        "submit" => cmd_submit(&opts),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => Err(format!("unknown command {other:?}")),
     };
@@ -122,7 +124,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
     );
     exit(0);
 }
@@ -131,7 +133,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--trace" || arg == "--resume" {
+        if arg == "--trace" || arg == "--resume" || arg == "--detach" || arg == "--watch" {
             out.insert(arg[2..].to_string(), "1".to_string());
         } else if let Some(key) = arg.strip_prefix("--") {
             if let Some(value) = it.next() {
@@ -173,23 +175,6 @@ fn setup(opts: &HashMap<String, String>) -> Result<(div_graph::Graph, Vec<i64>, 
     Ok((graph, opinions, rng))
 }
 
-/// Maps a bounded run's end state to the campaign outcome taxonomy.
-fn outcome_of(status: RunStatus, two_adjacent: bool, low: i64, high: i64) -> TrialOutcome {
-    match status {
-        RunStatus::Consensus { opinion, steps } => TrialOutcome::Converged {
-            winner: opinion,
-            steps,
-        },
-        RunStatus::TwoAdjacent { low, high, steps } => {
-            TrialOutcome::TwoAdjacent { low, high, steps }
-        }
-        RunStatus::StepLimit { steps } if two_adjacent => {
-            TrialOutcome::TwoAdjacent { low, high, steps }
-        }
-        RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
-    }
-}
-
 /// Resolves `--engine` against `--trace`, identically for every entry
 /// point (run, campaign, compare, stats): `--trace` needs the reference
 /// engine's per-step stage log, so fast+trace (and batch+trace) warns on
@@ -229,9 +214,10 @@ fn demote_batch_for_observers(engine: String, what: &str) -> String {
     engine
 }
 
-/// The batch engine's campaign knobs: `--lanes K` trials stepped per
-/// lockstep group (default 8) and `--threads T` worker threads
-/// (default 0 = available parallelism).
+/// The campaign parallelism knobs: `--lanes K` trials stepped per
+/// lockstep group (batch engine only, default 8) and `--threads T`
+/// campaign worker threads (any engine, default 0 = available
+/// parallelism).
 fn parse_batch_knobs(opts: &HashMap<String, String>) -> Result<(usize, usize), String> {
     let lanes: usize = parse_opt(opts, "lanes")?.unwrap_or(8);
     if lanes == 0 {
@@ -313,20 +299,6 @@ impl Observer for PhaseToMonitor<'_> {
         if let (Some(m), Phase::TwoAdjacent) = (self.0, event.phase) {
             m.record_phase_step(MonitorPhase::TwoAdjacent, event.step);
         }
-    }
-}
-
-/// Adds a trial's fault counters to the live monitor, if one is attached.
-fn publish_faults(monitor: Option<&CampaignMonitor>, stats: &FaultStats) {
-    if let Some(m) = monitor {
-        m.add_faults(&FaultTotals {
-            delivered: stats.delivered,
-            dropped: stats.dropped,
-            suppressed: stats.suppressed,
-            stale_reads: stats.stale_reads,
-            noisy: stats.noisy,
-            crash_events: stats.crash_events,
-        });
     }
 }
 
@@ -640,9 +612,11 @@ fn run_campaign_cmd(
     cfg.checkpoint = opts.get("checkpoint").map(PathBuf::from);
     cfg.resume = opts.contains_key("resume");
     cfg.stop_after = parse_opt(opts, "stop-after")?;
-    if engine == "batch" {
-        cfg.threads = threads;
-    }
+    // Applied whatever the engine: gating this on `engine == "batch"`
+    // silently dropped --threads when `--telemetry` demoted a batch
+    // campaign to fast just above (and scalar campaigns honour the knob
+    // too — same worker pool).
+    cfg.threads = threads;
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err("--resume needs --checkpoint PATH".to_string());
     }
@@ -880,99 +854,6 @@ fn observed_trial<O: Observer>(
             obs,
         )
     }
-}
-
-/// One reference-engine campaign trial under the given scheduler.
-fn reference_trial<S: Scheduler>(
-    graph: &div_graph::Graph,
-    opinions: &[i64],
-    scheduler: S,
-    faults: &FaultPlan,
-    monitor: Option<&CampaignMonitor>,
-    ctx: &div_sim::TrialCtx,
-) -> TrialOutcome {
-    let mut rng = StdRng::seed_from_u64(ctx.seed);
-    let mut p = DivProcess::new(graph, opinions.to_vec(), scheduler).expect("validated in setup");
-    let mut session = faults.session(opinions).expect("validated in setup");
-    let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
-    if !faults.is_trivial() {
-        publish_faults(monitor, session.stats());
-    }
-    let s = p.state();
-    outcome_of(
-        status,
-        s.is_two_adjacent(),
-        s.min_opinion(),
-        s.max_opinion(),
-    )
-}
-
-/// One fast-engine campaign trial under the given compiled scheduler.
-fn fast_trial(
-    graph: &div_graph::Graph,
-    opinions: &[i64],
-    kind: FastScheduler,
-    faults: &FaultPlan,
-    monitor: Option<&CampaignMonitor>,
-    ctx: &div_sim::TrialCtx,
-) -> TrialOutcome {
-    let mut rng = FastRng::seed_from_u64(ctx.seed);
-    let mut p = FastProcess::new(graph, opinions.to_vec(), kind).expect("validated in setup");
-    let status = if faults.is_trivial() {
-        p.run_to_consensus(ctx.step_budget, &mut rng)
-    } else {
-        let mut session = faults.session(opinions).expect("validated in setup");
-        let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
-        publish_faults(monitor, session.stats());
-        status
-    };
-    outcome_of(
-        status,
-        p.is_two_adjacent(),
-        p.min_opinion(),
-        p.max_opinion(),
-    )
-}
-
-/// One lockstep batch group: every lane of the group stepped together by
-/// a single [`BatchProcess`] over the shared compiled graph.  Lane `l`
-/// is seeded with `ctxs[l].seed`, so each lane is bit-exact against the
-/// [`fast_trial`] the batched campaign runner would otherwise have run —
-/// the report is identical to a scalar fast campaign's, just faster.
-fn batch_group(
-    graph: &div_graph::Graph,
-    opinions: &[i64],
-    kind: FastScheduler,
-    faults: &FaultPlan,
-    monitor: Option<&CampaignMonitor>,
-    ctxs: &[div_sim::TrialCtx],
-) -> Vec<TrialOutcome> {
-    let seeds: Vec<u64> = ctxs.iter().map(|c| c.seed).collect();
-    let mut batch =
-        BatchProcess::new(graph, opinions.to_vec(), kind, &seeds).expect("validated in setup");
-    let statuses = if faults.is_trivial() {
-        batch.run_to_consensus(ctxs[0].step_budget)
-    } else {
-        let (statuses, stats) = batch
-            .run_faulty_to_consensus(ctxs[0].step_budget, faults)
-            .expect("validated in setup");
-        for s in &stats {
-            publish_faults(monitor, s);
-        }
-        statuses
-    };
-    statuses
-        .into_iter()
-        .enumerate()
-        .map(|(l, status)| {
-            outcome_of(
-                status,
-                batch.is_two_adjacent(l),
-                batch.min_opinion(l),
-                batch.max_opinion(l),
-            )
-        })
-        .collect()
 }
 
 /// Runs one observed single trial on the resolved engine, streaming
@@ -1368,9 +1249,11 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<i32, String> {
         .map_err(|e| format!("cannot create output directory {}: {e}", out_dir.display()))?;
     let md_path = out_dir.join("analyze.md");
     let json_path = out_dir.join("analyze.json");
-    std::fs::write(&md_path, report.render_markdown())
+    // Atomic (temp + fsync + rename): a crash mid-write can never leave a
+    // torn report shadowing a previous good one.
+    div_oplog::atomic_write(&md_path, report.render_markdown().as_bytes())
         .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
-    std::fs::write(&json_path, report.render_json())
+    div_oplog::atomic_write(&json_path, report.render_json().as_bytes())
         .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
     print!("{}", report.render_summary());
     eprintln!(
@@ -1383,6 +1266,145 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<i32, String> {
     } else {
         eprintln!("divlab: analyze checks failed (details in the report)");
         Ok(3)
+    }
+}
+
+/// Client mode for a `divd` daemon: builds the line-based job spec from
+/// the familiar campaign flags, submits it with the `X-Client` fairness
+/// token, waits by following the daemon's `/results` stream (which ends
+/// with `end <state>` once the job is terminal), then prints the final
+/// report to stdout.  Exit codes mirror `divlab campaign`: 0 clean,
+/// 3 degraded, 4 partial (cancelled or daemon drained), 2 on protocol
+/// or submission errors (including a full queue's 429).
+fn cmd_submit(opts: &HashMap<String, String>) -> Result<i32, String> {
+    use div_sim::http::http_request;
+    use std::time::Duration;
+
+    let server = opts.get("server").ok_or("missing --server HOST:PORT")?;
+    let addr = {
+        use std::net::ToSocketAddrs;
+        server
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve --server {server:?}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("--server {server:?} resolved to no address"))?
+    };
+    let gspec = opts.get("graph").ok_or("missing --graph SPEC")?;
+    let mut spec = format!("graph {gspec}\n");
+    for key in [
+        "init",
+        "scheduler",
+        "engine",
+        "seed",
+        "trials",
+        "budget",
+        "faults",
+        "lanes",
+        "threads",
+        "checkpoint-every",
+    ] {
+        if let Some(v) = opts.get(key) {
+            spec.push_str(&format!("{key} {v}\n"));
+        }
+    }
+    let client = opts.map_or_default("client", "divlab");
+    let wait_secs: u64 = parse_opt(opts, "timeout")?.unwrap_or(600);
+    let quick = Duration::from_secs(10);
+
+    let resp = http_request(
+        addr,
+        "POST",
+        "/campaigns",
+        &[("X-Client", &client)],
+        spec.as_bytes(),
+        quick,
+    )
+    .map_err(|e| format!("submit to {addr} failed: {e}"))?;
+    match resp.status {
+        201 => {}
+        429 => {
+            return Err(format!(
+                "server queue full; retry in {}s",
+                resp.header("retry-after").unwrap_or("1")
+            ))
+        }
+        503 => return Err(format!("server unavailable: {}", resp.text().trim())),
+        code => return Err(format!("submit rejected ({code}): {}", resp.text().trim())),
+    }
+    let created = resp.text();
+    let id: u64 = created
+        .trim()
+        .strip_prefix("id ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unexpected submit response {created:?}"))?;
+    eprintln!("divlab: campaign {id} accepted by {addr} (client {client:?})");
+    if opts.contains_key("detach") {
+        println!("id {id}");
+        return Ok(0);
+    }
+
+    let results = http_request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/results"),
+        &[],
+        &[],
+        Duration::from_secs(wait_secs),
+    )
+    .map_err(|e| format!("waiting on campaign {id} failed: {e}"))?;
+    if opts.contains_key("watch") {
+        for line in results.text().lines() {
+            eprintln!("divlab: {line}");
+        }
+    }
+
+    let status = http_request(addr, "GET", &format!("/campaigns/{id}"), &[], &[], quick)
+        .map_err(|e| format!("status query for campaign {id} failed: {e}"))?
+        .text();
+    let field = |key: &str| {
+        let prefix = format!("{key} ");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(prefix.as_str()).map(str::to_string))
+    };
+    let report = http_request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/report"),
+        &[],
+        &[],
+        quick,
+    )
+    .map_err(|e| format!("report fetch for campaign {id} failed: {e}"))?;
+    if report.status == 200 {
+        print!("{}", report.text());
+    }
+    match field("state").unwrap_or_default().as_str() {
+        "completed" => {
+            if field("class").as_deref() == Some("degraded") {
+                eprintln!(
+                    "divlab: campaign complete but degraded (non-converged outcomes present)"
+                );
+                Ok(3)
+            } else {
+                Ok(0)
+            }
+        }
+        "cancelled" => {
+            eprintln!("divlab: campaign {id} cancelled; report is partial");
+            Ok(4)
+        }
+        "failed" => Err(format!(
+            "campaign {id} failed: {}",
+            field("error").unwrap_or_default()
+        )),
+        other => {
+            eprintln!(
+                "divlab: campaign {id} still {other} (daemon draining?); it resumes on the next \
+                 daemon start"
+            );
+            Ok(4)
+        }
     }
 }
 

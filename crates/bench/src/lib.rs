@@ -16,6 +16,7 @@
 
 pub mod analyze;
 pub mod spec;
+pub mod trial;
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,150 @@
+//! Campaign trial executors shared by the `divlab` CLI and the `divd`
+//! daemon.
+//!
+//! Both front-ends drive the same [`div_sim::run_campaign`] machinery
+//! with the same per-trial functions, so a campaign submitted to the
+//! daemon renders **byte-identically** to the same campaign run locally
+//! — there is exactly one implementation of "run one trial" per engine:
+//!
+//! * [`reference_trial`] — the observable [`DivProcess`] baseline under
+//!   an explicit [`Scheduler`];
+//! * [`fast_trial`] — the compiled scalar [`FastProcess`];
+//! * [`batch_group`] — one lockstep [`BatchProcess`] stepping a whole
+//!   lane group, bit-exact against [`fast_trial`] per lane.
+//!
+//! All executors take the trial seed from the [`TrialCtx`] (never from
+//! ambient state), publish fault counters to an optional
+//! [`CampaignMonitor`], and map end states through [`outcome_of`].
+
+use div_core::{
+    BatchProcess, DivProcess, FastProcess, FastRng, FastScheduler, FaultPlan, FaultStats,
+    RunStatus, Scheduler,
+};
+use div_graph::Graph;
+use div_sim::{CampaignMonitor, FaultTotals, TrialCtx, TrialOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Maps a bounded run's end state to the campaign outcome taxonomy.
+pub fn outcome_of(status: RunStatus, two_adjacent: bool, low: i64, high: i64) -> TrialOutcome {
+    match status {
+        RunStatus::Consensus { opinion, steps } => TrialOutcome::Converged {
+            winner: opinion,
+            steps,
+        },
+        RunStatus::TwoAdjacent { low, high, steps } => {
+            TrialOutcome::TwoAdjacent { low, high, steps }
+        }
+        RunStatus::StepLimit { steps } if two_adjacent => {
+            TrialOutcome::TwoAdjacent { low, high, steps }
+        }
+        RunStatus::StepLimit { steps } => TrialOutcome::Timeout { steps },
+    }
+}
+
+/// Adds a trial's fault counters to the live monitor, if one is attached.
+pub fn publish_faults(monitor: Option<&CampaignMonitor>, stats: &FaultStats) {
+    if let Some(m) = monitor {
+        m.add_faults(&FaultTotals {
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            suppressed: stats.suppressed,
+            stale_reads: stats.stale_reads,
+            noisy: stats.noisy,
+            crash_events: stats.crash_events,
+        });
+    }
+}
+
+/// One reference-engine campaign trial under the given scheduler.
+pub fn reference_trial<S: Scheduler>(
+    graph: &Graph,
+    opinions: &[i64],
+    scheduler: S,
+    faults: &FaultPlan,
+    monitor: Option<&CampaignMonitor>,
+    ctx: &TrialCtx,
+) -> TrialOutcome {
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut p = DivProcess::new(graph, opinions.to_vec(), scheduler).expect("validated in setup");
+    let mut session = faults.session(opinions).expect("validated in setup");
+    let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
+    if !faults.is_trivial() {
+        publish_faults(monitor, session.stats());
+    }
+    let s = p.state();
+    outcome_of(
+        status,
+        s.is_two_adjacent(),
+        s.min_opinion(),
+        s.max_opinion(),
+    )
+}
+
+/// One fast-engine campaign trial under the given compiled scheduler.
+pub fn fast_trial(
+    graph: &Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    faults: &FaultPlan,
+    monitor: Option<&CampaignMonitor>,
+    ctx: &TrialCtx,
+) -> TrialOutcome {
+    let mut rng = FastRng::seed_from_u64(ctx.seed);
+    let mut p = FastProcess::new(graph, opinions.to_vec(), kind).expect("validated in setup");
+    let status = if faults.is_trivial() {
+        p.run_to_consensus(ctx.step_budget, &mut rng)
+    } else {
+        let mut session = faults.session(opinions).expect("validated in setup");
+        let status = p.run_faulty_to_consensus(ctx.step_budget, &mut session, &mut rng);
+        publish_faults(monitor, session.stats());
+        status
+    };
+    outcome_of(
+        status,
+        p.is_two_adjacent(),
+        p.min_opinion(),
+        p.max_opinion(),
+    )
+}
+
+/// One lockstep batch group: every lane of the group stepped together by
+/// a single [`BatchProcess`] over the shared compiled graph.  Lane `l`
+/// is seeded with `ctxs[l].seed`, so each lane is bit-exact against the
+/// [`fast_trial`] the batched campaign runner would otherwise have run —
+/// the report is identical to a scalar fast campaign's, just faster.
+pub fn batch_group(
+    graph: &Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    faults: &FaultPlan,
+    monitor: Option<&CampaignMonitor>,
+    ctxs: &[TrialCtx],
+) -> Vec<TrialOutcome> {
+    let seeds: Vec<u64> = ctxs.iter().map(|c| c.seed).collect();
+    let mut batch =
+        BatchProcess::new(graph, opinions.to_vec(), kind, &seeds).expect("validated in setup");
+    let statuses = if faults.is_trivial() {
+        batch.run_to_consensus(ctxs[0].step_budget)
+    } else {
+        let (statuses, stats) = batch
+            .run_faulty_to_consensus(ctxs[0].step_budget, faults)
+            .expect("validated in setup");
+        for s in &stats {
+            publish_faults(monitor, s);
+        }
+        statuses
+    };
+    statuses
+        .into_iter()
+        .enumerate()
+        .map(|(l, status)| {
+            outcome_of(
+                status,
+                batch.is_two_adjacent(l),
+                batch.min_opinion(l),
+                batch.max_opinion(l),
+            )
+        })
+        .collect()
+}

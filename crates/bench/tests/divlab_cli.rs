@@ -635,3 +635,87 @@ fn sample_every_zero_is_rejected() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("--sample-every"), "{}", stderr(&out));
 }
+
+#[test]
+fn batch_campaign_telemetry_error_carries_data_loss_exit_code() {
+    // Regression: a `--telemetry` exporter failure must surface as exit
+    // code 4 through the *batch* campaign entry point exactly as it does
+    // on the fast path (the demotion to fast may not eat the error), and
+    // the demotion must not silently drop the other batch-era knobs
+    // (--threads is applied after the engine switch).
+    let dir = temp_file("batch-telemetry-err", "d");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Block trial 0's telemetry file with a *directory* of the same
+    // name: File::create fails with EISDIR even when running as root.
+    let seed0 = div_sim::SeedSequence::seed_for(1, 0);
+    std::fs::create_dir(dir.join(format!("trial-{seed0:020}.jsonl"))).unwrap();
+    let out = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "batch",
+        "--seed",
+        "1",
+        "--trials",
+        "3",
+        "--threads",
+        "1",
+        "--telemetry",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("falling back to --engine fast"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("telemetry lost for 1 trial(s)"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // The campaign itself still completed and reported.
+    assert!(
+        stdout(&out).contains("outcomes converged=3"),
+        "{}",
+        stdout(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_threads_flag_is_honoured_on_every_engine() {
+    // --threads used to be applied only when the engine was (still)
+    // `batch` at config time; it now pins the campaign worker pool for
+    // scalar engines too, and the report stays a pure function of the
+    // seed whatever the thread count.
+    let run = |threads: &str| {
+        divlab(&[
+            "campaign",
+            "--graph",
+            "complete:30",
+            "--init",
+            "blocks:1x15,5x15",
+            "--engine",
+            "fast",
+            "--seed",
+            "5",
+            "--trials",
+            "6",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    let four = run("4");
+    assert!(one.status.success(), "stderr: {}", stderr(&one));
+    assert!(four.status.success(), "stderr: {}", stderr(&four));
+    assert_eq!(
+        stdout(&one),
+        stdout(&four),
+        "thread count must not change the report"
+    );
+}

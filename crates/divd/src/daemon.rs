@@ -1,0 +1,1156 @@
+//! The durable campaign daemon: HTTP front-end, fair work queue, worker
+//! pool, and WAL-style oplog persistence.
+//!
+//! # Durability model
+//!
+//! Every job state transition is appended to the oplog (`oplog.div` in
+//! the data directory) as one atomic [`div_oplog::Oplog`] bundle,
+//! fsynced before the daemon acts on it:
+//!
+//! ```text
+//! submit <id> <client> <spec…>   # accepted into the queue
+//! schedule <id>                  # claimed by a worker
+//! outcome <id> trial <i> …       # one completed trial (manifest encoding)
+//! retried <id> <i>               # a panicked attempt was retried
+//! cancel <id>                    # client cancel intent
+//! complete <id> clean|degraded|cancelled
+//! fail <id> <message>
+//! ```
+//!
+//! On startup the daemon replays the oplog (truncating any torn tail),
+//! reconstructs every job, re-enqueues `queued` jobs, and re-enqueues
+//! jobs that were `running` at the crash *at the front* of the queue
+//! with `resume` — the campaign engine reloads the job's checkpoint
+//! manifest and only runs the missing trials.  Because
+//! [`CampaignReport::render`] is a pure function of
+//! `(master seed, trials, outcomes)` and every input is re-derived from
+//! the journalled spec, a killed-and-recovered campaign's report is
+//! byte-identical to an uninterrupted run's.
+//!
+//! # Backpressure
+//!
+//! The work queue is bounded: a submission that finds it full is
+//! rejected with `429` and `Retry-After` *before* anything is
+//! journalled.  Queued jobs are dispatched fairly: one queue lane per
+//! client, serviced round-robin, so a client burst cannot starve
+//! others.  While draining (SIGTERM or `POST /admin/drain`) submissions
+//! get `503`, in-flight campaigns are cooperatively cancelled through
+//! their checkpoint path, and the oplog is sealed.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use div_core::{EdgeScheduler, FastScheduler, VertexScheduler};
+use div_oplog::{atomic_write, Oplog, Replay};
+use div_sim::http::{HttpLimits, HttpServer, Request, Response};
+use div_sim::{
+    run_campaign_batched_hooked, run_campaign_hooked, CampaignConfig, CampaignHooks,
+    CampaignReport, TrialOutcome,
+};
+
+use div_bench::trial::{batch_group, fast_trial, reference_trial};
+
+use crate::job::{JobSpec, JobState};
+
+/// Daemon tunables; construct with [`DaemonConfig::new`] and adjust.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Data directory: oplog, checkpoints, reports, endpoint file.
+    pub data_dir: PathBuf,
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Concurrent campaign workers.
+    pub workers: usize,
+    /// Work queue capacity; submissions beyond it get `429`.
+    pub queue_capacity: usize,
+    /// HTTP socket limits (timeouts, head/body caps, connection cap).
+    pub limits: HttpLimits,
+}
+
+impl DaemonConfig {
+    /// Defaults: loopback auto-port, 2 workers, a 32-deep queue, and
+    /// HTTP limits sized for an API endpoint (256 connections, 64 KiB
+    /// bodies).
+    pub fn new(data_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            data_dir: data_dir.into(),
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 32,
+            limits: HttpLimits {
+                max_body_bytes: 64 * 1024,
+                max_connections: 256,
+                ..HttpLimits::default()
+            },
+        }
+    }
+}
+
+/// One job's in-memory record (the oplog is the durable copy).
+#[derive(Debug)]
+struct Job {
+    client: String,
+    spec: JobSpec,
+    state: JobState,
+    /// Cooperative cancellation flag handed to the campaign engine.
+    cancel: Arc<AtomicBool>,
+    /// Whether a client cancel was journalled (distinguishes a cancel
+    /// from a drain: both set `cancel`, only this makes it terminal).
+    cancel_requested: bool,
+    /// Completed trials, keyed by index, in manifest-line encoding.
+    results: BTreeMap<usize, String>,
+    retries: u64,
+    /// Final report text once terminal.
+    report: Option<String>,
+    error: Option<String>,
+    /// Whether this job was reconstructed from the oplog after a crash.
+    recovered: bool,
+}
+
+impl Job {
+    fn new(client: String, spec: JobSpec) -> Job {
+        Job {
+            client,
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            cancel_requested: false,
+            results: BTreeMap::new(),
+            retries: 0,
+            report: None,
+            error: None,
+            recovered: false,
+        }
+    }
+
+    /// Renders the campaign report implied by the journalled outcomes —
+    /// the same pure function of `(master seed, trials, outcomes)` the
+    /// engine uses, so recovery and live completion agree byte-for-byte.
+    fn render_report(&self) -> String {
+        let outcomes: BTreeMap<usize, TrialOutcome> = self
+            .results
+            .values()
+            .filter_map(|line| TrialOutcome::parse_line(line))
+            .collect();
+        CampaignReport {
+            master_seed: self.spec.seed,
+            trials: self.spec.trials,
+            outcomes,
+            resumed: 0,
+        }
+        .render()
+    }
+}
+
+/// Bounded multi-client queue with round-robin dispatch: one FIFO lane
+/// per client, serviced in rotation, so no client's burst can starve
+/// another's single job.
+#[derive(Debug)]
+struct FairQueue {
+    capacity: usize,
+    /// Round-robin ring of clients (a client stays in the ring once
+    /// seen; empty lanes are skipped).
+    ring: Vec<String>,
+    lanes: HashMap<String, VecDeque<u64>>,
+    cursor: usize,
+    len: usize,
+}
+
+impl FairQueue {
+    fn new(capacity: usize) -> FairQueue {
+        FairQueue {
+            capacity,
+            ring: Vec::new(),
+            lanes: HashMap::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    fn lane(&mut self, client: &str) -> &mut VecDeque<u64> {
+        if !self.lanes.contains_key(client) {
+            self.ring.push(client.to_string());
+            self.lanes.insert(client.to_string(), VecDeque::new());
+        }
+        self.lanes.get_mut(client).expect("just inserted")
+    }
+
+    /// Enqueues at the back of the client's lane.  Recovery uses this
+    /// too, ignoring capacity — jobs accepted before a crash are never
+    /// dropped, even if the daemon restarts with a smaller queue.
+    fn push_back(&mut self, client: &str, id: u64) {
+        self.lane(client).push_back(id);
+        self.len += 1;
+    }
+
+    /// Enqueues at the front of the client's lane (crashed `running`
+    /// jobs go here so resumption precedes fresh work).
+    fn push_front(&mut self, client: &str, id: u64) {
+        self.lane(client).push_front(id);
+        self.len += 1;
+    }
+
+    /// Pops the next job round-robin across client lanes.
+    fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 || self.ring.is_empty() {
+            return None;
+        }
+        for step in 0..self.ring.len() {
+            let at = (self.cursor + step) % self.ring.len();
+            let client = &self.ring[at];
+            if let Some(id) = self.lanes.get_mut(client).and_then(|l| l.pop_front()) {
+                self.cursor = (at + 1) % self.ring.len();
+                self.len -= 1;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Removes a queued job wherever it sits (client cancel).
+    fn remove(&mut self, id: u64) -> bool {
+        for lane in self.lanes.values_mut() {
+            if let Some(pos) = lane.iter().position(|&q| q == id) {
+                lane.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Mutable daemon state behind the one lock.
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    queue: FairQueue,
+    /// `None` once sealed during drain.
+    oplog: Option<Oplog>,
+    next_id: u64,
+    draining: bool,
+    running: usize,
+    rejected: u64,
+}
+
+impl Inner {
+    /// Journals one bundle; the error decides admission (submit) or is
+    /// surfaced on stderr (progress ops — the checkpoint manifest still
+    /// guards resume).
+    fn commit(&mut self, ops: &[String]) -> io::Result<()> {
+        match &mut self.oplog {
+            Some(log) => log.commit(ops).map(|_| ()),
+            None => Ok(()), // sealed during drain; nothing left to journal
+        }
+    }
+
+    fn commit_warn(&mut self, ops: &[String]) {
+        if let Err(e) = self.commit(ops) {
+            eprintln!("divd: oplog append failed ({e}); continuing un-journalled");
+        }
+    }
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Wakes workers (queue push, drain).
+    work: Condvar,
+    data_dir: PathBuf,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn checkpoint_path(&self, id: u64) -> PathBuf {
+        self.data_dir
+            .join("checkpoints")
+            .join(format!("job-{id}.manifest"))
+    }
+
+    fn report_path(&self, id: u64) -> PathBuf {
+        self.data_dir.join("reports").join(format!("job-{id}.txt"))
+    }
+
+    /// Stops admission and cooperatively cancels in-flight campaigns.
+    fn begin_drain(&self) {
+        let mut inner = self.lock();
+        if inner.draining {
+            return;
+        }
+        inner.draining = true;
+        for job in inner.jobs.values() {
+            if job.state == JobState::Running {
+                job.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+    }
+}
+
+/// A running daemon: HTTP server + worker pool over the shared state.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    server: Option<HttpServer>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Creates the data directory layout, replays the oplog, re-queues
+    /// recovered work, starts the worker pool, binds the HTTP API and
+    /// publishes the bound address to `<data>/endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-directory creation, oplog open and socket bind
+    /// failures.
+    pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(cfg.data_dir.join("checkpoints"))?;
+        std::fs::create_dir_all(cfg.data_dir.join("reports"))?;
+        let (oplog, replay) = Oplog::open(&cfg.data_dir.join("oplog.div"))?;
+        let mut inner = recover(&replay, cfg.queue_capacity);
+        let recovered_jobs = inner.jobs.len();
+        if recovered_jobs > 0 {
+            eprintln!(
+                "divd: recovered {} job(s) from oplog ({} queued for work{})",
+                recovered_jobs,
+                inner.queue.len(),
+                match &replay.torn {
+                    Some(t) => format!("; truncated torn tail: {}", t.reason),
+                    None => String::new(),
+                }
+            );
+        }
+        inner.oplog = Some(oplog);
+
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(inner),
+            work: Condvar::new(),
+            data_dir: cfg.data_dir.clone(),
+        });
+
+        let mut workers = Vec::new();
+        for _ in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let routes = Arc::clone(&shared);
+        let server = HttpServer::bind(&cfg.addr, cfg.limits, move |req| route(&routes, req))?;
+        let addr = server.local_addr();
+        atomic_write(
+            &cfg.data_dir.join("endpoint"),
+            format!("{addr}\n").as_bytes(),
+        )?;
+
+        Ok(Daemon {
+            shared,
+            server: Some(server),
+            workers,
+        })
+    }
+
+    /// The bound API address.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`Daemon::drain`] consumed the server (drain takes
+    /// `self`, so this cannot be observed).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server
+            .as_ref()
+            .expect("server alive until drain")
+            .local_addr()
+    }
+
+    /// Whether a drain has been requested (SIGTERM path polls this to
+    /// notice `POST /admin/drain`).
+    pub fn draining(&self) -> bool {
+        self.shared.lock().draining
+    }
+
+    /// Graceful shutdown: stop admitting, cooperatively cancel in-flight
+    /// campaigns (each writes its final checkpoint and leaves its job
+    /// `running` in the oplog, i.e. resumable), join the workers, seal
+    /// the oplog and stop the HTTP server.
+    pub fn drain(mut self) {
+        self.shared.begin_drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let oplog = self.shared.lock().oplog.take();
+        if let Some(log) = oplog {
+            if let Err(e) = log.seal() {
+                eprintln!("divd: oplog seal failed: {e}");
+            }
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // A dropped (not drained) daemon still unblocks its workers.
+        self.shared.begin_drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oplog replay
+// ---------------------------------------------------------------------
+
+/// Rebuilds daemon state from a replayed oplog; see the module docs for
+/// the op grammar and the recovery rules per state.
+fn recover(replay: &Replay, queue_capacity: usize) -> Inner {
+    let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
+    for bundle in &replay.bundles {
+        for op in &bundle.ops {
+            if let Err(msg) = apply_op(&mut jobs, op) {
+                eprintln!("divd: skipping unreadable oplog op: {msg}");
+            }
+        }
+    }
+
+    let mut next_id = 1;
+    for (&id, job) in jobs.iter_mut() {
+        next_id = next_id.max(id + 1);
+        // A running job with journalled cancel intent died before its
+        // worker could finalise: finalise it now, from the journal.
+        if job.state == JobState::Running && job.cancel_requested {
+            job.state = JobState::Cancelled;
+        }
+        if job.state.is_terminal() && job.report.is_none() && job.state != JobState::Failed {
+            job.report = Some(job.render_report());
+        }
+        job.recovered = true;
+    }
+
+    // Crashed `running` jobs resume first; then still-queued jobs in
+    // submission order.  Recovery ignores queue capacity: accepted work
+    // is never dropped.
+    let mut queue = FairQueue::new(queue_capacity);
+    for (&id, job) in &jobs {
+        if job.state == JobState::Running {
+            queue.push_front(&job.client, id);
+        }
+    }
+    for (&id, job) in &jobs {
+        if job.state == JobState::Queued {
+            queue.push_back(&job.client, id);
+        }
+    }
+
+    Inner {
+        jobs,
+        queue,
+        oplog: None,
+        next_id,
+        draining: false,
+        running: 0,
+        rejected: 0,
+    }
+}
+
+/// Applies one journalled op to the job map.
+fn apply_op(jobs: &mut BTreeMap<u64, Job>, op: &str) -> Result<(), String> {
+    let (verb, rest) = op.split_once(' ').unwrap_or((op, ""));
+    let id_and = |rest: &str| -> Result<(u64, String), String> {
+        let (id, tail) = rest.split_once(' ').unwrap_or((rest, ""));
+        Ok((
+            id.parse().map_err(|_| format!("bad job id in {op:?}"))?,
+            tail.to_string(),
+        ))
+    };
+    match verb {
+        "submit" => {
+            let (id, tail) = id_and(rest)?;
+            let (client, spec_text) = tail
+                .split_once(' ')
+                .ok_or_else(|| format!("submit without spec: {op:?}"))?;
+            let spec = JobSpec::parse(spec_text)
+                .map_err(|e| format!("journalled spec unreadable: {e}"))?;
+            jobs.insert(id, Job::new(client.to_string(), spec));
+        }
+        "schedule" => {
+            let (id, _) = id_and(rest)?;
+            if let Some(job) = jobs.get_mut(&id) {
+                if !job.state.is_terminal() {
+                    job.state = JobState::Running;
+                }
+            }
+        }
+        "outcome" => {
+            let (id, line) = id_and(rest)?;
+            let (i, _) = TrialOutcome::parse_line(&line)
+                .ok_or_else(|| format!("bad outcome line in {op:?}"))?;
+            if let Some(job) = jobs.get_mut(&id) {
+                job.results.insert(i, line);
+            }
+        }
+        "retried" => {
+            let (id, _) = id_and(rest)?;
+            if let Some(job) = jobs.get_mut(&id) {
+                job.retries += 1;
+            }
+        }
+        "cancel" => {
+            let (id, _) = id_and(rest)?;
+            if let Some(job) = jobs.get_mut(&id) {
+                job.cancel_requested = true;
+                if job.state == JobState::Queued {
+                    job.state = JobState::Cancelled;
+                }
+            }
+        }
+        "complete" => {
+            let (id, class) = id_and(rest)?;
+            if let Some(job) = jobs.get_mut(&id) {
+                job.state = if class == "cancelled" {
+                    JobState::Cancelled
+                } else {
+                    JobState::Completed
+                };
+            }
+        }
+        "fail" => {
+            let (id, msg) = id_and(rest)?;
+            if let Some(job) = jobs.get_mut(&id) {
+                job.state = JobState::Failed;
+                job.error = Some(msg);
+            }
+        }
+        other => return Err(format!("unknown op verb {other:?}")),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut inner = shared.lock();
+            loop {
+                if inner.draining {
+                    return;
+                }
+                if let Some(id) = inner.queue.pop() {
+                    break id;
+                }
+                inner = shared.work.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_job(shared, id);
+    }
+}
+
+/// Runs one job start to finish (or to cancellation/drain).
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let (spec, cancel) = {
+        let mut inner = shared.lock();
+        let Some(job) = inner.jobs.get(&id) else {
+            return;
+        };
+        if job.state.is_terminal() {
+            return; // cancelled between pop and claim
+        }
+        let spec = job.spec.clone();
+        let cancel = Arc::clone(&job.cancel);
+        inner.jobs.get_mut(&id).expect("present above").state = JobState::Running;
+        inner.running += 1;
+        inner.commit_warn(&[format!("schedule {id}")]);
+        (spec, cancel)
+    };
+
+    let result = spec
+        .build()
+        .map_err(|e| format!("campaign setup failed: {e}"))
+        .and_then(|(graph, opinions, faults)| {
+            run_engine(shared, id, &spec, &graph, &opinions, &faults, &cancel)
+        });
+
+    let mut inner = shared.lock();
+    inner.running -= 1;
+    let Some(job) = inner.jobs.get(&id) else {
+        return;
+    };
+    let user_cancelled = job.cancel_requested;
+    match result {
+        Err(msg) => {
+            inner.commit_warn(&[format!("fail {id} {msg}")]);
+            let job = inner.jobs.get_mut(&id).expect("present above");
+            job.state = JobState::Failed;
+            job.error = Some(msg);
+        }
+        Ok(report) => {
+            if report.is_complete() || user_cancelled {
+                let class = if user_cancelled && !report.is_complete() {
+                    "cancelled"
+                } else if report.is_degraded() {
+                    "degraded"
+                } else {
+                    "clean"
+                };
+                let text = report.render();
+                // Report durable before the terminal op: a crash between
+                // the two leaves the job `running`, and resume re-renders
+                // the identical bytes.
+                if let Err(e) = atomic_write(&shared.report_path(id), text.as_bytes()) {
+                    eprintln!("divd: report write for job {id} failed: {e}");
+                }
+                inner.commit_warn(&[format!("complete {id} {class}")]);
+                let job = inner.jobs.get_mut(&id).expect("present above");
+                job.state = if class == "cancelled" {
+                    JobState::Cancelled
+                } else {
+                    JobState::Completed
+                };
+                job.report = Some(text);
+            }
+            // else: partial because of drain — leave the job `running`
+            // in the oplog; its checkpoint manifest carries the progress
+            // and the next daemon resumes it.
+        }
+    }
+}
+
+/// Dispatches the job's engine with hooks that journal every completed
+/// trial and retry.  The report is produced by exactly the code path
+/// `divlab` uses (shared `div_bench::trial` executors), so daemon and
+/// CLI reports for the same spec are byte-identical.
+fn run_engine(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &JobSpec,
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    faults: &div_core::FaultPlan,
+    cancel: &AtomicBool,
+) -> Result<CampaignReport, String> {
+    let mut cfg = CampaignConfig::new(spec.trials, spec.seed);
+    cfg.step_budget = spec.budget;
+    cfg.threads = spec.threads;
+    cfg.checkpoint_every = spec.checkpoint_every;
+    let manifest = shared.checkpoint_path(id);
+    cfg.resume = manifest.exists();
+    cfg.checkpoint = Some(manifest);
+    cfg.tag = spec.tag();
+
+    let on_trial = |i: usize, outcome: &TrialOutcome| {
+        let line = outcome.manifest_line(i);
+        let mut inner = shared.lock();
+        inner.commit_warn(&[format!("outcome {id} {line}")]);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.results.insert(i, line);
+        }
+    };
+    let on_retry = |i: usize| {
+        let mut inner = shared.lock();
+        inner.commit_warn(&[format!("retried {id} {i}")]);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.retries += 1;
+        }
+    };
+    let hooks = CampaignHooks {
+        cancel: Some(cancel),
+        on_trial: Some(&on_trial),
+        on_retry: Some(&on_retry),
+    };
+
+    let kind = if spec.scheduler == "edge" {
+        FastScheduler::Edge
+    } else {
+        FastScheduler::Vertex
+    };
+    let report = match spec.engine.as_str() {
+        "batch" => run_campaign_batched_hooked(
+            &cfg,
+            spec.lanes,
+            None,
+            hooks,
+            |ctxs| batch_group(graph, opinions, kind, faults, None, ctxs),
+            |ctx| fast_trial(graph, opinions, kind, faults, None, ctx),
+        ),
+        "fast" => run_campaign_hooked(&cfg, None, hooks, |ctx| {
+            fast_trial(graph, opinions, kind, faults, None, ctx)
+        }),
+        _ => {
+            if spec.scheduler == "edge" {
+                run_campaign_hooked(&cfg, None, hooks, |ctx| {
+                    reference_trial(graph, opinions, EdgeScheduler::new(), faults, None, ctx)
+                })
+            } else {
+                run_campaign_hooked(&cfg, None, hooks, |ctx| {
+                    reference_trial(graph, opinions, VertexScheduler::new(), faults, None, ctx)
+                })
+            }
+        }
+    };
+    report.map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// HTTP API
+// ---------------------------------------------------------------------
+
+/// Routes one request; see `README.md` for the endpoint table.
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/status") => status(shared),
+        ("GET", "/campaigns") => list(shared),
+        ("POST", "/campaigns") => submit(shared, req),
+        ("POST", "/admin/drain") => {
+            shared.begin_drain();
+            Response::text(202, "draining\n")
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/campaigns/") {
+                campaign_route(shared, req, rest)
+            } else {
+                Response::text(404, "no such endpoint\n")
+            }
+        }
+    }
+}
+
+/// `/campaigns/{id}[/results|/report]` dispatch.
+fn campaign_route(shared: &Arc<Shared>, req: &Request, rest: &str) -> Response {
+    let (id_str, sub) = rest.split_once('/').unwrap_or((rest, ""));
+    let Ok(id) = id_str.parse::<u64>() else {
+        return Response::text(404, "campaign ids are integers\n");
+    };
+    match (req.method.as_str(), sub) {
+        ("GET", "") => job_status(shared, id),
+        ("GET", "results") => job_results(shared, id),
+        ("GET", "report") => job_report(shared, id),
+        ("DELETE", "") => job_cancel(shared, id),
+        ("GET", _) => Response::text(404, "no such endpoint\n"),
+        _ => Response::text(405, "method not allowed\n"),
+    }
+}
+
+/// Validates the `X-Client` fairness token: short, filesystem- and
+/// oplog-safe.
+fn client_of(req: &Request) -> Result<String, Response> {
+    let client = req.header("x-client").unwrap_or("anon");
+    let ok = !client.is_empty()
+        && client.len() <= 64
+        && client
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.');
+    if ok {
+        Ok(client.to_string())
+    } else {
+        Err(Response::text(
+            400,
+            "X-Client must be 1-64 chars of [A-Za-z0-9._-]\n",
+        ))
+    }
+}
+
+fn submit(shared: &Arc<Shared>, req: &Request) -> Response {
+    let client = match client_of(req) {
+        Ok(c) => c,
+        Err(resp) => return resp,
+    };
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::text(400, "spec must be UTF-8 text\n");
+    };
+    let spec = match JobSpec::parse(body) {
+        Ok(s) => s,
+        Err(e) => return Response::text(400, format!("bad spec: {e}\n")),
+    };
+    // Semantic validation up front: a spec that cannot build must be a
+    // clean 400 now, not a `failed` job later.
+    if let Err(e) = spec.build() {
+        return Response::text(400, format!("bad spec: {e}\n"));
+    }
+
+    let mut inner = shared.lock();
+    if inner.draining {
+        return Response::text(503, "draining; submit to the next daemon\n")
+            .header("Retry-After", "5");
+    }
+    if inner.queue.is_full() {
+        inner.rejected += 1;
+        return Response::text(429, "queue full; retry shortly\n").header("Retry-After", "1");
+    }
+    let id = inner.next_id;
+    // Durable before visible: the submit op is fsynced before the job
+    // exists anywhere else, so an accepted id always survives a crash.
+    if let Err(e) = inner.commit(&[format!("submit {id} {client} {}", spec.render())]) {
+        return Response::text(500, format!("oplog append failed: {e}\n"));
+    }
+    inner.next_id += 1;
+    inner.jobs.insert(id, Job::new(client.clone(), spec));
+    inner.queue.push_back(&client, id);
+    drop(inner);
+    shared.work.notify_all();
+    Response::text(201, format!("id {id}\n")).header("Location", format!("/campaigns/{id}"))
+}
+
+fn status(shared: &Arc<Shared>) -> Response {
+    let inner = shared.lock();
+    let mut by_state: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in ["queued", "running", "completed", "cancelled", "failed"] {
+        by_state.insert(s, 0);
+    }
+    for job in inner.jobs.values() {
+        *by_state
+            .entry(match job.state {
+                JobState::Queued => "queued",
+                JobState::Running => "running",
+                JobState::Completed => "completed",
+                JobState::Cancelled => "cancelled",
+                JobState::Failed => "failed",
+            })
+            .or_default() += 1;
+    }
+    let mut out = String::new();
+    for (state, n) in &by_state {
+        out.push_str(&format!("divd_jobs_{state} {n}\n"));
+    }
+    out.push_str(&format!("divd_queue_depth {}\n", inner.queue.len()));
+    out.push_str(&format!("divd_queue_capacity {}\n", inner.queue.capacity));
+    out.push_str(&format!("divd_workers_busy {}\n", inner.running));
+    out.push_str(&format!("divd_rejected_total {}\n", inner.rejected));
+    out.push_str(&format!("divd_draining {}\n", u8::from(inner.draining)));
+    Response::text(200, out)
+}
+
+fn list(shared: &Arc<Shared>) -> Response {
+    let inner = shared.lock();
+    let mut out = String::new();
+    for (id, job) in &inner.jobs {
+        out.push_str(&format!(
+            "{id} {} {} {}/{}\n",
+            job.state,
+            job.client,
+            job.results.len(),
+            job.spec.trials
+        ));
+    }
+    Response::text(200, out)
+}
+
+fn job_status(shared: &Arc<Shared>, id: u64) -> Response {
+    let inner = shared.lock();
+    let Some(job) = inner.jobs.get(&id) else {
+        return Response::text(404, "no such campaign\n");
+    };
+    let mut out = format!(
+        "id {id}\nclient {}\nstate {}\ntrials {}\ndone {}\nretries {}\nrecovered {}\n",
+        job.client,
+        job.state,
+        job.spec.trials,
+        job.results.len(),
+        job.retries,
+        u8::from(job.recovered),
+    );
+    if job.state.is_terminal() {
+        let class = match job.state {
+            JobState::Failed => "failed",
+            JobState::Cancelled => "partial",
+            _ => {
+                let degraded = job
+                    .results
+                    .values()
+                    .filter_map(|l| TrialOutcome::parse_line(l))
+                    .any(|(_, o)| !o.is_converged());
+                if degraded {
+                    "degraded"
+                } else {
+                    "clean"
+                }
+            }
+        };
+        out.push_str(&format!("class {class}\n"));
+    }
+    if let Some(e) = &job.error {
+        out.push_str(&format!("error {}\n", e.replace('\n', " ")));
+    }
+    Response::text(200, out)
+}
+
+fn job_report(shared: &Arc<Shared>, id: u64) -> Response {
+    let inner = shared.lock();
+    let Some(job) = inner.jobs.get(&id) else {
+        return Response::text(404, "no such campaign\n");
+    };
+    match &job.report {
+        Some(text) => Response::text(200, text.clone()),
+        None => Response::text(409, format!("job is {}; no report yet\n", job.state)),
+    }
+}
+
+/// Streams journalled per-trial outcomes as they land, ending with an
+/// `end <state>` line once the job is terminal (or the daemon drains).
+fn job_results(shared: &Arc<Shared>, id: u64) -> Response {
+    if !shared.lock().jobs.contains_key(&id) {
+        return Response::text(404, "no such campaign\n");
+    }
+    let shared = Arc::clone(shared);
+    Response::stream(200, "text/plain; charset=utf-8", move |w| {
+        let mut sent: BTreeSet<usize> = BTreeSet::new();
+        loop {
+            let (batch, fin) = {
+                let inner = shared.lock();
+                let Some(job) = inner.jobs.get(&id) else {
+                    return writeln!(w, "end gone");
+                };
+                let batch: Vec<(usize, String)> = job
+                    .results
+                    .iter()
+                    .filter(|(i, _)| !sent.contains(*i))
+                    .map(|(&i, line)| (i, line.clone()))
+                    .collect();
+                let fin = if job.state.is_terminal() {
+                    Some(job.state.to_string())
+                } else if inner.draining {
+                    Some("draining".to_string())
+                } else {
+                    None
+                };
+                (batch, fin)
+            };
+            for (i, line) in batch {
+                writeln!(w, "{line}")?;
+                sent.insert(i);
+            }
+            w.flush()?;
+            if let Some(state) = fin {
+                return writeln!(w, "end {state}");
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    })
+}
+
+fn job_cancel(shared: &Arc<Shared>, id: u64) -> Response {
+    let mut inner = shared.lock();
+    let Some(job) = inner.jobs.get(&id) else {
+        return Response::text(404, "no such campaign\n");
+    };
+    if job.state.is_terminal() {
+        return Response::text(409, format!("already {}\n", job.state));
+    }
+    let queued = job.state == JobState::Queued;
+    inner.commit_warn(&[format!("cancel {id}")]);
+    if queued {
+        inner.queue.remove(id);
+        let job = inner.jobs.get_mut(&id).expect("present above");
+        job.cancel_requested = true;
+        job.state = JobState::Cancelled;
+        job.report = Some(job.render_report());
+        Response::text(200, "cancelled\n")
+    } else {
+        let job = inner.jobs.get_mut(&id).expect("present above");
+        job.cancel_requested = true;
+        job.cancel.store(true, Ordering::SeqCst);
+        Response::text(202, "cancelling; partial report will follow\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_text(trials: usize) -> String {
+        format!("graph complete:8\ntrials {trials}\nseed 3\nbudget 100000\n")
+    }
+
+    fn synthetic_job(id: u64, state_ops: &[String]) -> BTreeMap<u64, Job> {
+        let mut jobs = BTreeMap::new();
+        let submit = format!("submit {id} alice {}", spec_text(4));
+        apply_op(&mut jobs, &submit).unwrap();
+        for op in state_ops {
+            apply_op(&mut jobs, op).unwrap();
+        }
+        jobs
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_clients() {
+        let mut q = FairQueue::new(16);
+        q.push_back("a", 1);
+        q.push_back("a", 2);
+        q.push_back("a", 3);
+        q.push_back("b", 10);
+        q.push_back("c", 20);
+        // A's burst does not starve b and c: dispatch interleaves.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![1, 10, 20, 2, 3]);
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fair_queue_capacity_and_removal() {
+        let mut q = FairQueue::new(2);
+        q.push_back("a", 1);
+        assert!(!q.is_full());
+        q.push_back("b", 2);
+        assert!(q.is_full());
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn fair_queue_push_front_preempts() {
+        let mut q = FairQueue::new(8);
+        q.push_back("a", 1);
+        q.push_front("a", 9);
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn apply_op_walks_the_state_machine() {
+        let jobs = synthetic_job(7, &[]);
+        assert_eq!(jobs[&7].state, JobState::Queued);
+        assert_eq!(jobs[&7].client, "alice");
+        assert_eq!(jobs[&7].spec.trials, 4);
+
+        let jobs = synthetic_job(7, &["schedule 7".to_string()]);
+        assert_eq!(jobs[&7].state, JobState::Running);
+
+        let jobs = synthetic_job(
+            7,
+            &[
+                "schedule 7".to_string(),
+                "outcome 7 trial 0 converged 2 55".to_string(),
+                "retried 7 1".to_string(),
+                "complete 7 clean".to_string(),
+            ],
+        );
+        assert_eq!(jobs[&7].state, JobState::Completed);
+        assert_eq!(jobs[&7].results.len(), 1);
+        assert_eq!(jobs[&7].retries, 1);
+
+        let jobs = synthetic_job(7, &["fail 7 boom went the manifest".to_string()]);
+        assert_eq!(jobs[&7].state, JobState::Failed);
+        assert_eq!(jobs[&7].error.as_deref(), Some("boom went the manifest"));
+    }
+
+    #[test]
+    fn apply_op_rejects_garbage_without_panicking() {
+        let mut jobs = BTreeMap::new();
+        for bad in [
+            "frobnicate 3",
+            "submit notanid alice graph complete:8",
+            "submit 3",
+            "outcome 3 not a trial line",
+        ] {
+            assert!(apply_op(&mut jobs, bad).is_err(), "{bad:?}");
+        }
+        // Ops about unknown jobs are ignored, not errors (the submit may
+        // have been in a truncated torn tail).
+        apply_op(&mut jobs, "schedule 99").unwrap();
+        apply_op(&mut jobs, "cancel 99").unwrap();
+        assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn recover_classifies_and_requeues() {
+        // Build a replay through a real oplog round-trip.
+        let dir = std::env::temp_dir().join(format!("divd-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oplog.div");
+        let _ = std::fs::remove_file(&path);
+        let (mut log, _) = Oplog::open(&path).unwrap();
+        let ops = [
+            format!("submit 1 a {}", spec_text(4)), // completed
+            format!("submit 2 a {}", spec_text(4)), // crashed while running
+            format!("submit 3 b {}", spec_text(4)), // still queued
+            format!("submit 4 b {}", spec_text(4)), // cancelled while running
+            "schedule 1".to_string(),
+            "outcome 1 trial 0 converged 2 55".to_string(),
+            "complete 1 clean".to_string(),
+            "schedule 2".to_string(),
+            "outcome 2 trial 1 converged 3 99".to_string(),
+            "schedule 4".to_string(),
+            "cancel 4".to_string(),
+        ];
+        for op in &ops {
+            log.commit(std::slice::from_ref(op)).unwrap();
+        }
+        drop(log);
+        let (_, replay) = Oplog::open(&path).unwrap();
+        let inner = recover(&replay, 8);
+
+        assert_eq!(inner.jobs[&1].state, JobState::Completed);
+        assert!(inner.jobs[&1].report.is_some());
+        assert_eq!(inner.jobs[&2].state, JobState::Running);
+        assert_eq!(inner.jobs[&2].results.len(), 1);
+        assert_eq!(inner.jobs[&3].state, JobState::Queued);
+        // Cancel intent on a crashed running job resolves to cancelled,
+        // with the partial report rendered from the journal.
+        assert_eq!(inner.jobs[&4].state, JobState::Cancelled);
+        assert!(inner.jobs[&4].report.as_deref().unwrap().contains("trials"));
+        assert_eq!(inner.next_id, 5);
+
+        // The crashed job resumes before the queued one.
+        let mut queue = inner.queue;
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+        assert_eq!(queue.pop(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_report_matches_engine_render() {
+        // The journal-derived report must be the same pure function the
+        // engine computes: master seed + trials + outcomes, nothing else.
+        let mut jobs = synthetic_job(
+            5,
+            &[
+                "schedule 5".to_string(),
+                "outcome 5 trial 0 converged 2 55".to_string(),
+                "outcome 5 trial 2 timeout 100000".to_string(),
+            ],
+        );
+        let job = jobs.get_mut(&5).unwrap();
+        let mut outcomes = BTreeMap::new();
+        outcomes.insert(
+            0,
+            TrialOutcome::Converged {
+                winner: 2,
+                steps: 55,
+            },
+        );
+        outcomes.insert(2, TrialOutcome::Timeout { steps: 100_000 });
+        let expect = CampaignReport {
+            master_seed: 3,
+            trials: 4,
+            outcomes,
+            resumed: 0,
+        }
+        .render();
+        assert_eq!(job.render_report(), expect);
+    }
+}

@@ -1,0 +1,518 @@
+//! End-to-end tests for the `divd` daemon: API surface, backpressure,
+//! cancellation, drain/resume, and the headline crash guarantee —
+//! `kill -9` at any instant, restart, and the resumed campaign report is
+//! byte-identical to an uninterrupted run's (plain, under faults, and
+//! with the batch engine).
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use div_sim::http::{http_request, HttpResponse};
+use divd::{Daemon, DaemonConfig};
+
+fn temp_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "divd-test-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn req(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> HttpResponse {
+    req_as(addr, method, path, &[], body)
+}
+
+fn req_as(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> HttpResponse {
+    http_request(addr, method, path, headers, body, Duration::from_secs(120))
+        .unwrap_or_else(|e| panic!("{method} {path}: {e}"))
+}
+
+/// Submits a spec and returns the new job id.
+fn submit(addr: SocketAddr, spec: &str) -> u64 {
+    let resp = req(addr, "POST", "/campaigns", spec.as_bytes());
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    resp.text()
+        .trim()
+        .strip_prefix("id ")
+        .and_then(|s| s.parse().ok())
+        .expect("submit returns `id N`")
+}
+
+/// Polls job status until `state` matches (or panics after `limit`).
+fn wait_state(addr: SocketAddr, id: u64, want: &str, limit: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let text = req(addr, "GET", &format!("/campaigns/{id}"), b"").text();
+        let state = field(&text, "state").unwrap_or_default();
+        if state == want {
+            return text;
+        }
+        assert!(
+            start.elapsed() < limit,
+            "job {id} stuck in {state:?} waiting for {want:?}:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Polls until at least `n` trials are done (job mid-flight).
+fn wait_done(addr: SocketAddr, id: u64, n: usize, limit: Duration) {
+    let start = Instant::now();
+    loop {
+        let text = req(addr, "GET", &format!("/campaigns/{id}"), b"").text();
+        let done: usize = field(&text, "done")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if done >= n {
+            return;
+        }
+        let state = field(&text, "state").unwrap_or_default();
+        assert!(
+            state == "queued" || state == "running",
+            "job {id} reached {state:?} before {n} trials were done:\n{text}"
+        );
+        assert!(
+            start.elapsed() < limit,
+            "job {id} never reached {n} done trials"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn field(status: &str, key: &str) -> Option<String> {
+    let prefix = format!("{key} ");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()).map(str::to_string))
+}
+
+fn report_of(addr: SocketAddr, id: u64) -> String {
+    let resp = req(addr, "GET", &format!("/campaigns/{id}/report"), b"");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    resp.text()
+}
+
+/// A campaign with a *deterministic* per-trial duration, slow enough to
+/// observe and interrupt mid-flight: stubborn vertices make consensus
+/// impossible, so every trial runs its full step budget (~tens of ms)
+/// and times out, checkpointing after every trial.
+const SLOW_SPEC: &str = "graph cycle:64\ninit uniform:5\nscheduler edge\nengine reference\n\
+                         faults stubborn:3\nseed 3\ntrials 40\nbudget 250000\nthreads 1\n\
+                         checkpoint-every 1\n";
+
+/// An instant campaign for API-surface tests.
+const QUICK_SPEC: &str =
+    "graph complete:30\ninit blocks:1x15,5x15\nengine fast\nseed 7\ntrials 5\n";
+
+fn one_worker(dir: &Path) -> DaemonConfig {
+    let mut cfg = DaemonConfig::new(dir);
+    cfg.workers = 1;
+    cfg
+}
+
+/// Runs `spec` to completion on a fresh in-process daemon and returns
+/// the report — the uninterrupted control for crash comparisons.
+fn control_report(spec: &str) -> String {
+    let dir = temp_dir("control");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let id = submit(addr, spec);
+    wait_state(addr, id, "completed", Duration::from_secs(120));
+    let report = report_of(addr, id);
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+// ------------------------------------------------------------------
+// Spawned-binary helpers (the crash tests need a real PID to kill).
+// ------------------------------------------------------------------
+
+struct DaemonProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_daemon(dir: &Path) -> DaemonProc {
+    let _ = std::fs::remove_file(dir.join("endpoint"));
+    let child = Command::new(env!("CARGO_BIN_EXE_divd"))
+        .args(["--data", dir.to_str().unwrap(), "--workers", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("divd spawns");
+    // The daemon publishes its bound address atomically once it is
+    // accepting connections.
+    let endpoint = dir.join("endpoint");
+    let start = Instant::now();
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&endpoint) {
+            if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                break addr;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "daemon never published endpoint"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    DaemonProc { child, addr }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The headline guarantee, parameterised: submit, kill -9 mid-campaign,
+/// restart, and the resumed report must be byte-identical to an
+/// uninterrupted run of the same spec.
+fn kill_dash_nine_roundtrip(label: &str, spec: &str, kill_after_done: usize) {
+    let expect = control_report(spec);
+    let dir = temp_dir(label);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut daemon = spawn_daemon(&dir);
+    let id = submit(daemon.addr, spec);
+    wait_done(daemon.addr, id, kill_after_done, Duration::from_secs(60));
+    // SIGKILL: no drain, no checkpoint flush, no oplog seal.
+    daemon.child.kill().unwrap();
+    daemon.child.wait().unwrap();
+    drop(daemon);
+
+    let daemon = spawn_daemon(&dir);
+    let status = wait_state(daemon.addr, id, "completed", Duration::from_secs(120));
+    assert_eq!(
+        field(&status, "recovered").as_deref(),
+        Some("1"),
+        "{status}"
+    );
+    let report = report_of(daemon.addr, id);
+    assert_eq!(
+        report, expect,
+        "resumed report differs from uninterrupted control"
+    );
+    // The resumed run really did reuse pre-crash work rather than start
+    // over: the checkpoint manifest survived with the journal.
+    assert!(dir
+        .join("checkpoints")
+        .join(format!("job-{id}.manifest"))
+        .exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_nine_then_restart_report_is_byte_identical() {
+    kill_dash_nine_roundtrip("kill9-plain", SLOW_SPEC, 3);
+}
+
+#[test]
+fn kill_nine_under_faults_report_is_byte_identical() {
+    // Message-drop faults exercise the fault-session path through the
+    // crash/recovery cycle (stubborn keeps the duration deterministic).
+    let spec = SLOW_SPEC.replace("faults stubborn:3", "faults drop:0.2,stubborn:3");
+    kill_dash_nine_roundtrip("kill9-faults", &spec, 3);
+}
+
+#[test]
+fn kill_nine_with_batch_engine_report_is_byte_identical() {
+    let spec = "graph cycle:64\ninit uniform:5\nscheduler edge\nengine batch\n\
+                faults stubborn:3\nseed 11\ntrials 40\nbudget 400000\nlanes 4\nthreads 1\n\
+                checkpoint-every 1\n";
+    kill_dash_nine_roundtrip("kill9-batch", spec, 4);
+}
+
+#[test]
+fn sigterm_drains_and_the_next_start_resumes() {
+    let expect = control_report(SLOW_SPEC);
+    let dir = temp_dir("sigterm");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut daemon = spawn_daemon(&dir);
+    let id = submit(daemon.addr, SLOW_SPEC);
+    wait_done(daemon.addr, id, 2, Duration::from_secs(60));
+    // Graceful: SIGTERM → drain → checkpoint → sealed oplog → exit 0.
+    let term = Command::new("kill")
+        .arg(daemon.child.id().to_string())
+        .status()
+        .unwrap();
+    assert!(term.success());
+    let code = daemon.child.wait().unwrap();
+    assert!(code.success(), "drained daemon exits 0, got {code:?}");
+    assert!(dir.join("oplog.div.seal").exists(), "drain seals the oplog");
+    drop(daemon);
+
+    let daemon = spawn_daemon(&dir);
+    wait_state(daemon.addr, id, "completed", Duration::from_secs(120));
+    assert_eq!(report_of(daemon.addr, id), expect);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quick_job_completes_and_streams_results() {
+    let dir = temp_dir("quick");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let id = submit(addr, QUICK_SPEC);
+
+    // The results stream stays open until the job is terminal, then
+    // closes with an `end <state>` line.
+    let stream = req(addr, "GET", &format!("/campaigns/{id}/results"), b"");
+    assert_eq!(stream.status, 200);
+    let streamed = stream.text();
+    let lines: Vec<&str> = streamed.trim().lines().map(str::trim).collect();
+    assert_eq!(*lines.last().unwrap(), "end completed", "{lines:?}");
+    let trial_lines = &lines[..lines.len() - 1];
+    assert_eq!(trial_lines.len(), 5);
+    for line in trial_lines {
+        assert!(
+            div_sim::TrialOutcome::parse_line(line).is_some(),
+            "unparseable streamed line {line:?}"
+        );
+    }
+
+    let status = wait_state(addr, id, "completed", Duration::from_secs(30));
+    assert_eq!(field(&status, "done").as_deref(), Some("5"));
+    assert_eq!(field(&status, "class").as_deref(), Some("clean"));
+    let report = report_of(addr, id);
+    assert!(
+        report.contains("campaign master=7 trials=5 completed=5"),
+        "{report}"
+    );
+
+    // Listing and gauges see the job too.
+    let list = req(addr, "GET", "/campaigns", b"").text();
+    assert!(list.contains(&format!("{id} completed anon 5/5")), "{list}");
+    let gauges = req(addr, "GET", "/status", b"").text();
+    assert!(gauges.contains("divd_jobs_completed 1"), "{gauges}");
+    assert!(gauges.contains("divd_queue_depth 0"), "{gauges}");
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_report_matches_divlab_campaign_shape() {
+    // The daemon's report is produced by the shared engine/executors, so
+    // it is the exact `CampaignReport::render` text (master, trials,
+    // outcome table, metrics block) a local campaign run would print.
+    let dir = temp_dir("shape");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let id = submit(addr, QUICK_SPEC);
+    wait_state(addr, id, "completed", Duration::from_secs(30));
+    let report = report_of(addr, id);
+    for needle in [
+        "campaign master=",
+        "outcomes converged=",
+        "histogram steps.to_consensus",
+    ] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_mid_run_keeps_a_partial_resumable_report() {
+    let dir = temp_dir("cancel");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let id = submit(addr, SLOW_SPEC);
+    wait_done(addr, id, 2, Duration::from_secs(60));
+
+    let resp = req(addr, "DELETE", &format!("/campaigns/{id}"), b"");
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let status = wait_state(addr, id, "cancelled", Duration::from_secs(60));
+    assert_eq!(field(&status, "class").as_deref(), Some("partial"));
+    let done: usize = field(&status, "done").unwrap().parse().unwrap();
+    assert!((1..40).contains(&done), "cancel mid-run left done={done}");
+    let report = report_of(addr, id);
+    assert!(report.contains(&format!("completed={done}")), "{report}");
+
+    // Cancelling again is a clean conflict, not a crash.
+    let again = req(addr, "DELETE", &format!("/campaigns/{id}"), b"");
+    assert_eq!(again.status, 409);
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_queued_job_never_runs() {
+    let dir = temp_dir("cancel-queued");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let running = submit(addr, SLOW_SPEC);
+    wait_done(addr, running, 1, Duration::from_secs(60));
+    let queued = submit(addr, QUICK_SPEC);
+
+    let resp = req(addr, "DELETE", &format!("/campaigns/{queued}"), b"");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let status = req(addr, "GET", &format!("/campaigns/{queued}"), b"").text();
+    assert_eq!(field(&status, "state").as_deref(), Some("cancelled"));
+    assert_eq!(field(&status, "done").as_deref(), Some("0"));
+    // Unblock the worker quickly.
+    let _ = req(addr, "DELETE", &format!("/campaigns/{running}"), b"");
+    wait_state(addr, running, "cancelled", Duration::from_secs(60));
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_control_rejects_cleanly_under_load() {
+    // ~200 concurrent clients against a full queue: every rejection is a
+    // clean 429 with Retry-After; nothing 5xx, nothing hung, and every
+    // accepted id really exists.
+    let dir = temp_dir("load");
+    let mut cfg = one_worker(&dir);
+    cfg.queue_capacity = 4;
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.local_addr();
+    // Occupy the single worker so queued jobs stay queued.
+    let running = submit(addr, SLOW_SPEC);
+    wait_done(addr, running, 1, Duration::from_secs(60));
+
+    let clients = 200;
+    let results: Vec<(u16, Option<String>, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let name = format!("client-{c}");
+                    let resp = http_request(
+                        addr,
+                        "POST",
+                        "/campaigns",
+                        &[("X-Client", name.as_str())],
+                        QUICK_SPEC.as_bytes(),
+                        Duration::from_secs(60),
+                    )
+                    .unwrap_or_else(|e| panic!("client {c}: {e}"));
+                    let retry = resp.header("retry-after").map(str::to_string);
+                    (resp.status, retry, resp.text())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for (status, retry_after, body) in results {
+        match status {
+            201 => accepted.push(body),
+            429 => {
+                rejected += 1;
+                assert_eq!(retry_after.as_deref(), Some("1"), "429 without Retry-After");
+            }
+            other => panic!("client saw status {other}: {body}"),
+        }
+    }
+    assert_eq!(accepted.len() + rejected, clients);
+    assert!(
+        accepted.len() <= 4,
+        "queue of 4 accepted {}",
+        accepted.len()
+    );
+    assert!(rejected >= clients - 4);
+    for body in &accepted {
+        let id: u64 = body.trim().strip_prefix("id ").unwrap().parse().unwrap();
+        let status = req(addr, "GET", &format!("/campaigns/{id}"), b"").text();
+        assert!(
+            field(&status, "state").is_some(),
+            "accepted id {id} unknown"
+        );
+    }
+    let gauges = req(addr, "GET", "/status", b"").text();
+    assert!(
+        gauges.contains(&format!("divd_rejected_total {rejected}")),
+        "{gauges}"
+    );
+    // Shorten the teardown: cancel the slow filler.
+    let _ = req(addr, "DELETE", &format!("/campaigns/{running}"), b"");
+    wait_state(addr, running, "cancelled", Duration::from_secs(60));
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_endpoint_stops_admission_and_resumes_later() {
+    let expect = control_report(SLOW_SPEC);
+    let dir = temp_dir("drain");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let id = submit(addr, SLOW_SPEC);
+    wait_done(addr, id, 2, Duration::from_secs(60));
+
+    let resp = req(addr, "POST", "/admin/drain", b"");
+    assert_eq!(resp.status, 202);
+    let refused = req(addr, "POST", "/campaigns", QUICK_SPEC.as_bytes());
+    assert_eq!(refused.status, 503, "{}", refused.text());
+    assert!(refused.header("retry-after").is_some());
+    daemon.drain();
+    assert!(dir.join("oplog.div.seal").exists());
+
+    // Same data dir, next daemon: the drained job resumes and finishes
+    // with the byte-identical report.
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    wait_state(addr, id, "completed", Duration::from_secs(120));
+    assert_eq!(report_of(addr, id), expect);
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn api_surface_validates_inputs() {
+    let dir = temp_dir("api");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+
+    assert_eq!(req(addr, "GET", "/healthz", b"").text(), "ok\n");
+    assert_eq!(req(addr, "GET", "/campaigns/99", b"").status, 404);
+    assert_eq!(req(addr, "GET", "/campaigns/xyz", b"").status, 404);
+    assert_eq!(req(addr, "GET", "/nope", b"").status, 404);
+    assert_eq!(req(addr, "PUT", "/campaigns/1", b"").status, 405);
+
+    // Spec errors are clean 400s with the parser's message.
+    let bad = req(addr, "POST", "/campaigns", b"trials 5\n");
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.text().contains("missing required key `graph`"),
+        "{}",
+        bad.text()
+    );
+    let bad = req(addr, "POST", "/campaigns", b"graph unknown:7\n");
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("unknown family"), "{}", bad.text());
+    let bad = req_as(
+        addr,
+        "POST",
+        "/campaigns",
+        &[("X-Client", "spaces !")],
+        QUICK_SPEC.as_bytes(),
+    );
+    assert_eq!(bad.status, 400);
+
+    // A report for an unfinished job is a conflict, not an empty 200.
+    let id = submit(addr, SLOW_SPEC);
+    let early = req(addr, "GET", &format!("/campaigns/{id}/report"), b"");
+    assert_eq!(early.status, 409, "{}", early.text());
+    let _ = req(addr, "DELETE", &format!("/campaigns/{id}"), b"");
+    wait_state(addr, id, "cancelled", Duration::from_secs(60));
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

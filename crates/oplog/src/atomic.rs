@@ -1,0 +1,91 @@
+//! Whole-file atomic replacement.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`, durably.
+///
+/// The sequence is write-temp → `fsync` → rename → `fsync` parent
+/// directory: after this returns, a crash at any later instant observes
+/// either the complete old contents or the complete new contents, never
+/// a mixture or a missing file.  The temp sibling lives in the same
+/// directory (`<name>.tmp`) so the rename never crosses filesystems.
+///
+/// # Errors
+///
+/// Any I/O failure from creating, writing, syncing or renaming the temp
+/// file.  On error the destination is untouched (a stale `.tmp` sibling
+/// may remain and is overwritten by the next attempt).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "atomic".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut fh = fs::File::create(&tmp)?;
+        fh.write_all(bytes)?;
+        fh.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // The rename itself lives in the parent directory's entries; without
+    // flushing those a crash can still forget the new name even though
+    // the file contents were synced.  Directory handles are only
+    // fsync-able on unix; elsewhere the rename alone is the best we get.
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(label: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "div-oplog-atomic-{label}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn creates_and_replaces() {
+        let path = temp_path("replace");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_sibling_behind() {
+        let path = temp_path("tmpless");
+        atomic_write(&path, b"x").unwrap();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !Path::new(&tmp).exists(),
+            "temp sibling must be renamed away"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_error() {
+        let path = temp_path("noparent").join("sub").join("file");
+        assert!(atomic_write(&path, b"x").is_err());
+    }
+}

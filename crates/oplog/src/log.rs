@@ -1,0 +1,553 @@
+//! Append-only bundle log with torn-tail recovery.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::atomic::atomic_write;
+use crate::crc32::crc32;
+
+/// 16-byte file header; everything after it is frames.
+const HEADER: &[u8; 16] = b"div-oplog v1\n\0\0\0";
+
+/// Per-frame magic, `"DIVO"` little-endian.
+const MAGIC: u32 = 0x4F56_4944;
+
+/// Frame kinds.
+const KIND_BUNDLE: u8 = 1;
+const KIND_SEAL: u8 = 2;
+
+/// Fixed frame head: magic(4) kind(1) seq(8) len(4) crc(4).
+const FRAME_HEAD: usize = 21;
+
+/// Largest payload a frame may carry (16 MiB); larger is corruption.
+pub const MAX_PAYLOAD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// One committed bundle: the ops that were appended atomically together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bundle {
+    /// The frame's sequence number (1-based).
+    pub seq: u64,
+    /// The operations, unescaped.
+    pub ops: Vec<String>,
+}
+
+/// Description of a discarded torn tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first invalid frame.
+    pub offset: u64,
+    /// How many bytes were discarded.
+    pub bytes: u64,
+    /// Why the frame was rejected.
+    pub reason: String,
+}
+
+/// The result of replaying a log: the valid prefix, fully decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Every fully committed bundle, in append order.
+    pub bundles: Vec<Bundle>,
+    /// Whether the last valid frame is a seal.
+    pub sealed: bool,
+    /// Length in bytes of the valid prefix.
+    pub valid_len: u64,
+    /// The sequence number the next appended frame must carry.
+    pub next_seq: u64,
+    /// The discarded tail, when the file did not end at a frame boundary.
+    pub torn: Option<TornTail>,
+    /// When a seal sidecar was present at [`Oplog::open`]: whether it
+    /// matched what replay actually found (`None` for pure byte replays
+    /// and for logs without a sidecar).
+    pub seal_intact: Option<bool>,
+}
+
+impl Replay {
+    /// Replays raw log bytes — a pure function, used by recovery tests to
+    /// probe every truncation point without touching the filesystem.
+    ///
+    /// An empty input is a valid empty log (a log file that was created
+    /// but never even got its header written).
+    pub fn from_bytes(bytes: &[u8]) -> Replay {
+        let mut replay = Replay {
+            bundles: Vec::new(),
+            sealed: false,
+            valid_len: 0,
+            next_seq: 1,
+            torn: None,
+            seal_intact: None,
+        };
+        if bytes.is_empty() {
+            return replay;
+        }
+        let torn = |offset: u64, total: usize, reason: &str| TornTail {
+            offset,
+            bytes: total as u64 - offset,
+            reason: reason.to_string(),
+        };
+        if bytes.len() < HEADER.len() || &bytes[..HEADER.len()] != HEADER {
+            replay.torn = Some(torn(0, bytes.len(), "bad file header"));
+            return replay;
+        }
+        let mut off = HEADER.len();
+        replay.valid_len = off as u64;
+        loop {
+            if off == bytes.len() {
+                break; // clean end at a frame boundary
+            }
+            let reject = |reason: &str| torn(off as u64, bytes.len(), reason);
+            if bytes.len() - off < FRAME_HEAD {
+                replay.torn = Some(reject("truncated frame head"));
+                break;
+            }
+            let magic = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let kind = bytes[off + 4];
+            let seq = u64::from_le_bytes(bytes[off + 5..off + 13].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[off + 13..off + 17].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[off + 17..off + 21].try_into().unwrap());
+            if magic != MAGIC {
+                replay.torn = Some(reject("bad frame magic"));
+                break;
+            }
+            if kind != KIND_BUNDLE && kind != KIND_SEAL {
+                replay.torn = Some(reject("unknown frame kind"));
+                break;
+            }
+            if seq != replay.next_seq {
+                replay.torn = Some(reject("out-of-order sequence number"));
+                break;
+            }
+            if len > MAX_PAYLOAD_BYTES {
+                replay.torn = Some(reject("oversized frame"));
+                break;
+            }
+            let body = off + FRAME_HEAD;
+            let end = body + len as usize;
+            if end > bytes.len() {
+                replay.torn = Some(reject("truncated frame payload"));
+                break;
+            }
+            let payload = &bytes[body..end];
+            if crc != frame_crc(kind, seq, payload) {
+                replay.torn = Some(reject("checksum mismatch"));
+                break;
+            }
+            match kind {
+                KIND_BUNDLE => {
+                    let text = match std::str::from_utf8(payload) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            replay.torn = Some(reject("malformed bundle payload"));
+                            break;
+                        }
+                    };
+                    // Each op line is newline-*terminated* (not merely
+                    // separated), so zero ops and one empty op encode
+                    // differently: `""` vs `"\n"`.
+                    let ops = if text.is_empty() {
+                        Vec::new()
+                    } else if let Some(body) = text.strip_suffix('\n') {
+                        body.split('\n').map(unescape_op).collect()
+                    } else {
+                        replay.torn = Some(reject("malformed bundle payload"));
+                        break;
+                    };
+                    replay.bundles.push(Bundle { seq, ops });
+                    replay.sealed = false;
+                }
+                _ => replay.sealed = true,
+            }
+            replay.next_seq = seq + 1;
+            off = end;
+            replay.valid_len = off as u64;
+        }
+        replay
+    }
+}
+
+/// CRC over the covered frame fields: kind ‖ seq ‖ len ‖ payload.
+fn frame_crc(kind: u8, seq: u64, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(13 + payload.len());
+    covered.push(kind);
+    covered.extend_from_slice(&seq.to_le_bytes());
+    covered.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Encodes one frame.
+fn encode_frame(kind: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEAD + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&frame_crc(kind, seq, payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Backslash-escapes an op so it fits on one payload line.
+pub fn escape_op(op: &str) -> String {
+    op.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Inverse of [`escape_op`].
+pub fn unescape_op(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// An open, appendable operation log.
+///
+/// Created by [`Oplog::open`], which replays the existing file (if any),
+/// truncates a torn tail, and positions the writer after the last valid
+/// frame.  [`Oplog::commit`] appends one atomic bundle and fsyncs before
+/// returning — once it returns, the bundle survives any crash.
+#[derive(Debug)]
+pub struct Oplog {
+    file: fs::File,
+    path: PathBuf,
+    next_seq: u64,
+    len: u64,
+}
+
+impl Oplog {
+    /// Opens (or creates) the log at `path`, replaying existing frames.
+    ///
+    /// A torn tail — from a crash mid-append — is truncated away after
+    /// being reported in [`Replay::torn`].  A seal sidecar left by a
+    /// graceful shutdown is verified against the replay
+    /// ([`Replay::seal_intact`]) and removed, so the reopened log accepts
+    /// appends again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures reading, truncating or creating the file.
+    pub fn open(path: &Path) -> io::Result<(Oplog, Replay)> {
+        let existed = path.exists();
+        let bytes = if existed { fs::read(path)? } else { Vec::new() };
+        let mut replay = Replay::from_bytes(&bytes);
+
+        let seal_path = seal_sidecar(path);
+        if seal_path.exists() {
+            let recorded = fs::read_to_string(&seal_path)?;
+            let recorded_len: Option<u64> = recorded
+                .strip_prefix("sealed len ")
+                .and_then(|r| r.trim().parse().ok());
+            replay.seal_intact = Some(replay.sealed && recorded_len == Some(replay.valid_len));
+            fs::remove_file(&seal_path)?;
+        }
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut len = replay.valid_len;
+        if len < HEADER.len() as u64 {
+            // Brand-new file, or one whose very header never made it to
+            // disk: (re)write the header from scratch.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(HEADER)?;
+            file.sync_all()?;
+            len = HEADER.len() as u64;
+        } else if bytes.len() as u64 > len {
+            file.set_len(len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(len))?;
+        if !existed {
+            // Make the new directory entry itself durable.
+            #[cfg(unix)]
+            {
+                let parent = match path.parent() {
+                    Some(p) if !p.as_os_str().is_empty() => p,
+                    _ => Path::new("."),
+                };
+                fs::File::open(parent)?.sync_all()?;
+            }
+        }
+        Ok((
+            Oplog {
+                file,
+                path: path.to_path_buf(),
+                next_seq: replay.next_seq,
+                len,
+            },
+            replay,
+        ))
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next commit will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one atomic bundle and fsyncs; returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the encoded payload exceeds [`MAX_PAYLOAD_BYTES`] or on
+    /// I/O failure.  After an I/O error the in-memory sequence counter is
+    /// unchanged, so a retried commit reuses the same frame slot — replay
+    /// truncates whatever partial frame the failed attempt left behind.
+    pub fn commit(&mut self, ops: &[String]) -> io::Result<u64> {
+        let payload = ops
+            .iter()
+            .map(|op| {
+                let mut line = escape_op(op);
+                line.push('\n');
+                line
+            })
+            .collect::<String>()
+            .into_bytes();
+        if payload.len() as u64 > MAX_PAYLOAD_BYTES as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("bundle payload {} bytes exceeds cap", payload.len()),
+            ));
+        }
+        let seq = self.next_seq;
+        let frame = encode_frame(KIND_BUNDLE, seq, &payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.next_seq = seq + 1;
+        self.len += frame.len() as u64;
+        Ok(seq)
+    }
+
+    /// Seals the log: appends a seal frame, fsyncs, and records the
+    /// sealed length in an atomic sidecar.  Consumes the writer — a
+    /// sealed log accepts no further appends from this process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the append or the sidecar write.
+    pub fn seal(mut self) -> io::Result<()> {
+        let seq = self.next_seq;
+        let frame = encode_frame(KIND_SEAL, seq, &[]);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.len += frame.len() as u64;
+        atomic_write(
+            &seal_sidecar(&self.path),
+            format!("sealed len {}\n", self.len).as_bytes(),
+        )
+    }
+}
+
+/// The seal sidecar path for a log (`<log>.seal`).
+fn seal_sidecar(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "oplog".into());
+    name.push(".seal");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_log(label: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "div-oplog-{label}-{}-{}.oplog",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn ops(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn round_trips_bundles_across_reopen() {
+        let path = temp_log("roundtrip");
+        {
+            let (mut log, replay) = Oplog::open(&path).unwrap();
+            assert!(replay.bundles.is_empty());
+            assert_eq!(log.commit(&ops(&["submit 1 alice spec"])).unwrap(), 1);
+            assert_eq!(log.commit(&ops(&["schedule 1", "trial 1 0 x"])).unwrap(), 2);
+        }
+        let (mut log, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.bundles.len(), 2);
+        assert_eq!(replay.bundles[0].ops, ops(&["submit 1 alice spec"]));
+        assert_eq!(replay.bundles[1].ops, ops(&["schedule 1", "trial 1 0 x"]));
+        assert!(replay.torn.is_none());
+        assert!(!replay.sealed);
+        assert_eq!(log.commit(&ops(&["cancel 1"])).unwrap(), 3);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ops_with_newlines_and_backslashes_round_trip() {
+        let path = temp_log("escape");
+        let weird = ops(&["a\nb", "c\\nd", "tr\\ail\\", "\r\n", ""]);
+        {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.commit(&weird).unwrap();
+        }
+        let (_, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.bundles[0].ops, weird);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let path = temp_log("empty");
+        {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.commit(&[]).unwrap();
+            log.commit(&ops(&["next"])).unwrap();
+        }
+        let (_, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.bundles.len(), 2);
+        assert!(replay.bundles[0].ops.is_empty());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let path = temp_log("torn");
+        {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.commit(&ops(&["one"])).unwrap();
+            log.commit(&ops(&["two"])).unwrap();
+        }
+        // Simulate a crash mid-append: lop 3 bytes off the second frame.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut log, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.bundles.len(), 1, "only the intact bundle survives");
+        let torn = replay.torn.expect("tail reported");
+        assert_eq!(torn.reason, "truncated frame payload");
+        // The file was truncated back to the valid prefix, and the next
+        // commit reuses the discarded frame's sequence slot.
+        assert_eq!(fs::read(&path).unwrap().len() as u64, replay.valid_len);
+        assert_eq!(log.commit(&ops(&["two again"])).unwrap(), 2);
+        let (_, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.bundles.len(), 2);
+        assert!(replay.torn.is_none());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_byte_invalidates_only_the_tail() {
+        let path = temp_log("corrupt");
+        {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.commit(&ops(&["one"])).unwrap();
+            log.commit(&ops(&["two"])).unwrap();
+            log.commit(&ops(&["three"])).unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte inside the second frame.
+        let second_start = {
+            let replayed = Replay::from_bytes(&bytes);
+            assert_eq!(replayed.bundles.len(), 3);
+            // Frame one's payload is "one\n" (newline-terminated).
+            HEADER.len() + FRAME_HEAD + "one\n".len()
+        };
+        bytes[second_start + FRAME_HEAD + 1] ^= 0xFF;
+        let replay = Replay::from_bytes(&bytes);
+        assert_eq!(replay.bundles.len(), 1);
+        assert_eq!(replay.torn.unwrap().reason, "checksum mismatch");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seal_and_verified_reopen() {
+        let path = temp_log("seal");
+        {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.commit(&ops(&["one"])).unwrap();
+            log.seal().unwrap();
+        }
+        assert!(seal_sidecar(&path).exists());
+        let (mut log, replay) = Oplog::open(&path).unwrap();
+        assert!(replay.sealed);
+        assert_eq!(replay.seal_intact, Some(true));
+        assert!(!seal_sidecar(&path).exists(), "sidecar consumed on open");
+        // Appends resume after the seal; replay is then no longer sealed.
+        log.commit(&ops(&["post-seal"])).unwrap();
+        let (_, replay) = Oplog::open(&path).unwrap();
+        assert!(!replay.sealed);
+        assert_eq!(replay.bundles.len(), 2);
+        assert_eq!(replay.seal_intact, None, "no sidecar on second open");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seal_sidecar_mismatch_is_reported() {
+        let path = temp_log("seal-mismatch");
+        {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.commit(&ops(&["one"])).unwrap();
+            log.seal().unwrap();
+        }
+        // A log that lost its seal frame no longer matches the sidecar.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.seal_intact, Some(false));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_header_resets_the_log() {
+        let path = temp_log("badheader");
+        fs::write(&path, b"not an oplog at all").unwrap();
+        let (mut log, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.torn.unwrap().reason, "bad file header");
+        assert!(replay.bundles.is_empty());
+        log.commit(&ops(&["fresh"])).unwrap();
+        let (_, replay) = Oplog::open(&path).unwrap();
+        assert_eq!(replay.bundles.len(), 1);
+        assert!(replay.torn.is_none());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_commit_is_rejected_cleanly() {
+        let path = temp_log("oversize");
+        let (mut log, _) = Oplog::open(&path).unwrap();
+        let huge = vec!["x".repeat(MAX_PAYLOAD_BYTES as usize + 1)];
+        assert!(log.commit(&huge).is_err());
+        // The failed commit wrote nothing: the log still accepts appends
+        // with the same sequence number.
+        assert_eq!(log.commit(&ops(&["small"])).unwrap(), 1);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -51,11 +51,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+use div_oplog::atomic_write;
 
 use crate::monitor::CampaignMonitor;
 use crate::runner::panic_message;
@@ -120,8 +121,10 @@ impl TrialOutcome {
     }
 
     /// One manifest line for trial `i`; inverse of
-    /// [`TrialOutcome::parse_line`].
-    fn manifest_line(&self, i: usize) -> String {
+    /// [`TrialOutcome::parse_line`].  Public so services persisting
+    /// outcomes elsewhere (e.g. a daemon's oplog) reuse the exact
+    /// manifest encoding instead of inventing a second one.
+    pub fn manifest_line(&self, i: usize) -> String {
         match self {
             TrialOutcome::Converged { winner, steps } => {
                 format!("trial {i} converged {winner} {steps}")
@@ -136,8 +139,9 @@ impl TrialOutcome {
         }
     }
 
-    /// Parses one `trial …` manifest line.
-    fn parse_line(line: &str) -> Option<(usize, TrialOutcome)> {
+    /// Parses one `trial …` manifest line; inverse of
+    /// [`TrialOutcome::manifest_line`].
+    pub fn parse_line(line: &str) -> Option<(usize, TrialOutcome)> {
         let fields: Vec<&str> = line.split(' ').collect();
         if fields.len() < 4 || fields[0] != "trial" {
             return None;
@@ -185,6 +189,52 @@ pub struct TrialCtx {
     pub attempt: u32,
     /// The step budget the trial must respect.
     pub step_budget: u64,
+}
+
+/// Observation and control hooks for an in-flight campaign, used by
+/// services embedding the campaign engine (e.g. the `divd` daemon).
+///
+/// All hooks are optional; [`CampaignHooks::default`] is a no-op set.
+///
+/// * `cancel` — checked by every worker before claiming the next trial
+///   (or lane group).  Once set, no *new* work starts; in-flight trials
+///   finish, the collector drains, the final checkpoint is written, and
+///   the campaign returns its partial report — exactly the state a
+///   later `resume` continues from.
+/// * `on_trial` — called from the collector thread, in completion
+///   order, after the outcome is recorded (and before any checkpoint
+///   flush it triggers).  A daemon uses it to stream per-trial results
+///   and journal progress.
+/// * `on_retry` — called whenever a panicked attempt is about to be
+///   retried, with the trial index.
+#[derive(Clone, Copy, Default)]
+pub struct CampaignHooks<'a> {
+    /// Cooperative cancellation flag (see type docs).
+    pub cancel: Option<&'a AtomicBool>,
+    /// Per-completed-trial callback `(trial index, outcome)`.
+    pub on_trial: Option<TrialHook<'a>>,
+    /// Per-retry callback (trial index).
+    pub on_retry: Option<&'a (dyn Fn(usize) + Sync)>,
+}
+
+/// A shared per-trial callback `(trial index, outcome)`.
+pub type TrialHook<'a> = &'a (dyn Fn(usize, &TrialOutcome) + Sync);
+
+impl fmt::Debug for CampaignHooks<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignHooks")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("on_trial", &self.on_trial.is_some())
+            .field("on_retry", &self.on_retry.is_some())
+            .finish()
+    }
+}
+
+impl CampaignHooks<'_> {
+    /// Whether cancellation has been requested.
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+    }
 }
 
 /// Campaign parameters; construct with [`CampaignConfig::new`] and adjust
@@ -442,6 +492,25 @@ pub fn run_campaign_monitored<F>(
 where
     F: Fn(&TrialCtx) -> TrialOutcome + Sync,
 {
+    run_campaign_hooked(cfg, monitor, CampaignHooks::default(), trial_fn)
+}
+
+/// [`run_campaign_monitored`] with [`CampaignHooks`]: cooperative
+/// cancellation, per-trial completion callbacks and retry callbacks,
+/// for services embedding the engine.
+///
+/// # Errors
+///
+/// Identical to [`run_campaign`].
+pub fn run_campaign_hooked<F>(
+    cfg: &CampaignConfig,
+    monitor: Option<&CampaignMonitor>,
+    hooks: CampaignHooks<'_>,
+    trial_fn: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(&TrialCtx) -> TrialOutcome + Sync,
+{
     let mut outcomes: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
     let mut resumed = 0usize;
     if let Some(path) = &cfg.checkpoint {
@@ -488,6 +557,9 @@ where
                 let scheduled = &scheduled;
                 let trial_fn = &trial_fn;
                 scope.spawn(move || loop {
+                    if hooks.cancelled() {
+                        break;
+                    }
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     if slot >= scheduled.len() {
                         break;
@@ -496,7 +568,7 @@ where
                     if let Some(m) = monitor {
                         m.trial_started();
                     }
-                    let outcome = run_one_trial(cfg, i, monitor, trial_fn);
+                    let outcome = run_one_trial(cfg, i, monitor, &hooks, trial_fn);
                     if let Some(m) = monitor {
                         m.record_outcome(&outcome);
                     }
@@ -508,6 +580,9 @@ where
             drop(tx);
             let mut since_flush = 0usize;
             for (i, outcome) in rx {
+                if let Some(f) = hooks.on_trial {
+                    f(i, &outcome);
+                }
                 outcomes_ref.insert(i, outcome);
                 since_flush += 1;
                 if let Some(path) = &cfg.checkpoint {
@@ -591,6 +666,39 @@ where
     F: Fn(&[TrialCtx]) -> Vec<TrialOutcome> + Sync,
     G: Fn(&TrialCtx) -> TrialOutcome + Sync,
 {
+    run_campaign_batched_hooked(
+        cfg,
+        lanes,
+        monitor,
+        CampaignHooks::default(),
+        batch_fn,
+        trial_fn,
+    )
+}
+
+/// [`run_campaign_batched_monitored`] with [`CampaignHooks`] (see
+/// [`run_campaign_hooked`]).  Cancellation is checked per lane *group*:
+/// a group that has started steps to completion.
+///
+/// # Errors
+///
+/// Identical to [`run_campaign`].
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn run_campaign_batched_hooked<F, G>(
+    cfg: &CampaignConfig,
+    lanes: usize,
+    monitor: Option<&CampaignMonitor>,
+    hooks: CampaignHooks<'_>,
+    batch_fn: F,
+    trial_fn: G,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(&[TrialCtx]) -> Vec<TrialOutcome> + Sync,
+    G: Fn(&TrialCtx) -> TrialOutcome + Sync,
+{
     assert!(lanes > 0, "need at least one lane per group");
     let mut outcomes: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
     let mut resumed = 0usize;
@@ -640,6 +748,9 @@ where
                 let batch_fn = &batch_fn;
                 let trial_fn = &trial_fn;
                 scope.spawn(move || loop {
+                    if hooks.cancelled() {
+                        break;
+                    }
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     if slot >= groups.len() {
                         break;
@@ -670,7 +781,7 @@ where
                         // the batch would have produced.
                         None => group
                             .iter()
-                            .map(|&i| (i, run_one_trial(cfg, i, monitor, trial_fn)))
+                            .map(|&i| (i, run_one_trial(cfg, i, monitor, &hooks, trial_fn)))
                             .collect(),
                     };
                     for (i, outcome) in results {
@@ -686,6 +797,9 @@ where
             drop(tx);
             let mut since_flush = 0usize;
             for (i, outcome) in rx {
+                if let Some(f) = hooks.on_trial {
+                    f(i, &outcome);
+                }
                 outcomes_ref.insert(i, outcome);
                 since_flush += 1;
                 if let Some(path) = &cfg.checkpoint {
@@ -715,6 +829,7 @@ fn run_one_trial<F>(
     cfg: &CampaignConfig,
     trial: usize,
     monitor: Option<&CampaignMonitor>,
+    hooks: &CampaignHooks<'_>,
     trial_fn: &F,
 ) -> TrialOutcome
 where
@@ -728,6 +843,9 @@ where
         } else {
             if let Some(m) = monitor {
                 m.trial_retried();
+            }
+            if let Some(f) = hooks.on_retry {
+                f(trial);
             }
             SeedSequence::seed_for(base, attempt as u64)
         };
@@ -857,8 +975,8 @@ impl Manifest {
     }
 }
 
-/// Serialises the manifest to a temp sibling, fsyncs, and atomically
-/// renames it into place — a kill can lose at most the last
+/// Serialises the manifest and replaces the file atomically and durably
+/// (via [`div_oplog::atomic_write`]) — a kill can lose at most the last
 /// `checkpoint_every` trials, never corrupt the file.
 fn write_manifest(
     path: &Path,
@@ -877,30 +995,7 @@ fn write_manifest(
     for line in metrics_of(outcomes).render().lines() {
         text.push_str(&format!("metric {line}\n"));
     }
-    let mut tmp_name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_else(|| "manifest".into());
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    {
-        let mut fh = fs::File::create(&tmp)?;
-        fh.write_all(text.as_bytes())?;
-        fh.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    // The rename itself lives in the parent directory's entries; without
-    // flushing those a crash can still forget the new name even though
-    // the file contents were synced.  Directory handles are only
-    // fsync-able on unix; elsewhere the rename alone is the best we get.
-    #[cfg(unix)]
-    {
-        let parent = match path.parent() {
-            Some(p) if !p.as_os_str().is_empty() => p,
-            _ => Path::new("."),
-        };
-        fs::File::open(parent)?.sync_all()?;
-    }
+    atomic_write(path, text.as_bytes())?;
     Ok(())
 }
 
@@ -1242,6 +1337,108 @@ mod tests {
             |c| c.iter().map(outcome_for).collect(),
             outcome_for,
         );
+    }
+
+    #[test]
+    fn hooks_stream_trials_and_cancel_then_resume_byte_identical() {
+        use std::sync::Mutex;
+        let path = temp_manifest("hooked-cancel");
+        let mut cfg = CampaignConfig::new(40, 0xF00D);
+        cfg.checkpoint = Some(path.clone());
+        cfg.checkpoint_every = 1;
+        cfg.threads = 2;
+        cfg.tag = "hooked".to_string();
+
+        // Cancel as soon as a handful of trials have streamed through
+        // the on_trial hook.
+        let cancel = AtomicBool::new(false);
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let on_trial = |i: usize, o: &TrialOutcome| {
+            assert!(o.is_converged());
+            let mut seen = seen.lock().unwrap();
+            seen.push(i);
+            if seen.len() >= 5 {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        };
+        let hooks = CampaignHooks {
+            cancel: Some(&cancel),
+            on_trial: Some(&on_trial),
+            on_retry: None,
+        };
+        // Trials must take long enough for the cancel flag to land
+        // before the workers drain the whole schedule.
+        let slow_trial = |ctx: &TrialCtx| {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            outcome_for(ctx)
+        };
+        let partial = run_campaign_hooked(&cfg, None, hooks, slow_trial).unwrap();
+        let streamed = seen.lock().unwrap().len();
+        assert_eq!(partial.completed(), streamed, "every outcome streamed");
+        assert!(
+            partial.completed() < 40,
+            "cancellation must stop the campaign early (got {})",
+            partial.completed()
+        );
+
+        // Resuming from the cancelled checkpoint completes the campaign
+        // and renders byte-identically to an uninterrupted control run.
+        let mut resume = cfg.clone();
+        resume.resume = true;
+        let resumed =
+            run_campaign_hooked(&resume, None, CampaignHooks::default(), outcome_for).unwrap();
+        assert!(resumed.is_complete());
+        let mut control_cfg = CampaignConfig::new(40, 0xF00D);
+        control_cfg.tag = "hooked".to_string();
+        let control = run_campaign(&control_cfg, outcome_for).unwrap();
+        assert_eq!(resumed.render(), control.render());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_hooks_cancel_between_groups() {
+        let cancel = AtomicBool::new(true); // cancelled before any work
+        let hooks = CampaignHooks {
+            cancel: Some(&cancel),
+            on_trial: None,
+            on_retry: None,
+        };
+        let cfg = CampaignConfig::new(20, 7);
+        let report = run_campaign_batched_hooked(
+            &cfg,
+            4,
+            None,
+            hooks,
+            |ctxs| ctxs.iter().map(outcome_for).collect(),
+            outcome_for,
+        )
+        .unwrap();
+        assert_eq!(report.completed(), 0, "pre-cancelled campaign runs nothing");
+    }
+
+    #[test]
+    fn retry_hook_fires_per_retried_attempt() {
+        let retries = AtomicUsize::new(0);
+        let on_retry = |_i: usize| {
+            retries.fetch_add(1, Ordering::SeqCst);
+        };
+        let hooks = CampaignHooks {
+            cancel: None,
+            on_trial: None,
+            on_retry: Some(&on_retry),
+        };
+        let mut cfg = CampaignConfig::new(3, 11);
+        cfg.max_retries = 2;
+        cfg.threads = 1;
+        let report = run_campaign_hooked(&cfg, None, hooks, |ctx| {
+            if ctx.trial == 1 && ctx.attempt == 0 {
+                panic!("first attempt fails");
+            }
+            outcome_for(ctx)
+        })
+        .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(retries.load(Ordering::SeqCst), 1);
     }
 
     #[test]

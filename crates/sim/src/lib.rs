@@ -52,6 +52,7 @@
 
 pub mod campaign;
 pub mod gof;
+pub mod http;
 pub mod metrics;
 pub mod monitor;
 pub mod plot;
@@ -63,8 +64,9 @@ pub mod stats;
 pub mod table;
 
 pub use campaign::{
-    run_campaign, run_campaign_batched, run_campaign_batched_monitored, run_campaign_monitored,
-    CampaignConfig, CampaignError, CampaignReport, TrialCtx, TrialOutcome,
+    run_campaign, run_campaign_batched, run_campaign_batched_hooked,
+    run_campaign_batched_monitored, run_campaign_hooked, run_campaign_monitored, CampaignConfig,
+    CampaignError, CampaignHooks, CampaignReport, TrialCtx, TrialOutcome,
 };
 pub use metrics::MetricsRegistry;
 pub use monitor::{

@@ -1,8 +1,7 @@
 //! Dependency-free HTTP endpoint for live campaign monitoring.
 //!
-//! [`MetricsServer`] binds a [`std::net::TcpListener`], serves on a
-//! background thread, and answers three `GET` routes from a shared
-//! [`CampaignMonitor`]:
+//! [`MetricsServer`] binds a [`crate::http::HttpServer`] and answers
+//! three `GET` routes from a shared [`CampaignMonitor`]:
 //!
 //! * `/metrics` — Prometheus text exposition format 0.0.4
 //!   ([`crate::MonitorSnapshot::render_prometheus`]),
@@ -10,30 +9,33 @@
 //!   ([`crate::MonitorSnapshot::render_progress_json`]),
 //! * `/healthz` — `ok`, for liveness probes.
 //!
-//! Requests are handled one at a time (a scrape renders in microseconds;
-//! there is nothing to win from a thread pool), every response closes its
-//! connection, and the listener polls non-blocking so
-//! [`MetricsServer::shutdown`] — or dropping the server — stops the
-//! thread promptly.  Binding port `0` picks a free port; the resolved
-//! address is available via [`MetricsServer::local_addr`].
+//! Robustness comes from the shared [`crate::http`] layer: each
+//! connection is served on its own bounded worker under an overall read
+//! deadline, so a half-open or byte-trickling (slowloris) client can
+//! neither wedge the accept loop nor hold a worker past its budget, and
+//! request heads are size-capped.  Every response closes its connection;
+//! binding port `0` picks a free port, resolved via
+//! [`MetricsServer::local_addr`].
 
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::http::{HttpLimits, HttpServer, Request, Response};
 use crate::monitor::CampaignMonitor;
 
-/// How long the accept loop sleeps when no connection is pending.
-const POLL_INTERVAL: Duration = Duration::from_millis(10);
-
-/// Per-connection read/write timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
-
-/// Largest request head the server is willing to buffer.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Limits for the scrape endpoint: requests are tiny GETs, so the
+/// budgets are tight and bodies are not accepted at all.
+fn scrape_limits() -> HttpLimits {
+    HttpLimits {
+        read_deadline: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        max_head_bytes: 8 * 1024,
+        max_body_bytes: 0,
+        max_connections: 32,
+    }
+}
 
 /// A background HTTP server publishing a [`CampaignMonitor`].
 ///
@@ -41,9 +43,7 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// the value is dropped.
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl MetricsServer {
@@ -51,115 +51,39 @@ impl MetricsServer {
     /// ephemeral port) and starts serving `monitor` on a background
     /// thread.
     pub fn bind(addr: &str, monitor: Arc<CampaignMonitor>) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("div-metrics".to_string())
-            .spawn(move || serve_loop(listener, monitor, thread_stop))?;
-        Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
-        })
+        let inner = HttpServer::bind(addr, scrape_limits(), move |req| respond(req, &monitor))?;
+        Ok(MetricsServer { inner })
     }
 
     /// The address actually bound (resolves port `0` requests).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Stops the accept loop and joins the server thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        self.stop.store(true, SeqCst);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
 }
 
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
+/// Routes a request to its response.
+fn respond(req: &Request, monitor: &CampaignMonitor) -> Response {
+    if req.method != "GET" {
+        return Response::text(405, "method not allowed\n");
     }
-}
-
-fn serve_loop(listener: TcpListener, monitor: Arc<CampaignMonitor>, stop: Arc<AtomicBool>) {
-    while !stop.load(SeqCst) {
-        match listener.accept() {
-            // A failing client connection must not take the endpoint down.
-            Ok((stream, _)) => {
-                let _ = handle_connection(stream, &monitor);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, monitor: &CampaignMonitor) -> io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let request = read_request_head(&mut stream)?;
-    let (status, content_type, body) = respond(&request, monitor);
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
-}
-
-/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
-fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
-    let mut head = Vec::new();
-    let mut chunk = [0u8; 1024];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST_BYTES {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        head.extend_from_slice(&chunk[..n]);
-    }
-    Ok(String::from_utf8_lossy(&head).into_owned())
-}
-
-/// Routes a request head to `(status line, content type, body)`.
-fn respond(request: &str, monitor: &CampaignMonitor) -> (&'static str, &'static str, String) {
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-    if method != "GET" {
-        return (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        );
-    }
-    match path {
-        "/metrics" => (
-            "200 OK",
+    match req.path.as_str() {
+        "/metrics" => Response::with_type(
+            200,
             "text/plain; version=0.0.4; charset=utf-8",
             monitor.snapshot().render_prometheus(),
         ),
-        "/progress" => (
-            "200 OK",
+        "/progress" => Response::with_type(
+            200,
             "application/json",
             monitor.snapshot().render_progress_json(),
         ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
+        "/healthz" => Response::text(200, "ok\n"),
+        _ => Response::text(404, "not found\n"),
     }
 }
 
@@ -167,6 +91,9 @@ fn respond(request: &str, monitor: &CampaignMonitor) -> (&'static str, &'static 
 mod tests {
     use super::*;
     use crate::campaign::TrialOutcome;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -225,7 +152,49 @@ mod tests {
             .expect("send");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
-        assert!(response.starts_with("HTTP/1.1 405"), "got: {response}");
+        assert!(response.contains("HTTP/1.1 405"), "got: {response}");
+    }
+
+    /// The slowloris regression: a client that connects and goes silent
+    /// (or trickles) must not block the accept loop — scrapes from other
+    /// clients keep being answered promptly, and the half-open
+    /// connection is eventually shed, not held forever.
+    #[test]
+    fn half_open_connection_does_not_wedge_the_accept_loop() {
+        let monitor = monitor_with_data();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&monitor)).expect("bind");
+        let addr = server.local_addr();
+
+        // Several half-open connections, parked mid-request-line.
+        let mut parked = Vec::new();
+        for _ in 0..4 {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            conn.write_all(b"GET /metr").expect("partial write");
+            parked.push(conn);
+        }
+
+        // Healthy scrapes are served immediately despite them.
+        let start = Instant::now();
+        for _ in 0..3 {
+            let (head, body) = get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+            assert_eq!(body, "ok\n");
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "scrapes stalled {:?} behind half-open connections",
+            start.elapsed()
+        );
+
+        // Each parked connection is closed by the deadline, receiving
+        // nothing — the worker was reclaimed, not leaked.
+        for mut conn in parked {
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut sink = Vec::new();
+            let n = conn.read_to_end(&mut sink).unwrap_or(0);
+            assert_eq!(n, 0, "half-open connection was answered: {sink:?}");
+        }
+        server.shutdown();
     }
 
     #[test]
