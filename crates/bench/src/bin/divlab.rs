@@ -75,7 +75,10 @@ use div_baselines::{
     run_to_consensus, BestOfK, LoadBalancing, MedianVoting, PullVoting, PushVoting,
 };
 use div_bench::spec;
-use div_bench::trial::{batch_group, fast_trial, outcome_of, publish_faults, reference_trial};
+use div_bench::trial::{
+    batch_group, exceeds_lane_span, fast_trial, outcome_of, publish_faults, reference_trial,
+    sharded_trial,
+};
 use div_core::{
     init, theory, BatchProcess, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng,
     FastScheduler, FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, Phase, PhaseEvent,
@@ -124,7 +127,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch|sharded] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--shards P] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast),\n              sharded (--shards P concurrent vertex domains per trial on --threads T std threads;\n              deterministic for fixed seed+P, built for million-vertex single trials)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
     );
     exit(0);
 }
@@ -182,9 +185,9 @@ fn setup(opts: &HashMap<String, String>) -> Result<(div_graph::Graph, Vec<i64>, 
 /// silently ignoring the flag.
 fn resolve_engine(opts: &HashMap<String, String>) -> Result<String, String> {
     let engine = opts.map_or_default("engine", "reference");
-    if engine != "reference" && engine != "fast" && engine != "batch" {
+    if !matches!(engine.as_str(), "reference" | "fast" | "batch" | "sharded") {
         return Err(format!(
-            "unknown engine {engine:?} (use reference, fast or batch)"
+            "unknown engine {engine:?} (use reference, fast, batch or sharded)"
         ));
     }
     if engine != "reference" && opts.contains_key("trace") {
@@ -197,21 +200,51 @@ fn resolve_engine(opts: &HashMap<String, String>) -> Result<String, String> {
     Ok(engine)
 }
 
-/// Demotes `batch` to `fast` for paths that need per-step observer hooks
-/// (telemetry export, `stats`): the batch engine defers bookkeeping to
-/// block boundaries, so it cannot stream per-step samples.  The demotion
-/// is outcome-preserving — batch lanes are bit-exact against the fast
-/// engine for the same seed — and warns like the trace/fast conflict
-/// instead of erroring.
+/// Demotes `batch`/`sharded` to `fast` for paths that need per-step
+/// observer hooks (telemetry export, `stats`): the batch engine defers
+/// bookkeeping to block boundaries and the sharded engine steps domains
+/// concurrently, so neither can stream ordered per-step samples.  The
+/// demotion warns like the trace/fast conflict instead of erroring
+/// (batch lanes are bit-exact against fast; sharded runs are
+/// statistically equivalent).
 fn demote_batch_for_observers(engine: String, what: &str) -> String {
-    if engine == "batch" {
+    if engine == "batch" || engine == "sharded" {
         eprintln!(
-            "divlab: {what} needs per-step observer hooks, which the batch engine's deferred \
-             bookkeeping cannot provide; falling back to --engine fast (outcomes are identical)"
+            "divlab: {what} needs per-step observer hooks, which the {engine} engine's \
+             bookkeeping cannot provide; falling back to --engine fast"
         );
         return "fast".to_string();
     }
     engine
+}
+
+/// Demotes `sharded` to `fast` when a non-trivial fault plan is
+/// configured: the sharded engine has no fault pipeline (faults inject
+/// into a single sequential step stream), so the scalar engine runs the
+/// trial instead, with a warning.
+fn demote_sharded_for_faults(engine: String, faults: &FaultPlan) -> String {
+    if engine == "sharded" && !faults.is_trivial() {
+        eprintln!(
+            "divlab: fault injection needs a sequential step stream, which the sharded \
+             engine's concurrent domains cannot provide; falling back to --engine fast"
+        );
+        return "fast".to_string();
+    }
+    engine
+}
+
+/// The sharded-engine knobs: `--shards P` concurrent vertex domains
+/// (default 4 — fixed, not machine-derived, so the same command line
+/// replays the same trajectory everywhere) and `--threads T` in-trial
+/// worker threads (default 0 = available parallelism; never affects the
+/// trajectory).
+fn parse_shard_knobs(opts: &HashMap<String, String>) -> Result<(usize, usize), String> {
+    let shards: usize = parse_opt(opts, "shards")?.unwrap_or(4);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let threads: usize = parse_opt(opts, "threads")?.unwrap_or(0);
+    Ok((shards, threads))
 }
 
 /// The campaign parallelism knobs: `--lanes K` trials stepped per
@@ -332,7 +365,7 @@ fn cmd_run_inner(
 
     let faults_spec = opts.map_or_default("faults", "none");
     let faults = FaultPlan::parse(&faults_spec)?;
-    let engine = resolve_engine(opts)?;
+    let engine = demote_sharded_for_faults(resolve_engine(opts)?, &faults);
     let trials: usize = parse_opt(opts, "trials")?.unwrap_or(1);
     if trials == 0 {
         return Err("--trials must be at least 1".to_string());
@@ -415,6 +448,34 @@ fn cmd_run_inner(
         return Ok(code);
     }
 
+    if engine == "sharded" {
+        let kind = match scheduler.as_str() {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        let (shards, threads) = parse_shard_knobs(opts)?;
+        if shards > graph.num_vertices() {
+            return Err(format!(
+                "--shards {shards} exceeds the graph's {} vertices",
+                graph.num_vertices()
+            ));
+        }
+        let ctx = div_sim::TrialCtx {
+            trial: 0,
+            seed: {
+                use rand::RngCore;
+                rng.next_u64()
+            },
+            attempt: 0,
+            step_budget: budget,
+        };
+        return finish_single_run(
+            sharded_trial(&graph, &opinions, kind, shards, threads, &ctx),
+            &format!("{scheduler} scheduler, sharded engine, {shards} shards"),
+            monitor,
+        );
+    }
+
     if engine == "batch" {
         // A single run is a one-lane batch seeded exactly like the fast
         // path, so `--engine batch` and `--engine fast` print the same
@@ -428,6 +489,28 @@ fn cmd_run_inner(
             use rand::RngCore;
             rng.next_u64()
         };
+        if exceeds_lane_span(&opinions) {
+            // Wider than the u16 lane columns: demote to the scalar fast
+            // engine with the lane's own seed — the exact run the lane
+            // would have produced — instead of erroring out.
+            eprintln!(
+                "divlab: initial span exceeds the batch engine's {} lane limit; \
+                 falling back to --engine fast (same seed, same outcome)",
+                BatchProcess::LANE_SPAN_LIMIT
+            );
+            let ctx = div_sim::TrialCtx {
+                trial: 0,
+                seed: lane_seed,
+                attempt: 0,
+                step_budget: budget,
+            };
+            let outcome = fast_trial(&graph, &opinions, kind, &faults, monitor, &ctx);
+            return finish_single_run(
+                outcome,
+                &format!("{scheduler} scheduler, batch engine (scalar fallback)"),
+                monitor,
+            );
+        }
         let mut batch = BatchProcess::new(&graph, opinions.clone(), kind, &[lane_seed])
             .map_err(|e| e.to_string())?;
         let status = if faults.is_trivial() {
@@ -605,7 +688,24 @@ fn run_campaign_cmd(
     } else {
         engine.to_string()
     };
+    if engine == "batch" && exceeds_lane_span(opinions) {
+        // The lockstep groups cannot hold this span in their u16 lane
+        // columns; batch_group demotes every group to per-lane scalar
+        // runs (identical outcomes per seed) — warn once up front.
+        eprintln!(
+            "divlab: initial span exceeds the batch engine's {} lane limit; lane groups \
+             will run per-lane on the scalar fast engine (same seeds, same outcomes)",
+            BatchProcess::LANE_SPAN_LIMIT
+        );
+    }
     let (lanes, threads) = parse_batch_knobs(opts)?;
+    let (shards, shard_threads) = parse_shard_knobs(opts)?;
+    if engine == "sharded" && shards > graph.num_vertices() {
+        return Err(format!(
+            "--shards {shards} exceeds the graph's {} vertices",
+            graph.num_vertices()
+        ));
+    }
     let master: u64 = parse_opt(opts, "seed")?.unwrap_or(1);
     let mut cfg = CampaignConfig::new(trials, master);
     cfg.step_budget = budget;
@@ -615,8 +715,10 @@ fn run_campaign_cmd(
     // Applied whatever the engine: gating this on `engine == "batch"`
     // silently dropped --threads when `--telemetry` demoted a batch
     // campaign to fast just above (and scalar campaigns honour the knob
-    // too — same worker pool).
-    cfg.threads = threads;
+    // too — same worker pool).  The sharded engine is the exception:
+    // there `--threads` means *in-trial* workers (one trial already uses
+    // the whole machine), so trials run one at a time.
+    cfg.threads = if engine == "sharded" { 1 } else { threads };
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err("--resume needs --checkpoint PATH".to_string());
     }
@@ -643,6 +745,18 @@ fn run_campaign_cmd(
             |ctxs| batch_group(graph, opinions, kind, faults, monitor, ctxs),
             |ctx| fast_trial(graph, opinions, kind, faults, monitor, ctx),
         )
+    } else if engine == "sharded" {
+        // Each trial is internally parallel (P shard domains on
+        // `shard_threads` workers); trials run sequentially.  Outcomes
+        // are a pure function of (master seed, shards) — the thread
+        // count never changes the report.
+        let kind = match scheduler {
+            "edge" => FastScheduler::Edge,
+            _ => FastScheduler::Vertex,
+        };
+        run_campaign_monitored(&cfg, monitor, |ctx| {
+            sharded_trial(graph, opinions, kind, shards, shard_threads, ctx)
+        })
     } else {
         run_campaign_monitored(&cfg, monitor, |ctx| {
             campaign_trial(

@@ -40,12 +40,22 @@
 //! block with `lanes`, `threads`, `ns_per_lane_step` and
 //! `campaign_steps_per_sec` for each arm — both engines execute the
 //! bit-identical trajectories, so the ratio is pure engine overhead.
+//!
+//! A fourth section benchmarks the sharded-domain engine
+//! ([`div_core::ShardedProcess`]): one million-vertex trial (8-regular
+//! circulant, 8 shard domains) timed on 1, 2 and 4 worker threads
+//! against the scalar fast engine on the same workload.  The JSON gains
+//! a `shard` block recording `cores` (the machine the numbers were taken
+//! on — thread arms beyond the core count measure timeslicing, not
+//! scaling) and `scaling_t4`, the T=4 : T=1 throughput ratio gated in CI
+//! at ≥ 2.5× on 4-core-or-larger machines; `--check-overhead` runs the
+//! gate live and skips it with a note on smaller machines.
 
 use std::time::Instant;
 
 use div_core::{
     init, BatchProcess, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
-    NullObserver, RunStatus, Scheduler, VertexScheduler,
+    NullObserver, RunStatus, Scheduler, ShardedProcess, VertexScheduler,
 };
 use div_graph::{generators, Graph};
 use div_sim::{run_lane_groups, CampaignMonitor, SeedSequence, TrialOutcome};
@@ -69,6 +79,18 @@ const BATCH_MASTER: u64 = 0xBA7C;
 /// ns/step.  The observed path is monomorphised away when
 /// `Observer::ENABLED` is false, so anything above noise is a regression.
 const OVERHEAD_LIMIT: f64 = 1.05;
+
+/// Shard domains in the sharded-engine million-vertex arms.
+const SHARD_COUNT: usize = 8;
+
+/// Master seed for the sharded arms' per-shard streams.
+const SHARD_MASTER: u64 = 0x5AAD;
+
+/// Minimum T=4 : T=1 throughput ratio of the sharded engine on the
+/// million-vertex workload — the CI thread-scaling gate.  Only evaluated
+/// on machines with at least four cores; a 1-core container cannot
+/// measure scaling and skips the gate with a note.
+const SHARD_SCALING_GATE: f64 = 2.5;
 
 fn usage() -> ! {
     eprintln!("usage: perf_smoke [--steps N] [--out PATH] [--check-overhead [--against OLD.json]]");
@@ -366,6 +388,122 @@ fn measure_batch(budget: u64) -> Vec<BatchRow> {
     out
 }
 
+/// One sharded-engine single-trial measurement on the million-vertex
+/// workload.
+struct ShardRow {
+    threads: usize,
+    ns_per_step: f64,
+    steps_per_sec: f64,
+}
+
+/// The million-vertex sharded-engine section: the workload description,
+/// the scalar fast-engine baseline, the per-thread-count rows and the
+/// T=4 : T=1 scaling ratio the CI gate reads.
+struct ShardSection {
+    graph: &'static str,
+    n: usize,
+    shards: usize,
+    cores: usize,
+    fast_ns_per_step: f64,
+    rows: Vec<ShardRow>,
+    scaling_t4: f64,
+}
+
+/// The million-vertex workload of the sharded arms: an 8-regular
+/// circulant, built in `O(n)` with no quadratic intermediates.
+fn circulant8_1m() -> Graph {
+    generators::circulant(1_000_000, &[1, 2, 3, 4]).unwrap()
+}
+
+/// Times `steps` sharded-engine steps of one million-vertex trial on
+/// `threads` workers (after a one-round warmup), returning ns/step.  The
+/// nine-opinion spread cannot absorb within the budget, so no early-exit
+/// distorts the window.
+fn time_sharded(g: &Graph, threads: usize, steps: u64) -> f64 {
+    let seeds: Vec<u64> = (0..SHARD_COUNT as u64)
+        .map(|p| SeedSequence::seed_for(SHARD_MASTER, p))
+        .collect();
+    let opinions = init::spread(g.num_vertices(), 9).unwrap();
+    let mut p = ShardedProcess::new(g, opinions, FastScheduler::Edge, &seeds).unwrap();
+    p.run_to_consensus(g.num_vertices() as u64, threads);
+    let before = p.steps();
+    let start = Instant::now();
+    p.run_to_consensus(steps, threads);
+    let elapsed = start.elapsed();
+    let taken = (p.steps() - before).max(1);
+    elapsed.as_nanos() as f64 / taken as f64
+}
+
+/// Measures single-trial throughput of the sharded engine on the
+/// million-vertex circulant for 1, 2 and 4 worker threads (interleaved
+/// best-of-3, so machine drift hits the arms equally), plus the scalar
+/// fast engine on the same workload as the baseline.
+fn measure_shard(steps: u64) -> ShardSection {
+    let g = circulant8_1m();
+    let thread_counts = [1usize, 2, 4];
+    let mut best = [f64::INFINITY; 3];
+    let mut fast_ns = f64::INFINITY;
+    for _ in 0..3 {
+        fast_ns = fast_ns.min(time_fast(&g, FastScheduler::Edge, steps).0);
+        for (slot, &t) in thread_counts.iter().enumerate() {
+            best[slot] = best[slot].min(time_sharded(&g, t, steps));
+        }
+    }
+    let rows: Vec<ShardRow> = thread_counts
+        .iter()
+        .zip(best)
+        .map(|(&threads, ns)| ShardRow {
+            threads,
+            ns_per_step: ns,
+            steps_per_sec: 1e9 / ns,
+        })
+        .collect();
+    ShardSection {
+        graph: "circulant8_1M",
+        n: g.num_vertices(),
+        shards: SHARD_COUNT,
+        cores: available_cores(),
+        fast_ns_per_step: fast_ns,
+        scaling_t4: best[0] / best[2],
+        rows,
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |t| t.get())
+}
+
+/// The live thread-scaling gate: on a machine with at least four cores,
+/// the sharded engine must turn threads into throughput (T=4 at least
+/// [`SHARD_SCALING_GATE`]× the T=1 rate on the million-vertex workload).
+/// On smaller machines the gate is skipped with a note — scaling cannot
+/// be measured where there is nothing to scale onto.  Returns whether
+/// the gate failed.
+fn check_shard_scaling(steps: u64) -> bool {
+    let cores = available_cores();
+    if cores < 4 {
+        println!("shard scaling gate: {cores} core(s) available (< 4); skipped");
+        return false;
+    }
+    let g = circulant8_1m();
+    let (mut t1, mut t4) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        t1 = t1.min(time_sharded(&g, 1, steps));
+        t4 = t4.min(time_sharded(&g, 4, steps));
+    }
+    let scaling = t1 / t4;
+    println!(
+        "shard scaling (circulant8_1M, {SHARD_COUNT} shards): T=1 {t1:.2} ns/step   T=4 {t4:.2} ns/step   scaling {scaling:.2}x (gate >= {SHARD_SCALING_GATE}x)"
+    );
+    if scaling < SHARD_SCALING_GATE {
+        eprintln!(
+            "FAIL: sharded engine scales only {scaling:.2}x on 4 threads (gate {SHARD_SCALING_GATE}x)"
+        );
+        return true;
+    }
+    false
+}
+
 /// Extracts every `"FIELD": NUMBER` occurrence inside the given
 /// top-level section of a BENCH file written by this tool.  The files
 /// are produced by our own stable hand-rolled writer, so plain string
@@ -436,6 +574,24 @@ fn check_recorded_overheads(path: &str) -> i32 {
             }
         }
     }
+    // The shard scaling gate applies only to files recorded on a ≥ 4-core
+    // machine — a 1-core container's T=4 arm measures timeslicing, not
+    // scaling.
+    let cores = recorded_ratios(&text, "shard", "cores").unwrap_or_default();
+    let scalings = recorded_ratios(&text, "shard", "scaling_t4").unwrap_or_default();
+    match (cores.first(), scalings.first()) {
+        (None, _) | (_, None) => println!("shard: absent from {path} (older schema); skipped"),
+        (Some(&c), Some(_)) if c < 4.0 => {
+            println!("shard: recorded on {c:.0} core(s) (< 4); scaling gate skipped")
+        }
+        (Some(_), Some(&s)) => {
+            let verdict = if s < SHARD_SCALING_GATE { "FAIL" } else { "ok" };
+            println!(
+                "shard: recorded T=4 scaling {s:.2}x (gate >= {SHARD_SCALING_GATE}x) {verdict}"
+            );
+            failed |= s < SHARD_SCALING_GATE;
+        }
+    }
     if failed {
         1
     } else {
@@ -498,6 +654,7 @@ fn main() {
                 failed = true;
             }
         }
+        failed |= check_shard_scaling(steps);
         if failed {
             std::process::exit(1);
         }
@@ -526,6 +683,7 @@ fn main() {
 
     let overheads = measure_overheads(steps);
     let batch_rows = measure_batch(steps);
+    let shard = measure_shard(steps);
 
     // Hand-rolled JSON: the workspace deliberately has no serializer
     // dependency.
@@ -565,6 +723,21 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"shard\": {{\"graph\": \"{}\", \"process\": \"div_edge\", \"n\": {}, \"shards\": {}, \
+         \"cores\": {}, \"fast_ns_per_step\": {:.2}, \"scaling_t4\": {:.2}, \"rows\": [\n",
+        shard.graph, shard.n, shard.shards, shard.cores, shard.fast_ns_per_step, shard.scaling_t4
+    ));
+    for (i, r) in shard.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"ns_per_step\": {:.2}, \"steps_per_sec\": {:.0}}}{}\n",
+            r.threads,
+            r.ns_per_step,
+            r.steps_per_sec,
+            if i + 1 < shard.rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
     let telemetry: Vec<&Overhead> = overheads
         .iter()
         .filter(|o| o.arm == "null_observer")
@@ -624,6 +797,16 @@ fn main() {
             b.speedup()
         );
     }
+    for r in &shard.rows {
+        println!(
+            "{:>13}/shard P={} T={}  scalar {:5.2} ns/step   sharded {:5.2} ns/step   {:>12.0} steps/s",
+            shard.graph, shard.shards, r.threads, shard.fast_ns_per_step, r.ns_per_step, r.steps_per_sec
+        );
+    }
+    println!(
+        "shard T=4 scaling: {:.2}x on {} core(s) (gate >= {SHARD_SCALING_GATE}x applies at 4+ cores)",
+        shard.scaling_t4, shard.cores
+    );
     let worst = rows
         .iter()
         .map(|r| r.reference_ns / r.fast_ns)

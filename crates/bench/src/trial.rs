@@ -18,12 +18,23 @@
 
 use div_core::{
     BatchProcess, DivProcess, FastProcess, FastRng, FastScheduler, FaultPlan, FaultStats,
-    RunStatus, Scheduler,
+    RunStatus, Scheduler, ShardedProcess,
 };
 use div_graph::Graph;
-use div_sim::{CampaignMonitor, FaultTotals, TrialCtx, TrialOutcome};
+use div_sim::{CampaignMonitor, FaultTotals, SeedSequence, TrialCtx, TrialOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Whether an initial opinion vector is too wide for the batch engine's
+/// `u16` lane offsets ([`BatchProcess::LANE_SPAN_LIMIT`]).  Such
+/// campaigns demote to per-lane scalar execution instead of erroring —
+/// the scalar engine supports spans up to 2²⁴.
+pub fn exceeds_lane_span(opinions: &[i64]) -> bool {
+    match (opinions.iter().min(), opinions.iter().max()) {
+        (Some(&lo), Some(&hi)) => (hi - lo) as usize + 1 > BatchProcess::LANE_SPAN_LIMIT,
+        _ => false,
+    }
+}
 
 /// Maps a bounded run's end state to the campaign outcome taxonomy.
 pub fn outcome_of(status: RunStatus, two_adjacent: bool, low: i64, high: i64) -> TrialOutcome {
@@ -113,6 +124,11 @@ pub fn fast_trial(
 /// is seeded with `ctxs[l].seed`, so each lane is bit-exact against the
 /// [`fast_trial`] the batched campaign runner would otherwise have run —
 /// the report is identical to a scalar fast campaign's, just faster.
+///
+/// Initial vectors wider than [`BatchProcess::LANE_SPAN_LIMIT`] cannot
+/// use the `u16` lane columns; instead of failing the campaign the group
+/// demotes to per-lane [`fast_trial`] runs (the same fallback faulty
+/// lanes already take), preserving the per-seed outcomes exactly.
 pub fn batch_group(
     graph: &Graph,
     opinions: &[i64],
@@ -121,6 +137,12 @@ pub fn batch_group(
     monitor: Option<&CampaignMonitor>,
     ctxs: &[TrialCtx],
 ) -> Vec<TrialOutcome> {
+    if exceeds_lane_span(opinions) {
+        return ctxs
+            .iter()
+            .map(|ctx| fast_trial(graph, opinions, kind, faults, monitor, ctx))
+            .collect();
+    }
     let seeds: Vec<u64> = ctxs.iter().map(|c| c.seed).collect();
     let mut batch =
         BatchProcess::new(graph, opinions.to_vec(), kind, &seeds).expect("validated in setup");
@@ -147,4 +169,36 @@ pub fn batch_group(
             )
         })
         .collect()
+}
+
+/// One sharded-engine campaign trial: the graph is partitioned into
+/// `shards` vertex domains stepped concurrently on `threads` std
+/// threads (see [`ShardedProcess`]).  Shard `p` draws from
+/// `SeedSequence::seed_for(ctx.seed, p)`, so the trajectory is a pure
+/// function of `(ctx.seed, shards)` — the thread count only changes the
+/// wall-clock, never the outcome.
+///
+/// The sharded engine has no fault pipeline; callers must demote to
+/// [`fast_trial`] for non-trivial fault plans (the `divlab` front-end
+/// does so with a warning).
+pub fn sharded_trial(
+    graph: &Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    shards: usize,
+    threads: usize,
+    ctx: &TrialCtx,
+) -> TrialOutcome {
+    let shard_seeds: Vec<u64> = (0..shards as u64)
+        .map(|p| SeedSequence::seed_for(ctx.seed, p))
+        .collect();
+    let mut p = ShardedProcess::new(graph, opinions.to_vec(), kind, &shard_seeds)
+        .expect("validated in setup");
+    let status = p.run_to_consensus(ctx.step_budget, threads);
+    outcome_of(
+        status,
+        p.is_two_adjacent(),
+        p.min_opinion(),
+        p.max_opinion(),
+    )
 }

@@ -291,11 +291,11 @@ fn zero_lanes_is_a_usage_error() {
 }
 
 #[test]
-fn unknown_engine_names_all_three_variants() {
+fn unknown_engine_names_all_variants() {
     let out = divlab(&["run", "--graph", "complete:10", "--engine", "warp"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(
-        stderr(&out).contains("use reference, fast or batch"),
+        stderr(&out).contains("use reference, fast, batch or sharded"),
         "{}",
         stderr(&out)
     );
@@ -717,5 +717,194 @@ fn campaign_threads_flag_is_honoured_on_every_engine() {
         stdout(&one),
         stdout(&four),
         "thread count must not change the report"
+    );
+}
+
+#[test]
+fn wide_span_single_run_demotes_batch_to_scalar_fallback() {
+    // Regression: a span-70k init used to hard-error the batch engine
+    // with SpanTooLarge (exit 2); it must now demote to the per-lane
+    // scalar fallback with a warning and finish the run.
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:64",
+        "--init",
+        "blocks:0x32,70000x32",
+        "--engine",
+        "batch",
+        "--budget",
+        "50000",
+        "--seed",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("lane limit"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("scalar fallback"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn wide_span_campaign_demotes_lane_groups_and_stays_well_formed() {
+    // Same regression, campaign path: groups fall back per lane, the
+    // report renders (including the empty phase-step summary when no
+    // trial converges within the budget) and the exit code is the
+    // degraded 3, not a failure.
+    let out = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:64",
+        "--init",
+        "blocks:0x32,70000x32",
+        "--engine",
+        "batch",
+        "--trials",
+        "3",
+        "--budget",
+        "20000",
+        "--seed",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("lane limit"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("steps-to-consensus none (no converged trials)"),
+        "stdout: {}",
+        stdout(&out)
+    );
+    assert!(
+        stdout(&out).contains("outcomes converged=0 two-adjacent=0 timeout=3"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn budget_one_all_timeout_campaign_reports_cleanly() {
+    // Regression: an all-timeout campaign must render a well-formed
+    // report (no panicking min()/max() over an empty converged set).
+    let out = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:30",
+        "--init",
+        "blocks:1x15,5x15",
+        "--engine",
+        "fast",
+        "--trials",
+        "4",
+        "--budget",
+        "1",
+        "--seed",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("outcomes converged=0 two-adjacent=0 timeout=4 panicked=0"),
+        "stdout: {}",
+        stdout(&out)
+    );
+    assert!(
+        stdout(&out).contains("steps-to-consensus none (no converged trials)"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn sharded_engine_single_run_is_deterministic() {
+    let run = || {
+        divlab(&[
+            "run",
+            "--graph",
+            "complete:60",
+            "--init",
+            "blocks:1x30,5x30",
+            "--engine",
+            "sharded",
+            "--shards",
+            "3",
+            "--seed",
+            "11",
+        ])
+    };
+    let a = run();
+    let b = run();
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    assert!(
+        stdout(&a).contains("sharded engine, 3 shards"),
+        "stdout: {}",
+        stdout(&a)
+    );
+    assert_eq!(stdout(&a), stdout(&b), "same seed + shards must replay");
+}
+
+#[test]
+fn sharded_campaign_thread_count_never_changes_the_report() {
+    let run = |threads: &str| {
+        divlab(&[
+            "campaign",
+            "--graph",
+            "complete:40",
+            "--init",
+            "blocks:1x20,5x20",
+            "--engine",
+            "sharded",
+            "--shards",
+            "4",
+            "--seed",
+            "5",
+            "--trials",
+            "4",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    let four = run("4");
+    assert!(one.status.success(), "stderr: {}", stderr(&one));
+    assert_eq!(
+        stdout(&one),
+        stdout(&four),
+        "in-trial thread count must not change the report"
+    );
+}
+
+#[test]
+fn sharded_engine_with_faults_demotes_to_fast() {
+    let out = divlab(&[
+        "run",
+        "--graph",
+        "complete:40",
+        "--init",
+        "blocks:1x20,5x20",
+        "--engine",
+        "sharded",
+        "--faults",
+        "drop:0.2",
+        "--seed",
+        "2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("falling back to --engine fast"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("fast engine"),
+        "stdout: {}",
+        stdout(&out)
     );
 }

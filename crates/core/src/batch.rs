@@ -112,11 +112,6 @@ use crate::state::OpinionState;
 use crate::telemetry::TelemetrySample;
 use crate::{FastScheduler, FinishPolicy};
 
-/// Widest opinion span the `u16` lane offsets can hold.  Narrower than
-/// the scalar engine's limit, but still far above the paper's
-/// `k = o(n / log n)` regime.
-const LANE_SPAN_LIMIT: usize = 1 << 16;
-
 /// `K` trials of one DIV instance stepped in lockstep (see the module
 /// docs for the layout and the bit-exactness contract).
 #[derive(Debug, Clone)]
@@ -138,6 +133,13 @@ pub struct BatchProcess<'g> {
 }
 
 impl<'g> BatchProcess<'g> {
+    /// Widest opinion span the `u16` lane offsets can hold.  Narrower
+    /// than the scalar engine's limit (2²⁴), but still far above the
+    /// paper's `k = o(n / log n)` regime.  Callers that cannot tolerate
+    /// [`DivError::SpanTooLarge`] can pre-check an initial vector against
+    /// this bound and demote to per-lane scalar runs instead.
+    pub const LANE_SPAN_LIMIT: usize = 1 << 16;
+
     /// Compiles a batch: one lane per seed, all lanes starting from the
     /// same `opinions` vector.  Lane `l` draws from
     /// `FastRng::seed_from_u64(seeds[l])`, so pairing lane `l` with trial
@@ -163,11 +165,11 @@ impl<'g> BatchProcess<'g> {
         let reference = OpinionState::new(graph, opinions)?;
         let base = reference.min_opinion();
         let span = (reference.max_opinion() - base) as usize + 1;
-        if span > LANE_SPAN_LIMIT {
+        if span > Self::LANE_SPAN_LIMIT {
             return Err(DivError::SpanTooLarge {
                 min: base,
                 max: reference.max_opinion(),
-                limit: LANE_SPAN_LIMIT,
+                limit: Self::LANE_SPAN_LIMIT,
             });
         }
         let lanes = seeds.len();

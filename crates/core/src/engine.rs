@@ -245,22 +245,32 @@ impl CompiledSampler {
     }
 }
 
-/// Builds the packed alias table for `g`'s degree distribution in integer
-/// arithmetic: slot `i` keeps itself with probability `threshold_i/2³²`
-/// where `threshold_i` approximates `n·d(i)/2m` (mod 1) to within `2⁻³²`;
-/// saturated slots alias to themselves, so the approximation error only
-/// shifts mass between a slot and its alias partner.
+/// Builds the packed alias table for `g`'s degree distribution; see
+/// [`packed_alias_slots`] for the encoding.
 fn packed_alias_table(g: &Graph) -> Vec<u64> {
-    let n = g.num_vertices() as u128;
-    let two_m = g.total_degree() as u128;
-    assert!(two_m > 0, "degree-biased draw needs at least one edge");
+    let degrees: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
+    packed_alias_slots(&degrees)
+}
+
+/// Builds a packed Walker alias table over arbitrary integer `weights` in
+/// integer arithmetic: slot `i` keeps itself with probability
+/// `threshold_i/2³²` where `threshold_i` approximates `L·w_i/W` (mod 1) to
+/// within `2⁻³²` (`L` slots, total weight `W`); saturated slots alias to
+/// themselves, so the approximation error only shifts mass between a slot
+/// and its alias partner.  Shared by the scalar engine (weights = degrees
+/// of the whole graph) and the sharded engine (weights = degrees of one
+/// shard domain).
+pub(crate) fn packed_alias_slots(weights: &[u64]) -> Vec<u64> {
+    let len = weights.len() as u128;
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    assert!(total > 0, "weighted draw needs positive total weight");
     const ONE: u128 = 1 << 32;
-    // Fixed-point scaled probabilities: n·d(v)/2m in 32.32.
-    let mut scaled: Vec<u128> = g
-        .vertices()
-        .map(|v| (g.degree(v) as u128 * n * ONE + two_m / 2) / two_m)
+    // Fixed-point scaled probabilities: L·w_i/W in 32.32.
+    let mut scaled: Vec<u128> = weights
+        .iter()
+        .map(|&w| (w as u128 * len * ONE + total / 2) / total)
         .collect();
-    let mut alias: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let mut alias: Vec<u32> = (0..weights.len() as u32).collect();
     let mut small: Vec<usize> = Vec::new();
     let mut large: Vec<usize> = Vec::new();
     for (i, &p) in scaled.iter().enumerate() {

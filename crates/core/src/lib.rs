@@ -85,6 +85,7 @@ mod observer;
 mod process;
 mod rng;
 mod scheduler;
+mod shard;
 mod stage;
 mod state;
 mod synchronous;
@@ -105,6 +106,7 @@ pub use rng::FastRng;
 pub use scheduler::{
     BiasedVertexScheduler, EdgeScheduler, Scheduler, SelectionBias, VertexScheduler,
 };
+pub use shard::ShardedProcess;
 pub use stage::{EliminationEvent, StageLog};
 pub use state::OpinionState;
 pub use synchronous::SynchronousDiv;

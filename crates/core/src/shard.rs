@@ -1,0 +1,829 @@
+//! The sharded-domain engine: one trial stepped by `P` concurrent shards.
+//!
+//! Every other engine in this crate ([`crate::DivProcess`],
+//! [`crate::FastProcess`], [`crate::BatchProcess`]) steps one vertex set on
+//! one thread, so single-trial throughput is capped by one core.
+//! [`ShardedProcess`] is the first engine where a single trial uses the
+//! whole machine: the compiled CSR graph is partitioned into `P` disjoint
+//! **contiguous vertex domains** (a degree-balanced split nudged by a
+//! cut-minimising greedy pass), and each shard steps the updaters of its
+//! own domain concurrently on std threads.
+//!
+//! # Execution model
+//!
+//! Time is divided into **reconciliation rounds** of roughly `n` steps.
+//! Within a round:
+//!
+//! * shard `p` performs its deterministic step allocation (see below)
+//!   using a **private xoshiro256++ stream** seeded from `shard_seeds[p]`;
+//! * an updater `v` is drawn *inside the domain* — uniformly for the
+//!   vertex process, degree-biased (per-shard packed alias table) for the
+//!   edge process — and a uniform neighbour `w` is observed;
+//! * if `w` lies in the same domain the read is **live**; if `w` belongs
+//!   to another shard the read comes from the **round-start snapshot** of
+//!   the full opinion array.  Writes only ever touch the shard's own
+//!   domain slice, so shards never race (all in safe Rust via disjoint
+//!   `split_at_mut` slices).
+//!
+//! At the round boundary the coordinator copies the live array over the
+//! snapshot — this deterministic refresh **is** the frontier
+//! reconciliation: every cross-domain edge observes a value at most one
+//! round stale, and with `P = 1` every read is live, so the engine
+//! degenerates to the exact asynchronous process.
+//!
+//! # Step allocation
+//!
+//! Let `W_p` be the total step weight of domain `p` (vertex count for the
+//! vertex process, total degree for the edge process) and `W = Σ W_p`.
+//! After a cumulative target of `T` steps, shard `p` has executed exactly
+//! `⌊T·W_p/W⌋` steps — an error-diffusion rule evaluated in `u128`, so
+//! each shard's long-run step rate matches the scalar engine's marginal
+//! law (`P[updater = v] = d(v)/2m` for the edge process, `1/n` for the
+//! vertex process) to within one step per round, deterministically.
+//!
+//! # Determinism and fidelity
+//!
+//! The trajectory is a **pure function of `(shard_seeds, P)`** — the
+//! thread count only changes which OS thread executes which shard, never
+//! the result, and the same seeds replay bit-identically.  Statistically
+//! the process differs from the scalar engine only through the ≤ 1-round
+//! staleness of cross-domain reads (comparable to the `stale:P:AGE` fault
+//! model, which preserves absorption); the per-step marginal law is
+//! exact, the opinion range never expands across rounds, and consensus
+//! states are absorbing.  The Theorem 2 / Lemma 5 acceptance suites are
+//! re-run against this engine in `tests/shard_acceptance.rs`.
+//!
+//! Global statistics (`min`/`max`/`S(t)`/`Z(t)` and per-opinion counts)
+//! are kept as **per-shard incremental registers** and combined in
+//! `O(P)` — the engine never rescans the `O(n)` opinion array.
+
+use div_graph::Graph;
+
+use crate::engine::{bounded_u32_half, bounded_u64, packed_alias_slots};
+use crate::rng::FastRng;
+use crate::{DivError, FastScheduler, OpinionState, RunStatus};
+use rand::SeedableRng;
+
+/// How an updater is drawn inside one shard domain.
+#[derive(Debug, Clone)]
+enum ShardSampler {
+    /// Uniform vertex in the domain: the vertex process, and the edge
+    /// process on a domain of constant degree (regular-family fast path).
+    Uniform,
+    /// Degree-biased vertex via a packed alias table over the domain's
+    /// degree distribution (see `engine::packed_alias_slots`).
+    Alias(Vec<u64>),
+}
+
+/// The per-shard incremental statistic registers: dense opinion counts
+/// plus the running extremes and (degree-weighted) sums of the domain.
+/// Global statistics are an `O(P)` combine of these, never an `O(n)`
+/// rescan.
+#[derive(Debug, Clone)]
+struct ShardRegs {
+    /// `N_i(t)` restricted to this domain, indexed by span offset.
+    counts: Vec<u32>,
+    /// Smallest span offset held in this domain.
+    lo: u32,
+    /// Largest span offset held in this domain.
+    hi: u32,
+    /// `Σ_{v ∈ domain} (X_v − base)`.
+    sum_off: i64,
+    /// `Σ_{v ∈ domain} d(v)·(X_v − base)` — the `Z(t)` register.
+    dw_off: i64,
+}
+
+impl ShardRegs {
+    /// One DIV step of domain-local vertex `li` toward the observed span
+    /// offset `target`.  Cross-domain targets can lie outside this
+    /// domain's current `[lo, hi]` (though never outside the initial
+    /// span), so the local range may expand — the same discipline as the
+    /// scalar engine's `apply_observed`.
+    #[inline(always)]
+    fn apply(&mut self, local: &mut [u32], li: usize, dv: i64, target: u32) {
+        let xv = local[li];
+        let delta = (target > xv) as i64 - (target < xv) as i64;
+        if delta == 0 {
+            return;
+        }
+        let old = xv as usize;
+        let new = (xv as i64 + delta) as usize;
+        local[li] = new as u32;
+        self.sum_off += delta;
+        self.dw_off += delta * dv;
+        self.counts[old] -= 1;
+        self.counts[new] += 1;
+        // Expand first so the shrink walks stay bounded by an occupied
+        // cell, then handle a vacated boundary.
+        if (new as u32) < self.lo {
+            self.lo = new as u32;
+        }
+        if (new as u32) > self.hi {
+            self.hi = new as u32;
+        }
+        if self.counts[old] == 0 {
+            if old as u32 == self.lo {
+                while self.counts[self.lo as usize] == 0 {
+                    self.lo += 1;
+                }
+            }
+            if old as u32 == self.hi {
+                while self.counts[self.hi as usize] == 0 {
+                    self.hi -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// One vertex domain: its boundaries, private RNG stream, updater
+/// sampler and statistic registers.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// First vertex of the domain.
+    start: u32,
+    /// One past the last vertex of the domain.
+    end: u32,
+    rng: FastRng,
+    sampler: ShardSampler,
+    regs: ShardRegs,
+}
+
+impl Shard {
+    /// Executes `steps` domain-internal steps: updaters from this domain,
+    /// in-domain reads live from `local`, cross-domain reads from the
+    /// round-start `snapshot`.  Writes touch only `local`.
+    fn run(&mut self, graph: &Graph, snapshot: &[u32], local: &mut [u32], steps: u64) {
+        let start = self.start as usize;
+        let len = (self.end - self.start) as usize;
+        let (rng, regs) = (&mut self.rng, &mut self.regs);
+        match self.sampler {
+            ShardSampler::Uniform => {
+                for _ in 0..steps {
+                    // One word: high half draws the domain vertex, low
+                    // half the neighbour slot (the scalar engine's
+                    // vertex-sampler word discipline).
+                    let (v, w) = loop {
+                        let word = rng.next_word();
+                        let Some(i) = bounded_u32_half((word >> 32) as u32, len as u32) else {
+                            continue;
+                        };
+                        let v = start + i as usize;
+                        let d = graph.degree(v) as u32;
+                        let Some(slot) = bounded_u32_half(word as u32, d) else {
+                            continue;
+                        };
+                        break (v, graph.neighbor(v, slot as usize));
+                    };
+                    let target = if w >= start && w < start + len {
+                        local[w - start]
+                    } else {
+                        snapshot[w]
+                    };
+                    regs.apply(local, v - start, graph.degree(v) as i64, target);
+                }
+            }
+            ShardSampler::Alias(ref slots) => {
+                for _ in 0..steps {
+                    // Word one: degree-biased domain vertex (high half the
+                    // slot, low half the keep-vs-alias test); word two:
+                    // uniform neighbour.
+                    let i = loop {
+                        let word = rng.next_word();
+                        let Some(i) = bounded_u32_half((word >> 32) as u32, len as u32) else {
+                            continue;
+                        };
+                        let slot = slots[i as usize];
+                        break if (word as u32) < (slot >> 32) as u32 {
+                            i as usize
+                        } else {
+                            (slot as u32) as usize
+                        };
+                    };
+                    let v = start + i;
+                    let d = graph.degree(v);
+                    let w = graph.neighbor(v, bounded_u64(rng, d as u64) as usize);
+                    let target = if w >= start && w < start + len {
+                        local[w - start]
+                    } else {
+                        snapshot[w]
+                    };
+                    regs.apply(local, i, d as i64, target);
+                }
+            }
+        }
+    }
+}
+
+/// Sharded-domain DIV process: one trial stepped by `P` concurrent vertex
+/// domains with deterministic round-boundary reconciliation.  See the
+/// module docs for the execution model and fidelity contract.
+///
+/// # Examples
+///
+/// ```
+/// use div_core::{init, ShardedProcess, FastScheduler, RunStatus};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = div_graph::generators::complete(60)?;
+/// let opinions = init::blocks(&[(1, 30), (5, 30)])?;
+/// // Four shards, seeded individually; threads only affect wall-clock.
+/// let mut p = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &[1, 2, 3, 4])?;
+/// match p.run_to_consensus(10_000_000, 1) {
+///     RunStatus::Consensus { opinion, .. } => assert_eq!(opinion, 3),
+///     other => panic!("did not converge: {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedProcess<'g> {
+    graph: &'g Graph,
+    kind: FastScheduler,
+    base: i64,
+    span: usize,
+    /// Domain boundaries: shard `p` owns vertices `[bounds[p], bounds[p+1])`.
+    bounds: Vec<u32>,
+    /// The live opinion offsets, written only through disjoint per-domain
+    /// slices.
+    live: Vec<u32>,
+    /// Round-start copy of `live`, read by cross-domain observations.
+    snapshot: Vec<u32>,
+    shards: Vec<Shard>,
+    /// Step weight of each domain (`W_p`).
+    weights: Vec<u64>,
+    /// `W = Σ W_p`.
+    total_weight: u64,
+    round_len: u64,
+    /// Cumulative *target* steps handed to the allocator; the executed
+    /// count is `Σ_p ⌊target·W_p/W⌋` (within `P` of the target).
+    target: u64,
+    steps: u64,
+}
+
+impl<'g> ShardedProcess<'g> {
+    /// Compiles the partition, per-shard samplers and registers.  One
+    /// shard per seed; shard `p` draws from
+    /// `FastRng::seed_from_u64(shard_seeds[p])`, so deriving the seeds
+    /// with `SeedSequence::seed_for(trial_seed, p)` makes the whole
+    /// trajectory a pure function of `(trial_seed, P)`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`OpinionState::new`] rejects, plus
+    /// [`DivError::InvalidInit`] when there are more shards than
+    /// vertices (every domain must own at least one vertex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_seeds` is empty — the engine needs at least one
+    /// domain.
+    pub fn new(
+        graph: &'g Graph,
+        opinions: Vec<i64>,
+        scheduler: FastScheduler,
+        shard_seeds: &[u64],
+    ) -> Result<Self, DivError> {
+        assert!(
+            !shard_seeds.is_empty(),
+            "sharding needs at least one domain"
+        );
+        // Reference-path validation keeps the engines' error contracts
+        // identical (also bounds the span for the dense count registers).
+        let reference = OpinionState::new(graph, opinions)?;
+        let n = reference.num_vertices();
+        let p = shard_seeds.len();
+        if p > n {
+            return Err(DivError::invalid_init(format!(
+                "cannot split {n} vertices into {p} shard domains"
+            )));
+        }
+        let base = reference.min_opinion();
+        let span = (reference.max_opinion() - base) as usize + 1;
+        let live: Vec<u32> = reference
+            .opinions()
+            .iter()
+            .map(|&x| (x - base) as u32)
+            .collect();
+        let bounds = partition(graph, scheduler, p);
+        let weights: Vec<u64> = (0..p)
+            .map(|k| domain_weight(graph, scheduler, bounds[k], bounds[k + 1]))
+            .collect();
+        let total_weight: u64 = weights.iter().sum();
+        let shards: Vec<Shard> = (0..p)
+            .map(|k| {
+                let (start, end) = (bounds[k] as usize, bounds[k + 1] as usize);
+                let mut counts = vec![0u32; span];
+                let (mut sum_off, mut dw_off) = (0i64, 0i64);
+                let (mut lo, mut hi) = (u32::MAX, 0u32);
+                for (v, &off) in live.iter().enumerate().take(end).skip(start) {
+                    counts[off as usize] += 1;
+                    sum_off += off as i64;
+                    dw_off += off as i64 * graph.degree(v) as i64;
+                    lo = lo.min(off);
+                    hi = hi.max(off);
+                }
+                let sampler = match scheduler {
+                    FastScheduler::Vertex => ShardSampler::Uniform,
+                    FastScheduler::Edge | FastScheduler::EdgeAlias => {
+                        let degrees: Vec<u64> =
+                            (start..end).map(|v| graph.degree(v) as u64).collect();
+                        if degrees.iter().all(|&d| d == degrees[0]) {
+                            // Constant-degree domain: degree-biased is
+                            // uniform — skip the table (the million-vertex
+                            // regular families land here).
+                            ShardSampler::Uniform
+                        } else {
+                            ShardSampler::Alias(packed_alias_slots(&degrees))
+                        }
+                    }
+                };
+                Shard {
+                    start: start as u32,
+                    end: end as u32,
+                    rng: FastRng::seed_from_u64(shard_seeds[k]),
+                    sampler,
+                    regs: ShardRegs {
+                        counts,
+                        lo,
+                        hi,
+                        sum_off,
+                        dw_off,
+                    },
+                }
+            })
+            .collect();
+        // One round ≈ one expected update per vertex, so a cross-domain
+        // read is at most one sweep stale (the fidelity contract) while
+        // the O(n) snapshot refresh stays O(1) per step.
+        let round_len = n as u64;
+        Ok(ShardedProcess {
+            graph,
+            kind: scheduler,
+            base,
+            span,
+            bounds,
+            snapshot: live.clone(),
+            live,
+            shards,
+            weights,
+            total_weight,
+            round_len,
+            target: 0,
+            steps: 0,
+        })
+    }
+
+    /// The graph the process runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The compiled interaction law.
+    pub fn scheduler(&self) -> FastScheduler {
+        self.kind
+    }
+
+    /// The number of shard domains (`P`).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The domain boundaries: shard `p` owns vertices
+    /// `[bounds[p], bounds[p+1])`.
+    pub fn shard_bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Steps executed so far (summed over all shards).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// `S(t) = Σ_v X_v` — an `O(P)` register combine.
+    pub fn sum(&self) -> i64 {
+        let off: i64 = self.shards.iter().map(|s| s.regs.sum_off).sum();
+        self.base * self.live.len() as i64 + off
+    }
+
+    /// `Σ_v d(v)·X_v` in exact integer arithmetic — an `O(P)` combine of
+    /// the per-shard `Z(t)` registers.
+    pub fn degree_weighted_sum(&self) -> i64 {
+        let off: i64 = self.shards.iter().map(|s| s.regs.dw_off).sum();
+        self.base * self.graph.total_degree() as i64 + off
+    }
+
+    /// `Z(t) = n·Σ_v π_v X_v` (the vertex-process martingale).
+    pub fn z_weight(&self) -> f64 {
+        self.live.len() as f64 * self.degree_weighted_sum() as f64
+            / self.graph.total_degree() as f64
+    }
+
+    /// The smallest opinion currently held (`O(P)`).
+    pub fn min_opinion(&self) -> i64 {
+        self.base + self.lo() as i64
+    }
+
+    /// The largest opinion currently held (`O(P)`).
+    pub fn max_opinion(&self) -> i64 {
+        self.base + self.hi() as i64
+    }
+
+    /// `N_i(t)` for `opinion` (0 outside the initial span) — `O(P)`.
+    pub fn count(&self, opinion: i64) -> usize {
+        let off = opinion - self.base;
+        if (0..self.span as i64).contains(&off) {
+            self.shards
+                .iter()
+                .map(|s| s.regs.counts[off as usize] as usize)
+                .sum()
+        } else {
+            0
+        }
+    }
+
+    /// Whether all vertices agree.
+    pub fn is_consensus(&self) -> bool {
+        self.width() == 0
+    }
+
+    /// Whether at most two adjacent opinions remain (the paper's `τ`).
+    pub fn is_two_adjacent(&self) -> bool {
+        self.width() <= 1
+    }
+
+    /// The current opinion vector, indexed by vertex (`O(n)`).
+    pub fn opinions(&self) -> Vec<i64> {
+        self.live
+            .iter()
+            .map(|&off| self.base + off as i64)
+            .collect()
+    }
+
+    fn lo(&self) -> u32 {
+        self.shards.iter().map(|s| s.regs.lo).min().expect("P >= 1")
+    }
+
+    fn hi(&self) -> u32 {
+        self.shards.iter().map(|s| s.regs.hi).max().expect("P >= 1")
+    }
+
+    fn width(&self) -> u32 {
+        self.hi() - self.lo()
+    }
+
+    /// Runs until consensus or (approximately) `max_steps` additional
+    /// steps, on `threads` worker threads (`0` = available parallelism;
+    /// the count never changes the trajectory, only the wall-clock).
+    ///
+    /// Stop conditions are evaluated at reconciliation-round boundaries,
+    /// so the reported step count is the first **round boundary** at or
+    /// after the hit, not the exact hitting step; consensus is absorbing,
+    /// so the terminal state is unaffected.  The budget is respected as a
+    /// target: the executed count never exceeds `max_steps` and falls
+    /// short by fewer than `P` steps.
+    pub fn run_to_consensus(&mut self, max_steps: u64, threads: usize) -> RunStatus {
+        self.run_rounds(max_steps, threads, 0)
+    }
+
+    /// Runs until at most two adjacent opinions remain (the paper's `τ`)
+    /// or the budget target is spent — round-boundary semantics as in
+    /// [`ShardedProcess::run_to_consensus`].
+    pub fn run_to_two_adjacent(&mut self, max_steps: u64, threads: usize) -> RunStatus {
+        self.run_rounds(max_steps, threads, 1)
+    }
+
+    fn run_rounds(&mut self, max_steps: u64, threads: usize, stop_width: u32) -> RunStatus {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        } else {
+            threads
+        };
+        let threads = threads.min(self.shards.len()).max(1);
+        let mut budget = max_steps;
+        while self.width() > stop_width && budget > 0 {
+            let b = self.round_len.min(budget);
+            let allocs = self.allocate(b);
+            let executed: u64 = allocs.iter().sum();
+            self.run_round(&allocs, threads);
+            self.steps += executed;
+            self.target += b;
+            budget -= b;
+            // The round-boundary reconciliation: publish this round's
+            // writes to the snapshot every cross-domain read uses next.
+            self.snapshot.copy_from_slice(&self.live);
+        }
+        self.status_snapshot()
+    }
+
+    /// The per-shard step allocation for a round of target length `b`:
+    /// shard `p` advances from `⌊T·W_p/W⌋` to `⌊(T+b)·W_p/W⌋` executed
+    /// steps (`T` = cumulative target), in `u128` so the diffusion is
+    /// exact for any reachable step count.
+    fn allocate(&self, b: u64) -> Vec<u64> {
+        let w = self.total_weight as u128;
+        let t = self.target as u128;
+        self.weights
+            .iter()
+            .map(|&wp| {
+                let wp = wp as u128;
+                (((t + b as u128) * wp / w) - (t * wp / w)) as u64
+            })
+            .collect()
+    }
+
+    /// Executes one round: every shard steps its allocation concurrently,
+    /// reading cross-domain opinions from the shared snapshot and writing
+    /// its own domain slice.  Shards are dealt to workers round-robin
+    /// (`shard p → worker p mod threads`); the deal is pure bookkeeping —
+    /// each shard's work is self-contained, so the trajectory is
+    /// thread-count-invariant.
+    fn run_round(&mut self, allocs: &[u64], threads: usize) {
+        let graph = self.graph;
+        let snapshot = &self.snapshot;
+        // Disjoint per-domain slices of the live array (safe Rust: each
+        // split hands out a non-overlapping region).
+        let mut slices: Vec<&mut [u32]> = Vec::with_capacity(self.shards.len());
+        let mut rest: &mut [u32] = &mut self.live;
+        for p in 0..self.shards.len() {
+            let len = (self.bounds[p + 1] - self.bounds[p]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        let tasks: Vec<(&mut Shard, &mut [u32], u64)> = self
+            .shards
+            .iter_mut()
+            .zip(slices)
+            .zip(allocs)
+            .map(|((s, l), &a)| (s, l, a))
+            .collect();
+        if threads <= 1 {
+            for (shard, local, steps) in tasks {
+                shard.run(graph, snapshot, local, steps);
+            }
+            return;
+        }
+        let mut bins: Vec<Vec<(&mut Shard, &mut [u32], u64)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            bins[i % threads].push(task);
+        }
+        std::thread::scope(|scope| {
+            let mut bins = bins.into_iter();
+            let own = bins.next().expect("threads >= 1");
+            for bin in bins {
+                scope.spawn(move || {
+                    for (shard, local, steps) in bin {
+                        shard.run(graph, snapshot, local, steps);
+                    }
+                });
+            }
+            // The coordinator works worker 0's bin instead of idling.
+            for (shard, local, steps) in own {
+                shard.run(graph, snapshot, local, steps);
+            }
+        });
+    }
+
+    fn status_snapshot(&self) -> RunStatus {
+        if self.is_consensus() {
+            RunStatus::Consensus {
+                opinion: self.min_opinion(),
+                steps: self.steps,
+            }
+        } else if self.is_two_adjacent() {
+            RunStatus::TwoAdjacent {
+                low: self.min_opinion(),
+                high: self.max_opinion(),
+                steps: self.steps,
+            }
+        } else {
+            RunStatus::StepLimit { steps: self.steps }
+        }
+    }
+}
+
+/// The step weight of domain `[start, end)` under the compiled law.
+fn domain_weight(graph: &Graph, kind: FastScheduler, start: u32, end: u32) -> u64 {
+    match kind {
+        FastScheduler::Vertex => (end - start) as u64,
+        FastScheduler::Edge | FastScheduler::EdgeAlias => {
+            (start..end).map(|v| graph.degree(v as usize) as u64).sum()
+        }
+    }
+}
+
+/// Partitions `[0, n)` into `p` contiguous domains: weight-balanced
+/// boundaries (prefix bisection on the step-weight distribution) nudged
+/// by a greedy cut-minimising pass — each boundary slides inside a
+/// `±n/(8p)` window to the position crossed by the fewest edges, so
+/// cross-domain (snapshot-read) traffic shrinks where the graph allows
+/// it.  Every domain keeps at least one vertex.
+fn partition(graph: &Graph, kind: FastScheduler, p: usize) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut prefix = vec![0u64; n + 1];
+    for v in 0..n {
+        prefix[v + 1] = prefix[v] + domain_weight(graph, kind, v as u32, v as u32 + 1);
+    }
+    let total = prefix[n];
+    // cross[b] = #edges (u, v) with u < b ≤ v, via a difference array.
+    let mut diff = vec![0i64; n + 1];
+    for e in 0..graph.num_edges() {
+        let (u, v) = graph.edge(e);
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        diff[lo + 1] += 1;
+        diff[hi + 1] -= 1;
+    }
+    let mut cross = vec![0i64; n + 1];
+    for b in 1..=n {
+        cross[b] = cross[b - 1] + diff[b];
+    }
+    let window = (n / (8 * p)).max(1);
+    let mut bounds = vec![0u32; p + 1];
+    bounds[p] = n as u32;
+    for k in 1..p {
+        let target = (total as u128 * k as u128 / p as u128) as u64;
+        let naive = prefix.partition_point(|&x| x < target).min(n);
+        let lo = (bounds[k - 1] as usize + 1).max(naive.saturating_sub(window));
+        let hi = (naive + window).min(n - (p - k)).max(lo);
+        let mut best = lo;
+        for b in lo..=hi {
+            let closer = b.abs_diff(naive) < best.abs_diff(naive);
+            if cross[b] < cross[best] || (cross[b] == cross[best] && closer) {
+                best = b;
+            }
+        }
+        bounds[k] = best as u32;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use div_graph::generators;
+    use rand::rngs::StdRng;
+
+    fn seeds(p: usize, base: u64) -> Vec<u64> {
+        (0..p as u64).map(|i| base ^ (i << 32) ^ i).collect()
+    }
+
+    #[test]
+    fn partition_covers_and_is_strictly_increasing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::random_regular(200, 6, &mut rng).unwrap();
+        for p in [1usize, 2, 3, 7, 16] {
+            for kind in [FastScheduler::Vertex, FastScheduler::Edge] {
+                let b = partition(&g, kind, p);
+                assert_eq!(b.len(), p + 1);
+                assert_eq!(b[0], 0);
+                assert_eq!(b[p], 200);
+                assert!(b.windows(2).all(|w| w[0] < w[1]), "{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_exploits_small_cuts() {
+        // Two K_20 blobs joined by one bridge edge: the single cheap cut
+        // sits at vertex 20, and the greedy pass must find it.
+        let mut blob = div_graph::GraphBuilder::new(40).unwrap();
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                blob.add_edge(u as usize, v as usize).unwrap();
+                blob.add_edge(u as usize + 20, v as usize + 20).unwrap();
+            }
+        }
+        blob.add_edge(19, 20).unwrap();
+        let g = blob.build().unwrap();
+        let b = partition(&g, FastScheduler::Vertex, 2);
+        assert_eq!(b, vec![0, 20, 40]);
+    }
+
+    #[test]
+    fn single_shard_matches_scalar_semantics() {
+        // P = 1: every read is live, so the engine is the exact
+        // asynchronous process (its own RNG stream, but the same
+        // dynamics) and must reach the same kind of verdict.
+        let g = generators::complete(60).unwrap();
+        let opinions = init::blocks(&[(1, 30), (5, 30)]).unwrap();
+        let mut p = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &[7]).unwrap();
+        let status = p.run_to_consensus(10_000_000, 1);
+        assert_eq!(status.consensus_opinion(), Some(3));
+        assert!(p.is_consensus());
+        assert_eq!(p.sum(), 3 * 60);
+    }
+
+    #[test]
+    fn same_seeds_same_shards_replay_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::random_regular(120, 6, &mut rng).unwrap();
+        let opinions = init::spread(120, 7).unwrap();
+        let s = seeds(4, 0xD0);
+        let mut a = ShardedProcess::new(&g, opinions.clone(), FastScheduler::Edge, &s).unwrap();
+        let mut b = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &s).unwrap();
+        let sa = a.run_to_consensus(2_000_000, 1);
+        let sb = b.run_to_consensus(2_000_000, 1);
+        assert_eq!(sa, sb);
+        assert_eq!(a.opinions(), b.opinions());
+        assert_eq!(a.steps(), b.steps());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_trajectory() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::random_regular(150, 4, &mut rng).unwrap();
+        let opinions = init::spread(150, 9).unwrap();
+        let s = seeds(5, 0xBEE);
+        let mut one = ShardedProcess::new(&g, opinions.clone(), FastScheduler::Vertex, &s).unwrap();
+        let mut four = ShardedProcess::new(&g, opinions, FastScheduler::Vertex, &s).unwrap();
+        let s1 = one.run_to_consensus(3_000_000, 1);
+        let s4 = four.run_to_consensus(3_000_000, 4);
+        assert_eq!(s1, s4);
+        assert_eq!(one.opinions(), four.opinions());
+        assert_eq!(one.steps(), four.steps());
+    }
+
+    #[test]
+    fn registers_agree_with_rescan() {
+        let g = generators::wheel(30).unwrap();
+        let opinions = init::spread(30, 6).unwrap();
+        let s = seeds(3, 5);
+        let mut p = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &s).unwrap();
+        for _ in 0..40 {
+            p.run_to_consensus(2_000, 1);
+            let ops = p.opinions();
+            assert_eq!(p.sum(), ops.iter().sum::<i64>());
+            assert_eq!(p.min_opinion(), *ops.iter().min().unwrap());
+            assert_eq!(p.max_opinion(), *ops.iter().max().unwrap());
+            let dws: i64 = ops
+                .iter()
+                .enumerate()
+                .map(|(v, &x)| p.graph().degree(v) as i64 * x)
+                .sum();
+            assert_eq!(p.degree_weighted_sum(), dws);
+            for x in 1..=6 {
+                assert_eq!(p.count(x), ops.iter().filter(|&&o| o == x).count());
+            }
+            if p.is_consensus() {
+                break;
+            }
+        }
+        assert!(p.is_consensus(), "complete-ish graph converges quickly");
+    }
+
+    #[test]
+    fn budget_is_a_hard_ceiling_and_near_target() {
+        let g = generators::cycle(64).unwrap();
+        let opinions = init::spread(64, 8).unwrap();
+        let s = seeds(4, 99);
+        let mut p = ShardedProcess::new(&g, opinions, FastScheduler::Vertex, &s).unwrap();
+        let status = p.run_to_consensus(10_000, 1);
+        let steps = status.steps();
+        assert!(steps <= 10_000, "executed {steps} > budget");
+        assert!(steps > 10_000 - s.len() as u64, "executed only {steps}");
+    }
+
+    #[test]
+    fn zero_step_stop_semantics_match_the_scalar_engine() {
+        let g = generators::complete(10).unwrap();
+        let mut p = ShardedProcess::new(&g, vec![4; 10], FastScheduler::Vertex, &[1, 2]).unwrap();
+        assert_eq!(
+            p.run_to_consensus(1000, 2),
+            RunStatus::Consensus {
+                opinion: 4,
+                steps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn more_shards_than_vertices_is_rejected() {
+        let g = generators::complete(3).unwrap();
+        let err =
+            ShardedProcess::new(&g, vec![1, 2, 3], FastScheduler::Edge, &[1, 2, 3, 4]).unwrap_err();
+        assert!(matches!(err, DivError::InvalidInit { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn construction_propagates_state_errors() {
+        let g = generators::complete(3).unwrap();
+        assert!(ShardedProcess::new(&g, vec![], FastScheduler::Edge, &[1]).is_err());
+        assert!(ShardedProcess::new(&g, vec![1], FastScheduler::Edge, &[1]).is_err());
+    }
+
+    #[test]
+    fn alias_domains_cover_irregular_graphs() {
+        // A double star is sharply irregular, forcing the per-shard alias
+        // sampler; the process must still reach a consensus in range.
+        let g = generators::double_star(6, 8).unwrap();
+        let n = g.num_vertices();
+        let opinions = init::spread(n, 5).unwrap();
+        let mut p = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &seeds(2, 17)).unwrap();
+        let status = p.run_to_consensus(20_000_000, 2);
+        let w = status.consensus_opinion().expect("double star converges");
+        assert!((1..=5).contains(&w), "winner {w}");
+    }
+}

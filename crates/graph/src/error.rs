@@ -45,6 +45,16 @@ pub enum GraphError {
         /// Number of attempts made before giving up.
         attempts: usize,
     },
+    /// A generator's intermediate size computation (stub counts, edge
+    /// budgets) overflowed the platform's address arithmetic — the request
+    /// is too large to represent, so it is rejected loudly instead of
+    /// silently truncating.
+    SizeOverflow {
+        /// Name of the generator whose arithmetic overflowed.
+        generator: &'static str,
+        /// Human-readable description of the overflowing quantity.
+        quantity: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +87,13 @@ impl fmt::Display for GraphError {
                 f,
                 "generator `{generator}` failed to produce a valid graph after {attempts} attempts"
             ),
+            GraphError::SizeOverflow {
+                generator,
+                quantity,
+            } => write!(
+                f,
+                "generator `{generator}` size overflow: {quantity} does not fit the platform's arithmetic"
+            ),
         }
     }
 }
@@ -88,6 +105,14 @@ impl GraphError {
     pub fn invalid(reason: impl Into<String>) -> Self {
         GraphError::InvalidParameter {
             reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GraphError::SizeOverflow`].
+    pub fn overflow(generator: &'static str, quantity: impl Into<String>) -> Self {
+        GraphError::SizeOverflow {
+            generator,
+            quantity: quantity.into(),
         }
     }
 }
@@ -119,6 +144,10 @@ mod tests {
                     attempts: 10,
                 },
                 "`random_regular` failed",
+            ),
+            (
+                GraphError::overflow("random_regular", "stub count 10000000 * 3"),
+                "size overflow: stub count 10000000 * 3",
             ),
         ];
         for (err, needle) in cases {

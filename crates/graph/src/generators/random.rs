@@ -62,7 +62,19 @@ pub fn random_regular<R: Rng + ?Sized>(
             "random_regular requires d < n (got d={d}, n={n})"
         )));
     }
-    if !(n * d).is_multiple_of(2) {
+    // The stub list indexes vertices as u32 and holds n·d entries: both
+    // bounds are checked up front so million-vertex requests fail loudly
+    // on narrow targets instead of truncating through `as` casts.
+    if n > u32::MAX as usize {
+        return Err(GraphError::overflow(
+            "random_regular",
+            format!("vertex count {n} exceeds the u32 stub index"),
+        ));
+    }
+    let num_stubs = n
+        .checked_mul(d)
+        .ok_or_else(|| GraphError::overflow("random_regular", format!("stub count {n} * {d}")))?;
+    if !num_stubs.is_multiple_of(2) {
         return Err(GraphError::invalid(format!(
             "random_regular requires n*d even (got n={n}, d={d})"
         )));
@@ -70,9 +82,9 @@ pub fn random_regular<R: Rng + ?Sized>(
 
     'attempt: for _ in 0..REGULAR_MAX_ATTEMPTS {
         // Stub list: vertex v appears once per unit of residual degree.
-        let mut stubs: Vec<u32> = (0..n * d).map(|i| (i / d) as u32).collect();
-        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
-        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+        let mut stubs: Vec<u32> = (0..num_stubs).map(|i| (i / d) as u32).collect();
+        let mut seen = std::collections::HashSet::with_capacity(num_stubs / 2);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(num_stubs / 2);
         while !stubs.is_empty() {
             // A uniform stub pair is valid unless it is a loop or repeats
             // an edge. If the remaining stubs admit no valid pair at all,
@@ -250,9 +262,12 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
             "watts_strogatz requires beta in [0, 1] (got {beta})"
         )));
     }
+    let lattice_edges = n.checked_mul(k).map(|nk| nk / 2).ok_or_else(|| {
+        GraphError::overflow("watts_strogatz", format!("edge count {n} * {k} / 2"))
+    })?;
     // Edge set maintained as a hash set of canonical pairs, then built.
     let mut edges: std::collections::HashSet<(usize, usize)> =
-        std::collections::HashSet::with_capacity(n * k / 2);
+        std::collections::HashSet::with_capacity(lattice_edges);
     let canon = |u: usize, v: usize| if u < v { (u, v) } else { (v, u) };
     for u in 0..n {
         for j in 1..=(k / 2) {
@@ -309,10 +324,16 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
             "barabasi_albert requires n >= m + 1 (got n={n}, m={m})"
         )));
     }
-    let mut builder = GraphBuilder::with_capacity(n, m * (m + 1) / 2 + (n - m - 1) * m)?;
+    let overflow =
+        || GraphError::overflow("barabasi_albert", format!("edge budget for n={n}, m={m}"));
+    let num_edges = (m * (m + 1) / 2)
+        .checked_add((n - m - 1).checked_mul(m).ok_or_else(overflow)?)
+        .ok_or_else(overflow)?;
+    let num_stubs = num_edges.checked_mul(2).ok_or_else(overflow)?;
+    let mut builder = GraphBuilder::with_capacity(n, num_edges)?;
     // `stubs` holds each vertex once per unit of degree; sampling a uniform
     // element is exactly degree-proportional sampling.
-    let mut stubs: Vec<usize> = Vec::with_capacity(2 * m * n);
+    let mut stubs: Vec<usize> = Vec::with_capacity(num_stubs);
     for u in 0..=m {
         for v in (u + 1)..=m {
             builder.add_edge(u, v)?;
@@ -367,6 +388,20 @@ mod tests {
         assert!(random_regular(10, 0, &mut rng).is_err());
         assert!(random_regular(10, 10, &mut rng).is_err());
         assert!(random_regular(5, 3, &mut rng).is_err()); // odd n*d
+    }
+
+    #[test]
+    fn oversized_requests_fail_loudly_before_allocating() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Each of these would overflow an intermediate size product (or
+        // the u32 stub index); the typed error must fire eagerly instead
+        // of truncating or aborting on a huge allocation.
+        let err = random_regular(u32::MAX as usize + 2, 2, &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::SizeOverflow { .. }), "{err:?}");
+        let err = watts_strogatz(usize::MAX / 2, 4, 0.0, &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::SizeOverflow { .. }), "{err:?}");
+        let err = barabasi_albert(usize::MAX / 2, 3, &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::SizeOverflow { .. }), "{err:?}");
     }
 
     #[test]

@@ -365,14 +365,21 @@ impl CampaignReport {
                 out.push_str(&format!(" {w}={c}"));
             }
             out.push('\n');
-            let steps: Vec<f64> = self
-                .outcomes
-                .values()
-                .filter_map(|o| match o {
-                    TrialOutcome::Converged { steps, .. } => Some(*steps as f64),
-                    _ => None,
-                })
-                .collect();
+        }
+        // The phase-step summary is always present so downstream parsers
+        // see a well-formed report even when no trial converged (an
+        // all-timeout or all-panicked campaign must degrade, not vanish).
+        let steps: Vec<f64> = self
+            .outcomes
+            .values()
+            .filter_map(|o| match o {
+                TrialOutcome::Converged { steps, .. } => Some(*steps as f64),
+                _ => None,
+            })
+            .collect();
+        if steps.is_empty() {
+            out.push_str("steps-to-consensus none (no converged trials)\n");
+        } else {
             let s = crate::stats::Summary::from_iter(steps);
             out.push_str(&format!(
                 "steps-to-consensus mean={:.1} min={} max={}\n",
@@ -416,13 +423,25 @@ fn metrics_of(outcomes: &BTreeMap<usize, TrialOutcome>) -> MetricsRegistry {
         "outcomes.converged_rate",
         converged_steps.len() as f64 / outcomes.len() as f64,
     );
-    if !converged_steps.is_empty() {
-        // Bounds from the observed extremes: a pure function of the
-        // outcome set, so resumed and uninterrupted campaigns bin alike.
-        let lo = *converged_steps.iter().min().unwrap() as f64;
-        let hi = *converged_steps.iter().max().unwrap() as f64 + 1.0;
+    // Bounds from the observed extremes: a pure function of the outcome
+    // set, so resumed and uninterrupted campaigns bin alike.  A fold
+    // (rather than `min().unwrap()`) keeps the all-timeout/all-panicked
+    // case total: with no converged trials there is simply no histogram.
+    let extremes = converged_steps
+        .iter()
+        .fold(None::<(u64, u64)>, |acc, &s| match acc {
+            None => Some((s, s)),
+            Some((lo, hi)) => Some((lo.min(s), hi.max(s))),
+        });
+    if let Some((lo, hi)) = extremes {
         for s in &converged_steps {
-            m.observe("steps.to_consensus", lo, hi, 8, *s as f64);
+            m.observe(
+                "steps.to_consensus",
+                lo as f64,
+                hi as f64 + 1.0,
+                8,
+                *s as f64,
+            );
         }
     }
     m
@@ -1479,5 +1498,30 @@ mod tests {
         assert!(text.contains("winners 3=1"));
         assert!(!report.is_complete());
         assert!(report.is_degraded());
+    }
+
+    #[test]
+    fn all_timeout_campaign_reports_instead_of_panicking() {
+        // Regression: with a budget so small no trial converges, the
+        // step statistics used to reach min()/max() over an empty
+        // converged set.  The campaign must finish, render a well-formed
+        // report with an explicit empty phase-step summary, and stay on
+        // the degraded (exit 3) path.
+        let mut cfg = CampaignConfig::new(4, 77);
+        cfg.threads = 1;
+        let report = run_campaign(&cfg, |_ctx| TrialOutcome::Timeout { steps: 1 }).unwrap();
+        assert!(report.is_complete());
+        assert!(report.is_degraded());
+        assert_eq!(report.counts(), (0, 0, 4, 0));
+        let text = report.render();
+        assert!(
+            text.contains("steps-to-consensus none (no converged trials)"),
+            "{text}"
+        );
+        assert!(!text.contains("winners"), "{text}");
+        let metrics = report.metrics();
+        let rendered = metrics.render();
+        assert!(rendered.contains("outcomes.timeout"), "{rendered}");
+        assert!(!rendered.contains("steps.to_consensus"), "{rendered}");
     }
 }
