@@ -18,11 +18,15 @@
 //!   `regular8_1k` — both arms replay identical seeded trajectories, so
 //!   the ratio is pure per-step engine overhead plus the batch engine's
 //!   amortised setup.
+//! * `kernels`: the same eight-lane batch workload forced through every
+//!   kernel tier the host supports (`scalar`, `swar`, `avx2`, `avx512`
+//!   via `set_kernel_tier`) — the tiers replay bit-identical
+//!   trajectories, so the arm ratios isolate the vector drives.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use div_core::{
     init, BatchProcess, BiasedVertexScheduler, DivProcess, EdgeScheduler, FastProcess, FastRng,
-    FastScheduler, FinishPolicy, OpinionState, VertexScheduler,
+    FastScheduler, FinishPolicy, KernelTier, OpinionState, VertexScheduler,
 };
 use div_graph::generators;
 use rand::rngs::StdRng;
@@ -329,12 +333,56 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batch engine's kernel tiers against each other: the identical
+/// eight-lane workload forced through every tier the host supports
+/// (`scalar`, `swar`, `avx2`, `avx512`).  All tiers replay the same
+/// trajectories bit-exactly (DESIGN.md §3.4), so the arm ratios isolate
+/// the vector drives' throughput — unsupported tiers are skipped rather
+/// than measured as something else.
+fn bench_kernels(c: &mut Criterion) {
+    const BUDGET: u64 = 20_000;
+    const LANES: usize = 8;
+    let mut group = c.benchmark_group("ablation/kernels");
+    group.sample_size(10);
+    let mut grng = StdRng::seed_from_u64(1);
+    let graphs = [
+        ("complete_1k", generators::complete(1000).unwrap()),
+        (
+            "regular8_1k",
+            generators::random_regular(1000, 8, &mut grng).unwrap(),
+        ),
+    ];
+    let seeds: Vec<u64> = (0..LANES as u64).map(|t| 0xBA7C ^ (t * 0x9E37)).collect();
+    for (gname, g) in &graphs {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            init::uniform_random(g.num_vertices(), 9, &mut rng).unwrap()
+        };
+        for tier in KernelTier::supported() {
+            group.bench_function(format!("{gname}/{}_x{LANES}", tier.name()), |b| {
+                b.iter_batched(
+                    mk,
+                    |ops| {
+                        let mut p = BatchProcess::new(g, ops, FastScheduler::Edge, &seeds).unwrap();
+                        p.set_kernel_tier(tier);
+                        p.run_to_consensus(BUDGET);
+                        (0..LANES).map(|l| p.steps(l)).sum::<u64>()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_edge_sampling,
     bench_aggregate_maintenance,
     bench_early_stop,
     bench_engine,
-    bench_batch
+    bench_batch,
+    bench_kernels
 );
 criterion_main!(benches);

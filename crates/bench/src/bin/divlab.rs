@@ -11,7 +11,7 @@
 //! divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex]
 //!                 [--engine reference|fast|batch] [--seed N] [--faults SPEC]
 //!                 [--budget N] [--sample-every K]
-//! divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch]
+//! divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch|sharded]
 //!                 [--seed N] [--trials N]
 //!                 [--faults SPEC] [--budget N] [--checkpoint PATH] [--resume]
 //! divlab spectral --graph SPEC [--seed N]
@@ -127,7 +127,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch|sharded] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--shards P] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast),\n              sharded (--shards P concurrent vertex domains per trial on --threads T std threads;\n              deterministic for fixed seed+P, built for million-vertex single trials)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch|sharded] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--shards P] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch|sharded] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--shards P] [--threads T] [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast),\n              sharded (--shards P concurrent vertex domains per trial on --threads T std threads;\n              deterministic for fixed seed+P, built for million-vertex single trials)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
     );
     exit(0);
 }
@@ -1199,9 +1199,9 @@ fn cmd_compare_inner(
     let (graph, opinions, _) = setup(opts)?;
     let trials: usize = parse_opt(opts, "trials")?.unwrap_or(50);
     let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let engine = resolve_engine(opts)?;
     let faults_spec = opts.map_or_default("faults", "none");
     let faults = FaultPlan::parse(&faults_spec)?;
+    let engine = demote_sharded_for_faults(resolve_engine(opts)?, &faults);
     faults.session(&opinions).map_err(|e| e.to_string())?;
     let budget: u64 = parse_opt(opts, "budget")?.unwrap_or(if faults.is_trivial() {
         u64::MAX
@@ -1231,7 +1231,31 @@ fn cmd_compare_inner(
     let gspec = opts.map_or_default("graph", "");
     let ispec = opts.map_or_default("init", "uniform:5");
     cfg.tag = format!("compare div {gspec} {ispec} {engine} {faults_spec} {budget}");
-    let report = if engine == "batch" {
+    let report = if engine == "sharded" {
+        // Each trial is internally parallel (P shard domains on
+        // `--threads` workers) and trials run one at a time, exactly as
+        // a standalone sharded campaign does — so the div row here is
+        // the same pure function of (seed ^ 3, shards) as `divlab
+        // campaign --engine sharded` with that master seed.
+        let (shards, shard_threads) = parse_shard_knobs(opts)?;
+        if shards > graph.num_vertices() {
+            return Err(format!(
+                "--shards {shards} exceeds the graph's {} vertices",
+                graph.num_vertices()
+            ));
+        }
+        cfg.threads = 1;
+        run_campaign_monitored(&cfg, monitor, |ctx| {
+            sharded_trial(
+                &graph,
+                &opinions,
+                FastScheduler::Edge,
+                shards,
+                shard_threads,
+                ctx,
+            )
+        })
+    } else if engine == "batch" {
         let (lanes, threads) = parse_batch_knobs(opts)?;
         cfg.threads = threads;
         run_campaign_batched_monitored(

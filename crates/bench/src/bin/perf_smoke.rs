@@ -41,7 +41,19 @@
 //! `campaign_steps_per_sec` for each arm — both engines execute the
 //! bit-identical trajectories, so the ratio is pure engine overhead.
 //!
-//! A fourth section benchmarks the sharded-domain engine
+//! A fourth section records the runtime-dispatched SIMD kernel layer
+//! ([`div_core::kernels`]): a fixed *sweep* campaign (every vertex at a
+//! distinct opinion, so the full step budget runs in the wide-interval
+//! regime the kernels optimize, with no consensus-tail variance) is run
+//! single-threaded with the kernel tier pinned to each tier the host
+//! supports (`scalar`, `swar`, `avx2`, `avx512`), and the JSON gains a
+//! `simd` block with the selected tier, the host's vector CPU features
+//! and per-tier `ns_per_lane_step` / campaign throughput.  On AVX2
+//! hosts `--check-overhead` additionally gates the selected tier's
+//! sweep-campaign speedup on `complete_1k` at ≥ 2.8× the scalar engine;
+//! hosts without AVX2 record `"gate": "skipped (no avx2)"` instead.
+//!
+//! A fifth section benchmarks the sharded-domain engine
 //! ([`div_core::ShardedProcess`]): one million-vertex trial (8-regular
 //! circulant, 8 shard domains) timed on 1, 2 and 4 worker threads
 //! against the scalar fast engine on the same workload.  The JSON gains
@@ -54,7 +66,7 @@
 use std::time::Instant;
 
 use div_core::{
-    init, BatchProcess, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler,
+    init, BatchProcess, DivProcess, EdgeScheduler, FastProcess, FastRng, FastScheduler, KernelTier,
     NullObserver, RunStatus, Scheduler, ShardedProcess, VertexScheduler,
 };
 use div_graph::{generators, Graph};
@@ -92,8 +104,18 @@ const SHARD_MASTER: u64 = 0x5AAD;
 /// measure scaling and skips the gate with a note.
 const SHARD_SCALING_GATE: f64 = 2.5;
 
+/// Minimum batch-campaign : scalar-campaign throughput ratio at
+/// `K = DEFAULT_LANES` lanes on one thread — the SIMD kernel acceptance
+/// gate.  Evaluated on `complete_1k` (the paper's canonical family and
+/// the densest per-step workload) with the auto-selected kernel tier;
+/// hosts without AVX2 cannot run the vector drives and skip the gate
+/// with a recorded reason instead of failing.
+const SIMD_SPEEDUP_GATE: f64 = 2.8;
+
 fn usage() -> ! {
-    eprintln!("usage: perf_smoke [--steps N] [--out PATH] [--check-overhead [--against OLD.json]]");
+    eprintln!(
+        "usage: perf_smoke [--steps N] [--out PATH] [--check-overhead [--against OLD.json]] [--print-tier]"
+    );
     std::process::exit(2);
 }
 
@@ -318,14 +340,15 @@ impl BatchRow {
     }
 }
 
-/// Runs the fixed campaign workload trial by trial through the scalar
-/// fast engine, returning (total ns, total steps).
-fn scalar_campaign(g: &Graph, budget: u64) -> (f64, u64) {
+/// Runs a fixed campaign workload (`trials` seeded trials with `ops`
+/// initial opinions) trial by trial through the scalar fast engine,
+/// returning (total ns, total steps).
+fn scalar_campaign(g: &Graph, ops: &[i64], trials: usize, budget: u64) -> (f64, u64) {
     let start = Instant::now();
     let mut total = 0u64;
-    for trial in 0..BATCH_TRIALS {
+    for trial in 0..trials {
         let seed = SeedSequence::seed_for(BATCH_MASTER, trial as u64);
-        let mut p = FastProcess::new(g, opinions_for(g), FastScheduler::Edge).unwrap();
+        let mut p = FastProcess::new(g, ops.to_vec(), FastScheduler::Edge).unwrap();
         let mut rng = FastRng::seed_from_u64(seed);
         p.run_to_consensus(budget, &mut rng);
         total += p.steps();
@@ -337,14 +360,26 @@ fn scalar_campaign(g: &Graph, budget: u64) -> (f64, u64) {
 /// `threads` workers, returning (total ns, total steps).  Seeds come from
 /// the same [`SeedSequence`], so every lane replays the scalar arm's
 /// trajectory bit-exactly — asserted by the caller via the step totals.
-fn batch_campaign(g: &Graph, lanes: usize, threads: usize, budget: u64) -> (f64, u64) {
+/// `tier` pins a kernel tier for the per-tier SIMD section; `None` keeps
+/// the engine's auto-selected tier (the production configuration).
+fn batch_campaign(
+    g: &Graph,
+    ops: &[i64],
+    trials: usize,
+    lanes: usize,
+    threads: usize,
+    budget: u64,
+    tier: Option<KernelTier>,
+) -> (f64, u64) {
     let start = Instant::now();
-    let per_trial: Vec<u64> =
-        run_lane_groups(BATCH_TRIALS, BATCH_MASTER, lanes, threads, |_, seeds| {
-            let mut b = BatchProcess::new(g, opinions_for(g), FastScheduler::Edge, seeds).unwrap();
-            b.run_to_consensus(budget);
-            (0..seeds.len()).map(|l| b.steps(l)).collect()
-        });
+    let per_trial: Vec<u64> = run_lane_groups(trials, BATCH_MASTER, lanes, threads, |_, seeds| {
+        let mut b = BatchProcess::new(g, ops.to_vec(), FastScheduler::Edge, seeds).unwrap();
+        if let Some(t) = tier {
+            b.set_kernel_tier(t);
+        }
+        b.run_to_consensus(budget);
+        (0..seeds.len()).map(|l| b.steps(l)).collect()
+    });
     (start.elapsed().as_nanos() as f64, per_trial.iter().sum())
 }
 
@@ -358,14 +393,16 @@ fn measure_batch(budget: u64) -> Vec<BatchRow> {
         let (mut scalar_ns, mut batch1_ns, mut batch4_ns) =
             (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         let (mut scalar_steps, mut batch_steps) = (0u64, 0u64);
+        let ops = opinions_for(&g);
         for _ in 0..3 {
-            let (ns, steps) = scalar_campaign(&g, budget);
+            let (ns, steps) = scalar_campaign(&g, &ops, BATCH_TRIALS, budget);
             scalar_ns = scalar_ns.min(ns);
             scalar_steps = steps;
-            let (ns, steps) = batch_campaign(&g, DEFAULT_LANES, 1, budget);
+            let (ns, steps) =
+                batch_campaign(&g, &ops, BATCH_TRIALS, DEFAULT_LANES, 1, budget, None);
             batch1_ns = batch1_ns.min(ns);
             batch_steps = steps;
-            let (ns, _) = batch_campaign(&g, DEFAULT_LANES, 4, budget);
+            let (ns, _) = batch_campaign(&g, &ops, BATCH_TRIALS, DEFAULT_LANES, 4, budget, None);
             batch4_ns = batch4_ns.min(ns);
         }
         assert_eq!(
@@ -386,6 +423,163 @@ fn measure_batch(budget: u64) -> Vec<BatchRow> {
         }
     }
     out
+}
+
+/// One per-tier SIMD measurement: the fixed batch campaign at
+/// `K = DEFAULT_LANES` lanes on one thread, forced to one kernel tier.
+struct SimdTierRow {
+    tier: &'static str,
+    graph: &'static str,
+    ns_per_lane_step: f64,
+    campaign_steps_per_sec: f64,
+    /// Campaign throughput relative to the scalar fast engine running
+    /// the same trials trial-by-trial.
+    speedup: f64,
+}
+
+/// The SIMD kernel section: which tier auto-selection picked, the CPU
+/// features that drove the choice, and the per-tier campaign
+/// measurements (every tier replays the identical trajectories, so the
+/// ratios are pure kernel throughput).
+struct SimdSection {
+    lanes: usize,
+    selected: &'static str,
+    cpu_features: String,
+    rows: Vec<SimdTierRow>,
+}
+
+impl SimdSection {
+    /// The gate quantity: the auto-selected tier's campaign speedup on
+    /// `complete_1k`, or `None` off x86 AVX2 (gate skips).
+    fn gate_speedup(&self) -> Option<f64> {
+        if !KernelTier::Avx2.is_supported() {
+            return None;
+        }
+        self.rows
+            .iter()
+            .find(|r| r.tier == self.selected && r.graph == "complete_1k")
+            .map(|r| r.speedup)
+    }
+}
+
+/// The vector-relevant CPU features of the host, space-separated — the
+/// provenance line for the recorded per-tier numbers.
+fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut out = Vec::new();
+        for (name, have) in [
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("avx512f", is_x86_feature_detected!("avx512f")),
+            ("avx512dq", is_x86_feature_detected!("avx512dq")),
+            ("avx512bw", is_x86_feature_detected!("avx512bw")),
+            ("avx512vl", is_x86_feature_detected!("avx512vl")),
+        ] {
+            if have {
+                out.push(name);
+            }
+        }
+        if out.is_empty() {
+            "none".to_string()
+        } else {
+            out.join(" ")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "non-x86_64".to_string()
+    }
+}
+
+/// Trials in the SIMD sweep campaign — one full lane group.
+const SIMD_TRIALS: usize = 8;
+
+/// The SIMD sections' sweep workload: every vertex starts at a distinct
+/// opinion, so the ±1 increments cannot collapse the interval within
+/// any realistic step budget.  This is the regime the kernels optimize
+/// — the long wide-interval phase of the incremental process — and it
+/// keeps every arm on bit-identical full-budget trajectories, free of
+/// the consensus-tail variance the converging `batch` block reports.
+fn sweep_opinions(g: &Graph) -> Vec<i64> {
+    let n = g.num_vertices();
+    init::spread(n, n).unwrap()
+}
+
+/// Measures the fixed sweep campaign under **every** kernel tier the
+/// host supports, single-threaded, on both benchmark graphs.  Rounds
+/// interleave the scalar-engine baseline with all tiers so machine
+/// drift hits every arm equally; each arm keeps its best round.
+fn measure_simd(budget: u64) -> SimdSection {
+    let tiers = KernelTier::supported();
+    let mut rows = Vec::new();
+    for (gname, g) in graphs() {
+        let ops = sweep_opinions(&g);
+        let mut scalar_ns = f64::INFINITY;
+        let mut tier_ns = vec![f64::INFINITY; tiers.len()];
+        let mut steps = 0u64;
+        for _ in 0..3 {
+            let (ns, s) = scalar_campaign(&g, &ops, SIMD_TRIALS, budget);
+            scalar_ns = scalar_ns.min(ns);
+            steps = s;
+            for (slot, &t) in tiers.iter().enumerate() {
+                let (ns, ts) =
+                    batch_campaign(&g, &ops, SIMD_TRIALS, DEFAULT_LANES, 1, budget, Some(t));
+                assert_eq!(s, ts, "tier {} diverged from the scalar replay", t.name());
+                tier_ns[slot] = tier_ns[slot].min(ns);
+            }
+        }
+        for (slot, &t) in tiers.iter().enumerate() {
+            rows.push(SimdTierRow {
+                tier: t.name(),
+                graph: gname,
+                ns_per_lane_step: tier_ns[slot] / steps as f64,
+                campaign_steps_per_sec: steps as f64 / (tier_ns[slot] * 1e-9),
+                speedup: scalar_ns / tier_ns[slot],
+            });
+        }
+    }
+    SimdSection {
+        lanes: DEFAULT_LANES,
+        selected: KernelTier::active().name(),
+        cpu_features: cpu_features(),
+        rows,
+    }
+}
+
+/// The live SIMD acceptance gate: on hosts with AVX2, the batch
+/// campaign under the auto-selected tier must beat the scalar campaign
+/// by at least [`SIMD_SPEEDUP_GATE`]× on `complete_1k` at
+/// `K = DEFAULT_LANES`, T=1.  Hosts without AVX2 skip with a note —
+/// the SWAR tier helps but is not held to the vector bar.  Returns
+/// whether the gate failed.
+fn check_simd_speedup(budget: u64) -> bool {
+    if !KernelTier::Avx2.is_supported() {
+        println!("simd gate: AVX2 unavailable on this host; skipped");
+        return false;
+    }
+    let g = graphs().remove(0).1;
+    let ops = sweep_opinions(&g);
+    let tier = KernelTier::active();
+    let (mut scalar_ns, mut batch_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (ns, _) = scalar_campaign(&g, &ops, SIMD_TRIALS, budget);
+        scalar_ns = scalar_ns.min(ns);
+        let (ns, _) = batch_campaign(&g, &ops, SIMD_TRIALS, DEFAULT_LANES, 1, budget, Some(tier));
+        batch_ns = batch_ns.min(ns);
+    }
+    let speedup = scalar_ns / batch_ns;
+    println!(
+        "simd gate (complete_1k, K={DEFAULT_LANES}, tier {}): campaign speedup {speedup:.2}x (gate >= {SIMD_SPEEDUP_GATE}x)",
+        tier.name()
+    );
+    if speedup < SIMD_SPEEDUP_GATE {
+        eprintln!(
+            "FAIL: {} kernels speed the campaign up only {speedup:.2}x (gate {SIMD_SPEEDUP_GATE}x)",
+            tier.name()
+        );
+        return true;
+    }
+    false
 }
 
 /// One sharded-engine single-trial measurement on the million-vertex
@@ -535,6 +729,24 @@ fn recorded_ratios(text: &str, section: &str, field: &str) -> Option<Vec<f64>> {
     Some(out)
 }
 
+/// Extracts the `"gate": "..."` skip-reason string recorded inside the
+/// given top-level section, if any (sections record it in place of the
+/// gate number when a gate self-skipped at measurement time).
+fn recorded_skip_reason(text: &str, section: &str) -> Option<String> {
+    let start = text.find(&format!("\"{section}\""))?;
+    let body = &text[start..];
+    let end = body
+        .find("\n  \"")
+        .map(|i| i + 1)
+        .unwrap_or_else(|| body.rfind('}').unwrap_or(body.len()));
+    let body = &body[..end];
+    let i = body.find("\"gate\":")?;
+    let rest = body[i + "\"gate\":".len()..]
+        .trim_start()
+        .strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// `--check-overhead --against OLD.json`: re-validates the overhead arms
 /// recorded in an existing BENCH file against the current limit, skipping
 /// arms the file predates (older schemas) instead of erroring.  Returns
@@ -574,23 +786,57 @@ fn check_recorded_overheads(path: &str) -> i32 {
             }
         }
     }
+    // The simd gate applies only to files recorded on an AVX2 host; a
+    // skip is recorded as a `"gate": "skipped (...)"` string instead of
+    // a `gate_speedup` number, and pre-simd files lack the section.
+    match recorded_ratios(&text, "simd", "gate_speedup") {
+        None => println!("simd: absent from {path} (older schema); skipped"),
+        Some(speedups) => match speedups.first() {
+            None => {
+                let reason = recorded_skip_reason(&text, "simd");
+                println!(
+                    "simd: gate {} in {path}; skipped",
+                    reason.as_deref().unwrap_or("not recorded")
+                );
+            }
+            Some(&s) => {
+                let verdict = if s < SIMD_SPEEDUP_GATE { "FAIL" } else { "ok" };
+                println!(
+                    "simd: recorded campaign speedup {s:.2}x (gate >= {SIMD_SPEEDUP_GATE}x) {verdict}"
+                );
+                failed |= s < SIMD_SPEEDUP_GATE;
+            }
+        },
+    }
     // The shard scaling gate applies only to files recorded on a ≥ 4-core
     // machine — a 1-core container's T=4 arm measures timeslicing, not
-    // scaling.
+    // scaling.  Two recorded shapes exist: newer files replace
+    // `scaling_t4` with a `"gate": "skipped (cores=N)"` string when the
+    // gate could not be measured; older files record a (meaningless)
+    // ratio next to the low core count.  Both are tolerated.
     let cores = recorded_ratios(&text, "shard", "cores").unwrap_or_default();
     let scalings = recorded_ratios(&text, "shard", "scaling_t4").unwrap_or_default();
-    match (cores.first(), scalings.first()) {
-        (None, _) | (_, None) => println!("shard: absent from {path} (older schema); skipped"),
-        (Some(&c), Some(_)) if c < 4.0 => {
+    match cores.first() {
+        None => println!("shard: absent from {path} (older schema); skipped"),
+        Some(&c) if c < 4.0 => {
             println!("shard: recorded on {c:.0} core(s) (< 4); scaling gate skipped")
         }
-        (Some(_), Some(&s)) => {
-            let verdict = if s < SHARD_SCALING_GATE { "FAIL" } else { "ok" };
-            println!(
-                "shard: recorded T=4 scaling {s:.2}x (gate >= {SHARD_SCALING_GATE}x) {verdict}"
-            );
-            failed |= s < SHARD_SCALING_GATE;
-        }
+        Some(_) => match scalings.first() {
+            None => {
+                let reason = recorded_skip_reason(&text, "shard");
+                println!(
+                    "shard: gate {} in {path}; skipped",
+                    reason.as_deref().unwrap_or("not recorded")
+                );
+            }
+            Some(&s) => {
+                let verdict = if s < SHARD_SCALING_GATE { "FAIL" } else { "ok" };
+                println!(
+                    "shard: recorded T=4 scaling {s:.2}x (gate >= {SHARD_SCALING_GATE}x) {verdict}"
+                );
+                failed |= s < SHARD_SCALING_GATE;
+            }
+        },
     }
     if failed {
         1
@@ -616,6 +862,14 @@ fn main() {
                 None => usage(),
             },
             "--check-overhead" => check_overhead = true,
+            // The tier the kernel dispatcher would pick on this host
+            // (after any DIV_KERNELS override), one word on stdout — CI
+            // uses this to assert the selected tier is among the forced
+            // tiers its matrix actually exercised.
+            "--print-tier" => {
+                println!("{}", KernelTier::active().name());
+                return;
+            }
             "--against" => match args.next() {
                 Some(path) => against = Some(path),
                 None => usage(),
@@ -654,6 +908,7 @@ fn main() {
                 failed = true;
             }
         }
+        failed |= check_simd_speedup(steps);
         failed |= check_shard_scaling(steps);
         if failed {
             std::process::exit(1);
@@ -683,6 +938,7 @@ fn main() {
 
     let overheads = measure_overheads(steps);
     let batch_rows = measure_batch(steps);
+    let simd = measure_simd(steps);
     let shard = measure_shard(steps);
 
     // Hand-rolled JSON: the workspace deliberately has no serializer
@@ -724,9 +980,38 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
+        "  \"simd\": {{\"lanes\": {}, \"selected\": \"{}\", \"cpu_features\": \"{}\", ",
+        simd.lanes, simd.selected, simd.cpu_features
+    ));
+    match simd.gate_speedup() {
+        Some(s) => json.push_str(&format!("\"gate_speedup\": {s:.2}, \"rows\": [\n")),
+        None => json.push_str("\"gate\": \"skipped (no avx2)\", \"rows\": [\n"),
+    }
+    for (i, r) in simd.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tier\": \"{}\", \"graph\": \"{}\", \"ns_per_lane_step\": {:.2}, \
+             \"campaign_steps_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.tier,
+            r.graph,
+            r.ns_per_lane_step,
+            r.campaign_steps_per_sec,
+            r.speedup,
+            if i + 1 < simd.rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    // The scaling ratio is only recorded where it means something: on
+    // a < 4-core machine the T=4 arm measures timeslicing, so the gate
+    // records its skip reason instead of a bogus number.
+    let shard_gate = if shard.cores >= 4 {
+        format!("\"scaling_t4\": {:.2}", shard.scaling_t4)
+    } else {
+        format!("\"gate\": \"skipped (cores={})\"", shard.cores)
+    };
+    json.push_str(&format!(
         "  \"shard\": {{\"graph\": \"{}\", \"process\": \"div_edge\", \"n\": {}, \"shards\": {}, \
-         \"cores\": {}, \"fast_ns_per_step\": {:.2}, \"scaling_t4\": {:.2}, \"rows\": [\n",
-        shard.graph, shard.n, shard.shards, shard.cores, shard.fast_ns_per_step, shard.scaling_t4
+         \"cores\": {}, \"fast_ns_per_step\": {:.2}, {shard_gate}, \"rows\": [\n",
+        shard.graph, shard.n, shard.shards, shard.cores, shard.fast_ns_per_step
     ));
     for (i, r) in shard.rows.iter().enumerate() {
         json.push_str(&format!(
@@ -795,6 +1080,21 @@ fn main() {
             b.ns_per_lane_step,
             b.campaign_steps_per_sec,
             b.speedup()
+        );
+    }
+    println!(
+        "simd: selected tier {} (cpu: {})",
+        simd.selected, simd.cpu_features
+    );
+    for r in &simd.rows {
+        println!(
+            "{:>12}/simd K={} tier {:6}  {:5.2} ns/lane-step   campaign {:>12.0} steps/s   speedup {:4.2}x",
+            r.graph,
+            simd.lanes,
+            r.tier,
+            r.ns_per_lane_step,
+            r.campaign_steps_per_sec,
+            r.speedup
         );
     }
     for r in &shard.rows {

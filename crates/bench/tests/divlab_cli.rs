@@ -274,6 +274,70 @@ fn compare_with_batch_engine_matches_fast_div_row() {
 }
 
 #[test]
+fn compare_with_sharded_engine_matches_standalone_sharded_campaign() {
+    // compare's div row runs with master seed `seed ^ 3`, so the
+    // standalone sharded campaign below (master 13 ^ 3 = 14, same
+    // graph/init/shards) replays the identical trials and must report
+    // the identical winner histogram.  The seed-independent `spread`
+    // init keeps the initial opinions identical across the two seeds.
+    let compare = divlab(&[
+        "compare",
+        "--graph",
+        "complete:24",
+        "--init",
+        "spread:5",
+        "--trials",
+        "6",
+        "--seed",
+        "13",
+        "--engine",
+        "sharded",
+        "--shards",
+        "3",
+    ]);
+    assert!(compare.status.success(), "stderr: {}", stderr(&compare));
+    let compare_out = stdout(&compare);
+    let row = compare_out
+        .lines()
+        .find(|l| l.starts_with("div "))
+        .unwrap_or_else(|| panic!("no div row in:\n{compare_out}"));
+
+    let campaign = divlab(&[
+        "campaign",
+        "--graph",
+        "complete:24",
+        "--init",
+        "spread:5",
+        "--trials",
+        "6",
+        "--seed",
+        "14",
+        "--engine",
+        "sharded",
+        "--shards",
+        "3",
+    ]);
+    assert!(campaign.status.success(), "stderr: {}", stderr(&campaign));
+    let campaign_out = stdout(&campaign);
+    let winners = campaign_out
+        .lines()
+        .find(|l| l.starts_with("winners"))
+        .unwrap_or_else(|| panic!("no winners line in:\n{campaign_out}"));
+    let pairs: Vec<(&str, &str)> = winners
+        .trim_start_matches("winners")
+        .split_whitespace()
+        .map(|pair| pair.split_once('=').expect("winners are op=count"))
+        .collect();
+    assert!(!pairs.is_empty(), "empty histogram in:\n{campaign_out}");
+    for (op, count) in pairs {
+        assert!(
+            row.contains(&format!("{op}: {count}")),
+            "compare div row {row:?} missing {op}: {count} from standalone campaign"
+        );
+    }
+}
+
+#[test]
 fn zero_lanes_is_a_usage_error() {
     let out = divlab(&[
         "campaign",

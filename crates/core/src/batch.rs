@@ -33,11 +33,14 @@
 //! offsets per lane (`opinions[l * n + v]`), half the bytes of the
 //! scalar engine's `u32` state, so `K` in-flight trials fit in cache
 //! together and column scans, snapshots and rewinds are straight-line
-//! `memcpy`/scan loops.  (Packing lanes into shared wide words was
-//! considered and rejected: each lane steps an independently drawn
-//! vertex, so cross-lane SIMD on the opinion update never aligns; the
-//! win comes from sharing the compiled instance and amortising the
-//! bookkeeping, not from sharing arithmetic.)  The per-lane stat
+//! `memcpy`/scan loops.  Cross-lane SIMD on the *opinion words* never
+//! aligns (each lane steps an independently drawn vertex), but the
+//! *draw* does: on the SWAR and AVX2 [`crate::kernels`] tiers the drive
+//! phase steps active lanes in lockstep groups of four, generating four
+//! xoshiro words and four masked Lemire draws per vector operation while
+//! the toward-stores stay per-lane — see [`crate::KernelTier`] for the
+//! dispatch ladder and the module docs of [`crate::kernels`] for why
+//! every tier is bit-exact.  The per-lane stat
 //! registers (`S(t)`, `Z(t)`, min/max, distinct, `N_i(t)`) are derived
 //! from the columns by contiguous scans when read; they never burden
 //! the hot loop.
@@ -105,6 +108,7 @@ use rand::SeedableRng;
 use crate::engine::{bounded_u32_half, bounded_u64, CompiledSampler};
 use crate::error::DivError;
 use crate::fault::{FaultPlan, FaultStats};
+use crate::kernels::{self, KernelTier};
 use crate::process::RunStatus;
 use crate::rng::FastRng;
 use crate::scheduler::SelectionBias;
@@ -130,6 +134,10 @@ pub struct BatchProcess<'g> {
     opinions: Vec<u16>,
     steps: Vec<u64>,
     rngs: Vec<FastRng>,
+    /// Which kernel tier drives the hot loop (see [`crate::kernels`]).
+    /// Pure performance knob: every tier is bit-exact, so changing it
+    /// can never change a result.
+    tier: KernelTier,
 }
 
 impl<'g> BatchProcess<'g> {
@@ -191,7 +199,32 @@ impl<'g> BatchProcess<'g> {
             opinions: soa,
             steps: vec![0u64; lanes],
             rngs: seeds.iter().map(|&s| FastRng::seed_from_u64(s)).collect(),
+            tier: KernelTier::active(),
         })
+    }
+
+    /// The kernel tier currently driving this batch.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Pins the kernel tier, overriding both autodetection and the
+    /// `DIV_KERNELS` environment override.  Results are identical on
+    /// every tier (the bit-exactness contract); this hook exists so
+    /// tests and benchmarks can exercise a specific tier without racing
+    /// on process-global environment state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current CPU does not support `tier` — a pinned tier
+    /// must never degrade silently.
+    pub fn set_kernel_tier(&mut self, tier: KernelTier) {
+        assert!(
+            tier.is_supported(),
+            "kernel tier {} is not supported on this CPU",
+            tier.name()
+        );
+        self.tier = tier;
     }
 
     /// The number of lanes.
@@ -216,14 +249,9 @@ impl<'g> BatchProcess<'g> {
     }
 
     /// Smallest and largest offset currently held in lane `l` (one
-    /// contiguous `O(n)` scan).
+    /// contiguous `O(n)` scan, vectorised per the active kernel tier).
     fn column_min_max(&self, l: usize) -> (u16, u16) {
-        let (mut mn, mut mx) = (u16::MAX, 0u16);
-        for &x in self.column(l) {
-            mn = mn.min(x);
-            mx = mx.max(x);
-        }
-        (mn, mx)
+        kernels::min_max_u16(self.column(l), self.tier)
     }
 
     fn width(&self, l: usize) -> u16 {
@@ -393,11 +421,15 @@ impl<'g> BatchProcess<'g> {
     /// The hot loop: every lane above `stop_width` takes at most
     /// `max_steps` additional steps, in blocks of `B = max(n, 1024)`
     /// bare toward-steps per lane (see the module docs for the
-    /// block/scan/rewind scheme).  Lanes are driven one at a time per
-    /// block — they never interact, so per-lane order is equivalent to
-    /// round-lockstep order and keeps the lane's RNG in registers.  The
-    /// sampler variant is matched **once** out here so each lane's block
-    /// loop is monomorphic.
+    /// block/scan/rewind scheme).  On the SWAR/AVX2 kernel tiers, active
+    /// lanes are driven in lockstep groups of eight or four through
+    /// [`kernels::drive_group`] (breaking the per-lane RNG dependency
+    /// chain); leftover lanes — and every lane on the scalar tier or for
+    /// an unaccelerated sampler family — take the lane-at-a-time path.
+    /// Lanes never interact, so group order, per-lane order and
+    /// round-lockstep order are all observationally identical.  The
+    /// sampler variant of the scalar path is matched **once** out here so
+    /// each lane's block loop is monomorphic.
     fn run_width(&mut self, max_steps: u64, stop_width: u16) -> Vec<RunStatus> {
         let k = self.lanes;
         let n = self.initial.len();
@@ -408,8 +440,10 @@ impl<'g> BatchProcess<'g> {
         // overshoot is paid once per lane (the block it finishes in), at
         // scalar replay speed, so large blocks cost almost nothing.
         let block = (4 * n as u64).max(8192);
+        let gw = kernels::group_width(self.tier, &self.sampler);
         let mut remaining = max_steps;
         let mut col_snap: Vec<u16> = vec![0u16; n];
+        let mut group_snap: Vec<u16> = vec![0u16; gw * n];
         let mut counts_scratch: Vec<u32> = Vec::new();
         while remaining > 0 && !active.is_empty() {
             let b = block.min(remaining);
@@ -419,8 +453,10 @@ impl<'g> BatchProcess<'g> {
             // `finished` collects lanes whose end-of-block width is at or
             // below the stop target; they are rewound and replayed below.
             let mut finished: Vec<u32> = Vec::new();
+            let mut grouped = 0usize;
             {
                 let graph = self.graph;
+                let tier = self.tier;
                 let BatchProcess {
                     sampler,
                     opinions,
@@ -428,10 +464,64 @@ impl<'g> BatchProcess<'g> {
                     ..
                 } = self;
 
+                // Kernel-driven lockstep groups, widest first (8-lane
+                // AVX2 groups interleave two RNG register sets; 4-lane
+                // groups cover the remainder and the SWAR tier).
+                macro_rules! drive_chunks {
+                    ($w:literal) => {
+                        while active.len() - grouped >= $w {
+                            let chunk = &active[grouped..grouped + $w];
+                            grouped += $w;
+                            let ranges: [core::ops::Range<usize>; $w] = core::array::from_fn(|j| {
+                                let l = chunk[j] as usize;
+                                l * n..(l + 1) * n
+                            });
+                            let mut cols = opinions
+                                .get_disjoint_mut(ranges)
+                                .expect("lane columns are disjoint");
+                            for (j, col) in cols.iter().enumerate() {
+                                group_snap[j * n..(j + 1) * n].copy_from_slice(col);
+                            }
+                            let snap_rngs: [FastRng; $w] =
+                                core::array::from_fn(|j| rngs[chunk[j] as usize]);
+                            let mut group_rngs = snap_rngs;
+                            kernels::drive_group(
+                                tier,
+                                sampler,
+                                graph,
+                                &mut cols,
+                                &mut group_rngs,
+                                b,
+                            );
+                            for j in 0..$w {
+                                let (mn, mx) = kernels::min_max_u16(cols[j], tier);
+                                if mx - mn <= stop_width {
+                                    // Crossed inside the block: rewind
+                                    // column and RNG (left at the
+                                    // snapshot) to the block start; the
+                                    // settle phase replays to the exact
+                                    // first hit.
+                                    cols[j].copy_from_slice(&group_snap[j * n..(j + 1) * n]);
+                                    finished.push(chunk[j]);
+                                } else {
+                                    rngs[chunk[j] as usize] = group_rngs[j];
+                                }
+                            }
+                        }
+                    };
+                }
+                if gw >= 8 {
+                    drive_chunks!(8);
+                }
+                if gw >= 4 {
+                    drive_chunks!(4);
+                }
+
+                let rest = &active[grouped..];
                 macro_rules! drive {
                     ($pick:expr) => {{
                         let pick = $pick;
-                        for &lane in active.iter() {
+                        for &lane in rest.iter() {
                             let l = lane as usize;
                             let col = &mut opinions[l * n..(l + 1) * n];
                             col_snap.copy_from_slice(col);
@@ -444,11 +534,7 @@ impl<'g> BatchProcess<'g> {
                                 let delta = (xw > xv) as i32 - ((xw < xv) as i32);
                                 col[v as usize] = (xv as i32 + delta) as u16;
                             }
-                            let (mut mn, mut mx) = (u16::MAX, 0u16);
-                            for &x in col.iter() {
-                                mn = mn.min(x);
-                                mx = mx.max(x);
-                            }
+                            let (mn, mx) = kernels::min_max_u16(col, tier);
                             if mx - mn <= stop_width {
                                 // Crossed inside the block: rewind to the
                                 // block start; the settle phase replays to

@@ -1,0 +1,283 @@
+//! AVX-512 kernel tier: eight lane RNGs per `__m512i` (xoshiro state
+//! word `i` of all eight lanes side by side), native 64-bit rotates
+//! (`vprolq`), native unsigned compares straight into `k` mask
+//! registers, and masked redraws as single `vmovdqa64`-with-mask moves.
+//! The draw discipline is the same masked rejection-redraw scheme as
+//! `super::swar` and `super::avx2` — each lane replays its scalar word
+//! stream exactly — but at twice the lane width and roughly half the
+//! instruction count per lane-step of the AVX2 tier.
+//!
+//! Requires F/DQ/BW/VL together (`KernelTier::Avx512.is_supported()`
+//! checks all four): DQ for `vpmullq`-family 64-bit compares/moves, BW
+//! for the `u16` scans, VL so the compiler may narrow freely.
+//!
+//! # Unsafe policy
+//!
+//! Same contract as `avx2.rs` (see the module docs in `super`): every
+//! `pub(super)` entry point is an `unsafe fn` requiring the detected
+//! features; internal `unsafe {}` blocks are size-equal transmutes and
+//! in-bounds vector loads only.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use super::swar::toward;
+use crate::rng::FastRng;
+
+/// `__m512i` → the eight lane values (element 0 = lane 0).
+#[inline]
+#[target_feature(enable = "avx512f")]
+fn lanes_of(v: __m512i) -> [u64; 8] {
+    // SAFETY: __m512i and [u64; 8] are both 64 bytes with no padding and
+    // no invalid bit patterns.
+    unsafe { core::mem::transmute(v) }
+}
+
+/// Eight xoshiro256++ generators, state word `i` of all lanes in `s[i]`.
+/// Stepping lane `j` is exactly `FastRng::next_word` on that lane.
+struct Rng8x {
+    s: [__m512i; 4],
+}
+
+impl Rng8x {
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn load(rngs: &[FastRng; 8]) -> Rng8x {
+        let st: [[u64; 4]; 8] = core::array::from_fn(|j| rngs[j].state());
+        let word = |w: usize| {
+            _mm512_set_epi64(
+                st[7][w] as i64,
+                st[6][w] as i64,
+                st[5][w] as i64,
+                st[4][w] as i64,
+                st[3][w] as i64,
+                st[2][w] as i64,
+                st[1][w] as i64,
+                st[0][w] as i64,
+            )
+        };
+        Rng8x {
+            s: [word(0), word(1), word(2), word(3)],
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn store(&self, rngs: &mut [FastRng; 8]) {
+        let w: [[u64; 8]; 4] = [
+            lanes_of(self.s[0]),
+            lanes_of(self.s[1]),
+            lanes_of(self.s[2]),
+            lanes_of(self.s[3]),
+        ];
+        for (j, rng) in rngs.iter_mut().enumerate() {
+            rng.set_state([w[0][j], w[1][j], w[2][j], w[3][j]]);
+        }
+    }
+
+    /// The xoshiro256++ step on all eight lanes: `(result, new_state)`.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn step(&self) -> (__m512i, [__m512i; 4]) {
+        let [s0, s1, s2, s3] = self.s;
+        let result = _mm512_add_epi64(_mm512_rol_epi64::<23>(_mm512_add_epi64(s0, s3)), s0);
+        let t = _mm512_slli_epi64::<17>(s1);
+        let s2 = _mm512_xor_si512(s2, s0);
+        let s3 = _mm512_xor_si512(s3, s1);
+        let s1 = _mm512_xor_si512(s1, s2);
+        let s0 = _mm512_xor_si512(s0, s3);
+        let s2 = _mm512_xor_si512(s2, t);
+        let s3 = _mm512_rol_epi64::<45>(s3);
+        (result, [s0, s1, s2, s3])
+    }
+
+    /// One step on all eight lanes (the common, unmasked first draw).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn next_words(&mut self) -> __m512i {
+        let (result, s) = self.step();
+        self.s = s;
+        result
+    }
+
+    /// Redraws **only** the lanes selected by `mask`: accepted lanes keep
+    /// both their output word and their state, which is what pins each
+    /// lane's word stream to its scalar replay.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    fn redraw_masked(&mut self, words: &mut __m512i, mask: __mmask8) {
+        let (result, s) = self.step();
+        *words = _mm512_mask_mov_epi64(*words, mask, result);
+        for (dst, &src) in self.s.iter_mut().zip(s.iter()) {
+            *dst = _mm512_mask_mov_epi64(*dst, mask, src);
+        }
+    }
+}
+
+/// Applies eight packed `v | (w << 32)` draws to eight lane columns.
+#[inline]
+#[target_feature(enable = "avx512f")]
+fn toward8(cols: &mut [&mut [u16]; 8], vw: __m512i) {
+    // Two 256-bit halves: narrower spills forward to the scalar loads
+    // without touching a 64-byte store-forwarding path.
+    let lo: [u64; 4] =
+        // SAFETY: __m256i and [u64; 4] are both 32 plain bytes.
+        unsafe { core::mem::transmute(_mm512_castsi512_si256(vw)) };
+    let hi: [u64; 4] =
+        // SAFETY: as above.
+        unsafe { core::mem::transmute(_mm512_extracti64x4_epi64::<1>(vw)) };
+    for j in 0..4 {
+        toward(cols[j], lo[j] as u32 as usize, (lo[j] >> 32) as usize);
+    }
+    for j in 0..4 {
+        toward(cols[j + 4], hi[j] as u32 as usize, (hi[j] >> 32) as usize);
+    }
+}
+
+/// Lockstep AVX-512 drive for the complete-pair sampler on eight lanes;
+/// see `super::swar::drive_complete_pair` for the draw discipline.
+///
+/// # Safety
+///
+/// The running CPU must support AVX-512 F/DQ/BW/VL
+/// (`KernelTier::Avx512.is_supported()` in `super`).
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+pub(super) unsafe fn drive_complete_pair(
+    cols: &mut [&mut [u16]; 8],
+    rngs: &mut [FastRng; 8],
+    n: u32,
+    steps: u64,
+) {
+    let mut rng8 = Rng8x::load(rngs);
+    let nm1 = n - 1;
+    let one = _mm512_set1_epi64(1);
+    let nv = _mm512_set1_epi64(n as i64);
+    let nm1v = _mm512_set1_epi64(nm1 as i64);
+    // Lemire rejection thresholds (accept ⇔ frac ≥ t).  The fraction is
+    // the low 32 bits of each 64-bit product, i.e. the even 32-bit
+    // elements; `EVEN` restricts the u32 compares to exactly those, so
+    // no masking of the products is needed.
+    const EVEN: __mmask16 = 0x5555;
+    let tv32 = _mm512_set1_epi32((n.wrapping_neg() % n) as i32);
+    let tw32 = _mm512_set1_epi32((nm1.wrapping_neg() % nm1) as i32);
+    for _ in 0..steps {
+        let mut words = rng8.next_words();
+        let (mut mv, mut mw);
+        loop {
+            let hi = _mm512_srli_epi64::<32>(words);
+            mv = _mm512_mul_epu32(hi, nv);
+            mw = _mm512_mul_epu32(words, nm1v);
+            let kv = _mm512_mask_cmplt_epu32_mask(EVEN, mv, tv32);
+            let kw = _mm512_mask_cmplt_epu32_mask(EVEN, mw, tw32);
+            let rej16 = kv | kw;
+            if rej16 == 0 {
+                break;
+            }
+            // rej16 has its hits on even bit positions (one per 32-bit
+            // fraction element); compress them onto the 64-bit lane mask.
+            let mut rej8 = 0u8;
+            for j in 0..8 {
+                rej8 |= (((rej16 >> (2 * j)) & 1) as u8) << j;
+            }
+            rng8.redraw_masked(&mut words, rej8);
+        }
+        let v = _mm512_srli_epi64::<32>(mv);
+        let w0 = _mm512_srli_epi64::<32>(mw);
+        // Skip over v: w = w0 + (w0 ≥ v).
+        let kge = _mm512_cmpge_epu64_mask(w0, v);
+        let w = _mm512_mask_add_epi64(w0, kge, w0, one);
+        let vw = _mm512_or_si512(v, _mm512_slli_epi64::<32>(w));
+        toward8(cols, vw);
+    }
+    rng8.store(rngs);
+}
+
+/// The masked 64-bit Lemire draw on eight lanes: given the current
+/// output words, returns the per-lane index in `[0, range)` after
+/// redrawing rejecting lanes.  `range` must be `< 2³²` (the dispatcher
+/// guarantees it), so the 64×range product fits 96 bits and splits into
+/// two `vpmuludq` halves; unsigned compares land directly in `k`
+/// registers.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+fn bounded_masked(rng8: &mut Rng8x, words: &mut __m512i, range: u64, t: u64) -> __m512i {
+    let one = _mm512_set1_epi64(1);
+    let rv = _mm512_set1_epi64(range as i64);
+    let tv = _mm512_set1_epi64(t as i64);
+    loop {
+        let hi = _mm512_srli_epi64::<32>(*words);
+        let p0 = _mm512_mul_epu32(*words, rv);
+        let p1 = _mm512_mul_epu32(hi, rv);
+        // 128-bit product split: low = p0 + (p1 << 32) (wrapping), high
+        // = (p1 >> 32) + carry, carry ⇔ low <ᵤ p0.
+        let low = _mm512_add_epi64(p0, _mm512_slli_epi64::<32>(p1));
+        let kcarry = _mm512_cmplt_epu64_mask(low, p0);
+        let hi32 = _mm512_srli_epi64::<32>(p1);
+        let idx = _mm512_mask_add_epi64(hi32, kcarry, hi32, one);
+        let krej = _mm512_cmplt_epu64_mask(low, tv);
+        if krej == 0 {
+            return idx;
+        }
+        rng8.redraw_masked(words, krej);
+    }
+}
+
+/// Lockstep AVX-512 drive for the edge sampler on eight lanes; see
+/// `super::swar::drive_edge` for the draw discipline.  `two_m < 2³²` is
+/// guaranteed by `super::accelerates`.
+///
+/// # Safety
+///
+/// The running CPU must support AVX-512 F/DQ/BW/VL
+/// (`KernelTier::Avx512.is_supported()` in `super`).
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+pub(super) unsafe fn drive_edge(
+    cols: &mut [&mut [u16]; 8],
+    rngs: &mut [FastRng; 8],
+    endpoints: &[u32],
+    two_m: u64,
+    steps: u64,
+) {
+    debug_assert!(two_m < (1u64 << 32));
+    let mut rng8 = Rng8x::load(rngs);
+    let t = two_m.wrapping_neg() % two_m;
+    for _ in 0..steps {
+        let mut words = rng8.next_words();
+        let idx = bounded_masked(&mut rng8, &mut words, two_m, t);
+        // Two 256-bit halves, as in `toward8`.
+        let lo: [u64; 4] =
+            // SAFETY: __m256i and [u64; 4] are both 32 plain bytes.
+            unsafe { core::mem::transmute(_mm512_castsi512_si256(idx)) };
+        let hi: [u64; 4] =
+            // SAFETY: as above.
+            unsafe { core::mem::transmute(_mm512_extracti64x4_epi64::<1>(idx)) };
+        for j in 0..4 {
+            let a = endpoints[lo[j] as usize] as usize;
+            let b = endpoints[lo[j] as usize ^ 1] as usize;
+            toward(cols[j], a, b);
+        }
+        for j in 0..4 {
+            let a = endpoints[hi[j] as usize] as usize;
+            let b = endpoints[hi[j] as usize ^ 1] as usize;
+            toward(cols[j + 4], a, b);
+        }
+    }
+    rng8.store(rngs);
+}
+
+/// One masked 64-bit Lemire draw per lane (test/bench entry for the
+/// vectorised sampler).  `range` must be in `(0, 2³²)`.
+///
+/// # Safety
+///
+/// The running CPU must support AVX-512 F/DQ/BW/VL
+/// (`KernelTier::Avx512.is_supported()` in `super`).
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+pub(super) unsafe fn bounded_u64_x8(rngs: &mut [FastRng; 8], range: u64) -> [u64; 8] {
+    let mut rng8 = Rng8x::load(rngs);
+    let t = range.wrapping_neg() % range;
+    let mut words = rng8.next_words();
+    let out = lanes_of(bounded_masked(&mut rng8, &mut words, range, t));
+    rng8.store(rngs);
+    out
+}

@@ -62,6 +62,10 @@
 //! * [`FastProcess`] / [`FastRng`] — the high-throughput stepping engine
 //!   (precompiled samplers, block stepping, xoshiro256++) for Monte-Carlo
 //!   volume; [`DivProcess`] stays the observable correctness oracle.
+//! * [`kernels`] — runtime-dispatched SIMD kernels (AVX2 / portable SWAR
+//!   / scalar, selected by [`KernelTier`] and overridable via
+//!   `DIV_KERNELS`) behind the batch and sharded engines' hot paths;
+//!   every tier is bit-exact against the scalar engine.
 //! * [`telemetry`] — zero-cost-when-disabled [`Observer`] hooks threaded
 //!   through both engines (`run_observed`): stride samples of `S(t)`/
 //!   `Z(t)`/range/distinct count, exact phase-transition events, fault
@@ -72,7 +76,14 @@
 //!   (`divlab analyze`) re-derives the paper's trajectory checks from
 //!   disk alone.
 
-#![forbid(unsafe_code)]
+// Unsafe policy: `unsafe_code` is denied crate-wide and re-allowed only
+// in the vector kernel modules — `kernels::avx2` and `kernels::avx512`
+// — whose entry points carry documented CPU-feature-availability
+// contracts and whose interior unsafety is limited to in-bounds vector
+// loads and size-equal transmutes.  Unsafe operations inside
+// `unsafe fn` bodies still require explicit blocks.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod batch;
@@ -80,6 +91,7 @@ mod engine;
 mod error;
 mod fault;
 pub mod init;
+pub mod kernels;
 mod lossy;
 mod observer;
 mod process;
@@ -99,6 +111,7 @@ pub use batch::BatchProcess;
 pub use engine::{FastProcess, FastScheduler, FinishPolicy};
 pub use error::DivError;
 pub use fault::{CrashFault, FaultPlan, FaultSession, FaultStats, NoiseFault, StaleFault};
+pub use kernels::KernelTier;
 pub use lossy::LossyDiv;
 pub use observer::{RangeSample, RangeSeries, WeightSample, WeightSeries};
 pub use process::{DivProcess, RunStatus, StepEvent};

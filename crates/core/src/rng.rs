@@ -47,6 +47,24 @@ impl FastRng {
         FastRng { s }
     }
 
+    /// The raw state words, in order.  Used by `crate::kernels` to load
+    /// lane states into interleaved 4-wide form; the kernel contract is
+    /// that a store/load round trip through [`FastRng::set_state`] is the
+    /// identity.
+    #[inline(always)]
+    pub(crate) fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Overwrites the raw state words.  Kernel-internal counterpart of
+    /// [`FastRng::state`]; callers must only store states produced by
+    /// advancing a valid state (never all-zero).
+    #[inline(always)]
+    pub(crate) fn set_state(&mut self, s: [u64; 4]) {
+        debug_assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        self.s = s;
+    }
+
     /// One raw xoshiro256++ output word.
     #[inline(always)]
     pub fn next_word(&mut self) -> u64 {

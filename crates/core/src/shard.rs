@@ -310,19 +310,21 @@ impl<'g> ShardedProcess<'g> {
             .map(|k| domain_weight(graph, scheduler, bounds[k], bounds[k + 1]))
             .collect();
         let total_weight: u64 = weights.iter().sum();
+        let tier = crate::kernels::KernelTier::active();
         let shards: Vec<Shard> = (0..p)
             .map(|k| {
                 let (start, end) = (bounds[k] as usize, bounds[k + 1] as usize);
                 let mut counts = vec![0u32; span];
                 let (mut sum_off, mut dw_off) = (0i64, 0i64);
-                let (mut lo, mut hi) = (u32::MAX, 0u32);
                 for (v, &off) in live.iter().enumerate().take(end).skip(start) {
                     counts[off as usize] += 1;
                     sum_off += off as i64;
                     dw_off += off as i64 * graph.degree(v) as i64;
-                    lo = lo.min(off);
-                    hi = hi.max(off);
                 }
+                // The extreme registers come from the shared vector
+                // block scan (every tier returns identical extremes, so
+                // the tier stays a pure throughput knob here too).
+                let (lo, hi) = crate::kernels::min_max_u32(&live[start..end], tier);
                 let sampler = match scheduler {
                     FastScheduler::Vertex => ShardSampler::Uniform,
                     FastScheduler::Edge | FastScheduler::EdgeAlias => {

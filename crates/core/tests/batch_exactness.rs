@@ -6,9 +6,11 @@
 //! word sequence, visits the identical states and stops with the
 //! identical [`RunStatus`] as a scalar [`FastProcess`] run with
 //! `FastRng::seed_from_u64(seeds[l])` — for every compiled scheduler,
-//! under fault plans, and regardless of how many lanes share the batch.
+//! under fault plans, regardless of how many lanes share the batch, and
+//! under **every kernel tier the host supports** (the vectorized drives
+//! must be indistinguishable from the scalar ones, not merely close).
 
-use div_core::{init, BatchProcess, FastProcess, FastRng, FastScheduler, FaultPlan};
+use div_core::{init, BatchProcess, FastProcess, FastRng, FastScheduler, FaultPlan, KernelTier};
 use div_graph::generators;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -48,6 +50,10 @@ fn lane_seeds(k: usize, base: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Per-tier observables compared by the cross-tier determinism property:
+/// lane statuses, lane step counts and final opinion vectors.
+type TierObservables = (Vec<div_core::RunStatus>, Vec<u64>, Vec<Vec<i64>>);
+
 /// A fault plan chosen by an index, covering the drop/noise/stubborn
 /// families the batch engine's scalar fallback lanes must reproduce.
 fn fault_plan(pick: u8) -> (&'static str, FaultPlan) {
@@ -82,20 +88,26 @@ proptest! {
         let opinions = init::uniform_random(g.num_vertices(), k, &mut orng).unwrap();
         let seeds = lane_seeds(lanes, seed);
 
-        let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
-        let statuses = batch.run_to_consensus(budget);
+        for tier in KernelTier::supported() {
+            let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+            batch.set_kernel_tier(tier);
+            let statuses = batch.run_to_consensus(budget);
 
-        for (l, &s) in seeds.iter().enumerate() {
-            let mut p = FastProcess::new(&g, opinions.clone(), kind).unwrap();
-            let mut rng = FastRng::seed_from_u64(s);
-            let status = p.run_to_consensus(budget, &mut rng);
-            prop_assert_eq!(statuses[l], status, "lane {} status", l);
-            prop_assert_eq!(batch.steps(l), p.steps(), "lane {} steps", l);
-            prop_assert_eq!(batch.opinions_of(l), p.opinions(), "lane {} opinions", l);
-            prop_assert_eq!(batch.sum(l), p.sum());
-            prop_assert_eq!(batch.min_opinion(l), p.min_opinion());
-            prop_assert_eq!(batch.max_opinion(l), p.max_opinion());
-            prop_assert_eq!(batch.is_two_adjacent(l), p.is_two_adjacent());
+            for (l, &s) in seeds.iter().enumerate() {
+                let mut p = FastProcess::new(&g, opinions.clone(), kind).unwrap();
+                let mut rng = FastRng::seed_from_u64(s);
+                let status = p.run_to_consensus(budget, &mut rng);
+                prop_assert_eq!(statuses[l], status, "lane {} status ({})", l, tier.name());
+                prop_assert_eq!(batch.steps(l), p.steps(), "lane {} steps ({})", l, tier.name());
+                prop_assert_eq!(
+                    batch.opinions_of(l), p.opinions(),
+                    "lane {} opinions ({})", l, tier.name()
+                );
+                prop_assert_eq!(batch.sum(l), p.sum());
+                prop_assert_eq!(batch.min_opinion(l), p.min_opinion());
+                prop_assert_eq!(batch.max_opinion(l), p.max_opinion());
+                prop_assert_eq!(batch.is_two_adjacent(l), p.is_two_adjacent());
+            }
         }
     }
 
@@ -138,6 +150,51 @@ proptest! {
                 stats[l], *session.stats(),
                 "lane {} fault counters under {}", l, spec
             );
+        }
+    }
+
+    /// Cross-tier determinism: for every graph family and both paper
+    /// processes, every supported tier produces byte-identical statuses,
+    /// step counts and opinion vectors.  This is the tier-independence
+    /// contract stated directly, without routing through the scalar
+    /// engine (which the replay tests above already pin).
+    #[test]
+    fn all_tiers_agree_byte_for_byte(
+        size in 4usize..32,
+        k in 2usize..8,
+        seed in any::<u64>(),
+        budget in 500u64..30_000,
+    ) {
+        for gpick in 0u8..5 {
+            let g = workload_graph(gpick, size, seed);
+            for kind in [FastScheduler::Edge, FastScheduler::Vertex] {
+                let mut orng = StdRng::seed_from_u64(seed ^ 0x7E57);
+                let opinions = init::uniform_random(g.num_vertices(), k, &mut orng).unwrap();
+                let seeds = lane_seeds(8, seed);
+
+                let mut baseline: Option<TierObservables> = None;
+                for tier in KernelTier::supported() {
+                    let mut batch =
+                        BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+                    batch.set_kernel_tier(tier);
+                    let statuses = batch.run_to_consensus(budget);
+                    let steps: Vec<u64> = (0..seeds.len()).map(|l| batch.steps(l)).collect();
+                    let ops: Vec<Vec<i64>> =
+                        (0..seeds.len()).map(|l| batch.opinions_of(l).to_vec()).collect();
+                    match &baseline {
+                        None => baseline = Some((statuses, steps, ops)),
+                        Some((s0, t0, o0)) => {
+                            prop_assert_eq!(
+                                &statuses, s0,
+                                "statuses diverge on family {} under {:?} at tier {}",
+                                gpick, kind, tier.name()
+                            );
+                            prop_assert_eq!(&steps, t0, "steps diverge at {}", tier.name());
+                            prop_assert_eq!(&ops, o0, "opinions diverge at {}", tier.name());
+                        }
+                    }
+                }
+            }
         }
     }
 }
