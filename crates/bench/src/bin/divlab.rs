@@ -39,8 +39,7 @@
 //! parallelism).  Every lane is bit-exact against the scalar fast
 //! engine for the same seed, so batch and fast campaigns print
 //! byte-identical reports — including under fault plans and on resumed
-//! checkpoints.  Paths that need per-step observer hooks (`--telemetry`,
-//! `stats`) warn and fall back to the fast engine.
+//! checkpoints.
 //!
 //! `--telemetry PATH` streams the single run's trajectory through the
 //! engines' observer hooks to a JSONL file (or CSV when the path ends in
@@ -50,6 +49,19 @@
 //! `trial-<seed>.jsonl` file per trial — the trace corpora that
 //! `divlab analyze` consumes.  `divlab stats` runs one observed trial
 //! into an in-memory recorder and prints the trajectory summary instead.
+//! Fault-free batch and sharded runs observe **natively**: the batch
+//! engine snapshots every lane on its block lattice (`--sample-every`
+//! rounded up to whole blocks; without the flag the engine picks its own
+//! low-overhead cadence) and the sharded engine combines its per-shard
+//! registers at round boundaries — neither demotes to the scalar engine
+//! any more.  Only fault-injected observation still falls back to fast
+//! (the batch engine has no faulty observed path; the sharded engine has
+//! no fault pipeline), with a uniform warning.
+//!
+//! `--spans PATH` (campaign mode) additionally records wall-clock
+//! lifecycle spans — one per trial execution plus a campaign root — as a
+//! Chrome-trace-event JSON array that loads directly into Perfetto; span
+//! ids are a deterministic hash of (master seed, trial seed, attempt).
 //! `--trace` needs the reference engine's per-step stage log; every entry
 //! point (run, campaign, compare, stats) resolves `--trace --engine
 //! fast` by warning and falling back to the reference engine.
@@ -76,18 +88,19 @@ use div_baselines::{
 };
 use div_bench::spec;
 use div_bench::trial::{
-    batch_group, exceeds_lane_span, fast_trial, outcome_of, publish_faults, reference_trial,
-    sharded_trial,
+    batch_group, batch_group_observed, exceeds_lane_span, fast_trial, outcome_of, publish_faults,
+    reference_trial, sharded_observed_trial, sharded_trial,
 };
 use div_core::{
-    init, theory, BatchProcess, CsvExporter, DivProcess, EdgeScheduler, FastProcess, FastRng,
-    FastScheduler, FaultPlan, FaultStats, JsonlExporter, Observer, OpinionState, Phase, PhaseEvent,
-    RingRecorder, RunStatus, Scheduler, StageLog, VertexScheduler,
+    hex_id, init, render_spans, span_id, theory, BatchProcess, CsvExporter, DivProcess,
+    EdgeScheduler, FastProcess, FastRng, FastScheduler, FaultPlan, FaultStats, JsonlExporter,
+    KernelTier, Observer, OpinionState, Phase, PhaseEvent, RingRecorder, RunStatus, Scheduler,
+    ShardGauge, SpanClock, SpanEvent, StageLog, TelemetrySample, VertexScheduler,
 };
 use div_sim::table::Table;
 use div_sim::{
     run_campaign_batched_monitored, run_campaign_monitored, CampaignConfig, CampaignMonitor,
-    MetricsServer, MonitorPhase, TrialOutcome,
+    MetricsServer, MonitorPhase, ShardHealth, TrialOutcome,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,7 +109,7 @@ use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,7 +140,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch|sharded] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--shards P] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch|sharded] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--shards P] [--threads T] [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast),\n              sharded (--shards P concurrent vertex domains per trial on --threads T std threads;\n              deterministic for fixed seed+P, built for million-vertex single trials)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
+        "usage:\n  divlab run      --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch|sharded] [--seed N] [--trace]\n                  [--telemetry PATH] [--sample-every K] [--spans PATH] [--faults SPEC] [--trials N] [--budget N] [--lanes K] [--shards P] [--threads T]\n                  [--checkpoint PATH] [--resume] [--stop-after N] [--serve ADDR] [--serve-linger SECS]\n  divlab campaign ...same flags as run (campaign mode forced, even at --trials 1)\n  divlab stats    --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine reference|fast|batch] [--seed N]\n                  [--faults SPEC] [--budget N] [--sample-every K]\n  divlab compare  --graph SPEC [--init SPEC] [--engine reference|fast|batch|sharded] [--seed N] [--trials N] [--faults SPEC] [--budget N]\n                  [--shards P] [--threads T] [--checkpoint PATH] [--resume] [--serve ADDR] [--serve-linger SECS]\n  divlab spectral --graph SPEC [--seed N]\n  divlab graph6   --graph SPEC [--seed N]\n  divlab analyze  --traces PATH [--out DIR]\n  divlab submit   --server HOST:PORT --graph SPEC [--init SPEC] [--scheduler edge|vertex] [--engine fast|batch|reference]\n                  [--seed N] [--trials N] [--budget N] [--faults SPEC] [--lanes K] [--threads T] [--checkpoint-every K]\n                  [--client NAME] [--timeout SECS] [--detach] [--watch]   (client mode for a divd daemon)\n\ngraph specs:  complete:N path:N cycle:N star:N wheel:N grid:RxC torus:RxC\n              hypercube:D binary-tree:N barbell:H:B lollipop:H:T double-star:L:R\n              circulant:N:s1,s2 multipartite:a,b regular:N:D gnp:N:P ws:N:K:B ba:N:M\ninit specs:   uniform:K spread:K blocks:VxC,VxC,...\nfault specs:  drop:Q noise:P:D stale:P:AGE stubborn:K crash:P:OUTAGE (comma-separated), or none\nengines:      reference (observable baseline), fast (compiled scalar), batch (lockstep lanes;\n              campaigns step --lanes K trials together across --threads T workers, bit-exact vs fast),\n              sharded (--shards P concurrent vertex domains per trial on --threads T std threads;\n              deterministic for fixed seed+P, built for million-vertex single trials)\ntelemetry:    --telemetry out.jsonl streams W(t) samples + phase events (CSV when PATH ends in .csv);\n              in campaign mode PATH is a directory receiving one trial-<seed>.jsonl per trial;\n              batch/sharded engines observe natively (block/round sampling lattice);\n              --spans PATH (campaign) writes Chrome-trace lifecycle spans (load in Perfetto)\nmonitoring:   --serve 127.0.0.1:9100 exposes /metrics (Prometheus), /progress (JSON), /healthz\nanalyze:      divlab analyze --traces DIR re-derives Lemma 3 / eq. (5) / eq. (4) checks offline"
     );
     exit(0);
 }
@@ -200,22 +213,16 @@ fn resolve_engine(opts: &HashMap<String, String>) -> Result<String, String> {
     Ok(engine)
 }
 
-/// Demotes `batch`/`sharded` to `fast` for paths that need per-step
-/// observer hooks (telemetry export, `stats`): the batch engine defers
-/// bookkeeping to block boundaries and the sharded engine steps domains
-/// concurrently, so neither can stream ordered per-step samples.  The
-/// demotion warns like the trace/fast conflict instead of erroring
-/// (batch lanes are bit-exact against fast; sharded runs are
-/// statistically equivalent).
-fn demote_batch_for_observers(engine: String, what: &str) -> String {
-    if engine == "batch" || engine == "sharded" {
-        eprintln!(
-            "divlab: {what} needs per-step observer hooks, which the {engine} engine's \
-             bookkeeping cannot provide; falling back to --engine fast"
-        );
-        return "fast".to_string();
-    }
-    engine
+/// The one warning every engine demotion site prints: `what` is not
+/// supported by `engine`, so the run falls back to the scalar fast
+/// engine.  One phrasing for every site keeps the stderr contract
+/// greppable; regression tests pin this exact text for the batch and
+/// sharded engines.
+fn warn_demote(engine: &str, what: &str) -> String {
+    eprintln!(
+        "divlab: {what} is not supported by the {engine} engine; falling back to --engine fast"
+    );
+    "fast".to_string()
 }
 
 /// Demotes `sharded` to `fast` when a non-trivial fault plan is
@@ -224,11 +231,19 @@ fn demote_batch_for_observers(engine: String, what: &str) -> String {
 /// trial instead, with a warning.
 fn demote_sharded_for_faults(engine: String, faults: &FaultPlan) -> String {
     if engine == "sharded" && !faults.is_trivial() {
-        eprintln!(
-            "divlab: fault injection needs a sequential step stream, which the sharded \
-             engine's concurrent domains cannot provide; falling back to --engine fast"
-        );
-        return "fast".to_string();
+        return warn_demote("sharded", "fault injection");
+    }
+    engine
+}
+
+/// Demotes `batch` to `fast` for *fault-injected* observation only: the
+/// batch engine has no faulty observed path.  Fault-free batch and
+/// sharded runs stream telemetry natively through their own
+/// `run_observed` loops and are never demoted (the sharded+faults
+/// combination is already handled by [`demote_sharded_for_faults`]).
+fn demote_faulty_observers(engine: String, faults: &FaultPlan, what: &str) -> String {
+    if engine == "batch" && !faults.is_trivial() {
+        return warn_demote("batch", what);
     }
     engine
 }
@@ -267,6 +282,61 @@ fn parse_stride(opts: &HashMap<String, String>) -> Result<u64, String> {
         return Err("--sample-every must be at least 1".to_string());
     }
     Ok(stride)
+}
+
+/// `--sample-every` for the batch/sharded engines, where explicitness
+/// matters: without the flag these engines use their own low-overhead
+/// default lattice (encoded as `0` — whole sample chunks / one sample per
+/// round), while an explicit value is rounded up to the engine's block or
+/// round granularity.  The scalar engines keep [`parse_stride`]'s
+/// historical default of 64.
+fn parse_engine_stride(opts: &HashMap<String, String>) -> Result<u64, String> {
+    if opts.contains_key("sample-every") {
+        parse_stride(opts)
+    } else {
+        Ok(0)
+    }
+}
+
+/// Engine-native observation knobs threaded into the observed single-run
+/// paths (`--telemetry`, `stats`): the sharded engine's shard/thread
+/// counts plus the batch/sharded sampling stride from
+/// [`parse_engine_stride`].
+#[derive(Clone, Copy)]
+struct ObsKnobs {
+    shards: usize,
+    shard_threads: usize,
+    engine_stride: u64,
+}
+
+impl ObsKnobs {
+    fn parse(opts: &HashMap<String, String>) -> Result<ObsKnobs, String> {
+        let (shards, shard_threads) = parse_shard_knobs(opts)?;
+        Ok(ObsKnobs {
+            shards,
+            shard_threads,
+            engine_stride: parse_engine_stride(opts)?,
+        })
+    }
+}
+
+/// Copies the sharded engine's per-shard gauges into the live monitor's
+/// engine-agnostic mirror, when a monitor is attached.
+fn publish_shard_gauges(monitor: Option<&CampaignMonitor>, gauges: &[ShardGauge]) {
+    if let Some(m) = monitor {
+        m.set_shard_health(
+            gauges
+                .iter()
+                .map(|g| ShardHealth {
+                    shard: g.shard,
+                    weight: g.weight,
+                    edge_cut: g.edge_cut,
+                    steps: g.steps,
+                    round_lag: g.round_lag,
+                })
+                .collect(),
+        );
+    }
 }
 
 fn print_fault_stats(stats: &FaultStats) {
@@ -322,17 +392,129 @@ fn start_serving(opts: &HashMap<String, String>) -> Result<Option<Serving>, Stri
 }
 
 /// Observer adapter that mirrors two-adjacent phase crossings into the
-/// live monitor's phase histogram.  Consensus steps are deliberately not
+/// live monitor's phase histogram and counts emitted telemetry samples
+/// (`div_telemetry_samples_total`).  Consensus steps are deliberately not
 /// forwarded: `record_outcome` already feeds the consensus histogram, so
 /// forwarding here would double-count converged trials.
 struct PhaseToMonitor<'a>(Option<&'a CampaignMonitor>);
 
 impl Observer for PhaseToMonitor<'_> {
+    fn on_sample(&mut self, _sample: &TelemetrySample) {
+        if let Some(m) = self.0 {
+            m.add_telemetry_samples(1);
+        }
+    }
+
     fn on_phase(&mut self, event: &PhaseEvent) {
         if let (Some(m), Phase::TwoAdjacent) = (self.0, event.phase) {
             m.record_phase_step(MonitorPhase::TwoAdjacent, event.step);
         }
     }
+}
+
+/// The outcome-class label and step count a trial outcome carries
+/// (panicked trials ran no countable steps).
+fn outcome_facts(outcome: &TrialOutcome) -> (&'static str, u64) {
+    match outcome {
+        TrialOutcome::Converged { steps, .. } => ("converged", *steps),
+        TrialOutcome::TwoAdjacent { steps, .. } => ("two_adjacent", *steps),
+        TrialOutcome::Timeout { steps } => ("timeout", *steps),
+        TrialOutcome::Panicked { .. } => ("panicked", 0),
+    }
+}
+
+/// Collects Chrome-trace lifecycle spans for a campaign (`--spans PATH`):
+/// one `ph:"X"` complete event per trial execution plus a campaign root,
+/// loadable directly into Perfetto.  Span ids are a deterministic hash of
+/// (master seed, trial seed, attempt); timestamps are wall-clock
+/// microseconds from a run-local epoch and live outside the
+/// deterministic report.
+struct SpanSink {
+    path: PathBuf,
+    master: u64,
+    clock: SpanClock,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl SpanSink {
+    fn new(path: PathBuf, master: u64) -> SpanSink {
+        SpanSink {
+            path,
+            master,
+            clock: SpanClock::new(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stamps one trial-execution span; `start_us` was read from this
+    /// sink's clock just before the trial (or its lockstep group) ran.
+    fn record_trial(
+        &self,
+        ctx: &div_sim::TrialCtx,
+        engine: &str,
+        outcome: &TrialOutcome,
+        start_us: u64,
+    ) {
+        let dur = self.clock.now_us().saturating_sub(start_us);
+        let (class, steps) = outcome_facts(outcome);
+        let ev = SpanEvent::complete("trial", "campaign", start_us, dur, 1, ctx.trial as u64 + 1)
+            .arg_text("id", &hex_id(span_id(self.master, ctx.seed, ctx.attempt)))
+            .arg_int("trial", ctx.trial as i64)
+            .arg_int("attempt", i64::from(ctx.attempt))
+            .arg_text("seed", &format!("{:020}", ctx.seed))
+            .arg_text("engine", engine)
+            .arg_text("outcome", class)
+            .arg_int("steps", i64::try_from(steps).unwrap_or(i64::MAX));
+        self.events.lock().unwrap().push(ev);
+    }
+
+    /// Prepends the campaign root span and atomically writes the JSON
+    /// array; `Err` is span data loss (the campaign itself is fine).
+    fn finish(self, engine: &str, trials: usize) -> Result<(), String> {
+        let total = self.clock.now_us();
+        let mut events = self.events.into_inner().unwrap();
+        // Worker threads race to push; order by start time (then trial
+        // row) so reruns of a single-threaded campaign are stable.
+        events.sort_by_key(|e| (e.ts_us, e.tid));
+        let root = SpanEvent::complete("campaign", "campaign", 0, total, 1, 0)
+            .arg_text("engine", engine)
+            .arg_int("trials", i64::try_from(trials).unwrap_or(i64::MAX));
+        events.insert(0, root);
+        div_oplog::atomic_write(&self.path, render_spans(&events).as_bytes())
+            .map_err(|e| format!("span write to {} failed: {e}", self.path.display()))
+    }
+}
+
+/// Runs one trial through `f`, stamping its lifecycle span when a sink
+/// is configured.
+fn span_wrap<F: FnOnce() -> TrialOutcome>(
+    sink: Option<&SpanSink>,
+    engine: &str,
+    ctx: &div_sim::TrialCtx,
+    f: F,
+) -> TrialOutcome {
+    let Some(s) = sink else { return f() };
+    let t0 = s.clock.now_us();
+    let outcome = f();
+    s.record_trial(ctx, engine, &outcome, t0);
+    outcome
+}
+
+/// [`span_wrap`] for a lockstep group: every lane shares the group's
+/// execution interval (the lanes really did run together).
+fn span_wrap_group<F: FnOnce() -> Vec<TrialOutcome>>(
+    sink: Option<&SpanSink>,
+    engine: &str,
+    ctxs: &[div_sim::TrialCtx],
+    f: F,
+) -> Vec<TrialOutcome> {
+    let Some(s) = sink else { return f() };
+    let t0 = s.clock.now_us();
+    let outcomes = f();
+    for (ctx, outcome) in ctxs.iter().zip(&outcomes) {
+        s.record_trial(ctx, engine, outcome, t0);
+    }
+    outcomes
 }
 
 fn cmd_run(opts: &HashMap<String, String>, force_campaign: bool) -> Result<i32, String> {
@@ -433,10 +615,11 @@ fn cmd_run_inner(
                     .to_string(),
             );
         }
-        let engine = demote_batch_for_observers(engine, "--telemetry");
+        let engine = demote_faulty_observers(engine, &faults, "fault-injected telemetry");
+        let knobs = ObsKnobs::parse(opts)?;
         let (outcome, label, telemetry_err) = run_telemetry_export(
-            &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &path,
-            monitor,
+            &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, knobs,
+            &path, monitor,
         )?;
         let code = finish_single_run(outcome, &label, monitor)?;
         if let Some(err) = telemetry_err {
@@ -680,11 +863,16 @@ fn run_campaign_cmd(
     monitor: Option<&CampaignMonitor>,
     opts: &HashMap<String, String>,
 ) -> Result<i32, String> {
-    // Per-trial telemetry needs the scalar engines' observer hooks, so a
-    // batch campaign with `--telemetry DIR` demotes to fast (bit-exact,
-    // so the report is unchanged — only the lockstep speedup is lost).
+    // Fault-free batch/sharded campaigns keep their native engines under
+    // `--telemetry DIR`: lanes snapshot on the block lattice, shards
+    // combine at round boundaries.  Only fault-injected batch telemetry
+    // still demotes (the batch engine has no faulty observed path).
     let engine = if telemetry_dir.is_some() {
-        demote_batch_for_observers(engine.to_string(), "per-trial telemetry")
+        demote_faulty_observers(
+            engine.to_string(),
+            faults,
+            "fault-injected per-trial telemetry",
+        )
     } else {
         engine.to_string()
     };
@@ -726,6 +914,16 @@ fn run_campaign_cmd(
     let ispec = opts.map_or_default("init", "uniform:5");
     cfg.tag = format!("run {gspec} {ispec} {scheduler} {engine} {faults_spec} {budget}");
 
+    // Live scrapes can identify what is running before the first trial
+    // finishes (`div_engine_info{engine,kernel_tier}`).
+    if let Some(m) = monitor {
+        m.set_engine_info(&engine, KernelTier::active().name());
+    }
+    let engine_stride = parse_engine_stride(opts)?;
+    let spans = opts
+        .get("spans")
+        .map(|p| SpanSink::new(PathBuf::from(p), master));
+
     // Telemetry export failures (file creation, latched write errors) must
     // not kill the campaign — the trial result is still sound — but they
     // are data loss and surface as exit code 4 at the end.
@@ -738,42 +936,123 @@ fn run_campaign_cmd(
             "edge" => FastScheduler::Edge,
             _ => FastScheduler::Vertex,
         };
-        run_campaign_batched_monitored(
-            &cfg,
-            lanes,
-            monitor,
-            |ctxs| batch_group(graph, opinions, kind, faults, monitor, ctxs),
-            |ctx| fast_trial(graph, opinions, kind, faults, monitor, ctx),
-        )
+        if let Some(dir) = telemetry_dir {
+            // Native lockstep telemetry: every lane streams its block-
+            // lattice snapshots to its own trial-<seed>.jsonl file.
+            run_campaign_batched_monitored(
+                &cfg,
+                lanes,
+                monitor,
+                |ctxs| {
+                    span_wrap_group(spans.as_ref(), &engine, ctxs, || {
+                        observed_batch_campaign_group(
+                            graph,
+                            opinions,
+                            kind,
+                            scheduler,
+                            faults,
+                            dir,
+                            stride,
+                            engine_stride,
+                            monitor,
+                            &telemetry_errors,
+                            ctxs,
+                        )
+                    })
+                },
+                |ctx| {
+                    // A panicked group retries trial by trial on the
+                    // scalar engine — still observed, same files.
+                    span_wrap(spans.as_ref(), "fast", ctx, || {
+                        campaign_trial(
+                            graph,
+                            opinions,
+                            scheduler,
+                            "fast",
+                            faults,
+                            Some(dir),
+                            stride,
+                            monitor,
+                            &telemetry_errors,
+                            ctx,
+                        )
+                    })
+                },
+            )
+        } else {
+            run_campaign_batched_monitored(
+                &cfg,
+                lanes,
+                monitor,
+                |ctxs| {
+                    span_wrap_group(spans.as_ref(), &engine, ctxs, || {
+                        batch_group(graph, opinions, kind, faults, monitor, ctxs)
+                    })
+                },
+                |ctx| {
+                    span_wrap(spans.as_ref(), "fast", ctx, || {
+                        fast_trial(graph, opinions, kind, faults, monitor, ctx)
+                    })
+                },
+            )
+        }
     } else if engine == "sharded" {
         // Each trial is internally parallel (P shard domains on
         // `shard_threads` workers); trials run sequentially.  Outcomes
         // are a pure function of (master seed, shards) — the thread
-        // count never changes the report.
+        // count never changes the report, and neither does observation
+        // (sampling reads the shard registers the engine already owns).
         let kind = match scheduler {
             "edge" => FastScheduler::Edge,
             _ => FastScheduler::Vertex,
         };
         run_campaign_monitored(&cfg, monitor, |ctx| {
-            sharded_trial(graph, opinions, kind, shards, shard_threads, ctx)
+            span_wrap(spans.as_ref(), &engine, ctx, || {
+                sharded_campaign_trial(
+                    graph,
+                    opinions,
+                    kind,
+                    shards,
+                    shard_threads,
+                    telemetry_dir,
+                    engine_stride,
+                    monitor,
+                    &telemetry_errors,
+                    ctx,
+                )
+            })
         })
     } else {
         run_campaign_monitored(&cfg, monitor, |ctx| {
-            campaign_trial(
-                graph,
-                opinions,
-                scheduler,
-                &engine,
-                faults,
-                telemetry_dir,
-                stride,
-                monitor,
-                &telemetry_errors,
-                ctx,
-            )
+            span_wrap(spans.as_ref(), &engine, ctx, || {
+                campaign_trial(
+                    graph,
+                    opinions,
+                    scheduler,
+                    &engine,
+                    faults,
+                    telemetry_dir,
+                    stride,
+                    monitor,
+                    &telemetry_errors,
+                    ctx,
+                )
+            })
         })
     }
     .map_err(|e| e.to_string())?;
+
+    let mut span_lost = false;
+    if let Some(sink) = spans {
+        let path = sink.path.clone();
+        match sink.finish(&engine, trials) {
+            Ok(()) => eprintln!("divlab: lifecycle spans written to {}", path.display()),
+            Err(e) => {
+                span_lost = true;
+                eprintln!("divlab: {e}");
+            }
+        }
+    }
 
     // Infra chatter goes to stderr: stdout stays a pure function of
     // (master seed, outcomes) so killed-and-resumed campaigns diff clean.
@@ -787,8 +1066,13 @@ fn run_campaign_cmd(
         }
     }
     if let Some(dir) = telemetry_dir {
+        let cadence = match engine.as_str() {
+            "batch" => "block lattice".to_string(),
+            "sharded" => "round lattice".to_string(),
+            _ => format!("stride {stride}"),
+        };
         eprintln!(
-            "divlab: per-trial telemetry (jsonl, stride {stride}) written under {}",
+            "divlab: per-trial telemetry (jsonl, {cadence}) written under {}",
             dir.display()
         );
     }
@@ -801,8 +1085,10 @@ fn run_campaign_cmd(
             report.trials
         );
         Ok(4)
-    } else if lost > 0 {
-        eprintln!("divlab: telemetry lost for {lost} trial(s) (exporter I/O errors above)");
+    } else if lost > 0 || span_lost {
+        if lost > 0 {
+            eprintln!("divlab: telemetry lost for {lost} trial(s) (exporter I/O errors above)");
+        }
         Ok(4)
     } else if report.is_degraded() {
         eprintln!("divlab: campaign complete but degraded (non-converged outcomes present)");
@@ -873,6 +1159,161 @@ fn campaign_trial(
     let outcome = observed_trial(
         graph, opinions, scheduler, engine, faults, ctx, stride, monitor, &mut obs,
     );
+    if let Err(e) = obs.0.finish() {
+        errors.fetch_add(1, Ordering::SeqCst);
+        eprintln!("divlab: telemetry write to {} failed: {e}", path.display());
+    }
+    outcome
+}
+
+/// One lockstep group with native per-lane telemetry: one
+/// `trial-<seed>.jsonl` exporter per lane, the group stepped through
+/// [`div_core::BatchProcess::run_observed`] so every lane samples on the
+/// block lattice while staying bit-exact against the scalar engine.
+///
+/// Initial spans beyond the lane limit demote to per-lane scalar
+/// observed trials (same files, same outcomes — the demotion
+/// [`batch_group`] itself takes).  If any lane's file cannot be created
+/// the whole group runs unobserved instead: lane observers must be
+/// homogeneous, and half-observed groups would be worse than an honest
+/// data-loss exit code.
+#[allow(clippy::too_many_arguments)]
+fn observed_batch_campaign_group(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    scheduler: &str,
+    faults: &FaultPlan,
+    dir: &Path,
+    stride: u64,
+    engine_stride: u64,
+    monitor: Option<&CampaignMonitor>,
+    errors: &AtomicU64,
+    ctxs: &[div_sim::TrialCtx],
+) -> Vec<TrialOutcome> {
+    if exceeds_lane_span(opinions) {
+        return ctxs
+            .iter()
+            .map(|ctx| {
+                campaign_trial(
+                    graph,
+                    opinions,
+                    scheduler,
+                    "fast",
+                    faults,
+                    Some(dir),
+                    stride,
+                    monitor,
+                    errors,
+                    ctx,
+                )
+            })
+            .collect();
+    }
+    let mut observers = Vec::with_capacity(ctxs.len());
+    let mut paths = Vec::with_capacity(ctxs.len());
+    for ctx in ctxs {
+        let path = dir.join(format!("trial-{:020}.jsonl", ctx.seed));
+        match std::fs::File::create(&path) {
+            Ok(f) => {
+                observers.push((
+                    JsonlExporter::new(BufWriter::new(f)),
+                    PhaseToMonitor(monitor),
+                ));
+                paths.push(path);
+            }
+            Err(e) => {
+                errors.fetch_add(1, Ordering::SeqCst);
+                eprintln!(
+                    "divlab: cannot create telemetry file {}: {e}; running group unobserved",
+                    path.display()
+                );
+                // Close and remove the already-created empty files so the
+                // trace corpus holds only complete trajectories.
+                drop(observers);
+                for p in &paths {
+                    let _ = std::fs::remove_file(p);
+                }
+                return batch_group(graph, opinions, kind, faults, monitor, ctxs);
+            }
+        }
+    }
+    let outcomes = batch_group_observed(graph, opinions, kind, engine_stride, ctxs, &mut observers);
+    for (obs, path) in observers.into_iter().zip(paths) {
+        if let Err(e) = obs.0.finish() {
+            errors.fetch_add(1, Ordering::SeqCst);
+            eprintln!("divlab: telemetry write to {} failed: {e}", path.display());
+        }
+    }
+    if let Some(m) = monitor {
+        m.set_lane_steps(outcomes.iter().map(|o| outcome_facts(o).1).collect());
+    }
+    outcomes
+}
+
+/// One sharded campaign trial, observed natively whenever a telemetry
+/// directory or a live monitor is attached (round-boundary samples to
+/// the exporter, per-shard gauges and sample counts to the monitor);
+/// plain [`sharded_trial`] otherwise.  Seeding is identical in all three
+/// paths, so the report never depends on observation.
+#[allow(clippy::too_many_arguments)]
+fn sharded_campaign_trial(
+    graph: &div_graph::Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    shards: usize,
+    threads: usize,
+    telemetry_dir: Option<&Path>,
+    engine_stride: u64,
+    monitor: Option<&CampaignMonitor>,
+    errors: &AtomicU64,
+    ctx: &div_sim::TrialCtx,
+) -> TrialOutcome {
+    let Some(dir) = telemetry_dir else {
+        if monitor.is_none() {
+            return sharded_trial(graph, opinions, kind, shards, threads, ctx);
+        }
+        let mut obs = PhaseToMonitor(monitor);
+        let (outcome, gauges) = sharded_observed_trial(
+            graph,
+            opinions,
+            kind,
+            shards,
+            threads,
+            engine_stride,
+            ctx,
+            &mut obs,
+        );
+        publish_shard_gauges(monitor, &gauges);
+        return outcome;
+    };
+    let path = dir.join(format!("trial-{:020}.jsonl", ctx.seed));
+    let file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            errors.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "divlab: cannot create telemetry file {}: {e}; running trial unobserved",
+                path.display()
+            );
+            return sharded_trial(graph, opinions, kind, shards, threads, ctx);
+        }
+    };
+    let mut obs = (
+        JsonlExporter::new(BufWriter::new(file)),
+        PhaseToMonitor(monitor),
+    );
+    let (outcome, gauges) = sharded_observed_trial(
+        graph,
+        opinions,
+        kind,
+        shards,
+        threads,
+        engine_stride,
+        ctx,
+        &mut obs,
+    );
+    publish_shard_gauges(monitor, &gauges);
     if let Err(e) = obs.0.finish() {
         errors.fetch_add(1, Ordering::SeqCst);
         eprintln!("divlab: telemetry write to {} failed: {e}", path.display());
@@ -973,6 +1414,13 @@ fn observed_trial<O: Observer>(
 /// Runs one observed single trial on the resolved engine, streaming
 /// telemetry into `obs`.  Returns the outcome plus the engine label for
 /// the verdict line; fault stats are printed for non-trivial plans.
+///
+/// The batch and sharded engines run **natively**: a one-lane
+/// [`BatchProcess`] sampled on its block lattice, or a
+/// [`ShardedProcess`] sampled at round boundaries (callers demote
+/// fault-injected plans to `fast` first).  Both consume exactly the seed
+/// the unobserved single run would draw, so observation never changes
+/// the verdict.
 #[allow(clippy::too_many_arguments)]
 fn observed_single<O: Observer>(
     graph: &div_graph::Graph,
@@ -983,13 +1431,91 @@ fn observed_single<O: Observer>(
     budget: u64,
     rng: &mut StdRng,
     stride: u64,
+    knobs: ObsKnobs,
+    monitor: Option<&CampaignMonitor>,
     obs: &mut O,
 ) -> Result<(TrialOutcome, String), String> {
-    if engine == "fast" {
-        let kind = match scheduler {
-            "edge" => FastScheduler::Edge,
-            _ => FastScheduler::Vertex,
+    let kind = match scheduler {
+        "edge" => FastScheduler::Edge,
+        _ => FastScheduler::Vertex,
+    };
+    if engine == "sharded" {
+        if knobs.shards > graph.num_vertices() {
+            return Err(format!(
+                "--shards {} exceeds the graph's {} vertices",
+                knobs.shards,
+                graph.num_vertices()
+            ));
+        }
+        let ctx = div_sim::TrialCtx {
+            trial: 0,
+            seed: {
+                use rand::RngCore;
+                rng.next_u64()
+            },
+            attempt: 0,
+            step_budget: budget,
         };
+        let (outcome, gauges) = sharded_observed_trial(
+            graph,
+            opinions,
+            kind,
+            knobs.shards,
+            knobs.shard_threads,
+            knobs.engine_stride,
+            &ctx,
+            obs,
+        );
+        publish_shard_gauges(monitor, &gauges);
+        return Ok((
+            outcome,
+            format!(
+                "{scheduler} scheduler, sharded engine, {} shards",
+                knobs.shards
+            ),
+        ));
+    }
+    if engine == "batch" {
+        let lane_seed = {
+            use rand::RngCore;
+            rng.next_u64()
+        };
+        if exceeds_lane_span(opinions) {
+            // Same fallback as the unobserved single run: the scalar
+            // engine replays the lane's exact trajectory from the lane's
+            // own seed.
+            eprintln!(
+                "divlab: initial span exceeds the batch engine's {} lane limit; \
+                 falling back to --engine fast (same seed, same outcome)",
+                BatchProcess::LANE_SPAN_LIMIT
+            );
+            let mut frng = FastRng::seed_from_u64(lane_seed);
+            let mut p =
+                FastProcess::new(graph, opinions.to_vec(), kind).map_err(|e| e.to_string())?;
+            let status = p.run_observed(budget, &mut frng, stride, obs);
+            let outcome = outcome_of(
+                status,
+                p.is_two_adjacent(),
+                p.min_opinion(),
+                p.max_opinion(),
+            );
+            return Ok((
+                outcome,
+                format!("{scheduler} scheduler, batch engine (scalar fallback)"),
+            ));
+        }
+        let mut batch = BatchProcess::new(graph, opinions.to_vec(), kind, &[lane_seed])
+            .map_err(|e| e.to_string())?;
+        let statuses = batch.run_observed(budget, knobs.engine_stride, std::slice::from_mut(obs));
+        let outcome = outcome_of(
+            statuses[0],
+            batch.is_two_adjacent(0),
+            batch.min_opinion(0),
+            batch.max_opinion(0),
+        );
+        return Ok((outcome, format!("{scheduler} scheduler, batch engine")));
+    }
+    if engine == "fast" {
         let mut frng = {
             use rand::RngCore;
             FastRng::seed_from_u64(rng.next_u64())
@@ -1084,6 +1610,7 @@ fn run_telemetry_export(
     budget: u64,
     rng: &mut StdRng,
     stride: u64,
+    knobs: ObsKnobs,
     path: &Path,
     monitor: Option<&CampaignMonitor>,
 ) -> Result<(TrialOutcome, String, Option<String>), String> {
@@ -1094,13 +1621,15 @@ fn run_telemetry_export(
     let ((outcome, label), write_err) = if csv {
         let mut obs = (CsvExporter::new(out), PhaseToMonitor(monitor));
         let r = observed_single(
-            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut obs,
+            graph, opinions, scheduler, engine, faults, budget, rng, stride, knobs, monitor,
+            &mut obs,
         )?;
         (r, obs.0.finish().err())
     } else {
         let mut obs = (JsonlExporter::new(out), PhaseToMonitor(monitor));
         let r = observed_single(
-            graph, opinions, scheduler, engine, faults, budget, rng, stride, &mut obs,
+            graph, opinions, scheduler, engine, faults, budget, rng, stride, knobs, monitor,
+            &mut obs,
         )?;
         (r, obs.0.finish().err())
     };
@@ -1127,9 +1656,13 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<i32, String> {
             "unknown scheduler {scheduler:?} (use edge or vertex)"
         ));
     }
-    let engine = demote_batch_for_observers(resolve_engine(opts)?, "stats");
     let faults_spec = opts.map_or_default("faults", "none");
     let faults = FaultPlan::parse(&faults_spec)?;
+    // Fault-free batch/sharded stats run natively on their own engines;
+    // only fault-injected observation falls back to fast (uniform
+    // warning in both cases — no more silent demotion).
+    let engine = demote_sharded_for_faults(resolve_engine(opts)?, &faults);
+    let engine = demote_faulty_observers(engine, &faults, "fault-injected observation");
     faults.session(&opinions).map_err(|e| e.to_string())?;
     let budget: u64 = parse_opt(opts, "budget")?.unwrap_or(if faults.is_trivial() {
         u64::MAX
@@ -1140,8 +1673,10 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<i32, String> {
     println!("{graph}; c = {:.4}", init::average(&opinions));
 
     let mut rec = RingRecorder::new(4096);
+    let knobs = ObsKnobs::parse(opts)?;
     let (outcome, label) = observed_single(
-        &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, &mut rec,
+        &graph, &opinions, &scheduler, &engine, &faults, budget, &mut rng, stride, knobs, None,
+        &mut rec,
     )?;
     let code = finish_single_run(outcome, &label, None)?;
 

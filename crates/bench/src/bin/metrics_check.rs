@@ -5,29 +5,70 @@
 //! metrics_check outcomes URL    print the scrape's outcome taxonomy as the
 //!                               report's `outcomes ...` line (for diffing)
 //! metrics_check progress URL    sanity-check the /progress JSON snapshot
+//! metrics_check spans    PATH   validate a lifecycle span trace file:
+//!                               parse + byte-identical re-render, non-empty
 //! ```
 //!
-//! `URL` is `http://HOST:PORT/PATH`.  The checker is dependency-free (raw
-//! `TcpStream` + a hand-rolled exposition parser) so CI can validate the
-//! endpoint without a Prometheus install.
+//! `URL` is `http://HOST:PORT/PATH`; `PATH` is a local Chrome-trace-event
+//! file written by `divlab campaign --spans` or the daemon.  The checker
+//! is dependency-free (raw `TcpStream` + a hand-rolled exposition parser)
+//! so CI can validate the endpoint without a Prometheus install.
+//!
+//! The grammar mode closes over the exporter: every `TYPE` family must be
+//! one the campaign monitor actually emits ([`ALLOWED_FAMILIES`]).  An
+//! unrecognized family is a **hard failure**, not a silent pass — a typo
+//! in a new gauge name fails CI instead of scraping as an orphan series.
 //!
 //! Exit codes: `0` valid, `1` validation failure, `2` usage or
 //! connection error.
 
+use div_core::{parse_spans, render_spans};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::exit;
+
+/// Every metric family the campaign monitor is allowed to expose.  Keep
+/// in sync with `div_sim::monitor::render_prometheus`; `check_grammar`
+/// hard-fails any `TYPE` line naming a family outside this list.
+const ALLOWED_FAMILIES: &[&str] = &[
+    "div_trials_expected",
+    "div_trials_started_total",
+    "div_trials_finished_total",
+    "div_trials_total",
+    "div_trial_retries_total",
+    "div_steps_total",
+    "div_steps_per_second",
+    "div_campaign_elapsed_seconds",
+    "div_telemetry_samples_total",
+    "div_engine_info",
+    "div_shard_weight",
+    "div_shard_edge_cut",
+    "div_shard_steps",
+    "div_shard_round_lag",
+    "div_lane_steps",
+    "div_fault_events_total",
+    "div_phase_steps",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mode, url) = match args.as_slice() {
         [mode, url] => (mode.as_str(), url.as_str()),
         _ => {
-            eprintln!("usage: metrics_check grammar|outcomes|progress URL");
+            eprintln!("usage: metrics_check grammar|outcomes|progress URL | spans PATH");
             exit(2);
         }
     };
+    if mode == "spans" {
+        match check_spans(url) {
+            Ok(()) => exit(0),
+            Err(msg) => {
+                eprintln!("metrics_check: {msg}");
+                exit(1);
+            }
+        }
+    }
     let body = match fetch(url) {
         Ok(b) => b,
         Err(e) => {
@@ -148,6 +189,8 @@ fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String>
 /// Validates the Prometheus text exposition format 0.0.4: HELP/TYPE
 /// comment structure, metric/label name charsets, numeric sample values,
 /// and (for histograms) cumulative `le` buckets with a final `+Inf`.
+/// Every `TYPE` family must additionally appear in [`ALLOWED_FAMILIES`];
+/// an unrecognized family is a hard failure.
 fn check_grammar(body: &str) -> Result<(), String> {
     let mut types: HashMap<String, String> = HashMap::new();
     let mut samples = 0usize;
@@ -181,6 +224,11 @@ fn check_grammar(body: &str) -> Result<(), String> {
                         "counter" | "gauge" | "histogram" | "summary" | "untyped"
                     ) {
                         return Err(at(format!("TYPE {name} has unknown type {tail:?}")));
+                    }
+                    if !ALLOWED_FAMILIES.contains(&name) {
+                        return Err(at(format!(
+                            "unknown metric family {name} (not in the exporter allowlist)"
+                        )));
                     }
                     if types.insert(name.to_string(), tail.to_string()).is_some() {
                         return Err(at(format!("duplicate TYPE for {name}")));
@@ -324,6 +372,23 @@ fn check_progress(body: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a lifecycle span trace file: it must parse as a Chrome
+/// trace event array, contain at least one span, and re-render to the
+/// exact bytes on disk (so the writer and reader agree on the format).
+fn check_spans(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = String::from_utf8(bytes).map_err(|_| format!("{path} is not UTF-8"))?;
+    let spans = parse_spans(&text).map_err(|e| format!("{path}: {e}"))?;
+    if spans.is_empty() {
+        return Err(format!("{path}: trace has no spans"));
+    }
+    if render_spans(&spans) != text {
+        return Err(format!("{path}: re-render is not byte-identical"));
+    }
+    println!("spans ok: {} spans in {path}", spans.len());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,25 +410,66 @@ mod tests {
 
     #[test]
     fn grammar_rejects_broken_expositions() {
-        assert!(check_grammar("div_x 1\n").is_err(), "sample without TYPE");
         assert!(
-            check_grammar("# TYPE div_x wat\ndiv_x 1\n").is_err(),
+            check_grammar("div_steps_total 1\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            check_grammar("# TYPE div_steps_total wat\ndiv_steps_total 1\n").is_err(),
             "unknown type"
         );
         assert!(
-            check_grammar("# TYPE div_x counter\ndiv_x abc\n").is_err(),
+            check_grammar("# TYPE div_steps_total counter\ndiv_steps_total abc\n").is_err(),
             "non-numeric value"
         );
-        let noninf = "# TYPE div_h histogram\ndiv_h_bucket{le=\"1\"} 1\n";
+        let noninf = "# TYPE div_phase_steps histogram\n\
+                      div_phase_steps_bucket{le=\"1\"} 1\n";
         assert!(check_grammar(noninf).is_err(), "histogram without +Inf");
-        let noncumulative = "# TYPE div_h histogram\n\
-                             div_h_bucket{le=\"1\"} 5\n\
-                             div_h_bucket{le=\"2\"} 3\n\
-                             div_h_bucket{le=\"+Inf\"} 9\n";
+        let noncumulative = "# TYPE div_phase_steps histogram\n\
+                             div_phase_steps_bucket{le=\"1\"} 5\n\
+                             div_phase_steps_bucket{le=\"2\"} 3\n\
+                             div_phase_steps_bucket{le=\"+Inf\"} 9\n";
         assert!(
             check_grammar(noncumulative).is_err(),
             "non-cumulative buckets"
         );
+    }
+
+    #[test]
+    fn grammar_hard_fails_unknown_families() {
+        let err = check_grammar("# TYPE div_made_up counter\ndiv_made_up 1\n").unwrap_err();
+        assert!(err.contains("unknown metric family div_made_up"), "{err}");
+        // Every family the allowlist admits must pass as a bare gauge
+        // (histogram families get their base TYPE line, which is what
+        // the monitor emits before any _bucket series).
+        for family in ALLOWED_FAMILIES {
+            let body = format!("# TYPE {family} gauge\n{family} 1\n");
+            assert!(check_grammar(&body).is_ok(), "{family} rejected");
+        }
+    }
+
+    #[test]
+    fn spans_mode_round_trips_a_trace_file() {
+        use div_core::SpanEvent;
+        let dir = std::env::temp_dir().join(format!("mc-spans-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let events = vec![
+            SpanEvent::complete("campaign", "campaign", 0, 500, 1, 0),
+            SpanEvent::complete("trial", "campaign", 10, 200, 1, 1).arg_int("trial", 0),
+        ];
+        std::fs::write(&good, render_spans(&events)).unwrap();
+        assert!(check_spans(good.to_str().unwrap()).is_ok());
+
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "[\n]\n").unwrap();
+        let err = check_spans(empty.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("no spans"), "{err}");
+
+        let mangled = dir.join("mangled.json");
+        std::fs::write(&mangled, "not a trace").unwrap();
+        assert!(check_spans(mangled.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! [`CampaignMonitor`], and map end states through [`outcome_of`].
 
 use div_core::{
-    BatchProcess, DivProcess, FastProcess, FastRng, FastScheduler, FaultPlan, FaultStats,
-    RunStatus, Scheduler, ShardedProcess,
+    BatchProcess, DivProcess, FastProcess, FastRng, FastScheduler, FaultPlan, FaultStats, Observer,
+    RunStatus, Scheduler, ShardGauge, ShardedProcess,
 };
 use div_graph::Graph;
 use div_sim::{CampaignMonitor, FaultTotals, SeedSequence, TrialCtx, TrialOutcome};
@@ -171,6 +171,42 @@ pub fn batch_group(
         .collect()
 }
 
+/// [`batch_group`] with native per-lane telemetry: the group runs through
+/// [`BatchProcess::run_observed`], so every observer sees its lane's
+/// register snapshots on the engine's block lattice (`sample_every` steps
+/// rounded up to whole blocks; `0` picks the engine default) plus exact
+/// phase-transition events, while the lanes stay bit-exact against
+/// [`fast_trial`].
+///
+/// Callers guarantee a trivial fault plan and an initial span within
+/// [`BatchProcess::LANE_SPAN_LIMIT`] (the `divlab` front-end demotes both
+/// cases with a warning), and pass exactly one observer per trial.
+pub fn batch_group_observed<O: Observer>(
+    graph: &Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    sample_every: u64,
+    ctxs: &[TrialCtx],
+    observers: &mut [O],
+) -> Vec<TrialOutcome> {
+    let seeds: Vec<u64> = ctxs.iter().map(|c| c.seed).collect();
+    let mut batch =
+        BatchProcess::new(graph, opinions.to_vec(), kind, &seeds).expect("validated in setup");
+    let statuses = batch.run_observed(ctxs[0].step_budget, sample_every, observers);
+    statuses
+        .into_iter()
+        .enumerate()
+        .map(|(l, status)| {
+            outcome_of(
+                status,
+                batch.is_two_adjacent(l),
+                batch.min_opinion(l),
+                batch.max_opinion(l),
+            )
+        })
+        .collect()
+}
+
 /// One sharded-engine campaign trial: the graph is partitioned into
 /// `shards` vertex domains stepped concurrently on `threads` std
 /// threads (see [`ShardedProcess`]).  Shard `p` draws from
@@ -200,5 +236,43 @@ pub fn sharded_trial(
         p.is_two_adjacent(),
         p.min_opinion(),
         p.max_opinion(),
+    )
+}
+
+/// [`sharded_trial`] with native telemetry: the trial runs through
+/// [`ShardedProcess::run_observed`], emitting the O(P) register combine
+/// at round boundaries (`sample_every` steps rounded up to whole rounds;
+/// `0` samples every round) plus round-granular phase events.  Returns
+/// the outcome together with the end-of-run per-shard gauges so callers
+/// can publish them to a live monitor.
+///
+/// Seeding is identical to [`sharded_trial`], so observing a trial never
+/// changes its trajectory or report.
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_observed_trial<O: Observer>(
+    graph: &Graph,
+    opinions: &[i64],
+    kind: FastScheduler,
+    shards: usize,
+    threads: usize,
+    sample_every: u64,
+    ctx: &TrialCtx,
+    obs: &mut O,
+) -> (TrialOutcome, Vec<ShardGauge>) {
+    let shard_seeds: Vec<u64> = (0..shards as u64)
+        .map(|p| SeedSequence::seed_for(ctx.seed, p))
+        .collect();
+    let mut p = ShardedProcess::new(graph, opinions.to_vec(), kind, &shard_seeds)
+        .expect("validated in setup");
+    let status = p.run_observed(ctx.step_budget, threads, sample_every, obs);
+    let gauges = p.shard_gauges();
+    (
+        outcome_of(
+            status,
+            p.is_two_adjacent(),
+            p.min_opinion(),
+            p.max_opinion(),
+        ),
+        gauges,
     )
 }

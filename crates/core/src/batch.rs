@@ -102,6 +102,8 @@
 //! # }
 //! ```
 
+use std::time::Instant;
+
 use div_graph::Graph;
 use rand::SeedableRng;
 
@@ -113,7 +115,7 @@ use crate::process::RunStatus;
 use crate::rng::FastRng;
 use crate::scheduler::SelectionBias;
 use crate::state::OpinionState;
-use crate::telemetry::TelemetrySample;
+use crate::telemetry::{Observer, Phase, PhaseEvent, TelemetrySample};
 use crate::{FastScheduler, FinishPolicy};
 
 /// `K` trials of one DIV instance stepped in lockstep (see the module
@@ -302,12 +304,16 @@ impl<'g> BatchProcess<'g> {
         self.width(l) <= 1
     }
 
-    /// The number of distinct opinions currently held in lane `l`.
+    /// The number of distinct opinions currently held in lane `l` —
+    /// `O(n + width)` via a dense presence table over the live range
+    /// (cheap enough for per-sample use, unlike a sort).
     pub fn distinct(&self, l: usize) -> usize {
-        let mut held = self.column(l).to_vec();
-        held.sort_unstable();
-        held.dedup();
-        held.len()
+        let (mn, mx) = self.column_min_max(l);
+        let mut seen = vec![false; (mx - mn) as usize + 1];
+        for &x in self.column(l) {
+            seen[(x - mn) as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
     }
 
     /// Lane `l`'s current opinion vector, indexed by vertex.
@@ -379,43 +385,25 @@ impl<'g> BatchProcess<'g> {
         counts: &mut Vec<u32>,
     ) -> u64 {
         let n = self.initial.len();
-        counts.clear();
-        counts.resize(self.span, 0);
-        for v in 0..n {
-            counts[self.opinions[l * n + v] as usize] += 1;
-        }
-        let mut lo = counts.iter().position(|&c| c > 0).expect("non-empty") as u16;
-        let mut hi = counts.iter().rposition(|&c| c > 0).expect("non-empty") as u16;
-        debug_assert!(hi - lo > stop_width, "replay starts above the stop width");
-        for r in 1..=limit {
-            let (v, w) = self.sampler.pick(self.graph, &mut self.rngs[l]);
-            let xi = l * n + v;
-            let xv = self.opinions[xi];
-            let xw = self.opinions[l * n + w];
-            let delta = (xw > xv) as i32 - ((xw < xv) as i32);
-            if delta != 0 {
-                let new = (xv as i32 + delta) as u16;
-                self.opinions[xi] = new;
-                counts[xv as usize] -= 1;
-                counts[new as usize] += 1;
-                if counts[xv as usize] == 0 {
-                    if xv == lo {
-                        while counts[lo as usize] == 0 {
-                            lo += 1;
-                        }
-                    }
-                    if xv == hi {
-                        while counts[hi as usize] == 0 {
-                            hi -= 1;
-                        }
-                    }
-                    if hi - lo <= stop_width {
-                        return r;
-                    }
-                }
-            }
-        }
-        unreachable!("block scan found a hit that the replay did not");
+        let BatchProcess {
+            graph,
+            sampler,
+            span,
+            opinions,
+            rngs,
+            ..
+        } = self;
+        let col = &mut opinions[l * n..(l + 1) * n];
+        replay_col_to_width(
+            sampler,
+            graph,
+            col,
+            &mut rngs[l],
+            *span,
+            limit,
+            stop_width,
+            counts,
+        )
     }
 
     /// The hot loop: every lane above `stop_width` takes at most
@@ -643,6 +631,137 @@ impl<'g> BatchProcess<'g> {
         self.run_width(max_steps, 1)
     }
 
+    /// How many blocks one default sampling chunk spans: per-lane
+    /// register snapshots cost a handful of `O(n)` column scans, so
+    /// spacing them ~32 blocks (≈ 128·n lane-steps) apart keeps the
+    /// sampled engine within the 5% telemetry overhead budget that
+    /// `perf_smoke --check-overhead` enforces.
+    const DEFAULT_SAMPLE_BLOCKS: u64 = 32;
+
+    /// Runs every lane to consensus with one [`Observer`] per lane
+    /// attached, sampling per-lane register snapshots at block-aligned
+    /// boundaries.
+    ///
+    /// The run is the unmodified hot loop driven in uniform chunks —
+    /// chunked [`BatchProcess::run_width`] calls are bit-exact against
+    /// a one-shot call (trajectory, step counts **and** RNG positions),
+    /// so attaching observers never changes any lane's outcome.  At
+    /// each chunk boundary an active lane contributes one
+    /// [`TelemetrySample`] (all registers are `O(n)` column scans, paid
+    /// only when sampled); the sampled steps sit on the chunk lattice,
+    /// which downstream sinks re-infer by gcd.
+    ///
+    /// Phase events are **exact**, matching the scalar engine's
+    /// contract: consensus steps come from the engine's own
+    /// rewind-and-replay bookkeeping, and the `τ` (two-adjacent) step is
+    /// located by replaying the crossing chunk from a per-lane
+    /// column+RNG snapshot on scratch buffers — the live lane state is
+    /// never touched.  Phases already satisfied at run start emit no
+    /// event, exactly like `FastProcess::run_observed`.
+    ///
+    /// `sample_every` asks for at most one sample per that many
+    /// lane-steps, rounded up to whole blocks
+    /// (`0` = the engine default of
+    /// [`BatchProcess::DEFAULT_SAMPLE_BLOCKS`] blocks).  With a
+    /// disabled observer type this is exactly
+    /// [`BatchProcess::run_to_consensus`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `observers.len()` equals the lane count.
+    pub fn run_observed<O: Observer>(
+        &mut self,
+        max_steps: u64,
+        sample_every: u64,
+        observers: &mut [O],
+    ) -> Vec<RunStatus> {
+        assert_eq!(
+            observers.len(),
+            self.lanes,
+            "run_observed needs exactly one observer per lane"
+        );
+        if !O::ENABLED {
+            return self.run_to_consensus(max_steps);
+        }
+        let n = self.initial.len();
+        let k = self.lanes;
+        let block = (4 * n as u64).max(8192);
+        let chunk = if sample_every == 0 {
+            Self::DEFAULT_SAMPLE_BLOCKS * block
+        } else {
+            block * sample_every.div_ceil(block).max(1)
+        };
+        let started = Instant::now();
+        for (l, obs) in observers.iter_mut().enumerate() {
+            obs.on_start(&self.telemetry_sample(l));
+        }
+        let mut seen_tau: Vec<bool> = (0..k).map(|l| self.width(l) <= 1).collect();
+        let mut done: Vec<bool> = (0..k).map(|l| self.width(l) == 0).collect();
+        // Per-lane chunk-start snapshots, kept only until the lane's τ is
+        // located: the τ replay runs on these scratch buffers with the
+        // lane's frozen RNG copy, leaving the live columns and streams
+        // untouched.
+        let mut snap_cols: Vec<u16> = vec![0u16; k * n];
+        let mut snap_rngs: Vec<FastRng> = self.rngs.clone();
+        let mut snap_steps: Vec<u64> = vec![0u64; k];
+        let mut counts_scratch: Vec<u32> = Vec::new();
+        let mut remaining = max_steps;
+        while remaining > 0 && done.iter().any(|&d| !d) {
+            let c = chunk.min(remaining);
+            remaining -= c;
+            for l in 0..k {
+                if !seen_tau[l] && !done[l] {
+                    snap_cols[l * n..(l + 1) * n].copy_from_slice(self.column(l));
+                    snap_rngs[l] = self.rngs[l];
+                    snap_steps[l] = self.steps[l];
+                }
+            }
+            let statuses = self.run_width(c, 0);
+            for l in 0..k {
+                if done[l] {
+                    continue;
+                }
+                let consensus = matches!(statuses[l], RunStatus::Consensus { .. });
+                if !seen_tau[l] && (consensus || self.width(l) <= 1) {
+                    seen_tau[l] = true;
+                    let col = &mut snap_cols[l * n..(l + 1) * n];
+                    let mut rng = snap_rngs[l];
+                    let r = replay_col_to_width(
+                        &self.sampler,
+                        self.graph,
+                        col,
+                        &mut rng,
+                        self.span,
+                        c,
+                        1,
+                        &mut counts_scratch,
+                    );
+                    observers[l].on_phase(&PhaseEvent {
+                        phase: Phase::TwoAdjacent,
+                        step: snap_steps[l] + r,
+                    });
+                }
+                if consensus {
+                    done[l] = true;
+                    observers[l].on_phase(&PhaseEvent {
+                        phase: Phase::Consensus,
+                        step: self.steps[l],
+                    });
+                } else if c == chunk {
+                    // Full chunks end on the sample lattice; a final
+                    // partial chunk (budget tail) is covered by the
+                    // finish sample instead, keeping the lattice exact.
+                    observers[l].on_sample(&self.telemetry_sample(l));
+                }
+            }
+        }
+        let elapsed = started.elapsed();
+        for (l, obs) in observers.iter_mut().enumerate() {
+            obs.on_finish(&self.telemetry_sample(l), elapsed);
+        }
+        (0..k).map(|l| self.result_for(l, 0)).collect()
+    }
+
     /// Runs every lane under a finish policy, mirroring
     /// `FastProcess::run_with_policy`: the analytic finish stops each lane
     /// at `τ` and resolves the winner with one bounded draw from that
@@ -811,6 +930,62 @@ impl<'g> BatchProcess<'g> {
     }
 }
 
+/// Replays one lane column step-by-step with full bookkeeping until its
+/// width first reaches `stop_width`, returning the number of steps
+/// taken.  The column and RNG are advanced in place; callers pass either
+/// the live lane state (the settle-phase rewind) or scratch copies (the
+/// observed run's exact-τ location, which must not disturb the lane).
+/// Called after a block/chunk scan saw the hit, so it is guaranteed
+/// within `limit` steps.
+#[allow(clippy::too_many_arguments)]
+fn replay_col_to_width(
+    sampler: &CompiledSampler,
+    graph: &Graph,
+    col: &mut [u16],
+    rng: &mut FastRng,
+    span: usize,
+    limit: u64,
+    stop_width: u16,
+    counts: &mut Vec<u32>,
+) -> u64 {
+    counts.clear();
+    counts.resize(span, 0);
+    for &x in col.iter() {
+        counts[x as usize] += 1;
+    }
+    let mut lo = counts.iter().position(|&c| c > 0).expect("non-empty") as u16;
+    let mut hi = counts.iter().rposition(|&c| c > 0).expect("non-empty") as u16;
+    debug_assert!(hi - lo > stop_width, "replay starts above the stop width");
+    for r in 1..=limit {
+        let (v, w) = sampler.pick(graph, rng);
+        let xv = col[v];
+        let xw = col[w];
+        let delta = (xw > xv) as i32 - ((xw < xv) as i32);
+        if delta != 0 {
+            let new = (xv as i32 + delta) as u16;
+            col[v] = new;
+            counts[xv as usize] -= 1;
+            counts[new as usize] += 1;
+            if counts[xv as usize] == 0 {
+                if xv == lo {
+                    while counts[lo as usize] == 0 {
+                        lo += 1;
+                    }
+                }
+                if xv == hi {
+                    while counts[hi as usize] == 0 {
+                        hi -= 1;
+                    }
+                }
+                if hi - lo <= stop_width {
+                    return r;
+                }
+            }
+        }
+    }
+    unreachable!("block scan found a hit that the replay did not");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -890,6 +1065,101 @@ mod tests {
             assert_eq!(one.opinions_of(l), chunked.opinions_of(l), "lane {l}");
             assert_eq!(one.rngs[l], chunked.rngs[l], "lane {l} rng position");
         }
+    }
+
+    #[test]
+    fn observed_run_matches_scalar_observed_exactly() {
+        use crate::telemetry::RingRecorder;
+        let g = regular(48, 6, 9);
+        let opinions = uniform(48, 8, 11);
+        for kind in [FastScheduler::Vertex, FastScheduler::Edge] {
+            let seeds = seeds(6, 0xFACE);
+            let mut batch = BatchProcess::new(&g, opinions.clone(), kind, &seeds).unwrap();
+            let mut recs: Vec<RingRecorder> = (0..seeds.len())
+                .map(|_| RingRecorder::new(1 << 14))
+                .collect();
+            let got = batch.run_observed(2_000_000, 0, &mut recs);
+            for (l, &s) in seeds.iter().enumerate() {
+                let mut rng = FastRng::seed_from_u64(s);
+                let mut p = FastProcess::new(&g, opinions.clone(), kind).unwrap();
+                let mut rec = RingRecorder::new(1 << 14);
+                let status = p.run_observed(2_000_000, &mut rng, 64, &mut rec);
+                assert_eq!(got[l], status, "lane {l} status ({kind:?})");
+                assert_eq!(batch.opinions_of(l), p.opinions(), "lane {l} opinions");
+                assert_eq!(batch.rngs[l], rng, "lane {l} rng position");
+                // Phase events are exact on both engines, so they agree
+                // to the step — including τ, located by the scratch
+                // replay on the batch side.
+                assert_eq!(recs[l].phases(), rec.phases(), "lane {l} phases");
+                assert_eq!(
+                    recs[l].final_sample(),
+                    rec.final_sample(),
+                    "lane {l} final sample"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observed_null_observer_is_the_plain_run() {
+        use crate::telemetry::NullObserver;
+        let g = generators::complete(30).unwrap();
+        let opinions = uniform(30, 7, 3);
+        let seeds = seeds(4, 0xAB);
+        let mut plain =
+            BatchProcess::new(&g, opinions.clone(), FastScheduler::Edge, &seeds).unwrap();
+        let mut observed = BatchProcess::new(&g, opinions, FastScheduler::Edge, &seeds).unwrap();
+        let a = plain.run_to_consensus(1_000_000);
+        let mut null = vec![NullObserver; seeds.len()];
+        let b = observed.run_observed(1_000_000, 0, &mut null);
+        assert_eq!(a, b);
+        for l in 0..seeds.len() {
+            assert_eq!(plain.rngs[l], observed.rngs[l], "lane {l} rng");
+        }
+    }
+
+    #[test]
+    fn observed_samples_sit_on_the_chunk_lattice() {
+        use crate::telemetry::RingRecorder;
+        let g = generators::cycle(256).unwrap();
+        let opinions = init::spread(256, 9).unwrap();
+        let seeds = seeds(2, 7);
+        let mut batch = BatchProcess::new(&g, opinions, FastScheduler::Vertex, &seeds).unwrap();
+        let mut recs: Vec<RingRecorder> = (0..seeds.len())
+            .map(|_| RingRecorder::new(1 << 14))
+            .collect();
+        // sample_every = one block (n = 256 → block = 8192): the densest
+        // lattice the chunking can offer.  A 256-cycle mixes slowly, so
+        // the budget spans many chunks.
+        batch.run_observed(300_000, 1, &mut recs);
+        for (l, rec) in recs.iter().enumerate() {
+            assert!(rec.samples().len() > 1, "lane {l} sampled");
+            for s in rec.samples() {
+                assert_eq!(s.step % 8192, 0, "lane {l} step {} off lattice", s.step);
+            }
+            for pair in rec.samples().windows(2) {
+                assert!(pair[1].step > pair[0].step, "lane {l} steps increase");
+                // Fault-free width never expands (the module invariant
+                // the block engine itself relies on).
+                assert!(pair[1].width() <= pair[0].width(), "lane {l} width");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one observer per lane")]
+    fn observed_rejects_observer_count_mismatch() {
+        use crate::telemetry::RingRecorder;
+        let g = generators::complete(10).unwrap();
+        let mut batch = BatchProcess::new(
+            &g,
+            init::spread(10, 3).unwrap(),
+            FastScheduler::Edge,
+            &[1, 2],
+        )
+        .unwrap();
+        let mut recs = vec![RingRecorder::new(16)];
+        batch.run_observed(1000, 0, &mut recs);
     }
 
     #[test]

@@ -75,6 +75,10 @@
 //!   and CSV formats back into [`Trace`] values, so offline tooling
 //!   (`divlab analyze`) re-derives the paper's trajectory checks from
 //!   disk alone.
+//! * [`spans`] — Chrome-trace-event lifecycle spans ([`SpanEvent`],
+//!   canonical renderer/parser, deterministic [`span_id`]s) covering
+//!   submit → schedule → attempt → outcome → report-write intervals;
+//!   the files load directly into Perfetto / `chrome://tracing`.
 
 // Unsafe policy: `unsafe_code` is denied crate-wide and re-allowed only
 // in the vector kernel modules — `kernels::avx2` and `kernels::avx512`
@@ -98,6 +102,7 @@ mod process;
 mod rng;
 mod scheduler;
 mod shard;
+pub mod spans;
 mod stage;
 mod state;
 mod synchronous;
@@ -119,15 +124,18 @@ pub use rng::FastRng;
 pub use scheduler::{
     BiasedVertexScheduler, EdgeScheduler, Scheduler, SelectionBias, VertexScheduler,
 };
-pub use shard::ShardedProcess;
+pub use shard::{ShardGauge, ShardedProcess};
+pub use spans::{
+    hex_id, parse_spans, render_spans, span_id, SpanClock, SpanError, SpanEvent, SpanValue,
+};
 pub use stage::{EliminationEvent, StageLog};
 pub use state::OpinionState;
 pub use synchronous::SynchronousDiv;
 pub use telemetry::{
     CsvExporter, JsonlExporter, NullObserver, Observer, Phase, PhaseEvent, RingRecorder,
-    TelemetrySample,
+    SampledObserver, TelemetrySample,
 };
-pub use trace::{read_trace, Trace, TraceError};
+pub use trace::{read_spans, read_trace, Trace, TraceError};
 
 /// Crate-wide result alias.
 pub type Result<T, E = DivError> = std::result::Result<T, E>;

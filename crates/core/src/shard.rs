@@ -61,8 +61,10 @@ use div_graph::Graph;
 
 use crate::engine::{bounded_u32_half, bounded_u64, packed_alias_slots};
 use crate::rng::FastRng;
+use crate::telemetry::{Observer, Phase, PhaseEvent, TelemetrySample};
 use crate::{DivError, FastScheduler, OpinionState, RunStatus};
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// How an updater is drawn inside one shard domain.
 #[derive(Debug, Clone)]
@@ -215,6 +217,27 @@ impl Shard {
     }
 }
 
+/// One shard domain's balance gauges, read at a round boundary — the
+/// per-shard families `divlab --serve` exposes for the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGauge {
+    /// The domain index `p` (`0 ≤ p < P`).
+    pub shard: usize,
+    /// The domain's step weight `W_p` (vertex count for the vertex
+    /// process, total degree for the edge process).
+    pub weight: u64,
+    /// Edges with exactly one endpoint in this domain — every one is a
+    /// potential snapshot (stale) read.
+    pub edge_cut: u64,
+    /// Steps this shard has executed so far (the error-diffusion
+    /// allocation realised).
+    pub steps: u64,
+    /// Steps this shard executed in the most recent round — the upper
+    /// bound on how stale its writes are in the snapshot other domains
+    /// read (the snapshot-refresh age, in steps).
+    pub round_lag: u64,
+}
+
 /// Sharded-domain DIV process: one trial stepped by `P` concurrent vertex
 /// domains with deterministic round-boundary reconciliation.  See the
 /// module docs for the execution model and fidelity contract.
@@ -254,6 +277,14 @@ pub struct ShardedProcess<'g> {
     weights: Vec<u64>,
     /// `W = Σ W_p`.
     total_weight: u64,
+    /// Edges crossing each domain's boundary (both endpoints' domains
+    /// count the edge), fixed at construction.
+    edge_cuts: Vec<u64>,
+    /// Steps executed per shard so far (`Σ` of its round allocations).
+    shard_steps: Vec<u64>,
+    /// The most recent round's per-shard allocation (the staleness
+    /// bound of each domain's snapshot contribution).
+    last_allocs: Vec<u64>,
     round_len: u64,
     /// Cumulative *target* steps handed to the allocator; the executed
     /// count is `Σ_p ⌊target·W_p/W⌋` (within `P` of the target).
@@ -355,6 +386,21 @@ impl<'g> ShardedProcess<'g> {
                 }
             })
             .collect();
+        // Edges with endpoints in different domains: each is a potential
+        // snapshot (stale) read, so the per-domain tally is the
+        // observability gauge for partition quality.  `bounds` is tiny,
+        // so the binary searches cost O(m log P) — the same order as the
+        // partition pass above.
+        let mut edge_cuts = vec![0u64; p];
+        for e in 0..graph.num_edges() {
+            let (u, v) = graph.edge(e);
+            let du = bounds.partition_point(|&b| b <= u as u32) - 1;
+            let dv = bounds.partition_point(|&b| b <= v as u32) - 1;
+            if du != dv {
+                edge_cuts[du] += 1;
+                edge_cuts[dv] += 1;
+            }
+        }
         // One round ≈ one expected update per vertex, so a cross-domain
         // read is at most one sweep stale (the fidelity contract) while
         // the O(n) snapshot refresh stays O(1) per step.
@@ -370,6 +416,9 @@ impl<'g> ShardedProcess<'g> {
             shards,
             weights,
             total_weight,
+            edge_cuts,
+            shard_steps: vec![0; p],
+            last_allocs: vec![0; p],
             round_len,
             target: 0,
             steps: 0,
@@ -462,6 +511,45 @@ impl<'g> ShardedProcess<'g> {
             .collect()
     }
 
+    /// The number of distinct opinions currently held — an `O(P·span)`
+    /// combine of the per-domain count registers.
+    fn distinct(&self) -> usize {
+        let (lo, hi) = (self.lo() as usize, self.hi() as usize);
+        (lo..=hi)
+            .filter(|&off| self.shards.iter().any(|s| s.regs.counts[off] > 0))
+            .count()
+    }
+
+    /// The combined trajectory sample at the current (round-boundary)
+    /// state — an `O(P·span)` register combine, never an `O(n)` rescan.
+    /// A pure function of the registers, so it is identical for every
+    /// thread count.
+    pub fn telemetry_sample(&self) -> TelemetrySample {
+        TelemetrySample {
+            step: self.steps,
+            sum: self.sum(),
+            z_weight: self.z_weight(),
+            min: self.min_opinion(),
+            max: self.max_opinion(),
+            distinct: self.distinct(),
+        }
+    }
+
+    /// Per-domain balance gauges at the current round boundary: step
+    /// weight, boundary edge cut, realised step count and the most
+    /// recent round's allocation (the snapshot-refresh age bound).
+    pub fn shard_gauges(&self) -> Vec<ShardGauge> {
+        (0..self.shards.len())
+            .map(|p| ShardGauge {
+                shard: p,
+                weight: self.weights[p],
+                edge_cut: self.edge_cuts[p],
+                steps: self.shard_steps[p],
+                round_lag: self.last_allocs[p],
+            })
+            .collect()
+    }
+
     fn lo(&self) -> u32 {
         self.shards.iter().map(|s| s.regs.lo).min().expect("P >= 1")
     }
@@ -495,19 +583,99 @@ impl<'g> ShardedProcess<'g> {
         self.run_rounds(max_steps, threads, 1)
     }
 
-    fn run_rounds(&mut self, max_steps: u64, threads: usize, stop_width: u32) -> RunStatus {
+    /// Runs to consensus with an [`Observer`] attached, emitting the
+    /// `O(P)`-combined sample at reconciliation-round boundaries.
+    ///
+    /// `sample_every` asks for at most one sample per that many steps
+    /// (rounded up to whole rounds; `0` = every round boundary).  Phase
+    /// transitions are reported at round-boundary granularity — the
+    /// first boundary at or after the hit, matching the engine's own
+    /// step-reporting contract ([`ShardedProcess::run_to_consensus`]) —
+    /// and the sampled content is a pure function of `(shard_seeds, P)`,
+    /// so it is bit-identical across thread counts.
+    ///
+    /// With a disabled observer ([`Observer::ENABLED`] = `false`) this
+    /// is exactly [`ShardedProcess::run_to_consensus`]: the plain round
+    /// loop runs and no sampling machinery is touched.
+    pub fn run_observed<O: Observer>(
+        &mut self,
+        max_steps: u64,
+        threads: usize,
+        sample_every: u64,
+        obs: &mut O,
+    ) -> RunStatus {
+        if !O::ENABLED {
+            return self.run_to_consensus(max_steps, threads);
+        }
+        let threads = self.worker_count(threads);
+        let started = Instant::now();
+        obs.on_start(&self.telemetry_sample());
+        let rounds_per_sample = sample_every.div_ceil(self.round_len).max(1);
+        let mut rounds_since_sample = 0u64;
+        let mut seen_two_adjacent = self.width() <= 1;
+        let mut budget = max_steps;
+        while self.width() > 0 && budget > 0 {
+            let b = self.round_len.min(budget);
+            let allocs = self.allocate(b);
+            let executed: u64 = allocs.iter().sum();
+            self.run_round(&allocs, threads);
+            self.note_round(&allocs);
+            self.steps += executed;
+            self.target += b;
+            budget -= b;
+            self.snapshot.copy_from_slice(&self.live);
+            if !seen_two_adjacent && self.width() <= 1 {
+                seen_two_adjacent = true;
+                obs.on_phase(&PhaseEvent {
+                    phase: Phase::TwoAdjacent,
+                    step: self.steps,
+                });
+            }
+            if self.width() == 0 {
+                obs.on_phase(&PhaseEvent {
+                    phase: Phase::Consensus,
+                    step: self.steps,
+                });
+            } else {
+                rounds_since_sample += 1;
+                if rounds_since_sample >= rounds_per_sample {
+                    rounds_since_sample = 0;
+                    obs.on_sample(&self.telemetry_sample());
+                }
+            }
+        }
+        obs.on_finish(&self.telemetry_sample(), started.elapsed());
+        self.status_snapshot()
+    }
+
+    /// Resolves a requested thread count to the worker count actually
+    /// used (`0` = available parallelism, clamped to `[1, P]`).
+    fn worker_count(&self, threads: usize) -> usize {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |t| t.get())
         } else {
             threads
         };
-        let threads = threads.min(self.shards.len()).max(1);
+        threads.min(self.shards.len()).max(1)
+    }
+
+    /// Folds a round's per-shard allocation into the step gauges.
+    fn note_round(&mut self, allocs: &[u64]) {
+        for (p, &a) in allocs.iter().enumerate() {
+            self.shard_steps[p] += a;
+        }
+        self.last_allocs.copy_from_slice(allocs);
+    }
+
+    fn run_rounds(&mut self, max_steps: u64, threads: usize, stop_width: u32) -> RunStatus {
+        let threads = self.worker_count(threads);
         let mut budget = max_steps;
         while self.width() > stop_width && budget > 0 {
             let b = self.round_len.min(budget);
             let allocs = self.allocate(b);
             let executed: u64 = allocs.iter().sum();
             self.run_round(&allocs, threads);
+            self.note_round(&allocs);
             self.steps += executed;
             self.target += b;
             budget -= b;
@@ -814,6 +982,97 @@ mod tests {
         let g = generators::complete(3).unwrap();
         assert!(ShardedProcess::new(&g, vec![], FastScheduler::Edge, &[1]).is_err());
         assert!(ShardedProcess::new(&g, vec![1], FastScheduler::Edge, &[1]).is_err());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_is_thread_invariant() {
+        use crate::telemetry::RingRecorder;
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::random_regular(150, 6, &mut rng).unwrap();
+        let opinions = init::spread(150, 9).unwrap();
+        let s = seeds(5, 0x0B5);
+        let mut plain = ShardedProcess::new(&g, opinions.clone(), FastScheduler::Edge, &s).unwrap();
+        let mut one = ShardedProcess::new(&g, opinions.clone(), FastScheduler::Edge, &s).unwrap();
+        let mut four = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &s).unwrap();
+        let sp = plain.run_to_consensus(5_000_000, 1);
+        let mut rec1 = RingRecorder::new(4096);
+        let mut rec4 = RingRecorder::new(4096);
+        let s1 = one.run_observed(5_000_000, 1, 0, &mut rec1);
+        let s4 = four.run_observed(5_000_000, 4, 0, &mut rec4);
+        assert_eq!(s1, sp, "the observer must not perturb the trajectory");
+        assert_eq!(s1, s4, "thread count must not change the observed run");
+        // The sampled content (not just the verdict) is thread-invariant.
+        assert_eq!(rec1.samples(), rec4.samples());
+        assert_eq!(rec1.phases(), rec4.phases());
+        assert_eq!(rec1.final_sample(), rec4.final_sample());
+        assert_eq!(rec1.consensus_step(), Some(s1.steps()));
+        assert!(rec1.two_adjacent_step().is_some());
+        assert_eq!(rec1.samples()[0].step, 0);
+        // Samples agree with the register combine discipline.
+        let fin = rec1.final_sample().unwrap();
+        assert_eq!(fin.distinct, 1);
+        assert_eq!(fin.min, fin.max);
+    }
+
+    #[test]
+    fn observed_sampling_decimates_to_whole_rounds() {
+        use crate::telemetry::RingRecorder;
+        let g = generators::cycle(64).unwrap();
+        let opinions = init::spread(64, 8).unwrap();
+        let s = seeds(4, 3);
+        let mut dense =
+            ShardedProcess::new(&g, opinions.clone(), FastScheduler::Vertex, &s).unwrap();
+        let mut sparse = ShardedProcess::new(&g, opinions, FastScheduler::Vertex, &s).unwrap();
+        let mut rec_dense = RingRecorder::new(1 << 16);
+        let mut rec_sparse = RingRecorder::new(1 << 16);
+        dense.run_observed(50_000, 1, 0, &mut rec_dense);
+        // 4 rounds' worth of steps per sample → roughly a quarter of the
+        // interior samples, on the same trajectory.
+        sparse.run_observed(50_000, 1, 4 * 64, &mut rec_sparse);
+        assert_eq!(dense.opinions(), sparse.opinions());
+        let interior_dense = rec_dense.samples().len();
+        let interior_sparse = rec_sparse.samples().len();
+        assert!(
+            interior_sparse < interior_dense,
+            "{interior_sparse} vs {interior_dense}"
+        );
+        // Every sparse sample appears in the dense record (same lattice).
+        for s in rec_sparse.samples() {
+            assert!(rec_dense.samples().contains(s), "missing {s:?}");
+        }
+    }
+
+    #[test]
+    fn shard_gauges_account_for_every_step_and_cut_edge() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = generators::random_regular(200, 6, &mut rng).unwrap();
+        let opinions = init::spread(200, 7).unwrap();
+        let s = seeds(4, 0xCAFE);
+        let mut p = ShardedProcess::new(&g, opinions, FastScheduler::Edge, &s).unwrap();
+        p.run_to_consensus(10_000, 2);
+        let gauges = p.shard_gauges();
+        assert_eq!(gauges.len(), 4);
+        assert_eq!(gauges.iter().map(|g| g.steps).sum::<u64>(), p.steps());
+        let total_weight: u64 = gauges.iter().map(|g| g.weight).sum();
+        assert_eq!(total_weight, g.total_degree() as u64);
+        // Each cut edge is counted once by each of its two domains.
+        let cut_sum: u64 = gauges.iter().map(|g| g.edge_cut).sum();
+        assert_eq!(cut_sum % 2, 0);
+        assert!(cut_sum / 2 <= g.num_edges() as u64);
+        for gauge in &gauges {
+            assert!(gauge.round_lag <= 200, "lag {} > round", gauge.round_lag);
+        }
+        // The sample combine agrees with a rescan.
+        let sample = p.telemetry_sample();
+        let ops = p.opinions();
+        assert_eq!(sample.sum, ops.iter().sum::<i64>());
+        assert_eq!(sample.min, *ops.iter().min().unwrap());
+        assert_eq!(sample.max, *ops.iter().max().unwrap());
+        let mut distinct = ops.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(sample.distinct, distinct.len());
+        assert_eq!(sample.step, p.steps());
     }
 
     #[test]

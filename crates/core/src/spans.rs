@@ -1,0 +1,510 @@
+//! Span-based structured lifecycle traces in the Chrome trace-event
+//! format.
+//!
+//! A **span** is one completed interval of wall-clock work — a queue
+//! wait, a scheduling decision, one trial attempt, an engine phase, a
+//! report write.  This module defines the span record ([`SpanEvent`]),
+//! a canonical line-oriented renderer ([`render_spans`]) whose output
+//! is a valid JSON array loadable by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev), and a strict parser
+//! ([`parse_spans`]) that accepts exactly the canonical rendering —
+//! so `render(parse(render(events)))` is **byte-identical** to
+//! `render(events)`, which is what the trace round-trip suites pin.
+//!
+//! # Format
+//!
+//! One event per line inside a JSON array:
+//!
+//! ```text
+//! [
+//!   {"name":"attempt","cat":"trial","ph":"X","ts":10,"dur":42,"pid":1,"tid":3,"args":{"id":"00baadf00dcafe42","seed":7}},
+//!   {"name":"running","cat":"job","ph":"X","ts":0,"dur":60,"pid":1,"tid":0,"args":{}}
+//! ]
+//! ```
+//!
+//! Every event is a *complete* span (`"ph":"X"`) with microsecond
+//! timestamp `ts` and duration `dur` measured from a common
+//! [`SpanClock`] epoch, a `pid`/`tid` pair used as trace-viewer lanes
+//! (process row / thread row), and a flat `args` map of integer or
+//! text values.  Field order is fixed; strings are restricted to
+//! printable ASCII without `"` or `\` (the renderer sanitizes, the
+//! parser rejects), so no JSON escape processing is ever needed and
+//! the byte-identity contract holds.
+//!
+//! # Determinism
+//!
+//! Span *identities* are deterministic: [`span_id`] derives a stable
+//! 64-bit id from `(campaign id, trial seed, attempt)`, rendered with
+//! [`hex_id`].  Span *durations* are wall-clock and live entirely
+//! outside the deterministic simulation state — two runs of the same
+//! campaign produce the same span tree with the same ids and differing
+//! only in `ts`/`dur`.
+
+use std::fmt;
+use std::time::Instant;
+
+/// One `args` value: spans carry only flat integer or short text
+/// attributes (ids, seeds, counts, outcome labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanValue {
+    /// A signed integer attribute (seeds and counts fit in `i64` for
+    /// every reachable configuration).
+    Int(i64),
+    /// A text attribute; rendered sanitized to printable ASCII
+    /// without `"` or `\`.
+    Text(String),
+}
+
+/// One completed span: a named wall-clock interval on a
+/// (`pid`, `tid`) trace-viewer lane with flat key/value attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span name shown on the trace slice (e.g. `attempt`).
+    pub name: String,
+    /// The category, used by trace viewers for filtering (e.g. `job`,
+    /// `trial`, `engine`).
+    pub cat: String,
+    /// Start time in microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// The process lane (campaign / job id in this codebase).
+    pub pid: u64,
+    /// The thread lane (0 = lifecycle, `1 + trial % k` for trials).
+    pub tid: u64,
+    /// Flat attributes, rendered in insertion order.
+    pub args: Vec<(String, SpanValue)>,
+}
+
+impl SpanEvent {
+    /// A complete span with no attributes; chain [`SpanEvent::arg_int`]
+    /// / [`SpanEvent::arg_text`] to attach them.
+    pub fn complete(
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        dur_us: u64,
+        pid: u64,
+        tid: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches an integer attribute and returns the span (builder
+    /// style).
+    #[must_use]
+    pub fn arg_int(mut self, key: &str, value: i64) -> SpanEvent {
+        self.args.push((key.to_string(), SpanValue::Int(value)));
+        self
+    }
+
+    /// Attaches a text attribute and returns the span (builder style).
+    #[must_use]
+    pub fn arg_text(mut self, key: &str, value: &str) -> SpanEvent {
+        self.args
+            .push((key.to_string(), SpanValue::Text(value.to_string())));
+        self
+    }
+}
+
+/// A monotonic microsecond clock anchored at its creation instant —
+/// the shared epoch all spans of one trace measure `ts` from.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanClock {
+    epoch: Instant,
+}
+
+impl SpanClock {
+    /// A clock whose epoch is *now*.
+    pub fn new() -> SpanClock {
+        SpanClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for SpanClock {
+    fn default() -> Self {
+        SpanClock::new()
+    }
+}
+
+/// A deterministic 64-bit span identity from
+/// `(campaign id, trial seed, attempt)` — a splitmix64-style finalizer
+/// chain, so nearby inputs land far apart and the id is a pure
+/// function of its inputs (re-runs and crash-recovered replays agree).
+pub fn span_id(campaign: u64, seed: u64, attempt: u32) -> u64 {
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    mix(mix(mix(campaign) ^ seed) ^ u64::from(attempt))
+}
+
+/// Renders a 64-bit id as the fixed-width 16-digit lowercase hex text
+/// used for the `"id"` span attribute.
+pub fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Whether `c` may appear verbatim in a rendered span string:
+/// printable ASCII excluding the two JSON-significant characters.
+fn allowed(c: char) -> bool {
+    (' '..='\u{7e}').contains(&c) && c != '"' && c != '\\'
+}
+
+/// Replaces every character [`allowed`] rejects with `_`, so rendered
+/// output always parses without escape handling.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if allowed(c) { c } else { '_' })
+        .collect()
+}
+
+fn render_event(out: &mut String, e: &SpanEvent) {
+    out.push_str("{\"name\":\"");
+    out.push_str(&sanitize(&e.name));
+    out.push_str("\",\"cat\":\"");
+    out.push_str(&sanitize(&e.cat));
+    out.push_str("\",\"ph\":\"X\",\"ts\":");
+    out.push_str(&e.ts_us.to_string());
+    out.push_str(",\"dur\":");
+    out.push_str(&e.dur_us.to_string());
+    out.push_str(",\"pid\":");
+    out.push_str(&e.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    out.push_str(",\"args\":{");
+    for (i, (key, value)) in e.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&sanitize(key));
+        out.push_str("\":");
+        match value {
+            SpanValue::Int(v) => out.push_str(&v.to_string()),
+            SpanValue::Text(t) => {
+                out.push('"');
+                out.push_str(&sanitize(t));
+                out.push('"');
+            }
+        }
+    }
+    out.push_str("}}");
+}
+
+/// Renders spans in the canonical line-oriented form: a JSON array,
+/// one event per line, loadable by `chrome://tracing` and Perfetto.
+/// The output is the *only* byte sequence [`parse_spans`] accepts for
+/// these events.
+pub fn render_spans(events: &[SpanEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str("  ");
+        render_event(&mut out, e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// A span-trace parse failure: byte offset plus what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the strict grammar expected at that offset.
+    pub message: String,
+}
+
+impl fmt::Display for SpanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span trace byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SpanError {}
+
+/// Strict cursor over the canonical rendering.
+struct Cursor<'a> {
+    rest: &'a str,
+    offset: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, SpanError> {
+        Err(SpanError {
+            offset: self.offset,
+            message: message.to_string(),
+        })
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), SpanError> {
+        match self.rest.strip_prefix(lit) {
+            Some(rest) => {
+                self.rest = rest;
+                self.offset += lit.len();
+                Ok(())
+            }
+            None => self.err(&format!("expected `{lit}`")),
+        }
+    }
+
+    fn peek(&self, lit: &str) -> bool {
+        self.rest.starts_with(lit)
+    }
+
+    /// A string body up to the closing quote; every character must be
+    /// renderable verbatim, so re-rendering cannot change bytes.
+    fn string(&mut self) -> Result<String, SpanError> {
+        let Some(end) = self.rest.find('"') else {
+            return self.err("unterminated string");
+        };
+        let body = &self.rest[..end];
+        if !body.chars().all(allowed) {
+            return self.err("string holds a character outside printable ASCII");
+        }
+        let out = body.to_string();
+        self.rest = &self.rest[end + 1..];
+        self.offset += end + 1;
+        Ok(out)
+    }
+
+    fn digits(&mut self) -> Result<&'a str, SpanError> {
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return self.err("expected digits");
+        }
+        let (body, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        self.offset += end;
+        Ok(body)
+    }
+
+    fn uint(&mut self) -> Result<u64, SpanError> {
+        let at = self.offset;
+        let body = self.digits()?;
+        body.parse().map_err(|_| SpanError {
+            offset: at,
+            message: "unsigned value out of range".to_string(),
+        })
+    }
+
+    fn int(&mut self) -> Result<i64, SpanError> {
+        let at = self.offset;
+        let neg = self.peek("-");
+        if neg {
+            self.eat("-")?;
+        }
+        let body = self.digits()?;
+        let rendered = if neg {
+            format!("-{body}")
+        } else {
+            body.to_string()
+        };
+        rendered.parse().map_err(|_| SpanError {
+            offset: at,
+            message: "integer value out of range".to_string(),
+        })
+    }
+}
+
+/// Parses the canonical rendering back into span events.
+///
+/// The grammar is strict — exact field order, exact whitespace, no
+/// escapes — so any accepted input re-renders byte-identically via
+/// [`render_spans`].
+///
+/// # Errors
+///
+/// [`SpanError`] with the byte offset of the first deviation from the
+/// canonical form.
+pub fn parse_spans(text: &str) -> Result<Vec<SpanEvent>, SpanError> {
+    let mut cur = Cursor {
+        rest: text,
+        offset: 0,
+    };
+    cur.eat("[\n")?;
+    let mut events: Vec<SpanEvent> = Vec::new();
+    let mut last_had_comma = false;
+    loop {
+        if cur.peek("]\n") {
+            if last_had_comma {
+                return cur.err("trailing comma before `]`");
+            }
+            cur.eat("]\n")?;
+            break;
+        }
+        if !events.is_empty() && !last_had_comma {
+            return cur.err("missing comma between events");
+        }
+        cur.eat("  {\"name\":\"")?;
+        let name = cur.string()?;
+        cur.eat(",\"cat\":\"")?;
+        let cat = cur.string()?;
+        cur.eat(",\"ph\":\"X\",\"ts\":")?;
+        let ts_us = cur.uint()?;
+        cur.eat(",\"dur\":")?;
+        let dur_us = cur.uint()?;
+        cur.eat(",\"pid\":")?;
+        let pid = cur.uint()?;
+        cur.eat(",\"tid\":")?;
+        let tid = cur.uint()?;
+        cur.eat(",\"args\":{")?;
+        let mut args = Vec::new();
+        if !cur.peek("}") {
+            loop {
+                cur.eat("\"")?;
+                let key = cur.string()?;
+                cur.eat(":")?;
+                let value = if cur.peek("\"") {
+                    cur.eat("\"")?;
+                    SpanValue::Text(cur.string()?)
+                } else {
+                    SpanValue::Int(cur.int()?)
+                };
+                args.push((key, value));
+                if cur.peek(",") {
+                    cur.eat(",")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        cur.eat("}}")?;
+        last_had_comma = cur.peek(",");
+        if last_had_comma {
+            cur.eat(",")?;
+        }
+        cur.eat("\n")?;
+        events.push(SpanEvent {
+            name,
+            cat,
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            args,
+        });
+    }
+    if !cur.rest.is_empty() {
+        return cur.err("trailing bytes after closing `]`");
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent::complete("queued", "job", 0, 120, 7, 0)
+                .arg_text("id", &hex_id(span_id(7, 0, 0))),
+            SpanEvent::complete("attempt", "trial", 120, 4_000, 7, 1)
+                .arg_text("id", &hex_id(span_id(7, 0xDEAD_BEEF, 1)))
+                .arg_int("seed", -3)
+                .arg_int("trial", 0),
+            SpanEvent::complete("report-write", "job", 4_120, 9, 7, 0),
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trips_byte_identically() {
+        let text = render_spans(&sample());
+        let parsed = parse_spans(&text).unwrap();
+        assert_eq!(parsed, sample());
+        assert_eq!(render_spans(&parsed), text);
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_json_array() {
+        let text = render_spans(&[]);
+        assert_eq!(text, "[\n]\n");
+        assert_eq!(parse_spans(&text).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn renderer_sanitizes_hostile_strings() {
+        let span = SpanEvent::complete("a\"b\\c\nd", "cat\u{7f}", 1, 2, 3, 4)
+            .arg_text("k\te", "v\u{1F600}");
+        let text = render_spans(&[span]);
+        let parsed = parse_spans(&text).unwrap();
+        assert_eq!(parsed[0].name, "a_b_c_d");
+        assert_eq!(parsed[0].cat, "cat_");
+        assert_eq!(parsed[0].args[0].0, "k_e");
+        assert_eq!(parsed[0].args[0].1, SpanValue::Text("v_".to_string()));
+        assert_eq!(render_spans(&parsed), text);
+    }
+
+    #[test]
+    fn parser_rejects_deviations_from_canonical_form() {
+        for bad in [
+            "",
+            "[]\n",
+            "[\n]",
+            "[\n]\nx",
+            "[\n  {\"name\":\"a\"}\n]\n",
+            // Escape sequences are outside the canonical grammar.
+            "[\n  {\"name\":\"a\\\"b\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{}}\n]\n",
+            // Wrong phase kind.
+            "[\n  {\"name\":\"a\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{}}\n]\n",
+            // Missing comma between events.
+            "[\n  {\"name\":\"a\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{}}\n  {\"name\":\"b\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{}}\n]\n",
+        ] {
+            assert!(parse_spans(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_negative_and_extreme_int_args() {
+        let span = SpanEvent::complete("s", "c", u64::MAX, 0, 0, u64::MAX)
+            .arg_int("lo", i64::MIN)
+            .arg_int("hi", i64::MAX);
+        let text = render_spans(std::slice::from_ref(&span));
+        let parsed = parse_spans(&text).unwrap();
+        assert_eq!(parsed, vec![span]);
+        assert_eq!(render_spans(&parsed), text);
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_spread() {
+        assert_eq!(span_id(1, 2, 3), span_id(1, 2, 3));
+        let mut ids: Vec<u64> = (0..32u32).map(|a| span_id(9, 0xFEED, a)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 32, "attempt counter must perturb the id");
+        assert_ne!(span_id(1, 2, 3), span_id(2, 1, 3));
+        assert_eq!(hex_id(0xABC), "0000000000000abc");
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = SpanClock::new();
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+}

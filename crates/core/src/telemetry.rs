@@ -169,6 +169,82 @@ fn gcd(a: u64, b: u64) -> u64 {
     a
 }
 
+/// A decimating adaptor: forwards samples on a coarsened lattice.
+///
+/// The batch and sharded engines naturally offer samples at *their*
+/// boundaries (step blocks, reconciliation rounds), which can be far
+/// denser than a sink wants to pay for — each forwarded sample costs the
+/// sink a write or an `O(P)` combine.  `SampledObserver` infers the
+/// engine's step lattice with the same gcd rule as [`RingRecorder`] and
+/// forwards only samples whose step lies on the smallest lattice
+/// multiple `≥ min_gap` steps, so the sink sees an evenly spaced subset
+/// regardless of the engine's internal block size.
+///
+/// Start, phase, fault and finish events are **never** decimated — exact
+/// first-hit phase steps and the final state always reach the sink.
+#[derive(Debug, Clone)]
+pub struct SampledObserver<O> {
+    inner: O,
+    min_gap: u64,
+    unit: u64,
+}
+
+impl<O: Observer> SampledObserver<O> {
+    /// Wraps `inner`, forwarding samples at most once per `min_gap`
+    /// steps (`0` behaves like `1`: every offered sample forwards).
+    pub fn new(inner: O, min_gap: u64) -> Self {
+        SampledObserver {
+            inner,
+            min_gap,
+            unit: 0,
+        }
+    }
+
+    /// A reference to the wrapped sink.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps the sink (to e.g. call an exporter's `finish`).
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Observer> Observer for SampledObserver<O> {
+    const ENABLED: bool = O::ENABLED;
+
+    fn on_start(&mut self, sample: &TelemetrySample) {
+        self.inner.on_start(sample);
+    }
+
+    fn on_sample(&mut self, sample: &TelemetrySample) {
+        self.unit = gcd(self.unit, sample.step);
+        // The forwarding lattice: the smallest multiple of the inferred
+        // engine stride that is ≥ min_gap.
+        let lattice = if self.unit == 0 {
+            0
+        } else {
+            self.unit * self.min_gap.div_ceil(self.unit).max(1)
+        };
+        if lattice == 0 || sample.step.is_multiple_of(lattice) {
+            self.inner.on_sample(sample);
+        }
+    }
+
+    fn on_phase(&mut self, event: &PhaseEvent) {
+        self.inner.on_phase(event);
+    }
+
+    fn on_faults(&mut self, stats: &FaultStats) {
+        self.inner.on_faults(stats);
+    }
+
+    fn on_finish(&mut self, sample: &TelemetrySample, elapsed: Duration) {
+        self.inner.on_finish(sample, elapsed);
+    }
+}
+
 /// A bounded in-memory trajectory recorder with geometric decimation.
 ///
 /// Samples arrive on the engine's stride lattice; the recorder keeps at
@@ -577,6 +653,42 @@ mod tests {
         assert!(rec.elapsed().is_some());
         assert!(rec.fault_stats().is_none());
         assert_eq!(rec.phases().len(), 2);
+    }
+
+    #[test]
+    fn sampled_observer_decimates_to_the_requested_gap() {
+        let mut obs = SampledObserver::new(RingRecorder::new(4096), 200);
+        obs.on_start(&sample(0, 5));
+        for i in 1..=64u64 {
+            obs.on_sample(&sample(i * 64, 5));
+        }
+        obs.on_phase(&PhaseEvent {
+            phase: Phase::Consensus,
+            step: 4101,
+        });
+        obs.on_finish(&sample(4101, 5), Duration::ZERO);
+        // Engine stride 64, min gap 200 → forwarding lattice 256.
+        let steps: Vec<u64> = obs.inner().samples().iter().map(|s| s.step).collect();
+        let expected: Vec<u64> = (0..=16).map(|i| i * 256).collect();
+        assert_eq!(steps, expected);
+        // Phase and finish events pass through undecimated.
+        assert_eq!(obs.inner().consensus_step(), Some(4101));
+        let rec = obs.into_inner();
+        assert_eq!(rec.final_sample().unwrap().step, 4101);
+    }
+
+    #[test]
+    fn sampled_observer_zero_gap_forwards_everything() {
+        let mut obs = SampledObserver::new(RingRecorder::new(4096), 0);
+        obs.on_start(&sample(0, 1));
+        for i in 1..=10u64 {
+            obs.on_sample(&sample(i * 8192, 1));
+        }
+        assert_eq!(obs.inner().samples().len(), 11);
+        const {
+            assert!(!<SampledObserver<NullObserver> as Observer>::ENABLED);
+            assert!(<SampledObserver<RingRecorder> as Observer>::ENABLED);
+        }
     }
 
     #[test]

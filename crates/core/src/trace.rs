@@ -152,6 +152,27 @@ pub fn read_trace(path: &Path) -> Result<Trace, TraceError> {
     }
 }
 
+/// Reads one span trace file (the [`crate::spans`] canonical form) —
+/// the shared disk entry point for lifecycle span traces, mirroring
+/// [`read_trace`] for trajectory telemetry.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the file cannot be read, [`TraceError::Parse`]
+/// (with the 1-based line of the failing byte offset) when the content
+/// deviates from the canonical span rendering.
+pub fn read_spans(path: &Path) -> Result<Vec<crate::spans::SpanEvent>, TraceError> {
+    let text = fs::read_to_string(path)?;
+    crate::spans::parse_spans(&text).map_err(|e| {
+        let line = text[..e.offset.min(text.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        parse_err(line, e.message)
+    })
+}
+
 /// Pulls the value of `"key":` out of a flat single-line JSON object, as
 /// an unparsed token (up to the next `,` or `}` — exporter values are
 /// numbers, bools and bare-word strings, never nested).
@@ -439,5 +460,21 @@ mod tests {
         ));
         fs::remove_file(&jsonl).ok();
         fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn read_spans_round_trips_and_reports_lines() {
+        use crate::spans::{render_spans, SpanEvent};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("div-span-test-{}.json", std::process::id()));
+        let events = vec![SpanEvent::complete("attempt", "trial", 3, 9, 1, 2).arg_int("seed", 5)];
+        fs::write(&path, render_spans(&events)).unwrap();
+        assert_eq!(read_spans(&path).unwrap(), events);
+        fs::write(&path, "[\n  {\"nope\":1}\n]\n").unwrap();
+        match read_spans(&path).unwrap_err() {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
     }
 }

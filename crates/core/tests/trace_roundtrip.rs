@@ -1,13 +1,16 @@
 //! Property-based round-trip: any telemetry event sequence an observed
 //! run can produce, written through [`JsonlExporter`] or [`CsvExporter`],
 //! parses back through the shared trace reader ([`div_core::trace`]) into
-//! exactly the samples, phases, faults and timings that were exported.
+//! exactly the samples, phases, faults and timings that were exported —
+//! and any lifecycle span list renders to a canonical Chrome-trace array
+//! that re-renders byte-identically after parsing.
 
 use std::time::Duration;
 
 use div_core::trace::{parse_csv, parse_jsonl};
 use div_core::{
-    CsvExporter, FaultStats, JsonlExporter, Observer, Phase, PhaseEvent, TelemetrySample,
+    parse_spans, render_spans, CsvExporter, FaultStats, JsonlExporter, Observer, Phase, PhaseEvent,
+    SpanEvent, SpanValue, TelemetrySample,
 };
 use proptest::prelude::*;
 
@@ -198,5 +201,73 @@ proptest! {
         prop_assert_eq!(&trace.final_sample, &finish.as_ref().map(|(s, _)| *s));
         prop_assert_eq!(&trace.faults, &None);
         prop_assert_eq!(trace.elapsed_ns, None);
+    }
+}
+
+/// Arbitrary short text, hostile characters included: quotes,
+/// backslashes, control bytes and non-ASCII all flow through the
+/// renderer's sanitizer.
+fn span_text() -> impl Strategy<Value = String> {
+    // Latin-1 code points cover quotes, backslashes, control bytes and
+    // non-ASCII — every sanitizer branch.
+    proptest::collection::vec(any::<u8>(), 0..12)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn span_value_strategy() -> impl Strategy<Value = SpanValue> {
+    (any::<bool>(), any::<i64>(), span_text()).prop_map(|(is_int, i, t)| {
+        if is_int {
+            SpanValue::Int(i)
+        } else {
+            SpanValue::Text(t)
+        }
+    })
+}
+
+fn span_event_strategy() -> impl Strategy<Value = SpanEvent> {
+    (
+        (span_text(), span_text()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        proptest::collection::vec((span_text(), span_value_strategy()), 0..4),
+    )
+        .prop_map(|((name, cat), (ts_us, dur_us, pid, tid), args)| SpanEvent {
+            name,
+            cat,
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            args,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any span list renders to a trace the strict parser accepts, and
+    /// the re-render is **byte-identical** — the canonical-form
+    /// contract the daemon's span files and `metrics_check spans` pin.
+    #[test]
+    fn span_traces_round_trip_byte_identically(
+        events in proptest::collection::vec(span_event_strategy(), 0..24),
+    ) {
+        let text = render_spans(&events);
+        let parsed = parse_spans(&text).unwrap();
+        prop_assert_eq!(parsed.len(), events.len());
+        prop_assert_eq!(render_spans(&parsed), text);
+        // Numeric fields survive untouched even when hostile strings
+        // had to be sanitized.
+        for (got, want) in parsed.iter().zip(&events) {
+            prop_assert_eq!(got.ts_us, want.ts_us);
+            prop_assert_eq!(got.dur_us, want.dur_us);
+            prop_assert_eq!(got.pid, want.pid);
+            prop_assert_eq!(got.tid, want.tid);
+            prop_assert_eq!(got.args.len(), want.args.len());
+            for ((_, gv), (_, wv)) in got.args.iter().zip(&want.args) {
+                if let (SpanValue::Int(g), SpanValue::Int(w)) = (gv, wv) {
+                    prop_assert_eq!(g, w);
+                }
+            }
+        }
     }
 }

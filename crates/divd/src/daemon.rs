@@ -36,6 +36,22 @@
 //! others.  While draining (SIGTERM or `POST /admin/drain`) submissions
 //! get `503`, in-flight campaigns are cooperatively cancelled through
 //! their checkpoint path, and the oplog is sealed.
+//!
+//! # Lifecycle spans
+//!
+//! Every job also leaves a wall-clock trace: the daemon stamps
+//! submit/schedule instants on one shared [`SpanClock`], the campaign
+//! hooks record one `attempt` span per completed trial (plus `retry`
+//! markers), and at the terminal transition the whole tree — `queued`,
+//! `running`, the attempts, the `report-write` — is rendered with
+//! [`render_spans`] and written atomically to
+//! `<data>/spans/job-<id>.json`, a Chrome-trace array loadable in
+//! Perfetto.  Span *identities* are deterministic
+//! ([`span_id`]`(job id, trial seed, attempt)`), so re-runs and
+//! crash-recovered replays produce the same tree with the same ids,
+//! differing only in timestamps.  `GET /campaigns/{id}/spans` serves
+//! the file; `GET /campaigns/{id}/progress` serves the live
+//! expected/started/finished counters as JSON.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io;
@@ -46,12 +62,15 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use div_core::{EdgeScheduler, FastScheduler, VertexScheduler};
+use div_core::{
+    hex_id, render_spans, span_id, EdgeScheduler, FastScheduler, SpanClock, SpanEvent,
+    VertexScheduler,
+};
 use div_oplog::{atomic_write, Oplog, Replay};
 use div_sim::http::{HttpLimits, HttpServer, Request, Response};
 use div_sim::{
     run_campaign_batched_hooked, run_campaign_hooked, CampaignConfig, CampaignHooks,
-    CampaignReport, TrialOutcome,
+    CampaignReport, SeedSequence, TrialOutcome,
 };
 
 use div_bench::trial::{batch_group, fast_trial, reference_trial};
@@ -111,6 +130,17 @@ struct Job {
     error: Option<String>,
     /// Whether this job was reconstructed from the oplog after a crash.
     recovered: bool,
+    /// Submit instant on the daemon's [`SpanClock`] (0 for recovered
+    /// jobs — their pre-crash wall clock is gone).
+    submitted_us: u64,
+    /// Claim instant, once a worker journalled `schedule`.
+    scheduled_us: Option<u64>,
+    /// Per-trial `attempt`/`retry` spans recorded by the campaign
+    /// hooks, in completion order.
+    trial_spans: Vec<SpanEvent>,
+    /// Retries so far per trial index — the `attempt` component of the
+    /// deterministic span id.
+    trial_attempts: BTreeMap<usize, u32>,
 }
 
 impl Job {
@@ -126,6 +156,10 @@ impl Job {
             report: None,
             error: None,
             recovered: false,
+            submitted_us: 0,
+            scheduled_us: None,
+            trial_spans: Vec::new(),
+            trial_attempts: BTreeMap::new(),
         }
     }
 
@@ -146,6 +180,59 @@ impl Job {
         }
         .render()
     }
+}
+
+/// Trial spans rotate over this many `tid` lanes (`1 + trial % k`), so
+/// overlapping attempts render on separate Perfetto rows; lane 0 is the
+/// job lifecycle.
+const TRIAL_SPAN_LANES: u64 = 4;
+
+/// The deterministic seed of trial `i`'s first attempt — the same
+/// derivation the campaign engine uses, so span ids can be recomputed
+/// from `(job id, master seed, trial, attempt)` alone.
+fn trial_seed(master: u64, trial: usize) -> u64 {
+    SeedSequence::seed_for(master, trial as u64)
+}
+
+/// Builds the job's lifecycle span tree in journal order: the `queued`
+/// wait (submit → schedule), the `running` interval (schedule → end)
+/// carrying the terminal state, then every hook-recorded trial span.
+/// A pure function of the job record plus the end instant, so recovery
+/// tests can pin the tree against a synthetic journal.
+fn assemble_spans(id: u64, job: &Job, end_us: u64) -> Vec<SpanEvent> {
+    let mut events = Vec::with_capacity(job.trial_spans.len() + 3);
+    let queued_end = job.scheduled_us.unwrap_or(end_us);
+    events.push(
+        SpanEvent::complete(
+            "queued",
+            "job",
+            job.submitted_us,
+            queued_end.saturating_sub(job.submitted_us),
+            id,
+            0,
+        )
+        .arg_text("id", &hex_id(span_id(id, job.spec.seed, 0)))
+        .arg_text("client", &job.client),
+    );
+    if let Some(scheduled) = job.scheduled_us {
+        events.push(
+            SpanEvent::complete(
+                "running",
+                "job",
+                scheduled,
+                end_us.saturating_sub(scheduled),
+                id,
+                0,
+            )
+            .arg_text("engine", &job.spec.engine)
+            .arg_int("trials", job.spec.trials as i64)
+            .arg_int("done", job.results.len() as i64)
+            .arg_int("retries", job.retries as i64)
+            .arg_text("state", &job.state.to_string()),
+        );
+    }
+    events.extend(job.trial_spans.iter().cloned());
+    events
 }
 
 /// Bounded multi-client queue with round-robin dispatch: one FIFO lane
@@ -269,6 +356,8 @@ struct Shared {
     /// Wakes workers (queue push, drain).
     work: Condvar,
     data_dir: PathBuf,
+    /// The trace epoch every lifecycle span measures from.
+    clock: SpanClock,
 }
 
 impl Shared {
@@ -284,6 +373,24 @@ impl Shared {
 
     fn report_path(&self, id: u64) -> PathBuf {
         self.data_dir.join("reports").join(format!("job-{id}.txt"))
+    }
+
+    fn spans_path(&self, id: u64) -> PathBuf {
+        self.data_dir.join("spans").join(format!("job-{id}.json"))
+    }
+
+    /// Renders the job's lifecycle span tree and writes it atomically
+    /// next to the report.  Called at every terminal transition; purely
+    /// observational, so failures warn instead of failing the job.
+    fn write_spans(&self, id: u64, job: &Job, end_us: u64, tail: Option<SpanEvent>) {
+        let mut events = assemble_spans(id, job, end_us);
+        if let Some(span) = tail {
+            events.push(span);
+        }
+        let text = render_spans(&events);
+        if let Err(e) = atomic_write(&self.spans_path(id), text.as_bytes()) {
+            eprintln!("divd: span trace write for job {id} failed: {e}");
+        }
     }
 
     /// Stops admission and cooperatively cancels in-flight campaigns.
@@ -322,6 +429,7 @@ impl Daemon {
     pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
         std::fs::create_dir_all(cfg.data_dir.join("checkpoints"))?;
         std::fs::create_dir_all(cfg.data_dir.join("reports"))?;
+        std::fs::create_dir_all(cfg.data_dir.join("spans"))?;
         let (oplog, replay) = Oplog::open(&cfg.data_dir.join("oplog.div"))?;
         let mut inner = recover(&replay, cfg.queue_capacity);
         let recovered_jobs = inner.jobs.len();
@@ -342,6 +450,7 @@ impl Daemon {
             inner: Mutex::new(inner),
             work: Condvar::new(),
             data_dir: cfg.data_dir.clone(),
+            clock: SpanClock::new(),
         });
 
         let mut workers = Vec::new();
@@ -578,7 +687,9 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         }
         let spec = job.spec.clone();
         let cancel = Arc::clone(&job.cancel);
-        inner.jobs.get_mut(&id).expect("present above").state = JobState::Running;
+        let job = inner.jobs.get_mut(&id).expect("present above");
+        job.state = JobState::Running;
+        job.scheduled_us = Some(shared.clock.now_us());
         inner.running += 1;
         inner.commit_warn(&[format!("schedule {id}")]);
         (spec, cancel)
@@ -603,6 +714,8 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             let job = inner.jobs.get_mut(&id).expect("present above");
             job.state = JobState::Failed;
             job.error = Some(msg);
+            let end_us = shared.clock.now_us();
+            shared.write_spans(id, job, end_us, None);
         }
         Ok(report) => {
             if report.is_complete() || user_cancelled {
@@ -617,9 +730,11 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                 // Report durable before the terminal op: a crash between
                 // the two leaves the job `running`, and resume re-renders
                 // the identical bytes.
+                let write_start = shared.clock.now_us();
                 if let Err(e) = atomic_write(&shared.report_path(id), text.as_bytes()) {
                     eprintln!("divd: report write for job {id} failed: {e}");
                 }
+                let end_us = shared.clock.now_us();
                 inner.commit_warn(&[format!("complete {id} {class}")]);
                 let job = inner.jobs.get_mut(&id).expect("present above");
                 job.state = if class == "cancelled" {
@@ -628,6 +743,16 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                     JobState::Completed
                 };
                 job.report = Some(text);
+                let report_span = SpanEvent::complete(
+                    "report-write",
+                    "job",
+                    write_start,
+                    end_us.saturating_sub(write_start),
+                    id,
+                    0,
+                )
+                .arg_text("class", class);
+                shared.write_spans(id, job, end_us, Some(report_span));
             }
             // else: partial because of drain — leave the job `running`
             // in the oplog; its checkpoint manifest carries the progress
@@ -660,17 +785,62 @@ fn run_engine(
 
     let on_trial = |i: usize, outcome: &TrialOutcome| {
         let line = outcome.manifest_line(i);
+        let now_us = shared.clock.now_us();
         let mut inner = shared.lock();
         inner.commit_warn(&[format!("outcome {id} {line}")]);
         if let Some(job) = inner.jobs.get_mut(&id) {
+            // The hook fires at completion; the span covers schedule →
+            // outcome, so Perfetto shows per-trial completion order.
+            let start = job.scheduled_us.unwrap_or(0);
+            let attempt = job.trial_attempts.get(&i).copied().unwrap_or(0);
+            let label = line.split_whitespace().nth(2).unwrap_or("unknown");
+            job.trial_spans.push(
+                SpanEvent::complete(
+                    "attempt",
+                    "trial",
+                    start,
+                    now_us.saturating_sub(start),
+                    id,
+                    1 + (i as u64 % TRIAL_SPAN_LANES),
+                )
+                .arg_text(
+                    "id",
+                    &hex_id(span_id(id, trial_seed(spec.seed, i), attempt)),
+                )
+                .arg_int("trial", i as i64)
+                .arg_int("attempt", i64::from(attempt))
+                .arg_text("outcome", label),
+            );
             job.results.insert(i, line);
         }
     };
     let on_retry = |i: usize| {
+        let now_us = shared.clock.now_us();
         let mut inner = shared.lock();
         inner.commit_warn(&[format!("retried {id} {i}")]);
         if let Some(job) = inner.jobs.get_mut(&id) {
             job.retries += 1;
+            let attempt = {
+                let n = job.trial_attempts.entry(i).or_insert(0);
+                *n += 1;
+                *n
+            };
+            job.trial_spans.push(
+                SpanEvent::complete(
+                    "retry",
+                    "trial",
+                    now_us,
+                    0,
+                    id,
+                    1 + (i as u64 % TRIAL_SPAN_LANES),
+                )
+                .arg_text(
+                    "id",
+                    &hex_id(span_id(id, trial_seed(spec.seed, i), attempt)),
+                )
+                .arg_int("trial", i as i64)
+                .arg_int("attempt", i64::from(attempt)),
+            );
         }
     };
     let hooks = CampaignHooks {
@@ -737,7 +907,7 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
     }
 }
 
-/// `/campaigns/{id}[/results|/report]` dispatch.
+/// `/campaigns/{id}[/results|/report|/progress|/spans]` dispatch.
 fn campaign_route(shared: &Arc<Shared>, req: &Request, rest: &str) -> Response {
     let (id_str, sub) = rest.split_once('/').unwrap_or((rest, ""));
     let Ok(id) = id_str.parse::<u64>() else {
@@ -747,6 +917,8 @@ fn campaign_route(shared: &Arc<Shared>, req: &Request, rest: &str) -> Response {
         ("GET", "") => job_status(shared, id),
         ("GET", "results") => job_results(shared, id),
         ("GET", "report") => job_report(shared, id),
+        ("GET", "progress") => job_progress(shared, id),
+        ("GET", "spans") => job_spans(shared, id),
         ("DELETE", "") => job_cancel(shared, id),
         ("GET", _) => Response::text(404, "no such endpoint\n"),
         _ => Response::text(405, "method not allowed\n"),
@@ -806,7 +978,9 @@ fn submit(shared: &Arc<Shared>, req: &Request) -> Response {
         return Response::text(500, format!("oplog append failed: {e}\n"));
     }
     inner.next_id += 1;
-    inner.jobs.insert(id, Job::new(client.clone(), spec));
+    let mut job = Job::new(client.clone(), spec);
+    job.submitted_us = shared.clock.now_us();
+    inner.jobs.insert(id, job);
     inner.queue.push_back(&client, id);
     drop(inner);
     shared.work.notify_all();
@@ -896,6 +1070,48 @@ fn job_status(shared: &Arc<Shared>, id: u64) -> Response {
     Response::text(200, out)
 }
 
+/// Live trial counters as JSON, in the same `expected`/`started`/
+/// `finished` shape the campaign monitor's `/progress` serves — so one
+/// `metrics_check progress` invocation validates either source.  The
+/// daemon only learns of a trial when its outcome is journalled, so
+/// `started` equals `finished` (in-flight attempts are invisible by
+/// design: nothing is observable before it is durable).
+fn job_progress(shared: &Arc<Shared>, id: u64) -> Response {
+    let inner = shared.lock();
+    let Some(job) = inner.jobs.get(&id) else {
+        return Response::text(404, "no such campaign\n");
+    };
+    let finished = job.results.len();
+    let body = format!(
+        "{{\"id\":{id},\"state\":\"{}\",\"expected\":{},\"started\":{finished},\
+         \"finished\":{finished},\"retries\":{}}}\n",
+        job.state, job.spec.trials, job.retries
+    );
+    Response::with_type(200, "application/json", body.into_bytes())
+}
+
+/// Serves the terminal lifecycle span trace (Chrome trace-event JSON).
+/// `409` until the job is terminal — the tree is only assembled once
+/// the outcome is settled, mirroring the report endpoint.
+fn job_spans(shared: &Arc<Shared>, id: u64) -> Response {
+    let (terminal, state) = {
+        let inner = shared.lock();
+        let Some(job) = inner.jobs.get(&id) else {
+            return Response::text(404, "no such campaign\n");
+        };
+        (job.state.is_terminal(), job.state)
+    };
+    if !terminal {
+        return Response::text(409, format!("job is {state}; no span trace yet\n"));
+    }
+    match std::fs::read(shared.spans_path(id)) {
+        Ok(bytes) => Response::with_type(200, "application/json", bytes),
+        // Terminal without a trace file: recovered from a journal whose
+        // daemon died before writing it.  Honest 404, not a crash.
+        Err(_) => Response::text(404, "no span trace for this campaign\n"),
+    }
+}
+
 fn job_report(shared: &Arc<Shared>, id: u64) -> Response {
     let inner = shared.lock();
     let Some(job) = inner.jobs.get(&id) else {
@@ -966,6 +1182,8 @@ fn job_cancel(shared: &Arc<Shared>, id: u64) -> Response {
         job.cancel_requested = true;
         job.state = JobState::Cancelled;
         job.report = Some(job.render_report());
+        let end_us = shared.clock.now_us();
+        shared.write_spans(id, job, end_us, None);
         Response::text(200, "cancelled\n")
     } else {
         let job = inner.jobs.get_mut(&id).expect("present above");
@@ -978,6 +1196,7 @@ fn job_cancel(shared: &Arc<Shared>, id: u64) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use div_core::parse_spans;
 
     fn spec_text(trials: usize) -> String {
         format!("graph complete:8\ntrials {trials}\nseed 3\nbudget 100000\n")
@@ -1120,6 +1339,77 @@ mod tests {
         assert_eq!(queue.pop(), Some(3));
         assert_eq!(queue.pop(), None);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn span_tree_matches_the_journal_op_sequence() {
+        // Journal: submit → schedule → two outcomes → complete clean.
+        let mut jobs = synthetic_job(
+            7,
+            &[
+                "schedule 7".to_string(),
+                "outcome 7 trial 0 converged 2 55".to_string(),
+                "outcome 7 trial 1 converged 2 60".to_string(),
+                "complete 7 clean".to_string(),
+            ],
+        );
+        let job = jobs.get_mut(&7).unwrap();
+        job.submitted_us = 10;
+        job.scheduled_us = Some(40);
+        // As the on_trial hook records them, in completion order.
+        for (i, done_us) in [(0usize, 90u64), (1, 120)] {
+            job.trial_spans.push(
+                SpanEvent::complete(
+                    "attempt",
+                    "trial",
+                    40,
+                    done_us - 40,
+                    7,
+                    1 + (i as u64 % TRIAL_SPAN_LANES),
+                )
+                .arg_text("id", &hex_id(span_id(7, trial_seed(job.spec.seed, i), 0)))
+                .arg_int("trial", i as i64)
+                .arg_int("attempt", 0)
+                .arg_text("outcome", "converged"),
+            );
+        }
+        let events = assemble_spans(7, job, 150);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["queued", "running", "attempt", "attempt"]);
+        // `queued` covers submit → schedule; `running` covers schedule
+        // → end; every span sits on the job's pid lane.
+        assert_eq!((events[0].ts_us, events[0].dur_us), (10, 30));
+        assert_eq!((events[1].ts_us, events[1].dur_us), (40, 110));
+        assert!(events.iter().all(|e| e.pid == 7));
+        // The `running` span carries the journal's terminal verdict and
+        // the journalled trial counts.
+        let args: BTreeMap<&str, &div_core::SpanValue> = events[1]
+            .args
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        assert_eq!(
+            args["state"],
+            &div_core::SpanValue::Text("completed".into())
+        );
+        assert_eq!(args["done"], &div_core::SpanValue::Int(2));
+        assert_eq!(args["trials"], &div_core::SpanValue::Int(4));
+        // The tree round-trips byte-identically through the canonical
+        // renderer — i.e. it is a valid Perfetto-loadable trace.
+        let text = render_spans(&events);
+        assert_eq!(parse_spans(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn span_tree_of_a_never_scheduled_job_is_queued_only() {
+        // A job cancelled while queued: the trace is the queue wait
+        // alone, closed at the cancel instant.
+        let jobs = synthetic_job(3, &["cancel 3".to_string()]);
+        let events = assemble_spans(3, &jobs[&3], 500);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "queued");
+        assert_eq!((events[0].ts_us, events[0].dur_us), (0, 500));
+        assert!(parse_spans(&render_spans(&events)).is_ok());
     }
 
     #[test]

@@ -306,6 +306,127 @@ fn quick_job_completes_and_streams_results() {
 }
 
 #[test]
+fn span_trace_and_progress_round_trip() {
+    let dir = temp_dir("spans");
+    let daemon = Daemon::start(one_worker(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let id = submit(addr, QUICK_SPEC);
+    wait_state(addr, id, "completed", Duration::from_secs(30));
+
+    // Progress counters: JSON whose finished==expected at completion
+    // (and finished <= started always — the metrics_check contract).
+    let progress = req(addr, "GET", &format!("/campaigns/{id}/progress"), b"");
+    assert_eq!(progress.status, 200, "{}", progress.text());
+    let text = progress.text();
+    for needle in [
+        "\"state\":\"completed\"",
+        "\"expected\":5",
+        "\"started\":5",
+        "\"finished\":5",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in {text}");
+    }
+
+    // The terminal span trace is served over HTTP, byte-identical to
+    // the file on disk, and parses under the strict canonical grammar
+    // (hence Perfetto-loadable JSON).
+    let resp = req(addr, "GET", &format!("/campaigns/{id}/spans"), b"");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    let on_disk =
+        std::fs::read_to_string(dir.join("spans").join(format!("job-{id}.json"))).unwrap();
+    assert_eq!(body, on_disk);
+    let events = div_core::parse_spans(&body).unwrap();
+    assert_eq!(div_core::render_spans(&events), body);
+
+    // The span tree mirrors the journal op sequence: the queue wait,
+    // the running interval, one attempt per journalled outcome (in the
+    // journal's completion order), and the report write — all on the
+    // job's pid lane.
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names[..2], ["queued", "running"], "{names:?}");
+    assert_eq!(*names.last().unwrap(), "report-write", "{names:?}");
+    assert!(events.iter().all(|e| e.pid == id));
+
+    // Cross-check the attempts against the journalled outcomes the
+    // results stream serves: same trial set, same outcome labels.
+    let streamed = req(addr, "GET", &format!("/campaigns/{id}/results"), b"").text();
+    let mut journalled: Vec<(i64, String)> = streamed
+        .lines()
+        .filter_map(|l| {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            (f.first() == Some(&"trial")).then(|| (f[1].parse().unwrap(), f[2].to_string()))
+        })
+        .collect();
+    journalled.sort_unstable();
+    let mut attempts: Vec<(i64, String)> = events
+        .iter()
+        .filter(|e| e.name == "attempt")
+        .map(|e| {
+            let mut trial = -1;
+            let mut outcome = String::new();
+            let mut attempt = -1;
+            for (k, v) in &e.args {
+                match (k.as_str(), v) {
+                    ("trial", div_core::SpanValue::Int(i)) => trial = *i,
+                    ("attempt", div_core::SpanValue::Int(a)) => attempt = *a,
+                    ("outcome", div_core::SpanValue::Text(t)) => outcome = t.clone(),
+                    ("id", div_core::SpanValue::Text(hex)) => {
+                        // The span identity is the deterministic
+                        // function of (job id, trial seed, attempt).
+                        assert_eq!(hex.len(), 16, "{hex}");
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(attempt, 0, "no retries expected for {QUICK_SPEC:?}");
+            (trial, outcome)
+        })
+        .collect();
+    attempts.sort_unstable();
+    assert_eq!(attempts, journalled, "span tree diverges from journal");
+    // And the ids really are recomputable from public inputs.
+    for e in events.iter().filter(|e| e.name == "attempt") {
+        let trial = e
+            .args
+            .iter()
+            .find_map(|(k, v)| match (k.as_str(), v) {
+                ("trial", div_core::SpanValue::Int(i)) => Some(*i as u64),
+                _ => None,
+            })
+            .unwrap();
+        let seed = div_sim::SeedSequence::seed_for(7, trial); // QUICK_SPEC seed 7
+        let want = div_core::hex_id(div_core::span_id(id, seed, 0));
+        assert!(
+            e.args
+                .contains(&("id".to_string(), div_core::SpanValue::Text(want.clone()))),
+            "attempt {trial} id is not span_id(job, seed, attempt) = {want}"
+        );
+    }
+
+    // A non-terminal job: live JSON progress, but no span trace yet.
+    let slow = submit(addr, SLOW_SPEC);
+    wait_done(addr, slow, 1, Duration::from_secs(60));
+    let live = req(addr, "GET", &format!("/campaigns/{slow}/progress"), b"").text();
+    assert!(live.contains("\"expected\":40"), "{live}");
+    let early = req(addr, "GET", &format!("/campaigns/{slow}/spans"), b"");
+    assert_eq!(early.status, 409, "{}", early.text());
+
+    // Cancellation is a terminal transition too: it leaves a parseable
+    // partial trace.
+    let _ = req(addr, "DELETE", &format!("/campaigns/{slow}"), b"");
+    wait_state(addr, slow, "cancelled", Duration::from_secs(60));
+    let cancelled = req(addr, "GET", &format!("/campaigns/{slow}/spans"), b"");
+    assert_eq!(cancelled.status, 200, "{}", cancelled.text());
+    let partial = div_core::parse_spans(&cancelled.text()).unwrap();
+    assert!(partial.iter().any(|e| e.name == "running"));
+    assert_eq!(req(addr, "GET", "/campaigns/99/progress", b"").status, 404);
+    assert_eq!(req(addr, "GET", "/campaigns/99/spans", b"").status, 404);
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn daemon_report_matches_divlab_campaign_shape() {
     // The daemon's report is produced by the shared engine/executors, so
     // it is the exact `CampaignReport::render` text (master, trials,

@@ -70,7 +70,8 @@ pub use campaign::{
 };
 pub use metrics::MetricsRegistry;
 pub use monitor::{
-    CampaignMonitor, FaultTotals, MonitorPhase, MonitorSnapshot, PhaseSteps, PHASE_BUCKETS,
+    CampaignMonitor, EngineInfo, FaultTotals, MonitorPhase, MonitorSnapshot, PhaseSteps,
+    ShardHealth, PHASE_BUCKETS,
 };
 pub use runner::{
     run_lane_groups, run_trials, run_trials_caught, run_trials_monitored, run_trials_with_threads,

@@ -36,8 +36,20 @@
 //! statistics tooling.  Converged trials record their exact consensus
 //! step; two-adjacent first-hit steps are only known to observed runs and
 //! arrive via [`CampaignMonitor::record_phase_step`].
+//!
+//! # Engine-native gauges
+//!
+//! Campaigns running the batch or sharded engines additionally publish
+//! low-rate structural gauges: per-shard health ([`ShardHealth`], set at
+//! round boundaries via [`CampaignMonitor::set_shard_health`]), per-lane
+//! step counts ([`CampaignMonitor::set_lane_steps`]), the engine/kernel
+//! identity ([`CampaignMonitor::set_engine_info`]) and a running count of
+//! emitted telemetry samples.  These are updated a few times per second
+//! at most, so they live behind a `Mutex` rather than widening the
+//! lock-free trial path.
 
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::campaign::TrialOutcome;
@@ -102,6 +114,35 @@ impl FaultTotals {
             ("crashes", self.crash_events),
         ]
     }
+}
+
+/// Per-shard health gauges published by a sharded-engine campaign.
+///
+/// Field-for-field the same readings as `div_core::ShardGauge`; the sim
+/// crate stays engine-agnostic, so callers copy the values over (exactly
+/// as [`FaultTotals`] mirrors the core fault counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index (the Prometheus `shard` label).
+    pub shard: usize,
+    /// Total stationary weight owned by the shard.
+    pub weight: u64,
+    /// Edges with exactly one endpoint in this shard.
+    pub edge_cut: u64,
+    /// Steps executed by the shard so far.
+    pub steps: u64,
+    /// Steps the shard was allocated in the most recent round
+    /// (snapshot-refresh age proxy).
+    pub round_lag: u64,
+}
+
+/// Engine identity published once per campaign (`div_engine_info`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Engine name (`fast`, `batch`, `sharded`, …).
+    pub engine: String,
+    /// Active SIMD kernel tier (`scalar`, `avx2`, …).
+    pub kernel_tier: String,
 }
 
 /// One phase's atomically collected step buckets.
@@ -217,6 +258,10 @@ pub struct CampaignMonitor {
     faults: [AtomicU64; 6],
     phase_two_adjacent: AtomicPhaseSteps,
     phase_consensus: AtomicPhaseSteps,
+    telemetry_samples: AtomicU64,
+    shard_health: Mutex<Vec<ShardHealth>>,
+    lane_steps: Mutex<Vec<u64>>,
+    engine_info: Mutex<Option<EngineInfo>>,
     epoch: Instant,
 }
 
@@ -245,6 +290,10 @@ impl CampaignMonitor {
             faults: Default::default(),
             phase_two_adjacent: AtomicPhaseSteps::default(),
             phase_consensus: AtomicPhaseSteps::default(),
+            telemetry_samples: AtomicU64::new(0),
+            shard_health: Mutex::new(Vec::new()),
+            lane_steps: Mutex::new(Vec::new()),
+            engine_info: Mutex::new(None),
             epoch: Instant::now(),
         }
     }
@@ -320,6 +369,31 @@ impl CampaignMonitor {
         }
     }
 
+    /// Counts telemetry samples emitted by engine-native observers.
+    pub fn add_telemetry_samples(&self, n: u64) {
+        self.telemetry_samples.fetch_add(n, SeqCst);
+    }
+
+    /// Replaces the per-shard health gauges (sharded engine, once per
+    /// round boundary — not on the trial hot path).
+    pub fn set_shard_health(&self, gauges: Vec<ShardHealth>) {
+        *self.shard_health.lock().unwrap() = gauges;
+    }
+
+    /// Replaces the per-lane step gauges (batch engine, once per sample
+    /// chunk — not on the trial hot path).
+    pub fn set_lane_steps(&self, steps: Vec<u64>) {
+        *self.lane_steps.lock().unwrap() = steps;
+    }
+
+    /// Publishes the engine identity rendered as `div_engine_info`.
+    pub fn set_engine_info(&self, engine: &str, kernel_tier: &str) {
+        *self.engine_info.lock().unwrap() = Some(EngineInfo {
+            engine: engine.to_string(),
+            kernel_tier: kernel_tier.to_string(),
+        });
+    }
+
     /// Folds `steps` into the steps-per-second EWMA using the wall-clock
     /// gap since the previous record.
     fn note_rate(&self, steps: u64) {
@@ -377,6 +451,10 @@ impl CampaignMonitor {
             },
             phase_two_adjacent: self.phase_two_adjacent.snapshot(MonitorPhase::TwoAdjacent),
             phase_consensus: self.phase_consensus.snapshot(MonitorPhase::Consensus),
+            telemetry_samples: self.telemetry_samples.load(SeqCst),
+            shard_health: self.shard_health.lock().unwrap().clone(),
+            lane_steps: self.lane_steps.lock().unwrap().clone(),
+            engine_info: self.engine_info.lock().unwrap().clone(),
             elapsed_seconds: self.epoch.elapsed().as_secs_f64(),
             expected: self.expected.load(SeqCst),
             started: self.started.load(SeqCst),
@@ -418,6 +496,14 @@ pub struct MonitorSnapshot {
     pub phase_two_adjacent: PhaseSteps,
     /// Step histogram for consensus (converged trials' exact steps).
     pub phase_consensus: PhaseSteps,
+    /// Telemetry samples emitted by engine-native observers.
+    pub telemetry_samples: u64,
+    /// Per-shard health gauges (empty unless a sharded campaign runs).
+    pub shard_health: Vec<ShardHealth>,
+    /// Per-lane step gauges (empty unless a batch campaign runs).
+    pub lane_steps: Vec<u64>,
+    /// Engine identity, when the campaign has published one.
+    pub engine_info: Option<EngineInfo>,
     /// Wall-clock seconds since the monitor was created.
     pub elapsed_seconds: f64,
 }
@@ -495,6 +581,58 @@ impl MonitorSnapshot {
             "Wall-clock seconds since the monitor started.",
             format_value(self.elapsed_seconds),
         );
+        scalar(
+            "div_telemetry_samples_total",
+            "counter",
+            "Telemetry samples emitted by engine-native observers.",
+            self.telemetry_samples.to_string(),
+        );
+        if let Some(info) = &self.engine_info {
+            out.push_str(&format!(
+                "# HELP div_engine_info Engine identity (value is always 1).\n\
+                 # TYPE div_engine_info gauge\n\
+                 div_engine_info{{engine=\"{}\",kernel_tier=\"{}\"}} 1\n",
+                info.engine, info.kernel_tier
+            ));
+        }
+        if !self.shard_health.is_empty() {
+            for (name, help, read) in [
+                (
+                    "div_shard_weight",
+                    "Stationary weight owned by each shard.",
+                    (|s: &ShardHealth| s.weight) as fn(&ShardHealth) -> u64,
+                ),
+                (
+                    "div_shard_edge_cut",
+                    "Edges with exactly one endpoint in each shard.",
+                    |s: &ShardHealth| s.edge_cut,
+                ),
+                (
+                    "div_shard_steps",
+                    "Steps executed by each shard.",
+                    |s: &ShardHealth| s.steps,
+                ),
+                (
+                    "div_shard_round_lag",
+                    "Steps allocated to each shard in the latest round.",
+                    |s: &ShardHealth| s.round_lag,
+                ),
+            ] {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+                for s in &self.shard_health {
+                    out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.shard, read(s)));
+                }
+            }
+        }
+        if !self.lane_steps.is_empty() {
+            out.push_str(
+                "# HELP div_lane_steps Steps executed by each batch lane.\n\
+                 # TYPE div_lane_steps gauge\n",
+            );
+            for (lane, steps) in self.lane_steps.iter().enumerate() {
+                out.push_str(&format!("div_lane_steps{{lane=\"{lane}\"}} {steps}\n"));
+            }
+        }
         out.push_str(
             "# HELP div_fault_events_total Aggregated fault-injection counters.\n\
              # TYPE div_fault_events_total counter\n",
@@ -754,6 +892,56 @@ mod tests {
                 "bad value in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn engine_gauges_render_only_when_published() {
+        let m = CampaignMonitor::new();
+        let bare = m.snapshot().render_prometheus();
+        assert!(bare.contains("div_telemetry_samples_total 0"));
+        assert!(!bare.contains("div_engine_info"));
+        assert!(!bare.contains("div_shard_weight"));
+        assert!(!bare.contains("div_lane_steps"));
+
+        m.add_telemetry_samples(7);
+        m.set_engine_info("sharded", "avx2");
+        m.set_shard_health(vec![
+            ShardHealth {
+                shard: 0,
+                weight: 10,
+                edge_cut: 3,
+                steps: 100,
+                round_lag: 12,
+            },
+            ShardHealth {
+                shard: 1,
+                weight: 14,
+                edge_cut: 3,
+                steps: 140,
+                round_lag: 16,
+            },
+        ]);
+        m.set_lane_steps(vec![5, 6]);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("div_telemetry_samples_total 7"));
+        assert!(text.contains("div_engine_info{engine=\"sharded\",kernel_tier=\"avx2\"} 1"));
+        assert!(text.contains("# TYPE div_shard_weight gauge"));
+        assert!(text.contains("div_shard_weight{shard=\"1\"} 14"));
+        assert!(text.contains("div_shard_edge_cut{shard=\"0\"} 3"));
+        assert!(text.contains("div_shard_steps{shard=\"1\"} 140"));
+        assert!(text.contains("div_shard_round_lag{shard=\"0\"} 12"));
+        assert!(text.contains("div_lane_steps{lane=\"1\"} 6"));
+        // Replacement semantics: a later publish swaps the whole set.
+        m.set_shard_health(vec![ShardHealth {
+            shard: 0,
+            weight: 24,
+            edge_cut: 0,
+            steps: 300,
+            round_lag: 8,
+        }]);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("div_shard_weight{shard=\"0\"} 24"));
+        assert!(!text.contains("shard=\"1\""));
     }
 
     #[test]
